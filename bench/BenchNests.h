@@ -1,0 +1,109 @@
+//===- bench/BenchNests.h - Shared workloads for the benchmarks ----------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The loop nests and transformation sequences shared by the benchmark
+/// binaries: the paper's Figure 1 stencil, Figure 6 matrix multiply,
+/// the Figure 4 triangular nest, plus generated deep rectangular nests
+/// used for scaling sweeps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRLT_BENCH_BENCHNESTS_H
+#define IRLT_BENCH_BENCHNESTS_H
+
+#include "dependence/DepAnalysis.h"
+#include "ir/Parser.h"
+#include "transform/Sequence.h"
+#include "transform/Templates.h"
+
+#include <cassert>
+#include <string>
+
+namespace irlt::bench {
+
+inline LoopNest parseOrDie(const std::string &Src) {
+  ErrorOr<LoopNest> N = parseLoopNest(Src);
+  assert(N && "benchmark nest failed to parse");
+  return *N;
+}
+
+/// Figure 1(a): the 5-point stencil.
+inline LoopNest stencilNest() {
+  return parseOrDie(
+      "do i = 2, n - 1\n"
+      "  do j = 2, n - 1\n"
+      "    a(i, j) = (a(i, j) + a(i - 1, j) + a(i, j - 1) + a(i + 1, j) + "
+      "a(i, j + 1)) / 5\n"
+      "  enddo\n"
+      "enddo\n");
+}
+
+/// Figure 6: matrix multiply.
+inline LoopNest matmulNest() {
+  return parseOrDie("arrays B, C\n"
+                    "do i = 1, n\n"
+                    "  do j = 1, n\n"
+                    "    do k = 1, n\n"
+                    "      A(i, j) += B(i, k) * C(k, j)\n"
+                    "    enddo\n"
+                    "  enddo\n"
+                    "enddo\n");
+}
+
+/// Figure 4(a)-style triangular nest (trapezoidal iteration space).
+inline LoopNest triangularNest() {
+  return parseOrDie("do i = 1, n\n"
+                    "  do j = 1, i\n"
+                    "    a(i, j) = a(i, j) + 1\n"
+                    "  enddo\n"
+                    "enddo\n");
+}
+
+/// A rectangular nest of the given depth with a carried dependence at
+/// every level, for scaling sweeps.
+inline LoopNest deepNest(unsigned Depth) {
+  static const char *Names[] = {"i1", "i2", "i3", "i4", "i5", "i6"};
+  assert(Depth >= 1 && Depth <= 6);
+  std::string Src;
+  for (unsigned K = 0; K < Depth; ++K)
+    Src += std::string(2 * K, ' ') + "do " + Names[K] + " = 2, n\n";
+  std::string Subs, SubsM1;
+  for (unsigned K = 0; K < Depth; ++K) {
+    Subs += (K ? ", " : "") + std::string(Names[K]);
+    SubsM1 += (K ? ", " : "") + std::string(Names[K]) + " - 1";
+  }
+  Src += std::string(2 * Depth, ' ') + "a(" + Subs + ") = a(" + SubsM1 +
+         ") + 1\n";
+  for (unsigned K = Depth; K-- > 0;)
+    Src += std::string(2 * K, ' ') + "enddo\n";
+  return parseOrDie(Src);
+}
+
+/// The Appendix A / Figure 7 transformation sequence for matmul.
+inline TransformSequence figure7Sequence() {
+  return TransformSequence::of({
+      makeReversePermute(3, {false, false, false}, {2, 0, 1}),
+      makeBlock(3, 1, 3,
+                {Expr::var("bj"), Expr::var("bk"), Expr::var("bi")}),
+      makeParallelize(6, {true, false, true, false, false, false}),
+      makeReversePermute(6, {false, false, false, false, false, false},
+                         {0, 2, 1, 3, 4, 5}),
+      makeCoalesce(6, 1, 2, std::string("jic")),
+  });
+}
+
+/// Figure 1's skew+interchange, reduced to one matrix.
+inline TransformSequence figure1Sequence() {
+  return TransformSequence::of(
+             {makeUnimodular(2, UnimodularMatrix::skew(2, 0, 1, 1)),
+              makeUnimodular(2, UnimodularMatrix::interchange(2, 0, 1))})
+      .reduced();
+}
+
+} // namespace irlt::bench
+
+#endif // IRLT_BENCH_BENCHNESTS_H

@@ -1,0 +1,124 @@
+//===- bench/bench_c1_revperm_vs_unimodular.cpp - Section 4.2/5 claim ----===//
+//
+// Experiment C1 (DESIGN.md): "For cases in which ReversePermute and
+// Unimodular can achieve the same result, it is preferable to use
+// ReversePermute because a) step expressions are not normalized to +1,
+// b) index variable names are reused without creating initialization
+// statements, and c) matrix computations are avoided on dependence
+// vectors." This bench quantifies all three: dependence-mapping cost,
+// codegen cost, and the init-statement/step overhead of the generated
+// code, for the same reversal+permutation expressed both ways.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchNests.h"
+
+#include "eval/Evaluator.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace irlt;
+
+namespace {
+
+/// The same transformation both ways: reverse loop 2 and rotate the three
+/// loops (i j k) -> (j k i)... expressed as perm/rev and as a matrix.
+TemplateRef asReversePermute() {
+  return makeReversePermute(3, {false, true, false}, {2, 0, 1});
+}
+
+TemplateRef asUnimodular() {
+  // Row form: y_{perm[k]} = +-x_k.
+  UnimodularMatrix M(3);
+  M.set(2, 0, 1);  // i -> position 3
+  M.set(0, 1, -1); // j reversed -> position 1
+  M.set(1, 2, 1);  // k -> position 2
+  return makeUnimodular(3, M);
+}
+
+DepSet sampleDeps(unsigned Count) {
+  DepSet D;
+  for (unsigned I = 0; I < Count; ++I) {
+    int64_t A = 1 + static_cast<int64_t>(I % 3);
+    D.insert(DepVector({DepElem::distance(A), DepElem::distance(-1),
+                        (I % 2) ? DepElem::pos() : DepElem::zeroNeg()}));
+  }
+  return D;
+}
+
+void BM_DepMapReversePermute(benchmark::State &State) {
+  TemplateRef T = asReversePermute();
+  DepSet D = sampleDeps(static_cast<unsigned>(State.range(0)));
+  for (auto _ : State) {
+    DepSet Out = T->mapDependences(D);
+    benchmark::DoNotOptimize(Out);
+  }
+}
+BENCHMARK(BM_DepMapReversePermute)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_DepMapUnimodular(benchmark::State &State) {
+  TemplateRef T = asUnimodular();
+  DepSet D = sampleDeps(static_cast<unsigned>(State.range(0)));
+  for (auto _ : State) {
+    DepSet Out = T->mapDependences(D);
+    benchmark::DoNotOptimize(Out);
+  }
+}
+BENCHMARK(BM_DepMapUnimodular)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_CodegenReversePermute(benchmark::State &State) {
+  // Strided rectangular nest: RP handles the strides natively.
+  LoopNest N = bench::parseOrDie("do i = 1, n, 2\n  do j = 1, m, 4\n"
+                                 "    do k = 1, p\n      a(i, j, k) = 1\n"
+                                 "    enddo\n  enddo\nenddo\n");
+  TemplateRef T = asReversePermute();
+  uint64_t Inits = 0;
+  for (auto _ : State) {
+    ErrorOr<LoopNest> Out = T->apply(N);
+    Inits = Out->Inits.size();
+    benchmark::DoNotOptimize(Out);
+  }
+  State.counters["init_stmts"] = static_cast<double>(Inits);
+}
+BENCHMARK(BM_CodegenReversePermute);
+
+void BM_CodegenUnimodular(benchmark::State &State) {
+  LoopNest N = bench::parseOrDie("do i = 1, n, 2\n  do j = 1, m, 4\n"
+                                 "    do k = 1, p\n      a(i, j, k) = 1\n"
+                                 "    enddo\n  enddo\nenddo\n");
+  TemplateRef T = asUnimodular();
+  uint64_t Inits = 0;
+  for (auto _ : State) {
+    ErrorOr<LoopNest> Out = T->apply(N);
+    Inits = Out->Inits.size();
+    benchmark::DoNotOptimize(Out);
+  }
+  State.counters["init_stmts"] = static_cast<double>(Inits);
+}
+BENCHMARK(BM_CodegenUnimodular);
+
+void BM_GeneratedOverheadPerIteration(benchmark::State &State) {
+  // Execute both generated nests: the Unimodular version pays init
+  // statements and step-normalization arithmetic per body instance.
+  bool UseUnimodular = State.range(0) != 0;
+  LoopNest N = bench::parseOrDie("do i = 1, n, 2\n  do j = 1, m, 4\n"
+                                 "    do k = 1, p\n      a(i, j, k) = 1\n"
+                                 "    enddo\n  enddo\nenddo\n");
+  TemplateRef T = UseUnimodular ? asUnimodular() : asReversePermute();
+  ErrorOr<LoopNest> Out = T->apply(N);
+  assert(Out);
+  EvalConfig C;
+  C.Params = {{"n", 40}, {"m", 40}, {"p", 20}};
+  for (auto _ : State) {
+    ArrayStore S;
+    EvalResult R = evaluate(*Out, C, S);
+    benchmark::DoNotOptimize(R);
+  }
+  State.SetLabel(UseUnimodular ? "unimodular" : "reversepermute");
+}
+BENCHMARK(BM_GeneratedOverheadPerIteration)->Arg(0)->Arg(1)->Unit(
+    benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

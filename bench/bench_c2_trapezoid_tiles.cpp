@@ -1,0 +1,122 @@
+//===- bench/bench_c2_trapezoid_tiles.cpp - Trapezoid blocking claim -----===//
+//
+// Experiment C2 (DESIGN.md): "Generation of efficient code when blocking
+// trapezoidal loops" (Section 6). On the triangular nest, the framework's
+// Block template (Table 4's xmin/xmax bounds) visits only tiles with
+// work; the Wolf-Lam-style rectangular bounding-box baseline walks ~2x
+// the tiles on a triangle. Reported counters: tiles entered, tiles with
+// work, and the tile overhead ratio, swept over problem size and block
+// size.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchNests.h"
+
+#include "baseline/RectangularTile.h"
+#include "eval/Evaluator.h"
+
+#include <benchmark/benchmark.h>
+
+#include <set>
+
+using namespace irlt;
+
+namespace {
+
+struct TileCounts {
+  uint64_t Entered;
+  uint64_t WithWork;
+};
+
+TileCounts countTiles(const LoopNest &Transformed, int64_t Size) {
+  EvalConfig C;
+  C.Params["n"] = Size;
+  ArrayStore S;
+  EvalResult R = evaluate(Transformed, C, S);
+  std::set<std::pair<int64_t, int64_t>> Blocks;
+  for (const std::vector<int64_t> &T : R.LoopTuples)
+    Blocks.insert({T[0], T[1]});
+  return TileCounts{R.LevelCounts[1], static_cast<uint64_t>(Blocks.size())};
+}
+
+void BM_FrameworkBlockTiles(benchmark::State &State) {
+  int64_t Size = State.range(0);
+  int64_t B = State.range(1);
+  LoopNest N = bench::triangularNest();
+  ErrorOr<LoopNest> Out = applySequence(
+      TransformSequence::of(
+          {makeBlock(2, 1, 2, {Expr::intConst(B), Expr::intConst(B)})}),
+      N);
+  assert(Out);
+  TileCounts T{0, 0};
+  for (auto _ : State)
+    T = countTiles(*Out, Size);
+  State.counters["tiles_entered"] = static_cast<double>(T.Entered);
+  State.counters["tiles_with_work"] = static_cast<double>(T.WithWork);
+  State.counters["overhead_ratio"] =
+      static_cast<double>(T.Entered) / static_cast<double>(T.WithWork);
+}
+BENCHMARK(BM_FrameworkBlockTiles)
+    ->Args({64, 8})
+    ->Args({128, 8})
+    ->Args({128, 16})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BoundingBoxTiles(benchmark::State &State) {
+  int64_t Size = State.range(0);
+  int64_t B = State.range(1);
+  LoopNest N = bench::triangularNest();
+  ErrorOr<LoopNest> Out = applySequence(
+      TransformSequence::of({makeRectangularTile(
+          2, 1, 2, {Expr::intConst(B), Expr::intConst(B)},
+          {Expr::intConst(1), Expr::intConst(1)},
+          {Expr::var("n"), Expr::var("n")})}),
+      N);
+  assert(Out);
+  TileCounts T{0, 0};
+  for (auto _ : State)
+    T = countTiles(*Out, Size);
+  State.counters["tiles_entered"] = static_cast<double>(T.Entered);
+  State.counters["tiles_with_work"] = static_cast<double>(T.WithWork);
+  State.counters["overhead_ratio"] =
+      static_cast<double>(T.Entered) / static_cast<double>(T.WithWork);
+}
+BENCHMARK(BM_BoundingBoxTiles)
+    ->Args({64, 8})
+    ->Args({128, 8})
+    ->Args({128, 16})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TileSweepBlockSize(benchmark::State &State) {
+  // Overhead ratio of the baseline as block size grows (the paper's
+  // "many tiles with no work" worsens for small blocks).
+  int64_t B = State.range(0);
+  int64_t Size = 96;
+  LoopNest N = bench::triangularNest();
+  ErrorOr<LoopNest> Ours = applySequence(
+      TransformSequence::of(
+          {makeBlock(2, 1, 2, {Expr::intConst(B), Expr::intConst(B)})}),
+      N);
+  ErrorOr<LoopNest> Box = applySequence(
+      TransformSequence::of({makeRectangularTile(
+          2, 1, 2, {Expr::intConst(B), Expr::intConst(B)},
+          {Expr::intConst(1), Expr::intConst(1)},
+          {Expr::var("n"), Expr::var("n")})}),
+      N);
+  assert(Ours && Box);
+  TileCounts TO{0, 0}, TB{0, 0};
+  for (auto _ : State) {
+    TO = countTiles(*Ours, Size);
+    TB = countTiles(*Box, Size);
+  }
+  State.counters["ours_entered"] = static_cast<double>(TO.Entered);
+  State.counters["box_entered"] = static_cast<double>(TB.Entered);
+  State.counters["saved_tiles"] =
+      static_cast<double>(TB.Entered - TO.Entered);
+}
+BENCHMARK(BM_TileSweepBlockSize)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Unit(
+    benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+//===- bench/bench_c3_composition.cpp - Composition & reduction cost -----===//
+//
+// Experiment C3 (DESIGN.md): sequences compose by concatenation (Section
+// 2) and reduce() fuses compatible neighbors into single instantiations.
+// Measures concatenation cost, reduction cost, and the payoff: mapping a
+// dependence set through a k-long unimodular chain vs its 1-long
+// reduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchNests.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace irlt;
+
+namespace {
+
+TransformSequence unimodularChain(unsigned Len) {
+  TransformSequence S;
+  for (unsigned I = 0; I < Len; ++I) {
+    switch (I % 3) {
+    case 0:
+      S.append(makeUnimodular(3, UnimodularMatrix::skew(3, 0, 2, 1)));
+      break;
+    case 1:
+      S.append(makeUnimodular(3, UnimodularMatrix::interchange(3, 0, 1)));
+      break;
+    default:
+      S.append(makeUnimodular(3, UnimodularMatrix::reversal(3, 2)));
+      break;
+    }
+  }
+  return S;
+}
+
+void BM_Concatenate(benchmark::State &State) {
+  TransformSequence A = unimodularChain(static_cast<unsigned>(State.range(0)));
+  for (auto _ : State) {
+    TransformSequence C = A.composedWith(A);
+    benchmark::DoNotOptimize(C);
+  }
+}
+BENCHMARK(BM_Concatenate)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_Reduce(benchmark::State &State) {
+  TransformSequence A = unimodularChain(static_cast<unsigned>(State.range(0)));
+  for (auto _ : State) {
+    TransformSequence R = A.reduced();
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_Reduce)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_MapThroughChain(benchmark::State &State) {
+  unsigned Len = static_cast<unsigned>(State.range(0));
+  bool Reduced = State.range(1) != 0;
+  TransformSequence S = unimodularChain(Len);
+  if (Reduced)
+    S = S.reduced();
+  DepSet D;
+  for (int I = 1; I <= 16; ++I)
+    D.insert(DepVector::distances({I % 4, (I * 3) % 5, 1 + I % 2}));
+  for (auto _ : State) {
+    DepSet Out = mapDependences(S, D);
+    benchmark::DoNotOptimize(Out);
+  }
+  State.counters["stages"] = static_cast<double>(S.size());
+}
+BENCHMARK(BM_MapThroughChain)
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Args({64, 0})
+    ->Args({64, 1});
+
+void BM_CodegenThroughChain(benchmark::State &State) {
+  unsigned Len = static_cast<unsigned>(State.range(0));
+  bool Reduced = State.range(1) != 0;
+  TransformSequence S = unimodularChain(Len);
+  if (Reduced)
+    S = S.reduced();
+  LoopNest N = bench::deepNest(3);
+  for (auto _ : State) {
+    ErrorOr<LoopNest> Out = applySequence(S, N);
+    benchmark::DoNotOptimize(Out);
+  }
+  State.counters["stages"] = static_cast<double>(S.size());
+}
+BENCHMARK(BM_CodegenThroughChain)->Args({8, 0})->Args({8, 1});
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+//===- bench/bench_c4_fanout.cpp - Matrix non-representability -----------===//
+//
+// Experiment C4 (DESIGN.md): "the Block and Interleave transformations
+// may map d in D into as many as 2^(j-i+1) dependence vectors in D' (this
+// is one reason why they cannot be represented by a matrix)" (Section 3.2).
+// Measures the dependence-set growth under repeated Block/Interleave and
+// contrasts it with the always-1:1 matrix-based templates.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchNests.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace irlt;
+
+namespace {
+
+DepSet denseDeps(unsigned N, unsigned Count) {
+  DepSet D;
+  for (unsigned I = 0; I < Count; ++I) {
+    std::vector<DepElem> Elems;
+    Elems.push_back(DepElem::distance(1 + static_cast<int64_t>(I % 3)));
+    for (unsigned K = 1; K < N; ++K)
+      Elems.push_back(DepElem::distance(2 + static_cast<int64_t>((I + K) % 3)));
+    D.insert(DepVector(std::move(Elems)));
+  }
+  return D;
+}
+
+void BM_FanOutBlock(benchmark::State &State) {
+  unsigned Depth = static_cast<unsigned>(State.range(0));
+  std::vector<ExprRef> Bs(Depth, Expr::intConst(8));
+  TemplateRef T = makeBlock(Depth, 1, Depth, Bs);
+  DepSet D = denseDeps(Depth, 8);
+  uint64_t Out = 0;
+  for (auto _ : State) {
+    DepSet M = T->mapDependences(D);
+    Out = M.size();
+    benchmark::DoNotOptimize(M);
+  }
+  State.counters["in"] = 8;
+  State.counters["out"] = static_cast<double>(Out);
+  State.counters["fanout_bound"] = static_cast<double>(1u << Depth);
+}
+BENCHMARK(BM_FanOutBlock)->Arg(1)->Arg(2)->Arg(3)->Arg(4)->Arg(5)->Arg(6);
+
+void BM_FanOutInterleave(benchmark::State &State) {
+  unsigned Depth = static_cast<unsigned>(State.range(0));
+  std::vector<ExprRef> Is(Depth, Expr::intConst(4));
+  TemplateRef T = makeInterleave(Depth, 1, Depth, Is);
+  DepSet D = denseDeps(Depth, 8);
+  uint64_t Out = 0;
+  for (auto _ : State) {
+    DepSet M = T->mapDependences(D);
+    Out = M.size();
+    benchmark::DoNotOptimize(M);
+  }
+  State.counters["out"] = static_cast<double>(Out);
+}
+BENCHMARK(BM_FanOutInterleave)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_FanOutMatrixTemplatesStayOneToOne(benchmark::State &State) {
+  unsigned Depth = 4;
+  UnimodularMatrix M = UnimodularMatrix::skew(Depth, 0, 3, 1) *
+                       UnimodularMatrix::interchange(Depth, 1, 2);
+  TemplateRef T = makeUnimodular(Depth, M);
+  DepSet D = denseDeps(Depth, 8);
+  uint64_t Out = 0;
+  for (auto _ : State) {
+    DepSet Mp = T->mapDependences(D);
+    Out = Mp.size();
+    benchmark::DoNotOptimize(Mp);
+  }
+  State.counters["out"] = static_cast<double>(Out); // == in (1:1)
+}
+BENCHMARK(BM_FanOutMatrixTemplatesStayOneToOne);
+
+void BM_RepeatedBlockingGrowth(benchmark::State &State) {
+  // Two levels of blocking (hierarchical tiling): the fan-outs compose.
+  DepSet D = denseDeps(2, 4);
+  TemplateRef T1 =
+      makeBlock(2, 1, 2, {Expr::intConst(64), Expr::intConst(64)});
+  TemplateRef T2 = makeBlock(4, 3, 4, {Expr::intConst(8), Expr::intConst(8)});
+  uint64_t Out = 0;
+  for (auto _ : State) {
+    DepSet M = T2->mapDependences(T1->mapDependences(D));
+    Out = M.size();
+    benchmark::DoNotOptimize(M);
+  }
+  State.counters["out"] = static_cast<double>(Out);
+}
+BENCHMARK(BM_RepeatedBlockingGrowth);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+//===- bench/bench_table1_templates.cpp - Table 1 instantiation cost -----===//
+//
+// Experiment T1 (DESIGN.md): the kernel template set of Table 1.
+// Measures the cost of instantiating each template and of building
+// sequences from them - the operations an optimizer's search loop
+// performs per candidate transformation, which the paper argues must be
+// cheap because templates are independent of loop nests ("transformations
+// may be created, instantiated, composed, and destroyed, without being
+// tied to a particular loop nest", Section 5).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchNests.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace irlt;
+
+static void BM_InstantiateUnimodular(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    TemplateRef T = makeUnimodular(N, UnimodularMatrix::skew(N, 0, N - 1, 2));
+    benchmark::DoNotOptimize(T);
+  }
+}
+BENCHMARK(BM_InstantiateUnimodular)->Arg(2)->Arg(4)->Arg(6);
+
+static void BM_InstantiateReversePermute(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  std::vector<unsigned> Perm(N);
+  for (unsigned K = 0; K < N; ++K)
+    Perm[K] = (K + 1) % N;
+  std::vector<bool> Rev(N, false);
+  Rev[0] = true;
+  for (auto _ : State) {
+    TemplateRef T = makeReversePermute(N, Rev, Perm);
+    benchmark::DoNotOptimize(T);
+  }
+}
+BENCHMARK(BM_InstantiateReversePermute)->Arg(2)->Arg(4)->Arg(6);
+
+static void BM_InstantiateBlock(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  std::vector<ExprRef> Bs(N, Expr::intConst(16));
+  for (auto _ : State) {
+    TemplateRef T = makeBlock(N, 1, N, Bs);
+    benchmark::DoNotOptimize(T);
+  }
+}
+BENCHMARK(BM_InstantiateBlock)->Arg(2)->Arg(4)->Arg(6);
+
+static void BM_BuildFigure7Sequence(benchmark::State &State) {
+  for (auto _ : State) {
+    TransformSequence S = bench::figure7Sequence();
+    benchmark::DoNotOptimize(S);
+  }
+}
+BENCHMARK(BM_BuildFigure7Sequence);
+
+static void BM_SequenceConcatenation(benchmark::State &State) {
+  TransformSequence A = bench::figure7Sequence();
+  TransformSequence B = bench::figure7Sequence();
+  for (auto _ : State) {
+    TransformSequence C = A.composedWith(B);
+    benchmark::DoNotOptimize(C);
+  }
+}
+BENCHMARK(BM_SequenceConcatenation);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+//===- bench/bench_table2_depmap.cpp - Table 2 mapping throughput --------===//
+//
+// Experiment T2 (DESIGN.md): dependence-vector mapping rules of Table 2.
+// Measures the per-template cost of mapping dependence sets of varying
+// size through each rule - the inner operation of the uniform legality
+// test. Block/Interleave are expected to be the slow (fan-out) rules;
+// ReversePermute the cheap one (the Section 4.2/5 cost claim, quantified
+// against Unimodular by bench_c1).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchNests.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace irlt;
+
+namespace {
+
+/// A mixed dependence set with the requested number of vectors.
+DepSet mixedDeps(unsigned N, unsigned Count) {
+  DepSet D;
+  for (unsigned I = 0; I < Count; ++I) {
+    std::vector<DepElem> Elems;
+    for (unsigned K = 0; K < N; ++K) {
+      switch ((I + K) % 5) {
+      case 0:
+        Elems.push_back(DepElem::distance(static_cast<int64_t>(I % 3)));
+        break;
+      case 1:
+        Elems.push_back(DepElem::pos());
+        break;
+      case 2:
+        Elems.push_back(DepElem::zero());
+        break;
+      case 3:
+        Elems.push_back(DepElem::zeroPos());
+        break;
+      default:
+        Elems.push_back(DepElem::distance(1));
+        break;
+      }
+    }
+    // Keep the set lexicographically non-negative: prepend a positive head.
+    Elems[0] = DepElem::distance(static_cast<int64_t>(1 + I % 4));
+    D.insert(DepVector(std::move(Elems)));
+  }
+  return D;
+}
+
+void runMapping(benchmark::State &State, const TemplateRef &T, unsigned N) {
+  DepSet D = mixedDeps(N, static_cast<unsigned>(State.range(0)));
+  uint64_t OutVectors = 0;
+  for (auto _ : State) {
+    DepSet Out = T->mapDependences(D);
+    OutVectors = Out.size();
+    benchmark::DoNotOptimize(Out);
+  }
+  State.counters["in_vectors"] = static_cast<double>(D.size());
+  State.counters["out_vectors"] = static_cast<double>(OutVectors);
+}
+
+void BM_MapReversePermute(benchmark::State &State) {
+  runMapping(State, makeReversePermute(4, {true, false, true, false},
+                                       {3, 1, 0, 2}),
+             4);
+}
+BENCHMARK(BM_MapReversePermute)->Arg(4)->Arg(32)->Arg(256);
+
+void BM_MapUnimodular(benchmark::State &State) {
+  UnimodularMatrix M = UnimodularMatrix::skew(4, 0, 3, 2) *
+                       UnimodularMatrix::interchange(4, 1, 2);
+  runMapping(State, makeUnimodular(4, M), 4);
+}
+BENCHMARK(BM_MapUnimodular)->Arg(4)->Arg(32)->Arg(256);
+
+void BM_MapParallelize(benchmark::State &State) {
+  runMapping(State, makeParallelize(4, {true, false, true, false}), 4);
+}
+BENCHMARK(BM_MapParallelize)->Arg(4)->Arg(32)->Arg(256);
+
+void BM_MapBlockFanOut(benchmark::State &State) {
+  std::vector<ExprRef> Bs(4, Expr::intConst(8));
+  runMapping(State, makeBlock(4, 1, 4, Bs), 4);
+}
+BENCHMARK(BM_MapBlockFanOut)->Arg(4)->Arg(32)->Arg(256);
+
+void BM_MapInterleaveFanOut(benchmark::State &State) {
+  std::vector<ExprRef> Is(4, Expr::intConst(4));
+  runMapping(State, makeInterleave(4, 1, 4, Is), 4);
+}
+BENCHMARK(BM_MapInterleaveFanOut)->Arg(4)->Arg(32)->Arg(256);
+
+void BM_MapCoalesce(benchmark::State &State) {
+  runMapping(State, makeCoalesce(4, 1, 4), 4);
+}
+BENCHMARK(BM_MapCoalesce)->Arg(4)->Arg(32)->Arg(256);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+//===- bench/bench_table3_bounds.cpp - Table 3 bounds mapping cost -------===//
+//
+// Experiment T3 (DESIGN.md): loop-bounds mapping rules of Table 3
+// (Unimodular / ReversePermute / Parallelize / Coalesce / Interleave).
+// Measures precondition checking and code generation (bounds mapping +
+// init-statement creation) per template on the paper's nests.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchNests.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace irlt;
+
+namespace {
+
+void runPrecheck(benchmark::State &State, const LoopNest &N,
+                 const TemplateRef &T) {
+  for (auto _ : State) {
+    std::string E = T->checkPreconditions(N);
+    benchmark::DoNotOptimize(E);
+  }
+}
+
+void runApply(benchmark::State &State, const LoopNest &N,
+              const TemplateRef &T) {
+  for (auto _ : State) {
+    ErrorOr<LoopNest> Out = T->apply(N);
+    benchmark::DoNotOptimize(Out);
+  }
+}
+
+void BM_PrecheckUnimodular(benchmark::State &State) {
+  LoopNest N = bench::stencilNest();
+  runPrecheck(State, N, makeUnimodular(2, UnimodularMatrix(2, {1, 1, 1, 0})));
+}
+BENCHMARK(BM_PrecheckUnimodular);
+
+void BM_ApplyUnimodularFig1(benchmark::State &State) {
+  LoopNest N = bench::stencilNest();
+  runApply(State, N, makeUnimodular(2, UnimodularMatrix(2, {1, 1, 1, 0})));
+}
+BENCHMARK(BM_ApplyUnimodularFig1);
+
+void BM_PrecheckReversePermute(benchmark::State &State) {
+  LoopNest N = bench::matmulNest();
+  runPrecheck(State, N,
+              makeReversePermute(3, {false, false, false}, {2, 0, 1}));
+}
+BENCHMARK(BM_PrecheckReversePermute);
+
+void BM_ApplyReversePermute(benchmark::State &State) {
+  LoopNest N = bench::matmulNest();
+  runApply(State, N, makeReversePermute(3, {false, false, false}, {2, 0, 1}));
+}
+BENCHMARK(BM_ApplyReversePermute);
+
+void BM_ApplyParallelize(benchmark::State &State) {
+  LoopNest N = bench::matmulNest();
+  runApply(State, N, makeParallelize(3, {true, false, false}));
+}
+BENCHMARK(BM_ApplyParallelize);
+
+void BM_ApplyCoalesce(benchmark::State &State) {
+  LoopNest N = bench::matmulNest();
+  runApply(State, N, makeCoalesce(3, 1, 2));
+}
+BENCHMARK(BM_ApplyCoalesce);
+
+void BM_ApplyInterleave(benchmark::State &State) {
+  LoopNest N = bench::matmulNest();
+  runApply(State, N,
+           makeInterleave(3, 1, 2, {Expr::var("f1"), Expr::var("f2")}));
+}
+BENCHMARK(BM_ApplyInterleave);
+
+void BM_ApplyDeepUnimodular(benchmark::State &State) {
+  unsigned Depth = static_cast<unsigned>(State.range(0));
+  LoopNest N = bench::deepNest(Depth);
+  UnimodularMatrix M = UnimodularMatrix::identity(Depth);
+  for (unsigned K = 0; K + 1 < Depth; ++K)
+    M = UnimodularMatrix::skew(Depth, K, K + 1, 1) * M;
+  runApply(State, N, makeUnimodular(Depth, M));
+}
+BENCHMARK(BM_ApplyDeepUnimodular)->Arg(2)->Arg(3)->Arg(4)->Arg(5);
+
+} // namespace
+
+BENCHMARK_MAIN();

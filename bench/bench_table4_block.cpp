@@ -1,0 +1,73 @@
+//===- bench/bench_table4_block.cpp - Table 4 Block mapping cost ---------===//
+//
+// Experiment T4 (DESIGN.md): the Block bounds-mapping rule of Table 4
+// (xmin/xmax substitution, element-loop clamping). Measures precondition
+// checking and code generation on rectangular and trapezoidal nests of
+// growing depth, plus the dependence fan-out cost.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchNests.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace irlt;
+
+namespace {
+
+void BM_BlockApplyRectangular(benchmark::State &State) {
+  unsigned Depth = static_cast<unsigned>(State.range(0));
+  LoopNest N = bench::deepNest(Depth);
+  std::vector<ExprRef> Bs(Depth, Expr::intConst(16));
+  TemplateRef T = makeBlock(Depth, 1, Depth, Bs);
+  for (auto _ : State) {
+    ErrorOr<LoopNest> Out = T->apply(N);
+    benchmark::DoNotOptimize(Out);
+  }
+}
+BENCHMARK(BM_BlockApplyRectangular)->Arg(2)->Arg(3)->Arg(4)->Arg(5);
+
+void BM_BlockApplyTrapezoid(benchmark::State &State) {
+  LoopNest N = bench::triangularNest();
+  TemplateRef T =
+      makeBlock(2, 1, 2, {Expr::var("b1"), Expr::var("b2")});
+  for (auto _ : State) {
+    ErrorOr<LoopNest> Out = T->apply(N);
+    benchmark::DoNotOptimize(Out);
+  }
+}
+BENCHMARK(BM_BlockApplyTrapezoid);
+
+void BM_BlockPrecheck(benchmark::State &State) {
+  unsigned Depth = static_cast<unsigned>(State.range(0));
+  LoopNest N = bench::deepNest(Depth);
+  std::vector<ExprRef> Bs(Depth, Expr::intConst(16));
+  TemplateRef T = makeBlock(Depth, 1, Depth, Bs);
+  for (auto _ : State) {
+    std::string E = T->checkPreconditions(N);
+    benchmark::DoNotOptimize(E);
+  }
+}
+BENCHMARK(BM_BlockPrecheck)->Arg(2)->Arg(4);
+
+void BM_BlockDepFanOut(benchmark::State &State) {
+  // Worst case: every blocked entry splits -> 2^depth output vectors.
+  unsigned Depth = static_cast<unsigned>(State.range(0));
+  std::vector<ExprRef> Bs(Depth, Expr::intConst(16));
+  TemplateRef T = makeBlock(Depth, 1, Depth, Bs);
+  std::vector<DepElem> Elems(Depth, DepElem::distance(2));
+  DepSet D;
+  D.insert(DepVector(Elems));
+  uint64_t Out = 0;
+  for (auto _ : State) {
+    DepSet M = T->mapDependences(D);
+    Out = M.size();
+    benchmark::DoNotOptimize(M);
+  }
+  State.counters["fanout"] = static_cast<double>(Out);
+}
+BENCHMARK(BM_BlockDepFanOut)->Arg(2)->Arg(3)->Arg(4)->Arg(5)->Arg(6);
+
+} // namespace
+
+BENCHMARK_MAIN();

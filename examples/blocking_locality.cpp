@@ -1,0 +1,123 @@
+//===- examples/blocking_locality.cpp - Block for cache locality ---------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+// The data-locality motivation of the Block template, measured: tile the
+// matrix-multiply nest at several block sizes, run the generated nests
+// through the evaluator, and replay their memory traces through the
+// cache simulator. Also demonstrates the trapezoid claim (Section 6):
+// blocking a triangular nest visits only tiles with work, while the
+// bounding-box baseline walks empty tiles.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/RectangularTile.h"
+#include "cachesim/Cache.h"
+#include "dependence/DepAnalysis.h"
+#include "ir/Parser.h"
+#include "transform/Sequence.h"
+#include "transform/Templates.h"
+
+#include <cstdio>
+#include <set>
+
+using namespace irlt;
+
+namespace {
+
+double matmulMissRatio(const LoopNest &Nest, int64_t N, int64_t B) {
+  EvalConfig C;
+  C.Params = {{"n", N}, {"b", B}};
+  C.RecordAccesses = true;
+  ArrayStore S;
+  EvalResult R = evaluate(Nest, C, S);
+  ArrayLayout L;
+  L.declare("A", {1, 1}, {N, N});
+  L.declare("B", {1, 1}, {N, N});
+  L.declare("C", {1, 1}, {N, N});
+  return replayTrace(R.Accesses, L, CacheConfig{8 * 1024, 64, 4});
+}
+
+} // namespace
+
+int main() {
+  ErrorOr<LoopNest> MM = parseLoopNest("arrays B, C\n"
+                                       "do i = 1, n\n"
+                                       "  do j = 1, n\n"
+                                       "    do k = 1, n\n"
+                                       "      A(i, j) += B(i, k) * C(k, j)\n"
+                                       "    enddo\n"
+                                       "  enddo\n"
+                                       "enddo\n");
+  if (!MM) {
+    std::fprintf(stderr, "parse error: %s\n", MM.message().c_str());
+    return 1;
+  }
+  DepSet D = analyzeDependences(*MM);
+
+  const int64_t N = 32;
+  std::printf("matmul n=%lld, 8KiB 4-way cache, 64B lines\n",
+              static_cast<long long>(N));
+  std::printf("  naive     : miss ratio %.4f\n", matmulMissRatio(*MM, N, 0));
+
+  for (int64_t B : {4, 8, 16}) {
+    ExprRef Bs = Expr::var("b");
+    TransformSequence Seq =
+        TransformSequence::of({makeBlock(3, 1, 3, {Bs, Bs, Bs})});
+    LegalityResult L = isLegal(Seq, *MM, D);
+    if (!L.Legal) {
+      std::fprintf(stderr, "blocking unexpectedly illegal: %s\n",
+                   L.Reason.c_str());
+      return 1;
+    }
+    ErrorOr<LoopNest> Blocked = applySequence(Seq, *MM);
+    if (!Blocked) {
+      std::fprintf(stderr, "codegen: %s\n", Blocked.message().c_str());
+      return 1;
+    }
+    std::printf("  blocked %2lld: miss ratio %.4f\n",
+                static_cast<long long>(B), matmulMissRatio(*Blocked, N, B));
+  }
+
+  // Trapezoid tiling comparison.
+  ErrorOr<LoopNest> Tri = parseLoopNest("do i = 1, n\n"
+                                        "  do j = 1, i\n"
+                                        "    a(i, j) = a(i, j) + 1\n"
+                                        "  enddo\n"
+                                        "enddo\n");
+  if (!Tri)
+    return 1;
+  auto countTiles = [](const LoopNest &T, int64_t Size) {
+    EvalConfig C;
+    C.Params["n"] = Size;
+    ArrayStore S;
+    EvalResult R = evaluate(T, C, S);
+    std::set<std::pair<int64_t, int64_t>> Work;
+    for (const std::vector<int64_t> &LT : R.LoopTuples)
+      Work.insert({LT[0], LT[1]});
+    return std::pair<uint64_t, uint64_t>(R.LevelCounts[1], Work.size());
+  };
+
+  ExprRef B8 = Expr::intConst(8);
+  ErrorOr<LoopNest> Ours = applySequence(
+      TransformSequence::of({makeBlock(2, 1, 2, {B8, B8})}), *Tri);
+  ErrorOr<LoopNest> Box = applySequence(
+      TransformSequence::of({makeRectangularTile(
+          2, 1, 2, {B8, B8}, {Expr::intConst(1), Expr::intConst(1)},
+          {Expr::var("n"), Expr::var("n")})}),
+      *Tri);
+  if (!Ours || !Box)
+    return 1;
+  auto [OursEntered, OursWork] = countTiles(*Ours, 64);
+  auto [BoxEntered, BoxWork] = countTiles(*Box, 64);
+  std::printf("\ntriangular n=64, 8x8 tiles:\n");
+  std::printf("  framework Block : %llu tiles entered, %llu with work\n",
+              static_cast<unsigned long long>(OursEntered),
+              static_cast<unsigned long long>(OursWork));
+  std::printf("  bounding box    : %llu tiles entered, %llu with work\n",
+              static_cast<unsigned long long>(BoxEntered),
+              static_cast<unsigned long long>(BoxWork));
+  std::printf("  empty tiles avoided: %llu\n",
+              static_cast<unsigned long long>(BoxEntered - OursEntered));
+  return 0;
+}

@@ -1,0 +1,99 @@
+//===- examples/quickstart.cpp - IRLT in five minutes --------------------===//
+//
+// Part of the IRLT project: a reproduction of Sarkar & Thekkath,
+// "A General Framework for Iteration-Reordering Loop Transformations"
+// (PLDI 1992).
+//
+// The end-to-end workflow on the paper's Figure 1 example:
+//   1. parse a loop nest,
+//   2. analyze its dependences,
+//   3. build a transformation as a sequence of kernel templates,
+//   4. test legality (without touching the nest),
+//   5. generate the transformed code,
+//   6. execute both versions and check they agree.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dependence/DepAnalysis.h"
+#include "eval/Verify.h"
+#include "ir/Parser.h"
+#include "transform/Sequence.h"
+#include "transform/Templates.h"
+
+#include <cstdio>
+
+using namespace irlt;
+
+int main() {
+  // 1. Parse the 5-point stencil of Figure 1(a).
+  const char *Source =
+      "do i = 2, n - 1\n"
+      "  do j = 2, n - 1\n"
+      "    a(i, j) = (a(i, j) + a(i - 1, j) + a(i, j - 1) + a(i + 1, j) + "
+      "a(i, j + 1)) / 5\n"
+      "  enddo\n"
+      "enddo\n";
+  ErrorOr<LoopNest> NestOr = parseLoopNest(Source);
+  if (!NestOr) {
+    std::fprintf(stderr, "parse error: %s\n", NestOr.message().c_str());
+    return 1;
+  }
+  LoopNest Nest = NestOr.take();
+  std::printf("== Original nest (Figure 1a) ==\n%s\n", Nest.str().c_str());
+
+  // 2. Dependence analysis.
+  DepSet D = analyzeDependences(Nest);
+  std::printf("dependence vectors: %s\n\n", D.str().c_str());
+
+  // 3. The transformation: skew j by i, then interchange - two Unimodular
+  //    template instantiations that reduce() fuses into one matrix.
+  TransformSequence Seq = TransformSequence::of(
+      {makeUnimodular(2, UnimodularMatrix::skew(2, 0, 1, 1)),
+       makeUnimodular(2, UnimodularMatrix::interchange(2, 0, 1))});
+  TransformSequence Reduced = Seq.reduced();
+  std::printf("transformation:  %s\nreduces to:      %s\n\n",
+              Seq.str().c_str(), Reduced.str().c_str());
+
+  // 4. The uniform legality test: dependence part + bounds preconditions.
+  LegalityResult L = isLegal(Reduced, Nest, D);
+  std::printf("legal? %s   (mapped dependences: %s)\n\n",
+              L.Legal ? "yes" : "no", L.FinalDeps.str().c_str());
+  if (!L.Legal) {
+    std::fprintf(stderr, "unexpectedly illegal: %s\n", L.Reason.c_str());
+    return 1;
+  }
+
+  // 5. Code generation: new bounds + initialization statements.
+  ErrorOr<LoopNest> Out = applySequence(Reduced, Nest);
+  if (!Out) {
+    std::fprintf(stderr, "codegen error: %s\n", Out.message().c_str());
+    return 1;
+  }
+  std::printf("== Transformed nest (Figure 1b) ==\n%s\n", Out->str().c_str());
+
+  // 6. Execute both on n = 12 and verify: same instances, dependence
+  //    order preserved, same final array contents.
+  EvalConfig Config;
+  Config.Params["n"] = 12;
+  VerifyResult V = verifyTransformed(Nest, *Out, Config);
+  std::printf("verification: %s\n", V.Ok ? "equivalent" : V.Problem.c_str());
+
+  // Bonus: the skewed inner loop carries no dependence - parallelize it.
+  TransformSequence Par = Reduced.composedWith(
+      TransformSequence::of({makeParallelize(2, {false, true})}));
+  LegalityResult LP = isLegal(Par, Nest, D);
+  std::printf("inner-loop parallelization legal? %s\n",
+              LP.Legal ? "yes" : "no");
+  ErrorOr<LoopNest> ParOut = applySequence(Par, Nest);
+  if (ParOut) {
+    ArrayStore S;
+    EvalResult R = evaluate(*ParOut, Config, S);
+    ParallelismStats P = parallelismStats(*ParOut, R);
+    std::printf("wavefront parallelism at n=12: avg %.2f, max %llu over "
+                "%llu sequential steps\n",
+                P.AvgParallelism,
+                static_cast<unsigned long long>(P.MaxParallelism),
+                static_cast<unsigned long long>(P.SequentialSteps));
+  }
+  return V.Ok && LP.Legal ? 0 : 1;
+}

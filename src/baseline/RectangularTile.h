@@ -1,0 +1,70 @@
+//===- baseline/RectangularTile.h - Wolf-Lam-style bounding-box tiling ---===//
+//
+// Part of the IRLT project: a reproduction of Sarkar & Thekkath,
+// "A General Framework for Iteration-Reordering Loop Transformations"
+// (PLDI 1992). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The baseline comparator for the paper's trapezoidal-blocking claim
+/// (Sections 4.2 and 6): Wolf & Lam's tiling [14] "creates a rectangular
+/// boundary around a trapezoidal iteration space, and hence may create
+/// many tiles with no work". This template tiles loops i..j against a
+/// caller-supplied invariant bounding box instead of the paper's
+/// xmin/xmax substitution; everything else (element-loop clamping, loop
+/// order, dependence fan-out) matches the Block template.
+///
+/// It doubles as the demonstration of the kernel set's *extensibility*
+/// (Section 2: "a small but extensible kernel set"): a new template slots
+/// into the same uniform legality test and code generator by subclassing
+/// TransformTemplate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRLT_BASELINE_RECTANGULARTILE_H
+#define IRLT_BASELINE_RECTANGULARTILE_H
+
+#include "transform/Template.h"
+
+#include <vector>
+
+namespace irlt {
+
+/// RectangularTile(n, i, j, bsize, boxLo, boxHi): tiles loops i..j
+/// (1-based, inclusive) using the invariant bounding box [boxLo, boxHi]
+/// per blocked loop for the *block* loops; element loops still clamp to
+/// the true bounds, so the result is semantically equivalent to Block -
+/// it just walks (possibly many) empty tiles.
+class RectangularTileTemplate : public TransformTemplate {
+public:
+  RectangularTileTemplate(unsigned N, unsigned I, unsigned J,
+                          std::vector<ExprRef> BSize,
+                          std::vector<ExprRef> BoxLo,
+                          std::vector<ExprRef> BoxHi);
+
+  std::string name() const override { return "RectangularTile"; }
+  std::string paramStr() const override;
+  unsigned inputSize() const override { return N; }
+  unsigned outputSize() const override { return N + (J - I + 1); }
+  DepSet mapDependences(const DepSet &D) const override;
+  std::string checkPreconditions(const LoopNest &Nest) const override;
+  ErrorOr<LoopNest> apply(const LoopNest &Nest) const override;
+
+  static bool classof(const TransformTemplate *T) {
+    return T->kind() == Kind::Custom;
+  }
+
+private:
+  unsigned N, I, J;
+  std::vector<ExprRef> BSize, BoxLo, BoxHi;
+};
+
+TemplateRef makeRectangularTile(unsigned N, unsigned I, unsigned J,
+                                std::vector<ExprRef> BSize,
+                                std::vector<ExprRef> BoxLo,
+                                std::vector<ExprRef> BoxHi);
+
+} // namespace irlt
+
+#endif // IRLT_BASELINE_RECTANGULARTILE_H

@@ -1,0 +1,173 @@
+//===- bounds/BoundsMatrices.cpp - LB/UB/STEP coefficient matrices -------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bounds/BoundsMatrices.h"
+
+#include "support/Casting.h"
+#include "support/Printing.h"
+
+#include <cassert>
+
+using namespace irlt;
+
+BoundIneq irlt::decomposeBound(const LinExpr &L, const LoopNest &Nest) {
+  BoundIneq Out;
+  Out.Coef.assign(Nest.numLoops(), 0);
+  LinExpr Invariant;
+  Invariant.addConst(L.constant());
+  for (const auto &[Key, T] : L.terms()) {
+    if (const auto *V = dyn_cast<VarExpr>(T.Atom.get())) {
+      int Pos = Nest.loopIndexOf(V->name());
+      if (Pos >= 0) {
+        Out.Coef[static_cast<size_t>(Pos)] = T.Coef;
+        continue;
+      }
+    }
+    // Not a direct index variable: goes to column 0. Remember whether an
+    // index variable hides inside (the nonlinear folding case).
+    std::set<std::string> AtomVars;
+    T.Atom->collectVars(AtomVars);
+    for (const std::string &V : AtomVars)
+      if (Nest.bindsVar(V)) {
+        Out.NonlinearFold = true;
+        break;
+      }
+    Invariant.addAtom(T.Atom, T.Coef);
+  }
+  Out.InvariantPart = Invariant.toExpr();
+  return Out;
+}
+
+BoundsMatrices BoundsMatrices::fromNest(const LoopNest &Nest) {
+  BoundsMatrices M;
+  unsigned N = Nest.numLoops();
+  M.LB.resize(N);
+  M.UB.resize(N);
+  M.Step.resize(N);
+  M.StepOriginal.resize(N);
+  M.StepSign.assign(N, 0);
+  for (const Loop &L : Nest.Loops)
+    M.Vars.push_back(L.IndexVar);
+
+  for (unsigned I = 0; I < N; ++I) {
+    const Loop &L = Nest.Loops[I];
+    std::optional<int64_t> StepC = L.Step->constValue();
+    int SSign = StepC ? (*StepC > 0 ? 1 : (*StepC < 0 ? -1 : 0)) : 0;
+    M.StepSign[I] = SSign;
+    M.StepOriginal[I] = L.Step;
+    M.Step[I] = decomposeBound(LinExpr::fromExpr(L.Step), Nest);
+
+    auto buildRow = [&](const ExprRef &E, BoundSide Side) {
+      BoundRow Row;
+      Row.Original = E;
+      // Decompose splittable max/min bounds into one inequality per term.
+      Expr::Kind Splittable = Expr::Kind::Call; // sentinel
+      if (SSign > 0)
+        Splittable = Side == BoundSide::Lower ? Expr::Kind::Max
+                                              : Expr::Kind::Min;
+      else if (SSign < 0)
+        Splittable = Side == BoundSide::Lower ? Expr::Kind::Min
+                                              : Expr::Kind::Max;
+      if (E->kind() == Splittable) {
+        for (const ExprRef &Op : cast<MinMaxExpr>(E.get())->operands())
+          Row.Ineqs.push_back(decomposeBound(LinExpr::fromExpr(Op), Nest));
+      } else {
+        Row.Ineqs.push_back(decomposeBound(LinExpr::fromExpr(E), Nest));
+      }
+      return Row;
+    };
+    M.LB[I] = buildRow(L.Lower, BoundSide::Lower);
+    M.UB[I] = buildRow(L.Upper, BoundSide::Upper);
+  }
+  return M;
+}
+
+BoundType BoundsMatrices::entryType(bool IsStep, const BoundRow *Row,
+                                    const BoundIneq *St, unsigned Col) const {
+  assert(Col >= 1 && "column 0 has no per-variable type");
+  const std::string &Var = Vars[Col - 1];
+  BoundType T = BoundType::Const;
+  auto oneIneq = [&](const BoundIneq &Q) {
+    if (Q.NonlinearFold && Q.InvariantPart->containsVar(Var)) {
+      T = typeJoin(T, BoundType::Nonlinear);
+      return;
+    }
+    if (Q.Coef[Col - 1] != 0) {
+      T = typeJoin(T, BoundType::Linear);
+      return;
+    }
+    // Variable absent: const iff the whole inequality is constant.
+    bool IsConst =
+        Q.InvariantPart->constValue().has_value();
+    for (int64_t C : Q.Coef)
+      if (C != 0)
+        IsConst = false;
+    T = typeJoin(T, IsConst ? BoundType::Const : BoundType::Invar);
+  };
+  if (IsStep) {
+    oneIneq(*St);
+  } else {
+    for (const BoundIneq &Q : Row->Ineqs)
+      oneIneq(Q);
+  }
+  return T;
+}
+
+BoundType BoundsMatrices::lbType(unsigned Row, unsigned Col) const {
+  return entryType(false, &LB[Row], nullptr, Col);
+}
+BoundType BoundsMatrices::ubType(unsigned Row, unsigned Col) const {
+  return entryType(false, &UB[Row], nullptr, Col);
+}
+BoundType BoundsMatrices::stepType(unsigned Row, unsigned Col) const {
+  return entryType(true, nullptr, &Step[Row], Col);
+}
+
+std::string BoundsMatrices::str() const {
+  std::string Out;
+  unsigned N = numLoops();
+  auto renderRowList = [&](const std::vector<BoundIneq> &Ineqs,
+                           unsigned Col) -> std::string {
+    // Column 0 prints invariant parts; columns >= 1 print coefficients.
+    // Multi-inequality rows print as a <...> list, Figure 5 style.
+    std::vector<std::string> Parts;
+    for (const BoundIneq &Q : Ineqs) {
+      if (Col == 0)
+        Parts.push_back(Q.InvariantPart->str());
+      else
+        Parts.push_back(std::to_string(Q.Coef[Col - 1]));
+    }
+    if (Parts.size() == 1)
+      return Parts[0];
+    return "<" + join(Parts, ", ") + ">";
+  };
+
+  auto renderMatrix = [&](const char *Name, bool IsStep,
+                          const std::vector<BoundRow> &Rows) {
+    Out += formatStr("%s =\n", Name);
+    for (unsigned I = 0; I < N; ++I) {
+      Out += "  [";
+      for (unsigned Col = 0; Col <= N; ++Col) {
+        if (Col)
+          Out += "  ";
+        if (Col >= 1 && Col > I) {
+          Out += "."; // undefined region: entry (i, j) requires j <= i
+          continue;
+        }
+        if (IsStep)
+          Out += renderRowList({Step[I]}, Col);
+        else
+          Out += renderRowList(Rows[I].Ineqs, Col);
+      }
+      Out += "]\n";
+    }
+  };
+
+  renderMatrix("LB", false, LB);
+  renderMatrix("UB", false, UB);
+  renderMatrix("STEP", true, LB);
+  return Out;
+}

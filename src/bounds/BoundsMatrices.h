@@ -1,0 +1,103 @@
+//===- bounds/BoundsMatrices.h - LB/UB/STEP coefficient matrices ---------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The matrix representation of loop bound expressions from Section 4.3
+/// and Figure 5 of the paper. Three matrices LB, UB, STEP of shape
+/// (1..n) x (0..n):
+///
+///  - entry (i, 0) holds the loop-invariant part of loop i's bound: an
+///    arbitrary run-time expression (symbolic parameters, calls, and any
+///    nonlinear-in-index terms get folded here);
+///  - entry (i, j), j >= 1, holds the compile-time integer coefficient of
+///    index variable x_j, defined only for j < i;
+///  - max/min bounds contribute a *list* of inequalities per row: each
+///    entry stores one value per inequality.
+///
+/// Every entry carries a type tag from the const/invar/linear/nonlinear
+/// lattice. The transformation templates check their loop-bounds
+/// preconditions against these tags, so legality testing never has to
+/// materialize transformed bound expressions (Section 4.3: "we use a
+/// matrix-based representation to carry sufficient information to
+/// evaluate the type predicates").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRLT_BOUNDS_BOUNDSMATRICES_H
+#define IRLT_BOUNDS_BOUNDSMATRICES_H
+
+#include "bounds/TypeLattice.h"
+#include "ir/LinExpr.h"
+#include "ir/LoopNest.h"
+
+#include <string>
+#include <vector>
+
+namespace irlt {
+
+/// One decomposed inequality of a bound: integer coefficients over the
+/// nest's index variables plus an invariant-part expression.
+struct BoundIneq {
+  /// Coefficient of index variable k (0-based loop position); only
+  /// positions < row index can be non-zero in a well-formed nest.
+  std::vector<int64_t> Coef;
+  /// Invariant part (column 0). Includes the constant and any terms the
+  /// linearizer could not open up (also nonlinear-in-index atoms).
+  ExprRef InvariantPart;
+  /// True when some index variable occurs inside InvariantPart (the
+  /// paper's nonlinear folding case).
+  bool NonlinearFold = false;
+};
+
+/// One row of LB or UB: the list of inequalities (singleton unless the
+/// bound was a splittable max/min).
+struct BoundRow {
+  std::vector<BoundIneq> Ineqs;
+  /// The original expression (used for printing entries like max<n, 3>).
+  ExprRef Original;
+};
+
+/// The LB/UB/STEP matrices of one loop nest.
+class BoundsMatrices {
+public:
+  /// Builds the matrices for \p Nest. Max lower bounds and min upper
+  /// bounds decompose per inequality when the loop step sign is known.
+  static BoundsMatrices fromNest(const LoopNest &Nest);
+
+  unsigned numLoops() const { return static_cast<unsigned>(LB.size()); }
+
+  const BoundRow &lb(unsigned I) const { return LB[I]; }
+  const BoundRow &ub(unsigned I) const { return UB[I]; }
+  const BoundIneq &step(unsigned I) const { return Step[I]; }
+
+  /// Type tag of matrix entry (\p Row, \p Col) with Col >= 1 denoting the
+  /// index variable of loop Col-1, per the paper's classification.
+  BoundType lbType(unsigned Row, unsigned Col) const;
+  BoundType ubType(unsigned Row, unsigned Col) const;
+  BoundType stepType(unsigned Row, unsigned Col) const;
+
+  /// Figure 5-style rendering of all three matrices.
+  std::string str() const;
+
+private:
+  BoundType entryType(bool IsStep, const BoundRow *Row, const BoundIneq *St,
+                      unsigned Col) const;
+
+  std::vector<std::string> Vars; // index variable per loop position
+  std::vector<BoundRow> LB;
+  std::vector<BoundRow> UB;
+  std::vector<BoundIneq> Step;
+  std::vector<ExprRef> StepOriginal;
+  std::vector<int> StepSign; // +1/-1/0(unknown)
+};
+
+/// Splits \p L into index-variable coefficients and the invariant part,
+/// relative to \p Nest's index variables.
+BoundIneq decomposeBound(const LinExpr &L, const LoopNest &Nest);
+
+} // namespace irlt
+
+#endif // IRLT_BOUNDS_BOUNDSMATRICES_H

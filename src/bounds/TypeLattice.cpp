@@ -1,0 +1,65 @@
+//===- bounds/TypeLattice.cpp - The const/invar/linear/nonlinear lattice -===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bounds/TypeLattice.h"
+
+#include "ir/LinExpr.h"
+#include "support/Casting.h"
+
+using namespace irlt;
+
+const char *irlt::typeName(BoundType T) {
+  switch (T) {
+  case BoundType::Const:
+    return "const";
+  case BoundType::Invar:
+    return "invar";
+  case BoundType::Linear:
+    return "linear";
+  case BoundType::Nonlinear:
+    return "nonlinear";
+  }
+  return "?";
+}
+
+bool irlt::isCompileTimeConst(const ExprRef &E) {
+  return LinExpr::fromExpr(E).isConst();
+}
+
+BoundType irlt::typeOf(const ExprRef &E, const std::string &Var) {
+  LinExpr L = LinExpr::fromExpr(E);
+  if (L.hasVarInsideOpaqueAtom(Var))
+    return BoundType::Nonlinear;
+  if (L.coeffOf(Var) != 0)
+    return BoundType::Linear;
+  if (L.isConst())
+    return BoundType::Const;
+  return BoundType::Invar;
+}
+
+BoundType irlt::typeOfBound(const ExprRef &E, const std::string &Var,
+                            BoundSide Side, int StepSign) {
+  // The special case: max-of lower bounds / min-of upper bounds decompose
+  // into separate inequalities under a positive step (mirrored under a
+  // negative step), so each term is classified on its own.
+  Expr::Kind SplittableKind = Expr::Kind::Call; // sentinel: none
+  if (StepSign > 0)
+    SplittableKind =
+        Side == BoundSide::Lower ? Expr::Kind::Max : Expr::Kind::Min;
+  else if (StepSign < 0)
+    SplittableKind =
+        Side == BoundSide::Lower ? Expr::Kind::Min : Expr::Kind::Max;
+
+  if (E->kind() == Expr::Kind::Min || E->kind() == Expr::Kind::Max) {
+    if (E->kind() == SplittableKind) {
+      BoundType T = BoundType::Const;
+      for (const ExprRef &Op : cast<MinMaxExpr>(E.get())->operands())
+        T = typeJoin(T, typeOfBound(Op, Var, Side, StepSign));
+      return T;
+    }
+  }
+  return typeOf(E, Var);
+}

@@ -1,0 +1,76 @@
+//===- bounds/TypeLattice.h - The const/invar/linear/nonlinear lattice ---===//
+//
+// Part of the IRLT project: a reproduction of Sarkar & Thekkath,
+// "A General Framework for Iteration-Reordering Loop Transformations"
+// (PLDI 1992). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 4.1 of the paper classifies how an index variable x_i is used
+/// in a bounds expression with the function type(expr_j, x_i), whose
+/// values form the totally ordered lattice
+///
+///     const  <=  invar  <=  linear  <=  nonlinear.
+///
+/// Every transformation template's loop-bounds preconditions are
+/// predicates of the form  type(expr, x) <= V  over this lattice.
+///
+/// The paper's special case is implemented here too: a max lower bound
+/// (or min upper bound) of linear terms under a positive step classifies
+/// as the join of its terms - each term acts as a separate linear
+/// inequality (mirrored for negative steps).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRLT_BOUNDS_TYPELATTICE_H
+#define IRLT_BOUNDS_TYPELATTICE_H
+
+#include "ir/Expr.h"
+
+#include <string>
+
+namespace irlt {
+
+/// The four points of the lattice, in lattice order.
+enum class BoundType { Const = 0, Invar = 1, Linear = 2, Nonlinear = 3 };
+
+/// Lattice order test: A <= B.
+inline bool typeLE(BoundType A, BoundType B) {
+  return static_cast<int>(A) <= static_cast<int>(B);
+}
+
+/// Lattice join (least upper bound).
+inline BoundType typeJoin(BoundType A, BoundType B) {
+  return typeLE(A, B) ? B : A;
+}
+
+/// Printable name: "const", "invar", "linear", "nonlinear".
+const char *typeName(BoundType T);
+
+/// The paper's type(expr, x): how does \p Var occur in \p E?
+///  - Const: E is a compile-time constant (Var trivially absent);
+///  - Invar: Var does not occur in E (but E is not a constant);
+///  - Linear: every occurrence of Var is a direct linear term with a
+///    compile-time-constant coefficient;
+///  - Nonlinear: Var occurs inside a div/mod/min/max/call or a product of
+///    non-constants.
+BoundType typeOf(const ExprRef &E, const std::string &Var);
+
+/// Which side of a loop a bound expression sits on.
+enum class BoundSide { Lower, Upper };
+
+/// type() with the paper's max/min special case: when \p StepSign > 0, a
+/// Max lower bound / Min upper bound of terms classifies as the join of
+/// the terms' types (each term a separate inequality); when
+/// \p StepSign < 0 the roles of Min and Max swap. A step of unknown sign
+/// (StepSign == 0) gets no special case.
+BoundType typeOfBound(const ExprRef &E, const std::string &Var,
+                      BoundSide Side, int StepSign);
+
+/// True if \p E is a compile-time integer constant.
+bool isCompileTimeConst(const ExprRef &E);
+
+} // namespace irlt
+
+#endif // IRLT_BOUNDS_TYPELATTICE_H

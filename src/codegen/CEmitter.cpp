@@ -1,0 +1,201 @@
+//===- codegen/CEmitter.cpp - Emit transformed nests as C ----------------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CEmitter.h"
+
+#include "support/Casting.h"
+#include "support/Printing.h"
+
+#include <cassert>
+#include <set>
+
+using namespace irlt;
+
+namespace {
+
+// C precedence tiers used here: additive 10, multiplicative 20, atom 100.
+std::string emitExpr(const ExprRef &E, int ParentPrec);
+
+std::string emitBinary(const BinaryExpr *B, const char *Op, int Prec,
+                       int ParentPrec, bool GuardRight) {
+  std::string S = emitExpr(B->lhs(), Prec) + Op +
+                  emitExpr(B->rhs(), GuardRight ? Prec + 1 : Prec);
+  if (Prec < ParentPrec)
+    return "(" + S + ")";
+  return S;
+}
+
+std::string emitExpr(const ExprRef &E, int ParentPrec) {
+  switch (E->kind()) {
+  case Expr::Kind::IntConst: {
+    int64_t V = cast<IntConstExpr>(E.get())->value();
+    std::string S = std::to_string(V);
+    if (V < 0 && ParentPrec > 0)
+      return "(" + S + ")";
+    return S;
+  }
+  case Expr::Kind::Var:
+    return cast<VarExpr>(E.get())->name();
+  case Expr::Kind::Add:
+    return emitBinary(cast<BinaryExpr>(E.get()), " + ", 10, ParentPrec,
+                      false);
+  case Expr::Kind::Sub:
+    return emitBinary(cast<BinaryExpr>(E.get()), " - ", 10, ParentPrec,
+                      true);
+  case Expr::Kind::Mul: {
+    const auto *B = cast<BinaryExpr>(E.get());
+    std::optional<int64_t> LC = B->lhs()->constValue();
+    if (LC && *LC == -1) {
+      std::string S = "-" + emitExpr(B->rhs(), 20);
+      if (ParentPrec > 10)
+        return "(" + S + ")";
+      return S;
+    }
+    return emitBinary(B, "*", 20, ParentPrec, false);
+  }
+  case Expr::Kind::Div: {
+    const auto *B = cast<BinaryExpr>(E.get());
+    return "irlt_floordiv(" + emitExpr(B->lhs(), 0) + ", " +
+           emitExpr(B->rhs(), 0) + ")";
+  }
+  case Expr::Kind::Mod: {
+    const auto *B = cast<BinaryExpr>(E.get());
+    return "irlt_floormod(" + emitExpr(B->lhs(), 0) + ", " +
+           emitExpr(B->rhs(), 0) + ")";
+  }
+  case Expr::Kind::Min:
+  case Expr::Kind::Max: {
+    const auto *M = cast<MinMaxExpr>(E.get());
+    const char *Fn = M->isMin() ? "irlt_min" : "irlt_max";
+    // Fold the n-ary operator into nested binary helper calls.
+    std::string S = emitExpr(M->operands().front(), 0);
+    for (size_t I = 1; I < M->operands().size(); ++I)
+      S = std::string(Fn) + "(" + S + ", " + emitExpr(M->operands()[I], 0) +
+          ")";
+    return S;
+  }
+  case Expr::Kind::Call: {
+    const auto *C = cast<CallExpr>(E.get());
+    std::vector<std::string> Args;
+    for (const ExprRef &A : C->args())
+      Args.push_back(emitExpr(A, 0));
+    return C->callee() + "(" + join(Args, ", ") + ")";
+  }
+  }
+  assert(false && "unreachable expression kind");
+  return std::string();
+}
+
+} // namespace
+
+std::string irlt::emitCExpr(const ExprRef &E) { return emitExpr(E, 0); }
+
+std::vector<std::string> irlt::freeParameters(const LoopNest &Nest) {
+  std::set<std::string> All;
+  auto addVarsOf = [&All](const ExprRef &E) { E->collectVars(All); };
+  for (const Loop &L : Nest.Loops) {
+    addVarsOf(L.Lower);
+    addVarsOf(L.Upper);
+    addVarsOf(L.Step);
+  }
+  for (const InitStmt &I : Nest.Inits)
+    addVarsOf(I.Value);
+  for (const AssignStmt &S : Nest.Body) {
+    for (const ExprRef &Sub : S.LHS.Subscripts)
+      addVarsOf(Sub);
+    addVarsOf(S.RHS);
+  }
+  // Remove loop variables and init-defined variables.
+  for (const Loop &L : Nest.Loops)
+    All.erase(L.IndexVar);
+  for (const InitStmt &I : Nest.Inits)
+    All.erase(I.Var);
+  return std::vector<std::string>(All.begin(), All.end());
+}
+
+std::string irlt::emitC(const LoopNest &Nest, const CEmitOptions &Options) {
+  IndentedWriter W(2);
+
+  if (Options.EmitHelpers) {
+    W.line("#include <stdint.h>");
+    W.blank();
+    W.line("/* Flooring division/modulus (the framework's div and mod). */");
+    W.line("static inline int64_t irlt_floordiv(int64_t a, int64_t b) {");
+    W.indent();
+    W.line("int64_t q = a / b, r = a % b;");
+    W.line("return (r != 0 && ((r < 0) != (b < 0))) ? q - 1 : q;");
+    W.outdent();
+    W.line("}");
+    W.line("static inline int64_t irlt_floormod(int64_t a, int64_t b) {");
+    W.indent();
+    W.line("return a - irlt_floordiv(a, b) * b;");
+    W.outdent();
+    W.line("}");
+    W.line("static inline int64_t irlt_min(int64_t a, int64_t b) {");
+    W.indent();
+    W.line("return a < b ? a : b;");
+    W.outdent();
+    W.line("}");
+    W.line("static inline int64_t irlt_max(int64_t a, int64_t b) {");
+    W.indent();
+    W.line("return a > b ? a : b;");
+    W.outdent();
+    W.line("}");
+    W.blank();
+  }
+
+  // Function head: scalar parameters only; arrays/opaque calls are
+  // macros supplied by the includer.
+  std::vector<std::string> Params = freeParameters(Nest);
+  std::vector<std::string> Sig;
+  for (const std::string &P : Params)
+    Sig.push_back("int64_t " + P);
+  W.line(formatStr("void %s(%s) {", Options.FunctionName.c_str(),
+                   Sig.empty() ? "void" : join(Sig, ", ").c_str()));
+  W.indent();
+
+  for (const Loop &L : Nest.Loops) {
+    if (L.Kind == LoopKind::ParDo && Options.UseOpenMP)
+      W.line("#pragma omp parallel for");
+    std::string Var = L.IndexVar;
+    std::optional<int64_t> StepC = L.Step->constValue();
+    std::string Cond;
+    if (StepC && *StepC > 0)
+      Cond = Var + " <= " + emitCExpr(L.Upper);
+    else if (StepC && *StepC < 0)
+      Cond = Var + " >= " + emitCExpr(L.Upper);
+    else
+      // Unknown step sign: branch on it (ReversePermute keeps symbolic
+      // strides).
+      Cond = formatStr("(%s) > 0 ? %s <= %s : %s >= %s",
+                       emitCExpr(L.Step).c_str(), Var.c_str(),
+                       emitCExpr(L.Upper).c_str(), Var.c_str(),
+                       emitCExpr(L.Upper).c_str());
+    W.line(formatStr("for (int64_t %s = %s; %s; %s += %s) {", Var.c_str(),
+                     emitCExpr(L.Lower).c_str(), Cond.c_str(), Var.c_str(),
+                     emitCExpr(L.Step).c_str()));
+    W.indent();
+  }
+
+  for (const InitStmt &I : Nest.Inits)
+    W.line(formatStr("int64_t %s = %s;", I.Var.c_str(),
+                     emitCExpr(I.Value).c_str()));
+  for (const AssignStmt &S : Nest.Body) {
+    std::vector<std::string> Subs;
+    for (const ExprRef &Sub : S.LHS.Subscripts)
+      Subs.push_back(emitCExpr(Sub));
+    W.line(formatStr("%s(%s) = %s;", S.LHS.Array.c_str(),
+                     join(Subs, ", ").c_str(), emitCExpr(S.RHS).c_str()));
+  }
+
+  for (size_t I = 0; I < Nest.Loops.size(); ++I) {
+    W.outdent();
+    W.line("}");
+  }
+  W.outdent();
+  W.line("}");
+  return W.str();
+}

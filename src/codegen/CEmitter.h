@@ -1,0 +1,66 @@
+//===- codegen/CEmitter.h - Emit transformed nests as C ------------------===//
+//
+// Part of the IRLT project: a reproduction of Sarkar & Thekkath,
+// "A General Framework for Iteration-Reordering Loop Transformations"
+// (PLDI 1992). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a (possibly transformed) loop nest as a compilable C99
+/// translation unit, so the framework's output is real code rather than
+/// pretty-printing:
+///
+///  - flooring division/modulus helpers (C's `/` truncates; the paper's
+///    div/mod floor), n-ary min/max helpers;
+///  - every loop becomes a `for`; `pardo` loops get
+///    `#pragma omp parallel for` (ignored by non-OpenMP compilers);
+///  - initialization statements become local declarations at the top of
+///    the body;
+///  - arrays are accessed through function-like macros (`A(i, j)`) that
+///    the caller binds to storage; scalar parameters become function
+///    arguments.
+///
+/// The test suite compiles emitted units with the host compiler and
+/// compares their results against the evaluator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRLT_CODEGEN_CEMITTER_H
+#define IRLT_CODEGEN_CEMITTER_H
+
+#include "ir/LoopNest.h"
+
+#include <string>
+#include <vector>
+
+namespace irlt {
+
+/// Options for C emission.
+struct CEmitOptions {
+  /// Name of the emitted function.
+  std::string FunctionName = "kernel";
+  /// Emit `#pragma omp parallel for` on pardo loops.
+  bool UseOpenMP = true;
+  /// Emit the flooring div/mod and min/max helper definitions (turn off
+  /// when emitting several kernels into one file).
+  bool EmitHelpers = true;
+};
+
+/// Renders one C expression (uses irlt_floordiv / irlt_floormod /
+/// irlt_min / irlt_max helpers for the non-C-native operators).
+std::string emitCExpr(const ExprRef &E);
+
+/// Renders the whole nest as a C function. The function's parameters are
+/// the nest's free scalar variables (symbolic parameters), in sorted
+/// order; arrays and opaque functions are referenced as function-like
+/// macros the includer must define.
+std::string emitC(const LoopNest &Nest, const CEmitOptions &Options = {});
+
+/// The free scalar parameters of a nest: variables that are neither loop
+/// variables, init-defined, arrays, nor opaque calls. Sorted.
+std::vector<std::string> freeParameters(const LoopNest &Nest);
+
+} // namespace irlt
+
+#endif // IRLT_CODEGEN_CEMITTER_H

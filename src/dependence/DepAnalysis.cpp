@@ -1,0 +1,444 @@
+//===- dependence/DepAnalysis.cpp - Array dependence analysis -------------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dependence/DepAnalysis.h"
+
+#include "dependence/FMSolver.h"
+#include "ir/LinExpr.h"
+#include "support/MathUtils.h"
+
+#include <cassert>
+#include <map>
+
+using namespace irlt;
+
+//===----------------------------------------------------------------------===
+// Stand-alone classic tests
+//===----------------------------------------------------------------------===
+
+bool deptest::zivEqual(int64_t CA, int64_t CB) { return CA == CB; }
+
+bool deptest::gcdFeasible(const std::vector<int64_t> &Coefs, int64_t C0) {
+  int64_t G = 0;
+  for (int64_t C : Coefs)
+    G = gcd(G, C);
+  if (G == 0)
+    return C0 == 0;
+  return C0 % G == 0;
+}
+
+deptest::SIVResult deptest::strongSIV(int64_t A, int64_t CA, int64_t CB,
+                                      std::optional<int64_t> Lo,
+                                      std::optional<int64_t> Hi) {
+  SIVResult R;
+  assert(A != 0 && "strong SIV requires a non-zero coefficient");
+  int64_t Delta = CB - CA; // a*i1 + CA == a*i2 + CB  =>  i1 - i2 = Delta/a
+  if (Delta % A != 0)
+    return R; // non-integral distance: independent
+  int64_t D = Delta / A;
+  // The distance must fit within the iteration range.
+  if (Lo && Hi) {
+    int64_t Span = *Hi - *Lo;
+    if (Span < 0 || D > Span || D < -Span)
+      return R;
+  }
+  R.Dependent = true;
+  R.Distance = D;
+  return R;
+}
+
+bool deptest::banerjeeFeasible(const std::vector<int64_t> &Coefs, int64_t C0,
+                               const std::vector<std::optional<int64_t>> &Lo,
+                               const std::vector<std::optional<int64_t>> &Hi) {
+  assert(Coefs.size() == Lo.size() && Coefs.size() == Hi.size());
+  // Compute [min, max] of sum Coefs[k]*v_k + C0; unbounded terms with a
+  // non-zero coefficient make the corresponding side infinite.
+  bool MinFinite = true, MaxFinite = true;
+  int64_t Min = C0, Max = C0;
+  for (size_t K = 0; K < Coefs.size(); ++K) {
+    int64_t C = Coefs[K];
+    if (C == 0)
+      continue;
+    const std::optional<int64_t> &L = C > 0 ? Lo[K] : Hi[K];
+    const std::optional<int64_t> &H = C > 0 ? Hi[K] : Lo[K];
+    if (L)
+      Min = addChecked(Min, mulChecked(C, *L));
+    else
+      MinFinite = false;
+    if (H)
+      Max = addChecked(Max, mulChecked(C, *H));
+    else
+      MaxFinite = false;
+  }
+  if (MinFinite && Min > 0)
+    return false;
+  if (MaxFinite && Max < 0)
+    return false;
+  return true;
+}
+
+//===----------------------------------------------------------------------===
+// The FM-driven analyzer
+//===----------------------------------------------------------------------===
+
+namespace {
+
+/// One array reference occurrence in the body.
+struct RefOcc {
+  const irlt::ArrayRef *Ref;
+  bool IsWrite;
+};
+
+/// Per-level direction states during hierarchical refinement.
+enum class DirState { Eq, Gt, Lt };
+
+/// Shared analysis context for one loop nest.
+class Analyzer {
+public:
+  Analyzer(const LoopNest &Nest, const DepAnalysisOptions &Opts)
+      : Nest(Nest), Opts(Opts), N(Nest.numLoops()) {}
+
+  DepSet run();
+
+private:
+  // Variable layout in FM systems:
+  //   [0, N)        source iteration I
+  //   [N, 2N)       target iteration J
+  //   [2N, 2N+M)    invariant symbolic atoms (n, block sizes, ...)
+  //   [2N+M, 3N+M)  difference variables d_k = J_k - I_k
+  unsigned varI(unsigned K) const { return K; }
+  unsigned varJ(unsigned K) const { return N + K; }
+  unsigned varD(unsigned K) const { return 2 * N + NumSyms + K; }
+  unsigned totalVars() const { return 3 * N + NumSyms; }
+
+  /// Registers invariant atoms of \p L into the symbol table; returns
+  /// false if \p L has an atom containing an index variable (nonlinear).
+  bool registerAtoms(const LinExpr &L);
+
+  /// Writes \p L's terms into a coefficient row. \p VarOf maps an index
+  /// variable's loop position to an FM variable (source or target side).
+  /// \returns false on nonlinear terms.
+  bool emitLin(const LinExpr &L, bool TargetSide, std::vector<int64_t> &Coef,
+               int64_t &Const) const;
+
+  /// Adds the loop-bound constraints for one side (source or target).
+  void addBoundConstraints(FMSystem &Sys, bool TargetSide) const;
+
+  /// Analyzes one ordered reference pair; inserts resulting vectors.
+  void analyzePair(const RefOcc &A, const RefOcc &B, DepSet &Out);
+
+  /// Emits the fully-conservative vector family (0,..,0,+,*,..,*).
+  void emitConservative(DepSet &Out) const;
+
+  /// Hierarchical refinement over direction states.
+  void refine(FMSystem &Sys, std::vector<DirState> &Prefix, bool SeenGt,
+              DepSet &Out);
+
+  const LoopNest &Nest;
+  const DepAnalysisOptions &Opts;
+  unsigned N;
+
+  std::map<std::string, unsigned> SymIndex; // atom key -> sym slot
+  std::vector<ExprRef> SymAtoms;
+  unsigned NumSyms = 0;
+
+  // Cached per-loop affine bounds (lower-max terms / upper-min terms);
+  // empty when unanalyzable.
+  struct LoopBounds {
+    std::vector<LinExpr> Lowers;
+    std::vector<LinExpr> Uppers;
+  };
+  std::vector<LoopBounds> Bounds;
+};
+
+bool Analyzer::registerAtoms(const LinExpr &L) {
+  for (const auto &[Key, T] : L.terms()) {
+    if (isa<VarExpr>(T.Atom.get())) {
+      const auto *V = cast<VarExpr>(T.Atom.get());
+      if (Nest.bindsVar(V->name()))
+        continue; // index variable: handled positionally
+      // Invariant scalar (e.g. the symbolic n): register as atom.
+    } else {
+      // Opaque atom: only usable if it is invariant in the nest.
+      std::set<std::string> Vars;
+      T.Atom->collectVars(Vars);
+      for (const std::string &V : Vars)
+        if (Nest.bindsVar(V))
+          return false;
+    }
+    if (!SymIndex.count(Key)) {
+      SymIndex.emplace(Key, NumSyms++);
+      SymAtoms.push_back(T.Atom);
+    }
+  }
+  return true;
+}
+
+bool Analyzer::emitLin(const LinExpr &L, bool TargetSide,
+                       std::vector<int64_t> &Coef, int64_t &Const) const {
+  Const = addChecked(Const, L.constant());
+  for (const auto &[Key, T] : L.terms()) {
+    if (const auto *V = dyn_cast<VarExpr>(T.Atom.get())) {
+      int Pos = Nest.loopIndexOf(V->name());
+      if (Pos >= 0) {
+        unsigned Var = TargetSide ? varJ(static_cast<unsigned>(Pos))
+                                  : varI(static_cast<unsigned>(Pos));
+        Coef[Var] = addChecked(Coef[Var], T.Coef);
+        continue;
+      }
+    }
+    auto It = SymIndex.find(Key);
+    if (It == SymIndex.end())
+      return false; // unregistered (nonlinear) atom
+    Coef[2 * N + It->second] = addChecked(Coef[2 * N + It->second], T.Coef);
+  }
+  return true;
+}
+
+void Analyzer::addBoundConstraints(FMSystem &Sys, bool TargetSide) const {
+  for (unsigned K = 0; K < N; ++K) {
+    unsigned V = TargetSide ? varJ(K) : varI(K);
+    for (const LinExpr &LB : Bounds[K].Lowers) {
+      // x_k >= LB  <=>  x_k - LB >= 0.
+      std::vector<int64_t> Coef(totalVars(), 0);
+      int64_t C = 0;
+      if (!emitLin(LB, TargetSide, Coef, C))
+        continue;
+      for (int64_t &Cf : Coef)
+        Cf = -Cf;
+      Coef[V] = addChecked(Coef[V], 1);
+      Sys.addGE(std::move(Coef), C);
+    }
+    for (const LinExpr &UB : Bounds[K].Uppers) {
+      std::vector<int64_t> Coef(totalVars(), 0);
+      int64_t C = 0;
+      if (!emitLin(UB, TargetSide, Coef, C))
+        continue;
+      for (int64_t &Cf : Coef)
+        Cf = -Cf;
+      Coef[V] = addChecked(Coef[V], 1);
+      Sys.addLE(std::move(Coef), C);
+    }
+  }
+}
+
+void Analyzer::emitConservative(DepSet &Out) const {
+  for (unsigned K = 0; K < N; ++K) {
+    std::vector<DepElem> Elems;
+    Elems.reserve(N);
+    for (unsigned J = 0; J < K; ++J)
+      Elems.push_back(DepElem::zero());
+    Elems.push_back(DepElem::pos());
+    for (unsigned J = K + 1; J < N; ++J)
+      Elems.push_back(DepElem::any());
+    Out.insert(DepVector(std::move(Elems)));
+  }
+}
+
+void Analyzer::refine(FMSystem &Sys, std::vector<DirState> &Prefix,
+                      bool SeenGt, DepSet &Out) {
+  unsigned Level = static_cast<unsigned>(Prefix.size());
+  if (Level == N) {
+    if (!SeenGt)
+      return; // all-equal: no cross-iteration dependence
+    if (!Sys.feasible())
+      return;
+    std::vector<DepElem> Elems;
+    Elems.reserve(N);
+    for (unsigned K = 0; K < N; ++K) {
+      switch (Prefix[K]) {
+      case DirState::Eq:
+        Elems.push_back(DepElem::zero());
+        break;
+      case DirState::Gt:
+      case DirState::Lt: {
+        DepElem E =
+            Prefix[K] == DirState::Gt ? DepElem::pos() : DepElem::neg();
+        if (Opts.RefineDistances) {
+          VarRange R = Sys.rangeOf(varD(K));
+          if (R.Feasible && R.Lo && R.Hi && *R.Lo == *R.Hi &&
+              R.Lo->isInteger())
+            E = DepElem::distance(R.Lo->num());
+        }
+        Elems.push_back(E);
+        break;
+      }
+      }
+    }
+    Out.insert(DepVector(std::move(Elems)));
+    return;
+  }
+
+  auto tryState = [&](DirState S) {
+    FMSystem Child = Sys;
+    std::vector<int64_t> Coef(totalVars(), 0);
+    Coef[varD(Level)] = 1;
+    switch (S) {
+    case DirState::Eq:
+      Child.addEQ(Coef, 0);
+      break;
+    case DirState::Gt:
+      Child.addGE(std::move(Coef), 1);
+      break;
+    case DirState::Lt:
+      Child.addLE(std::move(Coef), -1);
+      break;
+    }
+    if (!Child.feasible())
+      return; // prune the whole subtree
+    Prefix.push_back(S);
+    refine(Child, Prefix, SeenGt || S == DirState::Gt, Out);
+    Prefix.pop_back();
+  };
+
+  tryState(DirState::Eq);
+  tryState(DirState::Gt);
+  if (SeenGt)
+    tryState(DirState::Lt); // lex-non-negative prefixes only
+}
+
+void Analyzer::analyzePair(const RefOcc &A, const RefOcc &B, DepSet &Out) {
+  assert(A.Ref->Array == B.Ref->Array);
+  if (A.Ref->Subscripts.size() != B.Ref->Subscripts.size()) {
+    emitConservative(Out); // ill-typed access: be safe
+    return;
+  }
+
+  // Linearize all subscripts; bail to the conservative family when a
+  // dimension is nonlinear in the index variables.
+  struct Dim {
+    LinExpr FA, FB;
+    bool Analyzable;
+  };
+  std::vector<Dim> Dims;
+  bool AnyAnalyzable = false;
+  for (size_t D = 0; D < A.Ref->Subscripts.size(); ++D) {
+    Dim Dm;
+    Dm.FA = LinExpr::fromExpr(A.Ref->Subscripts[D]);
+    Dm.FB = LinExpr::fromExpr(B.Ref->Subscripts[D]);
+    Dm.Analyzable = registerAtoms(Dm.FA) && registerAtoms(Dm.FB);
+    AnyAnalyzable |= Dm.Analyzable;
+    Dims.push_back(std::move(Dm));
+  }
+  if (!AnyAnalyzable) {
+    emitConservative(Out);
+    return;
+  }
+
+  FMSystem Sys(totalVars());
+
+  // Subscript equations f_A(I) == f_B(J), with classic prefilters.
+  for (const Dim &Dm : Dims) {
+    if (!Dm.Analyzable)
+      continue;
+    std::vector<int64_t> Coef(totalVars(), 0);
+    int64_t CA = 0, CB = 0;
+    std::vector<int64_t> CoefB(totalVars(), 0);
+    if (!emitLin(Dm.FA, /*TargetSide=*/false, Coef, CA) ||
+        !emitLin(Dm.FB, /*TargetSide=*/true, CoefB, CB))
+      continue;
+    // Equation: f_A - f_B == 0  =>  Coef - CoefB row, rhs CB - CA.
+    for (size_t I = 0; I < Coef.size(); ++I)
+      Coef[I] = addChecked(Coef[I], -CoefB[I]);
+    int64_t Rhs = addChecked(CB, -CA);
+
+    if (Opts.UseFastTests) {
+      bool AllZero = true;
+      for (int64_t C : Coef)
+        if (C != 0) {
+          AllZero = false;
+          break;
+        }
+      if (AllZero) {
+        // ZIV: constant subscripts on both sides.
+        if (!deptest::zivEqual(0, Rhs))
+          return; // provably independent in this dimension
+        continue;  // trivially satisfied; no constraint
+      }
+      // GCD filter over all integer variables in the equation.
+      if (!deptest::gcdFeasible(Coef, Rhs))
+        return;
+    }
+    Sys.addEQ(Coef, Rhs);
+  }
+
+  // Loop-bound constraints for both sides, difference-variable defs.
+  addBoundConstraints(Sys, /*TargetSide=*/false);
+  addBoundConstraints(Sys, /*TargetSide=*/true);
+  for (unsigned K = 0; K < N; ++K) {
+    std::vector<int64_t> Coef(totalVars(), 0);
+    Coef[varD(K)] = 1;
+    Coef[varJ(K)] = -1;
+    Coef[varI(K)] = 1;
+    Sys.addEQ(Coef, 0); // d_k - J_k + I_k == 0
+  }
+
+  std::vector<DirState> Prefix;
+  refine(Sys, Prefix, /*SeenGt=*/false, Out);
+}
+
+DepSet Analyzer::run() {
+  // Pre-compute analyzable loop bounds.
+  Bounds.resize(N);
+  for (unsigned K = 0; K < N; ++K) {
+    const Loop &L = Nest.Loops[K];
+    auto gatherTerms = [&](const ExprRef &E, bool IsLower,
+                           std::vector<LinExpr> &Out) {
+      // max-of lower bounds and min-of upper bounds decompose into
+      // conjunctions of simple affine constraints.
+      std::vector<ExprRef> Pieces;
+      if ((IsLower && E->kind() == Expr::Kind::Max) ||
+          (!IsLower && E->kind() == Expr::Kind::Min)) {
+        const auto *M = cast<MinMaxExpr>(E.get());
+        Pieces.assign(M->operands().begin(), M->operands().end());
+      } else {
+        Pieces.push_back(E);
+      }
+      for (const ExprRef &P : Pieces) {
+        LinExpr LE = LinExpr::fromExpr(P);
+        if (registerAtoms(LE))
+          Out.push_back(std::move(LE));
+      }
+    };
+    // Only unit-step loops contribute bound constraints; other steps are
+    // treated as unconstrained ranges (conservative).
+    std::optional<int64_t> StepC = L.Step->constValue();
+    if (StepC && *StepC == 1) {
+      gatherTerms(L.Lower, /*IsLower=*/true, Bounds[K].Lowers);
+      gatherTerms(L.Upper, /*IsLower=*/false, Bounds[K].Uppers);
+    }
+  }
+
+  // Collect reference occurrences.
+  std::vector<irlt::ArrayRef> Writes, Reads;
+  Nest.collectWrites(Writes);
+  Nest.collectReads(Reads);
+  std::vector<RefOcc> Occs;
+  Occs.reserve(Writes.size() + Reads.size());
+  for (const irlt::ArrayRef &W : Writes)
+    Occs.push_back(RefOcc{&W, true});
+  for (const irlt::ArrayRef &R : Reads)
+    Occs.push_back(RefOcc{&R, false});
+
+  DepSet Out;
+  for (const RefOcc &A : Occs)
+    for (const RefOcc &B : Occs) {
+      if (!A.IsWrite && !B.IsWrite)
+        continue;
+      if (A.Ref->Array != B.Ref->Array)
+        continue;
+      analyzePair(A, B, Out);
+    }
+  return Out;
+}
+
+} // namespace
+
+DepSet irlt::analyzeDependences(const LoopNest &Nest,
+                                const DepAnalysisOptions &Opts) {
+  Analyzer A(Nest, Opts);
+  return A.run();
+}

@@ -1,0 +1,217 @@
+//===- dependence/DepElem.cpp - Distance/direction dependence entries ----===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dependence/DepElem.h"
+
+#include "support/MathUtils.h"
+
+#include <cassert>
+
+using namespace irlt;
+
+DepElem DepElem::distance(int64_t D) {
+  DepElem E;
+  E.IsDistance = true;
+  E.Dist = D;
+  E.Mask = D == 0 ? SignZero : (D > 0 ? SignPos : SignNeg);
+  return E;
+}
+
+DepElem DepElem::direction(uint8_t Mask) {
+  assert(Mask != 0 && (Mask & ~uint8_t(SignNeg | SignZero | SignPos)) == 0 &&
+         "malformed direction mask");
+  if (Mask == SignZero)
+    return distance(0); // "=" normalizes to the zero distance.
+  DepElem E;
+  E.IsDistance = false;
+  E.Dist = 0;
+  E.Mask = Mask;
+  return E;
+}
+
+int64_t DepElem::dist() const {
+  assert(IsDistance && "dist() on a direction entry");
+  return Dist;
+}
+
+bool DepElem::contains(int64_t V) const {
+  if (IsDistance)
+    return V == Dist;
+  if (V < 0)
+    return canBeNegative();
+  if (V == 0)
+    return canBeZero();
+  return canBePositive();
+}
+
+bool DepElem::covers(const DepElem &O) const {
+  if (IsDistance)
+    return O.IsDistance && O.Dist == Dist;
+  // A direction covers everything its sign set covers.
+  return (O.Mask & ~Mask) == 0;
+}
+
+DepElem DepElem::reversed() const {
+  if (IsDistance)
+    return distance(-Dist);
+  uint8_t M = Mask & SignZero;
+  if (Mask & SignNeg)
+    M |= SignPos;
+  if (Mask & SignPos)
+    M |= SignNeg;
+  return direction(M);
+}
+
+DepElem DepElem::dirOnly() const {
+  if (!IsDistance || Dist == 0)
+    return *this;
+  return Dist > 0 ? pos() : neg();
+}
+
+DepElem DepElem::parMapped() const {
+  if (IsDistance && Dist == 0)
+    return *this;
+  uint8_t M = Mask;
+  if (M & SignNeg)
+    M |= SignPos;
+  if (M & SignPos)
+    M |= SignNeg;
+  return direction(M);
+}
+
+DepElem DepElem::add(const DepElem &L, const DepElem &R) {
+  if (L.IsDistance && R.IsDistance)
+    return distance(addChecked(L.Dist, R.Dist));
+  // Sign-interval arithmetic: which sum signs are achievable? Because
+  // direction sign classes contain integers of unbounded magnitude, the
+  // achievable set only depends on the sign classes:
+  //   Pos + Pos -> Pos          Pos + Zero -> Pos
+  //   Neg + Neg -> Neg          Neg + Zero -> Neg
+  //   Zero + Zero -> Zero       Pos + Neg -> {Neg, Zero, Pos}
+  // For a *distance* operand the magnitude is fixed but the direction
+  // operand's magnitude is unbounded, so the same table applies (e.g.
+  // -5 + '+' reaches all three signs).
+  auto mixedDistanceDir = [](const DepElem &D, const DepElem &Dir) -> uint8_t {
+    // Exact distance + direction: zero direction-values keep the
+    // distance's sign; nonzero direction signs dominate as in the table,
+    // except distance 0 which is absorbed.
+    uint8_t Out = 0;
+    for (uint8_t SB : {uint8_t(SignNeg), uint8_t(SignZero), uint8_t(SignPos)}) {
+      if (!(Dir.Mask & SB))
+        continue;
+      if (SB == SignZero) {
+        Out |= D.Mask; // d + 0 = d
+      } else if (SB == SignPos) {
+        if (D.Dist > 0)
+          Out |= SignPos; // pos + pos
+        else if (D.Dist == 0)
+          Out |= SignPos;
+        else
+          Out |= SignNeg | SignZero | SignPos; // neg + unbounded pos
+      } else { // SignNeg
+        if (D.Dist < 0)
+          Out |= SignNeg;
+        else if (D.Dist == 0)
+          Out |= SignNeg;
+        else
+          Out |= SignNeg | SignZero | SignPos;
+      }
+    }
+    return Out;
+  };
+
+  if (L.IsDistance)
+    return direction(mixedDistanceDir(L, R));
+  if (R.IsDistance)
+    return direction(mixedDistanceDir(R, L));
+
+  uint8_t Out = 0;
+  for (uint8_t A : {uint8_t(SignNeg), uint8_t(SignZero), uint8_t(SignPos)}) {
+    if (!(L.Mask & A))
+      continue;
+    for (uint8_t B : {uint8_t(SignNeg), uint8_t(SignZero), uint8_t(SignPos)}) {
+      if (!(R.Mask & B))
+        continue;
+      if (A == SignZero)
+        Out |= B;
+      else if (B == SignZero)
+        Out |= A;
+      else if (A == B)
+        Out |= A;
+      else
+        Out |= SignNeg | SignZero | SignPos;
+    }
+  }
+  return direction(Out);
+}
+
+DepElem DepElem::scaled(int64_t C) const {
+  if (C == 0)
+    return distance(0);
+  if (IsDistance)
+    return distance(mulChecked(Dist, C));
+  return C > 0 ? *this : reversed();
+}
+
+std::vector<DepElem> DepElem::expandSummary() const {
+  if (IsDistance)
+    return {*this};
+  std::vector<DepElem> Out;
+  if (canBeNegative())
+    Out.push_back(neg());
+  if (canBeZero())
+    Out.push_back(zero());
+  if (canBePositive())
+    Out.push_back(pos());
+  return Out;
+}
+
+DepElem DepElem::joinedWith(const DepElem &O) const {
+  if (IsDistance && O.IsDistance && Dist == O.Dist)
+    return *this;
+  return direction(Mask | O.Mask);
+}
+
+std::vector<int64_t> DepElem::valuesWithin(int64_t Radius) const {
+  std::vector<int64_t> Out;
+  if (IsDistance) {
+    if (Dist >= -Radius && Dist <= Radius)
+      Out.push_back(Dist);
+    return Out;
+  }
+  for (int64_t V = -Radius; V <= Radius; ++V)
+    if (contains(V))
+      Out.push_back(V);
+  return Out;
+}
+
+bool DepElem::operator<(const DepElem &O) const {
+  if (IsDistance != O.IsDistance)
+    return IsDistance; // distances order before directions
+  if (IsDistance)
+    return Dist < O.Dist;
+  return Mask < O.Mask;
+}
+
+std::string DepElem::str() const {
+  if (IsDistance)
+    return std::to_string(Dist);
+  switch (Mask) {
+  case SignPos:
+    return "+";
+  case SignNeg:
+    return "-";
+  case SignZero | SignPos:
+    return "0+";
+  case SignNeg | SignZero:
+    return "0-";
+  case SignNeg | SignPos:
+    return "+-";
+  case SignNeg | SignZero | SignPos:
+    return "*";
+  }
+  return "?";
+}

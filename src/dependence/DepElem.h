@@ -1,0 +1,141 @@
+//===- dependence/DepElem.h - Distance/direction dependence entries ------===//
+//
+// Part of the IRLT project: a reproduction of Sarkar & Thekkath,
+// "A General Framework for Iteration-Reordering Loop Transformations"
+// (PLDI 1992). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One entry of a dependence vector (Definition 3.1). An entry is either
+///
+///   - a *distance*: an exact integer d, with S(d) = {d}; or
+///   - a *direction*: one of the paper's six values
+///       +  (positive), - (negative), 0+ (non-negative), 0- (non-positive),
+///       +- (non-zero), * (any),
+///     with S(dir) = all integers whose sign is contained in the value.
+///
+/// Directions are represented as a non-empty subset of {Neg, Zero, Pos}.
+/// The paper's "=" direction is identical to the zero distance and is
+/// normalized to it. The full direction lattice (including singletons
+/// {Neg} and {Pos}) is closed under the operations the mapping rules of
+/// Table 2 need: reversal, dir(), parallel symmetrization (parmap),
+/// addition and integer scaling (for the direction-extended matrix-vector
+/// product of the Unimodular rule), and the pairwise mergedirs of the
+/// Coalesce rule.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRLT_DEPENDENCE_DEPELEM_H
+#define IRLT_DEPENDENCE_DEPELEM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace irlt {
+
+/// One dependence-vector entry: exact distance or direction sign-set.
+class DepElem {
+public:
+  /// Sign-set bits for direction values.
+  enum SignBit : uint8_t { SignNeg = 1, SignZero = 2, SignPos = 4 };
+
+  /// Default: the zero distance.
+  DepElem() : IsDistance(true), Dist(0), Mask(SignZero) {}
+
+  /// Exact distance d (S = {d}).
+  static DepElem distance(int64_t D);
+
+  /// Direction from a non-empty sign mask. A pure-zero mask normalizes to
+  /// the zero distance (the paper's "=" direction).
+  static DepElem direction(uint8_t Mask);
+
+  static DepElem pos() { return direction(SignPos); }          ///< +
+  static DepElem neg() { return direction(SignNeg); }          ///< -
+  static DepElem zeroPos() { return direction(SignZero | SignPos); } ///< 0+
+  static DepElem zeroNeg() { return direction(SignNeg | SignZero); } ///< 0-
+  static DepElem nonZero() { return direction(SignNeg | SignPos); }  ///< +-
+  static DepElem any() {
+    return direction(SignNeg | SignZero | SignPos); ///< *
+  }
+  static DepElem zero() { return distance(0); }
+
+  bool isDistance() const { return IsDistance; }
+  bool isDirection() const { return !IsDistance; }
+
+  /// The exact distance; only valid for distance entries.
+  int64_t dist() const;
+
+  /// The sign set S(d) can reach: for a distance this is the singleton
+  /// sign of the value.
+  uint8_t signMask() const { return Mask; }
+
+  bool canBeNegative() const { return (Mask & SignNeg) != 0; }
+  bool canBeZero() const { return (Mask & SignZero) != 0; }
+  bool canBePositive() const { return (Mask & SignPos) != 0; }
+
+  /// True if S(this) contains the integer \p V.
+  bool contains(int64_t V) const;
+
+  /// True if S(this) is a superset of S(\p O).
+  bool covers(const DepElem &O) const;
+
+  /// Entry for the reversed loop: distance d -> -d; direction: Neg and Pos
+  /// bits swap.
+  DepElem reversed() const;
+
+  /// The paper's dir() function (Table 2, Block rule): the entry itself if
+  /// it is a direction value or zero; otherwise the sign direction of the
+  /// distance.
+  DepElem dirOnly() const;
+
+  /// The parallelize map: iterations of a parallel loop are unordered, so
+  /// every non-zero value it can take may be observed with either sign.
+  /// Zero stays zero; otherwise the sign set is symmetrized. (This is what
+  /// makes Parallelize "just another reordering transformation": the
+  /// symmetric entry turns into a lexicographically negative witness
+  /// exactly when the parallel loop would carry the dependence.)
+  DepElem parMapped() const;
+
+  /// Sum entry: exact when both are distances, sign-interval arithmetic
+  /// otherwise. Always a superset of {a + b | a in S(L), b in S(R)}.
+  static DepElem add(const DepElem &L, const DepElem &R);
+
+  /// Scaled entry c*d: exact for distances; directions flip on negative c.
+  DepElem scaled(int64_t C) const;
+
+  /// Expands a summary direction (0+, 0-, +-, *) into the equivalent set
+  /// of non-summary entries {-, 0, +} per the recommendation at the end of
+  /// Section 3.1. Non-summary entries expand to themselves.
+  std::vector<DepElem> expandSummary() const;
+
+  /// The least entry covering both (equal distances stay exact; anything
+  /// else joins as a direction over the union of the sign sets).
+  DepElem joinedWith(const DepElem &O) const;
+
+  /// All values of S(this) within [-Radius, Radius]; for tests/ground truth.
+  std::vector<int64_t> valuesWithin(int64_t Radius) const;
+
+  bool operator==(const DepElem &O) const {
+    if (IsDistance != O.IsDistance)
+      return false;
+    return IsDistance ? Dist == O.Dist : Mask == O.Mask;
+  }
+  bool operator!=(const DepElem &O) const { return !(*this == O); }
+
+  /// Total order for canonicalizing dependence sets.
+  bool operator<(const DepElem &O) const;
+
+  /// Paper-style rendering: "3", "-1", "+", "-", "0+", "0-", "+-", "*".
+  std::string str() const;
+
+private:
+  bool IsDistance;
+  int64_t Dist; // valid when IsDistance
+  uint8_t Mask; // always valid: singleton sign for distances
+};
+
+} // namespace irlt
+
+#endif // IRLT_DEPENDENCE_DEPELEM_H

@@ -1,0 +1,200 @@
+//===- dependence/DepVector.cpp - Dependence vectors and sets ------------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dependence/DepVector.h"
+
+#include "support/Printing.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace irlt;
+
+DepVector DepVector::distances(const std::vector<int64_t> &Ds) {
+  std::vector<DepElem> Elems;
+  Elems.reserve(Ds.size());
+  for (int64_t D : Ds)
+    Elems.push_back(DepElem::distance(D));
+  return DepVector(std::move(Elems));
+}
+
+bool DepVector::canBeLexNegative() const {
+  // A tuple is lexicographically negative iff its first non-zero element
+  // is negative. Entries choose values independently (Tuples is a
+  // Cartesian product), so scan: position k can host the first negative
+  // element iff entry k can be negative and all earlier entries can be 0.
+  for (const DepElem &E : Elems) {
+    if (E.canBeNegative())
+      return true;
+    if (!E.canBeZero())
+      return false; // some earlier entry is forced non-zero, non-negative
+  }
+  return false;
+}
+
+bool DepVector::canBeLexPositive() const {
+  for (const DepElem &E : Elems) {
+    if (E.canBePositive())
+      return true;
+    if (!E.canBeZero())
+      return false;
+  }
+  return false;
+}
+
+bool DepVector::isAllZero() const {
+  for (const DepElem &E : Elems)
+    if (!(E.isDistance() && E.dist() == 0))
+      return false;
+  return true;
+}
+
+bool DepVector::allDistances() const {
+  for (const DepElem &E : Elems)
+    if (!E.isDistance())
+      return false;
+  return true;
+}
+
+bool DepVector::containsTuple(const std::vector<int64_t> &T) const {
+  assert(T.size() == Elems.size() && "tuple arity mismatch");
+  for (size_t I = 0; I < T.size(); ++I)
+    if (!Elems[I].contains(T[I]))
+      return false;
+  return true;
+}
+
+bool DepVector::covers(const DepVector &O) const {
+  if (size() != O.size())
+    return false;
+  for (size_t I = 0; I < Elems.size(); ++I)
+    if (!Elems[I].covers(O.Elems[I]))
+      return false;
+  return true;
+}
+
+std::vector<DepVector> DepVector::expandSummaries() const {
+  std::vector<DepVector> Out;
+  Out.emplace_back(std::vector<DepElem>{});
+  for (const DepElem &E : Elems) {
+    std::vector<DepElem> Choices = E.expandSummary();
+    std::vector<DepVector> Next;
+    Next.reserve(Out.size() * Choices.size());
+    for (const DepVector &Prefix : Out)
+      for (const DepElem &C : Choices) {
+        std::vector<DepElem> Elems2 = Prefix.elems();
+        Elems2.push_back(C);
+        Next.emplace_back(std::move(Elems2));
+      }
+    Out = std::move(Next);
+  }
+  return Out;
+}
+
+bool DepVector::operator<(const DepVector &O) const {
+  if (Elems.size() != O.Elems.size())
+    return Elems.size() < O.Elems.size();
+  for (size_t I = 0; I < Elems.size(); ++I) {
+    if (Elems[I] < O.Elems[I])
+      return true;
+    if (O.Elems[I] < Elems[I])
+      return false;
+  }
+  return false;
+}
+
+std::string DepVector::str() const {
+  std::vector<std::string> Parts;
+  Parts.reserve(Elems.size());
+  for (const DepElem &E : Elems)
+    Parts.push_back(E.str());
+  return "(" + join(Parts, ", ") + ")";
+}
+
+void DepSet::insert(DepVector V) {
+  auto It = std::lower_bound(Vectors.begin(), Vectors.end(), V);
+  if (It != Vectors.end() && *It == V)
+    return;
+  Vectors.insert(It, std::move(V));
+}
+
+void DepSet::insertAll(std::vector<DepVector> Vs) {
+  for (DepVector &V : Vs)
+    insert(std::move(V));
+}
+
+bool DepSet::allLexNonNegative() const {
+  for (const DepVector &V : Vectors)
+    if (V.canBeLexNegative())
+      return false;
+  return true;
+}
+
+DepSet DepSet::expandedSummaries() const {
+  DepSet Out;
+  for (const DepVector &V : Vectors)
+    Out.insertAll(V.expandSummaries());
+  return Out;
+}
+
+DepSet DepSet::minimized() const {
+  DepSet Out;
+  for (size_t I = 0; I < Vectors.size(); ++I) {
+    bool Covered = false;
+    for (size_t J = 0; J < Vectors.size(); ++J) {
+      if (I == J)
+        continue;
+      if (Vectors[J].covers(Vectors[I]) &&
+          !(Vectors[I].covers(Vectors[J]) && I < J)) {
+        Covered = true;
+        break;
+      }
+    }
+    if (!Covered)
+      Out.insert(Vectors[I]);
+  }
+  return Out;
+}
+
+DepSet DepSet::summarized(size_t MaxVectors) const {
+  if (Vectors.size() <= MaxVectors)
+    return *this;
+  // Group by the position of the first possibly-non-zero entry (n = the
+  // all-zero-capable group), then pointwise-join within groups.
+  std::map<unsigned, DepVector> Groups;
+  for (const DepVector &V : Vectors) {
+    unsigned Level = V.size();
+    for (unsigned K = 0; K < V.size(); ++K) {
+      if (!(V[K].isDistance() && V[K].dist() == 0)) {
+        Level = K;
+        break;
+      }
+    }
+    auto It = Groups.find(Level);
+    if (It == Groups.end()) {
+      Groups.emplace(Level, V);
+      continue;
+    }
+    std::vector<DepElem> Joined;
+    Joined.reserve(V.size());
+    for (unsigned K = 0; K < V.size(); ++K)
+      Joined.push_back(It->second[K].joinedWith(V[K]));
+    It->second = DepVector(std::move(Joined));
+  }
+  DepSet Out;
+  for (auto &[Level, V] : Groups)
+    Out.insert(std::move(V));
+  return Out;
+}
+
+std::string DepSet::str() const {
+  std::vector<std::string> Parts;
+  Parts.reserve(Vectors.size());
+  for (const DepVector &V : Vectors)
+    Parts.push_back(V.str());
+  return "{" + join(Parts, ", ") + "}";
+}

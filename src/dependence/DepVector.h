@@ -1,0 +1,116 @@
+//===- dependence/DepVector.h - Dependence vectors and sets --------------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dependence vectors (Definition 3.1) and dependence-vector sets, with
+/// the Tuples() semantics of Section 3.1 and the lexicographic tests the
+/// uniform legality test of Section 3.2 is built on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRLT_DEPENDENCE_DEPVECTOR_H
+#define IRLT_DEPENDENCE_DEPVECTOR_H
+
+#include "dependence/DepElem.h"
+
+#include <string>
+#include <vector>
+
+namespace irlt {
+
+/// A dependence vector: one DepElem per loop, outermost first.
+/// Tuples(d) = S(d_1) x ... x S(d_n).
+class DepVector {
+public:
+  DepVector() = default;
+  explicit DepVector(std::vector<DepElem> Elems) : Elems(std::move(Elems)) {}
+
+  /// Builds an exact distance vector.
+  static DepVector distances(const std::vector<int64_t> &Ds);
+
+  unsigned size() const { return static_cast<unsigned>(Elems.size()); }
+  const DepElem &operator[](unsigned I) const { return Elems[I]; }
+  DepElem &operator[](unsigned I) { return Elems[I]; }
+  const std::vector<DepElem> &elems() const { return Elems; }
+
+  /// True if Tuples(this) contains a lexicographically negative tuple
+  /// (Definition 3.2): there is a position k whose entry can be negative
+  /// while all earlier entries can be zero. This is the core of the
+  /// uniform dependence legality test.
+  bool canBeLexNegative() const;
+
+  /// True if Tuples(this) contains a lexicographically positive tuple.
+  bool canBeLexPositive() const;
+
+  /// True if every entry is the exact zero distance.
+  bool isAllZero() const;
+
+  /// True if every entry is an exact distance.
+  bool allDistances() const;
+
+  /// True if Tuples(this) contains the concrete tuple \p T.
+  bool containsTuple(const std::vector<int64_t> &T) const;
+
+  /// True if Tuples(this) is a superset of Tuples(O) (entrywise cover).
+  bool covers(const DepVector &O) const;
+
+  /// Expands summary directions into all combinations of {-, 0, +}
+  /// entries (Section 3.1 recommends this for best precision).
+  std::vector<DepVector> expandSummaries() const;
+
+  bool operator==(const DepVector &O) const { return Elems == O.Elems; }
+  bool operator<(const DepVector &O) const;
+
+  /// Paper-style rendering, e.g. "(1, -1)" or "(0, +)".
+  std::string str() const;
+
+private:
+  std::vector<DepElem> Elems;
+};
+
+/// A set of dependence vectors. Tuples(D) is the union over members.
+/// Kept deduplicated (exact equality) and sorted for deterministic output.
+class DepSet {
+public:
+  DepSet() = default;
+  explicit DepSet(std::vector<DepVector> Vs) { insertAll(std::move(Vs)); }
+
+  void insert(DepVector V);
+  void insertAll(std::vector<DepVector> Vs);
+
+  bool empty() const { return Vectors.empty(); }
+  size_t size() const { return Vectors.size(); }
+  const std::vector<DepVector> &vectors() const { return Vectors; }
+
+  /// The dependence part of IsLegal (Section 3.2): true iff no member can
+  /// produce a lexicographically negative tuple.
+  bool allLexNonNegative() const;
+
+  /// Expands every summary direction in every member.
+  DepSet expandedSummaries() const;
+
+  /// Drops members whose tuple set is covered by another member.
+  DepSet minimized() const;
+
+  /// Widens the set to at most \p MaxVectors members by pointwise-joining
+  /// vectors that share the position of their first possibly-non-zero
+  /// entry (which preserves the lexicographic level structure the
+  /// legality test cares about). Always a tuple-superset of the input;
+  /// useful to curb Block/Interleave fan-out growth in long pipelines.
+  DepSet summarized(size_t MaxVectors) const;
+
+  bool operator==(const DepSet &O) const { return Vectors == O.Vectors; }
+
+  /// "{(1, -1), (0, +)}".
+  std::string str() const;
+
+private:
+  std::vector<DepVector> Vectors;
+};
+
+} // namespace irlt
+
+#endif // IRLT_DEPENDENCE_DEPVECTOR_H

@@ -1,0 +1,173 @@
+//===- dependence/FMSolver.cpp - Rational Fourier-Motzkin elimination ----===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dependence/FMSolver.h"
+
+#include "support/MathUtils.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace irlt;
+
+void FMSystem::addLE(std::vector<int64_t> Coef, int64_t Rhs) {
+  assert(Coef.size() == NumVars && "coefficient arity mismatch");
+  Row R{std::move(Coef), Rhs};
+  bool Contradiction = false;
+  if (normalizeRow(R, Contradiction))
+    Rows.push_back(std::move(R));
+  if (Contradiction)
+    HardInfeasible = true;
+}
+
+void FMSystem::addGE(std::vector<int64_t> Coef, int64_t Rhs) {
+  for (int64_t &C : Coef)
+    C = -C;
+  addLE(std::move(Coef), -Rhs);
+}
+
+void FMSystem::addEQ(const std::vector<int64_t> &Coef, int64_t Rhs) {
+  addLE(Coef, Rhs);
+  addGE(Coef, Rhs);
+}
+
+void FMSystem::fixVar(unsigned Var, int64_t Value) {
+  std::vector<int64_t> Coef(NumVars, 0);
+  Coef[Var] = 1;
+  addEQ(Coef, Value);
+}
+
+bool FMSystem::normalizeRow(Row &R, bool &Contradiction) {
+  int64_t G = 0;
+  for (int64_t C : R.Coef)
+    G = gcd(G, C);
+  if (G == 0) {
+    // Constant row: 0 <= Rhs.
+    if (R.Rhs < 0)
+      Contradiction = true;
+    return false; // never keep constant rows
+  }
+  if (G > 1) {
+    for (int64_t &C : R.Coef)
+      C /= G;
+    // Integer tightening on the rational relaxation is sound (floor keeps
+    // all rational solutions of the scaled row? No - flooring the rhs can
+    // cut rational solutions). Keep the exact rational row: divide rhs
+    // only when it stays exact.
+    if (R.Rhs % G == 0)
+      R.Rhs /= G;
+    else {
+      // Re-scale coefficients back; keep the row unreduced.
+      for (int64_t &C : R.Coef)
+        C *= G;
+    }
+  }
+  return true;
+}
+
+FMSystem::ElimResult FMSystem::eliminate(std::vector<Row> &Rows,
+                                         unsigned Var) {
+  // Bail out before the pairing step can square the row count into
+  // pathological territory; callers treat Overflow as "unknown".
+  constexpr size_t RowCap = 2000;
+  std::vector<Row> Lower, Upper, Rest;
+  for (Row &R : Rows) {
+    if (R.Coef[Var] < 0)
+      Lower.push_back(std::move(R));
+    else if (R.Coef[Var] > 0)
+      Upper.push_back(std::move(R));
+    else
+      Rest.push_back(std::move(R));
+  }
+  if (Rest.size() + Lower.size() * Upper.size() > RowCap)
+    return ElimResult::Overflow;
+  Rows = std::move(Rest);
+  for (const Row &L : Lower) {
+    for (const Row &U : Upper) {
+      // L: cL*v + a.x <= rL (cL < 0);  U: cU*v + b.x <= rU (cU > 0).
+      // cU*L + (-cL)*U eliminates v.
+      int64_t FL = U.Coef[Var];  // > 0
+      int64_t FU = -L.Coef[Var]; // > 0
+      Row N;
+      N.Coef.resize(L.Coef.size());
+      for (size_t I = 0; I < L.Coef.size(); ++I)
+        N.Coef[I] =
+            addChecked(mulChecked(FL, L.Coef[I]), mulChecked(FU, U.Coef[I]));
+      N.Rhs = addChecked(mulChecked(FL, L.Rhs), mulChecked(FU, U.Rhs));
+      assert(N.Coef[Var] == 0 && "variable survived elimination");
+      bool Contradiction = false;
+      if (normalizeRow(N, Contradiction))
+        Rows.push_back(std::move(N));
+      if (Contradiction)
+        return ElimResult::Contradiction;
+    }
+  }
+  // Deduplicate to curb FM blowup.
+  std::sort(Rows.begin(), Rows.end(), [](const Row &A, const Row &B) {
+    if (A.Coef != B.Coef)
+      return A.Coef < B.Coef;
+    return A.Rhs < B.Rhs;
+  });
+  Rows.erase(std::unique(Rows.begin(), Rows.end(),
+                         [](const Row &A, const Row &B) {
+                           return A.Coef == B.Coef && A.Rhs == B.Rhs;
+                         }),
+             Rows.end());
+  return ElimResult::Ok;
+}
+
+bool FMSystem::feasible() const {
+  if (HardInfeasible)
+    return false;
+  std::vector<Row> Work = Rows;
+  for (unsigned V = 0; V < NumVars; ++V) {
+    switch (eliminate(Work, V)) {
+    case ElimResult::Contradiction:
+      return false;
+    case ElimResult::Overflow:
+      return true; // unknown: conservative for every caller
+    case ElimResult::Ok:
+      break;
+    }
+  }
+  return true; // only tautological constant rows remained
+}
+
+VarRange FMSystem::rangeOf(unsigned Var) const {
+  VarRange Out;
+  if (HardInfeasible)
+    return Out;
+  std::vector<Row> Work = Rows;
+  for (unsigned V = 0; V < NumVars; ++V) {
+    if (V == Var)
+      continue;
+    switch (eliminate(Work, V)) {
+    case ElimResult::Contradiction:
+      return Out;
+    case ElimResult::Overflow:
+      Out.Feasible = true; // unknown: report an unbounded range
+      return Out;
+    case ElimResult::Ok:
+      break;
+    }
+  }
+  Out.Feasible = true;
+  for (const Row &R : Work) {
+    int64_t C = R.Coef[Var];
+    assert(C != 0 && "constant rows are never stored");
+    Rational Bound(R.Rhs, C);
+    if (C > 0) { // v <= Rhs/C
+      if (!Out.Hi || Bound < *Out.Hi)
+        Out.Hi = Bound;
+    } else { // v >= Rhs/C (division by negative flips)
+      if (!Out.Lo || Bound > *Out.Lo)
+        Out.Lo = Bound;
+    }
+  }
+  if (Out.Lo && Out.Hi && *Out.Hi < *Out.Lo)
+    Out.Feasible = false;
+  return Out;
+}

@@ -1,0 +1,92 @@
+//===- dependence/FMSolver.h - Rational Fourier-Motzkin elimination ------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small exact Fourier-Motzkin solver over rational variables. The
+/// dependence analyzer uses it as the "fast and practical integer
+/// programming" backend the paper cites (Pugh's Omega test [12]): the
+/// rational relaxation is a conservative feasibility test, sharpened by
+/// per-equation GCD filters in the analyzer. It also computes variable
+/// ranges, which the analyzer uses to refine direction entries into exact
+/// distances.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRLT_DEPENDENCE_FMSOLVER_H
+#define IRLT_DEPENDENCE_FMSOLVER_H
+
+#include "support/Rational.h"
+
+#include <optional>
+#include <vector>
+
+namespace irlt {
+
+/// Result of projecting a system onto one variable.
+struct VarRange {
+  bool Feasible = false;
+  std::optional<Rational> Lo; ///< empty = unbounded below
+  std::optional<Rational> Hi; ///< empty = unbounded above
+};
+
+/// A conjunction of linear constraints  sum_i Coef[i]*x_i <= Rhs  (and
+/// equalities) over \p NumVars rational variables. Coefficients are kept
+/// as integers (every client has integer coefficients); right-hand sides
+/// too.
+class FMSystem {
+public:
+  explicit FMSystem(unsigned NumVars) : NumVars(NumVars) {}
+
+  unsigned numVars() const { return NumVars; }
+
+  /// Adds sum Coef[i]*x_i <= Rhs.
+  void addLE(std::vector<int64_t> Coef, int64_t Rhs);
+
+  /// Adds sum Coef[i]*x_i >= Rhs.
+  void addGE(std::vector<int64_t> Coef, int64_t Rhs);
+
+  /// Adds sum Coef[i]*x_i == Rhs (as a pair of inequalities).
+  void addEQ(const std::vector<int64_t> &Coef, int64_t Rhs);
+
+  /// Fixes variable \p Var to \p Value.
+  void fixVar(unsigned Var, int64_t Value);
+
+  /// True if the rational relaxation has a solution.
+  bool feasible() const;
+
+  /// Projects onto variable \p Var: eliminates all others and reports the
+  /// variable's feasible range (rational). Infeasible systems report
+  /// Feasible = false.
+  VarRange rangeOf(unsigned Var) const;
+
+  size_t numConstraints() const { return Rows.size(); }
+
+private:
+  struct Row {
+    std::vector<int64_t> Coef; // length NumVars
+    int64_t Rhs;
+  };
+
+  /// Divides by the gcd of all coefficients and the rhs-compatible factor,
+  /// then returns false if the row is a tautology (all-zero, 0 <= Rhs with
+  /// Rhs >= 0) and flags contradictions.
+  static bool normalizeRow(Row &R, bool &Contradiction);
+
+  enum class ElimResult { Ok, Contradiction, Overflow };
+
+  /// Eliminates variable \p Var from \p Rows (classic FM pairing).
+  /// Overflow reports that the quadratic pairing exceeded the row cap -
+  /// callers must fall back conservatively (assume feasible/unbounded).
+  static ElimResult eliminate(std::vector<Row> &Rows, unsigned Var);
+
+  std::vector<Row> Rows; // all rows mean  sum Coef*x <= Rhs
+  unsigned NumVars;
+  bool HardInfeasible = false; // a contradiction was added directly
+};
+
+} // namespace irlt
+
+#endif // IRLT_DEPENDENCE_FMSOLVER_H

@@ -1,0 +1,51 @@
+//===- driver/Script.h - Textual transformation scripts ------------------===//
+//
+// Part of the IRLT project: a reproduction of Sarkar & Thekkath,
+// "A General Framework for Iteration-Reordering Loop Transformations"
+// (PLDI 1992). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small textual front end for building transformation sequences - the
+/// scripting surface of the `irlt-opt` tool. One directive per line (or
+/// ';'-separated); loop positions are 1-based as in the paper:
+///
+/// \code
+///   interchange 1 2          ! ReversePermute swapping two loops
+///   reverse 2                ! ReversePermute reversing loop 2
+///   permute 3 1 2            ! loop k moves to position perm[k]
+///   parallelize 1 3          ! listed loops become pardo
+///   block 1 3 8 8 8          ! Block(i, j, bsize...) - sizes may be
+///                            !   integers or symbolic names
+///   coalesce 1 2 [name]      ! Coalesce(i, j), optional new variable
+///   interleave 1 2 4 4       ! Interleave(i, j, isize...)
+///   stripmine 2 16           ! StripMine(k, size)
+///   unimodular 1 1 / 1 0     ! row-major matrix, rows '/'-separated
+///   skew 1 2 1               ! Unimodular skew: y_2 += 1 * x_1
+/// \endcode
+///
+/// Directives carry no nest size: it is threaded through the parse, each
+/// directive consuming the current size and producing the next - which is
+/// why parsing needs only the *initial* loop count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRLT_DRIVER_SCRIPT_H
+#define IRLT_DRIVER_SCRIPT_H
+
+#include "support/ErrorOr.h"
+#include "transform/Sequence.h"
+
+#include <string>
+
+namespace irlt {
+
+/// Parses \p Script into a sequence applicable to a nest of
+/// \p InitialLoops loops. Reports the first malformed directive.
+ErrorOr<TransformSequence> parseTransformScript(const std::string &Script,
+                                                unsigned InitialLoops);
+
+} // namespace irlt
+
+#endif // IRLT_DRIVER_SCRIPT_H

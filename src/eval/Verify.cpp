@@ -1,0 +1,135 @@
+//===- eval/Verify.cpp - Ground-truth transformation verification --------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/Verify.h"
+
+#include "support/Printing.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace irlt;
+
+std::vector<std::pair<uint64_t, uint64_t>>
+irlt::dependentInstancePairs(const EvalResult &OriginalRun) {
+  assert(OriginalRun.Accesses.size() == OriginalRun.AccessOwner.size() &&
+         "trace missing access ownership");
+  // Group accesses by cell.
+  struct CellAccess {
+    uint64_t Owner;
+    bool IsWrite;
+  };
+  std::map<std::pair<std::string, std::vector<int64_t>>,
+           std::vector<CellAccess>>
+      Cells;
+  for (size_t I = 0; I < OriginalRun.Accesses.size(); ++I) {
+    const MemAccess &A = OriginalRun.Accesses[I];
+    Cells[{A.Array, A.Subs}].push_back(
+        CellAccess{OriginalRun.AccessOwner[I], A.IsWrite});
+  }
+  std::set<std::pair<uint64_t, uint64_t>> Pairs;
+  for (const auto &[Cell, List] : Cells) {
+    for (size_t A = 0; A < List.size(); ++A)
+      for (size_t B = A + 1; B < List.size(); ++B) {
+        if (!List[A].IsWrite && !List[B].IsWrite)
+          continue;
+        if (List[A].Owner == List[B].Owner)
+          continue; // within one instance: not an iteration-reordering
+                    // constraint
+        Pairs.emplace(std::min(List[A].Owner, List[B].Owner),
+                      std::max(List[A].Owner, List[B].Owner));
+      }
+  }
+  return std::vector<std::pair<uint64_t, uint64_t>>(Pairs.begin(),
+                                                    Pairs.end());
+}
+
+VerifyResult irlt::verifyTransformed(const LoopNest &Original,
+                                     const LoopNest &Transformed,
+                                     const EvalConfig &Config) {
+  VerifyResult R;
+  EvalConfig C = Config;
+  C.RecordTrace = true;
+  C.RecordAccesses = true;
+  C.ExecuteBody = true;
+
+  ArrayStore StoreO, StoreT;
+  EvalResult RunO = evaluate(Original, C, StoreO);
+  EvalResult RunT = evaluate(Transformed, C, StoreT);
+
+  // Check 1: same multiset of execution instances.
+  if (RunO.Instances.size() != RunT.Instances.size()) {
+    R.Problem = formatStr(
+        "instance count mismatch: original executes %zu, transformed %zu",
+        RunO.Instances.size(), RunT.Instances.size());
+    return R;
+  }
+  {
+    std::vector<std::vector<int64_t>> A = RunO.Instances;
+    std::vector<std::vector<int64_t>> B = RunT.Instances;
+    std::sort(A.begin(), A.end());
+    std::sort(B.begin(), B.end());
+    if (A != B) {
+      R.Problem = "transformed nest executes a different set of instances";
+      return R;
+    }
+  }
+
+  // Position of each instance in the transformed execution order.
+  std::map<std::vector<int64_t>, uint64_t> PosT;
+  for (uint64_t I = 0; I < RunT.Instances.size(); ++I) {
+    if (!PosT.emplace(RunT.Instances[I], I).second) {
+      R.Problem = "transformed nest executes an instance twice";
+      return R;
+    }
+  }
+
+  // Check 2: dependence order. Every dependent pair of the original run
+  // must execute in the same relative order in the transformed run, and
+  // the two executions must not be unordered under a pardo loop.
+  std::vector<std::pair<uint64_t, uint64_t>> Pairs =
+      dependentInstancePairs(RunO);
+  for (const auto &[A, B] : Pairs) {
+    uint64_t TA = PosT.at(RunO.Instances[A]);
+    uint64_t TB = PosT.at(RunO.Instances[B]);
+    if (TA >= TB) {
+      R.Problem = formatStr(
+          "dependent instances reordered: original #%llu before #%llu, "
+          "transformed positions %llu and %llu",
+          static_cast<unsigned long long>(A),
+          static_cast<unsigned long long>(B),
+          static_cast<unsigned long long>(TA),
+          static_cast<unsigned long long>(TB));
+      return R;
+    }
+    // Unordered-parallel check: the first differing transformed loop
+    // level between the two executions must be sequential.
+    const std::vector<int64_t> &LA = RunT.LoopTuples[TA];
+    const std::vector<int64_t> &LB = RunT.LoopTuples[TB];
+    for (unsigned K = 0; K < Transformed.numLoops(); ++K) {
+      if (LA[K] == LB[K])
+        continue;
+      if (Transformed.Loops[K].Kind == LoopKind::ParDo) {
+        R.Problem = formatStr(
+            "dependent instances are unordered under pardo loop %u ('%s')",
+            K + 1, Transformed.Loops[K].IndexVar.c_str());
+        return R;
+      }
+      break;
+    }
+  }
+
+  // Check 3: identical final stores.
+  if (!(StoreO == StoreT)) {
+    R.Problem = "final array stores differ";
+    return R;
+  }
+
+  R.Ok = true;
+  return R;
+}

@@ -1,0 +1,58 @@
+//===- eval/Verify.h - Ground-truth transformation verification ----------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ground-truth checking of transformed loop nests by concrete execution.
+/// For a given parameter binding this module verifies that a transformed
+/// nest:
+///
+///  1. executes exactly the same multiset of execution instances as the
+///     original (the initialization statements recover each instance's
+///     original index values);
+///  2. orders every pair of dependent instances (same array cell, at
+///     least one write, per the original run) consistently with the
+///     original execution - where iterations of `pardo` loops count as
+///     unordered and therefore must not carry a dependence;
+///  3. leaves the array store in the same final state.
+///
+/// Together with the consistency property tests (Definition 3.4) this is
+/// the empirical backstop for every mapping rule in Tables 2-4.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRLT_EVAL_VERIFY_H
+#define IRLT_EVAL_VERIFY_H
+
+#include "eval/Evaluator.h"
+#include "ir/LoopNest.h"
+
+#include <string>
+
+namespace irlt {
+
+/// Outcome of a verification run.
+struct VerifyResult {
+  bool Ok = false;
+  std::string Problem; ///< empty when Ok
+};
+
+/// Runs both nests under \p Config (trace and access recording forced on)
+/// and applies the three checks above. \p Original must be an
+/// untransformed source nest (loop variables == BodyIndexVars).
+VerifyResult verifyTransformed(const LoopNest &Original,
+                               const LoopNest &Transformed,
+                               const EvalConfig &Config);
+
+/// The pairs of instance indices (positions in the original trace) that
+/// are in dependence: same array cell, at least one write, in distinct
+/// instances. Pairs are (earlier, later) by original execution order.
+/// Exposed for tests and benches.
+std::vector<std::pair<uint64_t, uint64_t>>
+dependentInstancePairs(const EvalResult &OriginalRun);
+
+} // namespace irlt
+
+#endif // IRLT_EVAL_VERIFY_H

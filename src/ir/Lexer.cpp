@@ -1,0 +1,174 @@
+//===- ir/Lexer.cpp - Tokenizer for the loop language ----------------------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Lexer.h"
+
+#include "support/Printing.h"
+
+#include <cctype>
+
+using namespace irlt;
+
+Lexer::Lexer(std::string Source) : Source(std::move(Source)) {}
+
+const char *irlt::tokKindName(TokKind K) {
+  switch (K) {
+  case TokKind::Ident:
+    return "identifier";
+  case TokKind::Int:
+    return "integer";
+  case TokKind::KwDo:
+    return "'do'";
+  case TokKind::KwParDo:
+    return "'pardo'";
+  case TokKind::KwEndDo:
+    return "'enddo'";
+  case TokKind::KwArrays:
+    return "'arrays'";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::Assign:
+    return "'='";
+  case TokKind::PlusAssign:
+    return "'+='";
+  case TokKind::Plus:
+    return "'+'";
+  case TokKind::Minus:
+    return "'-'";
+  case TokKind::Star:
+    return "'*'";
+  case TokKind::Slash:
+    return "'/'";
+  case TokKind::Newline:
+    return "end of line";
+  case TokKind::Eof:
+    return "end of input";
+  }
+  return "?";
+}
+
+std::string Lexer::tokenize(std::vector<Token> &Out) {
+  unsigned Line = 1, Col = 1;
+  size_t I = 0;
+  const size_t N = Source.size();
+  bool LineHasToken = false;
+
+  auto push = [&](TokKind K, std::string Text, unsigned TokCol) {
+    Token T;
+    T.Kind = K;
+    T.Text = std::move(Text);
+    T.Line = Line;
+    T.Col = TokCol;
+    Out.push_back(std::move(T));
+  };
+
+  while (I < N) {
+    char C = Source[I];
+    if (C == '\n') {
+      // Collapse blank lines: only emit Newline after a token-bearing line.
+      if (LineHasToken)
+        push(TokKind::Newline, "\\n", Col);
+      LineHasToken = false;
+      ++I;
+      ++Line;
+      Col = 1;
+      continue;
+    }
+    if (C == ' ' || C == '\t' || C == '\r') {
+      ++I;
+      ++Col;
+      continue;
+    }
+    if (C == '!') {
+      while (I < N && Source[I] != '\n')
+        ++I;
+      continue;
+    }
+    LineHasToken = true;
+    unsigned TokCol = Col;
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      size_t Start = I;
+      while (I < N && (std::isalnum(static_cast<unsigned char>(Source[I])) ||
+                       Source[I] == '_')) {
+        ++I;
+        ++Col;
+      }
+      std::string Word = Source.substr(Start, I - Start);
+      TokKind K = TokKind::Ident;
+      if (Word == "do")
+        K = TokKind::KwDo;
+      else if (Word == "pardo")
+        K = TokKind::KwParDo;
+      else if (Word == "enddo")
+        K = TokKind::KwEndDo;
+      else if (Word == "arrays")
+        K = TokKind::KwArrays;
+      push(K, std::move(Word), TokCol);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      size_t Start = I;
+      while (I < N && std::isdigit(static_cast<unsigned char>(Source[I]))) {
+        ++I;
+        ++Col;
+      }
+      std::string Digits = Source.substr(Start, I - Start);
+      Token T;
+      T.Kind = TokKind::Int;
+      T.Text = Digits;
+      T.IntValue = std::stoll(Digits);
+      T.Line = Line;
+      T.Col = TokCol;
+      Out.push_back(std::move(T));
+      continue;
+    }
+    switch (C) {
+    case '(':
+      push(TokKind::LParen, "(", TokCol);
+      break;
+    case ')':
+      push(TokKind::RParen, ")", TokCol);
+      break;
+    case ',':
+      push(TokKind::Comma, ",", TokCol);
+      break;
+    case '=':
+      push(TokKind::Assign, "=", TokCol);
+      break;
+    case '+':
+      if (I + 1 < N && Source[I + 1] == '=') {
+        push(TokKind::PlusAssign, "+=", TokCol);
+        ++I;
+        ++Col;
+      } else {
+        push(TokKind::Plus, "+", TokCol);
+      }
+      break;
+    case '-':
+      push(TokKind::Minus, "-", TokCol);
+      break;
+    case '*':
+      push(TokKind::Star, "*", TokCol);
+      break;
+    case '/':
+      push(TokKind::Slash, "/", TokCol);
+      break;
+    default:
+      return formatStr("line %u, col %u: unexpected character '%c'", Line,
+                       TokCol, C);
+    }
+    ++I;
+    ++Col;
+  }
+  if (LineHasToken)
+    push(TokKind::Newline, "\\n", Col);
+  push(TokKind::Eof, "", Col);
+  return std::string();
+}

@@ -1,0 +1,82 @@
+//===- ir/Lexer.h - Tokenizer for the loop language ------------------------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the Fortran-flavoured loop language used by the paper's
+/// figures:
+///
+/// \code
+///   do i = 2, n - 1
+///     do j = 2, n - 1
+///       a(i, j) = (a(i, j) + a(i - 1, j)) / 5
+///     enddo
+///   enddo
+/// \endcode
+///
+/// Comments run from `!` to end of line. Newlines are significant (they
+/// terminate statements).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRLT_IR_LEXER_H
+#define IRLT_IR_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace irlt {
+
+/// Token categories of the loop language.
+enum class TokKind {
+  Ident,
+  Int,
+  KwDo,
+  KwParDo,
+  KwEndDo,
+  KwArrays,
+  LParen,
+  RParen,
+  Comma,
+  Assign,     ///< '='
+  PlusAssign, ///< '+='
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Newline,
+  Eof
+};
+
+/// One token with its source position (1-based line/column).
+struct Token {
+  TokKind Kind;
+  std::string Text;
+  int64_t IntValue = 0;
+  unsigned Line = 0;
+  unsigned Col = 0;
+};
+
+/// Converts source text into a token stream. Lexical errors surface as a
+/// diagnostic string; the token list is still usable up to the error.
+class Lexer {
+public:
+  explicit Lexer(std::string Source);
+
+  /// Tokenizes the whole input. \returns empty string on success, else a
+  /// diagnostic.
+  std::string tokenize(std::vector<Token> &Out);
+
+private:
+  std::string Source;
+};
+
+/// Human-readable token kind name, for diagnostics.
+const char *tokKindName(TokKind K);
+
+} // namespace irlt
+
+#endif // IRLT_IR_LEXER_H

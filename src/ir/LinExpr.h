@@ -1,0 +1,117 @@
+//===- ir/LinExpr.h - Linear combinations over expression atoms ----------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LinExpr is the canonical linear form used everywhere the paper needs
+/// "linear with compile-time-constant coefficients": the type() lattice of
+/// Section 4.1, the LB/UB/STEP coefficient matrices of Section 4.3, the
+/// symbolic Fourier-Motzkin bounds generator behind the Unimodular
+/// template, and the affine subscript analysis in the dependence analyzer.
+///
+/// A LinExpr is  Const + sum_k Coef_k * Atom_k  where every Coef is an
+/// int64 and every Atom is an expression tree that the linearizer refused
+/// to open up: a plain variable, or an opaque subtree (call, div, mod,
+/// min/max, or a product of two non-constants). This mirrors the paper's
+/// bounds-matrix convention: linear terms get integer coefficient entries,
+/// and "the terms involving [a] nonlinear [variable] are combined into the
+/// (i, 0) entry" - here, into opaque atoms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRLT_IR_LINEXPR_H
+#define IRLT_IR_LINEXPR_H
+
+#include "ir/Expr.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace irlt {
+
+/// Canonical linear combination of expression atoms.
+class LinExpr {
+public:
+  /// One linear term: an atom with its integer coefficient.
+  struct Term {
+    ExprRef Atom;
+    int64_t Coef;
+  };
+
+  LinExpr() = default;
+  /*implicit*/ LinExpr(int64_t C) : Const(C) {}
+
+  /// Linearizes \p E. Never fails: an un-linearizable subtree becomes a
+  /// single opaque atom (so `sqrt(i)/2` is one atom with coefficient 1...
+  /// divided - see below: Div distributes over a constant divisor only when
+  /// exactness cannot be guaranteed it stays opaque).
+  static LinExpr fromExpr(const ExprRef &E);
+
+  /// The constant part.
+  int64_t constant() const { return Const; }
+
+  /// The coefficient of the *plain variable* \p Name (0 if absent as a
+  /// direct variable atom; occurrences buried inside opaque atoms do not
+  /// count - use dependsOn / hasVarInsideOpaqueAtom for those).
+  int64_t coeffOf(const std::string &Name) const;
+
+  /// True if \p Name occurs anywhere, including inside opaque atoms.
+  bool dependsOn(const std::string &Name) const;
+
+  /// True if \p Name occurs inside an atom that is not the plain variable
+  /// itself - i.e. the dependence on \p Name is nonlinear.
+  bool hasVarInsideOpaqueAtom(const std::string &Name) const;
+
+  /// True if there are no atoms at all (a compile-time constant).
+  bool isConst() const { return Terms.empty(); }
+
+  /// True if every atom is a plain variable (no opaque subtrees).
+  bool allAtomsAreVars() const;
+
+  const std::map<std::string, Term> &terms() const { return Terms; }
+
+  /// Removes the term for plain variable \p Name and returns its
+  /// coefficient (0 if absent).
+  int64_t extractVar(const std::string &Name);
+
+  /// Adds Coef * Var(Name).
+  void addVar(const std::string &Name, int64_t Coef);
+
+  /// Adds Coef * Atom for an arbitrary atom expression.
+  void addAtom(const ExprRef &Atom, int64_t Coef);
+
+  void addConst(int64_t C) { Const += C; }
+
+  LinExpr operator+(const LinExpr &O) const;
+  LinExpr operator-(const LinExpr &O) const;
+  LinExpr scaled(int64_t F) const;
+
+  /// Substitutes plain-variable atoms by LinExprs. Atoms that are not
+  /// plain variables are left untouched (callers guarantee, via the
+  /// paper's preconditions, that substituted variables do not occur inside
+  /// opaque atoms when exactness matters).
+  LinExpr substituted(const std::map<std::string, LinExpr> &Map) const;
+
+  /// Rebuilds a (simplified, deterministic) expression tree.
+  ExprRef toExpr() const;
+
+  bool equals(const LinExpr &O) const;
+
+  std::string str() const { return toExpr()->str(); }
+
+private:
+  // Keyed by the atom's canonical rendering so equal atoms merge.
+  std::map<std::string, Term> Terms;
+  int64_t Const = 0;
+};
+
+/// Simplifies \p E by round-tripping through LinExpr where profitable and
+/// recursively simplifying opaque subtrees. Constant folding included.
+ExprRef simplify(const ExprRef &E);
+
+} // namespace irlt
+
+#endif // IRLT_IR_LINEXPR_H

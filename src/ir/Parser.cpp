@@ -1,0 +1,326 @@
+//===- ir/Parser.cpp - Parser for the loop language -------------------------//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+
+#include "support/Printing.h"
+
+#include <cassert>
+
+using namespace irlt;
+
+namespace {
+
+class ParserImpl {
+public:
+  explicit ParserImpl(std::vector<Token> Toks) : Toks(std::move(Toks)) {}
+
+  ErrorOr<LoopNest> parseNest() {
+    LoopNest Nest;
+    skipNewlines();
+    if (peek().Kind == TokKind::KwArrays) {
+      if (std::string E = parseArraysHeader(Nest); !E.empty())
+        return Failure(E);
+    }
+    skipNewlines();
+    if (std::string E = parseLoop(Nest); !E.empty())
+      return Failure(E);
+    skipNewlines();
+    if (peek().Kind != TokKind::Eof)
+      return Failure(errHere("expected end of input after outermost enddo"));
+    if (std::string E = Nest.validate(); !E.empty())
+      return Failure("invalid loop nest: " + E);
+    Nest.sealAsSource();
+    return Nest;
+  }
+
+  ErrorOr<ExprRef> parseSingleExpr() {
+    std::string Err;
+    ExprRef E = parseExpression(Err);
+    if (!E)
+      return Failure(Err);
+    skipNewlines();
+    if (peek().Kind != TokKind::Eof)
+      return Failure(errHere("trailing tokens after expression"));
+    return E;
+  }
+
+private:
+  std::vector<Token> Toks;
+  size_t Pos = 0;
+
+  const Token &peek(size_t Ahead = 0) const {
+    size_t I = Pos + Ahead;
+    if (I >= Toks.size())
+      I = Toks.size() - 1; // Eof sentinel.
+    return Toks[I];
+  }
+
+  const Token &advance() {
+    const Token &T = Toks[Pos];
+    if (Pos + 1 < Toks.size())
+      ++Pos;
+    return T;
+  }
+
+  bool accept(TokKind K) {
+    if (peek().Kind != K)
+      return false;
+    advance();
+    return true;
+  }
+
+  std::string errHere(const std::string &Msg) const {
+    const Token &T = peek();
+    return formatStr("line %u, col %u: %s (found %s '%s')", T.Line, T.Col,
+                     Msg.c_str(), tokKindName(T.Kind), T.Text.c_str());
+  }
+
+  std::string expect(TokKind K) {
+    if (accept(K))
+      return std::string();
+    return errHere(std::string("expected ") + tokKindName(K));
+  }
+
+  void skipNewlines() {
+    while (peek().Kind == TokKind::Newline)
+      advance();
+  }
+
+  std::string parseArraysHeader(LoopNest &Nest) {
+    advance(); // 'arrays'
+    do {
+      if (peek().Kind != TokKind::Ident)
+        return errHere("expected array name");
+      Nest.ArrayNames.insert(advance().Text);
+    } while (accept(TokKind::Comma));
+    return expect(TokKind::Newline);
+  }
+
+  /// Parses one loop (header, body, enddo) and appends to \p Nest.
+  std::string parseLoop(LoopNest &Nest) {
+    LoopKind Kind;
+    if (accept(TokKind::KwDo))
+      Kind = LoopKind::Do;
+    else if (accept(TokKind::KwParDo))
+      Kind = LoopKind::ParDo;
+    else
+      return errHere("expected 'do' or 'pardo'");
+
+    if (peek().Kind != TokKind::Ident)
+      return errHere("expected loop index variable");
+    std::string Var = advance().Text;
+    if (std::string E = expect(TokKind::Assign); !E.empty())
+      return E;
+
+    std::string Err;
+    ExprRef Lower = parseExpression(Err);
+    if (!Lower)
+      return Err;
+    if (std::string E = expect(TokKind::Comma); !E.empty())
+      return E;
+    ExprRef Upper = parseExpression(Err);
+    if (!Upper)
+      return Err;
+    ExprRef Step = Expr::intConst(1);
+    if (accept(TokKind::Comma)) {
+      Step = parseExpression(Err);
+      if (!Step)
+        return Err;
+    }
+    if (std::string E = expect(TokKind::Newline); !E.empty())
+      return E;
+    Nest.Loops.emplace_back(Var, Lower, Upper, Step, Kind);
+
+    skipNewlines();
+    if (peek().Kind == TokKind::KwDo || peek().Kind == TokKind::KwParDo) {
+      // Perfect nesting: exactly one inner loop, then this loop's enddo.
+      if (std::string E = parseLoop(Nest); !E.empty())
+        return E;
+    } else {
+      // Innermost level: one or more assignment statements.
+      while (peek().Kind == TokKind::Ident) {
+        if (std::string E = parseStmt(Nest); !E.empty())
+          return E;
+        skipNewlines();
+      }
+      if (Nest.Body.empty())
+        return errHere("loop body has no statements");
+    }
+    skipNewlines();
+    if (std::string E = expect(TokKind::KwEndDo); !E.empty())
+      return E;
+    if (peek().Kind == TokKind::Newline)
+      advance();
+    return std::string();
+  }
+
+  std::string parseStmt(LoopNest &Nest) {
+    assert(peek().Kind == TokKind::Ident);
+    std::string Array = advance().Text;
+    if (std::string E = expect(TokKind::LParen); !E.empty())
+      return E;
+    std::vector<ExprRef> Subs;
+    std::string Err;
+    do {
+      ExprRef S = parseExpression(Err);
+      if (!S)
+        return Err;
+      Subs.push_back(std::move(S));
+    } while (accept(TokKind::Comma));
+    if (std::string E = expect(TokKind::RParen); !E.empty())
+      return E;
+
+    bool IsPlusAssign = false;
+    if (accept(TokKind::PlusAssign))
+      IsPlusAssign = true;
+    else if (std::string E = expect(TokKind::Assign); !E.empty())
+      return E;
+
+    ExprRef RHS = parseExpression(Err);
+    if (!RHS)
+      return Err;
+    if (std::string E = expect(TokKind::Newline); !E.empty())
+      return E;
+
+    Nest.ArrayNames.insert(Array);
+    if (IsPlusAssign) // a(...) += e  desugars to  a(...) = a(...) + e
+      RHS = Expr::add(Expr::call(Array, Subs), std::move(RHS));
+    Nest.Body.push_back(AssignStmt{irlt::ArrayRef{Array, Subs}, std::move(RHS)});
+    return std::string();
+  }
+
+  //===--- Expressions ----------------------------------------------------===
+
+  ExprRef parseExpression(std::string &Err) { return parseAdditive(Err); }
+
+  ExprRef parseAdditive(std::string &Err) {
+    ExprRef L = parseMultiplicative(Err);
+    if (!L)
+      return nullptr;
+    while (true) {
+      if (accept(TokKind::Plus)) {
+        ExprRef R = parseMultiplicative(Err);
+        if (!R)
+          return nullptr;
+        L = Expr::add(std::move(L), std::move(R));
+      } else if (accept(TokKind::Minus)) {
+        ExprRef R = parseMultiplicative(Err);
+        if (!R)
+          return nullptr;
+        L = Expr::sub(std::move(L), std::move(R));
+      } else {
+        return L;
+      }
+    }
+  }
+
+  ExprRef parseMultiplicative(std::string &Err) {
+    ExprRef L = parseUnary(Err);
+    if (!L)
+      return nullptr;
+    while (true) {
+      if (accept(TokKind::Star)) {
+        ExprRef R = parseUnary(Err);
+        if (!R)
+          return nullptr;
+        L = Expr::mul(std::move(L), std::move(R));
+      } else if (accept(TokKind::Slash)) {
+        ExprRef R = parseUnary(Err);
+        if (!R)
+          return nullptr;
+        L = Expr::floorDivE(std::move(L), std::move(R));
+      } else {
+        return L;
+      }
+    }
+  }
+
+  ExprRef parseUnary(std::string &Err) {
+    if (accept(TokKind::Minus)) {
+      ExprRef E = parseUnary(Err);
+      if (!E)
+        return nullptr;
+      // Fold negated literals so "-1" is an IntConst (steps rely on it).
+      if (std::optional<int64_t> C = E->constValue())
+        return Expr::intConst(-*C);
+      return Expr::neg(std::move(E));
+    }
+    return parseAtom(Err);
+  }
+
+  ExprRef parseAtom(std::string &Err) {
+    const Token &T = peek();
+    switch (T.Kind) {
+    case TokKind::Int:
+      advance();
+      return Expr::intConst(T.IntValue);
+    case TokKind::LParen: {
+      advance();
+      ExprRef E = parseExpression(Err);
+      if (!E)
+        return nullptr;
+      if (std::string E2 = expect(TokKind::RParen); !E2.empty()) {
+        Err = E2;
+        return nullptr;
+      }
+      return E;
+    }
+    case TokKind::Ident: {
+      std::string Name = advance().Text;
+      if (!accept(TokKind::LParen))
+        return Expr::var(Name);
+      std::vector<ExprRef> Args;
+      do {
+        ExprRef A = parseExpression(Err);
+        if (!A)
+          return nullptr;
+        Args.push_back(std::move(A));
+      } while (accept(TokKind::Comma));
+      if (std::string E2 = expect(TokKind::RParen); !E2.empty()) {
+        Err = E2;
+        return nullptr;
+      }
+      // Builtins parse to dedicated nodes; everything else is opaque.
+      if (Name == "min")
+        return Expr::minE(std::move(Args));
+      if (Name == "max")
+        return Expr::maxE(std::move(Args));
+      if (Name == "mod") {
+        if (Args.size() != 2) {
+          Err = errHere("mod() takes exactly two arguments");
+          return nullptr;
+        }
+        return Expr::modE(Args[0], Args[1]);
+      }
+      return Expr::call(Name, std::move(Args));
+    }
+    default:
+      Err = errHere("expected expression");
+      return nullptr;
+    }
+  }
+};
+
+} // namespace
+
+ErrorOr<LoopNest> irlt::parseLoopNest(const std::string &Source) {
+  Lexer Lex(Source);
+  std::vector<Token> Toks;
+  if (std::string E = Lex.tokenize(Toks); !E.empty())
+    return Failure(E);
+  ParserImpl P(std::move(Toks));
+  return P.parseNest();
+}
+
+ErrorOr<ExprRef> irlt::parseExpr(const std::string &Source) {
+  Lexer Lex(Source);
+  std::vector<Token> Toks;
+  if (std::string E = Lex.tokenize(Toks); !E.empty())
+    return Failure(E);
+  ParserImpl P(std::move(Toks));
+  return P.parseSingleExpr();
+}

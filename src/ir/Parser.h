@@ -1,0 +1,46 @@
+//===- ir/Parser.h - Parser for the loop language ---------------------------//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser building LoopNest values from loop-language
+/// source. Grammar (newline-terminated statements):
+///
+/// \code
+///   program := ['arrays' ident (',' ident)* NL] loop
+///   loop    := ('do'|'pardo') ident '=' expr ',' expr [',' expr] NL
+///              (loop | stmt+) 'enddo' NL
+///   stmt    := ident '(' expr (',' expr)* ')' ('='|'+=') expr NL
+///   expr    := additive with unary minus, '*', '/' (flooring),
+///              calls  min(...) max(...) mod(a,b)  and opaque calls
+/// \endcode
+///
+/// Any identifier used as an assignment target is registered as an array
+/// name; the optional `arrays` header registers read-only arrays (so that
+/// `b(j)` parses as an array read rather than an opaque call).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRLT_IR_PARSER_H
+#define IRLT_IR_PARSER_H
+
+#include "ir/Lexer.h"
+#include "ir/LoopNest.h"
+#include "support/ErrorOr.h"
+
+#include <string>
+
+namespace irlt {
+
+/// Parses a whole loop nest. On success the nest is validated and sealed
+/// (BodyIndexVars = loop variables).
+ErrorOr<LoopNest> parseLoopNest(const std::string &Source);
+
+/// Parses a single expression (for tests and tools).
+ErrorOr<ExprRef> parseExpr(const std::string &Source);
+
+} // namespace irlt
+
+#endif // IRLT_IR_PARSER_H

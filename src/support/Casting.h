@@ -1,0 +1,70 @@
+//===- support/Casting.h - LLVM-style isa/cast/dyn_cast ------------------===//
+//
+// Part of the IRLT project: a reproduction of Sarkar & Thekkath,
+// "A General Framework for Iteration-Reordering Loop Transformations"
+// (PLDI 1992). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal hand-rolled RTTI in the style of llvm/Support/Casting.h.
+/// A class hierarchy opts in by providing a Kind discriminator and a
+/// static `classof(const Base *)` predicate on each subclass.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRLT_SUPPORT_CASTING_H
+#define IRLT_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <memory>
+#include <type_traits>
+
+namespace irlt {
+
+/// Returns true if \p Val is an instance of To (or a subclass of it).
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+template <typename To, typename From> bool isa(const From &Val) {
+  return To::classof(&Val);
+}
+
+/// Checked downcast: asserts that the dynamic type really is To.
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To &cast(const From &Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To &>(Val);
+}
+
+/// Checking downcast: returns null when the dynamic type is not To.
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+/// dyn_cast over shared_ptr: preserves ownership of the result.
+template <typename To, typename From>
+std::shared_ptr<const To> dyn_cast(const std::shared_ptr<const From> &Val) {
+  if (Val && isa<To>(Val.get()))
+    return std::static_pointer_cast<const To>(Val);
+  return nullptr;
+}
+
+} // namespace irlt
+
+#endif // IRLT_SUPPORT_CASTING_H

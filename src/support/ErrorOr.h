@@ -1,0 +1,71 @@
+//===- support/ErrorOr.h - Lightweight result-or-diagnostic type ---------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The framework never throws: fallible operations return ErrorOr<T>, a
+/// value-or-diagnostic sum type in the spirit of llvm::Expected (but
+/// diagnostic payloads are plain strings; this library has a single
+/// category of recoverable error - "the transformation does not apply").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRLT_SUPPORT_ERROROR_H
+#define IRLT_SUPPORT_ERROROR_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace irlt {
+
+/// A failure message. Wrapped in a struct so that ErrorOr<std::string>
+/// remains unambiguous.
+struct Failure {
+  std::string Message;
+  explicit Failure(std::string Message) : Message(std::move(Message)) {}
+};
+
+/// Either a T or a failure message. Check with operator bool before
+/// dereferencing.
+template <typename T> class ErrorOr {
+public:
+  ErrorOr(T Value) : Value(std::move(Value)) {}
+  ErrorOr(Failure F) : Message(std::move(F.Message)) {}
+
+  explicit operator bool() const { return Value.has_value(); }
+
+  const T &operator*() const {
+    assert(Value && "dereferencing failed ErrorOr");
+    return *Value;
+  }
+  T &operator*() {
+    assert(Value && "dereferencing failed ErrorOr");
+    return *Value;
+  }
+  const T *operator->() const { return &operator*(); }
+  T *operator->() { return &operator*(); }
+
+  /// The failure message; only valid when the result failed.
+  const std::string &message() const {
+    assert(!Value && "asking failed-message of a successful result");
+    return Message;
+  }
+
+  /// Moves the contained value out.
+  T take() {
+    assert(Value && "taking value of failed ErrorOr");
+    return std::move(*Value);
+  }
+
+private:
+  std::optional<T> Value;
+  std::string Message;
+};
+
+} // namespace irlt
+
+#endif // IRLT_SUPPORT_ERROROR_H

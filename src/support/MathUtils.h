@@ -1,0 +1,111 @@
+//===- support/MathUtils.h - Exact integer arithmetic helpers ------------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact integer helpers used throughout the framework: floor/ceil division
+/// (division semantics in generated code follow Fortran-style flooring, see
+/// DESIGN.md), gcd/lcm, sign, and checked multiplication.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRLT_SUPPORT_MATHUTILS_H
+#define IRLT_SUPPORT_MATHUTILS_H
+
+#include <cassert>
+#include <cstdint>
+#include <cstdlib>
+
+namespace irlt {
+
+/// Floor division: rounds the quotient toward negative infinity.
+/// floorDiv(7, 2) == 3, floorDiv(-7, 2) == -4, floorDiv(7, -2) == -4.
+inline int64_t floorDiv(int64_t A, int64_t B) {
+  assert(B != 0 && "floorDiv by zero");
+  int64_t Q = A / B;
+  int64_t R = A % B;
+  if (R != 0 && ((R < 0) != (B < 0)))
+    --Q;
+  return Q;
+}
+
+/// Ceiling division: rounds the quotient toward positive infinity.
+inline int64_t ceilDiv(int64_t A, int64_t B) {
+  assert(B != 0 && "ceilDiv by zero");
+  int64_t Q = A / B;
+  int64_t R = A % B;
+  if (R != 0 && ((R < 0) == (B < 0)))
+    ++Q;
+  return Q;
+}
+
+/// Floor modulus: result has the same sign as \p B (Fortran MODULO).
+/// floorMod(-7, 2) == 1.
+inline int64_t floorMod(int64_t A, int64_t B) {
+  assert(B != 0 && "floorMod by zero");
+  return A - floorDiv(A, B) * B;
+}
+
+/// Sign of \p A as -1, 0, or +1.
+inline int sign(int64_t A) { return (A > 0) - (A < 0); }
+
+/// Greatest common divisor; gcd(0, 0) == 0, always non-negative.
+inline int64_t gcd(int64_t A, int64_t B) {
+  if (A < 0)
+    A = -A;
+  if (B < 0)
+    B = -B;
+  while (B != 0) {
+    int64_t T = A % B;
+    A = B;
+    B = T;
+  }
+  return A;
+}
+
+/// Least common multiple of the absolute values; lcm(0, x) == 0.
+inline int64_t lcm(int64_t A, int64_t B) {
+  if (A == 0 || B == 0)
+    return 0;
+  int64_t G = gcd(A, B);
+  return std::abs(A / G * B);
+}
+
+/// Multiplies with an assertion against signed overflow. All coefficient
+/// arithmetic in the framework stays far from the int64 range in practice;
+/// the assert documents the assumption.
+inline int64_t mulChecked(int64_t A, int64_t B) {
+  int64_t R;
+  [[maybe_unused]] bool Overflow = __builtin_mul_overflow(A, B, &R);
+  assert(!Overflow && "integer overflow in coefficient arithmetic");
+  return R;
+}
+
+/// Adds with an assertion against signed overflow.
+inline int64_t addChecked(int64_t A, int64_t B) {
+  int64_t R;
+  [[maybe_unused]] bool Overflow = __builtin_add_overflow(A, B, &R);
+  assert(!Overflow && "integer overflow in coefficient arithmetic");
+  return R;
+}
+
+/// Extended gcd: returns g = gcd(A, B) and Bezout coefficients X, Y with
+/// A*X + B*Y == g. Used by the exact SIV dependence test.
+inline int64_t extendedGcd(int64_t A, int64_t B, int64_t &X, int64_t &Y) {
+  if (B == 0) {
+    X = (A < 0) ? -1 : 1;
+    Y = 0;
+    return std::abs(A);
+  }
+  int64_t X1, Y1;
+  int64_t G = extendedGcd(B, A % B, X1, Y1);
+  X = Y1;
+  Y = X1 - (A / B) * Y1;
+  return G;
+}
+
+} // namespace irlt
+
+#endif // IRLT_SUPPORT_MATHUTILS_H

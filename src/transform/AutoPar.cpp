@@ -1,0 +1,203 @@
+//===- transform/AutoPar.cpp - Search-based auto-parallelization ---------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/AutoPar.h"
+
+#include "support/MathUtils.h"
+#include "transform/Templates.h"
+#include "transform/TypeState.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+using namespace irlt;
+
+namespace {
+
+/// Greedily parallelizes positions outside-in on the mapped dependence
+/// set: position k is flagged when symmetrizing it (on top of already
+/// chosen flags) keeps every vector lexicographically non-negative.
+std::vector<bool> greedyParFlags(const DepSet &Mapped, unsigned N) {
+  std::vector<bool> Flags(N, false);
+  for (unsigned K = 0; K < N; ++K) {
+    Flags[K] = true;
+    if (!makeParallelize(N, Flags)
+             ->mapDependences(Mapped)
+             .allLexNonNegative())
+      Flags[K] = false;
+  }
+  return Flags;
+}
+
+long scoreOf(const std::vector<unsigned> &ParallelLoops, unsigned N,
+             bool CheapBase) {
+  long S = 0;
+  for (unsigned P : ParallelLoops)
+    S += 1000 + 10 * static_cast<long>(N - P);
+  if (CheapBase)
+    S += 1; // Section 4.2 tie-break: prefer ReversePermute machinery
+  return S;
+}
+
+/// Enumerates all permutations (and optional reversals) of N loops.
+void forEachSignedPermutation(unsigned N, bool TryReversals,
+                              const std::function<void(
+                                  const std::vector<unsigned> &,
+                                  const std::vector<bool> &)> &Fn) {
+  std::vector<unsigned> Perm(N);
+  for (unsigned K = 0; K < N; ++K)
+    Perm[K] = K;
+  do {
+    unsigned RevCount = TryReversals ? (1u << N) : 1u;
+    for (unsigned RevMask = 0; RevMask < RevCount; ++RevMask) {
+      std::vector<bool> Rev(N);
+      for (unsigned K = 0; K < N; ++K)
+        Rev[K] = (RevMask >> K) & 1;
+      Fn(Perm, Rev);
+    }
+  } while (std::next_permutation(Perm.begin(), Perm.end()));
+}
+
+/// Completes hyperplane row \p H (which must contain a +-1 entry) into a
+/// unimodular matrix: H first, then unit rows for every position except
+/// the pivot.
+std::optional<UnimodularMatrix> completeWavefront(const std::vector<int64_t> &H) {
+  unsigned N = static_cast<unsigned>(H.size());
+  unsigned Pivot = N;
+  for (unsigned K = 0; K < N; ++K)
+    if (H[K] == 1 || H[K] == -1) {
+      Pivot = K;
+      break;
+    }
+  if (Pivot == N)
+    return std::nullopt;
+  UnimodularMatrix M(N);
+  for (unsigned C = 0; C < N; ++C)
+    M.set(0, C, H[C]);
+  unsigned Row = 1;
+  for (unsigned K = 0; K < N; ++K) {
+    if (K == Pivot)
+      continue;
+    M.set(Row++, K, 1);
+  }
+  if (!M.isUnimodular())
+    return std::nullopt;
+  return M;
+}
+
+} // namespace
+
+namespace {
+
+/// How a search objective turns a mapped dependence set into the
+/// Parallelize flags it wants (empty = candidate useless) and a score.
+using FlagChooser = std::function<std::vector<bool>(const DepSet &Mapped,
+                                                    unsigned OutN)>;
+
+AutoParResult searchCandidates(const LoopNest &Nest, const DepSet &D,
+                               const AutoParOptions &Options,
+                               const FlagChooser &Choose) {
+  AutoParResult Result;
+  unsigned N = Nest.numLoops();
+  if (N == 0)
+    return Result;
+
+  auto consider = [&](TemplateRef Base, bool CheapBase) {
+    ++Result.Enumerated;
+    DepSet Mapped = Base ? Base->mapDependences(D) : D;
+    unsigned OutN = Base ? Base->outputSize() : N;
+    std::vector<bool> Flags = Choose(Mapped, OutN);
+    std::vector<unsigned> ParallelLoops;
+    for (unsigned K = 0; K < OutN; ++K)
+      if (K < Flags.size() && Flags[K])
+        ParallelLoops.push_back(K);
+    if (ParallelLoops.empty())
+      return;
+
+    TransformSequence Seq;
+    if (Base)
+      Seq.append(Base);
+    Seq.append(makeParallelize(OutN, Flags));
+    LegalityResult L = isLegalFast(Seq, Nest, D);
+    if (!L.Legal)
+      return;
+    ++Result.Legal;
+    AutoParCandidate C;
+    C.Seq = std::move(Seq);
+    C.ParallelLoops = std::move(ParallelLoops);
+    C.Score = scoreOf(C.ParallelLoops, OutN, CheapBase);
+    if (!Result.Best || C.Score > Result.Best->Score)
+      Result.Best = std::move(C);
+  };
+
+  // 1. The identity (Parallelize alone), then signed permutations.
+  consider(nullptr, true);
+  forEachSignedPermutation(
+      N, Options.TryReversals,
+      [&](const std::vector<unsigned> &Perm, const std::vector<bool> &Rev) {
+        bool Identity = !std::count(Rev.begin(), Rev.end(), true);
+        for (unsigned K = 0; K < N && Identity; ++K)
+          Identity = Perm[K] == K;
+        if (Identity)
+          return; // already considered
+        consider(makeReversePermute(N, Rev, Perm), true);
+      });
+
+  // 2. Wavefront (hyperplane) candidates: y_1 = h . x with small
+  //    non-negative h, at least two non-zero entries, some entry 1.
+  if (Options.TryWavefronts && N >= 2) {
+    std::vector<int64_t> H(N, 0);
+    std::function<void(unsigned)> Recurse = [&](unsigned K) {
+      if (K == N) {
+        unsigned NonZero = 0;
+        int64_t G = 0;
+        for (int64_t V : H) {
+          NonZero += V != 0;
+          G = gcd(G, V);
+        }
+        if (NonZero < 2 || G != 1)
+          return;
+        std::optional<UnimodularMatrix> M = completeWavefront(H);
+        if (M)
+          consider(makeUnimodular(N, *M), false);
+        return;
+      }
+      for (int64_t V = 0; V <= Options.MaxSkew; ++V) {
+        H[K] = V;
+        Recurse(K + 1);
+      }
+      H[K] = 0;
+    };
+    Recurse(0);
+  }
+  return Result;
+}
+
+} // namespace
+
+AutoParResult irlt::autoParallelize(const LoopNest &Nest, const DepSet &D,
+                                    const AutoParOptions &Options) {
+  return searchCandidates(Nest, D, Options,
+                          [](const DepSet &Mapped, unsigned OutN) {
+                            return greedyParFlags(Mapped, OutN);
+                          });
+}
+
+AutoParResult irlt::autoVectorize(const LoopNest &Nest, const DepSet &D,
+                                  const AutoParOptions &Options) {
+  // Vectorization wants exactly the *innermost* position dependence-free.
+  return searchCandidates(
+      Nest, D, Options, [](const DepSet &Mapped, unsigned OutN) {
+        std::vector<bool> Flags(OutN, false);
+        Flags[OutN - 1] = true;
+        if (!makeParallelize(OutN, Flags)
+                 ->mapDependences(Mapped)
+                 .allLexNonNegative())
+          Flags[OutN - 1] = false;
+        return Flags;
+      });
+}

@@ -1,0 +1,301 @@
+//===- transform/Block.cpp - The Block (tiling) template ------------------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Block(n, i, j, bsize) (Tables 1, 2, 4): tiles the contiguous loops
+/// i..j. Blocking is strip-mining plus interchange: the output holds the
+/// block loops (stride s_k * bsize[k]) at positions i..j followed by the
+/// element loops (original strides, clamped to their block).
+///
+/// Dependence rule (Table 2): each entry d_k, i <= k <= j, fans out
+/// through blockmap into (block-loop, element-loop) entry pairs:
+///
+///    blockmap(0)   = {(0, 0)}
+///    blockmap(*)   = {(*, *)}
+///    blockmap(+-1) = {(0, d), (d, *)}
+///    blockmap(d)   = {(0, d), (dir(d), *)}    otherwise
+///
+/// so one input vector can map to up to 2^(j-i+1) output vectors - the
+/// reason Block cannot be represented by a transformation matrix.
+///
+/// Bounds rule (Table 4): block loop k runs from l_k to u_k with inner
+/// blocked variables x_h replaced by the extreme value of their block
+/// (the xmin/xmax substitution); element loop k is clamped with max/min
+/// against its block's range. This creates only tiles with some work on
+/// trapezoidal iteration spaces - unlike rectangular bounding-box tiling
+/// (the paper's comparison with [14], reproduced by bench_c2).
+///
+//===----------------------------------------------------------------------===//
+
+#include "bounds/TypeLattice.h"
+#include "ir/LinExpr.h"
+#include "support/Casting.h"
+#include "support/Printing.h"
+#include "transform/Templates.h"
+
+#include <cassert>
+
+using namespace irlt;
+
+BlockTemplate::BlockTemplate(unsigned N, unsigned I, unsigned J,
+                             std::vector<ExprRef> BSize)
+    : TransformTemplate(Kind::Block), N(N), I(I), J(J),
+      BSize(std::move(BSize)) {
+  assert(I >= 1 && I <= J && J <= N && "block range out of bounds");
+  assert(this->BSize.size() == J - I + 1 && "bsize arity mismatch");
+}
+
+std::string BlockTemplate::paramStr() const {
+  std::vector<std::string> Bs;
+  for (const ExprRef &B : BSize)
+    Bs.push_back(B->str());
+  return formatStr("(n=%u, i=%u, j=%u, bsize=[%s])", N, I, J,
+                   join(Bs, " ").c_str());
+}
+
+namespace {
+
+/// blockmap of Table 2 (see file comment).
+std::vector<std::pair<DepElem, DepElem>> blockmap(const DepElem &D) {
+  if (D.isDistance() && D.dist() == 0)
+    return {{DepElem::zero(), DepElem::zero()}};
+  if (D == DepElem::any())
+    return {{DepElem::any(), DepElem::any()}};
+  if (D.isDistance() && (D.dist() == 1 || D.dist() == -1))
+    return {{DepElem::zero(), D}, {D, DepElem::any()}};
+  return {{DepElem::zero(), D}, {D.dirOnly(), DepElem::any()}};
+}
+
+} // namespace
+
+DepSet BlockTemplate::mapDependences(const DepSet &D) const {
+  unsigned Lo = I - 1, Hi = J - 1;
+  unsigned Span = Hi - Lo + 1;
+  DepSet Out;
+  for (const DepVector &V : D.vectors()) {
+    assert(V.size() == N && "dependence vector arity mismatch");
+    // Cartesian product of the per-entry pair choices.
+    std::vector<std::vector<std::pair<DepElem, DepElem>>> Choices;
+    Choices.reserve(Span);
+    for (unsigned K = Lo; K <= Hi; ++K)
+      Choices.push_back(blockmap(V[K]));
+    std::vector<unsigned> Pick(Span, 0);
+    while (true) {
+      std::vector<DepElem> Elems;
+      Elems.reserve(N + Span);
+      for (unsigned K = 0; K < Lo; ++K)
+        Elems.push_back(V[K]);
+      for (unsigned K = 0; K < Span; ++K)
+        Elems.push_back(Choices[K][Pick[K]].first); // block-loop entries
+      for (unsigned K = 0; K < Span; ++K)
+        Elems.push_back(Choices[K][Pick[K]].second); // element-loop entries
+      for (unsigned K = Hi + 1; K < N; ++K)
+        Elems.push_back(V[K]);
+      Out.insert(DepVector(std::move(Elems)));
+      // Advance the odometer.
+      unsigned P = 0;
+      while (P < Span && ++Pick[P] == Choices[P].size()) {
+        Pick[P] = 0;
+        ++P;
+      }
+      if (P == Span)
+        break;
+    }
+  }
+  return Out;
+}
+
+std::string BlockTemplate::checkPreconditions(const LoopNest &Nest) const {
+  if (Nest.numLoops() != N)
+    return formatStr("Block: nest has %u loops, template expects %u",
+                     Nest.numLoops(), N);
+  unsigned Lo = I - 1, Hi = J - 1;
+  // Steps of the blocked loops must be non-zero compile-time constants
+  // (Table 4's mapping branches on sgn(s_k)).
+  for (unsigned K = Lo; K <= Hi; ++K) {
+    std::optional<int64_t> S = Nest.Loops[K].Step->constValue();
+    if (!S || *S == 0)
+      return formatStr("Block: step of loop %u ('%s') is not a non-zero "
+                       "compile-time constant",
+                       K + 1, Nest.Loops[K].IndexVar.c_str());
+  }
+  // Strengthening over the published Table 4 (see DESIGN.md §5): a
+  // blocked loop with |step| > 1 whose start bound varies with inner
+  // blocked variables would misalign the element grid against the block
+  // grid (the element clamp  max(x'', l_k)  only partitions correctly
+  // when l_k is on x''_k's arithmetic grid). Require such starts to be
+  // invariant in the blocked range.
+  for (unsigned K = Lo; K <= Hi; ++K) {
+    int64_t S = *Nest.Loops[K].Step->constValue();
+    if (S == 1 || S == -1)
+      continue;
+    for (unsigned H = Lo; H < K; ++H) {
+      const std::string &Xh = Nest.Loops[H].IndexVar;
+      BoundType T = typeOf(Nest.Loops[K].Lower, Xh);
+      if (!typeLE(T, BoundType::Invar))
+        return formatStr(
+            "Block: loop %u has stride %lld and a start bound varying in "
+            "blocked variable '%s'; the element grid would misalign",
+            K + 1, static_cast<long long>(S), Xh.c_str());
+    }
+  }
+  // Table 4: for i <= k < m <= j, bounds of loop m linear in x_k.
+  for (unsigned K = Lo; K <= Hi; ++K) {
+    for (unsigned Mm = K + 1; Mm <= Hi; ++Mm) {
+      const Loop &L = Nest.Loops[Mm];
+      const std::string &Xk = Nest.Loops[K].IndexVar;
+      int SSign = *L.Step->constValue() > 0 ? 1 : -1;
+      BoundType TL = typeOfBound(L.Lower, Xk, BoundSide::Lower, SSign);
+      if (!typeLE(TL, BoundType::Linear))
+        return formatStr("Block: type(l_%u, %s) = %s exceeds linear", Mm + 1,
+                         Xk.c_str(), typeName(TL));
+      BoundType TU = typeOfBound(L.Upper, Xk, BoundSide::Upper, SSign);
+      if (!typeLE(TU, BoundType::Linear))
+        return formatStr("Block: type(u_%u, %s) = %s exceeds linear", Mm + 1,
+                         Xk.c_str(), typeName(TU));
+      BoundType TS = typeOf(L.Step, Xk);
+      if (!typeLE(TS, BoundType::Const))
+        return formatStr("Block: type(s_%u, %s) = %s exceeds const", Mm + 1,
+                         Xk.c_str(), typeName(TS));
+    }
+  }
+  return std::string();
+}
+
+namespace {
+
+/// Splits a bound into inequality terms (max/min special case).
+std::vector<ExprRef> boundTerms(const ExprRef &E, BoundSide Side, int SSign) {
+  Expr::Kind Splittable = Expr::Kind::Call;
+  if (SSign > 0)
+    Splittable = Side == BoundSide::Lower ? Expr::Kind::Max : Expr::Kind::Min;
+  else if (SSign < 0)
+    Splittable = Side == BoundSide::Lower ? Expr::Kind::Min : Expr::Kind::Max;
+  if (E->kind() == Splittable) {
+    const auto *MM = cast<MinMaxExpr>(E.get());
+    return std::vector<ExprRef>(MM->operands().begin(), MM->operands().end());
+  }
+  return {E};
+}
+
+} // namespace
+
+ErrorOr<LoopNest> BlockTemplate::apply(const LoopNest &Nest) const {
+  if (std::string E = checkPreconditions(Nest); !E.empty())
+    return Failure(E);
+  unsigned Lo = I - 1, Hi = J - 1;
+
+  // Fresh block-variable names: doubled index names ("i" -> "ii").
+  LoopNest NameScope = Nest;
+  std::vector<std::string> BlockVar(N);
+  for (unsigned K = Lo; K <= Hi; ++K) {
+    BlockVar[K] =
+        freshVarName(NameScope, Nest.Loops[K].IndexVar + Nest.Loops[K].IndexVar);
+    NameScope.Loops.push_back(Loop(BlockVar[K], Expr::intConst(0),
+                                   Expr::intConst(0), Expr::intConst(1)));
+  }
+
+  // Per blocked loop h: the two extreme index values inside one block:
+  //   s_h > 0: min = x''_h,                      max = x''_h + s_h*(b_h - 1)
+  //   s_h < 0: min = x''_h + s_h*(b_h - 1),      max = x''_h
+  auto blockMin = [&](unsigned H) -> ExprRef {
+    int64_t S = *Nest.Loops[H].Step->constValue();
+    ExprRef Base = Expr::var(BlockVar[H]);
+    if (S > 0)
+      return Base;
+    return simplify(Expr::add(
+        Base, Expr::mul(Expr::intConst(S),
+                        Expr::sub(BSize[H - Lo], Expr::intConst(1)))));
+  };
+  auto blockMax = [&](unsigned H) -> ExprRef {
+    int64_t S = *Nest.Loops[H].Step->constValue();
+    ExprRef Base = Expr::var(BlockVar[H]);
+    if (S < 0)
+      return Base;
+    return simplify(Expr::add(
+        Base, Expr::mul(Expr::intConst(S),
+                        Expr::sub(BSize[H - Lo], Expr::intConst(1)))));
+  };
+
+  // Substitutes the blocked variables x_h (Lo <= h < K) in one inequality
+  // term by the block extreme that extremizes the term: for a bound we
+  // want to *minimize*, a positive coefficient takes the block minimum
+  // and a negative coefficient the block maximum (and dually).
+  auto substituteExtremes = [&](const ExprRef &Term, unsigned K,
+                                bool Minimize) -> ExprRef {
+    LinExpr L = LinExpr::fromExpr(Term);
+    for (unsigned H = Lo; H < K; ++H) {
+      const std::string &Xh = Nest.Loops[H].IndexVar;
+      int64_t C = L.extractVar(Xh);
+      if (C == 0)
+        continue;
+      bool TakeMin = (C > 0) == Minimize;
+      ExprRef Rep = TakeMin ? blockMin(H) : blockMax(H);
+      L = L + LinExpr::fromExpr(Rep).scaled(C);
+    }
+    return simplify(L.toExpr());
+  };
+
+  LoopNest Out = Nest;
+  Out.Loops.clear();
+  // Loops 1..i-1 unchanged.
+  for (unsigned K = 0; K < Lo; ++K)
+    Out.Loops.push_back(Nest.Loops[K]);
+
+  // Block loops at positions i..j.
+  for (unsigned K = Lo; K <= Hi; ++K) {
+    const Loop &L = Nest.Loops[K];
+    int64_t S = *L.Step->constValue();
+    int SSign = S > 0 ? 1 : -1;
+    // The loop *starts* at its lower expression; for coverage of every
+    // element value, the start bound takes the extreme toward iteration
+    // start and the end bound the extreme toward iteration end.
+    bool StartIsMin = SSign > 0;
+    std::vector<ExprRef> StartTerms, EndTerms;
+    for (const ExprRef &T : boundTerms(L.Lower, BoundSide::Lower, SSign))
+      StartTerms.push_back(substituteExtremes(T, K, /*Minimize=*/StartIsMin));
+    for (const ExprRef &T : boundTerms(L.Upper, BoundSide::Upper, SSign))
+      EndTerms.push_back(substituteExtremes(T, K, /*Minimize=*/!StartIsMin));
+    ExprRef Start = SSign > 0 ? simplify(Expr::maxE(StartTerms))
+                              : simplify(Expr::minE(StartTerms));
+    ExprRef End = SSign > 0 ? simplify(Expr::minE(EndTerms))
+                            : simplify(Expr::maxE(EndTerms));
+    ExprRef BStep =
+        simplify(Expr::mul(Expr::intConst(S), BSize[K - Lo]));
+    Out.Loops.push_back(Loop(BlockVar[K], Start, End, BStep, L.Kind));
+  }
+
+  // Element loops right after, clamped to their block (Table 4).
+  for (unsigned K = Lo; K <= Hi; ++K) {
+    const Loop &L = Nest.Loops[K];
+    int64_t S = *L.Step->constValue();
+    ExprRef BlkEnd = simplify(Expr::add(
+        Expr::var(BlockVar[K]),
+        Expr::mul(Expr::intConst(S),
+                  Expr::sub(BSize[K - Lo], Expr::intConst(1)))));
+    ExprRef Lo2, Hi2;
+    if (S > 0) {
+      Lo2 = simplify(Expr::maxE({Expr::var(BlockVar[K]), L.Lower}));
+      Hi2 = simplify(Expr::minE({BlkEnd, L.Upper}));
+    } else {
+      Lo2 = simplify(Expr::minE({Expr::var(BlockVar[K]), L.Lower}));
+      Hi2 = simplify(Expr::maxE({BlkEnd, L.Upper}));
+    }
+    Out.Loops.push_back(Loop(L.IndexVar, Lo2, Hi2, L.Step, L.Kind));
+  }
+
+  // Remaining loops j+1..n unchanged.
+  for (unsigned K = Hi + 1; K < N; ++K)
+    Out.Loops.push_back(Nest.Loops[K]);
+
+  // Element loops reuse the original index variables: no init statements.
+  return Out;
+}
+
+TemplateRef irlt::makeBlock(unsigned N, unsigned I, unsigned J,
+                            std::vector<ExprRef> BSize) {
+  return std::make_shared<BlockTemplate>(N, I, J, std::move(BSize));
+}

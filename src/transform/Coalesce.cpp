@@ -1,0 +1,197 @@
+//===- transform/Coalesce.cpp - The Coalesce template ---------------------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Coalesce(n, i, j) (Tables 1-3, citation [11] Polychronopoulos & Kuck):
+/// collapses the contiguous loops i..j into one loop, normalized to lower
+/// bound 1 and step 1, whose trip count is the product of the coalesced
+/// trip counts. The coalesced loop is `pardo` only when *every* coalesced
+/// loop was `pardo` (Table 3).
+///
+/// Preconditions: bounds and steps of the coalesced band are invariant in
+/// the coalesced index variables (the band is rectangular relative to
+/// itself; outer variables remain fine).
+///
+/// Initialization statements recover the original index variables with
+/// div/mod arithmetic over the trip counts, exactly as in the matrix
+/// multiply example (Figure 7):  x_k = l_k + ((q / P_{k+1}) mod N_k)*s_k
+/// with q = x_c - 1, N_k the trip count of loop k and P_{k+1} the product
+/// of the trip counts below k. Inner loops whose bounds mention a
+/// coalesced variable get the recovery expression substituted in place.
+///
+/// Dependence rule (Table 2): the coalesced entry is
+/// mergedirs(dir(d_i), ..., dir(d_j)), the pairwise merge where the first
+/// operand's non-zero signs dominate (a non-zero outer difference swamps
+/// any inner difference once trip counts are unknown): e.g.
+/// mergedirs(+, -) = +.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bounds/TypeLattice.h"
+#include "ir/LinExpr.h"
+#include "support/Printing.h"
+#include "transform/Templates.h"
+
+#include <cassert>
+
+using namespace irlt;
+
+CoalesceTemplate::CoalesceTemplate(unsigned N, unsigned I, unsigned J,
+                                   std::optional<std::string> NewVarName)
+    : TransformTemplate(Kind::Coalesce), N(N), I(I), J(J),
+      NewVarName(std::move(NewVarName)) {
+  assert(I >= 1 && I <= J && J <= N && "coalesce range out of bounds");
+}
+
+std::string CoalesceTemplate::paramStr() const {
+  return formatStr("(n=%u, i=%u, j=%u)", N, I, J);
+}
+
+namespace {
+
+/// Pairwise merge of direction entries for coalescing: the possible signs
+/// of A*T + B for arbitrarily large trip count T with |B| < T: every
+/// non-zero sign of A survives as itself; only when A can be zero do B's
+/// signs contribute.
+DepElem mergeTwoDirs(const DepElem &A, const DepElem &B) {
+  uint8_t Mask = 0;
+  if (A.canBeNegative())
+    Mask |= DepElem::SignNeg;
+  if (A.canBePositive())
+    Mask |= DepElem::SignPos;
+  if (A.canBeZero())
+    Mask |= B.signMask();
+  return DepElem::direction(Mask);
+}
+
+} // namespace
+
+DepSet CoalesceTemplate::mapDependences(const DepSet &D) const {
+  unsigned Lo = I - 1, Hi = J - 1;
+  DepSet Out;
+  for (const DepVector &V : D.vectors()) {
+    assert(V.size() == N && "dependence vector arity mismatch");
+    std::vector<DepElem> Elems;
+    Elems.reserve(N - (Hi - Lo));
+    for (unsigned K = 0; K < Lo; ++K)
+      Elems.push_back(V[K]);
+    DepElem Merged = V[Lo].dirOnly();
+    for (unsigned K = Lo + 1; K <= Hi; ++K)
+      Merged = mergeTwoDirs(Merged, V[K].dirOnly());
+    Elems.push_back(Merged);
+    for (unsigned K = Hi + 1; K < N; ++K)
+      Elems.push_back(V[K]);
+    Out.insert(DepVector(std::move(Elems)));
+  }
+  return Out;
+}
+
+std::string CoalesceTemplate::checkPreconditions(const LoopNest &Nest) const {
+  if (Nest.numLoops() != N)
+    return formatStr("Coalesce: nest has %u loops, template expects %u",
+                     Nest.numLoops(), N);
+  unsigned Lo = I - 1, Hi = J - 1;
+  // Table 3: type(expr_m, x_k) <= invar for i <= k < m <= j, expr_m in
+  // {l_m, u_m, s_m}.
+  for (unsigned K = Lo; K <= Hi; ++K) {
+    const std::string &Xk = Nest.Loops[K].IndexVar;
+    for (unsigned Mm = K + 1; Mm <= Hi; ++Mm) {
+      const Loop &L = Nest.Loops[Mm];
+      struct Item {
+        const ExprRef *E;
+        const char *What;
+      } Items[] = {{&L.Lower, "l"}, {&L.Upper, "u"}, {&L.Step, "s"}};
+      for (const Item &It : Items) {
+        BoundType T = typeOf(*It.E, Xk);
+        if (!typeLE(T, BoundType::Invar))
+          return formatStr("Coalesce: type(%s_%u, %s) = %s exceeds invar",
+                           It.What, Mm + 1, Xk.c_str(), typeName(T));
+      }
+    }
+  }
+  return std::string();
+}
+
+ErrorOr<LoopNest> CoalesceTemplate::apply(const LoopNest &Nest) const {
+  if (std::string E = checkPreconditions(Nest); !E.empty())
+    return Failure(E);
+  unsigned Lo = I - 1, Hi = J - 1;
+
+  // Trip counts N_k = floor((u_k - l_k) / s_k) + 1 (assumes non-empty
+  // loops, as the paper does) and suffix products P_k.
+  std::vector<ExprRef> Count(N), SuffixProd(N + 1);
+  for (unsigned K = Lo; K <= Hi; ++K) {
+    const Loop &L = Nest.Loops[K];
+    Count[K] = simplify(Expr::add(
+        Expr::floorDivE(Expr::sub(L.Upper, L.Lower), L.Step),
+        Expr::intConst(1)));
+  }
+  SuffixProd[Hi + 1] = Expr::intConst(1);
+  for (unsigned K = Hi + 1; K-- > Lo;)
+    SuffixProd[K] = simplify(Expr::mul(Count[K], SuffixProd[K + 1]));
+
+  // New loop variable.
+  std::string CName;
+  if (NewVarName) {
+    CName = *NewVarName;
+    assert(!Nest.bindsVar(CName) && "requested coalesced name is taken");
+  } else {
+    std::string Joined;
+    for (unsigned K = Lo; K <= Hi; ++K)
+      Joined += Nest.Loops[K].IndexVar;
+    CName = freshVarName(Nest, Joined + "c");
+  }
+
+  // Recovery expressions: q = x_c - 1;
+  //   x_k = l_k + ((q / P_{k+1}) mod N_k) * s_k   (mod dropped at k = i).
+  ExprRef Q = Expr::sub(Expr::var(CName), Expr::intConst(1));
+  std::map<std::string, ExprRef> Recover;
+  std::vector<InitStmt> NewInits;
+  for (unsigned K = Lo; K <= Hi; ++K) {
+    const Loop &L = Nest.Loops[K];
+    ExprRef Off = Q;
+    std::optional<int64_t> PC = SuffixProd[K + 1]->constValue();
+    if (!PC || *PC != 1)
+      Off = Expr::floorDivE(Off, SuffixProd[K + 1]);
+    if (K != Lo)
+      Off = Expr::modE(Off, Count[K]);
+    ExprRef Val = simplify(Expr::add(L.Lower, Expr::mul(Off, L.Step)));
+    Recover.emplace(L.IndexVar, Val);
+    NewInits.push_back(InitStmt{L.IndexVar, Val});
+  }
+
+  // Coalesced loop kind (Table 3): pardo iff all coalesced loops pardo.
+  LoopKind CKind = LoopKind::ParDo;
+  for (unsigned K = Lo; K <= Hi; ++K)
+    if (Nest.Loops[K].Kind != LoopKind::ParDo)
+      CKind = LoopKind::Do;
+
+  LoopNest Out = Nest;
+  Out.Loops.clear();
+  for (unsigned K = 0; K < Lo; ++K)
+    Out.Loops.push_back(Nest.Loops[K]);
+  Out.Loops.push_back(Loop(CName, Expr::intConst(1), SuffixProd[Lo],
+                           Expr::intConst(1), CKind));
+  // Inner loops: substitute recovery expressions for coalesced variables
+  // appearing in their bounds.
+  for (unsigned K = Hi + 1; K < N; ++K) {
+    Loop L = Nest.Loops[K];
+    L.Lower = simplify(Expr::substitute(L.Lower, Recover));
+    L.Upper = simplify(Expr::substitute(L.Upper, Recover));
+    L.Step = simplify(Expr::substitute(L.Step, Recover));
+    Out.Loops.push_back(std::move(L));
+  }
+
+  std::vector<InitStmt> AllInits = std::move(NewInits);
+  AllInits.insert(AllInits.end(), Nest.Inits.begin(), Nest.Inits.end());
+  Out.Inits = std::move(AllInits);
+  return Out;
+}
+
+TemplateRef irlt::makeCoalesce(unsigned N, unsigned I, unsigned J,
+                               std::optional<std::string> NewVarName) {
+  return std::make_shared<CoalesceTemplate>(N, I, J, std::move(NewVarName));
+}

@@ -1,0 +1,192 @@
+//===- transform/Interleave.cpp - The Interleave template -----------------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interleave(n, i, j, isize) (Tables 1-3): like Block, but a "block" is
+/// the set of iterations sharing a phase modulo the interleave factor -
+/// non-contiguous iterations of the original loop. Output (Table 3):
+/// phase loops  x'_k = 0 .. isize[k]-1  at positions i..j, followed by
+/// the original loops re-striding from  l_k + x'_k * s_k  by
+/// isize[k] * s_k. Original index variables are reused; no
+/// initialization statements.
+///
+/// Dependence rule (Table 2, "similar to Block, but use imap instead of
+/// blockmap"). With o the original iteration number, phase p = o mod m
+/// and element ordinal e = o div m, a difference d decomposes as
+/// d = e'*m + p' with e' = floor-div difference and p' in (-m, m). For
+/// d > 0 either e' = 0 (then p' = d > 0) or e' > 0 (p' of any sign):
+///
+///    imap(0)  = {(0, 0)}
+///    imap(*)  = {(*, *)}
+///    imap(+)  = {(+, 0), (*, +)}     and mirrored for -
+///    imap(0+) = imap(0) u imap(+)    (summaries expand pointwise)
+///
+/// where the pair is (phase-loop entry, element-loop entry).
+///
+//===----------------------------------------------------------------------===//
+
+#include "bounds/TypeLattice.h"
+#include "ir/LinExpr.h"
+#include "support/Printing.h"
+#include "transform/Templates.h"
+
+#include <cassert>
+
+using namespace irlt;
+
+InterleaveTemplate::InterleaveTemplate(unsigned N, unsigned I, unsigned J,
+                                       std::vector<ExprRef> ISize)
+    : TransformTemplate(Kind::Interleave), N(N), I(I), J(J),
+      ISize(std::move(ISize)) {
+  assert(I >= 1 && I <= J && J <= N && "interleave range out of bounds");
+  assert(this->ISize.size() == J - I + 1 && "isize arity mismatch");
+}
+
+std::string InterleaveTemplate::paramStr() const {
+  std::vector<std::string> Is;
+  for (const ExprRef &E : ISize)
+    Is.push_back(E->str());
+  return formatStr("(n=%u, i=%u, j=%u, isize=[%s])", N, I, J,
+                   join(Is, " ").c_str());
+}
+
+namespace {
+
+/// imap of Table 2 (see file comment): (phase, element) entry pairs.
+std::vector<std::pair<DepElem, DepElem>> imap(const DepElem &D) {
+  if (D.isDistance() && D.dist() == 0)
+    return {{DepElem::zero(), DepElem::zero()}};
+  if (D == DepElem::any())
+    return {{DepElem::any(), DepElem::any()}};
+  std::vector<std::pair<DepElem, DepElem>> Out;
+  if (D.canBeZero())
+    Out.push_back({DepElem::zero(), DepElem::zero()});
+  if (D.canBePositive()) {
+    // Same element ordinal: the phase difference is exactly d (kept as a
+    // distance when d is one), else the ordinal moved by at least one.
+    Out.push_back({D.isDistance() ? D : DepElem::pos(), DepElem::zero()});
+    Out.push_back({DepElem::any(), DepElem::pos()});
+  }
+  if (D.canBeNegative()) {
+    Out.push_back({D.isDistance() ? D : DepElem::neg(), DepElem::zero()});
+    Out.push_back({DepElem::any(), DepElem::neg()});
+  }
+  return Out;
+}
+
+} // namespace
+
+DepSet InterleaveTemplate::mapDependences(const DepSet &D) const {
+  unsigned Lo = I - 1, Hi = J - 1;
+  unsigned Span = Hi - Lo + 1;
+  DepSet Out;
+  for (const DepVector &V : D.vectors()) {
+    assert(V.size() == N && "dependence vector arity mismatch");
+    std::vector<std::vector<std::pair<DepElem, DepElem>>> Choices;
+    Choices.reserve(Span);
+    for (unsigned K = Lo; K <= Hi; ++K)
+      Choices.push_back(imap(V[K]));
+    std::vector<unsigned> Pick(Span, 0);
+    while (true) {
+      std::vector<DepElem> Elems;
+      Elems.reserve(N + Span);
+      for (unsigned K = 0; K < Lo; ++K)
+        Elems.push_back(V[K]);
+      for (unsigned K = 0; K < Span; ++K)
+        Elems.push_back(Choices[K][Pick[K]].first); // phase entries
+      for (unsigned K = 0; K < Span; ++K)
+        Elems.push_back(Choices[K][Pick[K]].second); // element entries
+      for (unsigned K = Hi + 1; K < N; ++K)
+        Elems.push_back(V[K]);
+      Out.insert(DepVector(std::move(Elems)));
+      unsigned P = 0;
+      while (P < Span && ++Pick[P] == Choices[P].size()) {
+        Pick[P] = 0;
+        ++P;
+      }
+      if (P == Span)
+        break;
+    }
+  }
+  return Out;
+}
+
+std::string
+InterleaveTemplate::checkPreconditions(const LoopNest &Nest) const {
+  if (Nest.numLoops() != N)
+    return formatStr("Interleave: nest has %u loops, template expects %u",
+                     Nest.numLoops(), N);
+  unsigned Lo = I - 1, Hi = J - 1;
+  // Table 3: for i <= k < m <= j: l_m, u_m linear in x_k; s_m const.
+  for (unsigned K = Lo; K <= Hi; ++K) {
+    const std::string &Xk = Nest.Loops[K].IndexVar;
+    for (unsigned Mm = K + 1; Mm <= Hi; ++Mm) {
+      const Loop &L = Nest.Loops[Mm];
+      std::optional<int64_t> SC = L.Step->constValue();
+      int SSign = SC ? (*SC > 0 ? 1 : (*SC < 0 ? -1 : 0)) : 0;
+      BoundType TL = typeOfBound(L.Lower, Xk, BoundSide::Lower, SSign);
+      if (!typeLE(TL, BoundType::Linear))
+        return formatStr("Interleave: type(l_%u, %s) = %s exceeds linear",
+                         Mm + 1, Xk.c_str(), typeName(TL));
+      BoundType TU = typeOfBound(L.Upper, Xk, BoundSide::Upper, SSign);
+      if (!typeLE(TU, BoundType::Linear))
+        return formatStr("Interleave: type(u_%u, %s) = %s exceeds linear",
+                         Mm + 1, Xk.c_str(), typeName(TU));
+      BoundType TS = typeOf(L.Step, Xk);
+      if (!typeLE(TS, BoundType::Const))
+        return formatStr("Interleave: type(s_%u, %s) = %s exceeds const",
+                         Mm + 1, Xk.c_str(), typeName(TS));
+    }
+  }
+  return std::string();
+}
+
+ErrorOr<LoopNest> InterleaveTemplate::apply(const LoopNest &Nest) const {
+  if (std::string E = checkPreconditions(Nest); !E.empty())
+    return Failure(E);
+  unsigned Lo = I - 1, Hi = J - 1;
+
+  // Fresh phase-variable names ("i" -> "ip").
+  LoopNest NameScope = Nest;
+  std::vector<std::string> PhaseVar(N);
+  for (unsigned K = Lo; K <= Hi; ++K) {
+    PhaseVar[K] = freshVarName(NameScope, Nest.Loops[K].IndexVar + "p");
+    NameScope.Loops.push_back(Loop(PhaseVar[K], Expr::intConst(0),
+                                   Expr::intConst(0), Expr::intConst(1)));
+  }
+
+  LoopNest Out = Nest;
+  Out.Loops.clear();
+  for (unsigned K = 0; K < Lo; ++K)
+    Out.Loops.push_back(Nest.Loops[K]);
+
+  // Phase loops: x'_k = 0, isize[k]-1, 1.
+  for (unsigned K = Lo; K <= Hi; ++K) {
+    ExprRef Hi2 = simplify(Expr::sub(ISize[K - Lo], Expr::intConst(1)));
+    Out.Loops.push_back(Loop(PhaseVar[K], Expr::intConst(0), Hi2,
+                             Expr::intConst(1), Nest.Loops[K].Kind));
+  }
+
+  // Element loops: x_k = l_k + x'_k * s_k, u_k, isize[k] * s_k.
+  for (unsigned K = Lo; K <= Hi; ++K) {
+    const Loop &L = Nest.Loops[K];
+    ExprRef Lo2 = simplify(
+        Expr::add(L.Lower, Expr::mul(Expr::var(PhaseVar[K]), L.Step)));
+    ExprRef Step2 = simplify(Expr::mul(ISize[K - Lo], L.Step));
+    Out.Loops.push_back(Loop(L.IndexVar, Lo2, L.Upper, Step2, L.Kind));
+  }
+
+  for (unsigned K = Hi + 1; K < N; ++K)
+    Out.Loops.push_back(Nest.Loops[K]);
+
+  // Original index variables are reused; no init statements (Table 3).
+  return Out;
+}
+
+TemplateRef irlt::makeInterleave(unsigned N, unsigned I, unsigned J,
+                                 std::vector<ExprRef> ISize) {
+  return std::make_shared<InterleaveTemplate>(N, I, J, std::move(ISize));
+}

@@ -1,0 +1,72 @@
+//===- transform/Parallelize.cpp - The Parallelize template --------------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parallelize(n, parflag) (Tables 1-3): loop k becomes `pardo` when
+/// parflag[k]. There are no loop-bounds preconditions; bounds and index
+/// variables are untouched. The dependence rule symmetrizes the entries
+/// of parallelized loops (parmap of Table 2): iterations of a parallel
+/// loop are unordered, so any non-zero difference can be observed with
+/// either sign - which makes the uniform lexicographic legality test
+/// reject exactly the dependences a parallel loop can no longer enforce.
+/// This is how the framework treats Parallel "as just another
+/// iteration-reordering transformation" (Section 6).
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Printing.h"
+#include "transform/Templates.h"
+
+#include <cassert>
+
+using namespace irlt;
+
+ParallelizeTemplate::ParallelizeTemplate(unsigned N, std::vector<bool> ParFlag)
+    : TransformTemplate(Kind::Parallelize), N(N), ParFlag(std::move(ParFlag)) {
+  assert(this->ParFlag.size() == N && "parameter arity mismatch");
+}
+
+std::string ParallelizeTemplate::paramStr() const {
+  std::vector<std::string> Fs;
+  for (unsigned K = 0; K < N; ++K)
+    Fs.push_back(ParFlag[K] ? "1" : "0");
+  return formatStr("(n=%u, parflag=[%s])", N, join(Fs, " ").c_str());
+}
+
+DepSet ParallelizeTemplate::mapDependences(const DepSet &D) const {
+  DepSet Out;
+  for (const DepVector &V : D.vectors()) {
+    assert(V.size() == N && "dependence vector arity mismatch");
+    std::vector<DepElem> Elems;
+    Elems.reserve(N);
+    for (unsigned K = 0; K < N; ++K)
+      Elems.push_back(ParFlag[K] ? V[K].parMapped() : V[K]);
+    Out.insert(DepVector(std::move(Elems)));
+  }
+  return Out;
+}
+
+std::string
+ParallelizeTemplate::checkPreconditions(const LoopNest &Nest) const {
+  if (Nest.numLoops() != N)
+    return formatStr("Parallelize: nest has %u loops, template expects %u",
+                     Nest.numLoops(), N);
+  return std::string(); // Table 3: "Preconditions: none"
+}
+
+ErrorOr<LoopNest> ParallelizeTemplate::apply(const LoopNest &Nest) const {
+  if (std::string E = checkPreconditions(Nest); !E.empty())
+    return Failure(E);
+  LoopNest Out = Nest;
+  for (unsigned K = 0; K < N; ++K)
+    if (ParFlag[K])
+      Out.Loops[K].Kind = LoopKind::ParDo;
+  return Out;
+}
+
+TemplateRef irlt::makeParallelize(unsigned N, std::vector<bool> ParFlag) {
+  return std::make_shared<ParallelizeTemplate>(N, std::move(ParFlag));
+}

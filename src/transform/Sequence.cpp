@@ -1,0 +1,175 @@
+//===- transform/Sequence.cpp - Transformation sequences ------------------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Sequence.h"
+
+#include "support/Casting.h"
+#include "support/Printing.h"
+#include "transform/Templates.h"
+#include "transform/TypeState.h"
+
+#include <cassert>
+
+using namespace irlt;
+
+TransformSequence
+TransformSequence::composedWith(const TransformSequence &U) const {
+  std::vector<TemplateRef> All = Steps;
+  All.insert(All.end(), U.Steps.begin(), U.Steps.end());
+  return TransformSequence(std::move(All));
+}
+
+namespace {
+
+/// Fuses \p A followed by \p B when both are instances of the same
+/// fusable kind; returns null when no fusion applies.
+TemplateRef fuseAdjacent(const TemplateRef &A, const TemplateRef &B) {
+  if (A->kind() != B->kind())
+    return nullptr;
+  switch (A->kind()) {
+  case TransformTemplate::Kind::Unimodular: {
+    const auto *UA = cast<UnimodularTemplate>(A.get());
+    const auto *UB = cast<UnimodularTemplate>(B.get());
+    if (UA->outputSize() != UB->inputSize())
+      return nullptr;
+    // Applying A first, then B: combined matrix is M_B * M_A.
+    return makeUnimodular(UA->inputSize(), UB->matrix() * UA->matrix());
+  }
+  case TransformTemplate::Kind::ReversePermute: {
+    const auto *RA = cast<ReversePermuteTemplate>(A.get());
+    const auto *RB = cast<ReversePermuteTemplate>(B.get());
+    unsigned N = RA->inputSize();
+    if (RB->inputSize() != N)
+      return nullptr;
+    // A moves loop k to p1[k], reversing when r1[k]; B then moves the
+    // loop at position q to p2[q], reversing when r2[q]. Combined:
+    //   k -> p2[p1[k]],  reversed iff r1[k] xor r2[p1[k]].
+    std::vector<unsigned> Perm(N);
+    std::vector<bool> Rev(N);
+    for (unsigned K = 0; K < N; ++K) {
+      unsigned Mid = RA->perm()[K];
+      Perm[K] = RB->perm()[Mid];
+      Rev[K] = RA->rev()[K] != RB->rev()[Mid];
+    }
+    return makeReversePermute(N, std::move(Rev), std::move(Perm));
+  }
+  case TransformTemplate::Kind::Parallelize: {
+    const auto *PA = cast<ParallelizeTemplate>(A.get());
+    const auto *PB = cast<ParallelizeTemplate>(B.get());
+    unsigned N = PA->inputSize();
+    if (PB->inputSize() != N)
+      return nullptr;
+    std::vector<bool> Flags(N);
+    for (unsigned K = 0; K < N; ++K)
+      Flags[K] = PA->parFlag()[K] || PB->parFlag()[K];
+    return makeParallelize(N, std::move(Flags));
+  }
+  default:
+    return nullptr;
+  }
+}
+
+} // namespace
+
+TransformSequence TransformSequence::reduced() const {
+  std::vector<TemplateRef> Out;
+  for (const TemplateRef &T : Steps) {
+    if (!Out.empty()) {
+      if (TemplateRef Fused = fuseAdjacent(Out.back(), T)) {
+        Out.back() = std::move(Fused);
+        continue;
+      }
+    }
+    Out.push_back(T);
+  }
+  return TransformSequence(std::move(Out));
+}
+
+std::string TransformSequence::str() const {
+  std::vector<std::string> Parts;
+  Parts.reserve(Steps.size());
+  for (const TemplateRef &T : Steps)
+    Parts.push_back(T->str());
+  return "<" + join(Parts, ", ") + ">";
+}
+
+DepSet irlt::mapDependences(const TransformSequence &T, const DepSet &D) {
+  DepSet Cur = D;
+  for (const TemplateRef &Step : T.steps())
+    Cur = Step->mapDependences(Cur);
+  return Cur;
+}
+
+ErrorOr<LoopNest> irlt::applySequence(const TransformSequence &T,
+                                      const LoopNest &Nest) {
+  LoopNest Cur = Nest;
+  unsigned Stage = 0;
+  for (const TemplateRef &Step : T.steps()) {
+    ++Stage;
+    ErrorOr<LoopNest> Next = Step->apply(Cur);
+    if (!Next)
+      return Failure(formatStr("stage %u (%s): %s", Stage,
+                               Step->str().c_str(), Next.message().c_str()));
+    Cur = Next.take();
+  }
+  return Cur;
+}
+
+LegalityResult irlt::isLegal(const TransformSequence &T, const LoopNest &Nest,
+                             const DepSet &D) {
+  LegalityResult R;
+
+  // Part (b): loop-bounds preconditions, stage by stage. Each stage's
+  // preconditions are evaluated against the nest produced by the previous
+  // stages, so the bounds pipeline runs alongside; the dependence set is
+  // threaded along for the anchor-dependence side condition (see
+  // checkAnchorDependence).
+  LoopNest Cur = Nest;
+  DepSet CurDeps = D;
+  unsigned Stage = 0;
+  for (const TemplateRef &Step : T.steps()) {
+    ++Stage;
+    if (std::string E = Step->checkPreconditions(Cur); !E.empty()) {
+      R.Legal = false;
+      R.Reason = formatStr("bounds precondition violated at stage %u: %s",
+                           Stage, E.c_str());
+      return R;
+    }
+    if (std::string E = checkAnchorDependence(
+            *Step, NestTypeState::fromNest(Cur), CurDeps);
+        !E.empty()) {
+      R.Legal = false;
+      R.Reason = formatStr(
+          "dependence precondition violated at stage %u: %s", Stage,
+          E.c_str());
+      return R;
+    }
+    ErrorOr<LoopNest> Next = Step->apply(Cur);
+    if (!Next) {
+      R.Legal = false;
+      R.Reason = formatStr("stage %u (%s): %s", Stage, Step->str().c_str(),
+                           Next.message().c_str());
+      return R;
+    }
+    Cur = Next.take();
+    CurDeps = Step->mapDependences(CurDeps);
+  }
+
+  // Part (a): the dependence test on the *final* mapped set only -
+  // intermediate sets may be lexicographically negative (Section 3.2).
+  R.FinalDeps = std::move(CurDeps);
+  for (const DepVector &V : R.FinalDeps.vectors()) {
+    if (V.canBeLexNegative()) {
+      R.Legal = false;
+      R.Reason =
+          "transformed dependence vector " + V.str() +
+          " admits a lexicographically negative tuple";
+      return R;
+    }
+  }
+  R.Legal = true;
+  return R;
+}

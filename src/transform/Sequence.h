@@ -1,0 +1,94 @@
+//===- transform/Sequence.h - Transformation sequences --------------------===//
+//
+// Part of the IRLT project: a reproduction of Sarkar & Thekkath,
+// "A General Framework for Iteration-Reordering Loop Transformations"
+// (PLDI 1992). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sequence representation of Section 2: an iteration-reordering
+/// transformation T = <t_1, ..., t_k> is a sequence of kernel template
+/// instantiations. Composition is sequence concatenation (U after T is
+/// <t_1..t_k, u_1..u_l>), which makes the system closed under
+/// composition; reduce() shortens a sequence by fusing compatible
+/// adjacent instantiations (e.g. two Unimodular steps multiply into one
+/// matrix - the paper's efficiency note).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRLT_TRANSFORM_SEQUENCE_H
+#define IRLT_TRANSFORM_SEQUENCE_H
+
+#include "transform/Template.h"
+
+#include <vector>
+
+namespace irlt {
+
+/// An immutable-ish ordered list of template instantiations.
+class TransformSequence {
+public:
+  TransformSequence() = default;
+  explicit TransformSequence(std::vector<TemplateRef> Steps)
+      : Steps(std::move(Steps)) {}
+
+  static TransformSequence of(std::initializer_list<TemplateRef> List) {
+    return TransformSequence(std::vector<TemplateRef>(List));
+  }
+
+  void append(TemplateRef T) { Steps.push_back(std::move(T)); }
+
+  const std::vector<TemplateRef> &steps() const { return Steps; }
+  size_t size() const { return Steps.size(); }
+  bool empty() const { return Steps.empty(); }
+
+  /// Sequence concatenation: this, then \p U (Section 2's  U o T).
+  TransformSequence composedWith(const TransformSequence &U) const;
+
+  /// Fuses compatible adjacent steps:
+  ///  - Unimodular(M1) ; Unimodular(M2)      -> Unimodular(M2 * M1)
+  ///  - ReversePermute ; ReversePermute      -> one ReversePermute
+  ///  - Parallelize    ; Parallelize         -> flag-wise OR
+  /// Repeats to a fixed point.
+  TransformSequence reduced() const;
+
+  /// "<ReversePermute(...), Block(...)>".
+  std::string str() const;
+
+private:
+  std::vector<TemplateRef> Steps;
+};
+
+/// Outcome of the uniform legality test (Section 2, item 3).
+struct LegalityResult {
+  bool Legal = false;
+  /// Human-readable reason when illegal: either the violated bounds
+  /// precondition (with its stage), or the lexicographically negative
+  /// final dependence vector.
+  std::string Reason;
+  /// The dependence set after the whole sequence (valid when the bounds
+  /// stages all succeeded).
+  DepSet FinalDeps;
+};
+
+/// The uniform legality test IsLegal(T, N): (a) map the dependence set
+/// through every stage and reject when the final set admits a
+/// lexicographically negative tuple - intermediate stages need not be
+/// legal; (b) check each stage's loop-bounds preconditions in order.
+LegalityResult isLegal(const TransformSequence &T, const LoopNest &Nest,
+                       const DepSet &D);
+
+/// The uniform code generator: pipes the nest through every stage's
+/// bounds-mapping and init-statement rules. Fails with the first violated
+/// precondition. (Legality of the dependence part is *not* checked here -
+/// callers run isLegal first, mirroring the paper's separation.)
+ErrorOr<LoopNest> applySequence(const TransformSequence &T,
+                                const LoopNest &Nest);
+
+/// Maps a dependence set through the whole sequence (T(D) of Section 3.2).
+DepSet mapDependences(const TransformSequence &T, const DepSet &D);
+
+} // namespace irlt
+
+#endif // IRLT_TRANSFORM_SEQUENCE_H

@@ -1,0 +1,240 @@
+//===- transform/SymbolicFM.cpp - Symbolic Fourier-Motzkin bounds gen ----===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/SymbolicFM.h"
+
+#include "dependence/FMSolver.h"
+#include "support/MathUtils.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace irlt;
+
+void SymbolicFM::normalizeRow(Row &R) {
+  // Divide through by the gcd of the index coefficients when it also
+  // divides every symbolic coefficient exactly.
+  int64_t G = 0;
+  for (int64_t C : R.Coef)
+    G = gcd(G, C);
+  if (G <= 1)
+    return;
+  if (R.Sym.constant() % G != 0)
+    return;
+  for (const auto &[Key, T] : R.Sym.terms())
+    if (T.Coef % G != 0)
+      return;
+  for (int64_t &C : R.Coef)
+    C /= G;
+  LinExpr NewSym;
+  NewSym.addConst(R.Sym.constant() / G);
+  for (const auto &[Key, T] : R.Sym.terms())
+    NewSym.addAtom(T.Atom, T.Coef / G);
+  R.Sym = std::move(NewSym);
+}
+
+void SymbolicFM::addLE(std::vector<int64_t> Coef, LinExpr Sym) {
+  assert(Coef.size() == NumVars && "coefficient arity mismatch");
+  Row R{std::move(Coef), std::move(Sym)};
+  normalizeRow(R);
+  Rows.push_back(std::move(R));
+}
+
+void SymbolicFM::addGE(std::vector<int64_t> Coef, const LinExpr &Sym) {
+  for (int64_t &C : Coef)
+    C = -C;
+  addLE(std::move(Coef), Sym.scaled(-1));
+}
+
+namespace {
+
+/// Redundancy oracle over the full row set: row \p Candidate is redundant
+/// when {all rows except Candidate} && {Candidate violated by 1} is
+/// infeasible over rationals, with every symbolic atom treated as a free
+/// variable (so the implication holds for all parameter values; integer
+/// variables make the +1 violation margin exact).
+class RedundancyOracle {
+public:
+  RedundancyOracle(unsigned NumY,
+                   const std::vector<std::vector<int64_t>> &Coefs,
+                   const std::vector<LinExpr> &Syms)
+      : NumY(NumY), Coefs(Coefs), Syms(Syms) {
+    // Assign a variable slot to every distinct atom.
+    for (const LinExpr &S : Syms)
+      for (const auto &[Key, T] : S.terms())
+        if (!AtomSlot.count(Key))
+          AtomSlot.emplace(Key, NumY + AtomSlot.size());
+  }
+
+  bool isRedundant(size_t Candidate) const {
+    unsigned Total = NumY + static_cast<unsigned>(AtomSlot.size());
+    FMSystem Sys(Total);
+    for (size_t I = 0; I < Coefs.size(); ++I) {
+      std::vector<int64_t> Row = fullRow(I, Total);
+      if (I == Candidate) {
+        // Violate: sum coef*y - sym >= 1.
+        Sys.addGE(std::move(Row), Syms[I].constant() + 1);
+      } else {
+        Sys.addLE(std::move(Row), Syms[I].constant());
+      }
+    }
+    return !Sys.feasible();
+  }
+
+private:
+  /// The row as  sum coef*y + sum (-atomCoef)*atom <= const.
+  std::vector<int64_t> fullRow(size_t I, unsigned Total) const {
+    std::vector<int64_t> Row(Total, 0);
+    for (unsigned C = 0; C < NumY; ++C)
+      Row[C] = Coefs[I][C];
+    for (const auto &[Key, T] : Syms[I].terms())
+      Row[AtomSlot.at(Key)] = -T.Coef;
+    return Row;
+  }
+
+  unsigned NumY;
+  const std::vector<std::vector<int64_t>> &Coefs;
+  const std::vector<LinExpr> &Syms;
+  std::map<std::string, unsigned> AtomSlot;
+};
+
+} // namespace
+
+std::vector<GeneratedBounds>
+SymbolicFM::generateBounds(const std::vector<std::string> &YNames,
+                           bool EliminateRedundant) const {
+  assert(YNames.size() == NumVars && "name arity mismatch");
+  std::vector<GeneratedBounds> Out(NumVars);
+  std::vector<Row> Work = Rows;
+
+  // Bound rows collected per level, all in "Coef . y <= Sym" form, in
+  // emission order; rendered (after optional redundancy filtering) below.
+  struct BoundRecord {
+    unsigned Level;
+    bool IsUpper;
+    std::vector<int64_t> Coef;
+    LinExpr Sym;
+  };
+  std::vector<BoundRecord> Bounds;
+
+  for (unsigned K = NumVars; K-- > 0;) {
+    std::vector<Row> Lower, Upper, Rest;
+    for (Row &R : Work) {
+      // Rows may only involve y_0..y_K at this point.
+      for (unsigned C = K + 1; C < NumVars; ++C)
+        assert(R.Coef[C] == 0 && "row involves an eliminated variable");
+      if (R.Coef[K] > 0)
+        Upper.push_back(std::move(R));
+      else if (R.Coef[K] < 0)
+        Lower.push_back(std::move(R));
+      else
+        Rest.push_back(std::move(R));
+    }
+
+    for (const Row &R : Lower)
+      Bounds.push_back(BoundRecord{K, false, R.Coef, R.Sym});
+    for (const Row &R : Upper)
+      Bounds.push_back(BoundRecord{K, true, R.Coef, R.Sym});
+
+    // Eliminate y_K for the remaining system.
+    Work = std::move(Rest);
+    for (const Row &L : Lower) {
+      for (const Row &U : Upper) {
+        int64_t FL = U.Coef[K];  // > 0
+        int64_t FU = -L.Coef[K]; // > 0
+        Row Nw;
+        Nw.Coef.resize(NumVars, 0);
+        bool AnyVar = false;
+        for (unsigned Cc = 0; Cc < NumVars; ++Cc) {
+          Nw.Coef[Cc] = addChecked(mulChecked(FL, L.Coef[Cc]),
+                                   mulChecked(FU, U.Coef[Cc]));
+          AnyVar |= Nw.Coef[Cc] != 0;
+        }
+        assert(Nw.Coef[K] == 0 && "variable survived elimination");
+        if (!AnyVar)
+          continue; // pure symbolic condition: implied by nest non-emptiness
+        Nw.Sym = L.Sym.scaled(FL) + U.Sym.scaled(FU);
+        normalizeRow(Nw);
+        Work.push_back(std::move(Nw));
+      }
+    }
+    // Deduplicate (FM blowup control + cleaner generated bounds).
+    std::map<std::string, bool> Seen;
+    std::vector<Row> Dedup;
+    for (Row &R : Work) {
+      std::string Key;
+      for (int64_t C : R.Coef)
+        Key += std::to_string(C) + ",";
+      Key += "|" + R.Sym.str();
+      if (Seen.emplace(std::move(Key), true).second)
+        Dedup.push_back(std::move(R));
+    }
+    Work = std::move(Dedup);
+  }
+
+  // Optional redundancy filtering: greedily drop any bound the surviving
+  // set still implies (universally over the symbolic atoms). Lower/upper
+  // counts per level are protected from dropping to zero.
+  std::vector<bool> Keep(Bounds.size(), true);
+  // The oracle runs full Fourier-Motzkin per candidate: worthwhile for
+  // human-scale outputs, skipped for large systems where the quadratic
+  // sweep (with exponential-ish inner feasibility checks) would dominate.
+  constexpr size_t RedundancySweepCap = 24;
+  if (EliminateRedundant && Bounds.size() > 1 &&
+      Bounds.size() <= RedundancySweepCap) {
+    for (size_t I = 0; I < Bounds.size(); ++I) {
+      // Never drop a level's only bound of its kind.
+      unsigned SameKind = 0;
+      for (size_t J = 0; J < Bounds.size(); ++J)
+        if (Keep[J] && Bounds[J].Level == Bounds[I].Level &&
+            Bounds[J].IsUpper == Bounds[I].IsUpper)
+          ++SameKind;
+      if (SameKind <= 1)
+        continue;
+      std::vector<std::vector<int64_t>> Coefs;
+      std::vector<LinExpr> Syms;
+      size_t CandidateIdx = 0;
+      for (size_t J = 0; J < Bounds.size(); ++J) {
+        if (!Keep[J] && J != I)
+          continue;
+        if (J == I)
+          CandidateIdx = Coefs.size();
+        Coefs.push_back(Bounds[J].Coef);
+        Syms.push_back(Bounds[J].Sym);
+      }
+      RedundancyOracle Oracle(NumVars, Coefs, Syms);
+      if (Oracle.isRedundant(CandidateIdx))
+        Keep[I] = false;
+    }
+  }
+
+  // Render the surviving rows.
+  for (size_t I = 0; I < Bounds.size(); ++I) {
+    if (!Keep[I])
+      continue;
+    const BoundRecord &B = Bounds[I];
+    unsigned K = B.Level;
+    int64_t C = B.Coef[K];
+    LinExpr Num = B.Sym; // Sym - sum_{r<K} Coef[r]*y_r
+    for (unsigned Rr = 0; Rr < K; ++Rr)
+      if (B.Coef[Rr] != 0)
+        Num.addVar(YNames[Rr], -B.Coef[Rr]);
+    if (B.IsUpper) {
+      assert(C > 0);
+      // y_K <= floor(Num / C).
+      ExprRef E = Num.toExpr();
+      Out[K].Uppers.push_back(C == 1 ? E
+                                     : Expr::floorDivE(E, Expr::intConst(C)));
+    } else {
+      assert(C < 0);
+      // y_K >= ceil((-Num) / (-C)).
+      Out[K].Lowers.push_back(
+          Expr::ceilDivByConst(Num.scaled(-1).toExpr(), -C));
+    }
+  }
+  return Out;
+}

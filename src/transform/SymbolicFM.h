@@ -1,0 +1,77 @@
+//===- transform/SymbolicFM.h - Symbolic Fourier-Motzkin bounds gen ------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Loop-bounds generation for the Unimodular template, following the
+/// hyperplane-method code generation the paper cites ([7] Irigoin, [14]
+/// Wolf & Lam): Fourier-Motzkin elimination over the transformed
+/// iteration-space inequalities. Coefficients of the (new) index
+/// variables are integers; the loop-invariant parts are symbolic LinExprs
+/// (so `n`, `b`, `colstr(0)` ride along as opaque atoms). Eliminating
+/// variables only ever multiplies by positive integer constants, so the
+/// symbolic parts stay linear and exact.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRLT_TRANSFORM_SYMBOLICFM_H
+#define IRLT_TRANSFORM_SYMBOLICFM_H
+
+#include "ir/LinExpr.h"
+
+#include <string>
+#include <vector>
+
+namespace irlt {
+
+/// Per-loop generated bounds: lower terms combine with max(), upper terms
+/// with min(); all steps are 1.
+struct GeneratedBounds {
+  std::vector<ExprRef> Lowers;
+  std::vector<ExprRef> Uppers;
+};
+
+/// A conjunction of constraints  sum_k Coef[k] * y_k <= Sym  over the new
+/// index variables y_0..y_{n-1}.
+class SymbolicFM {
+public:
+  explicit SymbolicFM(unsigned NumVars) : NumVars(NumVars) {}
+
+  /// Adds sum Coef[k]*y_k <= Sym.
+  void addLE(std::vector<int64_t> Coef, LinExpr Sym);
+
+  /// Adds sum Coef[k]*y_k >= Sym.
+  void addGE(std::vector<int64_t> Coef, const LinExpr &Sym);
+
+  /// Generates loop bounds for y_{n-1} .. y_0 by repeated projection.
+  /// \p YNames renders references to outer y variables inside bounds.
+  /// \returns one GeneratedBounds per variable (index 0 = outermost).
+  /// Bounds with an empty Lowers or Uppers list mean the input system
+  /// left the variable unbounded (the caller reports an error).
+  ///
+  /// With \p EliminateRedundant, a bound term is dropped when the rest of
+  /// the system provably implies it for *every* value of the symbolic
+  /// atoms (the atoms join the variables of a rational feasibility check,
+  /// so implication holds universally) - this recovers e.g. Figure 4(b)'s
+  /// `do i = 1, j` where plain projection emits `min(n, j)`.
+  std::vector<GeneratedBounds>
+  generateBounds(const std::vector<std::string> &YNames,
+                 bool EliminateRedundant = true) const;
+
+private:
+  struct Row {
+    std::vector<int64_t> Coef;
+    LinExpr Sym;
+  };
+
+  static void normalizeRow(Row &R);
+
+  unsigned NumVars;
+  std::vector<Row> Rows;
+};
+
+} // namespace irlt
+
+#endif // IRLT_TRANSFORM_SYMBOLICFM_H

@@ -1,0 +1,105 @@
+//===- transform/Template.h - Kernel transformation templates ------------===//
+//
+// Part of the IRLT project: a reproduction of Sarkar & Thekkath,
+// "A General Framework for Iteration-Reordering Loop Transformations"
+// (PLDI 1992). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transformation-template abstraction of Section 2. A template is
+/// defined by three rule sets:
+///
+///   1. dependence-vector mapping rules (Table 2)  -> mapDependences();
+///   2. loop-bounds mapping rules and their preconditions (Tables 3, 4)
+///      -> checkPreconditions() / apply();
+///   3. initialization-statement creation rules    -> part of apply(),
+///      which *prepends* its INIT statements so a sequence t_1..t_k emits
+///      them in the paper's INIT_k ... INIT_1 order.
+///
+/// An iteration-reordering transformation is a sequence of template
+/// instantiations; the kernel set is extensible - any subclass that
+/// honors the consistency requirement of Definition 3.4 plugs into the
+/// same uniform legality test and code generator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRLT_TRANSFORM_TEMPLATE_H
+#define IRLT_TRANSFORM_TEMPLATE_H
+
+#include "dependence/DepVector.h"
+#include "ir/LoopNest.h"
+#include "support/ErrorOr.h"
+
+#include <memory>
+#include <string>
+
+namespace irlt {
+
+/// Abstract kernel transformation template instantiation. Instances are
+/// immutable and independent of any loop nest (Section 5: templates "may
+/// be created, instantiated, composed, and destroyed, without being tied
+/// to a particular loop nest").
+class TransformTemplate {
+public:
+  /// Discriminator for the kernel set of Table 1 (extensible: Custom).
+  enum class Kind {
+    Unimodular,
+    ReversePermute,
+    Parallelize,
+    Block,
+    Coalesce,
+    Interleave,
+    Custom
+  };
+
+  virtual ~TransformTemplate();
+
+  Kind kind() const { return TheKind; }
+
+  /// Template name as in Table 1, e.g. "Block".
+  virtual std::string name() const = 0;
+
+  /// Rendering of the instantiation parameters, e.g. "(n=3, i=1, j=3,
+  /// bsize=[bj, bk, bi])".
+  virtual std::string paramStr() const = 0;
+
+  /// Input loop-nest size n this instantiation applies to.
+  virtual unsigned inputSize() const = 0;
+
+  /// Output loop-nest size n' (Tables 3/4: may differ from n).
+  virtual unsigned outputSize() const = 0;
+
+  /// Table 2: maps a dependence-vector set through this transformation.
+  /// Every rule is *consistent* (Definition 3.4): the mapped set covers
+  /// every transformed instance pair - verified by property tests.
+  virtual DepSet mapDependences(const DepSet &D) const = 0;
+
+  /// Loop-bounds preconditions (first column of Tables 3/4) against the
+  /// current (possibly intermediate) nest. \returns empty string when
+  /// satisfied, else a diagnostic.
+  virtual std::string checkPreconditions(const LoopNest &Nest) const = 0;
+
+  /// Applies the bounds-mapping and init-statement rules, producing the
+  /// transformed nest. Fails (with the precondition diagnostic) when the
+  /// preconditions are violated.
+  virtual ErrorOr<LoopNest> apply(const LoopNest &Nest) const = 0;
+
+  std::string str() const { return name() + paramStr(); }
+
+protected:
+  explicit TransformTemplate(Kind K) : TheKind(K) {}
+
+private:
+  Kind TheKind;
+};
+
+using TemplateRef = std::shared_ptr<const TransformTemplate>;
+
+/// Picks a loop-variable name not already bound in \p Nest: tries \p
+/// Preferred, then appends underscores.
+std::string freshVarName(const LoopNest &Nest, const std::string &Preferred);
+
+} // namespace irlt
+
+#endif // IRLT_TRANSFORM_TEMPLATE_H

@@ -1,0 +1,19 @@
+//===- transform/TemplateCommon.cpp - Shared template helpers ------------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Template.h"
+
+using namespace irlt;
+
+TransformTemplate::~TransformTemplate() = default;
+
+std::string irlt::freshVarName(const LoopNest &Nest,
+                               const std::string &Preferred) {
+  std::string Name = Preferred;
+  while (Nest.bindsVar(Name))
+    Name += "_";
+  return Name;
+}

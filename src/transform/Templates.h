@@ -1,0 +1,247 @@
+//===- transform/Templates.h - The kernel set of Table 1 -----------------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Concrete template classes for the paper's kernel set (Table 1):
+/// Unimodular, ReversePermute, Parallelize, Block, Coalesce, Interleave.
+/// Loop ranges (i, j) and positions follow the paper's 1-based
+/// convention in parameter lists but are stored 0-based.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRLT_TRANSFORM_TEMPLATES_H
+#define IRLT_TRANSFORM_TEMPLATES_H
+
+#include "transform/Template.h"
+#include "transform/UnimodularMatrix.h"
+
+#include <optional>
+#include <vector>
+
+namespace irlt {
+
+/// Unimodular(n, M): y = M x. Preconditions (Table 3): bounds linear with
+/// constant-coefficient terms, steps compile-time constants (normalized
+/// to 1 before the mapping); all loops sequential. Bounds generation uses
+/// symbolic Fourier-Motzkin elimination (the "[7, 14]" citation).
+class UnimodularTemplate : public TransformTemplate {
+public:
+  UnimodularTemplate(unsigned N, UnimodularMatrix M);
+
+  const UnimodularMatrix &matrix() const { return M; }
+
+  std::string name() const override { return "Unimodular"; }
+  std::string paramStr() const override;
+  unsigned inputSize() const override { return N; }
+  unsigned outputSize() const override { return N; }
+  DepSet mapDependences(const DepSet &D) const override;
+  std::string checkPreconditions(const LoopNest &Nest) const override;
+  ErrorOr<LoopNest> apply(const LoopNest &Nest) const override;
+
+  static bool classof(const TransformTemplate *T) {
+    return T->kind() == Kind::Unimodular;
+  }
+
+private:
+  unsigned N;
+  UnimodularMatrix M;
+};
+
+/// ReversePermute(n, rev, perm): loop k is reversed when rev[k], then
+/// moved to position perm[k]. Preconditions: rectangular bounds (all
+/// bound expressions invariant in the index variables); steps need *not*
+/// be constant. Reuses index variable names and creates no
+/// initialization statements - the cheap special case Section 5 touts.
+class ReversePermuteTemplate : public TransformTemplate {
+public:
+  ReversePermuteTemplate(unsigned N, std::vector<bool> Rev,
+                         std::vector<unsigned> Perm);
+
+  const std::vector<bool> &rev() const { return Rev; }
+  const std::vector<unsigned> &perm() const { return Perm; }
+
+  std::string name() const override { return "ReversePermute"; }
+  std::string paramStr() const override;
+  unsigned inputSize() const override { return N; }
+  unsigned outputSize() const override { return N; }
+  DepSet mapDependences(const DepSet &D) const override;
+  std::string checkPreconditions(const LoopNest &Nest) const override;
+  ErrorOr<LoopNest> apply(const LoopNest &Nest) const override;
+
+  static bool classof(const TransformTemplate *T) {
+    return T->kind() == Kind::ReversePermute;
+  }
+
+private:
+  unsigned N;
+  std::vector<bool> Rev;
+  std::vector<unsigned> Perm;
+};
+
+/// Parallelize(n, parflag): loop k becomes `pardo` when parflag[k]. No
+/// preconditions; the dependence mapping symmetrizes entries of
+/// parallelized loops so the uniform lexicographic test rejects
+/// parallelization of dependence-carrying loops.
+class ParallelizeTemplate : public TransformTemplate {
+public:
+  ParallelizeTemplate(unsigned N, std::vector<bool> ParFlag);
+
+  const std::vector<bool> &parFlag() const { return ParFlag; }
+
+  std::string name() const override { return "Parallelize"; }
+  std::string paramStr() const override;
+  unsigned inputSize() const override { return N; }
+  unsigned outputSize() const override { return N; }
+  DepSet mapDependences(const DepSet &D) const override;
+  std::string checkPreconditions(const LoopNest &Nest) const override;
+  ErrorOr<LoopNest> apply(const LoopNest &Nest) const override;
+
+  static bool classof(const TransformTemplate *T) {
+    return T->kind() == Kind::Parallelize;
+  }
+
+private:
+  unsigned N;
+  std::vector<bool> ParFlag;
+};
+
+/// Block(n, i, j, bsize): tiles the contiguous loops i..j (1-based,
+/// inclusive) with block sizes bsize. Output has j-i+1 extra loops: the
+/// block loops at positions i..j, then the element loops. The bounds
+/// rules of Table 4 create only tiles with work on trapezoidal iteration
+/// spaces (the xmin/xmax substitution).
+class BlockTemplate : public TransformTemplate {
+public:
+  BlockTemplate(unsigned N, unsigned I, unsigned J, std::vector<ExprRef> BSize);
+
+  unsigned rangeBegin() const { return I; } ///< 1-based i
+  unsigned rangeEnd() const { return J; }   ///< 1-based j
+  const std::vector<ExprRef> &bsize() const { return BSize; }
+
+  std::string name() const override { return "Block"; }
+  std::string paramStr() const override;
+  unsigned inputSize() const override { return N; }
+  unsigned outputSize() const override { return N + (J - I + 1); }
+  DepSet mapDependences(const DepSet &D) const override;
+  std::string checkPreconditions(const LoopNest &Nest) const override;
+  ErrorOr<LoopNest> apply(const LoopNest &Nest) const override;
+
+  static bool classof(const TransformTemplate *T) {
+    return T->kind() == Kind::Block;
+  }
+
+private:
+  unsigned N, I, J;          // I, J are 1-based inclusive
+  std::vector<ExprRef> BSize; // size J-I+1, for loops I..J
+};
+
+/// Coalesce(n, i, j): collapses the contiguous loops i..j into a single
+/// normalized loop (lower bound 1, step 1). Preconditions: bounds and
+/// steps of loops (i, j] invariant in the coalesced index variables.
+/// Creates initialization statements recovering the original index
+/// variables with div/mod of the trip counts.
+class CoalesceTemplate : public TransformTemplate {
+public:
+  CoalesceTemplate(unsigned N, unsigned I, unsigned J,
+                   std::optional<std::string> NewVarName = std::nullopt);
+
+  unsigned rangeBegin() const { return I; }
+  unsigned rangeEnd() const { return J; }
+
+  std::string name() const override { return "Coalesce"; }
+  std::string paramStr() const override;
+  unsigned inputSize() const override { return N; }
+  unsigned outputSize() const override { return N - (J - I); }
+  DepSet mapDependences(const DepSet &D) const override;
+  std::string checkPreconditions(const LoopNest &Nest) const override;
+  ErrorOr<LoopNest> apply(const LoopNest &Nest) const override;
+
+  static bool classof(const TransformTemplate *T) {
+    return T->kind() == Kind::Coalesce;
+  }
+
+private:
+  unsigned N, I, J;
+  std::optional<std::string> NewVarName;
+};
+
+/// Interleave(n, i, j, isize): like Block, but a "block" consists of
+/// non-contiguous iterations with the same phase modulo the interleave
+/// factor. Output: phase loops (0 .. isize[k]-1) at positions i..j, then
+/// the original loops striding by isize[k]*s_k.
+class InterleaveTemplate : public TransformTemplate {
+public:
+  InterleaveTemplate(unsigned N, unsigned I, unsigned J,
+                     std::vector<ExprRef> ISize);
+
+  unsigned rangeBegin() const { return I; }
+  unsigned rangeEnd() const { return J; }
+  const std::vector<ExprRef> &isize() const { return ISize; }
+
+  std::string name() const override { return "Interleave"; }
+  std::string paramStr() const override;
+  unsigned inputSize() const override { return N; }
+  unsigned outputSize() const override { return N + (J - I + 1); }
+  DepSet mapDependences(const DepSet &D) const override;
+  std::string checkPreconditions(const LoopNest &Nest) const override;
+  ErrorOr<LoopNest> apply(const LoopNest &Nest) const override;
+
+  static bool classof(const TransformTemplate *T) {
+    return T->kind() == Kind::Interleave;
+  }
+
+private:
+  unsigned N, I, J;
+  std::vector<ExprRef> ISize;
+};
+
+/// StripMine(n, k, size): splits loop k (1-based) into a block loop of
+/// stride s_k*size immediately followed by its element loop. An
+/// *extension* template (not in Table 1): Table 1 defines Block as
+/// "a combination of strip mining and interchanging", and this template
+/// makes that decomposition executable (see transform/StripMine.cpp).
+class StripMineTemplate : public TransformTemplate {
+public:
+  StripMineTemplate(unsigned N, unsigned K, ExprRef Size);
+
+  unsigned position() const { return K; } ///< 1-based loop position
+  const ExprRef &size() const { return Size; }
+
+  std::string name() const override { return "StripMine"; }
+  std::string paramStr() const override;
+  unsigned inputSize() const override { return N; }
+  unsigned outputSize() const override { return N + 1; }
+  DepSet mapDependences(const DepSet &D) const override;
+  std::string checkPreconditions(const LoopNest &Nest) const override;
+  ErrorOr<LoopNest> apply(const LoopNest &Nest) const override;
+
+  static bool classof(const TransformTemplate *T) {
+    return T->kind() == Kind::Custom;
+  }
+
+private:
+  unsigned N, K;
+  ExprRef Size;
+};
+
+//===--- Convenience factories ---------------------------------------------===
+
+TemplateRef makeUnimodular(unsigned N, UnimodularMatrix M);
+TemplateRef makeReversePermute(unsigned N, std::vector<bool> Rev,
+                               std::vector<unsigned> Perm);
+TemplateRef makeInterchange(unsigned N, unsigned A, unsigned B); ///< via RP
+TemplateRef makeParallelize(unsigned N, std::vector<bool> ParFlag);
+TemplateRef makeBlock(unsigned N, unsigned I, unsigned J,
+                      std::vector<ExprRef> BSize);
+TemplateRef makeCoalesce(unsigned N, unsigned I, unsigned J,
+                         std::optional<std::string> NewVarName = std::nullopt);
+TemplateRef makeInterleave(unsigned N, unsigned I, unsigned J,
+                           std::vector<ExprRef> ISize);
+TemplateRef makeStripMine(unsigned N, unsigned K, ExprRef Size);
+
+} // namespace irlt
+
+#endif // IRLT_TRANSFORM_TEMPLATES_H

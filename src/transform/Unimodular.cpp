@@ -1,0 +1,322 @@
+//===- transform/Unimodular.cpp - The Unimodular template ----------------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unimodular(n, M) (Tables 1-3): y = M x over the iteration space.
+///
+///  - Dependence rule (Table 2): D' = { M (x) d }, the matrix-vector
+///    product extended to direction values with sign-interval arithmetic.
+///  - Bounds preconditions (Table 3): type(l_j, x_i), type(u_j, x_i) <=
+///    linear; type(s_j, x_i) <= const; non-unit constant steps are
+///    normalized to 1 before the mapping. All input loops must be
+///    sequential (a skew of a pardo loop has no meaning; re-parallelize
+///    afterwards with the Parallelize template).
+///  - Code generation: symbolic Fourier-Motzkin over  x = M^{-1} y, per
+///    the paper's citations [7, 14]. Initialization statements define the
+///    old index variables as integer combinations of the new ones; rows
+///    of M that are unit vectors at the same position keep their index
+///    variable and get no init statement.
+///
+/// Step normalization never materializes trip-count expressions: a loop
+/// `do x = l, u, s` contributes the *affine* constraints  xh >= 0  and
+/// s*xh <= u - l  (mirrored for s < 0) over the 0-based counter xh with
+/// x = l + s*xh, so the inequality system stays exact even when l
+/// references outer index variables.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bounds/TypeLattice.h"
+#include "ir/LinExpr.h"
+#include "support/Casting.h"
+#include "support/MathUtils.h"
+#include "support/Printing.h"
+#include "transform/SymbolicFM.h"
+#include "transform/Templates.h"
+
+#include <cassert>
+
+using namespace irlt;
+
+UnimodularTemplate::UnimodularTemplate(unsigned N, UnimodularMatrix M)
+    : TransformTemplate(Kind::Unimodular), N(N), M(std::move(M)) {
+  assert(this->M.size() == N && "matrix size mismatch");
+  assert(this->M.isUnimodular() && "matrix is not unimodular");
+}
+
+std::string UnimodularTemplate::paramStr() const {
+  return formatStr("(n=%u, M=%s)", N, M.str().c_str());
+}
+
+DepSet UnimodularTemplate::mapDependences(const DepSet &D) const {
+  DepSet Out;
+  for (const DepVector &V : D.vectors()) {
+    assert(V.size() == N && "dependence vector arity mismatch");
+    Out.insert(M.apply(V));
+  }
+  return Out;
+}
+
+std::string UnimodularTemplate::checkPreconditions(const LoopNest &Nest) const {
+  if (Nest.numLoops() != N)
+    return formatStr("Unimodular: nest has %u loops, template expects %u",
+                     Nest.numLoops(), N);
+  for (unsigned K = 0; K < N; ++K) {
+    const Loop &L = Nest.Loops[K];
+    if (L.Kind != LoopKind::Do)
+      return formatStr("Unimodular: loop %u ('%s') is parallel; only "
+                       "sequential loops can be transformed",
+                       K + 1, L.IndexVar.c_str());
+    std::optional<int64_t> StepC = L.Step->constValue();
+    if (!StepC || *StepC == 0)
+      return formatStr("Unimodular: step of loop %u ('%s') is not a non-zero "
+                       "compile-time constant",
+                       K + 1, L.IndexVar.c_str());
+    int SSign = *StepC > 0 ? 1 : -1;
+    if (*StepC != 1) {
+      // Normalization substitutes x = l + s*xh; the start bound must be a
+      // single inequality for the substitution to stay affine.
+      Expr::Kind Splittable = SSign > 0 ? Expr::Kind::Max : Expr::Kind::Min;
+      if (L.Lower->kind() == Splittable)
+        return formatStr("Unimodular: loop %u ('%s') has a non-unit step "
+                         "with a composite start bound; normalize it first",
+                         K + 1, L.IndexVar.c_str());
+    }
+    for (unsigned I = 0; I < K; ++I) {
+      const std::string &Xi = Nest.Loops[I].IndexVar;
+      BoundType TL = typeOfBound(L.Lower, Xi, BoundSide::Lower, SSign);
+      if (!typeLE(TL, BoundType::Linear))
+        return formatStr("Unimodular: type(l_%u, %s) = %s exceeds linear",
+                         K + 1, Xi.c_str(), typeName(TL));
+      BoundType TU = typeOfBound(L.Upper, Xi, BoundSide::Upper, SSign);
+      if (!typeLE(TU, BoundType::Linear))
+        return formatStr("Unimodular: type(u_%u, %s) = %s exceeds linear",
+                         K + 1, Xi.c_str(), typeName(TU));
+    }
+  }
+  return std::string();
+}
+
+namespace {
+
+/// Splits a bound into its inequality terms per the max/min special case.
+std::vector<ExprRef> boundTerms(const ExprRef &E, BoundSide Side, int SSign) {
+  Expr::Kind Splittable = Expr::Kind::Call; // sentinel
+  if (SSign > 0)
+    Splittable = Side == BoundSide::Lower ? Expr::Kind::Max : Expr::Kind::Min;
+  else if (SSign < 0)
+    Splittable = Side == BoundSide::Lower ? Expr::Kind::Min : Expr::Kind::Max;
+  if (E->kind() == Splittable) {
+    const auto *MM = cast<MinMaxExpr>(E.get());
+    return std::vector<ExprRef>(MM->operands().begin(), MM->operands().end());
+  }
+  return {E};
+}
+
+} // namespace
+
+ErrorOr<LoopNest> UnimodularTemplate::apply(const LoopNest &Nest) const {
+  if (std::string E = checkPreconditions(Nest); !E.empty())
+    return Failure(E);
+
+  // The transformation acts on the *normalized* iteration vector xh:
+  // xh_k = x_k when s_k == 1, else the 0-based counter with
+  // x_k = l_k + s_k * xh_k. Resolve maps each original index variable to
+  // its affine form over hat variables (by name) and invariant atoms.
+  std::vector<std::string> HatName(N);
+  std::map<std::string, LinExpr> Resolve;
+  std::vector<InitStmt> NormInits;
+  LoopNest NameScope = Nest;
+
+  // Constraint rows over hat variables:  sum Coef[k]*xh_k (<=|>=) Sym.
+  struct HatRow {
+    std::vector<int64_t> Coef;
+    LinExpr Sym;
+    bool IsGE;
+  };
+  std::vector<HatRow> Rows;
+
+  // Splits a resolved LinExpr into hat-variable coefficients (by loop
+  // position) and the symbolic remainder.
+  auto splitHat = [&](const LinExpr &L, std::vector<int64_t> &Coef,
+                      LinExpr &Sym) {
+    Coef.assign(N, 0);
+    Sym = LinExpr();
+    Sym.addConst(L.constant());
+    for (const auto &[Key, T] : L.terms()) {
+      bool Positional = false;
+      if (isa<VarExpr>(T.Atom.get())) {
+        const std::string &Name = cast<VarExpr>(T.Atom.get())->name();
+        for (unsigned K = 0; K < N; ++K)
+          if (HatName[K] == Name) {
+            Coef[K] = addChecked(Coef[K], T.Coef);
+            Positional = true;
+            break;
+          }
+      }
+      if (!Positional)
+        Sym.addAtom(T.Atom, T.Coef);
+    }
+  };
+
+  for (unsigned K = 0; K < N; ++K) {
+    const Loop &L = Nest.Loops[K];
+    int64_t S = *L.Step->constValue();
+    int SSign = S > 0 ? 1 : -1;
+    auto resolve = [&](const ExprRef &E) {
+      return LinExpr::fromExpr(E).substituted(Resolve);
+    };
+
+    if (S == 1) {
+      HatName[K] = L.IndexVar;
+      LinExpr Self;
+      Self.addVar(L.IndexVar, 1);
+      Resolve[L.IndexVar] = Self;
+      for (const ExprRef &T : boundTerms(L.Lower, BoundSide::Lower, 1)) {
+        HatRow R;
+        LinExpr RT = resolve(T);
+        splitHat(RT, R.Coef, R.Sym);
+        // xh_k >= T:  e_k - T >= Sym-part... represent as row
+        // (e_k - TIdx) >= TSym.
+        for (int64_t &C : R.Coef)
+          C = -C;
+        R.Coef[K] = addChecked(R.Coef[K], 1);
+        R.IsGE = true;
+        Rows.push_back(std::move(R));
+      }
+      for (const ExprRef &T : boundTerms(L.Upper, BoundSide::Upper, 1)) {
+        HatRow R;
+        LinExpr RT = resolve(T);
+        splitHat(RT, R.Coef, R.Sym);
+        for (int64_t &C : R.Coef)
+          C = -C;
+        R.Coef[K] = addChecked(R.Coef[K], 1);
+        R.IsGE = false;
+        Rows.push_back(std::move(R));
+      }
+      continue;
+    }
+
+    // Non-unit step: fresh 0-based counter.
+    HatName[K] = freshVarName(NameScope, L.IndexVar + "n");
+    NameScope.Loops.push_back(Loop(HatName[K], Expr::intConst(0),
+                                   Expr::intConst(0), Expr::intConst(1)));
+    LinExpr L0 = resolve(L.Lower);
+    LinExpr Sub = L0;
+    Sub.addVar(HatName[K], S);
+    Resolve[L.IndexVar] = Sub;
+    // Recovery init (ascending-k emission order keeps references to outer
+    // originals valid): x_k = l_k + s_k * xh_k with the *original* l_k.
+    NormInits.push_back(InitStmt{
+        L.IndexVar,
+        simplify(Expr::add(L.Lower, Expr::mul(Expr::intConst(S),
+                                              Expr::var(HatName[K]))))});
+    // xh_k >= 0.
+    {
+      HatRow R;
+      R.Coef.assign(N, 0);
+      R.Coef[K] = 1;
+      R.IsGE = true;
+      Rows.push_back(std::move(R));
+    }
+    // End bound: for s > 0, each upper term t gives  s*xh <= t - l0;
+    // for s < 0, each (max-split) end term gives  (-s)*xh <= l0 - t.
+    for (const ExprRef &T : boundTerms(L.Upper, BoundSide::Upper, SSign)) {
+      LinExpr RT = resolve(T);
+      LinExpr Diff = SSign > 0 ? RT - L0 : L0 - RT;
+      HatRow R;
+      splitHat(Diff, R.Coef, R.Sym);
+      for (int64_t &C : R.Coef)
+        C = -C;
+      R.Coef[K] = addChecked(R.Coef[K], SSign > 0 ? S : -S);
+      R.IsGE = false;
+      Rows.push_back(std::move(R));
+    }
+  }
+
+  // Transform the rows to y-space: xh = Minv * y, so a row A.xh (<=|>=) b
+  // becomes (A^T Minv).y (<=|>=) b.
+  UnimodularMatrix Minv = M.inverse();
+  SymbolicFM Sys(N);
+  for (HatRow &R : Rows) {
+    std::vector<int64_t> B(N, 0);
+    for (unsigned C = 0; C < N; ++C) {
+      int64_t Acc = 0;
+      for (unsigned Rr = 0; Rr < N; ++Rr)
+        Acc = addChecked(Acc, mulChecked(R.Coef[Rr], Minv.at(Rr, C)));
+      B[C] = Acc;
+    }
+    if (R.IsGE)
+      Sys.addGE(std::move(B), R.Sym);
+    else
+      Sys.addLE(std::move(B), std::move(R.Sym));
+  }
+
+  // Names for the new variables: unit rows keep their (hat) variable; any
+  // other y_c doubles the name of the first old variable whose recovery
+  // uses y_c.
+  std::vector<std::string> YNames(N);
+  std::vector<bool> KeepName(N, false);
+  for (unsigned C = 0; C < N; ++C) {
+    if (M.rowIsUnit(C, C)) {
+      YNames[C] = HatName[C];
+      KeepName[C] = true;
+      continue;
+    }
+    std::string Preferred;
+    for (unsigned R = 0; R < N; ++R)
+      if (Minv.at(R, C) != 0) {
+        Preferred = HatName[R] + HatName[R];
+        break;
+      }
+    if (Preferred.empty())
+      Preferred = formatStr("y%u", C + 1);
+    std::string Fresh = freshVarName(NameScope, Preferred);
+    YNames[C] = Fresh;
+    NameScope.Loops.push_back(
+        Loop(Fresh, Expr::intConst(0), Expr::intConst(0), Expr::intConst(1)));
+  }
+
+  // Fourier-Motzkin bound generation.
+  std::vector<GeneratedBounds> Bounds = Sys.generateBounds(YNames);
+  for (unsigned K = 0; K < N; ++K)
+    if (Bounds[K].Lowers.empty() || Bounds[K].Uppers.empty())
+      return Failure(formatStr(
+          "Unimodular: transformed loop %u has no %s bound (input iteration "
+          "space is unbounded in the transformed basis)",
+          K + 1, Bounds[K].Lowers.empty() ? "lower" : "upper"));
+
+  LoopNest Out = Nest;
+  Out.Loops.clear();
+  for (unsigned K = 0; K < N; ++K) {
+    ExprRef Lo = simplify(Expr::maxE(Bounds[K].Lowers));
+    ExprRef Hi = simplify(Expr::minE(Bounds[K].Uppers));
+    Out.Loops.push_back(
+        Loop(YNames[K], Lo, Hi, Expr::intConst(1), LoopKind::Do));
+  }
+
+  // Init statements xh_r = Minv[r] . y for renamed rows (innermost first,
+  // as in Figure 1(b)), then the step-recovery inits, then pre-existing
+  // ones: overall the paper's INIT_k ... INIT_1 order.
+  std::vector<InitStmt> NewInits;
+  for (unsigned R = N; R-- > 0;) {
+    if (KeepName[R])
+      continue;
+    LinExpr Rec;
+    for (unsigned C = 0; C < N; ++C)
+      if (Minv.at(R, C) != 0)
+        Rec.addVar(YNames[C], Minv.at(R, C));
+    NewInits.push_back(InitStmt{HatName[R], Rec.toExpr()});
+  }
+  std::vector<InitStmt> AllInits = std::move(NewInits);
+  AllInits.insert(AllInits.end(), NormInits.begin(), NormInits.end());
+  AllInits.insert(AllInits.end(), Nest.Inits.begin(), Nest.Inits.end());
+  Out.Inits = std::move(AllInits);
+  return Out;
+}
+
+TemplateRef irlt::makeUnimodular(unsigned N, UnimodularMatrix M) {
+  return std::make_shared<UnimodularTemplate>(N, std::move(M));
+}

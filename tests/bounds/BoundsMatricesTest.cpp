@@ -1,0 +1,77 @@
+//===- tests/bounds/BoundsMatricesTest.cpp ---------------------------------===//
+
+#include "bounds/BoundsMatrices.h"
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace irlt;
+
+namespace {
+
+TEST(BoundsMatrices, DecomposeBoundSplitsIndexAndInvariant) {
+  ErrorOr<LoopNest> N = parseLoopNest("do i = 1, n\n"
+                                      "  do j = 2*i + m - 4, n\n"
+                                      "    a(i, j) = 1\n"
+                                      "  enddo\n"
+                                      "enddo\n");
+  ASSERT_TRUE(static_cast<bool>(N)) << N.message();
+  BoundIneq Q = decomposeBound(LinExpr::fromExpr(N->Loops[1].Lower), *N);
+  EXPECT_EQ(Q.Coef[0], 2); // coefficient of i
+  EXPECT_EQ(Q.Coef[1], 0);
+  EXPECT_EQ(Q.InvariantPart->str(), "m - 4");
+  EXPECT_FALSE(Q.NonlinearFold);
+}
+
+TEST(BoundsMatrices, NonlinearTermsFoldIntoColumnZero) {
+  ErrorOr<LoopNest> N = parseLoopNest("do i = 1, n\n"
+                                      "  do j = i*i + 2*i, n\n"
+                                      "    a(i, j) = 1\n"
+                                      "  enddo\n"
+                                      "enddo\n");
+  ASSERT_TRUE(static_cast<bool>(N)) << N.message();
+  BoundIneq Q = decomposeBound(LinExpr::fromExpr(N->Loops[1].Lower), *N);
+  EXPECT_EQ(Q.Coef[0], 2); // the linear part of i stays a coefficient
+  EXPECT_TRUE(Q.NonlinearFold);
+  EXPECT_EQ(Q.InvariantPart->str(), "i*i"); // i*i joins column 0
+}
+
+TEST(BoundsMatrices, NegativeStepSwapsSplittableSides) {
+  // With a negative step, the *start* bound splits on min and the end
+  // bound on max.
+  ErrorOr<LoopNest> N = parseLoopNest("do i = min(n, m), max(1, p), -1\n"
+                                      "  a(i) = 1\n"
+                                      "enddo\n");
+  ASSERT_TRUE(static_cast<bool>(N)) << N.message();
+  BoundsMatrices M = BoundsMatrices::fromNest(*N);
+  EXPECT_EQ(M.lb(0).Ineqs.size(), 2u);
+  EXPECT_EQ(M.ub(0).Ineqs.size(), 2u);
+}
+
+TEST(BoundsMatrices, UnsplittableMinMaxStaysOneOpaqueIneq) {
+  // A min as a *lower* bound (positive step) cannot decompose into a
+  // conjunction; it stays a single opaque inequality.
+  ErrorOr<LoopNest> N = parseLoopNest("do i = min(n, m), 100\n"
+                                      "  a(i) = 1\n"
+                                      "enddo\n");
+  ASSERT_TRUE(static_cast<bool>(N)) << N.message();
+  BoundsMatrices M = BoundsMatrices::fromNest(*N);
+  ASSERT_EQ(M.lb(0).Ineqs.size(), 1u);
+  EXPECT_EQ(M.lb(0).Ineqs[0].InvariantPart->str(), "min(n, m)");
+}
+
+TEST(BoundsMatrices, TypeTagsPerEntry) {
+  ErrorOr<LoopNest> N = parseLoopNest("do i = 1, 10\n"
+                                      "  do j = i, n + i\n"
+                                      "    a(i, j) = 1\n"
+                                      "  enddo\n"
+                                      "enddo\n");
+  ASSERT_TRUE(static_cast<bool>(N)) << N.message();
+  BoundsMatrices M = BoundsMatrices::fromNest(*N);
+  EXPECT_EQ(M.lbType(0, 1), BoundType::Const); // l1 = 1 w.r.t. i
+  EXPECT_EQ(M.lbType(1, 1), BoundType::Linear);
+  EXPECT_EQ(M.ubType(1, 1), BoundType::Linear);
+  EXPECT_EQ(M.ubType(0, 1), BoundType::Const);
+}
+
+} // namespace

@@ -1,0 +1,107 @@
+//===- tests/bounds/Figure5Test.cpp - Paper Figure 5 ----------------------===//
+//
+// Reproduces Figure 5: the LB/UB/STEP coefficient-matrix representation
+// of the sample nest
+//
+//   do i = max(n, 3), 100, 2
+//     do j = 1, min(2, i + 512), 1
+//       do k = sqrt(i) / 2, 2*j, i
+//
+// with the figure's entries and type tags:
+//   LB(1,0) = <n, 3>;  UB(2,0) = <2, 512> with UB(2,1) = <0, 1>;
+//   LB(3,0) = sqrt(i)/2 (nonlinear fold);  UB(3,2) = 2;  STEP(3,1) = 1;
+//   type(u2, i) = linear, type(l3, i) = nonlinear, type(u3, j) = linear,
+//   type(s3, i) = linear, type = invar or const in all other cases.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bounds/BoundsMatrices.h"
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace irlt;
+
+namespace {
+
+LoopNest fig5Nest() {
+  ErrorOr<LoopNest> N = parseLoopNest("do i = max(n, 3), 100, 2\n"
+                                      "  do j = 1, min(2, i + 512), 1\n"
+                                      "    do k = sqrt(i) / 2, 2*j, i\n"
+                                      "      a(i, j, k) = 1\n"
+                                      "    enddo\n"
+                                      "  enddo\n"
+                                      "enddo\n");
+  EXPECT_TRUE(static_cast<bool>(N)) << N.message();
+  return *N;
+}
+
+TEST(Figure5, LBEntries) {
+  BoundsMatrices M = BoundsMatrices::fromNest(fig5Nest());
+  ASSERT_EQ(M.numLoops(), 3u);
+  // Row 1: the max decomposes into the two inequalities <n, 3>.
+  ASSERT_EQ(M.lb(0).Ineqs.size(), 2u);
+  EXPECT_EQ(M.lb(0).Ineqs[0].InvariantPart->str(), "n");
+  EXPECT_EQ(M.lb(0).Ineqs[1].InvariantPart->str(), "3");
+  // Row 2: constant 1.
+  ASSERT_EQ(M.lb(1).Ineqs.size(), 1u);
+  EXPECT_EQ(M.lb(1).Ineqs[0].InvariantPart->str(), "1");
+  // Row 3: sqrt(i)/2 folds into column 0 and is flagged nonlinear.
+  ASSERT_EQ(M.lb(2).Ineqs.size(), 1u);
+  EXPECT_EQ(M.lb(2).Ineqs[0].InvariantPart->str(), "sqrt(i) / 2");
+  EXPECT_TRUE(M.lb(2).Ineqs[0].NonlinearFold);
+  EXPECT_EQ(M.lb(2).Ineqs[0].Coef[0], 0); // i's coefficient column is zero
+}
+
+TEST(Figure5, UBEntries) {
+  BoundsMatrices M = BoundsMatrices::fromNest(fig5Nest());
+  // Row 1: 100.
+  ASSERT_EQ(M.ub(0).Ineqs.size(), 1u);
+  EXPECT_EQ(M.ub(0).Ineqs[0].InvariantPart->str(), "100");
+  // Row 2: min<2, i + 512>: invariant parts <2, 512>, i-coefficients
+  // <0, 1> - exactly the figure's list entries.
+  ASSERT_EQ(M.ub(1).Ineqs.size(), 2u);
+  EXPECT_EQ(M.ub(1).Ineqs[0].InvariantPart->str(), "2");
+  EXPECT_EQ(M.ub(1).Ineqs[0].Coef[0], 0);
+  EXPECT_EQ(M.ub(1).Ineqs[1].InvariantPart->str(), "512");
+  EXPECT_EQ(M.ub(1).Ineqs[1].Coef[0], 1);
+  // Row 3: 2*j.
+  ASSERT_EQ(M.ub(2).Ineqs.size(), 1u);
+  EXPECT_EQ(M.ub(2).Ineqs[0].Coef[1], 2);
+  EXPECT_EQ(M.ub(2).Ineqs[0].InvariantPart->str(), "0");
+}
+
+TEST(Figure5, StepEntries) {
+  BoundsMatrices M = BoundsMatrices::fromNest(fig5Nest());
+  EXPECT_EQ(M.step(0).InvariantPart->str(), "2");
+  EXPECT_EQ(M.step(1).InvariantPart->str(), "1");
+  // Step of loop k is the index variable i: coefficient 1 in column 1.
+  EXPECT_EQ(M.step(2).Coef[0], 1);
+  EXPECT_EQ(M.step(2).InvariantPart->str(), "0");
+}
+
+TEST(Figure5, TypeTagsMatchTheFigure) {
+  BoundsMatrices M = BoundsMatrices::fromNest(fig5Nest());
+  // The figure's named cases (rows/cols are 1-based in the paper).
+  EXPECT_EQ(M.ubType(1, 1), BoundType::Linear);    // type(u2, i)
+  EXPECT_EQ(M.lbType(2, 1), BoundType::Nonlinear); // type(l3, i)
+  EXPECT_EQ(M.ubType(2, 2), BoundType::Linear);    // type(u3, j)
+  EXPECT_EQ(M.stepType(2, 1), BoundType::Linear);  // type(s3, i)
+  // "type = invar or const, in all other cases."
+  EXPECT_TRUE(typeLE(M.lbType(1, 1), BoundType::Invar));
+  EXPECT_TRUE(typeLE(M.ubType(2, 1), BoundType::Invar));
+  EXPECT_TRUE(typeLE(M.stepType(1, 1), BoundType::Invar));
+  EXPECT_TRUE(typeLE(M.lbType(2, 2), BoundType::Invar)); // l3 wrt j
+}
+
+TEST(Figure5, RenderingShowsListsAndUndefinedRegion) {
+  BoundsMatrices M = BoundsMatrices::fromNest(fig5Nest());
+  std::string S = M.str();
+  EXPECT_NE(S.find("LB ="), std::string::npos);
+  EXPECT_NE(S.find("<n, 3>"), std::string::npos);
+  EXPECT_NE(S.find("<2, 512>"), std::string::npos);
+  EXPECT_NE(S.find("sqrt(i) / 2"), std::string::npos);
+  EXPECT_NE(S.find("STEP ="), std::string::npos);
+}
+
+} // namespace

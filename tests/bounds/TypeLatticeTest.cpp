@@ -1,0 +1,97 @@
+//===- tests/bounds/TypeLatticeTest.cpp ------------------------------------===//
+
+#include "bounds/TypeLattice.h"
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace irlt;
+
+namespace {
+
+ExprRef parse(const std::string &S) {
+  ErrorOr<ExprRef> E = parseExpr(S);
+  EXPECT_TRUE(static_cast<bool>(E)) << E.message();
+  return *E;
+}
+
+TEST(TypeLattice, OrderAndJoin) {
+  EXPECT_TRUE(typeLE(BoundType::Const, BoundType::Invar));
+  EXPECT_TRUE(typeLE(BoundType::Invar, BoundType::Linear));
+  EXPECT_TRUE(typeLE(BoundType::Linear, BoundType::Nonlinear));
+  EXPECT_FALSE(typeLE(BoundType::Linear, BoundType::Invar));
+  EXPECT_TRUE(typeLE(BoundType::Linear, BoundType::Linear));
+  EXPECT_EQ(typeJoin(BoundType::Const, BoundType::Linear), BoundType::Linear);
+  EXPECT_EQ(typeJoin(BoundType::Nonlinear, BoundType::Invar),
+            BoundType::Nonlinear);
+}
+
+TEST(TypeLattice, TypeNames) {
+  EXPECT_STREQ(typeName(BoundType::Const), "const");
+  EXPECT_STREQ(typeName(BoundType::Invar), "invar");
+  EXPECT_STREQ(typeName(BoundType::Linear), "linear");
+  EXPECT_STREQ(typeName(BoundType::Nonlinear), "nonlinear");
+}
+
+TEST(TypeLattice, BasicClassification) {
+  EXPECT_EQ(typeOf(parse("3"), "i"), BoundType::Const);
+  EXPECT_EQ(typeOf(parse("2*4 - 1"), "i"), BoundType::Const);
+  EXPECT_EQ(typeOf(parse("n"), "i"), BoundType::Invar);
+  EXPECT_EQ(typeOf(parse("n + 3"), "i"), BoundType::Invar);
+  EXPECT_EQ(typeOf(parse("i"), "i"), BoundType::Linear);
+  EXPECT_EQ(typeOf(parse("2*i + n"), "i"), BoundType::Linear);
+  EXPECT_EQ(typeOf(parse("2*i + n"), "n"), BoundType::Linear);
+  EXPECT_EQ(typeOf(parse("i*i"), "i"), BoundType::Nonlinear);
+  EXPECT_EQ(typeOf(parse("colstr(i)"), "i"), BoundType::Nonlinear);
+  EXPECT_EQ(typeOf(parse("i / 2"), "i"), BoundType::Nonlinear);
+  EXPECT_EQ(typeOf(parse("sqrt(i) / 2"), "i"), BoundType::Nonlinear);
+  EXPECT_EQ(typeOf(parse("colstr(j)"), "i"), BoundType::Invar);
+  EXPECT_EQ(typeOf(parse("i*n"), "i"), BoundType::Nonlinear); // non-const coeff
+}
+
+TEST(TypeLattice, CancelledOccurrencesAreInvariant) {
+  // i - i cancels in the canonical linear form.
+  EXPECT_EQ(typeOf(parse("i - i + n"), "i"), BoundType::Invar);
+  EXPECT_EQ(typeOf(parse("i - i + 3"), "i"), BoundType::Const);
+}
+
+TEST(TypeLattice, MaxMinSpecialCase) {
+  // Positive step: a max lower bound / min upper bound splits per term.
+  ExprRef MaxLower = parse("max(2, j - n + 1)");
+  EXPECT_EQ(typeOfBound(MaxLower, "j", BoundSide::Lower, 1),
+            BoundType::Linear);
+  // As a plain expression (or on the wrong side), the max is opaque.
+  EXPECT_EQ(typeOf(MaxLower, "j"), BoundType::Nonlinear);
+  EXPECT_EQ(typeOfBound(MaxLower, "j", BoundSide::Upper, 1),
+            BoundType::Nonlinear);
+
+  ExprRef MinUpper = parse("min(n - 1, j - 2)");
+  EXPECT_EQ(typeOfBound(MinUpper, "j", BoundSide::Upper, 1),
+            BoundType::Linear);
+  EXPECT_EQ(typeOfBound(MinUpper, "j", BoundSide::Lower, 1),
+            BoundType::Nonlinear);
+
+  // Negative step mirrors the roles.
+  EXPECT_EQ(typeOfBound(MinUpper, "j", BoundSide::Lower, -1),
+            BoundType::Linear);
+  EXPECT_EQ(typeOfBound(MaxLower, "j", BoundSide::Upper, -1),
+            BoundType::Linear);
+
+  // Unknown step sign: no special case.
+  EXPECT_EQ(typeOfBound(MaxLower, "j", BoundSide::Lower, 0),
+            BoundType::Nonlinear);
+}
+
+TEST(TypeLattice, NestedMaxInsideMinStaysOpaque) {
+  ExprRef E = parse("min(n, max(i, 2))");
+  EXPECT_EQ(typeOfBound(E, "i", BoundSide::Upper, 1), BoundType::Nonlinear);
+}
+
+TEST(TypeLattice, IsCompileTimeConst) {
+  EXPECT_TRUE(isCompileTimeConst(parse("7")));
+  EXPECT_TRUE(isCompileTimeConst(parse("3*4 - 2")));
+  EXPECT_FALSE(isCompileTimeConst(parse("n")));
+  EXPECT_FALSE(isCompileTimeConst(parse("sqrt(4)"))); // opaque call
+}
+
+} // namespace

@@ -1,0 +1,93 @@
+//===- tests/codegen/CEmitterTest.cpp --------------------------------------===//
+
+#include "codegen/CEmitter.h"
+#include "ir/Parser.h"
+#include "transform/Sequence.h"
+#include "transform/Templates.h"
+
+#include <gtest/gtest.h>
+
+using namespace irlt;
+
+namespace {
+
+LoopNest parse(const std::string &Src) {
+  ErrorOr<LoopNest> N = parseLoopNest(Src);
+  EXPECT_TRUE(static_cast<bool>(N)) << N.message();
+  return *N;
+}
+
+ExprRef parseE(const std::string &Src) {
+  ErrorOr<ExprRef> E = parseExpr(Src);
+  EXPECT_TRUE(static_cast<bool>(E)) << E.message();
+  return *E;
+}
+
+TEST(CEmitter, ExprLowering) {
+  EXPECT_EQ(emitCExpr(parseE("i + 2*j - 1")), "i + 2*j - 1");
+  EXPECT_EQ(emitCExpr(parseE("(a + b) / 4")), "irlt_floordiv(a + b, 4)");
+  EXPECT_EQ(emitCExpr(parseE("mod(q, m)")), "irlt_floormod(q, m)");
+  EXPECT_EQ(emitCExpr(parseE("min(a, b, 3)")), "irlt_min(irlt_min(a, b), 3)");
+  EXPECT_EQ(emitCExpr(parseE("max(n - 1, j - 2)")),
+            "irlt_max(n - 1, j - 2)");
+  EXPECT_EQ(emitCExpr(parseE("colstr(j + 1)")), "colstr(j + 1)");
+  EXPECT_EQ(emitCExpr(parseE("-i + 1")), "-i + 1");
+}
+
+TEST(CEmitter, FreeParameters) {
+  LoopNest N = parse("do i = 1, n\n  do j = m, 2*i\n    a(i, j) = b + i\n"
+                     "  enddo\nenddo\n");
+  EXPECT_EQ(freeParameters(N), (std::vector<std::string>{"b", "m", "n"}));
+  // Init-defined variables are not parameters.
+  N.Inits.push_back(InitStmt{"t", parseE("i + q")});
+  EXPECT_EQ(freeParameters(N), (std::vector<std::string>{"b", "m", "n", "q"}));
+}
+
+TEST(CEmitter, SimpleNestStructure) {
+  LoopNest N = parse("do i = 1, n\n  pardo j = 1, i\n    a(i, j) = i + j\n"
+                     "  enddo\nenddo\n");
+  std::string C = emitC(N);
+  EXPECT_NE(C.find("void kernel(int64_t n) {"), std::string::npos) << C;
+  EXPECT_NE(C.find("for (int64_t i = 1; i <= n; i += 1) {"),
+            std::string::npos)
+      << C;
+  EXPECT_NE(C.find("#pragma omp parallel for"), std::string::npos) << C;
+  EXPECT_NE(C.find("a(i, j) = i + j;"), std::string::npos) << C;
+  EXPECT_NE(C.find("irlt_floordiv"), std::string::npos); // helpers emitted
+}
+
+TEST(CEmitter, NegativeStepLoopCondition) {
+  LoopNest N = parse("do i = 9, 2, -2\n  a(i) = i\nenddo\n");
+  std::string C = emitC(N);
+  EXPECT_NE(C.find("for (int64_t i = 9; i >= 2; i += -2) {"),
+            std::string::npos)
+      << C;
+}
+
+TEST(CEmitter, SymbolicStepBranchesOnSign) {
+  LoopNest N = parse("do i = 1, n, s\n  a(i) = i\nenddo\n");
+  std::string C = emitC(N);
+  EXPECT_NE(C.find("(s) > 0 ? i <= n : i >= n"), std::string::npos) << C;
+}
+
+TEST(CEmitter, InitStatementsBecomeLocals) {
+  LoopNest N = parse("do i = 1, 4\n  a(i) = i\nenddo\n");
+  TransformSequence Seq = TransformSequence::of(
+      {makeUnimodular(1, UnimodularMatrix::reversal(1, 0))});
+  ErrorOr<LoopNest> Out = applySequence(Seq, N);
+  ASSERT_TRUE(static_cast<bool>(Out)) << Out.message();
+  std::string C = emitC(*Out);
+  EXPECT_NE(C.find("int64_t i = -ii;"), std::string::npos) << C;
+}
+
+TEST(CEmitter, NoHelpersOption) {
+  LoopNest N = parse("do i = 1, 4\n  a(i) = i\nenddo\n");
+  CEmitOptions O;
+  O.EmitHelpers = false;
+  O.FunctionName = "stencil_v2";
+  std::string C = emitC(N, O);
+  EXPECT_EQ(C.find("irlt_floordiv"), std::string::npos);
+  EXPECT_NE(C.find("void stencil_v2"), std::string::npos);
+}
+
+} // namespace

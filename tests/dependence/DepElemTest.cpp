@@ -1,0 +1,138 @@
+//===- tests/dependence/DepElemTest.cpp ------------------------------------===//
+
+#include "dependence/DepElem.h"
+
+#include <gtest/gtest.h>
+
+using namespace irlt;
+
+namespace {
+
+std::vector<DepElem> allKinds() {
+  return {DepElem::distance(-3), DepElem::distance(0), DepElem::distance(2),
+          DepElem::pos(),        DepElem::neg(),       DepElem::zeroPos(),
+          DepElem::zeroNeg(),    DepElem::nonZero(),   DepElem::any()};
+}
+
+TEST(DepElem, PaperRendering) {
+  EXPECT_EQ(DepElem::distance(3).str(), "3");
+  EXPECT_EQ(DepElem::distance(-1).str(), "-1");
+  EXPECT_EQ(DepElem::pos().str(), "+");
+  EXPECT_EQ(DepElem::neg().str(), "-");
+  EXPECT_EQ(DepElem::zeroPos().str(), "0+");
+  EXPECT_EQ(DepElem::zeroNeg().str(), "0-");
+  EXPECT_EQ(DepElem::nonZero().str(), "+-");
+  EXPECT_EQ(DepElem::any().str(), "*");
+}
+
+TEST(DepElem, EqualsDirectionNormalizesToZeroDistance) {
+  // The paper: "= is equivalent to a zero distance."
+  DepElem E = DepElem::direction(DepElem::SignZero);
+  EXPECT_TRUE(E.isDistance());
+  EXPECT_EQ(E.dist(), 0);
+  EXPECT_EQ(E, DepElem::zero());
+}
+
+TEST(DepElem, Contains) {
+  EXPECT_TRUE(DepElem::distance(2).contains(2));
+  EXPECT_FALSE(DepElem::distance(2).contains(3));
+  EXPECT_TRUE(DepElem::pos().contains(7));
+  EXPECT_FALSE(DepElem::pos().contains(0));
+  EXPECT_TRUE(DepElem::zeroNeg().contains(0));
+  EXPECT_TRUE(DepElem::zeroNeg().contains(-4));
+  EXPECT_FALSE(DepElem::zeroNeg().contains(4));
+  EXPECT_TRUE(DepElem::nonZero().contains(-1));
+  EXPECT_FALSE(DepElem::nonZero().contains(0));
+  EXPECT_TRUE(DepElem::any().contains(0));
+}
+
+TEST(DepElem, ReverseTable) {
+  // Table 2's reverse() row: - <-> +, 0- <-> 0+, +- and * fixed, d -> -d.
+  EXPECT_EQ(DepElem::pos().reversed(), DepElem::neg());
+  EXPECT_EQ(DepElem::neg().reversed(), DepElem::pos());
+  EXPECT_EQ(DepElem::zeroPos().reversed(), DepElem::zeroNeg());
+  EXPECT_EQ(DepElem::zeroNeg().reversed(), DepElem::zeroPos());
+  EXPECT_EQ(DepElem::nonZero().reversed(), DepElem::nonZero());
+  EXPECT_EQ(DepElem::any().reversed(), DepElem::any());
+  EXPECT_EQ(DepElem::distance(5).reversed(), DepElem::distance(-5));
+  EXPECT_EQ(DepElem::distance(0).reversed(), DepElem::distance(0));
+}
+
+TEST(DepElem, ReverseIsPointwise) {
+  // S(reverse(e)) == { -v | v in S(e) } on a sample window.
+  for (const DepElem &E : allKinds()) {
+    DepElem R = E.reversed();
+    for (int64_t V = -6; V <= 6; ++V)
+      EXPECT_EQ(E.contains(V), R.contains(-V)) << E.str() << " @ " << V;
+  }
+}
+
+TEST(DepElem, DirOnly) {
+  // dir() of Table 2: identity on directions and zero; sign of distances.
+  EXPECT_EQ(DepElem::distance(7).dirOnly(), DepElem::pos());
+  EXPECT_EQ(DepElem::distance(-7).dirOnly(), DepElem::neg());
+  EXPECT_EQ(DepElem::distance(0).dirOnly(), DepElem::zero());
+  EXPECT_EQ(DepElem::zeroPos().dirOnly(), DepElem::zeroPos());
+}
+
+TEST(DepElem, ParMapSymmetrizes) {
+  EXPECT_EQ(DepElem::zero().parMapped(), DepElem::zero());
+  EXPECT_EQ(DepElem::pos().parMapped(), DepElem::nonZero());
+  EXPECT_EQ(DepElem::distance(3).parMapped(), DepElem::nonZero());
+  EXPECT_EQ(DepElem::zeroPos().parMapped(), DepElem::any());
+  EXPECT_EQ(DepElem::any().parMapped(), DepElem::any());
+}
+
+TEST(DepElem, AddExactOnDistances) {
+  EXPECT_EQ(DepElem::add(DepElem::distance(2), DepElem::distance(-5)),
+            DepElem::distance(-3));
+}
+
+TEST(DepElem, AddIsSoundOverapproximation) {
+  // S(add(a, b)) must cover every v1 + v2 with v1 in S(a), v2 in S(b).
+  for (const DepElem &A : allKinds())
+    for (const DepElem &B : allKinds()) {
+      DepElem S = DepElem::add(A, B);
+      for (int64_t V1 : A.valuesWithin(4))
+        for (int64_t V2 : B.valuesWithin(4))
+          EXPECT_TRUE(S.contains(V1 + V2))
+              << A.str() << " + " << B.str() << " misses " << (V1 + V2);
+    }
+}
+
+TEST(DepElem, ScaleIsSoundAndExactOnDistances) {
+  EXPECT_EQ(DepElem::distance(3).scaled(-2), DepElem::distance(-6));
+  EXPECT_EQ(DepElem::pos().scaled(2), DepElem::pos());
+  EXPECT_EQ(DepElem::pos().scaled(-1), DepElem::neg());
+  EXPECT_EQ(DepElem::zeroNeg().scaled(-3), DepElem::zeroPos());
+  EXPECT_EQ(DepElem::any().scaled(0), DepElem::zero());
+  for (const DepElem &A : allKinds())
+    for (int64_t C : {-2, -1, 0, 1, 3}) {
+      DepElem S = A.scaled(C);
+      for (int64_t V : A.valuesWithin(4))
+        EXPECT_TRUE(S.contains(V * C))
+            << A.str() << " * " << C << " misses " << V * C;
+    }
+}
+
+TEST(DepElem, ExpandSummary) {
+  std::vector<DepElem> E = DepElem::any().expandSummary();
+  ASSERT_EQ(E.size(), 3u);
+  EXPECT_EQ(E[0], DepElem::neg());
+  EXPECT_EQ(E[1], DepElem::zero());
+  EXPECT_EQ(E[2], DepElem::pos());
+  EXPECT_EQ(DepElem::zeroPos().expandSummary().size(), 2u);
+  EXPECT_EQ(DepElem::pos().expandSummary().size(), 1u);
+  EXPECT_EQ(DepElem::distance(4).expandSummary().size(), 1u);
+}
+
+TEST(DepElem, Covers) {
+  EXPECT_TRUE(DepElem::any().covers(DepElem::pos()));
+  EXPECT_TRUE(DepElem::zeroPos().covers(DepElem::pos()));
+  EXPECT_FALSE(DepElem::pos().covers(DepElem::zeroPos()));
+  EXPECT_TRUE(DepElem::pos().covers(DepElem::distance(2))); // {2} in S(+)
+  EXPECT_TRUE(DepElem::distance(2).covers(DepElem::distance(2)));
+  EXPECT_FALSE(DepElem::distance(2).covers(DepElem::pos()));
+}
+
+} // namespace

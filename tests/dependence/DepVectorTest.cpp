@@ -1,0 +1,151 @@
+//===- tests/dependence/DepVectorTest.cpp ----------------------------------===//
+
+#include "dependence/DepVector.h"
+
+#include <gtest/gtest.h>
+
+using namespace irlt;
+
+namespace {
+
+TEST(DepVector, Rendering) {
+  DepVector V({DepElem::distance(1), DepElem::neg(), DepElem::zeroPos()});
+  EXPECT_EQ(V.str(), "(1, -, 0+)");
+  EXPECT_EQ(DepVector::distances({0, -2}).str(), "(0, -2)");
+}
+
+TEST(DepVector, LexNegativityOnDistances) {
+  EXPECT_FALSE(DepVector::distances({1, -1}).canBeLexNegative());
+  EXPECT_TRUE(DepVector::distances({-1, 1}).canBeLexNegative());
+  EXPECT_TRUE(DepVector::distances({0, -1}).canBeLexNegative());
+  EXPECT_FALSE(DepVector::distances({0, 0}).canBeLexNegative());
+  EXPECT_FALSE(DepVector::distances({0, 0}).canBeLexPositive());
+}
+
+TEST(DepVector, LexNegativityWithDirections) {
+  // (0+, -): the 0 choice exposes the negative second entry.
+  EXPECT_TRUE(
+      DepVector({DepElem::zeroPos(), DepElem::neg()}).canBeLexNegative());
+  // (+, -): the head is never zero and never negative.
+  EXPECT_FALSE(DepVector({DepElem::pos(), DepElem::neg()}).canBeLexNegative());
+  // (*, 1): the * can be negative at the first position.
+  EXPECT_TRUE(
+      DepVector({DepElem::any(), DepElem::distance(1)}).canBeLexNegative());
+  // (0-, 0-): every tuple is lex-non-positive; negativity is reachable.
+  EXPECT_TRUE(
+      DepVector({DepElem::zeroNeg(), DepElem::zeroNeg()}).canBeLexNegative());
+}
+
+TEST(DepVector, LexNegativityMatchesTupleEnumeration) {
+  std::vector<DepElem> Pool = {
+      DepElem::distance(-1), DepElem::distance(0), DepElem::distance(2),
+      DepElem::pos(),        DepElem::neg(),       DepElem::zeroPos(),
+      DepElem::zeroNeg(),    DepElem::nonZero(),   DepElem::any()};
+  for (const DepElem &A : Pool)
+    for (const DepElem &B : Pool) {
+      DepVector V({A, B});
+      bool Expected = false;
+      for (int64_t X : A.valuesWithin(3))
+        for (int64_t Y : B.valuesWithin(3))
+          if (X < 0 || (X == 0 && Y < 0))
+            Expected = true;
+      EXPECT_EQ(V.canBeLexNegative(), Expected) << V.str();
+    }
+}
+
+TEST(DepVector, ContainsTuple) {
+  DepVector V({DepElem::zeroPos(), DepElem::distance(2)});
+  EXPECT_TRUE(V.containsTuple({0, 2}));
+  EXPECT_TRUE(V.containsTuple({5, 2}));
+  EXPECT_FALSE(V.containsTuple({-1, 2}));
+  EXPECT_FALSE(V.containsTuple({0, 3}));
+}
+
+TEST(DepVector, ExpandSummaries) {
+  DepVector V({DepElem::any(), DepElem::distance(1)});
+  std::vector<DepVector> E = V.expandSummaries();
+  ASSERT_EQ(E.size(), 3u);
+  EXPECT_EQ(E[0].str(), "(-, 1)");
+  EXPECT_EQ(E[1].str(), "(0, 1)");
+  EXPECT_EQ(E[2].str(), "(+, 1)");
+}
+
+TEST(DepVector, Covers) {
+  DepVector Big({DepElem::any(), DepElem::zeroPos()});
+  DepVector Small({DepElem::pos(), DepElem::zero()});
+  EXPECT_TRUE(Big.covers(Small));
+  EXPECT_FALSE(Small.covers(Big));
+}
+
+TEST(DepSet, InsertDedupesAndSorts) {
+  DepSet S;
+  S.insert(DepVector::distances({1, 0}));
+  S.insert(DepVector::distances({0, 1}));
+  S.insert(DepVector::distances({1, 0}));
+  EXPECT_EQ(S.size(), 2u);
+  EXPECT_EQ(S.str(), "{(0, 1), (1, 0)}");
+}
+
+TEST(DepSet, AllLexNonNegative) {
+  DepSet S;
+  S.insert(DepVector::distances({1, -5}));
+  EXPECT_TRUE(S.allLexNonNegative());
+  S.insert(DepVector({DepElem::zeroPos(), DepElem::neg()}));
+  EXPECT_FALSE(S.allLexNonNegative());
+}
+
+TEST(DepSet, Minimized) {
+  DepSet S;
+  S.insert(DepVector({DepElem::any(), DepElem::any()}));
+  S.insert(DepVector::distances({1, 2}));
+  S.insert(DepVector({DepElem::pos(), DepElem::zeroPos()}));
+  DepSet M = S.minimized();
+  EXPECT_EQ(M.size(), 1u);
+  EXPECT_EQ(M.str(), "{(*, *)}");
+}
+
+TEST(DepElem, JoinedWith) {
+  EXPECT_EQ(DepElem::distance(2).joinedWith(DepElem::distance(2)),
+            DepElem::distance(2));
+  EXPECT_EQ(DepElem::distance(2).joinedWith(DepElem::distance(3)),
+            DepElem::pos());
+  EXPECT_EQ(DepElem::distance(-1).joinedWith(DepElem::distance(2)),
+            DepElem::nonZero());
+  EXPECT_EQ(DepElem::zero().joinedWith(DepElem::pos()), DepElem::zeroPos());
+  EXPECT_EQ(DepElem::neg().joinedWith(DepElem::zeroPos()), DepElem::any());
+}
+
+TEST(DepSet, SummarizedWidensWithinLexLevels) {
+  DepSet S;
+  S.insert(DepVector::distances({0, 1}));
+  S.insert(DepVector::distances({0, 3}));
+  S.insert(DepVector::distances({1, -2}));
+  S.insert(DepVector::distances({2, 5}));
+  DepSet W = S.summarized(2);
+  // Level-0-zero group joins to (0, +); level-0-nonzero to (+, +-).
+  EXPECT_EQ(W.str(), "{(0, +), (+, +-)}");
+  // Superset property: every original tuple stays covered.
+  for (const DepVector &V : S.vectors()) {
+    bool Covered = false;
+    for (const DepVector &U : W.vectors())
+      Covered |= U.covers(V);
+    EXPECT_TRUE(Covered) << V.str();
+  }
+  // Widening never creates a lex-negative capability here.
+  EXPECT_TRUE(W.allLexNonNegative());
+}
+
+TEST(DepSet, SummarizedIsIdentityWhenSmall) {
+  DepSet S;
+  S.insert(DepVector::distances({1, 0}));
+  EXPECT_EQ(S.summarized(4).str(), S.str());
+}
+
+TEST(DepSet, ExpandedSummaries) {
+  DepSet S;
+  S.insert(DepVector({DepElem::zeroPos(), DepElem::distance(0)}));
+  DepSet E = S.expandedSummaries();
+  EXPECT_EQ(E.str(), "{(0, 0), (+, 0)}");
+}
+
+} // namespace

@@ -1,0 +1,117 @@
+//===- tests/dependence/FMSolverTest.cpp -----------------------------------===//
+
+#include "dependence/FMSolver.h"
+
+#include <gtest/gtest.h>
+
+using namespace irlt;
+
+namespace {
+
+TEST(FMSolver, TrivialFeasibility) {
+  FMSystem S(1);
+  S.addGE({1}, 0);
+  S.addLE({1}, 10);
+  EXPECT_TRUE(S.feasible());
+}
+
+TEST(FMSolver, TrivialInfeasibility) {
+  FMSystem S(1);
+  S.addGE({1}, 5);
+  S.addLE({1}, 3);
+  EXPECT_FALSE(S.feasible());
+}
+
+TEST(FMSolver, ConstantContradiction) {
+  FMSystem S(2);
+  S.addLE({0, 0}, -1); // 0 <= -1
+  EXPECT_FALSE(S.feasible());
+}
+
+TEST(FMSolver, TwoVariableChain) {
+  // x <= y - 1, y <= 10, x >= 5  -> feasible (x=5, y=6..10).
+  FMSystem S(2);
+  S.addLE({1, -1}, -1);
+  S.addLE({0, 1}, 10);
+  S.addGE({1, 0}, 5);
+  EXPECT_TRUE(S.feasible());
+  // Tighten: x >= 10 forces y >= 11 > 10.
+  S.addGE({1, 0}, 10);
+  EXPECT_FALSE(S.feasible());
+}
+
+TEST(FMSolver, EqualityConstraints) {
+  // x + y == 4, x - y == 0 -> x = y = 2.
+  FMSystem S(2);
+  S.addEQ({1, 1}, 4);
+  S.addEQ({1, -1}, 0);
+  EXPECT_TRUE(S.feasible());
+  VarRange RX = S.rangeOf(0);
+  ASSERT_TRUE(RX.Feasible);
+  ASSERT_TRUE(RX.Lo && RX.Hi);
+  EXPECT_EQ(*RX.Lo, Rational(2));
+  EXPECT_EQ(*RX.Hi, Rational(2));
+}
+
+TEST(FMSolver, RangeProjection) {
+  // 0 <= x <= 4, x <= y <= x + 2: y in [0, 6].
+  FMSystem S(2);
+  S.addGE({1, 0}, 0);
+  S.addLE({1, 0}, 4);
+  S.addLE({1, -1}, 0);  // x - y <= 0
+  S.addLE({-1, 1}, 2);  // y - x <= 2
+  VarRange RY = S.rangeOf(1);
+  ASSERT_TRUE(RY.Feasible);
+  ASSERT_TRUE(RY.Lo && RY.Hi);
+  EXPECT_EQ(*RY.Lo, Rational(0));
+  EXPECT_EQ(*RY.Hi, Rational(6));
+}
+
+TEST(FMSolver, UnboundedRange) {
+  FMSystem S(2);
+  S.addGE({1, 0}, 3); // x >= 3, y free
+  VarRange RY = S.rangeOf(1);
+  ASSERT_TRUE(RY.Feasible);
+  EXPECT_FALSE(RY.Lo.has_value());
+  EXPECT_FALSE(RY.Hi.has_value());
+  VarRange RX = S.rangeOf(0);
+  ASSERT_TRUE(RX.Feasible);
+  ASSERT_TRUE(RX.Lo.has_value());
+  EXPECT_EQ(*RX.Lo, Rational(3));
+  EXPECT_FALSE(RX.Hi.has_value());
+}
+
+TEST(FMSolver, RationalVertices) {
+  // 2x <= 7, 2x >= 7  ->  x = 7/2.
+  FMSystem S(1);
+  S.addEQ({2}, 7);
+  VarRange R = S.rangeOf(0);
+  ASSERT_TRUE(R.Feasible);
+  EXPECT_EQ(*R.Lo, Rational(7, 2));
+  EXPECT_EQ(*R.Hi, Rational(7, 2));
+}
+
+TEST(FMSolver, FixVar) {
+  FMSystem S(2);
+  S.addLE({1, 1}, 10);
+  S.fixVar(0, 4);
+  VarRange RY = S.rangeOf(1);
+  ASSERT_TRUE(RY.Feasible);
+  EXPECT_EQ(*RY.Hi, Rational(6));
+}
+
+TEST(FMSolver, ThreeVariableElimination) {
+  // Simplex-ish: x + y + z == 6, x,y,z >= 0, z >= 4 -> x in [0, 2].
+  FMSystem S(3);
+  S.addEQ({1, 1, 1}, 6);
+  S.addGE({1, 0, 0}, 0);
+  S.addGE({0, 1, 0}, 0);
+  S.addGE({0, 0, 1}, 0);
+  S.addGE({0, 0, 1}, 4);
+  VarRange RX = S.rangeOf(0);
+  ASSERT_TRUE(RX.Feasible);
+  EXPECT_EQ(*RX.Lo, Rational(0));
+  EXPECT_EQ(*RX.Hi, Rational(2));
+}
+
+} // namespace

@@ -1,0 +1,119 @@
+//===- tests/driver/ScriptTest.cpp -----------------------------------------===//
+
+#include "driver/Script.h"
+#include "eval/Verify.h"
+#include "ir/Parser.h"
+#include "transform/Templates.h"
+
+#include <gtest/gtest.h>
+
+using namespace irlt;
+
+namespace {
+
+TEST(Script, SimpleDirectives) {
+  ErrorOr<TransformSequence> S =
+      parseTransformScript("interchange 1 2\nreverse 2\n", 2);
+  ASSERT_TRUE(static_cast<bool>(S)) << S.message();
+  ASSERT_EQ(S->size(), 2u);
+  EXPECT_EQ(S->steps()[0]->name(), "ReversePermute");
+  EXPECT_EQ(S->steps()[1]->name(), "ReversePermute");
+}
+
+TEST(Script, SemicolonsAndComments) {
+  ErrorOr<TransformSequence> S = parseTransformScript(
+      "interchange 1 2 ; parallelize 1   ! make outer parallel\n", 2);
+  ASSERT_TRUE(static_cast<bool>(S)) << S.message();
+  EXPECT_EQ(S->size(), 2u);
+}
+
+TEST(Script, SizeThreadingThroughStructuralDirectives) {
+  // block grows the nest; the next directive sees the new size.
+  ErrorOr<TransformSequence> S = parseTransformScript(
+      "block 1 2 8 8\nparallelize 1 3\ncoalesce 1 2\ninterchange 1 2\n", 2);
+  ASSERT_TRUE(static_cast<bool>(S)) << S.message();
+  ASSERT_EQ(S->size(), 4u);
+  EXPECT_EQ(S->steps()[1]->inputSize(), 4u);
+  EXPECT_EQ(S->steps()[2]->inputSize(), 4u);
+  EXPECT_EQ(S->steps()[3]->inputSize(), 3u);
+}
+
+TEST(Script, SymbolicSizes) {
+  ErrorOr<TransformSequence> S =
+      parseTransformScript("block 1 2 bs bs\nstripmine 4 w\n", 2);
+  ASSERT_TRUE(static_cast<bool>(S)) << S.message();
+  const auto *B = dyn_cast<BlockTemplate>(S->steps()[0].get());
+  ASSERT_NE(B, nullptr);
+  EXPECT_EQ(B->bsize()[0]->str(), "bs");
+}
+
+TEST(Script, UnimodularMatrixRows) {
+  ErrorOr<TransformSequence> S =
+      parseTransformScript("unimodular 1 1 / 1 0\n", 2);
+  ASSERT_TRUE(static_cast<bool>(S)) << S.message();
+  const auto *U = dyn_cast<UnimodularTemplate>(S->steps()[0].get());
+  ASSERT_NE(U, nullptr);
+  EXPECT_EQ(U->matrix().str(), "[[1, 1], [1, 0]]");
+}
+
+TEST(Script, SkewDirective) {
+  ErrorOr<TransformSequence> S = parseTransformScript("skew 1 2 3\n", 2);
+  ASSERT_TRUE(static_cast<bool>(S)) << S.message();
+  const auto *U = dyn_cast<UnimodularTemplate>(S->steps()[0].get());
+  ASSERT_NE(U, nullptr);
+  EXPECT_EQ(U->matrix().str(), "[[1, 0], [3, 1]]");
+}
+
+TEST(Script, CoalesceWithName) {
+  ErrorOr<TransformSequence> S = parseTransformScript("coalesce 1 2 jic\n", 3);
+  ASSERT_TRUE(static_cast<bool>(S)) << S.message();
+  EXPECT_EQ(S->steps()[0]->outputSize(), 2u);
+}
+
+TEST(Script, Errors) {
+  EXPECT_FALSE(static_cast<bool>(parseTransformScript("frobnicate 1\n", 2)));
+  EXPECT_FALSE(static_cast<bool>(parseTransformScript("interchange 1\n", 2)));
+  EXPECT_FALSE(static_cast<bool>(parseTransformScript("interchange 0 2\n", 2)));
+  EXPECT_FALSE(static_cast<bool>(parseTransformScript("interchange 1 3\n", 2)));
+  EXPECT_FALSE(static_cast<bool>(parseTransformScript("block 2 1 4\n", 2)));
+  EXPECT_FALSE(static_cast<bool>(parseTransformScript("block 1 2 4\n", 2)));
+  EXPECT_FALSE(
+      static_cast<bool>(parseTransformScript("unimodular 2 0 / 0 2\n", 2)));
+  EXPECT_FALSE(static_cast<bool>(parseTransformScript("permute 1 1\n", 2)));
+  EXPECT_FALSE(static_cast<bool>(parseTransformScript("skew 1 1 1\n", 2)));
+  // Error messages carry line numbers.
+  ErrorOr<TransformSequence> S =
+      parseTransformScript("interchange 1 2\nbogus\n", 2);
+  ASSERT_FALSE(static_cast<bool>(S));
+  EXPECT_NE(S.message().find("line 2"), std::string::npos) << S.message();
+}
+
+TEST(Script, Figure7ScriptEndToEnd) {
+  // The whole Appendix A pipeline as a script, verified by execution.
+  ErrorOr<LoopNest> N = parseLoopNest("arrays B, C\n"
+                                      "do i = 1, n\n"
+                                      "  do j = 1, n\n"
+                                      "    do k = 1, n\n"
+                                      "      A(i, j) += B(i, k) * C(k, j)\n"
+                                      "    enddo\n"
+                                      "  enddo\n"
+                                      "enddo\n");
+  ASSERT_TRUE(static_cast<bool>(N)) << N.message();
+  ErrorOr<TransformSequence> S = parseTransformScript(
+      "permute 3 1 2\n"
+      "block 1 3 bj bk bi\n"
+      "parallelize 1 3\n"
+      "interchange 2 3\n"
+      "coalesce 1 2 jic\n",
+      3);
+  ASSERT_TRUE(static_cast<bool>(S)) << S.message();
+  ErrorOr<LoopNest> Out = applySequence(*S, *N);
+  ASSERT_TRUE(static_cast<bool>(Out)) << Out.message();
+  EXPECT_EQ(Out->Loops[0].IndexVar, "jic");
+  EvalConfig C;
+  C.Params = {{"n", 9}, {"bj", 3}, {"bk", 2}, {"bi", 4}};
+  VerifyResult V = verifyTransformed(*N, *Out, C);
+  EXPECT_TRUE(V.Ok) << V.Problem;
+}
+
+} // namespace

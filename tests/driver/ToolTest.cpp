@@ -1,0 +1,125 @@
+//===- tests/driver/ToolTest.cpp - irlt-opt end to end ---------------------===//
+//
+// Drives the installed irlt-opt binary as a subprocess: nest file in,
+// transformed code / legality verdicts / C out. The binary path comes
+// from the build system (IRLT_OPT_PATH).
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace {
+
+#ifndef IRLT_OPT_PATH
+#define IRLT_OPT_PATH "irlt-opt"
+#endif
+
+struct RunResult {
+  int ExitCode;
+  std::string Output;
+};
+
+RunResult runTool(const std::string &Args) {
+  std::string Cmd = std::string(IRLT_OPT_PATH) + " " + Args + " 2>&1";
+  FILE *Pipe = popen(Cmd.c_str(), "r");
+  EXPECT_NE(Pipe, nullptr);
+  std::string Out;
+  std::array<char, 4096> Buf;
+  size_t Got;
+  while ((Got = fread(Buf.data(), 1, Buf.size(), Pipe)) > 0)
+    Out.append(Buf.data(), Got);
+  int Status = pclose(Pipe);
+  return RunResult{WEXITSTATUS(Status), Out};
+}
+
+std::string writeNest(const std::string &Tag, const std::string &Text) {
+  std::string Path = ::testing::TempDir() + "/irlt_tool_" + Tag + ".loop";
+  std::ofstream Out(Path);
+  Out << Text;
+  return Path;
+}
+
+TEST(Tool, PrintsTransformedNest) {
+  std::string Path = writeNest("t1", "do i = 1, n\n  do j = 1, n\n"
+                                     "    a(i, j) = i + j\n  enddo\nenddo\n");
+  RunResult R = runTool(Path + " -s 'interchange 1 2'");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("do j = 1, n"), std::string::npos) << R.Output;
+}
+
+TEST(Tool, LegalityVerdictAndExitCode) {
+  std::string Path = writeNest("t2", "do i = 2, n\n  do j = 1, n\n"
+                                     "    a(i, j) = a(i - 1, j) + 1\n"
+                                     "  enddo\nenddo\n");
+  RunResult Legal = runTool(Path + " -s 'parallelize 2' --legality --deps");
+  EXPECT_EQ(Legal.ExitCode, 0) << Legal.Output;
+  EXPECT_NE(Legal.Output.find("legal: yes"), std::string::npos);
+  EXPECT_NE(Legal.Output.find("dependences: {(1, 0)}"), std::string::npos);
+
+  RunResult Illegal = runTool(Path + " -s 'parallelize 1' --legality");
+  EXPECT_EQ(Illegal.ExitCode, 1) << Illegal.Output;
+  EXPECT_NE(Illegal.Output.find("legal: no"), std::string::npos);
+  EXPECT_NE(Illegal.Output.find("lexicographically negative"),
+            std::string::npos);
+}
+
+TEST(Tool, FastLegalityAgrees) {
+  std::string Path = writeNest("t3", "do i = 2, n\n  do j = 1, n\n"
+                                     "    a(i, j) = a(i - 1, j) + 1\n"
+                                     "  enddo\nenddo\n");
+  RunResult R = runTool(Path + " -s 'parallelize 2' --fast-legality");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("legal: yes"), std::string::npos);
+}
+
+TEST(Tool, EmitC) {
+  std::string Path = writeNest("t4", "do i = 1, n\n  a(i) = i\nenddo\n");
+  RunResult R = runTool(Path + " --emit c");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("void kernel(int64_t n)"), std::string::npos)
+      << R.Output;
+}
+
+TEST(Tool, VerifyBindings) {
+  std::string Path = writeNest("t5", "do i = 1, n\n  do j = 1, n\n"
+                                     "    a(i, j) = a(i, j) + b\n"
+                                     "  enddo\nenddo\n");
+  RunResult R = runTool(Path + " -s 'block 1 2 4 4' --verify n=9,b=3");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("equivalent"), std::string::npos) << R.Output;
+}
+
+TEST(Tool, MatricesOutput) {
+  std::string Path =
+      writeNest("t6", "do i = max(n, 3), 100, 2\n  a(i) = i\nenddo\n");
+  RunResult R = runTool(Path + " --matrices");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("LB ="), std::string::npos);
+  EXPECT_NE(R.Output.find("<n, 3>"), std::string::npos) << R.Output;
+}
+
+TEST(Tool, BadScriptReportsLine) {
+  std::string Path = writeNest("t7", "do i = 1, n\n  a(i) = i\nenddo\n");
+  RunResult R = runTool(Path + " -s 'explode 1'");
+  EXPECT_NE(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("unknown directive"), std::string::npos)
+      << R.Output;
+}
+
+TEST(Tool, ReduceFusesUnimodularChain) {
+  std::string Path = writeNest("t8", "do i = 1, n\n  do j = 1, n\n"
+                                     "    a(i, j) = 1\n  enddo\nenddo\n");
+  RunResult R = runTool(Path + " -s 'skew 1 2 1; unimodular 0 1 / 1 0' "
+                               "--reduce --legality");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("sequence: <Unimodular(n=2, M=[[1, 1], [1, 0]])>"),
+            std::string::npos)
+      << R.Output;
+}
+
+} // namespace

@@ -1,0 +1,98 @@
+//===- tests/eval/CacheIntegrationTest.cpp ---------------------------------===//
+//
+// Locality regressions pinning the benchmark claims as tests: blocking
+// matmul must beat the naive order in simulated miss ratio, and the
+// framework's trapezoid blocking must not pay for its adaptive bounds
+// with extra misses relative to the bounding-box baseline.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/RectangularTile.h"
+#include "cachesim/Cache.h"
+#include "ir/Parser.h"
+#include "transform/Sequence.h"
+#include "transform/Templates.h"
+
+#include <gtest/gtest.h>
+
+using namespace irlt;
+
+namespace {
+
+double missRatio(const LoopNest &Nest, std::map<std::string, int64_t> Params,
+                 const std::vector<std::string> &Arrays, int64_t Extent,
+                 const CacheConfig &CC) {
+  EvalConfig C;
+  C.Params = std::move(Params);
+  C.RecordAccesses = true;
+  ArrayStore S;
+  EvalResult R = evaluate(Nest, C, S);
+  ArrayLayout L;
+  for (const std::string &A : Arrays)
+    L.declare(A, {1, 1}, {Extent, Extent});
+  return replayTrace(R.Accesses, L, CC);
+}
+
+TEST(CacheIntegration, BlockedMatmulBeatsNaive) {
+  ErrorOr<LoopNest> N = parseLoopNest("arrays B, C\n"
+                                      "do i = 1, n\n  do j = 1, n\n"
+                                      "    do k = 1, n\n"
+                                      "      A(i, j) += B(i, k)*C(k, j)\n"
+                                      "    enddo\n  enddo\nenddo\n");
+  ASSERT_TRUE(static_cast<bool>(N));
+  ExprRef B8 = Expr::intConst(8);
+  ErrorOr<LoopNest> Blocked = applySequence(
+      TransformSequence::of({makeBlock(3, 1, 3, {B8, B8, B8})}), *N);
+  ASSERT_TRUE(static_cast<bool>(Blocked));
+
+  CacheConfig CC{8 * 1024, 64, 4};
+  double Naive =
+      missRatio(*N, {{"n", 32}}, {"A", "B", "C"}, 32, CC);
+  double Tiled =
+      missRatio(*Blocked, {{"n", 32}}, {"A", "B", "C"}, 32, CC);
+  EXPECT_LT(Tiled, Naive * 0.5)
+      << "blocked=" << Tiled << " naive=" << Naive;
+}
+
+TEST(CacheIntegration, InterchangeFixesStridedTraversal) {
+  // Column-major storage: varying the *second* subscript innermost
+  // strides by a full column; interchanging makes the traversal
+  // unit-stride (the first subscript varies fastest).
+  ErrorOr<LoopNest> N = parseLoopNest("arrays src\n"
+                                      "do i = 1, n\n  do j = 1, n\n"
+                                      "    d(i, j) = src(i, j) + 1\n"
+                                      "  enddo\nenddo\n");
+  ASSERT_TRUE(static_cast<bool>(N));
+  ErrorOr<LoopNest> Swapped = applySequence(
+      TransformSequence::of({makeInterchange(2, 0, 1)}), *N);
+  ASSERT_TRUE(static_cast<bool>(Swapped));
+
+  CacheConfig CC{2 * 1024, 64, 2};
+  double Strided = missRatio(*N, {{"n", 48}}, {"d", "src"}, 48, CC);
+  double Unit = missRatio(*Swapped, {{"n", 48}}, {"d", "src"}, 48, CC);
+  EXPECT_LT(Unit, Strided * 0.5) << "unit=" << Unit << " strided=" << Strided;
+}
+
+TEST(CacheIntegration, AdaptiveTrapezoidTilesCostNoExtraMisses) {
+  ErrorOr<LoopNest> Tri = parseLoopNest("do i = 1, n\n  do j = 1, i\n"
+                                        "    a(i, j) = a(i, j) + 1\n"
+                                        "  enddo\nenddo\n");
+  ASSERT_TRUE(static_cast<bool>(Tri));
+  ExprRef B8 = Expr::intConst(8);
+  ErrorOr<LoopNest> Ours = applySequence(
+      TransformSequence::of({makeBlock(2, 1, 2, {B8, B8})}), *Tri);
+  ErrorOr<LoopNest> Box = applySequence(
+      TransformSequence::of({makeRectangularTile(
+          2, 1, 2, {B8, B8}, {Expr::intConst(1), Expr::intConst(1)},
+          {Expr::var("n"), Expr::var("n")})}),
+      *Tri);
+  ASSERT_TRUE(static_cast<bool>(Ours) && static_cast<bool>(Box));
+
+  CacheConfig CC{4 * 1024, 64, 4};
+  double MOurs = missRatio(*Ours, {{"n", 48}}, {"a"}, 48, CC);
+  double MBox = missRatio(*Box, {{"n", 48}}, {"a"}, 48, CC);
+  // Same accesses in the same order - identical traces, identical misses.
+  EXPECT_DOUBLE_EQ(MOurs, MBox);
+}
+
+} // namespace

@@ -1,0 +1,102 @@
+//===- tests/eval/VerifyTest.cpp -------------------------------------------===//
+
+#include "eval/Verify.h"
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace irlt;
+
+namespace {
+
+LoopNest parse(const std::string &Src) {
+  ErrorOr<LoopNest> N = parseLoopNest(Src);
+  EXPECT_TRUE(static_cast<bool>(N)) << N.message();
+  return *N;
+}
+
+TEST(Verify, IdenticalNestVerifies) {
+  LoopNest N = parse("do i = 2, 8\n  a(i) = a(i - 1) + 1\nenddo\n");
+  EvalConfig C;
+  VerifyResult V = verifyTransformed(N, N, C);
+  EXPECT_TRUE(V.Ok) << V.Problem;
+}
+
+TEST(Verify, DetectsMissingInstances) {
+  LoopNest N = parse("do i = 1, 8\n  a(i) = i\nenddo\n");
+  LoopNest Short = parse("do i = 1, 7\n  a(i) = i\nenddo\n");
+  EvalConfig C;
+  VerifyResult V = verifyTransformed(N, Short, C);
+  EXPECT_FALSE(V.Ok);
+  EXPECT_NE(V.Problem.find("count mismatch"), std::string::npos);
+}
+
+TEST(Verify, DetectsWrongInstanceSet) {
+  LoopNest N = parse("do i = 1, 8\n  a(i) = i\nenddo\n");
+  LoopNest Shifted = parse("do i = 2, 9\n  a(i) = i\nenddo\n");
+  EvalConfig C;
+  VerifyResult V = verifyTransformed(N, Shifted, C);
+  EXPECT_FALSE(V.Ok);
+  EXPECT_NE(V.Problem.find("different set"), std::string::npos);
+}
+
+TEST(Verify, DetectsIllegallyReversedDependence) {
+  LoopNest N = parse("do i = 2, 8\n  a(i) = a(i - 1) + 1\nenddo\n");
+  // A (wrong) reversal without legality: same instances, broken order.
+  LoopNest Rev = N;
+  Rev.Loops[0].Lower = Expr::intConst(8);
+  Rev.Loops[0].Upper = Expr::intConst(2);
+  Rev.Loops[0].Step = Expr::intConst(-1);
+  EvalConfig C;
+  VerifyResult V = verifyTransformed(N, Rev, C);
+  EXPECT_FALSE(V.Ok);
+  EXPECT_NE(V.Problem.find("reordered"), std::string::npos) << V.Problem;
+}
+
+TEST(Verify, LegalReversalOfIndependentLoopPasses) {
+  LoopNest N = parse("do i = 1, 8\n  a(i) = 2*i\nenddo\n");
+  LoopNest Rev = N;
+  Rev.Loops[0].Lower = Expr::intConst(8);
+  Rev.Loops[0].Upper = Expr::intConst(1);
+  Rev.Loops[0].Step = Expr::intConst(-1);
+  EvalConfig C;
+  VerifyResult V = verifyTransformed(N, Rev, C);
+  EXPECT_TRUE(V.Ok) << V.Problem;
+}
+
+TEST(Verify, DetectsParallelOrderViolation) {
+  LoopNest N = parse("do i = 2, 6\n  a(i) = a(i - 1) + 1\nenddo\n");
+  LoopNest Par = N;
+  Par.Loops[0].Kind = LoopKind::ParDo;
+  EvalConfig C;
+  VerifyResult V = verifyTransformed(N, Par, C);
+  EXPECT_FALSE(V.Ok);
+  EXPECT_NE(V.Problem.find("pardo"), std::string::npos);
+}
+
+TEST(Verify, DependentInstancePairsFindsFlowAntiOutput) {
+  LoopNest N = parse("do i = 1, 4\n"
+                     "  a(i) = a(i) + 1\n"
+                     "  b(1) = a(i)\n"
+                     "enddo\n");
+  EvalConfig C;
+  C.RecordAccesses = true;
+  ArrayStore S;
+  EvalResult R = evaluate(N, C, S);
+  std::vector<std::pair<uint64_t, uint64_t>> P = dependentInstancePairs(R);
+  // b(1) alone makes every iteration pair dependent: C(4,2) = 6 pairs.
+  EXPECT_GE(P.size(), 6u);
+  for (const auto &[A, B] : P)
+    EXPECT_LT(A, B);
+}
+
+TEST(Verify, IntraInstancePairsAreIgnored) {
+  LoopNest N = parse("do i = 1, 4\n  a(i) = a(i) + 1\nenddo\n");
+  EvalConfig C;
+  C.RecordAccesses = true;
+  ArrayStore S;
+  EvalResult R = evaluate(N, C, S);
+  EXPECT_TRUE(dependentInstancePairs(R).empty());
+}
+
+} // namespace

@@ -1,0 +1,111 @@
+//===- tests/ir/LinExprTest.cpp --------------------------------------------===//
+
+#include "ir/LinExpr.h"
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace irlt;
+
+namespace {
+
+ExprRef parse(const std::string &S) {
+  ErrorOr<ExprRef> E = parseExpr(S);
+  EXPECT_TRUE(static_cast<bool>(E)) << E.message();
+  return *E;
+}
+
+TEST(LinExpr, LinearizesSumsAndScales) {
+  LinExpr L = LinExpr::fromExpr(parse("2*i + 3*j - i + 7"));
+  EXPECT_EQ(L.coeffOf("i"), 1);
+  EXPECT_EQ(L.coeffOf("j"), 3);
+  EXPECT_EQ(L.constant(), 7);
+  EXPECT_TRUE(L.allAtomsAreVars());
+}
+
+TEST(LinExpr, CancellationDropsTerms) {
+  LinExpr L = LinExpr::fromExpr(parse("i - i + 4"));
+  EXPECT_TRUE(L.isConst());
+  EXPECT_EQ(L.constant(), 4);
+}
+
+TEST(LinExpr, OpaqueAtoms) {
+  LinExpr L = LinExpr::fromExpr(parse("2*colstr(j) + i"));
+  EXPECT_EQ(L.coeffOf("i"), 1);
+  EXPECT_EQ(L.coeffOf("j"), 0); // j hides inside the call atom
+  EXPECT_TRUE(L.dependsOn("j"));
+  EXPECT_TRUE(L.hasVarInsideOpaqueAtom("j"));
+  EXPECT_FALSE(L.hasVarInsideOpaqueAtom("i"));
+  EXPECT_FALSE(L.allAtomsAreVars());
+}
+
+TEST(LinExpr, ProductOfNonConstantsIsOpaque) {
+  LinExpr L = LinExpr::fromExpr(parse("i*j + 2*i"));
+  EXPECT_EQ(L.coeffOf("i"), 2);
+  EXPECT_TRUE(L.hasVarInsideOpaqueAtom("j"));
+}
+
+TEST(LinExpr, DivAndModFoldOnlyConstants) {
+  EXPECT_EQ(LinExpr::fromExpr(parse("7 / 2")).constant(), 3);
+  EXPECT_EQ(LinExpr::fromExpr(parse("mod(7, 4)")).constant(), 3);
+  LinExpr L = LinExpr::fromExpr(parse("i / 2"));
+  EXPECT_TRUE(L.hasVarInsideOpaqueAtom("i")); // flooring div is opaque
+}
+
+TEST(LinExpr, ArithmeticAndSubstitution) {
+  LinExpr A = LinExpr::fromExpr(parse("2*i + n"));
+  LinExpr B = LinExpr::fromExpr(parse("i - n + 1"));
+  LinExpr S = A + B;
+  EXPECT_EQ(S.coeffOf("i"), 3);
+  EXPECT_EQ(S.coeffOf("n"), 0);
+  EXPECT_EQ(S.constant(), 1);
+
+  std::map<std::string, LinExpr> M{{"i", LinExpr::fromExpr(parse("y - 1"))}};
+  LinExpr Sub = A.substituted(M);
+  EXPECT_EQ(Sub.coeffOf("y"), 2);
+  EXPECT_EQ(Sub.coeffOf("n"), 1);
+  EXPECT_EQ(Sub.constant(), -2);
+}
+
+TEST(LinExpr, ToExprRoundTrip) {
+  LinExpr L = LinExpr::fromExpr(parse("2*i - j + 5"));
+  EXPECT_EQ(L.toExpr()->str(), "2*i - j + 5");
+  LinExpr Z;
+  EXPECT_EQ(Z.toExpr()->str(), "0");
+  LinExpr NegOnly = LinExpr::fromExpr(parse("0 - j"));
+  EXPECT_EQ(NegOnly.toExpr()->str(), "-j");
+}
+
+TEST(LinExpr, ExtractVar) {
+  LinExpr L = LinExpr::fromExpr(parse("3*i + j"));
+  EXPECT_EQ(L.extractVar("i"), 3);
+  EXPECT_EQ(L.coeffOf("i"), 0);
+  EXPECT_EQ(L.coeffOf("j"), 1);
+  EXPECT_EQ(L.extractVar("zz"), 0);
+}
+
+TEST(Simplify, FoldsAndCanonicalizes) {
+  EXPECT_EQ(simplify(parse("1 + 2*3"))->str(), "7");
+  EXPECT_EQ(simplify(parse("i + 0"))->str(), "i");
+  EXPECT_EQ(simplify(parse("1*i + 0*j"))->str(), "i");
+  EXPECT_EQ(simplify(parse("(i + 1) - 1"))->str(), "i");
+  EXPECT_EQ(simplify(parse("i / 1"))->str(), "i");
+  EXPECT_EQ(simplify(parse("mod(i, 1)"))->str(), "0");
+  EXPECT_EQ(simplify(parse("14 / 4"))->str(), "3");
+}
+
+TEST(Simplify, MinMaxFlattenDedupeAndFoldConstants) {
+  EXPECT_EQ(simplify(parse("min(3, min(i, 5))"))->str(), "min(3, i)");
+  EXPECT_EQ(simplify(parse("max(i, i)"))->str(), "i");
+  EXPECT_EQ(simplify(parse("max(2, max(7, 3))"))->str(), "7");
+  // Constant keeps its original position relative to other operands.
+  EXPECT_EQ(simplify(parse("max(2, j - n + 1)"))->str(), "max(2, j - n + 1)");
+  EXPECT_EQ(simplify(parse("max(j - n + 1, 2)"))->str(), "max(j - n + 1, 2)");
+}
+
+TEST(Simplify, RecursesIntoOpaqueNodes) {
+  EXPECT_EQ(simplify(parse("colstr(j + 0) / 1"))->str(), "colstr(j)");
+  EXPECT_EQ(simplify(parse("min(i + 0, 2*4)"))->str(), "min(i, 8)");
+}
+
+} // namespace

@@ -1,0 +1,54 @@
+//===- tests/support/CastingTest.cpp ---------------------------------------===//
+
+#include "support/Casting.h"
+
+#include "ir/Expr.h"
+#include "transform/Templates.h"
+
+#include <gtest/gtest.h>
+
+using namespace irlt;
+
+namespace {
+
+TEST(Casting, IsaOnExprHierarchy) {
+  ExprRef E = Expr::add(Expr::var("i"), Expr::intConst(1));
+  EXPECT_TRUE(isa<BinaryExpr>(E.get()));
+  EXPECT_FALSE(isa<VarExpr>(E.get()));
+  EXPECT_FALSE(isa<IntConstExpr>(E.get()));
+  EXPECT_TRUE(isa<VarExpr>(cast<BinaryExpr>(E.get())->lhs().get()));
+}
+
+TEST(Casting, DynCastReturnsNullOnMismatch) {
+  ExprRef E = Expr::minE({Expr::var("a"), Expr::var("b")});
+  EXPECT_NE(dyn_cast<MinMaxExpr>(E.get()), nullptr);
+  EXPECT_EQ(dyn_cast<CallExpr>(E.get()), nullptr);
+  EXPECT_EQ(dyn_cast<BinaryExpr>(E.get()), nullptr);
+}
+
+TEST(Casting, SharedPtrDynCastSharesOwnership) {
+  ExprRef E = Expr::call("f", {Expr::var("x")});
+  std::shared_ptr<const CallExpr> C = dyn_cast<CallExpr>(E);
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(C.get(), E.get());
+  EXPECT_EQ(E.use_count(), 2);
+  std::shared_ptr<const MinMaxExpr> M = dyn_cast<MinMaxExpr>(E);
+  EXPECT_EQ(M, nullptr);
+}
+
+TEST(Casting, TemplateHierarchy) {
+  TemplateRef T = makeInterchange(2, 0, 1);
+  EXPECT_TRUE(isa<ReversePermuteTemplate>(T.get()));
+  EXPECT_FALSE(isa<UnimodularTemplate>(T.get()));
+  const auto *RP = dyn_cast<ReversePermuteTemplate>(T.get());
+  ASSERT_NE(RP, nullptr);
+  EXPECT_EQ(RP->perm()[0], 1u);
+}
+
+TEST(Casting, ReferenceCast) {
+  ExprRef E = Expr::var("q");
+  const VarExpr &V = cast<VarExpr>(*E);
+  EXPECT_EQ(V.name(), "q");
+}
+
+} // namespace

@@ -1,0 +1,62 @@
+//===- tests/support/ErrorOrTest.cpp ---------------------------------------===//
+
+#include "support/ErrorOr.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace irlt;
+
+namespace {
+
+ErrorOr<int> parsePositive(int V) {
+  if (V <= 0)
+    return Failure("value must be positive");
+  return V;
+}
+
+TEST(ErrorOr, SuccessPath) {
+  ErrorOr<int> R = parsePositive(7);
+  ASSERT_TRUE(static_cast<bool>(R));
+  EXPECT_EQ(*R, 7);
+}
+
+TEST(ErrorOr, FailurePath) {
+  ErrorOr<int> R = parsePositive(-1);
+  ASSERT_FALSE(static_cast<bool>(R));
+  EXPECT_EQ(R.message(), "value must be positive");
+}
+
+TEST(ErrorOr, TakeMovesValueOut) {
+  ErrorOr<std::vector<int>> R = std::vector<int>{1, 2, 3};
+  ASSERT_TRUE(static_cast<bool>(R));
+  std::vector<int> V = R.take();
+  EXPECT_EQ(V.size(), 3u);
+}
+
+TEST(ErrorOr, MoveOnlyPayload) {
+  ErrorOr<std::unique_ptr<int>> R = std::make_unique<int>(5);
+  ASSERT_TRUE(static_cast<bool>(R));
+  std::unique_ptr<int> P = R.take();
+  EXPECT_EQ(*P, 5);
+}
+
+TEST(ErrorOr, ArrowOperator) {
+  ErrorOr<std::string> R = std::string("hello");
+  EXPECT_EQ(R->size(), 5u);
+}
+
+TEST(ErrorOr, StringPayloadIsUnambiguous) {
+  // Failure wraps the message so ErrorOr<std::string> works.
+  ErrorOr<std::string> Ok = std::string("payload");
+  ErrorOr<std::string> Bad = Failure("diagnostic");
+  EXPECT_TRUE(static_cast<bool>(Ok));
+  EXPECT_FALSE(static_cast<bool>(Bad));
+  EXPECT_EQ(*Ok, "payload");
+  EXPECT_EQ(Bad.message(), "diagnostic");
+}
+
+} // namespace

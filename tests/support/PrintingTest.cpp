@@ -1,0 +1,36 @@
+//===- tests/support/PrintingTest.cpp --------------------------------------===//
+
+#include "support/Printing.h"
+
+#include <gtest/gtest.h>
+
+using namespace irlt;
+
+TEST(Printing, FormatStr) {
+  EXPECT_EQ(formatStr("x=%d, s=%s", 42, "hi"), "x=42, s=hi");
+  EXPECT_EQ(formatStr("%s", ""), "");
+  EXPECT_EQ(formatStr("%u%%", 7u), "7%");
+}
+
+TEST(Printing, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"x"}, ", "), "x");
+}
+
+TEST(Printing, IndentedWriter) {
+  IndentedWriter W;
+  W.line("do i = 1, n");
+  W.indent();
+  W.line("body");
+  W.outdent();
+  W.line("enddo");
+  EXPECT_EQ(W.str(), "do i = 1, n\n  body\nenddo\n");
+}
+
+TEST(Printing, IndentedWriterOutdentClampsAtZero) {
+  IndentedWriter W;
+  W.outdent();
+  W.line("x");
+  EXPECT_EQ(W.str(), "x\n");
+}

@@ -1,0 +1,52 @@
+//===- tests/support/RationalTest.cpp --------------------------------------===//
+
+#include "support/Rational.h"
+
+#include <gtest/gtest.h>
+
+using namespace irlt;
+
+TEST(Rational, Canonicalization) {
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(-2, -4), Rational(1, 2));
+  EXPECT_EQ(Rational(2, -4), Rational(-1, 2));
+  EXPECT_EQ(Rational(0, 7), Rational(0));
+  EXPECT_EQ(Rational(2, 4).den(), 2);
+}
+
+TEST(Rational, Arithmetic) {
+  EXPECT_EQ(Rational(1, 2) + Rational(1, 3), Rational(5, 6));
+  EXPECT_EQ(Rational(1, 2) - Rational(1, 3), Rational(1, 6));
+  EXPECT_EQ(Rational(2, 3) * Rational(3, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(1, 2) / Rational(1, 4), Rational(2));
+  EXPECT_EQ(-Rational(1, 2), Rational(-1, 2));
+}
+
+TEST(Rational, Comparison) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LT(Rational(-1, 2), Rational(-1, 3));
+  EXPECT_LE(Rational(1, 2), Rational(1, 2));
+  EXPECT_GT(Rational(7, 2), Rational(3));
+}
+
+TEST(Rational, FloorCeil) {
+  EXPECT_EQ(Rational(7, 2).floor(), 3);
+  EXPECT_EQ(Rational(7, 2).ceil(), 4);
+  EXPECT_EQ(Rational(-7, 2).floor(), -4);
+  EXPECT_EQ(Rational(-7, 2).ceil(), -3);
+  EXPECT_EQ(Rational(4).floor(), 4);
+  EXPECT_EQ(Rational(4).ceil(), 4);
+}
+
+TEST(Rational, Predicates) {
+  EXPECT_TRUE(Rational(4, 2).isInteger());
+  EXPECT_FALSE(Rational(5, 2).isInteger());
+  EXPECT_TRUE(Rational(0).isZero());
+  EXPECT_TRUE(Rational(-1, 5).isNegative());
+  EXPECT_TRUE(Rational(1, 5).isPositive());
+}
+
+TEST(Rational, Str) {
+  EXPECT_EQ(Rational(3).str(), "3");
+  EXPECT_EQ(Rational(-5, 2).str(), "-5/2");
+}

@@ -1,0 +1,163 @@
+//===- tests/transform/BlockTest.cpp ---------------------------------------===//
+
+#include "eval/Verify.h"
+#include "ir/Parser.h"
+#include "transform/Templates.h"
+
+#include <gtest/gtest.h>
+
+using namespace irlt;
+
+namespace {
+
+LoopNest parse(const std::string &Src) {
+  ErrorOr<LoopNest> N = parseLoopNest(Src);
+  EXPECT_TRUE(static_cast<bool>(N)) << N.message();
+  return *N;
+}
+
+TEST(Block, RectangularPairStructure) {
+  LoopNest N = parse("do i = 1, n\n  do j = 1, n\n    a(i, j) = 1\n"
+                     "  enddo\nenddo\n");
+  TemplateRef T = makeBlock(2, 1, 2, {Expr::var("b1"), Expr::var("b2")});
+  ASSERT_EQ(T->checkPreconditions(N), "");
+  ErrorOr<LoopNest> Out = T->apply(N);
+  ASSERT_TRUE(static_cast<bool>(Out)) << Out.message();
+  ASSERT_EQ(Out->numLoops(), 4u);
+  // Block loops (doubled names), then element loops reusing the names.
+  EXPECT_EQ(Out->Loops[0].IndexVar, "ii");
+  EXPECT_EQ(Out->Loops[1].IndexVar, "jj");
+  EXPECT_EQ(Out->Loops[2].IndexVar, "i");
+  EXPECT_EQ(Out->Loops[3].IndexVar, "j");
+  EXPECT_EQ(Out->Loops[0].Step->str(), "b1");
+  EXPECT_EQ(Out->Loops[1].Step->str(), "b2");
+  // Element loop clamps (Table 4).
+  EXPECT_EQ(Out->Loops[2].Lower->str(), "max(ii, 1)");
+  EXPECT_EQ(Out->Loops[2].Upper->str(), "min(b1 + ii - 1, n)");
+  EXPECT_TRUE(Out->Inits.empty()); // element vars reuse the names
+}
+
+TEST(Block, SemanticEquivalenceAcrossSizes) {
+  LoopNest N = parse("do i = 1, n\n  do j = 1, n\n"
+                     "    a(i, j) = a(i, j) + i*j\n  enddo\nenddo\n");
+  TemplateRef T = makeBlock(2, 1, 2, {Expr::var("b1"), Expr::var("b2")});
+  ErrorOr<LoopNest> Out = T->apply(N);
+  ASSERT_TRUE(static_cast<bool>(Out)) << Out.message();
+  for (int64_t NN : {1, 5, 8}) {
+    for (int64_t B1 : {1, 3, 10}) {
+      EvalConfig C;
+      C.Params = {{"n", NN}, {"b1", B1}, {"b2", 2}};
+      VerifyResult V = verifyTransformed(N, *Out, C);
+      EXPECT_TRUE(V.Ok) << "n=" << NN << " b1=" << B1 << ": " << V.Problem;
+    }
+  }
+}
+
+TEST(Block, StridedLoopBlocks) {
+  LoopNest N = parse("do i = 1, 30, 3\n  a(i) = i\nenddo\n");
+  TemplateRef T = makeBlock(1, 1, 1, {Expr::intConst(4)});
+  ErrorOr<LoopNest> Out = T->apply(N);
+  ASSERT_TRUE(static_cast<bool>(Out)) << Out.message();
+  // Block step = s * bsize = 12.
+  EXPECT_EQ(Out->Loops[0].Step->str(), "12");
+  EvalConfig C;
+  VerifyResult V = verifyTransformed(N, *Out, C);
+  EXPECT_TRUE(V.Ok) << V.Problem;
+}
+
+TEST(Block, NegativeStepBlocks) {
+  LoopNest N = parse("do i = 20, 1, -2\n  a(i) = i\nenddo\n");
+  TemplateRef T = makeBlock(1, 1, 1, {Expr::intConst(3)});
+  ErrorOr<LoopNest> Out = T->apply(N);
+  ASSERT_TRUE(static_cast<bool>(Out)) << Out.message();
+  EXPECT_EQ(Out->Loops[0].Step->str(), "-6");
+  // Element loop keeps the negative stride and clamps with min/max
+  // swapped.
+  EXPECT_EQ(Out->Loops[1].Step->str(), "-2");
+  EvalConfig C;
+  VerifyResult V = verifyTransformed(N, *Out, C);
+  EXPECT_TRUE(V.Ok) << V.Problem;
+}
+
+TEST(Block, TrapezoidXminXmaxSubstitution) {
+  // Table 4's substitution: bounds of inner blocked loops get the block
+  // extremes of the outer blocked variables.
+  LoopNest N = parse("do i = 1, n\n  do j = i, n\n    a(i, j) = 1\n"
+                     "  enddo\nenddo\n");
+  TemplateRef T = makeBlock(2, 1, 2, {Expr::intConst(4), Expr::intConst(4)});
+  ErrorOr<LoopNest> Out = T->apply(N);
+  ASSERT_TRUE(static_cast<bool>(Out)) << Out.message();
+  // jj's lower bound references ii (the minimizing extreme of l_j = i is
+  // the block minimum, i.e. ii itself).
+  EXPECT_EQ(Out->Loops[1].Lower->str(), "ii");
+  EvalConfig C;
+  C.Params["n"] = 13;
+  VerifyResult V = verifyTransformed(N, *Out, C);
+  EXPECT_TRUE(V.Ok) << V.Problem;
+}
+
+TEST(Block, DecreasingTrapezoid) {
+  // l_j = n - i + 1: negative coefficient of i, so the *maximum* extreme
+  // of i's block is substituted into jj's lower bound.
+  LoopNest N = parse("do i = 1, n\n  do j = n - i + 1, n\n    a(i, j) = 1\n"
+                     "  enddo\nenddo\n");
+  TemplateRef T = makeBlock(2, 1, 2, {Expr::intConst(3), Expr::intConst(3)});
+  ErrorOr<LoopNest> Out = T->apply(N);
+  ASSERT_TRUE(static_cast<bool>(Out)) << Out.message();
+  // n - (ii+2) + 1 in canonical linear form.
+  EXPECT_EQ(Out->Loops[1].Lower->str(), "n - ii - 1");
+  EvalConfig C;
+  C.Params["n"] = 11;
+  VerifyResult V = verifyTransformed(N, *Out, C);
+  EXPECT_TRUE(V.Ok) << V.Problem;
+}
+
+TEST(Block, InnerRangeOnly) {
+  LoopNest N = parse("do t = 1, 4\n  do i = 1, n\n    do j = 1, n\n"
+                     "      a(i, j) = a(i, j) + t\n"
+                     "    enddo\n  enddo\nenddo\n");
+  TemplateRef T = makeBlock(3, 2, 3, {Expr::intConst(3), Expr::intConst(5)});
+  ErrorOr<LoopNest> Out = T->apply(N);
+  ASSERT_TRUE(static_cast<bool>(Out)) << Out.message();
+  ASSERT_EQ(Out->numLoops(), 5u);
+  EXPECT_EQ(Out->Loops[0].IndexVar, "t");
+  EXPECT_EQ(Out->Loops[1].IndexVar, "ii");
+  EXPECT_EQ(Out->Loops[2].IndexVar, "jj");
+  EvalConfig C;
+  C.Params["n"] = 9;
+  VerifyResult V = verifyTransformed(N, *Out, C);
+  EXPECT_TRUE(V.Ok) << V.Problem;
+}
+
+TEST(Block, PreconditionRejectsNonlinearInnerBound) {
+  LoopNest N = parse("do i = 1, n\n  do j = colstr(i), n\n    a(i, j) = 1\n"
+                     "  enddo\nenddo\n");
+  TemplateRef T = makeBlock(2, 1, 2, {Expr::intConst(2), Expr::intConst(2)});
+  std::string E = T->checkPreconditions(N);
+  EXPECT_NE(E.find("nonlinear"), std::string::npos) << E;
+  // Blocking only loop j itself (range 2..2) is fine: no pair constraint.
+  TemplateRef T2 = makeBlock(2, 2, 2, {Expr::intConst(2)});
+  EXPECT_EQ(T2->checkPreconditions(N), "");
+}
+
+TEST(Block, PreconditionRejectsSymbolicStep) {
+  LoopNest N = parse("do i = 1, n, s\n  a(i) = 1\nenddo\n");
+  TemplateRef T = makeBlock(1, 1, 1, {Expr::intConst(2)});
+  EXPECT_NE(T->checkPreconditions(N), "");
+}
+
+TEST(Block, FreshNamesAvoidCollisions) {
+  // A variable "ii" already exists: the block variable must pick another.
+  LoopNest N = parse("do ii = 1, n\n  do i = 1, n\n    a(ii, i) = 1\n"
+                     "  enddo\nenddo\n");
+  TemplateRef T = makeBlock(2, 2, 2, {Expr::intConst(2)});
+  ErrorOr<LoopNest> Out = T->apply(N);
+  ASSERT_TRUE(static_cast<bool>(Out)) << Out.message();
+  EXPECT_EQ(Out->Loops[1].IndexVar, "ii_"); // "ii" taken
+  EvalConfig C;
+  C.Params["n"] = 5;
+  VerifyResult V = verifyTransformed(N, *Out, C);
+  EXPECT_TRUE(V.Ok) << V.Problem;
+}
+
+} // namespace

@@ -1,0 +1,150 @@
+//===- tests/transform/CoalesceTest.cpp ------------------------------------===//
+
+#include "eval/Verify.h"
+#include "ir/Parser.h"
+#include "transform/Templates.h"
+
+#include <gtest/gtest.h>
+
+using namespace irlt;
+
+namespace {
+
+LoopNest parse(const std::string &Src) {
+  ErrorOr<LoopNest> N = parseLoopNest(Src);
+  EXPECT_TRUE(static_cast<bool>(N)) << N.message();
+  return *N;
+}
+
+TEST(Coalesce, PairCollapsesToNormalizedLoop) {
+  LoopNest N = parse("do i = 1, n\n  do j = 1, m\n    a(i, j) = i + j\n"
+                     "  enddo\nenddo\n");
+  TemplateRef T = makeCoalesce(2, 1, 2);
+  ASSERT_EQ(T->checkPreconditions(N), "");
+  ErrorOr<LoopNest> Out = T->apply(N);
+  ASSERT_TRUE(static_cast<bool>(Out)) << Out.message();
+  ASSERT_EQ(Out->numLoops(), 1u);
+  EXPECT_EQ(Out->Loops[0].IndexVar, "ijc");
+  EXPECT_EQ(Out->Loops[0].Lower->str(), "1");
+  EXPECT_EQ(Out->Loops[0].Step->str(), "1");
+  EXPECT_EQ(Out->Loops[0].Upper->str(), "n*m"); // product of trip counts
+  // Init statements recover i and j via div/mod.
+  ASSERT_EQ(Out->Inits.size(), 2u);
+  EXPECT_EQ(Out->Inits[0].Var, "i");
+  EXPECT_EQ(Out->Inits[1].Var, "j");
+  EvalConfig C;
+  C.Params = {{"n", 4}, {"m", 7}};
+  VerifyResult V = verifyTransformed(N, *Out, C);
+  EXPECT_TRUE(V.Ok) << V.Problem;
+}
+
+TEST(Coalesce, PreservesExecutionOrderExactly) {
+  // Coalescing does not reorder iterations at all.
+  LoopNest N = parse("do i = 1, 3\n  do j = 1, 4\n    a(i, j) = 1\n"
+                     "  enddo\nenddo\n");
+  TemplateRef T = makeCoalesce(2, 1, 2);
+  ErrorOr<LoopNest> Out = T->apply(N);
+  ASSERT_TRUE(static_cast<bool>(Out)) << Out.message();
+  EvalConfig C;
+  ArrayStore S1, S2;
+  EvalResult R1 = evaluate(N, C, S1);
+  EvalResult R2 = evaluate(*Out, C, S2);
+  EXPECT_EQ(R1.Instances, R2.Instances);
+}
+
+TEST(Coalesce, StridedAndOffsetLoops) {
+  LoopNest N = parse("do i = 2, 13, 3\n  do j = 5, 1, -2\n    a(i, j) = i*j\n"
+                     "  enddo\nenddo\n");
+  TemplateRef T = makeCoalesce(2, 1, 2);
+  ErrorOr<LoopNest> Out = T->apply(N);
+  ASSERT_TRUE(static_cast<bool>(Out)) << Out.message();
+  EXPECT_EQ(Out->Loops[0].Upper->str(), "12"); // 4 * 3 iterations
+  EvalConfig C;
+  VerifyResult V = verifyTransformed(N, *Out, C);
+  EXPECT_TRUE(V.Ok) << V.Problem;
+}
+
+TEST(Coalesce, InnerPairOfTriple) {
+  LoopNest N = parse("do t = 1, 3\n  do i = 1, n\n    do j = 1, 4\n"
+                     "      a(t, i, j) = t + i + j\n"
+                     "    enddo\n  enddo\nenddo\n");
+  TemplateRef T = makeCoalesce(3, 2, 3);
+  ErrorOr<LoopNest> Out = T->apply(N);
+  ASSERT_TRUE(static_cast<bool>(Out)) << Out.message();
+  ASSERT_EQ(Out->numLoops(), 2u);
+  EXPECT_EQ(Out->Loops[0].IndexVar, "t");
+  EXPECT_EQ(Out->Loops[1].IndexVar, "ijc");
+  EvalConfig C;
+  C.Params["n"] = 5;
+  VerifyResult V = verifyTransformed(N, *Out, C);
+  EXPECT_TRUE(V.Ok) << V.Problem;
+}
+
+TEST(Coalesce, SingleLoopActsAsNormalization) {
+  LoopNest N = parse("do i = 4, 19, 5\n  a(i) = i\nenddo\n");
+  TemplateRef T = makeCoalesce(1, 1, 1);
+  ErrorOr<LoopNest> Out = T->apply(N);
+  ASSERT_TRUE(static_cast<bool>(Out)) << Out.message();
+  EXPECT_EQ(Out->Loops[0].Lower->str(), "1");
+  EXPECT_EQ(Out->Loops[0].Upper->str(), "4");
+  EXPECT_EQ(Out->Loops[0].Step->str(), "1");
+  EvalConfig C;
+  VerifyResult V = verifyTransformed(N, *Out, C);
+  EXPECT_TRUE(V.Ok) << V.Problem;
+}
+
+TEST(Coalesce, BandBoundsMayDependOnOuterLoops) {
+  // The coalesced band's bounds depend on t (outside the band): allowed.
+  LoopNest N = parse("do t = 1, 4\n  do i = t, t + 3\n    do j = 1, 2\n"
+                     "      a(t, i, j) = 1\n"
+                     "    enddo\n  enddo\nenddo\n");
+  TemplateRef T = makeCoalesce(3, 2, 3);
+  ASSERT_EQ(T->checkPreconditions(N), "");
+  ErrorOr<LoopNest> Out = T->apply(N);
+  ASSERT_TRUE(static_cast<bool>(Out)) << Out.message();
+  EvalConfig C;
+  VerifyResult V = verifyTransformed(N, *Out, C);
+  EXPECT_TRUE(V.Ok) << V.Problem;
+}
+
+TEST(Coalesce, PreconditionRejectsTriangularBand) {
+  LoopNest N = parse("do i = 1, n\n  do j = i, n\n    a(i, j) = 1\n"
+                     "  enddo\nenddo\n");
+  TemplateRef T = makeCoalesce(2, 1, 2);
+  std::string E = T->checkPreconditions(N);
+  EXPECT_NE(E.find("exceeds invar"), std::string::npos) << E;
+}
+
+TEST(Coalesce, InnerLoopBoundsSubstituteRecovery) {
+  // A loop below the band references a coalesced variable in its bounds:
+  // the recovery expression is substituted in place (Figure 7's tmp).
+  LoopNest N = parse("do i = 1, 4\n  do j = 1, 3\n    do k = i, i + 1\n"
+                     "      a(i, j, k) = 1\n"
+                     "    enddo\n  enddo\nenddo\n");
+  TemplateRef T = makeCoalesce(3, 1, 2);
+  ErrorOr<LoopNest> Out = T->apply(N);
+  ASSERT_TRUE(static_cast<bool>(Out)) << Out.message();
+  ASSERT_EQ(Out->numLoops(), 2u);
+  // k's bounds no longer mention i directly.
+  EXPECT_FALSE(Out->Loops[1].Lower->containsVar("i"));
+  EXPECT_TRUE(Out->Loops[1].Lower->containsVar("ijc"));
+  EvalConfig C;
+  VerifyResult V = verifyTransformed(N, *Out, C);
+  EXPECT_TRUE(V.Ok) << V.Problem;
+}
+
+TEST(Coalesce, ParDoOnlyWhenAllParDo) {
+  LoopNest N1 = parse("pardo i = 1, 3\n  pardo j = 1, 3\n    a(i, j) = 1\n"
+                      "  enddo\nenddo\n");
+  ErrorOr<LoopNest> Out1 = makeCoalesce(2, 1, 2)->apply(N1);
+  ASSERT_TRUE(static_cast<bool>(Out1));
+  EXPECT_EQ(Out1->Loops[0].Kind, LoopKind::ParDo);
+
+  LoopNest N2 = parse("pardo i = 1, 3\n  do j = 1, 3\n    a(i, j) = 1\n"
+                      "  enddo\nenddo\n");
+  ErrorOr<LoopNest> Out2 = makeCoalesce(2, 1, 2)->apply(N2);
+  ASSERT_TRUE(static_cast<bool>(Out2));
+  EXPECT_EQ(Out2->Loops[0].Kind, LoopKind::Do);
+}
+
+} // namespace

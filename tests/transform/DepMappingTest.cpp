@@ -1,0 +1,209 @@
+//===- tests/transform/DepMappingTest.cpp - Table 2, rule by rule ---------===//
+//
+// Unit tests for every dependence-vector mapping rule of Table 2, checked
+// entry-by-entry against the paper's definitions (blockmap, imap,
+// mergedirs, parmap, reverse, matrix product).
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Templates.h"
+
+#include <gtest/gtest.h>
+
+using namespace irlt;
+
+namespace {
+
+DepSet single(std::vector<DepElem> Elems) {
+  DepSet D;
+  D.insert(DepVector(std::move(Elems)));
+  return D;
+}
+
+//===--- ReversePermute -----------------------------------------------------=
+
+TEST(Table2, ReversePermuteMovesAndReverses) {
+  // rev = [F T F], perm = [3 1 2]: d'[3] = d1, d'[1] = -d2, d'[2] = d3.
+  TemplateRef T = makeReversePermute(3, {false, true, false}, {2, 0, 1});
+  DepSet D = T->mapDependences(
+      single({DepElem::distance(1), DepElem::pos(), DepElem::zeroNeg()}));
+  EXPECT_EQ(D.str(), "{(-, 0-, 1)}");
+}
+
+TEST(Table2, ReversePermuteIdentityIsNoop) {
+  TemplateRef T = makeReversePermute(2, {false, false}, {0, 1});
+  DepSet In = single({DepElem::nonZero(), DepElem::distance(-4)});
+  EXPECT_EQ(T->mapDependences(In).str(), In.str());
+}
+
+//===--- Parallelize --------------------------------------------------------=
+
+TEST(Table2, ParallelizeSymmetrizesFlaggedEntries) {
+  TemplateRef T = makeParallelize(3, {true, false, true});
+  DepSet D = T->mapDependences(
+      single({DepElem::distance(2), DepElem::distance(2), DepElem::zero()}));
+  EXPECT_EQ(D.str(), "{(+-, 2, 0)}");
+}
+
+TEST(Table2, ParallelizeZeroStaysZero) {
+  TemplateRef T = makeParallelize(1, {true});
+  EXPECT_EQ(T->mapDependences(single({DepElem::zero()})).str(), "{(0)}");
+}
+
+TEST(Table2, ParallelizeMakesCarriedLoopIllegalByLexTest) {
+  // The point of parmap: a dependence carried at a parallelized level
+  // becomes lex-negative-capable.
+  TemplateRef T = makeParallelize(2, {true, false});
+  DepSet D = T->mapDependences(
+      single({DepElem::distance(1), DepElem::distance(0)}));
+  EXPECT_FALSE(D.allLexNonNegative());
+  // Carried strictly outside the parallel loop: stays legal.
+  TemplateRef T2 = makeParallelize(2, {false, true});
+  DepSet D2 = T2->mapDependences(
+      single({DepElem::distance(1), DepElem::distance(5)}));
+  EXPECT_TRUE(D2.allLexNonNegative());
+}
+
+//===--- Block ---------------------------------------------------------------
+
+TEST(Table2, BlockmapZero) {
+  TemplateRef T = makeBlock(1, 1, 1, {Expr::intConst(4)});
+  EXPECT_EQ(T->mapDependences(single({DepElem::zero()})).str(), "{(0, 0)}");
+}
+
+TEST(Table2, BlockmapStar) {
+  TemplateRef T = makeBlock(1, 1, 1, {Expr::intConst(4)});
+  EXPECT_EQ(T->mapDependences(single({DepElem::any()})).str(), "{(*, *)}");
+}
+
+TEST(Table2, BlockmapUnitDistance) {
+  // |d| = 1: {(0, d), (d, *)}.
+  TemplateRef T = makeBlock(1, 1, 1, {Expr::intConst(4)});
+  EXPECT_EQ(T->mapDependences(single({DepElem::distance(1)})).str(),
+            "{(0, 1), (1, *)}");
+  EXPECT_EQ(T->mapDependences(single({DepElem::distance(-1)})).str(),
+            "{(-1, *), (0, -1)}");
+}
+
+TEST(Table2, BlockmapGeneralDistanceAndDirection) {
+  TemplateRef T = makeBlock(1, 1, 1, {Expr::intConst(4)});
+  // d = 5: {(0, 5), (+, *)}.
+  EXPECT_EQ(T->mapDependences(single({DepElem::distance(5)})).str(),
+            "{(0, 5), (+, *)}");
+  // 0+ direction: {(0, 0+), (0+, *)}.
+  EXPECT_EQ(T->mapDependences(single({DepElem::zeroPos()})).str(),
+            "{(0, 0+), (0+, *)}");
+}
+
+TEST(Table2, BlockPositionsAndFanOut) {
+  // Block(4, 2, 3): vector (a, b, c, d) maps to
+  // (a, B(b), B(c), E(b), E(c), d).
+  TemplateRef T = makeBlock(4, 2, 3, {Expr::intConst(2), Expr::intConst(2)});
+  DepSet D = T->mapDependences(single({DepElem::distance(7), DepElem::zero(),
+                                       DepElem::distance(1),
+                                       DepElem::neg()}));
+  // b = 0 -> (0,0); c = 1 -> {(0,1),(1,*)}: two output vectors.
+  EXPECT_EQ(D.str(), "{(7, 0, 0, 0, 1, -), (7, 0, 1, 0, *, -)}");
+}
+
+//===--- Coalesce -------------------------------------------------------------
+
+TEST(Table2, MergedirsOuterNonzeroDominates) {
+  // mergedirs(+, -) = + (the paper's example).
+  TemplateRef T = makeCoalesce(2, 1, 2);
+  EXPECT_EQ(T->mapDependences(single({DepElem::pos(), DepElem::neg()})).str(),
+            "{(+)}");
+  EXPECT_EQ(
+      T->mapDependences(single({DepElem::distance(2), DepElem::neg()})).str(),
+      "{(+)}");
+}
+
+TEST(Table2, MergedirsZeroPassesInner) {
+  TemplateRef T = makeCoalesce(2, 1, 2);
+  EXPECT_EQ(T->mapDependences(single({DepElem::zero(), DepElem::neg()})).str(),
+            "{(-)}");
+  EXPECT_EQ(T->mapDependences(single({DepElem::zero(), DepElem::zero()})).str(),
+            "{(0)}");
+}
+
+TEST(Table2, MergedirsSummaries) {
+  TemplateRef T = makeCoalesce(2, 1, 2);
+  // 0+ outer, - inner: zero case contributes -, positive case +: +-.
+  EXPECT_EQ(
+      T->mapDependences(single({DepElem::zeroPos(), DepElem::neg()})).str(),
+      "{(+-)}");
+  // 0- outer, 0+ inner: {neg} u {zero,pos} = *.
+  EXPECT_EQ(
+      T->mapDependences(single({DepElem::zeroNeg(), DepElem::zeroPos()})).str(),
+      "{(*)}");
+}
+
+TEST(Table2, CoalescePositionsPreserved) {
+  TemplateRef T = makeCoalesce(4, 2, 3);
+  DepSet D = T->mapDependences(single({DepElem::distance(3), DepElem::zero(),
+                                       DepElem::pos(), DepElem::distance(-2)}));
+  EXPECT_EQ(D.str(), "{(3, +, -2)}");
+}
+
+//===--- Interleave ------------------------------------------------------------
+
+TEST(Table2, ImapZeroAndStar) {
+  TemplateRef T = makeInterleave(1, 1, 1, {Expr::intConst(4)});
+  EXPECT_EQ(T->mapDependences(single({DepElem::zero()})).str(), "{(0, 0)}");
+  EXPECT_EQ(T->mapDependences(single({DepElem::any()})).str(), "{(*, *)}");
+}
+
+TEST(Table2, ImapPositive) {
+  TemplateRef T = makeInterleave(1, 1, 1, {Expr::intConst(4)});
+  // d = 2: same element ordinal with phase diff 2, or ordinal advanced.
+  EXPECT_EQ(T->mapDependences(single({DepElem::distance(2)})).str(),
+            "{(2, 0), (*, +)}");
+  EXPECT_EQ(T->mapDependences(single({DepElem::pos()})).str(),
+            "{(+, 0), (*, +)}");
+}
+
+TEST(Table2, ImapSummariesUnion) {
+  TemplateRef T = makeInterleave(1, 1, 1, {Expr::intConst(3)});
+  EXPECT_EQ(T->mapDependences(single({DepElem::zeroPos()})).str(),
+            "{(0, 0), (+, 0), (*, +)}");
+}
+
+TEST(Table2, InterleavePositionsMirrorBlock) {
+  TemplateRef T =
+      makeInterleave(3, 2, 3, {Expr::intConst(2), Expr::intConst(2)});
+  DepSet D = T->mapDependences(
+      single({DepElem::distance(1), DepElem::zero(), DepElem::zero()}));
+  EXPECT_EQ(D.str(), "{(1, 0, 0, 0, 0)}");
+}
+
+//===--- Unimodular -------------------------------------------------------------
+
+TEST(Table2, UnimodularMatrixVectorProduct) {
+  TemplateRef T = makeUnimodular(2, UnimodularMatrix(2, {1, 1, 1, 0}));
+  DepSet In;
+  In.insert(DepVector::distances({1, 0}));
+  In.insert(DepVector::distances({0, 1}));
+  EXPECT_EQ(T->mapDependences(In).str(), "{(1, 0), (1, 1)}");
+}
+
+//===--- Cross-cutting -----------------------------------------------------------
+
+TEST(Table2, MappingPreservesSetSemantics) {
+  // Mapping a whole set equals the union of mapping singletons.
+  DepSet In;
+  In.insert(DepVector({DepElem::distance(1), DepElem::pos()}));
+  In.insert(DepVector({DepElem::zero(), DepElem::nonZero()}));
+  TemplateRef T = makeBlock(2, 1, 2, {Expr::intConst(3), Expr::intConst(3)});
+  DepSet Whole = T->mapDependences(In);
+  DepSet Union;
+  for (const DepVector &V : In.vectors()) {
+    DepSet One;
+    One.insert(V);
+    DepSet Mapped = T->mapDependences(One);
+    for (const DepVector &W : Mapped.vectors())
+      Union.insert(W);
+  }
+  EXPECT_EQ(Whole.str(), Union.str());
+}
+
+} // namespace

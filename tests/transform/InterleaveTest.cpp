@@ -1,0 +1,120 @@
+//===- tests/transform/InterleaveTest.cpp ----------------------------------===//
+
+#include "eval/Verify.h"
+#include "ir/Parser.h"
+#include "transform/Templates.h"
+
+#include <gtest/gtest.h>
+
+using namespace irlt;
+
+namespace {
+
+LoopNest parse(const std::string &Src) {
+  ErrorOr<LoopNest> N = parseLoopNest(Src);
+  EXPECT_TRUE(static_cast<bool>(N)) << N.message();
+  return *N;
+}
+
+TEST(Interleave, SingleLoopStructure) {
+  LoopNest N = parse("do i = 1, n\n  a(i) = i\nenddo\n");
+  TemplateRef T = makeInterleave(1, 1, 1, {Expr::var("f")});
+  ASSERT_EQ(T->checkPreconditions(N), "");
+  ErrorOr<LoopNest> Out = T->apply(N);
+  ASSERT_TRUE(static_cast<bool>(Out)) << Out.message();
+  ASSERT_EQ(Out->numLoops(), 2u);
+  // Phase loop 0..f-1, then the original loop striding by f.
+  EXPECT_EQ(Out->Loops[0].IndexVar, "ip");
+  EXPECT_EQ(Out->Loops[0].Lower->str(), "0");
+  EXPECT_EQ(Out->Loops[0].Upper->str(), "f - 1");
+  EXPECT_EQ(Out->Loops[1].IndexVar, "i");
+  EXPECT_EQ(Out->Loops[1].Lower->str(), "ip + 1");
+  EXPECT_EQ(Out->Loops[1].Step->str(), "f");
+  EXPECT_TRUE(Out->Inits.empty());
+}
+
+TEST(Interleave, SemanticEquivalenceAcrossFactors) {
+  LoopNest N = parse("do i = 1, n\n  a(i) = a(i) + i\nenddo\n");
+  TemplateRef T = makeInterleave(1, 1, 1, {Expr::var("f")});
+  ErrorOr<LoopNest> Out = T->apply(N);
+  ASSERT_TRUE(static_cast<bool>(Out)) << Out.message();
+  for (int64_t NN : {1, 7, 12})
+    for (int64_t F : {1, 2, 5}) {
+      EvalConfig C;
+      C.Params = {{"n", NN}, {"f", F}};
+      VerifyResult V = verifyTransformed(N, *Out, C);
+      EXPECT_TRUE(V.Ok) << "n=" << NN << " f=" << F << ": " << V.Problem;
+    }
+}
+
+TEST(Interleave, PairWithStridesAndOffsets) {
+  LoopNest N = parse("do i = 3, 20, 2\n  do j = 1, 9, 3\n    a(i, j) = i\n"
+                     "  enddo\nenddo\n");
+  TemplateRef T =
+      makeInterleave(2, 1, 2, {Expr::intConst(2), Expr::intConst(2)});
+  ErrorOr<LoopNest> Out = T->apply(N);
+  ASSERT_TRUE(static_cast<bool>(Out)) << Out.message();
+  ASSERT_EQ(Out->numLoops(), 4u);
+  // Element strides multiply: 2*2 = 4 and 2*3 = 6.
+  EXPECT_EQ(Out->Loops[2].Step->str(), "4");
+  EXPECT_EQ(Out->Loops[3].Step->str(), "6");
+  EvalConfig C;
+  VerifyResult V = verifyTransformed(N, *Out, C);
+  EXPECT_TRUE(V.Ok) << V.Problem;
+}
+
+TEST(Interleave, InnerRangeOfTriple) {
+  LoopNest N = parse("do t = 1, 3\n  do i = 1, n\n    do j = 1, n\n"
+                     "      a(i, j) = a(i, j) + t\n"
+                     "    enddo\n  enddo\nenddo\n");
+  TemplateRef T =
+      makeInterleave(3, 2, 3, {Expr::intConst(3), Expr::intConst(2)});
+  ErrorOr<LoopNest> Out = T->apply(N);
+  ASSERT_TRUE(static_cast<bool>(Out)) << Out.message();
+  ASSERT_EQ(Out->numLoops(), 5u);
+  EXPECT_EQ(Out->Loops[0].IndexVar, "t");
+  EXPECT_EQ(Out->Loops[1].IndexVar, "ip");
+  EXPECT_EQ(Out->Loops[2].IndexVar, "jp");
+  EXPECT_EQ(Out->Loops[3].IndexVar, "i");
+  EXPECT_EQ(Out->Loops[4].IndexVar, "j");
+  EvalConfig C;
+  C.Params["n"] = 7;
+  VerifyResult V = verifyTransformed(N, *Out, C);
+  EXPECT_TRUE(V.Ok) << V.Problem;
+}
+
+TEST(Interleave, TriangularBoundsWithinRangeAreLinearAndWork) {
+  // l_j depends linearly on i (both in the range): allowed by Table 3.
+  LoopNest N = parse("do i = 1, 9\n  do j = i, 9\n    a(i, j) = 1\n"
+                     "  enddo\nenddo\n");
+  TemplateRef T =
+      makeInterleave(2, 1, 2, {Expr::intConst(2), Expr::intConst(3)});
+  ASSERT_EQ(T->checkPreconditions(N), "");
+  ErrorOr<LoopNest> Out = T->apply(N);
+  ASSERT_TRUE(static_cast<bool>(Out)) << Out.message();
+  EvalConfig C;
+  VerifyResult V = verifyTransformed(N, *Out, C);
+  EXPECT_TRUE(V.Ok) << V.Problem;
+}
+
+TEST(Interleave, PreconditionRejectsNonlinearInRange) {
+  LoopNest N = parse("do i = 1, n\n  do j = colstr(i), n\n    a(i, j) = 1\n"
+                     "  enddo\nenddo\n");
+  TemplateRef T =
+      makeInterleave(2, 1, 2, {Expr::intConst(2), Expr::intConst(2)});
+  EXPECT_NE(T->checkPreconditions(N), "");
+}
+
+TEST(Interleave, PhaseNamesAvoidCollisions) {
+  LoopNest N = parse("do ip = 1, 4\n  do i = 1, 4\n    a(ip, i) = 1\n"
+                     "  enddo\nenddo\n");
+  TemplateRef T = makeInterleave(2, 2, 2, {Expr::intConst(2)});
+  ErrorOr<LoopNest> Out = T->apply(N);
+  ASSERT_TRUE(static_cast<bool>(Out)) << Out.message();
+  EXPECT_EQ(Out->Loops[1].IndexVar, "ip_");
+  EvalConfig C;
+  VerifyResult V = verifyTransformed(N, *Out, C);
+  EXPECT_TRUE(V.Ok) << V.Problem;
+}
+
+} // namespace

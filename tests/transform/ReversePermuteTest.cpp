@@ -1,0 +1,135 @@
+//===- tests/transform/ReversePermuteTest.cpp ------------------------------===//
+
+#include "eval/Verify.h"
+#include "ir/Parser.h"
+#include "transform/Templates.h"
+
+#include <gtest/gtest.h>
+
+using namespace irlt;
+
+namespace {
+
+LoopNest parse(const std::string &Src) {
+  ErrorOr<LoopNest> N = parseLoopNest(Src);
+  EXPECT_TRUE(static_cast<bool>(N)) << N.message();
+  return *N;
+}
+
+TEST(ReversePermute, InterchangeKeepsNamesNoInits) {
+  LoopNest N = parse("do i = 1, n\n  do j = 1, m\n    a(i, j) = 1\n"
+                     "  enddo\nenddo\n");
+  TemplateRef T = makeInterchange(2, 0, 1);
+  ErrorOr<LoopNest> Out = T->apply(N);
+  ASSERT_TRUE(static_cast<bool>(Out)) << Out.message();
+  EXPECT_EQ(Out->Loops[0].IndexVar, "j");
+  EXPECT_EQ(Out->Loops[1].IndexVar, "i");
+  EXPECT_TRUE(Out->Inits.empty()); // the Section 4.2 advantage
+  EvalConfig C;
+  C.Params = {{"n", 4}, {"m", 6}};
+  VerifyResult V = verifyTransformed(N, *Out, C);
+  EXPECT_TRUE(V.Ok) << V.Problem;
+}
+
+TEST(ReversePermute, ReversalRewritesBoundsInPlace) {
+  LoopNest N = parse("do i = 2, 11, 3\n  a(i) = i\nenddo\n");
+  TemplateRef T = makeReversePermute(1, {true}, {0});
+  ErrorOr<LoopNest> Out = T->apply(N);
+  ASSERT_TRUE(static_cast<bool>(Out)) << Out.message();
+  // Iterates 11, 8, 5, 2: last = 2 + floor(9/3)*3 = 11.
+  EXPECT_EQ(Out->Loops[0].Lower->str(), "11");
+  EXPECT_EQ(Out->Loops[0].Upper->str(), "2");
+  EXPECT_EQ(Out->Loops[0].Step->str(), "-3");
+  EvalConfig C;
+  VerifyResult V = verifyTransformed(N, *Out, C);
+  EXPECT_TRUE(V.Ok) << V.Problem;
+}
+
+TEST(ReversePermute, ReversalOfNonDivisibleRange) {
+  // 1..10 step 3 visits 1, 4, 7, 10... wait: 1+3*3 = 10: exact. Use
+  // 1..9 step 3: visits 1, 4, 7; last = 7.
+  LoopNest N = parse("do i = 1, 9, 3\n  a(i) = i\nenddo\n");
+  TemplateRef T = makeReversePermute(1, {true}, {0});
+  ErrorOr<LoopNest> Out = T->apply(N);
+  ASSERT_TRUE(static_cast<bool>(Out)) << Out.message();
+  EXPECT_EQ(Out->Loops[0].Lower->str(), "7");
+  EvalConfig C;
+  VerifyResult V = verifyTransformed(N, *Out, C);
+  EXPECT_TRUE(V.Ok) << V.Problem;
+}
+
+TEST(ReversePermute, SymbolicStrideReversal) {
+  // Section 5 claims reversal/interchange with *unknown strides*; the
+  // reversed bounds stay symbolic in s.
+  LoopNest N = parse("do i = 1, n, s\n  a(i) = i\nenddo\n");
+  TemplateRef T = makeReversePermute(1, {true}, {0});
+  ASSERT_EQ(T->checkPreconditions(N), "");
+  ErrorOr<LoopNest> Out = T->apply(N);
+  ASSERT_TRUE(static_cast<bool>(Out)) << Out.message();
+  for (auto [NV, SV] : {std::pair<int64_t, int64_t>{13, 3},
+                        std::pair<int64_t, int64_t>{12, 4}}) {
+    EvalConfig C;
+    C.Params = {{"n", NV}, {"s", SV}};
+    VerifyResult V = verifyTransformed(N, *Out, C);
+    EXPECT_TRUE(V.Ok) << "n=" << NV << " s=" << SV << ": " << V.Problem;
+  }
+}
+
+TEST(ReversePermute, NegativeStepReversalRoundTrips) {
+  LoopNest N = parse("do i = 9, 2, -2\n  a(i) = i\nenddo\n");
+  TemplateRef T = makeReversePermute(1, {true}, {0});
+  ErrorOr<LoopNest> Out = T->apply(N);
+  ASSERT_TRUE(static_cast<bool>(Out)) << Out.message();
+  // Visits 9, 7, 5, 3 -> reversed starts at 3 with step 2.
+  EXPECT_EQ(Out->Loops[0].Lower->str(), "3");
+  EXPECT_EQ(Out->Loops[0].Step->str(), "2");
+  EvalConfig C;
+  VerifyResult V = verifyTransformed(N, *Out, C);
+  EXPECT_TRUE(V.Ok) << V.Problem;
+}
+
+TEST(ReversePermute, DoubleReversalIsIdentityOnValues) {
+  LoopNest N = parse("do i = 1, 9, 3\n  a(i) = i\nenddo\n");
+  TemplateRef T = makeReversePermute(1, {true}, {0});
+  ErrorOr<LoopNest> Once = T->apply(N);
+  ASSERT_TRUE(static_cast<bool>(Once));
+  ErrorOr<LoopNest> Twice = T->apply(*Once);
+  ASSERT_TRUE(static_cast<bool>(Twice));
+  EvalConfig C;
+  ArrayStore S1, S2;
+  EvalResult R1 = evaluate(N, C, S1);
+  EvalResult R2 = evaluate(*Twice, C, S2);
+  EXPECT_EQ(R1.Instances, R2.Instances); // same order, not just same set
+}
+
+TEST(ReversePermute, ThreeLoopRotationWithPerVarKinds) {
+  LoopNest N = parse("do i = 1, 4\n  pardo j = 1, 5\n    do k = 1, 3\n"
+                     "      a(i, j, k) = 1\n"
+                     "    enddo\n  enddo\nenddo\n");
+  TemplateRef T = makeReversePermute(3, {false, false, false}, {2, 0, 1});
+  ErrorOr<LoopNest> Out = T->apply(N);
+  ASSERT_TRUE(static_cast<bool>(Out)) << Out.message();
+  // The pardo kind travels with its loop (j is now outermost).
+  EXPECT_EQ(Out->Loops[0].IndexVar, "j");
+  EXPECT_EQ(Out->Loops[0].Kind, LoopKind::ParDo);
+  EXPECT_EQ(Out->Loops[2].IndexVar, "i");
+  EXPECT_EQ(Out->Loops[2].Kind, LoopKind::Do);
+}
+
+TEST(ReversePermute, PreconditionOnlyConstrainsReorderedPairs) {
+  // Triangular j depends on i; swapping them is rejected...
+  LoopNest N = parse("do i = 1, n\n  do j = i, n\n    a(i, j) = 1\n"
+                     "  enddo\nenddo\n");
+  EXPECT_NE(makeInterchange(2, 0, 1)->checkPreconditions(N), "");
+  // ...but the identity permutation (with a reversal of j) is fine.
+  TemplateRef T = makeReversePermute(2, {false, true}, {0, 1});
+  EXPECT_EQ(T->checkPreconditions(N), "");
+  ErrorOr<LoopNest> Out = T->apply(N);
+  ASSERT_TRUE(static_cast<bool>(Out)) << Out.message();
+  EvalConfig C;
+  C.Params["n"] = 6;
+  VerifyResult V = verifyTransformed(N, *Out, C);
+  EXPECT_TRUE(V.Ok) << V.Problem;
+}
+
+} // namespace

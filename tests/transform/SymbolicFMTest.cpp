@@ -1,0 +1,125 @@
+//===- tests/transform/SymbolicFMTest.cpp ----------------------------------===//
+//
+// The symbolic Fourier-Motzkin bounds generator behind the Unimodular
+// template: projection order, ceil/floor division emission, symbolic
+// coefficient combination, and row normalization.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+#include "transform/SymbolicFM.h"
+
+#include <gtest/gtest.h>
+
+using namespace irlt;
+
+namespace {
+
+LinExpr lin(const std::string &S) {
+  ErrorOr<ExprRef> E = parseExpr(S);
+  EXPECT_TRUE(static_cast<bool>(E)) << E.message();
+  return LinExpr::fromExpr(*E);
+}
+
+TEST(SymbolicFM, RectangleProjectsExactly) {
+  // 1 <= y0 <= n; y0 <= y1 <= n.
+  SymbolicFM S(2);
+  S.addGE({1, 0}, lin("1"));
+  S.addLE({1, 0}, lin("n"));
+  S.addGE({-1, 1}, lin("0")); // y1 - y0 >= 0
+  S.addLE({0, 1}, lin("n"));
+  std::vector<GeneratedBounds> B = S.generateBounds({"u", "v"});
+  ASSERT_EQ(B[1].Lowers.size(), 1u);
+  EXPECT_EQ(B[1].Lowers[0]->str(), "u");
+  ASSERT_EQ(B[1].Uppers.size(), 1u);
+  EXPECT_EQ(B[1].Uppers[0]->str(), "n");
+  // Eliminating y1 adds u <= n (redundant with the direct bound, deduped).
+  ASSERT_GE(B[0].Lowers.size(), 1u);
+  EXPECT_EQ(B[0].Lowers[0]->str(), "1");
+  ASSERT_GE(B[0].Uppers.size(), 1u);
+  EXPECT_EQ(B[0].Uppers[0]->str(), "n");
+}
+
+TEST(SymbolicFM, Figure1System) {
+  // The Figure 1 system after substitution x = Minv y:
+  //   2 <= y1 <= n-1;  2 <= y0 - y1 <= n-1.
+  SymbolicFM S(2);
+  S.addGE({0, 1}, lin("2"));
+  S.addLE({0, 1}, lin("n - 1"));
+  S.addGE({1, -1}, lin("2"));
+  S.addLE({1, -1}, lin("n - 1"));
+  std::vector<GeneratedBounds> B = S.generateBounds({"jj", "ii"});
+  ASSERT_EQ(B[1].Lowers.size(), 2u);
+  EXPECT_EQ(B[1].Lowers[0]->str(), "2");
+  EXPECT_EQ(B[1].Lowers[1]->str(), "jj - n + 1");
+  ASSERT_EQ(B[1].Uppers.size(), 2u);
+  EXPECT_EQ(B[1].Uppers[0]->str(), "n - 1");
+  EXPECT_EQ(B[1].Uppers[1]->str(), "jj - 2");
+  ASSERT_EQ(B[0].Lowers.size(), 1u);
+  EXPECT_EQ(B[0].Lowers[0]->str(), "4");
+  ASSERT_EQ(B[0].Uppers.size(), 1u);
+  EXPECT_EQ(B[0].Uppers[0]->str(), "2*n - 2");
+}
+
+TEST(SymbolicFM, DivisionEmission) {
+  // 0 <= 3*y0 <= n - 1: lower ceil(0/3) = 0, upper floor((n-1)/3).
+  SymbolicFM S(1);
+  S.addGE({3}, lin("0"));
+  S.addLE({3}, lin("n - 1"));
+  std::vector<GeneratedBounds> B = S.generateBounds({"t"});
+  ASSERT_EQ(B[0].Lowers.size(), 1u);
+  EXPECT_EQ(B[0].Lowers[0]->str(), "0"); // ceil div by 3 of -0 folds
+  ASSERT_EQ(B[0].Uppers.size(), 1u);
+  EXPECT_EQ(B[0].Uppers[0]->str(), "(n - 1) / 3");
+}
+
+TEST(SymbolicFM, CeilDivisionOfSymbolicLower) {
+  // m <= 2*y0: y0 >= ceil(m/2) = floor((m+1)/2).
+  SymbolicFM S(1);
+  S.addGE({2}, lin("m"));
+  S.addLE({2}, lin("100"));
+  std::vector<GeneratedBounds> B = S.generateBounds({"t"});
+  ASSERT_EQ(B[0].Lowers.size(), 1u);
+  EXPECT_EQ(B[0].Lowers[0]->str(), "(m + 1) / 2");
+  EXPECT_EQ(B[0].Uppers[0]->str(), "50");
+}
+
+TEST(SymbolicFM, RowNormalizationDividesCommonFactor) {
+  // 2*y0 <= 2*n normalizes to y0 <= n (no division emitted).
+  SymbolicFM S(1);
+  S.addLE({2}, lin("2*n"));
+  S.addGE({1}, lin("0"));
+  std::vector<GeneratedBounds> B = S.generateBounds({"t"});
+  EXPECT_EQ(B[0].Uppers[0]->str(), "n");
+}
+
+TEST(SymbolicFM, EliminationCombinesSymbolicParts) {
+  // y1 >= y0 - n + 1 and y1 <= n - 1 imply y0 <= 2n - 2.
+  SymbolicFM S(2);
+  S.addGE({-1, 1}, lin("1 - n")); // y1 - y0 >= 1 - n
+  S.addLE({0, 1}, lin("n - 1"));
+  S.addGE({1, 0}, lin("0"));
+  std::vector<GeneratedBounds> B = S.generateBounds({"a", "b"});
+  ASSERT_EQ(B[0].Uppers.size(), 1u);
+  EXPECT_EQ(B[0].Uppers[0]->str(), "2*n - 2");
+}
+
+TEST(SymbolicFM, OpaqueAtomsRideAlong) {
+  // Bounds with an opaque invariant atom f(n): y0 <= f(n) + 2.
+  SymbolicFM S(1);
+  S.addLE({1}, lin("f(n) + 2"));
+  S.addGE({1}, lin("f(n)"));
+  std::vector<GeneratedBounds> B = S.generateBounds({"t"});
+  EXPECT_EQ(B[0].Lowers[0]->str(), "f(n)");
+  EXPECT_EQ(B[0].Uppers[0]->str(), "f(n) + 2");
+}
+
+TEST(SymbolicFM, UnboundedVariableYieldsEmptyList) {
+  SymbolicFM S(1);
+  S.addGE({1}, lin("0"));
+  std::vector<GeneratedBounds> B = S.generateBounds({"t"});
+  EXPECT_EQ(B[0].Lowers.size(), 1u);
+  EXPECT_TRUE(B[0].Uppers.empty());
+}
+
+} // namespace

@@ -1,0 +1,164 @@
+//===- tests/transform/UnimodularTest.cpp ----------------------------------===//
+
+#include "eval/Verify.h"
+#include "ir/Parser.h"
+#include "transform/Templates.h"
+
+#include <gtest/gtest.h>
+
+using namespace irlt;
+
+namespace {
+
+LoopNest parse(const std::string &Src) {
+  ErrorOr<LoopNest> N = parseLoopNest(Src);
+  EXPECT_TRUE(static_cast<bool>(N)) << N.message();
+  return *N;
+}
+
+TEST(Unimodular, IdentityKeepsNamesAndEmitsNoInits) {
+  LoopNest N = parse("do i = 1, n\n  do j = 1, n\n    a(i, j) = 1\n"
+                     "  enddo\nenddo\n");
+  TemplateRef T = makeUnimodular(2, UnimodularMatrix::identity(2));
+  ErrorOr<LoopNest> Out = T->apply(N);
+  ASSERT_TRUE(static_cast<bool>(Out)) << Out.message();
+  EXPECT_EQ(Out->Loops[0].IndexVar, "i");
+  EXPECT_EQ(Out->Loops[1].IndexVar, "j");
+  EXPECT_TRUE(Out->Inits.empty());
+}
+
+TEST(Unimodular, InterchangeRectangular) {
+  LoopNest N = parse("do i = 1, n\n  do j = 1, m\n    a(i, j) = 1\n"
+                     "  enddo\nenddo\n");
+  TemplateRef T = makeUnimodular(2, UnimodularMatrix::interchange(2, 0, 1));
+  ErrorOr<LoopNest> Out = T->apply(N);
+  ASSERT_TRUE(static_cast<bool>(Out)) << Out.message();
+  EXPECT_EQ(Out->Loops[0].Lower->str(), "1");
+  EXPECT_EQ(Out->Loops[0].Upper->str(), "m");
+  EXPECT_EQ(Out->Loops[1].Upper->str(), "n");
+  // Renamed variables recover the originals through inits.
+  ASSERT_EQ(Out->Inits.size(), 2u);
+  EvalConfig C;
+  C.Params = {{"n", 5}, {"m", 3}};
+  VerifyResult V = verifyTransformed(N, *Out, C);
+  EXPECT_TRUE(V.Ok) << V.Problem;
+}
+
+TEST(Unimodular, SkewProducesShiftedInnerBounds) {
+  LoopNest N = parse("do i = 0, 4\n  do j = 0, 4\n    a(i, j) = 1\n"
+                     "  enddo\nenddo\n");
+  // y2 = x2 + 2*x1.
+  TemplateRef T = makeUnimodular(2, UnimodularMatrix::skew(2, 0, 1, 2));
+  ErrorOr<LoopNest> Out = T->apply(N);
+  ASSERT_TRUE(static_cast<bool>(Out)) << Out.message();
+  // Outer loop keeps x1 (unit row); inner runs 2*i .. 2*i + 4.
+  EXPECT_EQ(Out->Loops[0].IndexVar, "i");
+  EXPECT_EQ(Out->Loops[1].Lower->str(), "2*i");
+  EXPECT_EQ(Out->Loops[1].Upper->str(), "2*i + 4");
+  EvalConfig C;
+  VerifyResult V = verifyTransformed(N, *Out, C);
+  EXPECT_TRUE(V.Ok) << V.Problem;
+}
+
+TEST(Unimodular, StepNormalizationHandlesStridedLoops) {
+  LoopNest N = parse("do i = 1, 20, 3\n  do j = 1, 10\n    a(i, j) = 1\n"
+                     "  enddo\nenddo\n");
+  TemplateRef T = makeUnimodular(2, UnimodularMatrix::interchange(2, 0, 1));
+  ErrorOr<LoopNest> Out = T->apply(N);
+  ASSERT_TRUE(static_cast<bool>(Out)) << Out.message();
+  EvalConfig C;
+  VerifyResult V = verifyTransformed(N, *Out, C);
+  EXPECT_TRUE(V.Ok) << V.Problem;
+  // All output steps are 1 (Table 3 normalization).
+  for (const Loop &L : Out->Loops)
+    EXPECT_EQ(L.Step->str(), "1");
+}
+
+TEST(Unimodular, NegativeStepNormalization) {
+  LoopNest N = parse("do i = 9, 2, -1\n  do j = 1, 4\n    a(i, j) = j\n"
+                     "  enddo\nenddo\n");
+  TemplateRef T = makeUnimodular(2, UnimodularMatrix::interchange(2, 0, 1));
+  ErrorOr<LoopNest> Out = T->apply(N);
+  ASSERT_TRUE(static_cast<bool>(Out)) << Out.message();
+  EvalConfig C;
+  VerifyResult V = verifyTransformed(N, *Out, C);
+  EXPECT_TRUE(V.Ok) << V.Problem;
+}
+
+TEST(Unimodular, TriangularSkewCompound) {
+  LoopNest N = parse("do i = 1, 8\n  do j = i, 8\n    a(i, j) = a(i, j) + 1\n"
+                     "  enddo\nenddo\n");
+  // Compound: y = [[1,1],[1,0]] (skew+interchange, as Figure 1).
+  TemplateRef T = makeUnimodular(2, UnimodularMatrix(2, {1, 1, 1, 0}));
+  ErrorOr<LoopNest> Out = T->apply(N);
+  ASSERT_TRUE(static_cast<bool>(Out)) << Out.message();
+  EvalConfig C;
+  VerifyResult V = verifyTransformed(N, *Out, C);
+  EXPECT_TRUE(V.Ok) << V.Problem;
+}
+
+TEST(Unimodular, ThreeDeepWavefront) {
+  LoopNest N = parse("do i = 1, 5\n  do j = 1, 5\n    do k = 1, 5\n"
+                     "      a(i, j, k) = a(i, j, k) + 1\n"
+                     "    enddo\n  enddo\nenddo\n");
+  // Wavefront: y1 = i + j + k (hyperplane method).
+  UnimodularMatrix M(3, {1, 1, 1, 0, 1, 0, 0, 0, 1});
+  TemplateRef T = makeUnimodular(3, M);
+  ErrorOr<LoopNest> Out = T->apply(N);
+  ASSERT_TRUE(static_cast<bool>(Out)) << Out.message();
+  EvalConfig C;
+  VerifyResult V = verifyTransformed(N, *Out, C);
+  EXPECT_TRUE(V.Ok) << V.Problem;
+}
+
+TEST(Unimodular, PreconditionRejectsNonlinearBounds) {
+  LoopNest N = parse("do i = 1, n\n  do j = colstr(i), n\n    a(i, j) = 1\n"
+                     "  enddo\nenddo\n");
+  TemplateRef T = makeUnimodular(2, UnimodularMatrix::interchange(2, 0, 1));
+  EXPECT_NE(T->checkPreconditions(N), "");
+  EXPECT_FALSE(static_cast<bool>(T->apply(N)));
+}
+
+TEST(Unimodular, PreconditionRejectsSymbolicStep) {
+  LoopNest N = parse("do i = 1, n, s\n  a(i) = 1\nenddo\n");
+  TemplateRef T = makeUnimodular(1, UnimodularMatrix::reversal(1, 0));
+  EXPECT_NE(T->checkPreconditions(N), "");
+}
+
+TEST(Unimodular, PreconditionRejectsParallelLoops) {
+  LoopNest N = parse("pardo i = 1, n\n  a(i) = 1\nenddo\n");
+  TemplateRef T = makeUnimodular(1, UnimodularMatrix::identity(1));
+  EXPECT_NE(T->checkPreconditions(N), "");
+}
+
+TEST(Unimodular, MaxMinBoundsFeedTheInequalitySystem) {
+  // Lower bound max(1, m) and upper min(n, 10) decompose into separate
+  // inequalities under the special case; interchange must succeed.
+  LoopNest N = parse("do i = max(1, m), min(n, 10)\n  do j = 1, 5\n"
+                     "    a(i, j) = 1\n  enddo\nenddo\n");
+  TemplateRef T = makeUnimodular(2, UnimodularMatrix::interchange(2, 0, 1));
+  ASSERT_EQ(T->checkPreconditions(N), "");
+  ErrorOr<LoopNest> Out = T->apply(N);
+  ASSERT_TRUE(static_cast<bool>(Out)) << Out.message();
+  EvalConfig C;
+  C.Params = {{"n", 8}, {"m", 3}};
+  VerifyResult V = verifyTransformed(N, *Out, C);
+  EXPECT_TRUE(V.Ok) << V.Problem;
+}
+
+TEST(Unimodular, ReversalEmitsNegatedInit) {
+  LoopNest N = parse("do i = 1, 8\n  a(i) = i\nenddo\n");
+  TemplateRef T = makeUnimodular(1, UnimodularMatrix::reversal(1, 0));
+  ErrorOr<LoopNest> Out = T->apply(N);
+  ASSERT_TRUE(static_cast<bool>(Out)) << Out.message();
+  // y = -x: loop runs -8 .. -1 with init i = -y.
+  EXPECT_EQ(Out->Loops[0].Lower->str(), "-8");
+  EXPECT_EQ(Out->Loops[0].Upper->str(), "-1");
+  ASSERT_EQ(Out->Inits.size(), 1u);
+  EXPECT_EQ(Out->Inits[0].Var, "i");
+  EvalConfig C;
+  VerifyResult V = verifyTransformed(N, *Out, C);
+  EXPECT_TRUE(V.Ok) << V.Problem;
+}
+
+} // namespace

@@ -1,0 +1,220 @@
+//===- tools/irlt-opt.cpp - The IRLT command-line driver ------------------===//
+//
+// Part of the IRLT project: a reproduction of Sarkar & Thekkath,
+// "A General Framework for Iteration-Reordering Loop Transformations"
+// (PLDI 1992). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// irlt-opt: parse a loop nest, optionally apply a transformation script,
+/// and report dependences, legality, transformed code, LB/UB/STEP
+/// matrices, or emitted C.
+///
+///   irlt-opt FILE [options]
+///     -s, --script TEXT     transformation script (see driver/Script.h)
+///     -f, --script-file F   read the script from a file
+///     --deps                print the dependence-vector set
+///     --matrices            print the LB/UB/STEP matrices (Figure 5)
+///     --legality            run the uniform legality test and explain
+///     --fast-legality       same, via the type-state fast path
+///     --emit {loop|c}       print transformed code (default: loop)
+///     --verify BINDINGS     execute original and transformed nests with
+///                           comma-separated bindings (n=32,b=4) and
+///                           check equivalence
+///     --reduce              reduce() the sequence before use
+///
+//===----------------------------------------------------------------------===//
+
+#include "bounds/BoundsMatrices.h"
+#include "codegen/CEmitter.h"
+#include "dependence/DepAnalysis.h"
+#include "driver/Script.h"
+#include "eval/Verify.h"
+#include "ir/Parser.h"
+#include "transform/TypeState.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace irlt;
+
+namespace {
+
+void usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s FILE [-s SCRIPT | -f SCRIPTFILE] [--deps] [--matrices]\n"
+      "          [--legality] [--fast-legality] [--emit loop|c]\n"
+      "          [--verify n=32,b=4] [--reduce]\n",
+      Argv0);
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+bool parseBindings(const std::string &Spec,
+                   std::map<std::string, int64_t> &Out) {
+  std::istringstream SS(Spec);
+  std::string Item;
+  while (std::getline(SS, Item, ',')) {
+    size_t Eq = Item.find('=');
+    if (Eq == std::string::npos || Eq == 0)
+      return false;
+    Out[Item.substr(0, Eq)] = std::stoll(Item.substr(Eq + 1));
+  }
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2) {
+    usage(argv[0]);
+    return 2;
+  }
+  std::string NestPath = argv[1];
+  std::string Script;
+  bool WantDeps = false, WantMatrices = false, WantLegality = false;
+  bool WantFastLegality = false, WantReduce = false;
+  std::string Emit;
+  std::string VerifySpec;
+
+  for (int I = 2; I < argc; ++I) {
+    std::string A = argv[I];
+    auto nextArg = [&](const char *What) -> const char * {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs an argument\n", What);
+        return nullptr;
+      }
+      return argv[++I];
+    };
+    if (A == "-s" || A == "--script") {
+      const char *V = nextArg("--script");
+      if (!V)
+        return 2;
+      Script = V;
+    } else if (A == "-f" || A == "--script-file") {
+      const char *V = nextArg("--script-file");
+      if (!V)
+        return 2;
+      if (!readFile(V, Script)) {
+        std::fprintf(stderr, "error: cannot read script file '%s'\n", V);
+        return 2;
+      }
+    } else if (A == "--deps") {
+      WantDeps = true;
+    } else if (A == "--matrices") {
+      WantMatrices = true;
+    } else if (A == "--legality") {
+      WantLegality = true;
+    } else if (A == "--fast-legality") {
+      WantFastLegality = true;
+    } else if (A == "--reduce") {
+      WantReduce = true;
+    } else if (A == "--emit") {
+      const char *V = nextArg("--emit");
+      if (!V)
+        return 2;
+      Emit = V;
+      if (Emit != "loop" && Emit != "c") {
+        std::fprintf(stderr, "error: --emit expects 'loop' or 'c'\n");
+        return 2;
+      }
+    } else if (A == "--verify") {
+      const char *V = nextArg("--verify");
+      if (!V)
+        return 2;
+      VerifySpec = V;
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", A.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  std::string Source;
+  if (!readFile(NestPath, Source)) {
+    std::fprintf(stderr, "error: cannot read '%s'\n", NestPath.c_str());
+    return 2;
+  }
+  ErrorOr<LoopNest> NestOr = parseLoopNest(Source);
+  if (!NestOr) {
+    std::fprintf(stderr, "%s: %s\n", NestPath.c_str(),
+                 NestOr.message().c_str());
+    return 1;
+  }
+  LoopNest Nest = NestOr.take();
+
+  if (WantMatrices) {
+    BoundsMatrices M = BoundsMatrices::fromNest(Nest);
+    std::printf("%s", M.str().c_str());
+  }
+
+  DepSet D = analyzeDependences(Nest);
+  if (WantDeps)
+    std::printf("dependences: %s\n", D.str().c_str());
+
+  TransformSequence Seq;
+  if (!Script.empty()) {
+    ErrorOr<TransformSequence> SeqOr =
+        parseTransformScript(Script, Nest.numLoops());
+    if (!SeqOr) {
+      std::fprintf(stderr, "script: %s\n", SeqOr.message().c_str());
+      return 1;
+    }
+    Seq = SeqOr.take();
+    if (WantReduce)
+      Seq = Seq.reduced();
+    std::printf("sequence: %s\n", Seq.str().c_str());
+  }
+
+  if (WantLegality || WantFastLegality) {
+    LegalityResult L = WantFastLegality ? isLegalFast(Seq, Nest, D)
+                                        : isLegal(Seq, Nest, D);
+    std::printf("legal: %s\n", L.Legal ? "yes" : "no");
+    if (!L.Legal)
+      std::printf("reason: %s\n", L.Reason.c_str());
+    else
+      std::printf("mapped dependences: %s\n", L.FinalDeps.str().c_str());
+    if (!L.Legal)
+      return 1;
+  }
+
+  // Transformed (or original, with an empty script) nest output.
+  ErrorOr<LoopNest> Out = applySequence(Seq, Nest);
+  if (!Out) {
+    std::fprintf(stderr, "apply: %s\n", Out.message().c_str());
+    return 1;
+  }
+
+  if (Emit == "c")
+    std::printf("%s", emitC(*Out).c_str());
+  else if (Emit == "loop" || (!WantDeps && !WantMatrices && !WantLegality &&
+                              !WantFastLegality && VerifySpec.empty()))
+    std::printf("%s", Out->str().c_str());
+
+  if (!VerifySpec.empty()) {
+    EvalConfig C;
+    if (!parseBindings(VerifySpec, C.Params)) {
+      std::fprintf(stderr, "error: malformed --verify bindings '%s'\n",
+                   VerifySpec.c_str());
+      return 2;
+    }
+    VerifyResult V = verifyTransformed(Nest, *Out, C);
+    std::printf("verify(%s): %s\n", VerifySpec.c_str(),
+                V.Ok ? "equivalent" : V.Problem.c_str());
+    if (!V.Ok)
+      return 1;
+  }
+  return 0;
+}
