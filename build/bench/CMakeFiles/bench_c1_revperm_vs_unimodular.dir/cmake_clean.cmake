@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c1_revperm_vs_unimodular.dir/bench_c1_revperm_vs_unimodular.cpp.o"
+  "CMakeFiles/bench_c1_revperm_vs_unimodular.dir/bench_c1_revperm_vs_unimodular.cpp.o.d"
+  "bench_c1_revperm_vs_unimodular"
+  "bench_c1_revperm_vs_unimodular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c1_revperm_vs_unimodular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_c1_revperm_vs_unimodular.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c2_trapezoid_tiles.dir/bench_c2_trapezoid_tiles.cpp.o"
+  "CMakeFiles/bench_c2_trapezoid_tiles.dir/bench_c2_trapezoid_tiles.cpp.o.d"
+  "bench_c2_trapezoid_tiles"
+  "bench_c2_trapezoid_tiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c2_trapezoid_tiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c4_fanout.dir/bench_c4_fanout.cpp.o"
+  "CMakeFiles/bench_c4_fanout.dir/bench_c4_fanout.cpp.o.d"
+  "bench_c4_fanout"
+  "bench_c4_fanout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c4_fanout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

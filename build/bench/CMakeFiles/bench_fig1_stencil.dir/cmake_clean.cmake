@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_stencil.dir/bench_fig1_stencil.cpp.o"
+  "CMakeFiles/bench_fig1_stencil.dir/bench_fig1_stencil.cpp.o.d"
+  "bench_fig1_stencil"
+  "bench_fig1_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_legality.dir/bench_fig2_legality.cpp.o"
+  "CMakeFiles/bench_fig2_legality.dir/bench_fig2_legality.cpp.o.d"
+  "bench_fig2_legality"
+  "bench_fig2_legality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_legality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_boundsrep.dir/bench_fig5_boundsrep.cpp.o"
+  "CMakeFiles/bench_fig5_boundsrep.dir/bench_fig5_boundsrep.cpp.o.d"
+  "bench_fig5_boundsrep"
+  "bench_fig5_boundsrep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_boundsrep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

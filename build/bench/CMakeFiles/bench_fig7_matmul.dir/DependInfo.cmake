@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig7_matmul.cpp" "bench/CMakeFiles/bench_fig7_matmul.dir/bench_fig7_matmul.cpp.o" "gcc" "bench/CMakeFiles/bench_fig7_matmul.dir/bench_fig7_matmul.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/irlt_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/irlt_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/irlt_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/irlt_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/bounds/CMakeFiles/irlt_bounds.dir/DependInfo.cmake"
+  "/root/repo/build/src/dependence/CMakeFiles/irlt_dependence.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/irlt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/irlt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

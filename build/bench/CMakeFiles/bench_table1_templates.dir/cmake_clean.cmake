@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_templates.dir/bench_table1_templates.cpp.o"
+  "CMakeFiles/bench_table1_templates.dir/bench_table1_templates.cpp.o.d"
+  "bench_table1_templates"
+  "bench_table1_templates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_templates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_depmap.dir/bench_table2_depmap.cpp.o"
+  "CMakeFiles/bench_table2_depmap.dir/bench_table2_depmap.cpp.o.d"
+  "bench_table2_depmap"
+  "bench_table2_depmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_depmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_bounds.dir/bench_table3_bounds.cpp.o"
+  "CMakeFiles/bench_table3_bounds.dir/bench_table3_bounds.cpp.o.d"
+  "bench_table3_bounds"
+  "bench_table3_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_block.dir/bench_table4_block.cpp.o"
+  "CMakeFiles/bench_table4_block.dir/bench_table4_block.cpp.o.d"
+  "bench_table4_block"
+  "bench_table4_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

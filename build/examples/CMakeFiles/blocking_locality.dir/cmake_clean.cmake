@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocking_locality.dir/blocking_locality.cpp.o"
+  "CMakeFiles/blocking_locality.dir/blocking_locality.cpp.o.d"
+  "blocking_locality"
+  "blocking_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocking_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_c.dir/export_c.cpp.o"
+  "CMakeFiles/export_c.dir/export_c.cpp.o.d"
+  "export_c"
+  "export_c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

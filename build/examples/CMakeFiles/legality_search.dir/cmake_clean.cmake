@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legality_search.dir/legality_search.cpp.o"
+  "CMakeFiles/legality_search.dir/legality_search.cpp.o.d"
+  "legality_search"
+  "legality_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legality_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matmul_pipeline.dir/matmul_pipeline.cpp.o"
+  "CMakeFiles/matmul_pipeline.dir/matmul_pipeline.cpp.o.d"
+  "matmul_pipeline"
+  "matmul_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matmul_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

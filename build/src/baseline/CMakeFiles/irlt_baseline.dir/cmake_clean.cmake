@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irlt_baseline.dir/RectangularTile.cpp.o"
+  "CMakeFiles/irlt_baseline.dir/RectangularTile.cpp.o.d"
+  "libirlt_baseline.a"
+  "libirlt_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irlt_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irlt_bounds.dir/BoundsMatrices.cpp.o"
+  "CMakeFiles/irlt_bounds.dir/BoundsMatrices.cpp.o.d"
+  "CMakeFiles/irlt_bounds.dir/TypeLattice.cpp.o"
+  "CMakeFiles/irlt_bounds.dir/TypeLattice.cpp.o.d"
+  "libirlt_bounds.a"
+  "libirlt_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irlt_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

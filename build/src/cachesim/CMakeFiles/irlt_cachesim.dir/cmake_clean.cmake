@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irlt_cachesim.dir/Cache.cpp.o"
+  "CMakeFiles/irlt_cachesim.dir/Cache.cpp.o.d"
+  "libirlt_cachesim.a"
+  "libirlt_cachesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irlt_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

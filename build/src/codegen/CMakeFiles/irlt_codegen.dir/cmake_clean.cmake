@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irlt_codegen.dir/CEmitter.cpp.o"
+  "CMakeFiles/irlt_codegen.dir/CEmitter.cpp.o.d"
+  "libirlt_codegen.a"
+  "libirlt_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irlt_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

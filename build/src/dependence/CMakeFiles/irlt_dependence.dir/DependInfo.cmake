@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dependence/DepAnalysis.cpp" "src/dependence/CMakeFiles/irlt_dependence.dir/DepAnalysis.cpp.o" "gcc" "src/dependence/CMakeFiles/irlt_dependence.dir/DepAnalysis.cpp.o.d"
+  "/root/repo/src/dependence/DepElem.cpp" "src/dependence/CMakeFiles/irlt_dependence.dir/DepElem.cpp.o" "gcc" "src/dependence/CMakeFiles/irlt_dependence.dir/DepElem.cpp.o.d"
+  "/root/repo/src/dependence/DepVector.cpp" "src/dependence/CMakeFiles/irlt_dependence.dir/DepVector.cpp.o" "gcc" "src/dependence/CMakeFiles/irlt_dependence.dir/DepVector.cpp.o.d"
+  "/root/repo/src/dependence/FMSolver.cpp" "src/dependence/CMakeFiles/irlt_dependence.dir/FMSolver.cpp.o" "gcc" "src/dependence/CMakeFiles/irlt_dependence.dir/FMSolver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/irlt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/irlt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

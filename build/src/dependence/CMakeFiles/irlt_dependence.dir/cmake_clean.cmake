@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irlt_dependence.dir/DepAnalysis.cpp.o"
+  "CMakeFiles/irlt_dependence.dir/DepAnalysis.cpp.o.d"
+  "CMakeFiles/irlt_dependence.dir/DepElem.cpp.o"
+  "CMakeFiles/irlt_dependence.dir/DepElem.cpp.o.d"
+  "CMakeFiles/irlt_dependence.dir/DepVector.cpp.o"
+  "CMakeFiles/irlt_dependence.dir/DepVector.cpp.o.d"
+  "CMakeFiles/irlt_dependence.dir/FMSolver.cpp.o"
+  "CMakeFiles/irlt_dependence.dir/FMSolver.cpp.o.d"
+  "libirlt_dependence.a"
+  "libirlt_dependence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irlt_dependence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libirlt_dependence.a"
+)

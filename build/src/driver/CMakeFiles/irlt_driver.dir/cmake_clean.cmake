@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irlt_driver.dir/Script.cpp.o"
+  "CMakeFiles/irlt_driver.dir/Script.cpp.o.d"
+  "libirlt_driver.a"
+  "libirlt_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irlt_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irlt_eval.dir/Evaluator.cpp.o"
+  "CMakeFiles/irlt_eval.dir/Evaluator.cpp.o.d"
+  "CMakeFiles/irlt_eval.dir/Verify.cpp.o"
+  "CMakeFiles/irlt_eval.dir/Verify.cpp.o.d"
+  "libirlt_eval.a"
+  "libirlt_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irlt_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/Expr.cpp" "src/ir/CMakeFiles/irlt_ir.dir/Expr.cpp.o" "gcc" "src/ir/CMakeFiles/irlt_ir.dir/Expr.cpp.o.d"
+  "/root/repo/src/ir/Lexer.cpp" "src/ir/CMakeFiles/irlt_ir.dir/Lexer.cpp.o" "gcc" "src/ir/CMakeFiles/irlt_ir.dir/Lexer.cpp.o.d"
+  "/root/repo/src/ir/LinExpr.cpp" "src/ir/CMakeFiles/irlt_ir.dir/LinExpr.cpp.o" "gcc" "src/ir/CMakeFiles/irlt_ir.dir/LinExpr.cpp.o.d"
+  "/root/repo/src/ir/LoopNest.cpp" "src/ir/CMakeFiles/irlt_ir.dir/LoopNest.cpp.o" "gcc" "src/ir/CMakeFiles/irlt_ir.dir/LoopNest.cpp.o.d"
+  "/root/repo/src/ir/Parser.cpp" "src/ir/CMakeFiles/irlt_ir.dir/Parser.cpp.o" "gcc" "src/ir/CMakeFiles/irlt_ir.dir/Parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/irlt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irlt_ir.dir/Expr.cpp.o"
+  "CMakeFiles/irlt_ir.dir/Expr.cpp.o.d"
+  "CMakeFiles/irlt_ir.dir/Lexer.cpp.o"
+  "CMakeFiles/irlt_ir.dir/Lexer.cpp.o.d"
+  "CMakeFiles/irlt_ir.dir/LinExpr.cpp.o"
+  "CMakeFiles/irlt_ir.dir/LinExpr.cpp.o.d"
+  "CMakeFiles/irlt_ir.dir/LoopNest.cpp.o"
+  "CMakeFiles/irlt_ir.dir/LoopNest.cpp.o.d"
+  "CMakeFiles/irlt_ir.dir/Parser.cpp.o"
+  "CMakeFiles/irlt_ir.dir/Parser.cpp.o.d"
+  "libirlt_ir.a"
+  "libirlt_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irlt_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irlt_support.dir/Printing.cpp.o"
+  "CMakeFiles/irlt_support.dir/Printing.cpp.o.d"
+  "libirlt_support.a"
+  "libirlt_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irlt_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transform/AutoPar.cpp" "src/transform/CMakeFiles/irlt_transform.dir/AutoPar.cpp.o" "gcc" "src/transform/CMakeFiles/irlt_transform.dir/AutoPar.cpp.o.d"
+  "/root/repo/src/transform/Block.cpp" "src/transform/CMakeFiles/irlt_transform.dir/Block.cpp.o" "gcc" "src/transform/CMakeFiles/irlt_transform.dir/Block.cpp.o.d"
+  "/root/repo/src/transform/Coalesce.cpp" "src/transform/CMakeFiles/irlt_transform.dir/Coalesce.cpp.o" "gcc" "src/transform/CMakeFiles/irlt_transform.dir/Coalesce.cpp.o.d"
+  "/root/repo/src/transform/Interleave.cpp" "src/transform/CMakeFiles/irlt_transform.dir/Interleave.cpp.o" "gcc" "src/transform/CMakeFiles/irlt_transform.dir/Interleave.cpp.o.d"
+  "/root/repo/src/transform/Parallelize.cpp" "src/transform/CMakeFiles/irlt_transform.dir/Parallelize.cpp.o" "gcc" "src/transform/CMakeFiles/irlt_transform.dir/Parallelize.cpp.o.d"
+  "/root/repo/src/transform/ReversePermute.cpp" "src/transform/CMakeFiles/irlt_transform.dir/ReversePermute.cpp.o" "gcc" "src/transform/CMakeFiles/irlt_transform.dir/ReversePermute.cpp.o.d"
+  "/root/repo/src/transform/Sequence.cpp" "src/transform/CMakeFiles/irlt_transform.dir/Sequence.cpp.o" "gcc" "src/transform/CMakeFiles/irlt_transform.dir/Sequence.cpp.o.d"
+  "/root/repo/src/transform/StripMine.cpp" "src/transform/CMakeFiles/irlt_transform.dir/StripMine.cpp.o" "gcc" "src/transform/CMakeFiles/irlt_transform.dir/StripMine.cpp.o.d"
+  "/root/repo/src/transform/SymbolicFM.cpp" "src/transform/CMakeFiles/irlt_transform.dir/SymbolicFM.cpp.o" "gcc" "src/transform/CMakeFiles/irlt_transform.dir/SymbolicFM.cpp.o.d"
+  "/root/repo/src/transform/TemplateCommon.cpp" "src/transform/CMakeFiles/irlt_transform.dir/TemplateCommon.cpp.o" "gcc" "src/transform/CMakeFiles/irlt_transform.dir/TemplateCommon.cpp.o.d"
+  "/root/repo/src/transform/TypeState.cpp" "src/transform/CMakeFiles/irlt_transform.dir/TypeState.cpp.o" "gcc" "src/transform/CMakeFiles/irlt_transform.dir/TypeState.cpp.o.d"
+  "/root/repo/src/transform/Unimodular.cpp" "src/transform/CMakeFiles/irlt_transform.dir/Unimodular.cpp.o" "gcc" "src/transform/CMakeFiles/irlt_transform.dir/Unimodular.cpp.o.d"
+  "/root/repo/src/transform/UnimodularMatrix.cpp" "src/transform/CMakeFiles/irlt_transform.dir/UnimodularMatrix.cpp.o" "gcc" "src/transform/CMakeFiles/irlt_transform.dir/UnimodularMatrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bounds/CMakeFiles/irlt_bounds.dir/DependInfo.cmake"
+  "/root/repo/build/src/dependence/CMakeFiles/irlt_dependence.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/irlt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/irlt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irlt_transform.dir/AutoPar.cpp.o"
+  "CMakeFiles/irlt_transform.dir/AutoPar.cpp.o.d"
+  "CMakeFiles/irlt_transform.dir/Block.cpp.o"
+  "CMakeFiles/irlt_transform.dir/Block.cpp.o.d"
+  "CMakeFiles/irlt_transform.dir/Coalesce.cpp.o"
+  "CMakeFiles/irlt_transform.dir/Coalesce.cpp.o.d"
+  "CMakeFiles/irlt_transform.dir/Interleave.cpp.o"
+  "CMakeFiles/irlt_transform.dir/Interleave.cpp.o.d"
+  "CMakeFiles/irlt_transform.dir/Parallelize.cpp.o"
+  "CMakeFiles/irlt_transform.dir/Parallelize.cpp.o.d"
+  "CMakeFiles/irlt_transform.dir/ReversePermute.cpp.o"
+  "CMakeFiles/irlt_transform.dir/ReversePermute.cpp.o.d"
+  "CMakeFiles/irlt_transform.dir/Sequence.cpp.o"
+  "CMakeFiles/irlt_transform.dir/Sequence.cpp.o.d"
+  "CMakeFiles/irlt_transform.dir/StripMine.cpp.o"
+  "CMakeFiles/irlt_transform.dir/StripMine.cpp.o.d"
+  "CMakeFiles/irlt_transform.dir/SymbolicFM.cpp.o"
+  "CMakeFiles/irlt_transform.dir/SymbolicFM.cpp.o.d"
+  "CMakeFiles/irlt_transform.dir/TemplateCommon.cpp.o"
+  "CMakeFiles/irlt_transform.dir/TemplateCommon.cpp.o.d"
+  "CMakeFiles/irlt_transform.dir/TypeState.cpp.o"
+  "CMakeFiles/irlt_transform.dir/TypeState.cpp.o.d"
+  "CMakeFiles/irlt_transform.dir/Unimodular.cpp.o"
+  "CMakeFiles/irlt_transform.dir/Unimodular.cpp.o.d"
+  "CMakeFiles/irlt_transform.dir/UnimodularMatrix.cpp.o"
+  "CMakeFiles/irlt_transform.dir/UnimodularMatrix.cpp.o.d"
+  "libirlt_transform.a"
+  "libirlt_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irlt_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irlt_bounds_tests.dir/bounds/BoundsMatricesTest.cpp.o"
+  "CMakeFiles/irlt_bounds_tests.dir/bounds/BoundsMatricesTest.cpp.o.d"
+  "CMakeFiles/irlt_bounds_tests.dir/bounds/Figure5Test.cpp.o"
+  "CMakeFiles/irlt_bounds_tests.dir/bounds/Figure5Test.cpp.o.d"
+  "CMakeFiles/irlt_bounds_tests.dir/bounds/TypeLatticeTest.cpp.o"
+  "CMakeFiles/irlt_bounds_tests.dir/bounds/TypeLatticeTest.cpp.o.d"
+  "irlt_bounds_tests"
+  "irlt_bounds_tests.pdb"
+  "irlt_bounds_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irlt_bounds_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

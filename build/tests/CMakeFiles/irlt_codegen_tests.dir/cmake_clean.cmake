@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irlt_codegen_tests.dir/codegen/CEmitterTest.cpp.o"
+  "CMakeFiles/irlt_codegen_tests.dir/codegen/CEmitterTest.cpp.o.d"
+  "CMakeFiles/irlt_codegen_tests.dir/codegen/CompileAndRunTest.cpp.o"
+  "CMakeFiles/irlt_codegen_tests.dir/codegen/CompileAndRunTest.cpp.o.d"
+  "CMakeFiles/irlt_codegen_tests.dir/driver/ScriptTest.cpp.o"
+  "CMakeFiles/irlt_codegen_tests.dir/driver/ScriptTest.cpp.o.d"
+  "CMakeFiles/irlt_codegen_tests.dir/driver/ToolTest.cpp.o"
+  "CMakeFiles/irlt_codegen_tests.dir/driver/ToolTest.cpp.o.d"
+  "irlt_codegen_tests"
+  "irlt_codegen_tests.pdb"
+  "irlt_codegen_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irlt_codegen_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irlt_dependence_tests.dir/dependence/DepAnalysisTest.cpp.o"
+  "CMakeFiles/irlt_dependence_tests.dir/dependence/DepAnalysisTest.cpp.o.d"
+  "CMakeFiles/irlt_dependence_tests.dir/dependence/DepElemTest.cpp.o"
+  "CMakeFiles/irlt_dependence_tests.dir/dependence/DepElemTest.cpp.o.d"
+  "CMakeFiles/irlt_dependence_tests.dir/dependence/DepVectorTest.cpp.o"
+  "CMakeFiles/irlt_dependence_tests.dir/dependence/DepVectorTest.cpp.o.d"
+  "CMakeFiles/irlt_dependence_tests.dir/dependence/DirectionHierarchyTest.cpp.o"
+  "CMakeFiles/irlt_dependence_tests.dir/dependence/DirectionHierarchyTest.cpp.o.d"
+  "CMakeFiles/irlt_dependence_tests.dir/dependence/FMSolverTest.cpp.o"
+  "CMakeFiles/irlt_dependence_tests.dir/dependence/FMSolverTest.cpp.o.d"
+  "irlt_dependence_tests"
+  "irlt_dependence_tests.pdb"
+  "irlt_dependence_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irlt_dependence_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

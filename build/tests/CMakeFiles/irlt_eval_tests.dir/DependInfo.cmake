@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cachesim/CacheTest.cpp" "tests/CMakeFiles/irlt_eval_tests.dir/cachesim/CacheTest.cpp.o" "gcc" "tests/CMakeFiles/irlt_eval_tests.dir/cachesim/CacheTest.cpp.o.d"
+  "/root/repo/tests/eval/CacheIntegrationTest.cpp" "tests/CMakeFiles/irlt_eval_tests.dir/eval/CacheIntegrationTest.cpp.o" "gcc" "tests/CMakeFiles/irlt_eval_tests.dir/eval/CacheIntegrationTest.cpp.o.d"
+  "/root/repo/tests/eval/EvaluatorTest.cpp" "tests/CMakeFiles/irlt_eval_tests.dir/eval/EvaluatorTest.cpp.o" "gcc" "tests/CMakeFiles/irlt_eval_tests.dir/eval/EvaluatorTest.cpp.o.d"
+  "/root/repo/tests/eval/VerifyTest.cpp" "tests/CMakeFiles/irlt_eval_tests.dir/eval/VerifyTest.cpp.o" "gcc" "tests/CMakeFiles/irlt_eval_tests.dir/eval/VerifyTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/irlt_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/irlt_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/irlt_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/irlt_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/bounds/CMakeFiles/irlt_bounds.dir/DependInfo.cmake"
+  "/root/repo/build/src/dependence/CMakeFiles/irlt_dependence.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/irlt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/irlt_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/irlt_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/irlt_driver.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irlt_eval_tests.dir/cachesim/CacheTest.cpp.o"
+  "CMakeFiles/irlt_eval_tests.dir/cachesim/CacheTest.cpp.o.d"
+  "CMakeFiles/irlt_eval_tests.dir/eval/CacheIntegrationTest.cpp.o"
+  "CMakeFiles/irlt_eval_tests.dir/eval/CacheIntegrationTest.cpp.o.d"
+  "CMakeFiles/irlt_eval_tests.dir/eval/EvaluatorTest.cpp.o"
+  "CMakeFiles/irlt_eval_tests.dir/eval/EvaluatorTest.cpp.o.d"
+  "CMakeFiles/irlt_eval_tests.dir/eval/VerifyTest.cpp.o"
+  "CMakeFiles/irlt_eval_tests.dir/eval/VerifyTest.cpp.o.d"
+  "irlt_eval_tests"
+  "irlt_eval_tests.pdb"
+  "irlt_eval_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irlt_eval_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

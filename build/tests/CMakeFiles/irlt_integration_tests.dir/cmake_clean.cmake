@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irlt_integration_tests.dir/integration/ConsistencyPropertyTest.cpp.o"
+  "CMakeFiles/irlt_integration_tests.dir/integration/ConsistencyPropertyTest.cpp.o.d"
+  "CMakeFiles/irlt_integration_tests.dir/integration/Figure1Test.cpp.o"
+  "CMakeFiles/irlt_integration_tests.dir/integration/Figure1Test.cpp.o.d"
+  "CMakeFiles/irlt_integration_tests.dir/integration/Figure2Test.cpp.o"
+  "CMakeFiles/irlt_integration_tests.dir/integration/Figure2Test.cpp.o.d"
+  "CMakeFiles/irlt_integration_tests.dir/integration/Figure4Test.cpp.o"
+  "CMakeFiles/irlt_integration_tests.dir/integration/Figure4Test.cpp.o.d"
+  "CMakeFiles/irlt_integration_tests.dir/integration/Figure7Test.cpp.o"
+  "CMakeFiles/irlt_integration_tests.dir/integration/Figure7Test.cpp.o.d"
+  "CMakeFiles/irlt_integration_tests.dir/integration/KernelGalleryTest.cpp.o"
+  "CMakeFiles/irlt_integration_tests.dir/integration/KernelGalleryTest.cpp.o.d"
+  "CMakeFiles/irlt_integration_tests.dir/integration/RandomNestPropertyTest.cpp.o"
+  "CMakeFiles/irlt_integration_tests.dir/integration/RandomNestPropertyTest.cpp.o.d"
+  "CMakeFiles/irlt_integration_tests.dir/integration/TrapezoidBlockTest.cpp.o"
+  "CMakeFiles/irlt_integration_tests.dir/integration/TrapezoidBlockTest.cpp.o.d"
+  "irlt_integration_tests"
+  "irlt_integration_tests.pdb"
+  "irlt_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irlt_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irlt_ir_tests.dir/ir/ExprTest.cpp.o"
+  "CMakeFiles/irlt_ir_tests.dir/ir/ExprTest.cpp.o.d"
+  "CMakeFiles/irlt_ir_tests.dir/ir/LinExprTest.cpp.o"
+  "CMakeFiles/irlt_ir_tests.dir/ir/LinExprTest.cpp.o.d"
+  "CMakeFiles/irlt_ir_tests.dir/ir/LoopNestTest.cpp.o"
+  "CMakeFiles/irlt_ir_tests.dir/ir/LoopNestTest.cpp.o.d"
+  "CMakeFiles/irlt_ir_tests.dir/ir/ParserTest.cpp.o"
+  "CMakeFiles/irlt_ir_tests.dir/ir/ParserTest.cpp.o.d"
+  "CMakeFiles/irlt_ir_tests.dir/ir/RoundTripTest.cpp.o"
+  "CMakeFiles/irlt_ir_tests.dir/ir/RoundTripTest.cpp.o.d"
+  "irlt_ir_tests"
+  "irlt_ir_tests.pdb"
+  "irlt_ir_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irlt_ir_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irlt_support_tests.dir/support/CastingTest.cpp.o"
+  "CMakeFiles/irlt_support_tests.dir/support/CastingTest.cpp.o.d"
+  "CMakeFiles/irlt_support_tests.dir/support/ErrorOrTest.cpp.o"
+  "CMakeFiles/irlt_support_tests.dir/support/ErrorOrTest.cpp.o.d"
+  "CMakeFiles/irlt_support_tests.dir/support/MathUtilsTest.cpp.o"
+  "CMakeFiles/irlt_support_tests.dir/support/MathUtilsTest.cpp.o.d"
+  "CMakeFiles/irlt_support_tests.dir/support/PrintingTest.cpp.o"
+  "CMakeFiles/irlt_support_tests.dir/support/PrintingTest.cpp.o.d"
+  "CMakeFiles/irlt_support_tests.dir/support/RationalTest.cpp.o"
+  "CMakeFiles/irlt_support_tests.dir/support/RationalTest.cpp.o.d"
+  "irlt_support_tests"
+  "irlt_support_tests.pdb"
+  "irlt_support_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irlt_support_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/transform/AutoParTest.cpp" "tests/CMakeFiles/irlt_transform_tests.dir/transform/AutoParTest.cpp.o" "gcc" "tests/CMakeFiles/irlt_transform_tests.dir/transform/AutoParTest.cpp.o.d"
+  "/root/repo/tests/transform/AutoVecTest.cpp" "tests/CMakeFiles/irlt_transform_tests.dir/transform/AutoVecTest.cpp.o" "gcc" "tests/CMakeFiles/irlt_transform_tests.dir/transform/AutoVecTest.cpp.o.d"
+  "/root/repo/tests/transform/BlockTest.cpp" "tests/CMakeFiles/irlt_transform_tests.dir/transform/BlockTest.cpp.o" "gcc" "tests/CMakeFiles/irlt_transform_tests.dir/transform/BlockTest.cpp.o.d"
+  "/root/repo/tests/transform/CoalesceTest.cpp" "tests/CMakeFiles/irlt_transform_tests.dir/transform/CoalesceTest.cpp.o" "gcc" "tests/CMakeFiles/irlt_transform_tests.dir/transform/CoalesceTest.cpp.o.d"
+  "/root/repo/tests/transform/DepMappingTest.cpp" "tests/CMakeFiles/irlt_transform_tests.dir/transform/DepMappingTest.cpp.o" "gcc" "tests/CMakeFiles/irlt_transform_tests.dir/transform/DepMappingTest.cpp.o.d"
+  "/root/repo/tests/transform/InterleaveTest.cpp" "tests/CMakeFiles/irlt_transform_tests.dir/transform/InterleaveTest.cpp.o" "gcc" "tests/CMakeFiles/irlt_transform_tests.dir/transform/InterleaveTest.cpp.o.d"
+  "/root/repo/tests/transform/ParallelizeTest.cpp" "tests/CMakeFiles/irlt_transform_tests.dir/transform/ParallelizeTest.cpp.o" "gcc" "tests/CMakeFiles/irlt_transform_tests.dir/transform/ParallelizeTest.cpp.o.d"
+  "/root/repo/tests/transform/ReversePermuteTest.cpp" "tests/CMakeFiles/irlt_transform_tests.dir/transform/ReversePermuteTest.cpp.o" "gcc" "tests/CMakeFiles/irlt_transform_tests.dir/transform/ReversePermuteTest.cpp.o.d"
+  "/root/repo/tests/transform/SequenceTest.cpp" "tests/CMakeFiles/irlt_transform_tests.dir/transform/SequenceTest.cpp.o" "gcc" "tests/CMakeFiles/irlt_transform_tests.dir/transform/SequenceTest.cpp.o.d"
+  "/root/repo/tests/transform/StripMineTest.cpp" "tests/CMakeFiles/irlt_transform_tests.dir/transform/StripMineTest.cpp.o" "gcc" "tests/CMakeFiles/irlt_transform_tests.dir/transform/StripMineTest.cpp.o.d"
+  "/root/repo/tests/transform/SymbolicFMTest.cpp" "tests/CMakeFiles/irlt_transform_tests.dir/transform/SymbolicFMTest.cpp.o" "gcc" "tests/CMakeFiles/irlt_transform_tests.dir/transform/SymbolicFMTest.cpp.o.d"
+  "/root/repo/tests/transform/TypeStateTest.cpp" "tests/CMakeFiles/irlt_transform_tests.dir/transform/TypeStateTest.cpp.o" "gcc" "tests/CMakeFiles/irlt_transform_tests.dir/transform/TypeStateTest.cpp.o.d"
+  "/root/repo/tests/transform/UnimodularMatrixTest.cpp" "tests/CMakeFiles/irlt_transform_tests.dir/transform/UnimodularMatrixTest.cpp.o" "gcc" "tests/CMakeFiles/irlt_transform_tests.dir/transform/UnimodularMatrixTest.cpp.o.d"
+  "/root/repo/tests/transform/UnimodularTest.cpp" "tests/CMakeFiles/irlt_transform_tests.dir/transform/UnimodularTest.cpp.o" "gcc" "tests/CMakeFiles/irlt_transform_tests.dir/transform/UnimodularTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/irlt_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/irlt_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/irlt_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/irlt_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/bounds/CMakeFiles/irlt_bounds.dir/DependInfo.cmake"
+  "/root/repo/build/src/dependence/CMakeFiles/irlt_dependence.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/irlt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/irlt_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/irlt_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/irlt_driver.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

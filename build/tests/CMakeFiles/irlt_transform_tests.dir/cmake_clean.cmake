@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irlt_transform_tests.dir/transform/AutoParTest.cpp.o"
+  "CMakeFiles/irlt_transform_tests.dir/transform/AutoParTest.cpp.o.d"
+  "CMakeFiles/irlt_transform_tests.dir/transform/AutoVecTest.cpp.o"
+  "CMakeFiles/irlt_transform_tests.dir/transform/AutoVecTest.cpp.o.d"
+  "CMakeFiles/irlt_transform_tests.dir/transform/BlockTest.cpp.o"
+  "CMakeFiles/irlt_transform_tests.dir/transform/BlockTest.cpp.o.d"
+  "CMakeFiles/irlt_transform_tests.dir/transform/CoalesceTest.cpp.o"
+  "CMakeFiles/irlt_transform_tests.dir/transform/CoalesceTest.cpp.o.d"
+  "CMakeFiles/irlt_transform_tests.dir/transform/DepMappingTest.cpp.o"
+  "CMakeFiles/irlt_transform_tests.dir/transform/DepMappingTest.cpp.o.d"
+  "CMakeFiles/irlt_transform_tests.dir/transform/InterleaveTest.cpp.o"
+  "CMakeFiles/irlt_transform_tests.dir/transform/InterleaveTest.cpp.o.d"
+  "CMakeFiles/irlt_transform_tests.dir/transform/ParallelizeTest.cpp.o"
+  "CMakeFiles/irlt_transform_tests.dir/transform/ParallelizeTest.cpp.o.d"
+  "CMakeFiles/irlt_transform_tests.dir/transform/ReversePermuteTest.cpp.o"
+  "CMakeFiles/irlt_transform_tests.dir/transform/ReversePermuteTest.cpp.o.d"
+  "CMakeFiles/irlt_transform_tests.dir/transform/SequenceTest.cpp.o"
+  "CMakeFiles/irlt_transform_tests.dir/transform/SequenceTest.cpp.o.d"
+  "CMakeFiles/irlt_transform_tests.dir/transform/StripMineTest.cpp.o"
+  "CMakeFiles/irlt_transform_tests.dir/transform/StripMineTest.cpp.o.d"
+  "CMakeFiles/irlt_transform_tests.dir/transform/SymbolicFMTest.cpp.o"
+  "CMakeFiles/irlt_transform_tests.dir/transform/SymbolicFMTest.cpp.o.d"
+  "CMakeFiles/irlt_transform_tests.dir/transform/TypeStateTest.cpp.o"
+  "CMakeFiles/irlt_transform_tests.dir/transform/TypeStateTest.cpp.o.d"
+  "CMakeFiles/irlt_transform_tests.dir/transform/UnimodularMatrixTest.cpp.o"
+  "CMakeFiles/irlt_transform_tests.dir/transform/UnimodularMatrixTest.cpp.o.d"
+  "CMakeFiles/irlt_transform_tests.dir/transform/UnimodularTest.cpp.o"
+  "CMakeFiles/irlt_transform_tests.dir/transform/UnimodularTest.cpp.o.d"
+  "irlt_transform_tests"
+  "irlt_transform_tests.pdb"
+  "irlt_transform_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irlt_transform_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

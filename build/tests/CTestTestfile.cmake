@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/irlt_support_tests[1]_include.cmake")
+include("/root/repo/build/tests/irlt_ir_tests[1]_include.cmake")
+include("/root/repo/build/tests/irlt_dependence_tests[1]_include.cmake")
+include("/root/repo/build/tests/irlt_bounds_tests[1]_include.cmake")
+include("/root/repo/build/tests/irlt_transform_tests[1]_include.cmake")
+include("/root/repo/build/tests/irlt_eval_tests[1]_include.cmake")
+include("/root/repo/build/tests/irlt_codegen_tests[1]_include.cmake")
+include("/root/repo/build/tests/irlt_integration_tests[1]_include.cmake")

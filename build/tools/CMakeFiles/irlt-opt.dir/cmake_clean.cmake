@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irlt-opt.dir/irlt-opt.cpp.o"
+  "CMakeFiles/irlt-opt.dir/irlt-opt.cpp.o.d"
+  "irlt-opt"
+  "irlt-opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irlt-opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
