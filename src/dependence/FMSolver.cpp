@@ -25,8 +25,8 @@ void FMSystem::addLE(std::vector<int64_t> Coef, int64_t Rhs) {
 
 void FMSystem::addGE(std::vector<int64_t> Coef, int64_t Rhs) {
   for (int64_t &C : Coef)
-    C = -C;
-  addLE(std::move(Coef), -Rhs);
+    C = negChecked(C);
+  addLE(std::move(Coef), negChecked(Rhs));
 }
 
 void FMSystem::addEQ(const std::vector<int64_t> &Coef, int64_t Rhs) {
@@ -89,15 +89,23 @@ FMSystem::ElimResult FMSystem::eliminate(std::vector<Row> &Rows,
     for (const Row &U : Upper) {
       // L: cL*v + a.x <= rL (cL < 0);  U: cU*v + b.x <= rU (cU > 0).
       // cU*L + (-cL)*U eliminates v.
-      int64_t FL = U.Coef[Var];  // > 0
-      int64_t FU = -L.Coef[Var]; // > 0
+      int64_t FL = U.Coef[Var];            // > 0
+      int64_t FU = negChecked(L.Coef[Var]); // > 0
       Row N;
       N.Coef.resize(L.Coef.size());
       for (size_t I = 0; I < L.Coef.size(); ++I)
         N.Coef[I] =
             addChecked(mulChecked(FL, L.Coef[I]), mulChecked(FU, U.Coef[I]));
       N.Rhs = addChecked(mulChecked(FL, L.Rhs), mulChecked(FU, U.Rhs));
-      assert(N.Coef[Var] == 0 && "variable survived elimination");
+      if (N.Coef[Var] != 0) {
+        // Identically zero in exact arithmetic; a residue means the
+        // checked ops saturated under an OverflowGuard. Record and treat
+        // the elimination as overflowed so the caller rejects cleanly.
+        bool Guarded = OverflowGuard::record();
+        assert(Guarded && "variable survived elimination");
+        (void)Guarded;
+        return ElimResult::Overflow;
+      }
       bool Contradiction = false;
       if (normalizeRow(N, Contradiction))
         Rows.push_back(std::move(N));

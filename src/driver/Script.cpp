@@ -6,6 +6,7 @@
 
 #include "driver/Script.h"
 
+#include "support/MathUtils.h"
 #include "support/Printing.h"
 #include "transform/Templates.h"
 
@@ -55,16 +56,30 @@ std::vector<Directive> splitDirectives(const std::string &Script) {
   return Out;
 }
 
+/// Overflow-safe decimal parse: rejects (rather than throws or wraps)
+/// values outside the int64 range, so a fuzzer-sized literal degrades to
+/// an ordinary "not an integer" diagnostic.
 bool parseInt(const std::string &S, int64_t &V) {
   if (S.empty())
     return false;
-  size_t I = S[0] == '-' ? 1 : 0;
+  bool Negative = S[0] == '-';
+  size_t I = Negative ? 1 : 0;
   if (I == S.size())
     return false;
-  for (; I < S.size(); ++I)
+  uint64_t Mag = 0;
+  constexpr uint64_t Limit = UINT64_C(1) << 63; // |INT64_MIN|
+  for (; I < S.size(); ++I) {
     if (!std::isdigit(static_cast<unsigned char>(S[I])))
       return false;
-  V = std::stoll(S);
+    uint64_t Digit = static_cast<uint64_t>(S[I] - '0');
+    if (Mag > (Limit - Digit) / 10)
+      return false;
+    Mag = Mag * 10 + Digit;
+  }
+  if (Mag > (Negative ? Limit : Limit - 1))
+    return false;
+  V = Negative ? -static_cast<int64_t>(Mag - 1) - 1
+               : static_cast<int64_t>(Mag);
   return true;
 }
 
@@ -78,26 +93,225 @@ bool isIdent(const std::string &S) {
   return true;
 }
 
-/// An argument that is an integer constant or a symbolic name.
-ErrorOr<ExprRef> parseSize(const Directive &D, const std::string &S) {
+/// An argument that is an integer constant or a symbolic name. Failure
+/// messages carry no location; the caller attaches line and directive.
+ErrorOr<ExprRef> parseSize(const std::string &S) {
   int64_t V;
   if (parseInt(S, V))
     return Expr::intConst(V);
   if (isIdent(S))
     return ExprRef(Expr::var(S));
-  return Failure(formatStr("line %u: '%s' is neither an integer nor a name",
-                           D.LineNo, S.c_str()));
+  return Failure(
+      formatStr("'%s' is neither an integer nor a name", S.c_str()));
 }
 
 /// A 1-based loop position within [1, N].
-ErrorOr<unsigned> parsePos(const Directive &D, const std::string &S,
-                           unsigned N) {
+ErrorOr<unsigned> parsePos(const std::string &S, unsigned N) {
   int64_t V;
   if (!parseInt(S, V) || V < 1 || V > static_cast<int64_t>(N))
-    return Failure(formatStr(
-        "line %u (%s): loop position '%s' is not in [1, %u]", D.LineNo,
-        D.Name.c_str(), S.c_str(), N));
+    return Failure(
+        formatStr("loop position '%s' is not in [1, %u]", S.c_str(), N));
   return static_cast<unsigned>(V);
+}
+
+/// Parses one directive against nest size \p N. On success appends to
+/// \p Seq and updates \p N; on failure returns the diagnostic message
+/// (location-free) and leaves \p Seq and \p N untouched, so the caller
+/// can recover and keep checking subsequent directives.
+std::string parseDirective(const Directive &D, TransformSequence &Seq,
+                           unsigned &N) {
+  auto wrongArity = [&](const std::string &Expected) {
+    return formatStr("expects %s (got %zu arguments)", Expected.c_str(),
+                     D.Args.size());
+  };
+
+  if (D.Name == "interchange") {
+    if (D.Args.size() != 2)
+      return wrongArity("two loop positions");
+    ErrorOr<unsigned> A = parsePos(D.Args[0], N);
+    ErrorOr<unsigned> B = parsePos(D.Args[1], N);
+    if (!A)
+      return A.message();
+    if (!B)
+      return B.message();
+    Seq.append(makeInterchange(N, *A - 1, *B - 1));
+    return std::string();
+  }
+
+  if (D.Name == "reverse") {
+    if (D.Args.size() != 1)
+      return wrongArity("one loop position");
+    ErrorOr<unsigned> K = parsePos(D.Args[0], N);
+    if (!K)
+      return K.message();
+    std::vector<bool> Rev(N, false);
+    Rev[*K - 1] = true;
+    std::vector<unsigned> Perm(N);
+    for (unsigned I = 0; I < N; ++I)
+      Perm[I] = I;
+    Seq.append(makeReversePermute(N, std::move(Rev), std::move(Perm)));
+    return std::string();
+  }
+
+  if (D.Name == "permute") {
+    if (D.Args.size() != N)
+      return wrongArity(formatStr("%u positions", N));
+    std::vector<unsigned> Perm(N);
+    std::vector<bool> Seen(N, false);
+    for (unsigned I = 0; I < N; ++I) {
+      ErrorOr<unsigned> P = parsePos(D.Args[I], N);
+      if (!P)
+        return P.message();
+      if (Seen[*P - 1])
+        return formatStr("permute repeats position %u", *P);
+      Seen[*P - 1] = true;
+      Perm[I] = *P - 1;
+    }
+    Seq.append(
+        makeReversePermute(N, std::vector<bool>(N, false), std::move(Perm)));
+    return std::string();
+  }
+
+  if (D.Name == "parallelize") {
+    if (D.Args.empty())
+      return wrongArity("at least one loop position");
+    std::vector<bool> Flags(N, false);
+    for (const std::string &A : D.Args) {
+      ErrorOr<unsigned> P = parsePos(A, N);
+      if (!P)
+        return P.message();
+      Flags[*P - 1] = true;
+    }
+    Seq.append(makeParallelize(N, std::move(Flags)));
+    return std::string();
+  }
+
+  if (D.Name == "block" || D.Name == "interleave") {
+    if (D.Args.size() < 3)
+      return wrongArity("i j size...");
+    ErrorOr<unsigned> I = parsePos(D.Args[0], N);
+    ErrorOr<unsigned> J = parsePos(D.Args[1], N);
+    if (!I)
+      return I.message();
+    if (!J)
+      return J.message();
+    if (*I > *J)
+      return formatStr("range [%u, %u] is empty", *I, *J);
+    unsigned Span = *J - *I + 1;
+    if (D.Args.size() != 2 + Span)
+      return wrongArity(
+          formatStr("%u sizes for range [%u, %u]", Span, *I, *J));
+    std::vector<ExprRef> Sizes;
+    for (unsigned K = 0; K < Span; ++K) {
+      ErrorOr<ExprRef> S = parseSize(D.Args[2 + K]);
+      if (!S)
+        return S.message();
+      Sizes.push_back(*S);
+    }
+    if (D.Name == "block")
+      Seq.append(makeBlock(N, *I, *J, std::move(Sizes)));
+    else
+      Seq.append(makeInterleave(N, *I, *J, std::move(Sizes)));
+    N += Span;
+    return std::string();
+  }
+
+  if (D.Name == "coalesce") {
+    if (D.Args.size() != 2 && D.Args.size() != 3)
+      return wrongArity("i j [newname]");
+    ErrorOr<unsigned> I = parsePos(D.Args[0], N);
+    ErrorOr<unsigned> J = parsePos(D.Args[1], N);
+    if (!I)
+      return I.message();
+    if (!J)
+      return J.message();
+    if (*I > *J)
+      return "coalesce range is empty";
+    std::optional<std::string> Name;
+    if (D.Args.size() == 3) {
+      if (!isIdent(D.Args[2]))
+        return formatStr("'%s' is not a valid name", D.Args[2].c_str());
+      Name = D.Args[2];
+    }
+    Seq.append(makeCoalesce(N, *I, *J, Name));
+    N -= *J - *I;
+    return std::string();
+  }
+
+  if (D.Name == "stripmine") {
+    if (D.Args.size() != 2)
+      return wrongArity("k size");
+    ErrorOr<unsigned> K = parsePos(D.Args[0], N);
+    if (!K)
+      return K.message();
+    ErrorOr<ExprRef> S = parseSize(D.Args[1]);
+    if (!S)
+      return S.message();
+    Seq.append(makeStripMine(N, *K, *S));
+    N += 1;
+    return std::string();
+  }
+
+  if (D.Name == "skew") {
+    if (D.Args.size() != 3)
+      return wrongArity("src dst factor");
+    ErrorOr<unsigned> Src = parsePos(D.Args[0], N);
+    ErrorOr<unsigned> Dst = parsePos(D.Args[1], N);
+    if (!Src)
+      return Src.message();
+    if (!Dst)
+      return Dst.message();
+    int64_t F;
+    if (!parseInt(D.Args[2], F) || F == 0)
+      return formatStr("skew factor '%s' is not a non-zero integer",
+                       D.Args[2].c_str());
+    if (*Src == *Dst)
+      return "skew source equals destination";
+    Seq.append(
+        makeUnimodular(N, UnimodularMatrix::skew(N, *Src - 1, *Dst - 1, F)));
+    return std::string();
+  }
+
+  if (D.Name == "unimodular") {
+    // Row-major entries with '/' separating rows: "1 1 / 1 0".
+    std::vector<std::vector<int64_t>> RowData(1);
+    for (const std::string &A : D.Args) {
+      if (A == "/") {
+        RowData.emplace_back();
+        continue;
+      }
+      int64_t V;
+      if (!parseInt(A, V))
+        return formatStr("matrix entry '%s' is not an integer", A.c_str());
+      RowData.back().push_back(V);
+    }
+    if (RowData.size() != N)
+      return formatStr("unimodular needs %u rows, got %zu", N,
+                       RowData.size());
+    std::vector<int64_t> Flat;
+    for (const std::vector<int64_t> &Row : RowData) {
+      if (Row.size() != N)
+        return formatStr("unimodular row has %zu entries, expected %u",
+                         Row.size(), N);
+      Flat.insert(Flat.end(), Row.begin(), Row.end());
+    }
+    UnimodularMatrix M(N, std::move(Flat));
+    // Huge entries can overflow the determinant computation; degrade to a
+    // clean rejection rather than UB.
+    OverflowGuard Guard;
+    bool Uni = M.isUnimodular();
+    if (Guard.triggered())
+      return formatStr("matrix %s overflows determinant arithmetic",
+                       M.str().c_str());
+    if (!Uni)
+      return formatStr("matrix %s has determinant %lld (not unimodular)",
+                       M.str().c_str(),
+                       static_cast<long long>(M.determinant()));
+    Seq.append(makeUnimodular(N, std::move(M)));
+    return std::string();
+  }
+
+  return formatStr("unknown directive '%s'", D.Name.c_str());
 }
 
 } // namespace
@@ -106,205 +320,19 @@ ErrorOr<TransformSequence>
 irlt::parseTransformScript(const std::string &Script, unsigned InitialLoops) {
   TransformSequence Seq;
   unsigned N = InitialLoops;
+  std::vector<Diag> Diags;
 
   for (const Directive &D : splitDirectives(Script)) {
-    auto wrongArity = [&](const char *Expected) {
-      return Failure(formatStr("line %u: %s expects %s (got %zu arguments)",
-                               D.LineNo, D.Name.c_str(), Expected,
-                               D.Args.size()));
-    };
-
-    if (D.Name == "interchange") {
-      if (D.Args.size() != 2)
-        return wrongArity("two loop positions");
-      ErrorOr<unsigned> A = parsePos(D, D.Args[0], N);
-      ErrorOr<unsigned> B = parsePos(D, D.Args[1], N);
-      if (!A)
-        return Failure(A.message());
-      if (!B)
-        return Failure(B.message());
-      Seq.append(makeInterchange(N, *A - 1, *B - 1));
+    std::string E = parseDirective(D, Seq, N);
+    if (E.empty())
       continue;
-    }
-
-    if (D.Name == "reverse") {
-      if (D.Args.size() != 1)
-        return wrongArity("one loop position");
-      ErrorOr<unsigned> K = parsePos(D, D.Args[0], N);
-      if (!K)
-        return Failure(K.message());
-      std::vector<bool> Rev(N, false);
-      Rev[*K - 1] = true;
-      std::vector<unsigned> Perm(N);
-      for (unsigned I = 0; I < N; ++I)
-        Perm[I] = I;
-      Seq.append(makeReversePermute(N, std::move(Rev), std::move(Perm)));
-      continue;
-    }
-
-    if (D.Name == "permute") {
-      if (D.Args.size() != N)
-        return wrongArity(formatStr("%u positions", N).c_str());
-      std::vector<unsigned> Perm(N);
-      std::vector<bool> Seen(N, false);
-      for (unsigned I = 0; I < N; ++I) {
-        ErrorOr<unsigned> P = parsePos(D, D.Args[I], N);
-        if (!P)
-          return Failure(P.message());
-        if (Seen[*P - 1])
-          return Failure(formatStr("line %u: permute repeats position %u",
-                                   D.LineNo, *P));
-        Seen[*P - 1] = true;
-        Perm[I] = *P - 1;
-      }
-      Seq.append(
-          makeReversePermute(N, std::vector<bool>(N, false), std::move(Perm)));
-      continue;
-    }
-
-    if (D.Name == "parallelize") {
-      if (D.Args.empty())
-        return wrongArity("at least one loop position");
-      std::vector<bool> Flags(N, false);
-      for (const std::string &A : D.Args) {
-        ErrorOr<unsigned> P = parsePos(D, A, N);
-        if (!P)
-          return Failure(P.message());
-        Flags[*P - 1] = true;
-      }
-      Seq.append(makeParallelize(N, std::move(Flags)));
-      continue;
-    }
-
-    if (D.Name == "block" || D.Name == "interleave") {
-      if (D.Args.size() < 3)
-        return wrongArity("i j size...");
-      ErrorOr<unsigned> I = parsePos(D, D.Args[0], N);
-      ErrorOr<unsigned> J = parsePos(D, D.Args[1], N);
-      if (!I)
-        return Failure(I.message());
-      if (!J)
-        return Failure(J.message());
-      if (*I > *J)
-        return Failure(formatStr("line %u: %s range [%u, %u] is empty",
-                                 D.LineNo, D.Name.c_str(), *I, *J));
-      unsigned Span = *J - *I + 1;
-      if (D.Args.size() != 2 + Span)
-        return wrongArity(
-            formatStr("%u sizes for range [%u, %u]", Span, *I, *J).c_str());
-      std::vector<ExprRef> Sizes;
-      for (unsigned K = 0; K < Span; ++K) {
-        ErrorOr<ExprRef> S = parseSize(D, D.Args[2 + K]);
-        if (!S)
-          return Failure(S.message());
-        Sizes.push_back(*S);
-      }
-      if (D.Name == "block")
-        Seq.append(makeBlock(N, *I, *J, std::move(Sizes)));
-      else
-        Seq.append(makeInterleave(N, *I, *J, std::move(Sizes)));
-      N += Span;
-      continue;
-    }
-
-    if (D.Name == "coalesce") {
-      if (D.Args.size() != 2 && D.Args.size() != 3)
-        return wrongArity("i j [newname]");
-      ErrorOr<unsigned> I = parsePos(D, D.Args[0], N);
-      ErrorOr<unsigned> J = parsePos(D, D.Args[1], N);
-      if (!I)
-        return Failure(I.message());
-      if (!J)
-        return Failure(J.message());
-      if (*I > *J)
-        return Failure(
-            formatStr("line %u: coalesce range is empty", D.LineNo));
-      std::optional<std::string> Name;
-      if (D.Args.size() == 3) {
-        if (!isIdent(D.Args[2]))
-          return Failure(formatStr("line %u: '%s' is not a valid name",
-                                   D.LineNo, D.Args[2].c_str()));
-        Name = D.Args[2];
-      }
-      Seq.append(makeCoalesce(N, *I, *J, Name));
-      N -= *J - *I;
-      continue;
-    }
-
-    if (D.Name == "stripmine") {
-      if (D.Args.size() != 2)
-        return wrongArity("k size");
-      ErrorOr<unsigned> K = parsePos(D, D.Args[0], N);
-      if (!K)
-        return Failure(K.message());
-      ErrorOr<ExprRef> S = parseSize(D, D.Args[1]);
-      if (!S)
-        return Failure(S.message());
-      Seq.append(makeStripMine(N, *K, *S));
-      N += 1;
-      continue;
-    }
-
-    if (D.Name == "skew") {
-      if (D.Args.size() != 3)
-        return wrongArity("src dst factor");
-      ErrorOr<unsigned> Src = parsePos(D, D.Args[0], N);
-      ErrorOr<unsigned> Dst = parsePos(D, D.Args[1], N);
-      if (!Src)
-        return Failure(Src.message());
-      if (!Dst)
-        return Failure(Dst.message());
-      int64_t F;
-      if (!parseInt(D.Args[2], F) || F == 0)
-        return Failure(formatStr(
-            "line %u: skew factor '%s' is not a non-zero integer", D.LineNo,
-            D.Args[2].c_str()));
-      if (*Src == *Dst)
-        return Failure(
-            formatStr("line %u: skew source equals destination", D.LineNo));
-      Seq.append(makeUnimodular(
-          N, UnimodularMatrix::skew(N, *Src - 1, *Dst - 1, F)));
-      continue;
-    }
-
-    if (D.Name == "unimodular") {
-      // Row-major entries with '/' separating rows: "1 1 / 1 0".
-      std::vector<std::vector<int64_t>> RowData(1);
-      for (const std::string &A : D.Args) {
-        if (A == "/") {
-          RowData.emplace_back();
-          continue;
-        }
-        int64_t V;
-        if (!parseInt(A, V))
-          return Failure(formatStr("line %u: matrix entry '%s' is not an "
-                                   "integer",
-                                   D.LineNo, A.c_str()));
-        RowData.back().push_back(V);
-      }
-      if (RowData.size() != N)
-        return Failure(formatStr("line %u: unimodular needs %u rows, got %zu",
-                                 D.LineNo, N, RowData.size()));
-      std::vector<int64_t> Flat;
-      for (const std::vector<int64_t> &Row : RowData) {
-        if (Row.size() != N)
-          return Failure(formatStr(
-              "line %u: unimodular row has %zu entries, expected %u",
-              D.LineNo, Row.size(), N));
-        Flat.insert(Flat.end(), Row.begin(), Row.end());
-      }
-      UnimodularMatrix M(N, std::move(Flat));
-      if (!M.isUnimodular())
-        return Failure(formatStr(
-            "line %u: matrix %s has determinant %lld (not unimodular)",
-            D.LineNo, M.str().c_str(),
-            static_cast<long long>(M.determinant())));
-      Seq.append(makeUnimodular(N, std::move(M)));
-      continue;
-    }
-
-    return Failure(formatStr("line %u: unknown directive '%s'", D.LineNo,
-                             D.Name.c_str()));
+    // Recover: record the diagnostic, keep the nest size unchanged, and
+    // keep checking the remaining directives so one bad line does not
+    // mask errors after it.
+    Diags.push_back(
+        Diag::error(std::move(E)).atLine(D.LineNo).inTemplate(D.Name));
   }
+  if (!Diags.empty())
+    return Failure(std::move(Diags));
   return Seq;
 }

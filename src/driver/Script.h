@@ -42,7 +42,10 @@
 namespace irlt {
 
 /// Parses \p Script into a sequence applicable to a nest of
-/// \p InitialLoops loops. Reports the first malformed directive.
+/// \p InitialLoops loops. Recovers after a malformed directive (skipping
+/// it, keeping the nest size unchanged) and reports *all* errors: the
+/// failure carries one Diag per bad directive, each tagged with its line
+/// and directive name.
 ErrorOr<TransformSequence> parseTransformScript(const std::string &Script,
                                                 unsigned InitialLoops);
 

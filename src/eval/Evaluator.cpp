@@ -8,8 +8,10 @@
 
 #include "support/Casting.h"
 #include "support/MathUtils.h"
+#include "support/Printing.h"
 
 #include <cassert>
+#include <chrono>
 #include <cmath>
 
 using namespace irlt;
@@ -45,6 +47,9 @@ public:
       : Nest(Nest), Config(Config), Store(Store), Result(Result) {
     Result.LevelCounts.assign(Nest.numLoops(), 0);
     Ordinals.assign(Nest.numLoops(), 0);
+    if (Config.WallBudgetMillis)
+      Deadline = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(Config.WallBudgetMillis);
   }
 
   std::optional<int64_t> lookup(const std::string &Name) const override {
@@ -106,6 +111,21 @@ private:
     for (int64_t X = Lo; St > 0 ? X <= Hi : X >= Hi; X += St) {
       if (LimitHit)
         return;
+      // Headers count against the budgets too: a huge loop over a
+      // zero-trip inner nest never executes a body, and must still stop.
+      if (++HeaderCount > Config.MaxInstances) {
+        noteLimit(formatStr("iteration budget of %llu exhausted",
+                            static_cast<unsigned long long>(
+                                Config.MaxInstances)));
+        return;
+      }
+      if (Config.WallBudgetMillis && (HeaderCount & 255) == 0 &&
+          std::chrono::steady_clock::now() >= Deadline) {
+        noteLimit(formatStr("wall-clock budget of %llu ms exhausted",
+                            static_cast<unsigned long long>(
+                                Config.WallBudgetMillis)));
+        return;
+      }
       Vars[L.IndexVar] = X;
       Ordinals[Level] = Ordinal++;
       ++Result.LevelCounts[Level];
@@ -116,7 +136,16 @@ private:
 
   void runBody() {
     if (++InstanceCount > Config.MaxInstances) {
-      LimitHit = true;
+      noteLimit(formatStr("instance budget of %llu exhausted",
+                          static_cast<unsigned long long>(
+                              Config.MaxInstances)));
+      return;
+    }
+    if (Config.WallBudgetMillis && (InstanceCount & 255) == 0 &&
+        std::chrono::steady_clock::now() >= Deadline) {
+      noteLimit(formatStr("wall-clock budget of %llu ms exhausted",
+                          static_cast<unsigned long long>(
+                              Config.WallBudgetMillis)));
       return;
     }
     // Init statements first (they define the original index variables).
@@ -157,6 +186,12 @@ private:
     }
   }
 
+  void noteLimit(std::string Reason) {
+    LimitHit = true;
+    Result.LimitHit = true;
+    Result.LimitReason = std::move(Reason);
+  }
+
   const LoopNest &Nest;
   const EvalConfig &Config;
   ArrayStore &Store;
@@ -164,7 +199,9 @@ private:
   std::map<std::string, int64_t> Vars;
   std::vector<int64_t> Ordinals;
   uint64_t InstanceCount = 0;
+  uint64_t HeaderCount = 0;
   bool LimitHit = false;
+  std::chrono::steady_clock::time_point Deadline;
 };
 
 } // namespace
@@ -174,7 +211,6 @@ EvalResult irlt::evaluate(const LoopNest &Nest, const EvalConfig &Config,
   EvalResult Result;
   RunContext Ctx(Nest, Config, Store, Result);
   Ctx.run();
-  assert(!Ctx.hitLimit() && "evaluation exceeded MaxInstances safety stop");
   return Result;
 }
 

@@ -64,6 +64,12 @@ struct MemAccess {
 
 /// The outcome of running a nest.
 struct EvalResult {
+  /// True when the run stopped early because an EvalConfig budget
+  /// (MaxInstances or WallBudgetMillis) was exhausted; the trace and
+  /// store are then incomplete and must not be treated as ground truth.
+  bool LimitHit = false;
+  /// Which budget stopped the run (empty when LimitHit is false).
+  std::string LimitReason;
   /// Original-index tuples (BodyIndexVars values), in execution order.
   std::vector<std::vector<int64_t>> Instances;
   /// Loop-variable tuples of the executed nest, parallel to Instances.
@@ -92,12 +98,19 @@ struct EvalConfig {
   bool RecordTrace = true;                 ///< fill Instances/LoopTuples
   bool RecordAccesses = false;             ///< fill Accesses
   bool ExecuteBody = true;                 ///< actually read/write arrays
-  uint64_t MaxInstances = 50'000'000;      ///< hard safety stop
+  uint64_t MaxInstances = 50'000'000;      ///< iteration budget
+  /// Wall-clock budget in milliseconds; 0 means unlimited. Checked every
+  /// few hundred body executions, so a runaway nest (fuzzer input, a
+  /// --verify invocation on a pathological case) stops with LimitHit
+  /// instead of hanging.
+  uint64_t WallBudgetMillis = 0;
 };
 
 /// Runs \p Nest against \p Store. Built-in opaque functions: sqrt (integer
 /// square root), abs, sgn; arrays dispatch to the store. Asserts on
-/// unbound variables or unknown calls.
+/// unbound variables or unknown calls. When a budget in \p Config is
+/// exhausted the run stops early with EvalResult::LimitHit set; callers
+/// that need ground truth must check it.
 EvalResult evaluate(const LoopNest &Nest, const EvalConfig &Config,
                     ArrayStore &Store);
 

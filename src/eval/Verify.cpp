@@ -60,7 +60,17 @@ VerifyResult irlt::verifyTransformed(const LoopNest &Original,
 
   ArrayStore StoreO, StoreT;
   EvalResult RunO = evaluate(Original, C, StoreO);
+  if (RunO.LimitHit) {
+    R.BudgetExceeded = true;
+    R.Problem = "original nest: " + RunO.LimitReason;
+    return R;
+  }
   EvalResult RunT = evaluate(Transformed, C, StoreT);
+  if (RunT.LimitHit) {
+    R.BudgetExceeded = true;
+    R.Problem = "transformed nest: " + RunT.LimitReason;
+    return R;
+  }
 
   // Check 1: same multiset of execution instances.
   if (RunO.Instances.size() != RunT.Instances.size()) {

@@ -37,6 +37,11 @@ namespace irlt {
 struct VerifyResult {
   bool Ok = false;
   std::string Problem; ///< empty when Ok
+  /// True when the verdict is "no verdict": an evaluation budget
+  /// (EvalConfig::MaxInstances / WallBudgetMillis) ran out before both
+  /// nests finished, so neither equivalence nor inequivalence was
+  /// established. Ok is false but Problem names the exhausted budget.
+  bool BudgetExceeded = false;
 };
 
 /// Runs both nests under \p Config (trace and access recording forced on)

@@ -1,0 +1,208 @@
+//===- fuzz/Differential.cpp - Differential fuzzing oracle ----------------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Differential.h"
+
+#include "dependence/DepAnalysis.h"
+#include "driver/Script.h"
+#include "eval/Verify.h"
+#include "fuzz/ScriptGen.h"
+#include "ir/Parser.h"
+#include "support/MathUtils.h"
+#include "transform/Sequence.h"
+#include "transform/TypeState.h"
+
+using namespace irlt;
+using namespace irlt::fuzz;
+
+const char *irlt::fuzz::categoryName(Category C) {
+  switch (C) {
+  case Category::Legal:
+    return "legal";
+  case Category::Illegal:
+    return "illegal";
+  case Category::RejectedPrecondition:
+    return "rejected-by-precondition";
+  case Category::OverflowRejected:
+    return "overflow-rejected";
+  case Category::ParseRejected:
+    return "parse-rejected";
+  case Category::SourceSkipped:
+    return "source-skipped";
+  case Category::BudgetExceeded:
+    return "budget-exceeded";
+  case Category::OracleFailure:
+    return "ORACLE-FAILURE";
+  }
+  return "?";
+}
+
+DifferentialOptions DifferentialOptions::defaults() {
+  DifferentialOptions O;
+  O.Bindings = {{{"n", 6}, {"m", 4}, {"b", 2}},
+                {{"n", 9}, {"m", 5}, {"b", 3}}};
+  return O;
+}
+
+namespace {
+
+CaseOutcome outcome(Category Cat, std::string Detail = "") {
+  return CaseOutcome{Cat, std::move(Detail)};
+}
+
+/// Does any diagnostic of a failed result mention overflow? Overflow
+/// rejections travel as rendered diagnostics (the guard saturates and the
+/// failing stage reports), so the bucketing is textual by design.
+bool mentionsOverflow(const std::string &Message) {
+  return Message.find("overflow") != std::string::npos;
+}
+
+} // namespace
+
+CaseOutcome irlt::fuzz::runCase(const FuzzCase &C,
+                                const DifferentialOptions &Opts) {
+  // 1. Parse the rendered nest. The generator emits valid source by
+  // construction, so a parse error is itself an oracle failure.
+  ErrorOr<LoopNest> NestOr = parseLoopNest(C.Nest.render());
+  if (!NestOr)
+    return outcome(Category::OracleFailure,
+                   "generated nest failed to parse: " + NestOr.message());
+  LoopNest Nest = NestOr.take();
+
+  // 2. Dependence analysis, guarded: huge bounds can overflow the
+  // distance arithmetic, in which case the summaries are saturated and
+  // nothing downstream may be trusted.
+  DepSet D;
+  {
+    OverflowGuard G;
+    D = analyzeDependences(Nest);
+    if (G.triggered())
+      return outcome(Category::OverflowRejected,
+                     "dependence analysis overflowed");
+  }
+  // Direction summaries are conservative; a generated source nest they
+  // cannot prove valid is skipped, not failed.
+  if (!D.allLexNonNegative())
+    return outcome(Category::SourceSkipped,
+                   "conservative summaries reject the source nest");
+
+  // 3. Parse the script. Corrupted cases must fail with >= one diagnostic
+  // per corrupted line (multi-error recovery); clean cases must parse.
+  ErrorOr<TransformSequence> SeqOr =
+      parseTransformScript(joinScript(C.Script), Nest.numLoops());
+  if (C.CorruptedLines > 0) {
+    if (SeqOr)
+      return outcome(Category::OracleFailure,
+                     "parser accepted a script with " +
+                         std::to_string(C.CorruptedLines) +
+                         " corrupted line(s)");
+    if (SeqOr.diags().size() < C.CorruptedLines)
+      return outcome(
+          Category::OracleFailure,
+          "parser reported " + std::to_string(SeqOr.diags().size()) +
+              " diagnostic(s) for " + std::to_string(C.CorruptedLines) +
+              " corrupted line(s): " + SeqOr.message());
+    return outcome(Category::ParseRejected, SeqOr.message());
+  }
+  if (!SeqOr) {
+    if (mentionsOverflow(SeqOr.message()))
+      return outcome(Category::OverflowRejected, SeqOr.message());
+    // Clean generated scripts parse by construction, but the shrinker
+    // may drop a nest loop out from under a position-bearing directive;
+    // that mismatch is a rejection, not an oracle failure (and it makes
+    // such shrink candidates self-rejecting).
+    return outcome(Category::ParseRejected, SeqOr.message());
+  }
+  TransformSequence Seq = SeqOr.take();
+
+  // 4. Differential legality: the fast path must never accept what the
+  // full test rejects. An overflow rejection carries no verdict - the
+  // full test's own arithmetic saturated - so it is excluded from the
+  // comparison (the fast path does none of that arithmetic and may
+  // legitimately still accept).
+  LegalityResult L = isLegal(Seq, Nest, D);
+  if (!L.Legal && L.Kind == LegalityResult::RejectKind::Overflow)
+    return outcome(Category::OverflowRejected, L.Reason);
+  LegalityResult LF = isLegalFast(Seq, Nest, D);
+  if (LF.Legal && !L.Legal)
+    return outcome(Category::OracleFailure,
+                   "fast path accepted what the full test rejects: " +
+                       L.Reason);
+  if (!L.Legal) {
+    switch (L.Kind) {
+    case LegalityResult::RejectKind::Overflow:
+      return outcome(Category::OverflowRejected, L.Reason);
+    case LegalityResult::RejectKind::LexNegative:
+      return outcome(Category::Illegal, L.Reason);
+    case LegalityResult::RejectKind::BoundsPrecondition:
+    case LegalityResult::RejectKind::DependencePrecondition:
+    case LegalityResult::RejectKind::ApplyFailure:
+      return outcome(Category::RejectedPrecondition, L.Reason);
+    case LegalityResult::RejectKind::None:
+      return outcome(Category::OracleFailure,
+                     "illegal verdict without a reject kind: " + L.Reason);
+    }
+  }
+
+  // 5. Accepted: the generated code must exist...
+  ErrorOr<LoopNest> Out = applySequence(Seq, Nest);
+  if (!Out) {
+    if (mentionsOverflow(Out.message()))
+      return outcome(Category::OverflowRejected, Out.message());
+    return outcome(Category::OracleFailure,
+                   "apply failed after a legal verdict: " + Out.message());
+  }
+
+  // ...and so must the reduced sequence's (fusion can overflow when
+  // multiplying huge matrices - guarded).
+  TransformSequence Red;
+  {
+    OverflowGuard G;
+    Red = Seq.reduced();
+    if (G.triggered())
+      return outcome(Category::OverflowRejected,
+                     "sequence reduction overflowed");
+  }
+  ErrorOr<LoopNest> OutR = applySequence(Red, Nest);
+  if (!OutR) {
+    if (mentionsOverflow(OutR.message()))
+      return outcome(Category::OverflowRejected, OutR.message());
+    return outcome(Category::OracleFailure,
+                   "reduced sequence failed to apply: " + OutR.message());
+  }
+
+  // 6. Ground truth + metamorphic check under every binding set.
+  for (const auto &Binding : Opts.Bindings) {
+    EvalConfig EC;
+    EC.Params = Binding;
+    EC.MaxInstances = Opts.MaxInstances;
+    EC.WallBudgetMillis = Opts.WallBudgetMillis;
+
+    OverflowGuard G;
+    VerifyResult V = verifyTransformed(Nest, *Out, EC);
+    if (G.triggered())
+      return outcome(Category::OverflowRejected,
+                     "evaluation arithmetic overflowed");
+    if (V.BudgetExceeded)
+      return outcome(Category::BudgetExceeded, V.Problem);
+    if (!V.Ok)
+      return outcome(Category::OracleFailure,
+                     "legal sequence is not equivalence-preserving: " +
+                         V.Problem);
+
+    VerifyResult VR = verifyTransformed(Nest, *OutR, EC);
+    if (G.triggered())
+      return outcome(Category::OverflowRejected,
+                     "evaluation arithmetic overflowed (reduced)");
+    if (VR.BudgetExceeded)
+      return outcome(Category::BudgetExceeded, VR.Problem);
+    if (!VR.Ok)
+      return outcome(Category::OracleFailure,
+                     "reduced sequence diverged: " + VR.Problem);
+  }
+
+  return outcome(Category::Legal);
+}

@@ -1,0 +1,96 @@
+//===- fuzz/Differential.h - Differential fuzzing oracle ------------------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The oracle of irlt-fuzz: runs one generated (nest, script) case
+/// through the full legality pipeline and cross-checks every redundant
+/// path the framework offers:
+///
+///  1. *Differential legality*: the Section 4.3 type-state fast path may
+///     be more conservative than the uniform test, but must never accept
+///     a sequence the full test rejects.
+///  2. *Ground truth*: for sequences the full test accepts, applySequence
+///     + verifyTransformed must prove instance-set, dependence-order and
+///     final-store equivalence under several parameter bindings.
+///  3. *Metamorphic reduction*: the reduced() sequence must produce an
+///     equivalent nest (Section 2's fusion rules are semantics-
+///     preserving).
+///  4. *Parser recovery*: deliberately corrupted scripts must fail with
+///     at least one diagnostic per corrupted line.
+///
+/// Arithmetic overflow anywhere in the pipeline (huge generated
+/// coefficients) must surface as a clean rejection - OverflowGuard
+/// saturation is detected and the case is bucketed OverflowRejected
+/// rather than trusted or crashed on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRLT_FUZZ_DIFFERENTIAL_H
+#define IRLT_FUZZ_DIFFERENTIAL_H
+
+#include "fuzz/NestGen.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace irlt {
+namespace fuzz {
+
+/// How a fuzz case resolved. Everything except OracleFailure is a normal,
+/// expected outcome.
+enum class Category {
+  Legal,                ///< accepted; all equivalence checks passed
+  Illegal,              ///< rejected by the final lexicographic test
+  RejectedPrecondition, ///< rejected by a Table 3/4 bounds precondition
+  OverflowRejected,     ///< rejected because coefficients left int64
+  ParseRejected,        ///< script failed to parse (corruption cases)
+  SourceSkipped,        ///< generated source nest unusable (conservative
+                        ///< direction summaries); case skipped
+  BudgetExceeded,       ///< evaluation budget ran out; no verdict
+  OracleFailure,        ///< an invariant broke - a bug, dump a reproducer
+};
+
+const char *categoryName(Category C);
+
+/// A reproducible fuzz case: everything needed to re-run it, and to dump
+/// it as an irlt-opt-replayable reproducer.
+struct FuzzCase {
+  uint64_t Seed = 0;
+  NestSpec Nest;
+  std::vector<std::string> Script;
+  /// Lines deliberately corrupted by the generator; the parse must fail
+  /// with at least this many diagnostics.
+  unsigned CorruptedLines = 0;
+};
+
+/// Oracle configuration.
+struct DifferentialOptions {
+  /// Parameter bindings the equivalence checks run under; every binding
+  /// set must bind every symbol the generators emit (n, m, b).
+  std::vector<std::map<std::string, int64_t>> Bindings;
+  uint64_t MaxInstances = 200'000;
+  uint64_t WallBudgetMillis = 0; ///< 0 = rely on the instance budget
+
+  /// Two binding pools exercising distinct extents and block sizes.
+  static DifferentialOptions defaults();
+};
+
+struct CaseOutcome {
+  Category Cat = Category::Legal;
+  /// Explanation: the rejection reason, or for OracleFailure the broken
+  /// invariant with enough context to debug from the reproducer.
+  std::string Detail;
+};
+
+/// Runs one case through the oracle.
+CaseOutcome runCase(const FuzzCase &C, const DifferentialOptions &Opts);
+
+} // namespace fuzz
+} // namespace irlt
+
+#endif // IRLT_FUZZ_DIFFERENTIAL_H

@@ -1,0 +1,142 @@
+//===- fuzz/Fuzzer.cpp - The irlt-fuzz main loop --------------------------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzzer.h"
+
+#include "fuzz/ScriptGen.h"
+#include "fuzz/Shrink.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+using namespace irlt;
+using namespace irlt::fuzz;
+
+namespace {
+
+/// Writes a reproducer trio (nest, script, note) for a failing case.
+/// Returns false when the directory or files cannot be created; the
+/// failure is still reported, just without files.
+bool dumpReproducer(const FuzzOptions &Opts, const FuzzCase &C,
+                    const std::string &Detail, FailureRecord &Rec) {
+  std::error_code EC;
+  std::filesystem::create_directories(Opts.ReproDir, EC);
+  if (EC)
+    return false;
+  std::string Base =
+      Opts.ReproDir + "/case-" + std::to_string(C.Seed);
+  std::string NestPath = Base + ".nest";
+  std::string ScriptPath = Base + ".script";
+  std::string NotePath = Base + ".txt";
+  {
+    std::ofstream Out(NestPath);
+    if (!Out)
+      return false;
+    Out << C.Nest.render();
+  }
+  {
+    std::ofstream Out(ScriptPath);
+    if (!Out)
+      return false;
+    Out << joinScript(C.Script);
+  }
+  {
+    std::ofstream Out(NotePath);
+    if (!Out)
+      return false;
+    Out << "irlt-fuzz reproducer\n"
+        << "seed: " << C.Seed << "\n"
+        << "corrupted-lines: " << C.CorruptedLines << "\n"
+        << "detail: " << Detail << "\n\n"
+        << "replay:\n"
+        << "  irlt-opt " << NestPath << " -f " << ScriptPath
+        << " --legality --verify n=6,m=4,b=2\n"
+        << "  irlt-opt " << NestPath << " -f " << ScriptPath
+        << " --fast-legality\n";
+  }
+  Rec.NestPath = NestPath;
+  Rec.ScriptPath = ScriptPath;
+  return true;
+}
+
+} // namespace
+
+FuzzCase irlt::fuzz::generateCase(const FuzzOptions &Opts, uint64_t Index) {
+  FuzzCase C;
+  C.Seed = caseSeed(Opts.Seed, Index);
+  Rng R(C.Seed);
+
+  bool Overflow = R.percent(Opts.OverflowPercent);
+  bool Corrupt = !Overflow && R.percent(Opts.CorruptPercent);
+
+  NestGenOptions NG;
+  NG.MaxDepth = Opts.MaxDepth;
+  NG.OverflowMode = Overflow;
+  C.Nest = generateNest(R, NG);
+
+  ScriptGenOptions SG;
+  SG.MaxSteps = Opts.MaxSteps;
+  SG.OverflowMode = Overflow;
+  SG.CorruptLines = Corrupt ? 1 + static_cast<unsigned>(R.below(2)) : 0;
+  GeneratedScript S = generateScript(R, C.Nest.depth(), SG);
+  C.Script = std::move(S.Lines);
+  C.CorruptedLines = S.CorruptedLines;
+  return C;
+}
+
+FuzzStats irlt::fuzz::runFuzzer(const FuzzOptions &Opts) {
+  DifferentialOptions DO = DifferentialOptions::defaults();
+  DO.MaxInstances = Opts.MaxInstances;
+  DO.WallBudgetMillis = Opts.TimeBudgetMillis;
+
+  FuzzStats Stats;
+  for (uint64_t Index = 0; Index < Opts.Cases; ++Index) {
+    FuzzCase C = generateCase(Opts, Index);
+    CaseOutcome O = runCase(C, DO);
+    ++Stats.Count[static_cast<unsigned>(O.Cat)];
+
+    if (Opts.Verbose)
+      std::printf("case %llu (seed %llu): %s%s%s\n",
+                  static_cast<unsigned long long>(Index),
+                  static_cast<unsigned long long>(C.Seed),
+                  categoryName(O.Cat), O.Detail.empty() ? "" : " - ",
+                  O.Detail.c_str());
+
+    if (O.Cat != Category::OracleFailure)
+      continue;
+
+    FailureRecord Rec;
+    Rec.CaseIndex = Index;
+    Rec.CaseSeed = C.Seed;
+    Rec.Detail = O.Detail;
+
+    FuzzCase Min = C;
+    if (Opts.Shrink) {
+      Min = shrinkCase(C, DO);
+      // The shrunk case's own detail is the one worth reporting.
+      CaseOutcome MO = runCase(Min, DO);
+      if (MO.Cat == Category::OracleFailure)
+        Rec.Detail = MO.Detail;
+      else
+        Min = C; // cap hit mid-pass; fall back to the original
+    }
+    dumpReproducer(Opts, Min, Rec.Detail, Rec);
+
+    std::fprintf(stderr,
+                 "FAILURE: case %llu (seed %llu): %s\n"
+                 "  nest:\n%s  script: %s\n%s",
+                 static_cast<unsigned long long>(Index),
+                 static_cast<unsigned long long>(C.Seed), Rec.Detail.c_str(),
+                 Min.Nest.render().c_str(),
+                 joinScript(Min.Script).c_str(),
+                 Rec.NestPath.empty()
+                     ? "  (reproducer dump failed)\n"
+                     : ("  reproducer: " + Rec.NestPath + "\n").c_str());
+    Stats.Failures.push_back(std::move(Rec));
+  }
+  return Stats;
+}

@@ -1,0 +1,83 @@
+//===- fuzz/Fuzzer.h - The irlt-fuzz main loop ----------------------------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The seeded, deterministic fuzzing loop behind the irlt-fuzz tool.
+/// Case K of a run with seed S is fully determined by (S, K): the case
+/// seed is splitmix-derived, generation uses a platform-independent
+/// xorshift stream, and the evaluation budget is instance-based by
+/// default - so a run's categories and failures are identical on every
+/// machine, and any failure can be replayed from its seed alone.
+///
+/// A small share of cases is steered into targeted modes: huge
+/// coefficients (overflow hardening) and deliberately corrupted scripts
+/// (parser recovery). Failures are shrunk (fuzz/Shrink.h) and dumped as
+/// irlt-opt-replayable reproducers: a nest file, a script file, and a
+/// note with the oracle detail and the exact replay command.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRLT_FUZZ_FUZZER_H
+#define IRLT_FUZZ_FUZZER_H
+
+#include "fuzz/Differential.h"
+
+#include <cstdint>
+#include <string>
+
+namespace irlt {
+namespace fuzz {
+
+struct FuzzOptions {
+  uint64_t Seed = 1;
+  uint64_t Cases = 100;
+  bool Shrink = true;
+  /// Directory reproducers are written to (created on demand; nothing is
+  /// written unless a case fails).
+  std::string ReproDir = "irlt-fuzz-repro";
+  unsigned MaxDepth = 3;
+  unsigned MaxSteps = 4;
+  uint64_t MaxInstances = 200'000;
+  /// Optional wall-clock budget per evaluation; 0 keeps runs fully
+  /// deterministic (the instance budget alone bounds work).
+  uint64_t TimeBudgetMillis = 0;
+  bool Verbose = false;
+  /// Percent of cases run in overflow / corrupt-script mode.
+  unsigned OverflowPercent = 6;
+  unsigned CorruptPercent = 8;
+};
+
+struct FailureRecord {
+  uint64_t CaseIndex = 0;
+  uint64_t CaseSeed = 0;
+  std::string Detail;
+  std::string NestPath;   ///< empty when the dump failed
+  std::string ScriptPath;
+};
+
+struct FuzzStats {
+  uint64_t Count[8] = {}; ///< indexed by Category
+  std::vector<FailureRecord> Failures;
+
+  uint64_t total() const {
+    uint64_t N = 0;
+    for (uint64_t C : Count)
+      N += C;
+    return N;
+  }
+};
+
+/// Runs the fuzzing loop; progress and failures go to stdout/stderr.
+FuzzStats runFuzzer(const FuzzOptions &Opts);
+
+/// Generates case \p Index of a run seeded \p RunSeed (exposed for tests
+/// and for --replay-case).
+FuzzCase generateCase(const FuzzOptions &Opts, uint64_t Index);
+
+} // namespace fuzz
+} // namespace irlt
+
+#endif // IRLT_FUZZ_FUZZER_H

@@ -1,0 +1,71 @@
+//===- fuzz/Rng.h - Deterministic random numbers for the fuzzer -----------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic, platform-independent random number generation for
+/// irlt-fuzz. A xorshift64 stream (the same recurrence the property tests
+/// use) plus a splitmix64 mixer for deriving statistically independent
+/// per-case seeds from (run seed, case index) - so case K of seed S is
+/// identical on every machine and every run, which is what makes dumped
+/// reproducers replayable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRLT_FUZZ_RNG_H
+#define IRLT_FUZZ_RNG_H
+
+#include <cstdint>
+
+namespace irlt {
+namespace fuzz {
+
+/// splitmix64 finalizer: a strong 64-bit mixer, used to turn structured
+/// inputs (run seed XOR case index) into well-distributed stream seeds.
+inline uint64_t mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+/// Deterministic xorshift64 generator; reproducible across platforms.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed ? Seed : 0x9e3779b97f4a7c15ull) {}
+
+  uint64_t next() {
+    State ^= State << 13;
+    State ^= State >> 7;
+    State ^= State << 17;
+    return State;
+  }
+
+  /// Uniform in [0, N). N must be nonzero.
+  uint64_t below(uint64_t N) { return next() % N; }
+
+  /// Uniform in [Lo, Hi] (inclusive).
+  int64_t range(int64_t Lo, int64_t Hi) {
+    return Lo + static_cast<int64_t>(below(static_cast<uint64_t>(Hi - Lo + 1)));
+  }
+
+  bool flip() { return next() & 1; }
+
+  /// True with probability Percent / 100.
+  bool percent(unsigned Percent) { return below(100) < Percent; }
+
+private:
+  uint64_t State;
+};
+
+/// The seed of case \p Index in a run started with \p RunSeed.
+inline uint64_t caseSeed(uint64_t RunSeed, uint64_t Index) {
+  return mix64(RunSeed ^ mix64(Index + 1));
+}
+
+} // namespace fuzz
+} // namespace irlt
+
+#endif // IRLT_FUZZ_RNG_H

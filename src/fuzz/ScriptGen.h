@@ -1,0 +1,65 @@
+//===- fuzz/ScriptGen.h - Random transformation-script generation ---------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Random transformation scripts for irlt-fuzz, in the textual directive
+/// language of driver/Script.h - so every fuzz case is replayable with
+/// `irlt-opt FILE -f SCRIPT`. Generation tracks the evolving nest size
+/// exactly as the parser threads it (each directive consumes the current
+/// loop count and produces the next), covering all six Table 1 kernel
+/// templates plus the StripMine extension.
+///
+/// Two special modes support targeted fuzzing:
+///  - OverflowMode emits huge skew factors / matrix entries / block
+///    sizes, to drive the overflow-checked arithmetic paths;
+///  - CorruptLines rewrites N lines of a well-formed script into
+///    guaranteed-invalid directives, to exercise the parser's multi-error
+///    recovery (the parse must report at least one Diag per bad line).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRLT_FUZZ_SCRIPTGEN_H
+#define IRLT_FUZZ_SCRIPTGEN_H
+
+#include "fuzz/Rng.h"
+
+#include <string>
+#include <vector>
+
+namespace irlt {
+namespace fuzz {
+
+/// Options steering script generation.
+struct ScriptGenOptions {
+  unsigned MaxSteps = 4;
+  /// Never grow the nest beyond this many loops (Block / Interleave /
+  /// StripMine multiply iteration counts fast).
+  unsigned SizeCap = 6;
+  /// Emit huge coefficients (skew factors, matrix entries, block sizes).
+  bool OverflowMode = false;
+  /// Rewrite this many lines into guaranteed-invalid directives.
+  unsigned CorruptLines = 0;
+};
+
+/// A generated script plus the metadata the oracle needs.
+struct GeneratedScript {
+  std::vector<std::string> Lines;
+  /// Number of lines rewritten to be invalid; the parse must fail with at
+  /// least this many diagnostics.
+  unsigned CorruptedLines = 0;
+};
+
+/// Generates a random script for a nest of \p InitialLoops loops.
+GeneratedScript generateScript(Rng &R, unsigned InitialLoops,
+                               const ScriptGenOptions &Opts);
+
+/// Joins script lines with newlines (the canonical reproducer form).
+std::string joinScript(const std::vector<std::string> &Lines);
+
+} // namespace fuzz
+} // namespace irlt
+
+#endif // IRLT_FUZZ_SCRIPTGEN_H

@@ -1,0 +1,149 @@
+//===- fuzz/Shrink.cpp - Automatic fuzz-case minimization -----------------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Shrink.h"
+
+namespace {
+
+using namespace irlt;
+using namespace irlt::fuzz;
+
+class Shrinker {
+public:
+  Shrinker(const DifferentialOptions &Opts, unsigned MaxRuns)
+      : Opts(Opts), MaxRuns(MaxRuns) {}
+
+  FuzzCase shrink(FuzzCase C) {
+    bool Progress = true;
+    while (Progress && Runs < MaxRuns) {
+      Progress = false;
+      Progress |= dropScriptLines(C);
+      Progress |= dropInnermostLoop(C);
+      Progress |= dropReads(C);
+      Progress |= dropSecondStmt(C);
+      Progress |= simplifyBounds(C);
+    }
+    return C;
+  }
+
+private:
+  bool stillFails(const FuzzCase &C) {
+    if (Runs >= MaxRuns)
+      return false;
+    ++Runs;
+    return runCase(C, Opts).Cat == Category::OracleFailure;
+  }
+
+  bool dropScriptLines(FuzzCase &C) {
+    bool Any = false;
+    for (size_t K = 0; K < C.Script.size();) {
+      if (C.Script.size() == 1)
+        break; // keep at least one directive: empty scripts test nothing
+      FuzzCase Cand = C;
+      Cand.Script.erase(Cand.Script.begin() + K);
+      if (stillFails(Cand)) {
+        C = std::move(Cand);
+        Any = true;
+      } else {
+        ++K;
+      }
+    }
+    return Any;
+  }
+
+  bool dropInnermostLoop(FuzzCase &C) {
+    bool Any = false;
+    while (C.Nest.Loops.size() > 1) {
+      FuzzCase Cand = C;
+      Cand.Nest.Loops.pop_back();
+      for (ReadSpec &Read : Cand.Nest.Reads)
+        if (Read.Off.size() > Cand.Nest.Loops.size())
+          Read.Off.resize(Cand.Nest.Loops.size());
+      if (!stillFails(Cand))
+        break;
+      C = std::move(Cand);
+      Any = true;
+    }
+    return Any;
+  }
+
+  bool dropReads(FuzzCase &C) {
+    bool Any = false;
+    for (size_t K = 0; K < C.Nest.Reads.size();) {
+      FuzzCase Cand = C;
+      Cand.Nest.Reads.erase(Cand.Nest.Reads.begin() + K);
+      if (stillFails(Cand)) {
+        C = std::move(Cand);
+        Any = true;
+      } else {
+        ++K;
+      }
+    }
+    return Any;
+  }
+
+  bool dropSecondStmt(FuzzCase &C) {
+    if (!C.Nest.SecondStmt)
+      return false;
+    FuzzCase Cand = C;
+    Cand.Nest.SecondStmt = false;
+    if (!stillFails(Cand))
+      return false;
+    C = std::move(Cand);
+    return true;
+  }
+
+  bool simplifyBounds(FuzzCase &C) {
+    bool Any = false;
+    for (size_t K = 0; K < C.Nest.Loops.size(); ++K) {
+      if (C.Nest.Loops[K].Lo != "1") {
+        FuzzCase Cand = C;
+        Cand.Nest.Loops[K].Lo = "1";
+        if (stillFails(Cand)) {
+          C = std::move(Cand);
+          Any = true;
+        }
+      }
+      if (C.Nest.Loops[K].Hi != "n") {
+        FuzzCase Cand = C;
+        // Huge literals shrink to a small constant first, anything else
+        // straight to the rectangular default.
+        Cand.Nest.Loops[K].Hi = C.Nest.Loops[K].Hi.size() > 4 &&
+                                        C.Nest.Loops[K].Hi.find_first_not_of(
+                                            "0123456789") ==
+                                            std::string::npos
+                                    ? "8"
+                                    : "n";
+        if (Cand.Nest.Loops[K].Hi != C.Nest.Loops[K].Hi &&
+            stillFails(Cand)) {
+          C = std::move(Cand);
+          Any = true;
+        }
+      }
+      if (C.Nest.Loops[K].Step != 1) {
+        FuzzCase Cand = C;
+        Cand.Nest.Loops[K].Step = 1;
+        if (stillFails(Cand)) {
+          C = std::move(Cand);
+          Any = true;
+        }
+      }
+    }
+    return Any;
+  }
+
+  const DifferentialOptions &Opts;
+  const unsigned MaxRuns;
+  unsigned Runs = 0;
+};
+
+} // namespace
+
+FuzzCase irlt::fuzz::shrinkCase(const FuzzCase &C,
+                                const DifferentialOptions &Opts,
+                                unsigned MaxRuns) {
+  return Shrinker(Opts, MaxRuns).shrink(C);
+}

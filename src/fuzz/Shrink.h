@@ -1,0 +1,41 @@
+//===- fuzz/Shrink.h - Automatic fuzz-case minimization -------------------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Greedy structural shrinking of failing fuzz cases. Each candidate
+/// reduction is accepted only when the reduced case still produces an
+/// OracleFailure, so the dumped reproducer shows the *minimal* nest and
+/// script that break the invariant. Reductions, in order of payoff:
+///
+///   - drop a script directive,
+///   - drop the innermost loop (truncating read offsets),
+///   - drop a body read / the second statement,
+///   - rectangularize a bound (lower -> 1, upper -> n, step -> 1),
+///   - replace a huge constant bound with 8.
+///
+/// The total number of oracle re-runs is capped; shrinking is best-effort
+/// and deterministic (no randomness).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRLT_FUZZ_SHRINK_H
+#define IRLT_FUZZ_SHRINK_H
+
+#include "fuzz/Differential.h"
+
+namespace irlt {
+namespace fuzz {
+
+/// Shrinks \p C, which must currently produce Category::OracleFailure
+/// under \p Opts. Returns the smallest failing case found within
+/// \p MaxRuns oracle evaluations.
+FuzzCase shrinkCase(const FuzzCase &C, const DifferentialOptions &Opts,
+                    unsigned MaxRuns = 200);
+
+} // namespace fuzz
+} // namespace irlt
+
+#endif // IRLT_FUZZ_SHRINK_H

@@ -215,7 +215,7 @@ ExprRef LinExpr::toExpr() const {
   ExprRef Acc;
   auto appendTerm = [&Acc](const ExprRef &Atom, int64_t Coef) {
     assert(Coef != 0 && "zero-coefficient term survived");
-    int64_t AbsCoef = Coef < 0 ? -Coef : Coef;
+    int64_t AbsCoef = Coef < 0 ? negChecked(Coef) : Coef;
     ExprRef Piece =
         AbsCoef == 1 ? Atom : Expr::mul(Expr::intConst(AbsCoef), Atom);
     if (!Acc) {
@@ -246,7 +246,7 @@ ExprRef LinExpr::toExpr() const {
   if (Const > 0)
     return Expr::add(Acc, Expr::intConst(Const));
   if (Const < 0)
-    return Expr::sub(Acc, Expr::intConst(-Const));
+    return Expr::sub(Acc, Expr::intConst(negChecked(Const)));
   return Acc;
 }
 

@@ -1,0 +1,98 @@
+//===- support/Diag.h - Structured diagnostics ---------------------------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A structured diagnostic record. Every fallible layer of the framework
+/// (script parsing, per-stage legality checking, the bounds pipeline)
+/// attaches location information - a script line, a sequence stage index,
+/// the kernel-template name - instead of baking it into the message text,
+/// so tools (notably irlt-fuzz's reproducer reports) can sort, group, and
+/// re-render failures.
+///
+/// A Diag with no location fields renders as its bare message, which keeps
+/// the plain-string Failure("...") idiom working unchanged.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRLT_SUPPORT_DIAG_H
+#define IRLT_SUPPORT_DIAG_H
+
+#include <string>
+#include <vector>
+
+namespace irlt {
+
+/// How bad a diagnostic is. Parsers may attach notes to an error; only
+/// Error severities make an ErrorOr failed.
+enum class DiagSeverity { Error, Warning, Note };
+
+/// One structured diagnostic: severity, optional script line, optional
+/// sequence stage, optional kernel-template name, and the message.
+struct Diag {
+  DiagSeverity Severity = DiagSeverity::Error;
+  /// 1-based script line, 0 when not tied to a script.
+  unsigned Line = 0;
+  /// 1-based stage index within a transformation sequence, 0 when none.
+  unsigned Stage = 0;
+  /// Kernel-template or directive name ("Block", "interchange"), may be
+  /// empty.
+  std::string TemplateName;
+  std::string Message;
+
+  Diag() = default;
+  explicit Diag(std::string Message) : Message(std::move(Message)) {}
+
+  static Diag error(std::string Message) { return Diag(std::move(Message)); }
+  static Diag note(std::string Message) {
+    Diag D(std::move(Message));
+    D.Severity = DiagSeverity::Note;
+    return D;
+  }
+
+  Diag &atLine(unsigned L) {
+    Line = L;
+    return *this;
+  }
+  Diag &atStage(unsigned S) {
+    Stage = S;
+    return *this;
+  }
+  Diag &inTemplate(std::string Name) {
+    TemplateName = std::move(Name);
+    return *this;
+  }
+
+  /// Renders location prefixes only when set: "line 3 (block): msg",
+  /// "stage 2 (Block): msg", or the bare message.
+  std::string str() const {
+    std::string Out;
+    if (Line)
+      Out += "line " + std::to_string(Line);
+    else if (Stage)
+      Out += "stage " + std::to_string(Stage);
+    if (!TemplateName.empty())
+      Out += (Out.empty() ? "(" : " (") + TemplateName + ")";
+    if (!Out.empty())
+      Out += ": ";
+    Out += Message;
+    return Out;
+  }
+};
+
+/// Renders a diagnostic list one per line (no trailing newline).
+inline std::string renderDiags(const std::vector<Diag> &Diags) {
+  std::string Out;
+  for (const Diag &D : Diags) {
+    if (!Out.empty())
+      Out += '\n';
+    Out += D.str();
+  }
+  return Out;
+}
+
+} // namespace irlt
+
+#endif // IRLT_SUPPORT_DIAG_H

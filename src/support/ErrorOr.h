@@ -6,35 +6,48 @@
 ///
 /// \file
 /// The framework never throws: fallible operations return ErrorOr<T>, a
-/// value-or-diagnostic sum type in the spirit of llvm::Expected (but
-/// diagnostic payloads are plain strings; this library has a single
-/// category of recoverable error - "the transformation does not apply").
+/// value-or-diagnostic sum type in the spirit of llvm::Expected. A failure
+/// carries one or more structured Diag records (see support/Diag.h);
+/// message() renders them as text for callers that only want a string,
+/// while diags() exposes the structure (stage index, template name, script
+/// line) to tools such as irlt-fuzz.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef IRLT_SUPPORT_ERROROR_H
 #define IRLT_SUPPORT_ERROROR_H
 
+#include "support/Diag.h"
+
 #include <cassert>
 #include <optional>
 #include <string>
 #include <utility>
+#include <vector>
 
 namespace irlt {
 
-/// A failure message. Wrapped in a struct so that ErrorOr<std::string>
-/// remains unambiguous.
+/// A failure: one or more diagnostics. Wrapped in a struct so that
+/// ErrorOr<std::string> remains unambiguous.
 struct Failure {
-  std::string Message;
-  explicit Failure(std::string Message) : Message(std::move(Message)) {}
+  std::vector<Diag> Diags;
+
+  explicit Failure(std::string Message) {
+    Diags.emplace_back(std::move(Message));
+  }
+  explicit Failure(Diag D) { Diags.push_back(std::move(D)); }
+  explicit Failure(std::vector<Diag> Ds) : Diags(std::move(Ds)) {
+    assert(!Diags.empty() && "failure with no diagnostics");
+  }
 };
 
-/// Either a T or a failure message. Check with operator bool before
-/// dereferencing.
+/// Either a T or a failure diagnostic list. Check with operator bool
+/// before dereferencing.
 template <typename T> class ErrorOr {
 public:
   ErrorOr(T Value) : Value(std::move(Value)) {}
-  ErrorOr(Failure F) : Message(std::move(F.Message)) {}
+  ErrorOr(Failure F)
+      : Diags(std::move(F.Diags)), Rendered(renderDiags(Diags)) {}
 
   explicit operator bool() const { return Value.has_value(); }
 
@@ -49,10 +62,25 @@ public:
   const T *operator->() const { return &operator*(); }
   T *operator->() { return &operator*(); }
 
-  /// The failure message; only valid when the result failed.
+  /// The failure diagnostics rendered as text (one per line); only valid
+  /// when the result failed.
   const std::string &message() const {
     assert(!Value && "asking failed-message of a successful result");
-    return Message;
+    return Rendered;
+  }
+
+  /// The structured failure diagnostics; only valid when the result
+  /// failed.
+  const std::vector<Diag> &diags() const {
+    assert(!Value && "asking diagnostics of a successful result");
+    return Diags;
+  }
+
+  /// Moves the diagnostics out, for propagating a failure into another
+  /// ErrorOr without flattening it to text.
+  std::vector<Diag> takeDiags() {
+    assert(!Value && "taking diagnostics of a successful result");
+    return std::move(Diags);
   }
 
   /// Moves the contained value out.
@@ -63,7 +91,8 @@ public:
 
 private:
   std::optional<T> Value;
-  std::string Message;
+  std::vector<Diag> Diags;
+  std::string Rendered;
 };
 
 } // namespace irlt

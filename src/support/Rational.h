@@ -45,7 +45,7 @@ public:
   /// Smallest integer >= this.
   int64_t ceil() const { return ceilDiv(Num, Den); }
 
-  Rational operator-() const { return Rational(-Num, Den); }
+  Rational operator-() const { return Rational(negChecked(Num), Den); }
 
   Rational operator+(const Rational &O) const {
     int64_t G = gcd(Den, O.Den);
@@ -92,8 +92,8 @@ public:
 private:
   void normalize() {
     if (Den < 0) {
-      Num = -Num;
-      Den = -Den;
+      Num = negChecked(Num);
+      Den = negChecked(Den);
     }
     int64_t G = gcd(Num, Den);
     if (G > 1) {

@@ -7,6 +7,7 @@
 #include "transform/Sequence.h"
 
 #include "support/Casting.h"
+#include "support/MathUtils.h"
 #include "support/Printing.h"
 #include "transform/Templates.h"
 #include "transform/TypeState.h"
@@ -109,10 +110,18 @@ ErrorOr<LoopNest> irlt::applySequence(const TransformSequence &T,
   unsigned Stage = 0;
   for (const TemplateRef &Step : T.steps()) {
     ++Stage;
+    // Huge coefficients (fuzzer-sized skew factors, block sizes) can
+    // overflow the bounds pipeline; degrade to a structured rejection.
+    OverflowGuard Guard;
     ErrorOr<LoopNest> Next = Step->apply(Cur);
+    if (Guard.triggered())
+      return Failure(Diag::error("arithmetic overflow in the bounds pipeline")
+                         .atStage(Stage)
+                         .inTemplate(Step->str()));
     if (!Next)
-      return Failure(formatStr("stage %u (%s): %s", Stage,
-                               Step->str().c_str(), Next.message().c_str()));
+      return Failure(Diag::error(Next.message())
+                         .atStage(Stage)
+                         .inTemplate(Step->str()));
     Cur = Next.take();
   }
   return Cur;
@@ -121,41 +130,63 @@ ErrorOr<LoopNest> irlt::applySequence(const TransformSequence &T,
 LegalityResult irlt::isLegal(const TransformSequence &T, const LoopNest &Nest,
                              const DepSet &D) {
   LegalityResult R;
+  using RK = LegalityResult::RejectKind;
 
   // Part (b): loop-bounds preconditions, stage by stage. Each stage's
   // preconditions are evaluated against the nest produced by the previous
   // stages, so the bounds pipeline runs alongside; the dependence set is
   // threaded along for the anchor-dependence side condition (see
-  // checkAnchorDependence).
+  // checkAnchorDependence). Coefficient overflow at any stage degrades to
+  // a clean Overflow rejection rather than UB.
   LoopNest Cur = Nest;
   DepSet CurDeps = D;
   unsigned Stage = 0;
   for (const TemplateRef &Step : T.steps()) {
     ++Stage;
-    if (std::string E = Step->checkPreconditions(Cur); !E.empty()) {
-      R.Legal = false;
-      R.Reason = formatStr("bounds precondition violated at stage %u: %s",
-                           Stage, E.c_str());
+    OverflowGuard Guard;
+    auto overflowed = [&]() {
+      if (!Guard.triggered())
+        return false;
+      R.reject(RK::Overflow,
+               Diag::error("coefficient arithmetic overflows the int64 "
+                           "range (bounds overflow)")
+                   .atStage(Stage)
+                   .inTemplate(Step->name()));
+      return true;
+    };
+    std::string E = Step->checkPreconditions(Cur);
+    if (overflowed())
+      return R;
+    if (!E.empty()) {
+      R.reject(RK::BoundsPrecondition,
+               Diag::error("bounds precondition violated: " + E)
+                   .atStage(Stage)
+                   .inTemplate(Step->name()));
       return R;
     }
-    if (std::string E = checkAnchorDependence(
-            *Step, NestTypeState::fromNest(Cur), CurDeps);
-        !E.empty()) {
-      R.Legal = false;
-      R.Reason = formatStr(
-          "dependence precondition violated at stage %u: %s", Stage,
-          E.c_str());
+    E = checkAnchorDependence(*Step, NestTypeState::fromNest(Cur), CurDeps);
+    if (overflowed())
+      return R;
+    if (!E.empty()) {
+      R.reject(RK::DependencePrecondition,
+               Diag::error("dependence precondition violated: " + E)
+                   .atStage(Stage)
+                   .inTemplate(Step->name()));
       return R;
     }
     ErrorOr<LoopNest> Next = Step->apply(Cur);
+    if (overflowed())
+      return R;
     if (!Next) {
-      R.Legal = false;
-      R.Reason = formatStr("stage %u (%s): %s", Stage, Step->str().c_str(),
-                           Next.message().c_str());
+      R.reject(RK::ApplyFailure, Diag::error(Next.message())
+                                     .atStage(Stage)
+                                     .inTemplate(Step->str()));
       return R;
     }
     Cur = Next.take();
     CurDeps = Step->mapDependences(CurDeps);
+    if (overflowed())
+      return R;
   }
 
   // Part (a): the dependence test on the *final* mapped set only -
@@ -163,10 +194,9 @@ LegalityResult irlt::isLegal(const TransformSequence &T, const LoopNest &Nest,
   R.FinalDeps = std::move(CurDeps);
   for (const DepVector &V : R.FinalDeps.vectors()) {
     if (V.canBeLexNegative()) {
-      R.Legal = false;
-      R.Reason =
-          "transformed dependence vector " + V.str() +
-          " admits a lexicographically negative tuple";
+      R.reject(RK::LexNegative,
+               Diag::error("transformed dependence vector " + V.str() +
+                           " admits a lexicographically negative tuple"));
       return R;
     }
   }

@@ -62,14 +62,39 @@ private:
 
 /// Outcome of the uniform legality test (Section 2, item 3).
 struct LegalityResult {
+  /// Why a sequence was rejected - the structured counterpart of Reason,
+  /// used by irlt-fuzz to bucket outcomes without string matching.
+  enum class RejectKind {
+    None,                   ///< legal
+    BoundsPrecondition,     ///< a Table 3/4 precondition failed
+    DependencePrecondition, ///< the anchor-dependence side condition
+    LexNegative,            ///< final mapped set admits a negative tuple
+    ApplyFailure,           ///< bounds pipeline failed mid-sequence
+    Overflow,               ///< coefficient arithmetic left int64 range
+  };
+
   bool Legal = false;
+  RejectKind Kind = RejectKind::None;
   /// Human-readable reason when illegal: either the violated bounds
   /// precondition (with its stage), or the lexicographically negative
   /// final dependence vector.
   std::string Reason;
+  /// Structured reason when illegal: stage index and template name of the
+  /// failing step (stage 0 for whole-sequence failures such as the final
+  /// lexicographic test).
+  Diag Why;
   /// The dependence set after the whole sequence (valid when the bounds
   /// stages all succeeded).
   DepSet FinalDeps;
+
+  /// Marks the result illegal with both the structured and rendered
+  /// reason.
+  void reject(RejectKind K, Diag D) {
+    Legal = false;
+    Kind = K;
+    Why = std::move(D);
+    Reason = Why.str();
+  }
 };
 
 /// The uniform legality test IsLegal(T, N): (a) map the dependence set

@@ -46,7 +46,7 @@ void SymbolicFM::addLE(std::vector<int64_t> Coef, LinExpr Sym) {
 
 void SymbolicFM::addGE(std::vector<int64_t> Coef, const LinExpr &Sym) {
   for (int64_t &C : Coef)
-    C = -C;
+    C = negChecked(C);
   addLE(std::move(Coef), Sym.scaled(-1));
 }
 
@@ -77,7 +77,7 @@ public:
       std::vector<int64_t> Row = fullRow(I, Total);
       if (I == Candidate) {
         // Violate: sum coef*y - sym >= 1.
-        Sys.addGE(std::move(Row), Syms[I].constant() + 1);
+        Sys.addGE(std::move(Row), addChecked(Syms[I].constant(), 1));
       } else {
         Sys.addLE(std::move(Row), Syms[I].constant());
       }
@@ -92,7 +92,7 @@ private:
     for (unsigned C = 0; C < NumY; ++C)
       Row[C] = Coefs[I][C];
     for (const auto &[Key, T] : Syms[I].terms())
-      Row[AtomSlot.at(Key)] = -T.Coef;
+      Row[AtomSlot.at(Key)] = negChecked(T.Coef);
     return Row;
   }
 
@@ -144,8 +144,8 @@ SymbolicFM::generateBounds(const std::vector<std::string> &YNames,
     Work = std::move(Rest);
     for (const Row &L : Lower) {
       for (const Row &U : Upper) {
-        int64_t FL = U.Coef[K];  // > 0
-        int64_t FU = -L.Coef[K]; // > 0
+        int64_t FL = U.Coef[K];            // > 0
+        int64_t FU = negChecked(L.Coef[K]); // > 0
         Row Nw;
         Nw.Coef.resize(NumVars, 0);
         bool AnyVar = false;
@@ -154,7 +154,17 @@ SymbolicFM::generateBounds(const std::vector<std::string> &YNames,
                                    mulChecked(FU, U.Coef[Cc]));
           AnyVar |= Nw.Coef[Cc] != 0;
         }
-        assert(Nw.Coef[K] == 0 && "variable survived elimination");
+        if (Nw.Coef[K] != 0) {
+          // FL*L[K] + FU*U[K] is identically zero in exact arithmetic; a
+          // residue means the checked ops saturated under an
+          // OverflowGuard. Record it (the caller's stage guard turns the
+          // whole transformation into a clean overflow rejection) and
+          // zero the slot so elimination stays well-formed.
+          bool Guarded = OverflowGuard::record();
+          assert(Guarded && "variable survived elimination");
+          (void)Guarded;
+          Nw.Coef[K] = 0;
+        }
         if (!AnyVar)
           continue; // pure symbolic condition: implied by nest non-emptiness
         Nw.Sym = L.Sym.scaled(FL) + U.Sym.scaled(FU);
@@ -222,7 +232,7 @@ SymbolicFM::generateBounds(const std::vector<std::string> &YNames,
     LinExpr Num = B.Sym; // Sym - sum_{r<K} Coef[r]*y_r
     for (unsigned Rr = 0; Rr < K; ++Rr)
       if (B.Coef[Rr] != 0)
-        Num.addVar(YNames[Rr], -B.Coef[Rr]);
+        Num.addVar(YNames[Rr], negChecked(B.Coef[Rr]));
     if (B.IsUpper) {
       assert(C > 0);
       // y_K <= floor(Num / C).
@@ -233,7 +243,7 @@ SymbolicFM::generateBounds(const std::vector<std::string> &YNames,
       assert(C < 0);
       // y_K >= ceil((-Num) / (-C)).
       Out[K].Lowers.push_back(
-          Expr::ceilDivByConst(Num.scaled(-1).toExpr(), -C));
+          Expr::ceilDivByConst(Num.scaled(-1).toExpr(), negChecked(C)));
     }
   }
   return Out;

@@ -7,6 +7,7 @@
 #include "transform/TypeState.h"
 
 #include "support/Casting.h"
+#include "support/MathUtils.h"
 #include "support/Printing.h"
 #include "transform/Templates.h"
 
@@ -56,11 +57,16 @@ NestTypeState NestTypeState::fromNest(const LoopNest &Nest) {
         Info.StepConst ? (*Info.StepConst > 0 ? 1 : -1) : 0;
 
     Expr::Kind StartSplit = Expr::Kind::Call;
-    if (SSign > 0)
+    Expr::Kind EndSplit = Expr::Kind::Call;
+    if (SSign > 0) {
       StartSplit = Expr::Kind::Max;
-    else if (SSign < 0)
+      EndSplit = Expr::Kind::Min;
+    } else if (SSign < 0) {
       StartSplit = Expr::Kind::Min;
+      EndSplit = Expr::Kind::Max;
+    }
     Info.StartComposite = L.Lower->kind() == StartSplit;
+    Info.EndComposite = L.Upper->kind() == EndSplit;
 
     if (isCompileTimeConst(L.Lower))
       Info.LB = ExprTypes::constant();
@@ -127,6 +133,7 @@ ErrorOr<NestTypeState> mapReversePermute(const ReversePermuteTemplate &T,
       O.Step = In.Step.remapped(Remap);
       O.StepConst = In.StepConst;
       O.StartComposite = In.StartComposite;
+      O.EndComposite = In.EndComposite;
       continue;
     }
     // Reversal: unit steps swap the bounds exactly; otherwise the new
@@ -135,6 +142,9 @@ ErrorOr<NestTypeState> mapReversePermute(const ReversePermuteTemplate &T,
     bool UnitStep = In.StepConst && (*In.StepConst == 1 || *In.StepConst == -1);
     if (UnitStep) {
       O.LB = In.UB.remapped(Remap);
+      // The old end bound becomes the new start: a min/max list there
+      // survives the swap as a composite start.
+      O.StartComposite = In.EndComposite;
     } else {
       ExprTypes J = In.LB.joinedWith(In.UB).joinedWith(In.Step);
       ExprTypes Degraded = ExprTypes::invariant();
@@ -147,12 +157,14 @@ ErrorOr<NestTypeState> mapReversePermute(const ReversePermuteTemplate &T,
         Degraded.raise(I, BoundType::Nonlinear);
       }
       O.LB = Degraded.remapped(Remap);
+      O.StartComposite = false; // l + floor((u-l)/s)*s is a single term
     }
     O.UB = In.LB.remapped(Remap);
     O.Step = In.Step.remapped(Remap);
-    O.StepConst = In.StepConst ? std::optional<int64_t>(-*In.StepConst)
-                               : std::nullopt;
-    O.StartComposite = false; // min/max lists do not survive reversal
+    O.StepConst = In.StepConst
+                      ? std::optional<int64_t>(negChecked(*In.StepConst))
+                      : std::nullopt;
+    O.EndComposite = In.StartComposite; // old start becomes the new end
   }
   return Out;
 }
@@ -199,8 +211,13 @@ ErrorOr<NestTypeState> mapUnimodular(const UnimodularTemplate &T,
   struct Mask {
     std::vector<bool> Vars;
     bool HasSym;
+    /// Some coefficient of this (abstract) inequality may have magnitude
+    /// > 1. When such a row bounds a variable, the generated bound
+    /// divides by the coefficient - a flooring division that degrades
+    /// every variable reference to nonlinear.
+    bool NonUnit;
     bool operator==(const Mask &O) const {
-      return Vars == O.Vars && HasSym == O.HasSym;
+      return Vars == O.Vars && HasSym == O.HasSym && NonUnit == O.NonUnit;
     }
   };
   UnimodularMatrix Minv = T.matrix().inverse();
@@ -215,15 +232,25 @@ ErrorOr<NestTypeState> mapUnimodular(const UnimodularTemplate &T,
       // x-space involvement: own variable + linear references.
       std::vector<bool> XVars(N, false);
       XVars[K] = true;
+      bool AnyLinearRef = false;
       for (unsigned I = 0; I < K; ++I)
-        if (E->wrt(I) == BoundType::Linear)
+        if (E->wrt(I) == BoundType::Linear) {
           XVars[I] = true;
-      // y-space: x_r = sum Minv[r][c] y_c.
+          AnyLinearRef = true;
+        }
+      // y-space: x_r = sum Minv[r][c] y_c. Coefficient magnitudes are
+      // exact only when the row involves just its own variable (then the
+      // y-coefficients are the Minv entries); a linear reference has an
+      // unknown coefficient, so the row may be non-unit.
+      M.NonUnit = AnyLinearRef;
       for (unsigned R = 0; R < N; ++R)
         if (XVars[R])
           for (unsigned C = 0; C < N; ++C)
-            if (Minv.at(R, C) != 0)
+            if (Minv.at(R, C) != 0) {
               M.Vars[C] = true;
+              if (Minv.at(R, C) != 1 && Minv.at(R, C) != -1)
+                M.NonUnit = true;
+            }
       Masks.push_back(std::move(M));
     }
   }
@@ -235,6 +262,7 @@ ErrorOr<NestTypeState> mapUnimodular(const UnimodularTemplate &T,
     std::vector<bool> Refs(N, false);
     bool RefSym = false;
     bool Any = false;
+    bool AnyNonUnit = false;
     unsigned TouchCount = 0;
     for (const Mask &M : Masks) {
       if (!M.Vars[K])
@@ -242,6 +270,7 @@ ErrorOr<NestTypeState> mapUnimodular(const UnimodularTemplate &T,
       Any = true;
       ++TouchCount;
       RefSym |= M.HasSym;
+      AnyNonUnit |= M.NonUnit;
       for (unsigned I = 0; I < K; ++I)
         if (M.Vars[I])
           Refs[I] = true;
@@ -254,9 +283,14 @@ ErrorOr<NestTypeState> mapUnimodular(const UnimodularTemplate &T,
     ExprTypes B =
         (!RefSym && Any) ? ExprTypes::constant() : ExprTypes::invariant();
     bool AnyRef = false;
+    // A non-unit row bounds y_k through a flooring division, which
+    // degrades every variable reference in the generated bound beyond
+    // linear (the fast path found accepting such bounds as linear while
+    // the materialized nest classifies them nonlinear).
+    BoundType RefType = AnyNonUnit ? BoundType::Nonlinear : BoundType::Linear;
     for (unsigned I = 0; I < K; ++I)
       if (Refs[I]) {
-        B.raise(I, BoundType::Linear);
+        B.raise(I, RefType);
         AnyRef = true;
       }
     if (Overflow || !Any) {
@@ -264,15 +298,16 @@ ErrorOr<NestTypeState> mapUnimodular(const UnimodularTemplate &T,
       // fall back to the coarse blanket rule.
       B = ExprTypes::invariant();
       for (unsigned I = 0; I < K; ++I)
-        B.raise(I, BoundType::Linear);
+        B.raise(I, BoundType::Nonlinear);
       AnyRef = K > 0;
     }
     O.LB = B;
     O.UB = B;
     // With exactly two constraints touching y_k (one lower, one upper in
-    // any bounded system), the generated start bound is a single term;
-    // more constraints may form a max list.
+    // any bounded system), the generated bounds are single terms; more
+    // constraints may form max/min lists on either side.
     O.StartComposite = Overflow || !Any || TouchCount > 2;
+    O.EndComposite = O.StartComposite;
     (void)AnyRef;
     // Eliminate y_k: fuse mask pairs sharing it.
     std::vector<Mask> Next;
@@ -288,11 +323,17 @@ ErrorOr<NestTypeState> mapUnimodular(const UnimodularTemplate &T,
         Mask F;
         F.Vars.assign(N, false);
         bool NonEmpty = false;
+        bool Shared = false;
         for (unsigned I = 0; I < N; ++I) {
           F.Vars[I] = (WithK[A].Vars[I] || WithK[Bb].Vars[I]) && I != K;
           NonEmpty |= F.Vars[I];
+          Shared |= I != K && WithK[A].Vars[I] && WithK[Bb].Vars[I];
         }
         F.HasSym = WithK[A].HasSym || WithK[Bb].HasSym;
+        // Fusing two unit rows that share a surviving variable can sum
+        // its coefficients to +-2; fusing anything non-unit stays
+        // non-unit (the multipliers are the eliminated coefficients).
+        F.NonUnit = WithK[A].NonUnit || WithK[Bb].NonUnit || Shared;
         if (!NonEmpty)
           continue;
         bool Dup = false;
@@ -411,6 +452,7 @@ ErrorOr<NestTypeState> mapBlock(const BlockTemplate &T,
       B.UB.clearConst();
     }
     B.StartComposite = In.StartComposite;
+    B.EndComposite = In.EndComposite;
     std::optional<int64_t> BV = T.bsize()[K - Lo]->constValue();
     if (In.StepConst && BV) {
       B.StepConst = *In.StepConst * *BV;
@@ -431,6 +473,7 @@ ErrorOr<NestTypeState> mapBlock(const BlockTemplate &T,
     E.Step = In.Step.remapped(RemapElem);
     E.StepConst = In.StepConst;
     E.StartComposite = true; // the clamp is a max/min list
+    E.EndComposite = true;
   }
   for (unsigned K = Hi + 1; K < N; ++K) {
     const LoopTypeInfo &In = S.Loops[K];
@@ -538,6 +581,7 @@ ErrorOr<NestTypeState> mapCoalesce(const CoalesceTemplate &T,
   C.Step = ExprTypes::constant();
   C.StepConst = 1;
   C.StartComposite = false;
+  C.EndComposite = false; // the trip-count product is a single term
 
   // Trailing loops: references to coalesced variables become div/mod of
   // the new variable - except for a single-loop band with a constant
@@ -639,6 +683,7 @@ ErrorOr<NestTypeState> mapInterleave(const InterleaveTemplate &T,
       E.Step.clearConst();
     }
     E.StartComposite = false;
+    E.EndComposite = In.EndComposite; // the end bound is carried over
   }
   for (unsigned K = Hi + 1; K < N; ++K) {
     const LoopTypeInfo &In = S.Loops[K];
@@ -751,6 +796,7 @@ MaybeState irlt::mapTypes(const TransformTemplate &T,
 LegalityResult irlt::isLegalFast(const TransformSequence &T,
                                  const LoopNest &Nest, const DepSet &D) {
   LegalityResult R;
+  using RK = LegalityResult::RejectKind;
   NestTypeState State = NestTypeState::fromNest(Nest);
 
   // Lazy fallback materialization for extension templates: Applied tracks
@@ -762,58 +808,84 @@ LegalityResult irlt::isLegalFast(const TransformSequence &T,
   unsigned Stage = 0;
   for (const TemplateRef &Step : T.steps()) {
     ++Stage;
-    if (std::string E = checkAnchorDependence(*Step, State, CurDeps);
-        !E.empty()) {
-      R.Legal = false;
-      R.Reason = formatStr("dependence precondition violated at stage %u: %s",
-                           Stage, E.c_str());
+    OverflowGuard Guard;
+    auto overflowed = [&]() {
+      if (!Guard.triggered())
+        return false;
+      R.reject(RK::Overflow,
+               Diag::error("coefficient arithmetic overflows the int64 "
+                           "range (bounds overflow)")
+                   .atStage(Stage)
+                   .inTemplate(Step->name()));
+      return true;
+    };
+    std::string E = checkAnchorDependence(*Step, State, CurDeps);
+    if (overflowed())
+      return R;
+    if (!E.empty()) {
+      R.reject(RK::DependencePrecondition,
+               Diag::error("dependence precondition violated: " + E)
+                   .atStage(Stage)
+                   .inTemplate(Step->name()));
       return R;
     }
     MaybeState Next = mapTypes(*Step, State);
+    if (overflowed())
+      return R;
     if (Next) {
       if (!*Next) {
-        R.Legal = false;
-        R.Reason = formatStr("bounds precondition violated at stage %u: %s",
-                             Stage, Next->message().c_str());
+        R.reject(RK::BoundsPrecondition,
+                 Diag::error("bounds precondition violated: " +
+                             Next->message())
+                     .atStage(Stage)
+                     .inTemplate(Step->name()));
         return R;
       }
       State = Next->take();
       CurDeps = Step->mapDependences(CurDeps);
+      if (overflowed())
+        return R;
       continue;
     }
     // No type rule: materialize the concrete nest up to this stage and
     // apply the step for real.
     for (size_t I = AppliedThrough; I + 1 < Stage; ++I) {
       ErrorOr<LoopNest> NextNest = T.steps()[I]->apply(Applied);
+      if (overflowed())
+        return R;
       if (!NextNest) {
-        R.Legal = false;
-        R.Reason = formatStr("stage %zu (%s): %s", I + 1,
-                             T.steps()[I]->str().c_str(),
-                             NextNest.message().c_str());
+        R.reject(RK::ApplyFailure,
+                 Diag::error(NextNest.message())
+                     .atStage(static_cast<unsigned>(I + 1))
+                     .inTemplate(T.steps()[I]->str()));
         return R;
       }
       Applied = NextNest.take();
     }
     ErrorOr<LoopNest> NextNest = Step->apply(Applied);
+    if (overflowed())
+      return R;
     if (!NextNest) {
-      R.Legal = false;
-      R.Reason = formatStr("stage %u (%s): %s", Stage, Step->str().c_str(),
-                           NextNest.message().c_str());
+      R.reject(RK::ApplyFailure, Diag::error(NextNest.message())
+                                     .atStage(Stage)
+                                     .inTemplate(Step->str()));
       return R;
     }
     Applied = NextNest.take();
     AppliedThrough = Stage;
     State = NestTypeState::fromNest(Applied);
     CurDeps = Step->mapDependences(CurDeps);
+    if (overflowed())
+      return R;
   }
 
   // The uniform dependence test on the final mapped set.
   R.FinalDeps = std::move(CurDeps);
   for (const DepVector &V : R.FinalDeps.vectors()) {
     if (V.canBeLexNegative()) {
-      R.Legal = false;
-      R.Reason = "transformed dependence vector " + V.str() +
-                 " admits a lexicographically negative tuple";
+      R.reject(RK::LexNegative,
+               Diag::error("transformed dependence vector " + V.str() +
+                           " admits a lexicographically negative tuple"));
       return R;
     }
   }

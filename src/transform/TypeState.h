@@ -98,6 +98,9 @@ struct LoopTypeInfo {
   /// True when the start bound is a splittable max/min list (affects the
   /// Unimodular normalization precondition).
   bool StartComposite = false;
+  /// Same for the end bound; a reversal turns the end into the start, so
+  /// compositeness must be tracked on both sides.
+  bool EndComposite = false;
 };
 
 /// The whole nest's type state.

@@ -88,6 +88,81 @@ TEST(Script, Errors) {
   EXPECT_NE(S.message().find("line 2"), std::string::npos) << S.message();
 }
 
+TEST(Script, ErrorsOnMalformedDirectives) {
+  // Missing operands, junk operands, and trailing garbage all fail.
+  EXPECT_FALSE(static_cast<bool>(parseTransformScript("reverse\n", 2)));
+  EXPECT_FALSE(static_cast<bool>(parseTransformScript("reverse x\n", 2)));
+  EXPECT_FALSE(static_cast<bool>(parseTransformScript("block 1 2\n", 3)));
+  EXPECT_FALSE(static_cast<bool>(parseTransformScript("coalesce 1\n", 3)));
+  EXPECT_FALSE(
+      static_cast<bool>(parseTransformScript("parallelize 1 2 3\n", 2)));
+  EXPECT_FALSE(static_cast<bool>(parseTransformScript("skew 2 1\n", 2)));
+  EXPECT_FALSE(
+      static_cast<bool>(parseTransformScript("interleave 1 2\n", 3)));
+}
+
+TEST(Script, ErrorsOnOutOfRangePositions) {
+  // Positions are 1-based; 0 and past-the-end both fail, for every
+  // position-bearing directive.
+  EXPECT_FALSE(static_cast<bool>(parseTransformScript("reverse 0\n", 2)));
+  EXPECT_FALSE(static_cast<bool>(parseTransformScript("reverse 3\n", 2)));
+  EXPECT_FALSE(static_cast<bool>(parseTransformScript("permute 0 1\n", 2)));
+  EXPECT_FALSE(static_cast<bool>(parseTransformScript("block 0 2 4\n", 2)));
+  EXPECT_FALSE(
+      static_cast<bool>(parseTransformScript("coalesce 2 4\n", 3)));
+  EXPECT_FALSE(
+      static_cast<bool>(parseTransformScript("parallelize 0 1\n", 2)));
+  EXPECT_FALSE(
+      static_cast<bool>(parseTransformScript("interleave 3 3 2\n", 2)));
+  EXPECT_FALSE(static_cast<bool>(parseTransformScript("stripmine 0 4\n", 2)));
+  EXPECT_FALSE(static_cast<bool>(parseTransformScript("skew 1 3 1\n", 2)));
+}
+
+TEST(Script, ErrorsOnBadUnimodularMatrices) {
+  // Non-square rows.
+  EXPECT_FALSE(
+      static_cast<bool>(parseTransformScript("unimodular 1 0 / 0\n", 2)));
+  // Row count != nest depth.
+  EXPECT_FALSE(
+      static_cast<bool>(parseTransformScript("unimodular 1 0 / 0 1\n", 3)));
+  // Singular (determinant 0).
+  EXPECT_FALSE(
+      static_cast<bool>(parseTransformScript("unimodular 1 1 / 1 1\n", 2)));
+  // |det| != 1.
+  EXPECT_FALSE(
+      static_cast<bool>(parseTransformScript("unimodular 2 0 / 0 1\n", 2)));
+  // Coefficient overflows int64: rejected cleanly, not UB.
+  EXPECT_FALSE(static_cast<bool>(parseTransformScript(
+      "unimodular 99999999999999999999 0 / 0 1\n", 2)));
+}
+
+TEST(Script, MultiErrorRecoveryReportsEveryBadLine) {
+  // The parser keeps going after an error, so one pass reports them all.
+  ErrorOr<TransformSequence> S = parseTransformScript("frobnicate 1 2\n"
+                                                      "interchange 1 2\n"
+                                                      "reverse 9\n"
+                                                      "unimodular 1 / 2\n",
+                                                      2);
+  ASSERT_FALSE(static_cast<bool>(S));
+  std::vector<unsigned> ErrorLines;
+  for (const Diag &D : S.diags())
+    if (D.Severity == DiagSeverity::Error)
+      ErrorLines.push_back(D.Line);
+  EXPECT_EQ(ErrorLines, (std::vector<unsigned>{1, 3, 4})) << S.message();
+}
+
+TEST(Script, DiagnosticsCarryStructuredLocations) {
+  ErrorOr<TransformSequence> S =
+      parseTransformScript("interchange 1 2\nblock 0 1 4\n", 2);
+  ASSERT_FALSE(static_cast<bool>(S));
+  ASSERT_GE(S.diags().size(), 1u);
+  const Diag &D = S.diags().front();
+  EXPECT_EQ(D.Line, 2u);
+  EXPECT_EQ(D.TemplateName, "block");
+  // The rendered message still mentions the line for humans.
+  EXPECT_NE(S.message().find("line 2"), std::string::npos) << S.message();
+}
+
 TEST(Script, Figure7ScriptEndToEnd) {
   // The whole Appendix A pipeline as a script, verified by execution.
   ErrorOr<LoopNest> N = parseLoopNest("arrays B, C\n"
