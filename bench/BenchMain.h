@@ -1,0 +1,129 @@
+//===- bench/BenchMain.h - Shared benchmark entry point -------------------===//
+//
+// Part of the IRLT project: a reproduction of Sarkar & Thekkath,
+// "A General Framework for Iteration-Reordering Loop Transformations"
+// (PLDI 1992). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every bench_* binary uses IRLT_BENCHMARK_MAIN() instead of google
+/// benchmark's BENCHMARK_MAIN() so the suite can be machine-read:
+///
+///   bench_fig7_matmul                 # human console output, as before
+///   bench_fig7_matmul --json          # one JSON object per line to stdout
+///   bench_fig7_matmul --json=FILE     # same, appended to FILE
+///
+/// Each line carries the benchmark name, iteration count, wall time per
+/// iteration in nanoseconds, and every user counter the benchmark set
+/// (miss ratios, tile counts, parallelism scores...). bench/run_all.sh
+/// aggregates the whole suite into BENCH_search.json.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRLT_BENCH_BENCHMAIN_H
+#define IRLT_BENCH_BENCHMAIN_H
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace irlt {
+namespace bench {
+
+/// Reports each finished run as a single JSON object on its own line
+/// (JSON-lines: trivially concatenable across binaries).
+class JsonLineReporter : public benchmark::BenchmarkReporter {
+public:
+  explicit JsonLineReporter(std::ostream &OS) : OS(OS) {}
+
+  bool ReportContext(const Context &) override { return true; }
+
+  void ReportRuns(const std::vector<Run> &Runs) override {
+    for (const Run &R : Runs) {
+      OS << "{\"name\":\"" << escaped(R.benchmark_name()) << "\"";
+      if (R.error_occurred) {
+        OS << ",\"error\":\"" << escaped(R.error_message) << "\"}\n";
+        continue;
+      }
+      double Iters = R.iterations ? static_cast<double>(R.iterations) : 1.0;
+      OS << ",\"iterations\":" << R.iterations << ",\"ns_per_iter\":"
+         << R.real_accumulated_time / Iters * 1e9;
+      for (const auto &[Name, Counter] : R.counters)
+        OS << ",\"" << escaped(Name) << "\":" << Counter.value;
+      OS << "}\n";
+    }
+  }
+
+private:
+  static std::string escaped(const std::string &S) {
+    std::string Out;
+    Out.reserve(S.size());
+    for (char C : S) {
+      if (C == '"' || C == '\\')
+        Out.push_back('\\');
+      if (static_cast<unsigned char>(C) < 0x20)
+        C = ' ';
+      Out.push_back(C);
+    }
+    return Out;
+  }
+
+  std::ostream &OS;
+};
+
+/// The shared main: peels --json[=FILE] off argv, hands the rest to
+/// google benchmark, and picks the reporter accordingly.
+inline int benchmarkMain(int argc, char **argv) {
+  bool Json = false;
+  std::string JsonFile;
+  std::vector<char *> Args;
+  Args.reserve(static_cast<size_t>(argc));
+  for (int I = 0; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--json") == 0) {
+      Json = true;
+    } else if (std::strncmp(argv[I], "--json=", 7) == 0) {
+      Json = true;
+      JsonFile = argv[I] + 7;
+    } else {
+      Args.push_back(argv[I]);
+    }
+  }
+  int Argc = static_cast<int>(Args.size());
+  benchmark::Initialize(&Argc, Args.data());
+  if (benchmark::ReportUnrecognizedArguments(Argc, Args.data()))
+    return 1;
+
+  if (!Json) {
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+  }
+
+  std::ofstream File;
+  if (!JsonFile.empty()) {
+    File.open(JsonFile, std::ios::app);
+    if (!File) {
+      std::cerr << "error: cannot open " << JsonFile << " for writing\n";
+      return 1;
+    }
+  }
+  JsonLineReporter Reporter(JsonFile.empty() ? std::cout : File);
+  benchmark::RunSpecifiedBenchmarks(&Reporter);
+  benchmark::Shutdown();
+  return 0;
+}
+
+} // namespace bench
+} // namespace irlt
+
+#define IRLT_BENCHMARK_MAIN()                                                  \
+  int main(int argc, char **argv) {                                            \
+    return irlt::bench::benchmarkMain(argc, argv);                             \
+  }
+
+#endif // IRLT_BENCH_BENCHMAIN_H

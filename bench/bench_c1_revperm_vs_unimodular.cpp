@@ -15,6 +15,8 @@
 
 #include "eval/Evaluator.h"
 
+#include "BenchMain.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace irlt;
@@ -121,4 +123,4 @@ BENCHMARK(BM_GeneratedOverheadPerIteration)->Arg(0)->Arg(1)->Unit(
 
 } // namespace
 
-BENCHMARK_MAIN();
+IRLT_BENCHMARK_MAIN();

@@ -15,6 +15,8 @@
 #include "baseline/RectangularTile.h"
 #include "eval/Evaluator.h"
 
+#include "BenchMain.h"
+
 #include <benchmark/benchmark.h>
 
 #include <set>
@@ -119,4 +121,4 @@ BENCHMARK(BM_TileSweepBlockSize)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Unit(
 
 } // namespace
 
-BENCHMARK_MAIN();
+IRLT_BENCHMARK_MAIN();

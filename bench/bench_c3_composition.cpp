@@ -10,6 +10,8 @@
 
 #include "BenchNests.h"
 
+#include "BenchMain.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace irlt;
@@ -90,4 +92,4 @@ BENCHMARK(BM_CodegenThroughChain)->Args({8, 0})->Args({8, 1});
 
 } // namespace
 
-BENCHMARK_MAIN();
+IRLT_BENCHMARK_MAIN();

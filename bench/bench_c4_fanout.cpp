@@ -10,6 +10,8 @@
 
 #include "BenchNests.h"
 
+#include "BenchMain.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace irlt;
@@ -94,4 +96,4 @@ BENCHMARK(BM_RepeatedBlockingGrowth);
 
 } // namespace
 
-BENCHMARK_MAIN();
+IRLT_BENCHMARK_MAIN();

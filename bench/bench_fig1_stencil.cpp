@@ -12,6 +12,8 @@
 
 #include "eval/Evaluator.h"
 
+#include "BenchMain.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace irlt;
@@ -95,4 +97,4 @@ static void BM_Fig1ExecuteTransformed(benchmark::State &State) {
 }
 BENCHMARK(BM_Fig1ExecuteTransformed)->Arg(64);
 
-BENCHMARK_MAIN();
+IRLT_BENCHMARK_MAIN();

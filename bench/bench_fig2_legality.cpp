@@ -13,6 +13,8 @@
 
 #include "transform/AutoPar.h"
 
+#include "BenchMain.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace irlt;
@@ -134,4 +136,4 @@ BENCHMARK(BM_AutoParSearch)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+IRLT_BENCHMARK_MAIN();

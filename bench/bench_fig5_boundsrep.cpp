@@ -12,6 +12,8 @@
 #include "bounds/BoundsMatrices.h"
 #include "transform/TypeState.h"
 
+#include "BenchMain.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace irlt;
@@ -117,4 +119,4 @@ BENCHMARK(BM_MatrixRendering);
 
 } // namespace
 
-BENCHMARK_MAIN();
+IRLT_BENCHMARK_MAIN();

@@ -13,6 +13,8 @@
 #include "cachesim/Cache.h"
 #include "eval/Evaluator.h"
 
+#include "BenchMain.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace irlt;
@@ -100,4 +102,4 @@ BENCHMARK(BM_Fig7ParallelismOfJic)->Arg(16)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+IRLT_BENCHMARK_MAIN();

@@ -12,6 +12,8 @@
 
 #include "BenchNests.h"
 
+#include "BenchMain.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace irlt;
@@ -67,4 +69,4 @@ static void BM_SequenceConcatenation(benchmark::State &State) {
 }
 BENCHMARK(BM_SequenceConcatenation);
 
-BENCHMARK_MAIN();
+IRLT_BENCHMARK_MAIN();

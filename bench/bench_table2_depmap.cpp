@@ -11,6 +11,8 @@
 
 #include "BenchNests.h"
 
+#include "BenchMain.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace irlt;
@@ -98,4 +100,4 @@ BENCHMARK(BM_MapCoalesce)->Arg(4)->Arg(32)->Arg(256);
 
 } // namespace
 
-BENCHMARK_MAIN();
+IRLT_BENCHMARK_MAIN();

@@ -9,6 +9,8 @@
 
 #include "BenchNests.h"
 
+#include "BenchMain.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace irlt;
@@ -87,4 +89,4 @@ BENCHMARK(BM_ApplyDeepUnimodular)->Arg(2)->Arg(3)->Arg(4)->Arg(5);
 
 } // namespace
 
-BENCHMARK_MAIN();
+IRLT_BENCHMARK_MAIN();

@@ -9,6 +9,8 @@
 
 #include "BenchNests.h"
 
+#include "BenchMain.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace irlt;
@@ -70,4 +72,4 @@ BENCHMARK(BM_BlockDepFanOut)->Arg(2)->Arg(3)->Arg(4)->Arg(5)->Arg(6);
 
 } // namespace
 
-BENCHMARK_MAIN();
+IRLT_BENCHMARK_MAIN();

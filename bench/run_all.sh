@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Runs every bench_* binary from a build tree in --json mode and
+# aggregates the per-scenario records into one JSON document, so the
+# perf trajectory can be tracked across commits.
+#
+#   bench/run_all.sh [BUILD_DIR] [OUT_FILE]
+#
+# Defaults: BUILD_DIR=build, OUT_FILE=BENCH_search.json. Extra
+# benchmark flags can be passed via IRLT_BENCH_ARGS (e.g.
+# IRLT_BENCH_ARGS=--benchmark_min_time=0.01 for a quick pass).
+set -u
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_search.json}"
+BENCH_DIR="$BUILD_DIR/bench"
+
+if ! ls "$BENCH_DIR"/bench_* >/dev/null 2>&1; then
+  echo "error: no bench_* binaries under $BENCH_DIR (build first?)" >&2
+  exit 1
+fi
+
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+STATUS=0
+for BIN in "$BENCH_DIR"/bench_*; do
+  [ -x "$BIN" ] || continue
+  NAME="$(basename "$BIN")"
+  echo "running $NAME..." >&2
+  if ! "$BIN" --json ${IRLT_BENCH_ARGS:-} >>"$TMP"; then
+    echo "warning: $NAME failed; its records are omitted" >&2
+    STATUS=1
+  fi
+done
+
+# Wrap the JSON lines into a single document.
+{
+  printf '{\n  "suite": "irlt-bench",\n  "results": [\n'
+  FIRST=1
+  while IFS= read -r LINE; do
+    [ -n "$LINE" ] || continue
+    if [ "$FIRST" -eq 1 ]; then FIRST=0; else printf ',\n'; fi
+    printf '    %s' "$LINE"
+  done <"$TMP"
+  printf '\n  ]\n}\n'
+} >"$OUT"
+
+echo "wrote $OUT" >&2
+exit "$STATUS"

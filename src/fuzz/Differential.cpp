@@ -11,6 +11,7 @@
 #include "eval/Verify.h"
 #include "fuzz/ScriptGen.h"
 #include "ir/Parser.h"
+#include "search/Search.h"
 #include "support/MathUtils.h"
 #include "transform/Sequence.h"
 #include "transform/TypeState.h"
@@ -204,5 +205,97 @@ CaseOutcome irlt::fuzz::runCase(const FuzzCase &C,
                      "reduced sequence diverged: " + VR.Problem);
   }
 
+  return outcome(Category::Legal);
+}
+
+CaseOutcome irlt::fuzz::runSearchCase(const FuzzCase &C,
+                                      const DifferentialOptions &Opts) {
+  ErrorOr<LoopNest> NestOr = parseLoopNest(C.Nest.render());
+  if (!NestOr)
+    return outcome(Category::OracleFailure,
+                   "generated nest failed to parse: " + NestOr.message());
+  LoopNest Nest = NestOr.take();
+
+  DepSet D;
+  {
+    OverflowGuard G;
+    D = analyzeDependences(Nest);
+    if (G.triggered())
+      return outcome(Category::OverflowRejected,
+                     "dependence analysis overflowed");
+  }
+  if (!D.allLexNonNegative())
+    return outcome(Category::SourceSkipped,
+                   "conservative summaries reject the source nest");
+
+  // A small but real slice of the search space: one step plus the
+  // trailing Parallelize, beam 4. The cost model runs under the first
+  // binding set so huge generated bounds stay inside the trace budget.
+  search::SearchOptions SO;
+  SO.Obj = search::Objective::Both;
+  SO.Depth = 1;
+  SO.Beam = 4;
+  SO.TopK = 3;
+  SO.MaxTraceInstances = Opts.MaxInstances;
+  if (!Opts.Bindings.empty())
+    SO.CostParams = Opts.Bindings.front();
+
+  search::SearchResult R = search::searchTransformations(Nest, D, SO);
+  if (!R.Error.empty()) {
+    // Nests the cost model cannot execute (opaque calls) still go through
+    // the parallelism-only objective, which never runs the nest.
+    SO.Obj = search::Objective::Parallelism;
+    R = search::searchTransformations(Nest, D, SO);
+    if (!R.Error.empty())
+      return outcome(Category::SourceSkipped, R.Error);
+  }
+
+  // Determinism: a second run with two workers must be byte-identical.
+  search::SearchOptions SO2 = SO;
+  SO2.Threads = 2;
+  search::SearchResult R2 = search::searchTransformations(Nest, D, SO2);
+  if (R.Best.has_value() != R2.Best.has_value() ||
+      (R.Best && R.Best->Key != R2.Best->Key) ||
+      R.Top.size() != R2.Top.size() ||
+      R.Stats.Enumerated != R2.Stats.Enumerated ||
+      R.Stats.Pruned != R2.Stats.Pruned ||
+      R.Stats.Deduped != R2.Stats.Deduped ||
+      R.Stats.Leaves != R2.Stats.Leaves || R.Stats.Legal != R2.Stats.Legal)
+    return outcome(Category::OracleFailure,
+                   "search result differs between 1 and 2 threads");
+
+  // No candidate is a legitimate outcome (e.g. fully serial nests under
+  // the parallelism objective).
+  if (!R.Best)
+    return outcome(Category::Legal, "search returned no candidate");
+
+  for (const search::ScoredSequence &S : R.Top) {
+    LegalityResult L = isLegal(S.Seq, Nest, D);
+    if (!L.Legal)
+      return outcome(Category::OracleFailure,
+                     "search reported an illegal candidate <" + S.Key +
+                         ">: " + L.Reason);
+    ErrorOr<LoopNest> Out = applySequence(S.Seq, Nest);
+    if (!Out)
+      return outcome(Category::OracleFailure,
+                     "search candidate failed to apply: " + Out.message());
+    for (const auto &Binding : Opts.Bindings) {
+      EvalConfig EC;
+      EC.Params = Binding;
+      EC.MaxInstances = Opts.MaxInstances;
+      EC.WallBudgetMillis = Opts.WallBudgetMillis;
+      OverflowGuard G;
+      VerifyResult V = verifyTransformed(Nest, *Out, EC);
+      if (G.triggered())
+        return outcome(Category::OverflowRejected,
+                       "evaluation arithmetic overflowed (search)");
+      if (V.BudgetExceeded)
+        return outcome(Category::BudgetExceeded, V.Problem);
+      if (!V.Ok)
+        return outcome(Category::OracleFailure,
+                       "search candidate is not equivalence-preserving: " +
+                           V.Problem);
+    }
+  }
   return outcome(Category::Legal);
 }

@@ -20,6 +20,10 @@
 ///     preserving).
 ///  4. *Parser recovery*: deliberately corrupted scripts must fail with
 ///     at least one diagnostic per corrupted line.
+///  5. *Search winners* (--search mode): every candidate the beam search
+///     reports for a generated nest must pass the full uniform legality
+///     test and concrete-execution verification, and the whole result
+///     must be invariant under the worker thread count.
 ///
 /// Arithmetic overflow anywhere in the pipeline (huge generated
 /// coefficients) must surface as a clean rejection - OverflowGuard
@@ -89,6 +93,13 @@ struct CaseOutcome {
 
 /// Runs one case through the oracle.
 CaseOutcome runCase(const FuzzCase &C, const DifferentialOptions &Opts);
+
+/// Runs one *search-mode* case: the generated nest (the script is
+/// ignored) is handed to the transformation search engine, and every
+/// reported candidate must pass the full legality test and
+/// verifyTransformed under each binding set; the winner, top-k keys and
+/// stats must also be identical for 1 and 2 worker threads.
+CaseOutcome runSearchCase(const FuzzCase &C, const DifferentialOptions &Opts);
 
 } // namespace fuzz
 } // namespace irlt

@@ -52,11 +52,15 @@ bool dumpReproducer(const FuzzOptions &Opts, const FuzzCase &C,
         << "seed: " << C.Seed << "\n"
         << "corrupted-lines: " << C.CorruptedLines << "\n"
         << "detail: " << Detail << "\n\n"
-        << "replay:\n"
-        << "  irlt-opt " << NestPath << " -f " << ScriptPath
-        << " --legality --verify n=6,m=4,b=2\n"
-        << "  irlt-opt " << NestPath << " -f " << ScriptPath
-        << " --fast-legality\n";
+        << "replay:\n";
+    if (Opts.SearchMode)
+      Out << "  irlt-search " << NestPath
+          << " --objective both --depth 1 --beam 4 --topk 3 --explain\n";
+    else
+      Out << "  irlt-opt " << NestPath << " -f " << ScriptPath
+          << " --legality --verify n=6,m=4,b=2\n"
+          << "  irlt-opt " << NestPath << " -f " << ScriptPath
+          << " --fast-legality\n";
   }
   Rec.NestPath = NestPath;
   Rec.ScriptPath = ScriptPath;
@@ -96,7 +100,7 @@ FuzzStats irlt::fuzz::runFuzzer(const FuzzOptions &Opts) {
   FuzzStats Stats;
   for (uint64_t Index = 0; Index < Opts.Cases; ++Index) {
     FuzzCase C = generateCase(Opts, Index);
-    CaseOutcome O = runCase(C, DO);
+    CaseOutcome O = Opts.SearchMode ? runSearchCase(C, DO) : runCase(C, DO);
     ++Stats.Count[static_cast<unsigned>(O.Cat)];
 
     if (Opts.Verbose)
@@ -115,7 +119,9 @@ FuzzStats irlt::fuzz::runFuzzer(const FuzzOptions &Opts) {
     Rec.Detail = O.Detail;
 
     FuzzCase Min = C;
-    if (Opts.Shrink) {
+    // The shrinker minimizes against the script oracle; search-mode
+    // failures are dumped as-is (the script plays no part in them).
+    if (Opts.Shrink && !Opts.SearchMode) {
       Min = shrinkCase(C, DO);
       // The shrunk case's own detail is the one worth reporting.
       CaseOutcome MO = runCase(Min, DO);

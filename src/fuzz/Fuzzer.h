@@ -48,6 +48,10 @@ struct FuzzOptions {
   /// Percent of cases run in overflow / corrupt-script mode.
   unsigned OverflowPercent = 6;
   unsigned CorruptPercent = 8;
+  /// Search mode: feed each generated nest to the beam search and check
+  /// every reported candidate (full legality + execution verify +
+  /// thread-count invariance) instead of fuzzing scripts.
+  bool SearchMode = false;
 };
 
 struct FailureRecord {

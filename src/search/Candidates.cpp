@@ -1,0 +1,157 @@
+//===- search/Candidates.cpp - Search-space candidate generation ----------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "search/Candidates.h"
+
+#include "support/MathUtils.h"
+
+#include <algorithm>
+#include <functional>
+#include <optional>
+
+using namespace irlt;
+using namespace irlt::search;
+
+namespace {
+
+/// Completes hyperplane row \p H (which must contain a +-1 entry) into a
+/// unimodular matrix: H first, then unit rows for every position except
+/// the pivot. Mirrors the AutoPar wavefront construction so the engine's
+/// parallelism preset reproduces its candidate space exactly.
+std::optional<UnimodularMatrix>
+completeWavefront(const std::vector<int64_t> &H) {
+  unsigned N = static_cast<unsigned>(H.size());
+  unsigned Pivot = N;
+  for (unsigned K = 0; K < N; ++K)
+    if (H[K] == 1 || H[K] == -1) {
+      Pivot = K;
+      break;
+    }
+  if (Pivot == N)
+    return std::nullopt;
+  UnimodularMatrix M(N);
+  for (unsigned C = 0; C < N; ++C)
+    M.set(0, C, H[C]);
+  unsigned Row = 1;
+  for (unsigned K = 0; K < N; ++K) {
+    if (K == Pivot)
+      continue;
+    M.set(Row++, K, 1);
+  }
+  if (!M.isUnimodular())
+    return std::nullopt;
+  return M;
+}
+
+void addPermutations(unsigned N, const CandidateOptions &Opts,
+                     std::vector<TemplateRef> &Out) {
+  if (N < 1)
+    return;
+  if (N <= Opts.FullPermuteLimit) {
+    // Full signed permutations, identity excluded (it is the empty step).
+    std::vector<unsigned> Perm(N);
+    for (unsigned K = 0; K < N; ++K)
+      Perm[K] = K;
+    do {
+      unsigned RevCount = Opts.Reversals ? (1u << N) : 1u;
+      for (unsigned RevMask = 0; RevMask < RevCount; ++RevMask) {
+        std::vector<bool> Rev(N);
+        for (unsigned K = 0; K < N; ++K)
+          Rev[K] = (RevMask >> K) & 1;
+        bool Identity = RevMask == 0;
+        for (unsigned K = 0; K < N && Identity; ++K)
+          Identity = Perm[K] == K;
+        if (Identity)
+          continue;
+        Out.push_back(makeReversePermute(N, Rev, Perm));
+      }
+    } while (std::next_permutation(Perm.begin(), Perm.end()));
+    return;
+  }
+  // Deep nests: pairwise interchanges and single reversals only.
+  for (unsigned A = 0; A < N; ++A)
+    for (unsigned B = A + 1; B < N; ++B)
+      Out.push_back(makeInterchange(N, A, B));
+  if (Opts.Reversals)
+    for (unsigned K = 0; K < N; ++K) {
+      std::vector<bool> Rev(N, false);
+      Rev[K] = true;
+      std::vector<unsigned> Perm(N);
+      for (unsigned P = 0; P < N; ++P)
+        Perm[P] = P;
+      Out.push_back(makeReversePermute(N, Rev, Perm));
+    }
+}
+
+void addWavefronts(unsigned N, const CandidateOptions &Opts,
+                   std::vector<TemplateRef> &Out) {
+  if (N < 2 || N > Opts.WavefrontLimit)
+    return;
+  std::vector<int64_t> H(N, 0);
+  std::function<void(unsigned)> Recurse = [&](unsigned K) {
+    if (K == N) {
+      unsigned NonZero = 0;
+      int64_t G = 0;
+      for (int64_t V : H) {
+        NonZero += V != 0;
+        G = gcd(G, V);
+      }
+      if (NonZero < 2 || G != 1)
+        return;
+      if (std::optional<UnimodularMatrix> M = completeWavefront(H))
+        Out.push_back(makeUnimodular(N, *M));
+      return;
+    }
+    for (int64_t V = 0; V <= Opts.MaxSkew; ++V) {
+      H[K] = V;
+      Recurse(K + 1);
+    }
+    H[K] = 0;
+  };
+  Recurse(0);
+}
+
+void addBlocks(unsigned N, const CandidateOptions &Opts,
+               std::vector<TemplateRef> &Out) {
+  if (N < 2 || Opts.TileSizes.empty())
+    return;
+  // Contiguous ranges [I..J] (1-based), length >= 2, uniform tile size.
+  for (unsigned I = 1; I <= N; ++I)
+    for (unsigned J = I + 1; J <= N; ++J) {
+      if (N + (J - I + 1) > Opts.MaxLoops)
+        continue;
+      for (int64_t T : Opts.TileSizes) {
+        std::vector<ExprRef> BSize(J - I + 1, Expr::intConst(T));
+        Out.push_back(makeBlock(N, I, J, std::move(BSize)));
+      }
+    }
+}
+
+void addInterleaves(unsigned N, const CandidateOptions &Opts,
+                    std::vector<TemplateRef> &Out) {
+  if (N < 1 || Opts.InterleaveFactors.empty())
+    return;
+  for (unsigned K = 1; K <= N; ++K) {
+    if (N + 1 > Opts.MaxLoops)
+      continue;
+    for (int64_t F : Opts.InterleaveFactors)
+      Out.push_back(makeInterleave(N, K, K, {Expr::intConst(F)}));
+  }
+}
+
+} // namespace
+
+std::vector<TemplateRef>
+irlt::search::stepCandidates(unsigned N, const CandidateOptions &Opts) {
+  std::vector<TemplateRef> Out;
+  if (Opts.Permutations)
+    addPermutations(N, Opts, Out);
+  if (Opts.Wavefronts)
+    addWavefronts(N, Opts, Out);
+  addBlocks(N, Opts, Out);
+  addInterleaves(N, Opts, Out);
+  return Out;
+}

@@ -1,0 +1,78 @@
+//===- search/Candidates.h - Search-space candidate generation -----------===//
+//
+// Part of the IRLT project: a reproduction of Sarkar & Thekkath,
+// "A General Framework for Iteration-Reordering Loop Transformations"
+// (PLDI 1992). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-step candidate generation for the transformation search engine
+/// (docs/SEARCH.md). Each step of a candidate sequence is one kernel
+/// template instantiation drawn from a bounded space:
+///
+///  - ReversePermute: all signed permutations when the nest is shallow,
+///    degrading to pairwise interchanges + single reversals on deep
+///    (post-Block) nests - the factorial space must not be walked at
+///    depth 5+ (cf. Acharya & Bondhugula, arXiv:1803.10726);
+///  - Unimodular: wavefront/skew matrices with small non-negative
+///    hyperplane coefficients, completed to a unimodular basis;
+///  - Block: every contiguous loop range of length >= 2, each with a
+///    uniform tile size drawn from the candidate set;
+///  - Interleave: single-loop phase splits with the same factor set.
+///
+/// Parallelize is *not* generated here: it is always the trailing step,
+/// chosen greedily against the final mapped dependence set by the
+/// driver (src/search/Search.cpp).
+///
+/// Enumeration order is deterministic and documented: template family
+/// order as listed above, then lexicographic within the family. The
+/// parallel beam driver relies on that order being reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRLT_SEARCH_CANDIDATES_H
+#define IRLT_SEARCH_CANDIDATES_H
+
+#include "transform/Templates.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace irlt {
+namespace search {
+
+/// Knobs bounding the per-step candidate space.
+struct CandidateOptions {
+  /// Include ReversePermute candidates (perms and reversals).
+  bool Permutations = true;
+  /// Include reversal bits in permutation candidates.
+  bool Reversals = true;
+  /// Full signed-permutation enumeration up to this many loops; deeper
+  /// nests fall back to pairwise interchanges and single reversals.
+  unsigned FullPermuteLimit = 4;
+  /// Include wavefront (skewing) Unimodular candidates.
+  bool Wavefronts = true;
+  /// Largest hyperplane coefficient tried for wavefronts.
+  int64_t MaxSkew = 2;
+  /// Wavefronts are only enumerated up to this many loops (the space is
+  /// (MaxSkew+1)^n).
+  unsigned WavefrontLimit = 4;
+  /// Tile sizes tried for Block; empty disables Block candidates.
+  std::vector<int64_t> TileSizes = {8, 16};
+  /// Interleave factors tried for single loops; empty disables.
+  std::vector<int64_t> InterleaveFactors = {};
+  /// Candidates whose output nest would exceed this many loops are not
+  /// generated (Block/Interleave grow the nest).
+  unsigned MaxLoops = 8;
+};
+
+/// Enumerates the candidate templates for one search step on a nest of
+/// \p N loops, in the deterministic order documented above.
+std::vector<TemplateRef> stepCandidates(unsigned N,
+                                        const CandidateOptions &Opts);
+
+} // namespace search
+} // namespace irlt
+
+#endif // IRLT_SEARCH_CANDIDATES_H

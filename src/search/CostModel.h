@@ -1,0 +1,93 @@
+//===- search/CostModel.h - Simulated-locality cost model ----------------===//
+//
+// Part of the IRLT project: a reproduction of Sarkar & Thekkath,
+// "A General Framework for Iteration-Reordering Loop Transformations"
+// (PLDI 1992). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The effectiveness half of the Section 5/6 optimizer story: rank legal
+/// transformation alternatives without committing to any. A candidate
+/// sequence is applied to a scratch copy of the nest, executed by the
+/// evaluator under *small* parameter bindings with access recording on,
+/// and the trace replayed through the set-associative cache simulator
+/// (src/cachesim/); the resulting miss ratio is the locality cost.
+///
+/// Measurements are memoized on the sequence's reduce()-canonicalized
+/// rendering, so peephole-equivalent prefixes (e.g. two adjacent
+/// Unimodular steps and their fused form) are costed exactly once across
+/// the whole beam - including across worker threads; the memo is
+/// mutex-guarded and a cache entry's value is deterministic because the
+/// evaluator and simulator are.
+///
+/// Parallelize never changes the sequential trace, so the trailing
+/// Parallelize step the driver appends shares the prefix's measurement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRLT_SEARCH_COSTMODEL_H
+#define IRLT_SEARCH_COSTMODEL_H
+
+#include "cachesim/Cache.h"
+#include "transform/Sequence.h"
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace irlt {
+namespace search {
+
+/// Configuration of the locality measurement.
+struct CostModelOptions {
+  /// Parameter bindings the evaluator runs under. Must bind every free
+  /// (non-index) symbol of the nest; defaultBindings() fills them in.
+  std::map<std::string, int64_t> Params;
+  /// Geometry of the simulated cache.
+  CacheConfig Cache{8 * 1024, 64, 4};
+  /// Evaluator instance budget per measurement; a candidate whose trace
+  /// exceeds it gets no cost (and is pruned by the driver).
+  uint64_t MaxInstances = 1'000'000;
+};
+
+/// Memoizing miss-ratio oracle for one source nest.
+class CostModel {
+public:
+  CostModel(const LoopNest &Nest, CostModelOptions Opts);
+
+  /// Simulated miss ratio of Seq(Nest) in [0, 1], or nullopt when the
+  /// sequence cannot be applied/executed under the bindings (apply
+  /// failure, overflow, instance budget). Memoized on \p Key, which must
+  /// be the reduce()-canonical rendering of \p Seq. Thread-safe.
+  std::optional<double> missRatio(const TransformSequence &Seq,
+                                  const std::string &Key);
+
+  /// Miss ratio of the untransformed nest (the empty sequence).
+  std::optional<double> baseline();
+
+  /// Why the model cannot run at all (e.g. the nest calls an opaque
+  /// function the evaluator cannot bind); empty when usable.
+  const std::string &unusableReason() const { return Unusable; }
+
+  /// Default small bindings: every free (non-index) symbol of \p Nest
+  /// mapped to 24 - big enough that a 3-deep nest's working set spills a
+  /// tiny cache, small enough to trace in milliseconds.
+  static std::map<std::string, int64_t> defaultBindings(const LoopNest &Nest);
+
+private:
+  const LoopNest &Nest;
+  CostModelOptions Opts;
+  std::string Unusable;
+  std::mutex MemoMutex;
+  std::unordered_map<std::string, std::optional<double>> Memo;
+
+  std::optional<double> measure(const TransformSequence &Seq);
+};
+
+} // namespace search
+} // namespace irlt
+
+#endif // IRLT_SEARCH_COSTMODEL_H

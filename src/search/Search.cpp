@@ -1,0 +1,354 @@
+//===- search/Search.cpp - Cost-model-guided transformation search --------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "search/Search.h"
+
+#include "support/MathUtils.h"
+#include "transform/Templates.h"
+#include "transform/TypeState.h"
+
+#include <algorithm>
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <set>
+#include <thread>
+
+using namespace irlt;
+using namespace irlt::search;
+
+namespace {
+
+/// One node of the beam: a transformation prefix that survived the fast
+/// legality pruning, carried entirely in mapped form (type state and
+/// dependence set) - the nest itself is never touched during expansion,
+/// exactly the paper's Section 4.3 efficiency argument.
+struct BeamState {
+  TransformSequence Seq;
+  /// reduce()-canonical rendering: the dedup and tie-break key.
+  std::string Key;
+  NestTypeState Types;
+  DepSet Deps;
+  unsigned OutN = 0;
+  /// Leaf cost of this prefix; ranks the beam.
+  double Cost = 0.0;
+};
+
+/// Deterministic work distribution: workers pull indices from an atomic
+/// counter but only ever write to their own index's slot, so the merged
+/// result is independent of scheduling.
+void parallelFor(size_t Count, unsigned Threads,
+                 const std::function<void(size_t)> &Fn) {
+  if (Threads <= 1 || Count <= 1) {
+    for (size_t I = 0; I < Count; ++I)
+      Fn(I);
+    return;
+  }
+  std::atomic<size_t> Next{0};
+  size_t NumWorkers = std::min<size_t>(Threads, Count);
+  std::vector<std::thread> Workers;
+  Workers.reserve(NumWorkers);
+  for (size_t W = 0; W < NumWorkers; ++W)
+    Workers.emplace_back([&] {
+      for (size_t I = Next.fetch_add(1); I < Count; I = Next.fetch_add(1))
+        Fn(I);
+    });
+  for (std::thread &T : Workers)
+    T.join();
+}
+
+/// Greedy outside-in parallelization on the mapped dependence set
+/// (AutoPar's chooser), or the innermost-only variant for vectorization.
+std::vector<bool> chooseFlags(const DepSet &Mapped, unsigned OutN,
+                              ParMode Mode) {
+  std::vector<bool> Flags(OutN, false);
+  if (OutN == 0)
+    return Flags;
+  if (Mode == ParMode::InnermostOnly) {
+    Flags[OutN - 1] = true;
+    if (!makeParallelize(OutN, Flags)
+             ->mapDependences(Mapped)
+             .allLexNonNegative())
+      Flags[OutN - 1] = false;
+    return Flags;
+  }
+  for (unsigned K = 0; K < OutN; ++K) {
+    Flags[K] = true;
+    if (!makeParallelize(OutN, Flags)
+             ->mapDependences(Mapped)
+             .allLexNonNegative())
+      Flags[K] = false;
+  }
+  return Flags;
+}
+
+/// AutoPar's lexicographic score: parallel loops first, outer positions
+/// worth more, +1 when the base machinery is cheap (Section 4.2).
+long parScoreOf(const std::vector<unsigned> &ParallelLoops, unsigned OutN,
+                bool CheapBase) {
+  long S = 0;
+  for (unsigned P : ParallelLoops)
+    S += 1000 + 10 * static_cast<long>(OutN - P);
+  if (CheapBase)
+    S += 1;
+  return S;
+}
+
+/// Outcome of finishing one state into a reportable candidate.
+struct LeafEval {
+  /// The state stays in the beam (its cost is meaningful).
+  bool StateAlive = false;
+  double StateCost = 0.0;
+  /// A finished candidate was submitted to the full legality test.
+  bool Submitted = false;
+  /// ... and confirmed legal.
+  bool Legal = false;
+  ScoredSequence Cand;
+};
+
+LeafEval finishState(const BeamState &St, const LoopNest &Nest, const DepSet &D,
+                     const SearchOptions &Opts, CostModel *CM) {
+  LeafEval E;
+
+  // A trailing Parallelize, chosen greedily against the final mapped
+  // dependence set - never enumerated as a search step.
+  std::vector<bool> Flags(St.OutN, false);
+  if (Opts.Obj != Objective::Locality)
+    Flags = chooseFlags(St.Deps, St.OutN, Opts.Par);
+  std::vector<unsigned> ParallelLoops;
+  for (unsigned K = 0; K < St.OutN; ++K)
+    if (Flags[K])
+      ParallelLoops.push_back(K);
+
+  bool CheapBase = true;
+  for (const TemplateRef &T : St.Seq.steps())
+    CheapBase &= T->kind() == TransformTemplate::Kind::ReversePermute;
+  long Score =
+      ParallelLoops.empty() ? 0 : parScoreOf(ParallelLoops, St.OutN, CheapBase);
+
+  double Miss = -1.0;
+  if (Opts.Obj != Objective::Parallelism) {
+    // Parallelize does not change the sequential trace, so the prefix's
+    // canonical key shares the measurement with the finished leaf.
+    std::optional<double> M = CM->missRatio(St.Seq, St.Key);
+    if (!M)
+      return E; // unmeasurable: drop the state entirely
+    Miss = *M;
+  }
+
+  switch (Opts.Obj) {
+  case Objective::Locality:
+    E.StateCost = Miss;
+    break;
+  case Objective::Parallelism:
+    E.StateCost = -static_cast<double>(Score);
+    break;
+  case Objective::Both:
+    E.StateCost = Miss - 1e-4 * static_cast<double>(Score);
+    break;
+  }
+  E.StateAlive = true;
+
+  // A parallelism-objective leaf with nothing parallel is not an answer
+  // (mirrors AutoPar returning no candidate), but the prefix may still be
+  // worth expanding.
+  if (Opts.Obj == Objective::Parallelism && ParallelLoops.empty())
+    return E;
+
+  TransformSequence LeafSeq = St.Seq;
+  if (!ParallelLoops.empty())
+    LeafSeq.append(makeParallelize(St.OutN, Flags));
+
+  E.Submitted = true;
+  // Leaves are re-confirmed with the *full* uniform legality test: the
+  // fast path pruned on types only, and the lexicographic test never ran
+  // on intermediate stages.
+  LegalityResult L = isLegal(LeafSeq, Nest, D);
+  if (!L.Legal)
+    return E;
+  E.Legal = true;
+  E.Cand.Key = LeafSeq.reduced().str();
+  E.Cand.Seq = std::move(LeafSeq);
+  E.Cand.Cost = E.StateCost;
+  E.Cand.MissRatio = Miss;
+  E.Cand.ParScore = Score;
+  E.Cand.ParallelLoops = std::move(ParallelLoops);
+  return E;
+}
+
+bool candidateLess(const ScoredSequence &A, const ScoredSequence &B) {
+  if (A.Cost != B.Cost)
+    return A.Cost < B.Cost;
+  return A.Key < B.Key;
+}
+
+} // namespace
+
+SearchResult irlt::search::searchTransformations(const LoopNest &Nest,
+                                                 const DepSet &D,
+                                                 const SearchOptions &Opts) {
+  SearchResult R;
+  unsigned N = Nest.numLoops();
+  if (N == 0)
+    return R;
+
+  std::unique_ptr<CostModel> CM;
+  if (Opts.Obj != Objective::Parallelism) {
+    CostModelOptions CO;
+    CO.Params = Opts.CostParams;
+    CO.Cache = Opts.Cache;
+    CO.MaxInstances = Opts.MaxTraceInstances;
+    CM = std::make_unique<CostModel>(Nest, std::move(CO));
+    if (!CM->unusableReason().empty()) {
+      R.Error = CM->unusableReason();
+      return R;
+    }
+    if (!CM->baseline()) {
+      R.Error = "cost model cannot execute the source nest under the "
+                "chosen parameter bindings";
+      return R;
+    }
+  }
+
+  SearchStats &S = R.Stats;
+  std::vector<ScoredSequence> All;
+
+  // Evaluates every state's leaf in parallel (per-index slots), then
+  // merges stats and candidates in index order; returns the per-state
+  // evaluations so the caller can filter/rank the beam.
+  auto finishAll = [&](const std::vector<BeamState> &States) {
+    std::vector<LeafEval> Evals(States.size());
+    parallelFor(States.size(), Opts.Threads, [&](size_t I) {
+      Evals[I] = finishState(States[I], Nest, D, Opts, CM.get());
+    });
+    for (LeafEval &E : Evals) {
+      if (!E.Submitted)
+        continue;
+      ++S.Leaves;
+      if (E.Legal) {
+        ++S.Legal;
+        All.push_back(std::move(E.Cand));
+      }
+    }
+    return Evals;
+  };
+
+  BeamState Root;
+  Root.Key = Root.Seq.str();
+  Root.Types = NestTypeState::fromNest(Nest);
+  Root.Deps = D;
+  Root.OutN = N;
+  S.Enumerated = 1;
+
+  std::vector<BeamState> Frontier;
+  {
+    std::vector<BeamState> RootVec;
+    RootVec.push_back(std::move(Root));
+    std::vector<LeafEval> Evals = finishAll(RootVec);
+    RootVec[0].Cost = Evals[0].StateCost;
+    if (Evals[0].StateAlive)
+      Frontier.push_back(std::move(RootVec[0]));
+  }
+
+  std::set<std::string> Visited;
+  if (!Frontier.empty())
+    Visited.insert(Frontier[0].Key);
+
+  for (unsigned Level = 1; Level <= Opts.Depth && !Frontier.empty(); ++Level) {
+    // Expansion: each frontier state enumerates its step candidates and
+    // prunes with the fast path - type-state propagation (stage bounds
+    // preconditions on types alone) plus the anchor-dependence side
+    // condition on the *current* mapped set. The lexicographic test is
+    // deliberately absent here: intermediate stages need not be legal.
+    std::vector<std::vector<BeamState>> Slots(Frontier.size());
+    std::vector<uint64_t> Enumerated(Frontier.size(), 0);
+    std::vector<uint64_t> Pruned(Frontier.size(), 0);
+    parallelFor(Frontier.size(), Opts.Threads, [&](size_t I) {
+      const BeamState &St = Frontier[I];
+      std::vector<TemplateRef> Cands = stepCandidates(St.OutN, Opts.Candidates);
+      Enumerated[I] = Cands.size();
+      for (TemplateRef &T : Cands) {
+        OverflowGuard Guard;
+        std::optional<ErrorOr<NestTypeState>> MT = mapTypes(*T, St.Types);
+        if (Guard.triggered() || !MT || !*MT) {
+          ++Pruned[I];
+          continue;
+        }
+        std::string AnchorErr = checkAnchorDependence(*T, St.Types, St.Deps);
+        if (Guard.triggered() || !AnchorErr.empty()) {
+          ++Pruned[I];
+          continue;
+        }
+        DepSet Mapped = T->mapDependences(St.Deps);
+        if (Guard.triggered()) {
+          ++Pruned[I];
+          continue;
+        }
+        BeamState NS;
+        NS.Seq = St.Seq;
+        NS.Seq.append(T);
+        NS.Key = NS.Seq.reduced().str();
+        if (Guard.triggered()) { // reduce() multiplies matrices
+          ++Pruned[I];
+          continue;
+        }
+        NS.Types = MT->take();
+        NS.Deps = std::move(Mapped);
+        NS.OutN = T->outputSize();
+        Slots[I].push_back(std::move(NS));
+      }
+    });
+
+    // Deterministic merge in frontier order; peephole-equivalent states
+    // (same canonical key, at this or any earlier level) collapse to the
+    // first occurrence.
+    std::vector<BeamState> Fresh;
+    for (size_t I = 0; I < Frontier.size(); ++I) {
+      S.Enumerated += Enumerated[I];
+      S.Pruned += Pruned[I];
+      for (BeamState &NS : Slots[I]) {
+        if (!Visited.insert(NS.Key).second) {
+          ++S.Deduped;
+          continue;
+        }
+        Fresh.push_back(std::move(NS));
+      }
+    }
+
+    // Finish every fresh state (cost + leaf confirmation), then keep the
+    // best Beam of them as the next frontier.
+    std::vector<LeafEval> Evals = finishAll(Fresh);
+    std::vector<BeamState> Next;
+    for (size_t I = 0; I < Fresh.size(); ++I) {
+      if (!Evals[I].StateAlive)
+        continue;
+      Fresh[I].Cost = Evals[I].StateCost;
+      Next.push_back(std::move(Fresh[I]));
+    }
+    std::sort(Next.begin(), Next.end(),
+              [](const BeamState &A, const BeamState &B) {
+                if (A.Cost != B.Cost)
+                  return A.Cost < B.Cost;
+                return A.Key < B.Key;
+              });
+    if (Next.size() > Opts.Beam)
+      Next.resize(Opts.Beam);
+    Frontier = std::move(Next);
+  }
+
+  std::sort(All.begin(), All.end(), candidateLess);
+  All.erase(std::unique(All.begin(), All.end(),
+                        [](const ScoredSequence &A, const ScoredSequence &B) {
+                          return A.Key == B.Key;
+                        }),
+            All.end());
+  if (All.size() > Opts.TopK)
+    All.resize(Opts.TopK);
+  R.Top = std::move(All);
+  if (!R.Top.empty())
+    R.Best = R.Top.front();
+  return R;
+}

@@ -25,9 +25,40 @@ TransformSequence::composedWith(const TransformSequence &U) const {
 
 namespace {
 
+/// The signed permutation matrix of a ReversePermute: loop k reversed
+/// when rev[k] and moved to position perm[k] is exactly y[perm[k]] =
+/// +-x[k], so an RP adjacent to a Unimodular fuses into one matrix.
+UnimodularMatrix signedPermMatrix(const ReversePermuteTemplate &R) {
+  unsigned N = R.inputSize();
+  UnimodularMatrix M(N);
+  for (unsigned K = 0; K < N; ++K)
+    M.set(R.perm()[K], K, R.rev()[K] ? -1 : 1);
+  return M;
+}
+
 /// Fuses \p A followed by \p B when both are instances of the same
-/// fusable kind; returns null when no fusion applies.
+/// fusable kind (or an RP/Unimodular mix); returns null when no fusion
+/// applies.
 TemplateRef fuseAdjacent(const TemplateRef &A, const TemplateRef &B) {
+  // Mixed RP/Unimodular adjacency, either order.
+  if (A->kind() == TransformTemplate::Kind::ReversePermute &&
+      B->kind() == TransformTemplate::Kind::Unimodular) {
+    const auto *RA = cast<ReversePermuteTemplate>(A.get());
+    const auto *UB = cast<UnimodularTemplate>(B.get());
+    if (RA->outputSize() != UB->inputSize())
+      return nullptr;
+    return makeUnimodular(RA->inputSize(),
+                          UB->matrix() * signedPermMatrix(*RA));
+  }
+  if (A->kind() == TransformTemplate::Kind::Unimodular &&
+      B->kind() == TransformTemplate::Kind::ReversePermute) {
+    const auto *UA = cast<UnimodularTemplate>(A.get());
+    const auto *RB = cast<ReversePermuteTemplate>(B.get());
+    if (UA->outputSize() != RB->inputSize())
+      return nullptr;
+    return makeUnimodular(UA->inputSize(),
+                          signedPermMatrix(*RB) * UA->matrix());
+  }
   if (A->kind() != B->kind())
     return nullptr;
   switch (A->kind()) {
@@ -78,15 +109,38 @@ TemplateRef fuseAdjacent(const TemplateRef &A, const TemplateRef &B) {
 TransformSequence TransformSequence::reduced() const {
   std::vector<TemplateRef> Out;
   for (const TemplateRef &T : Steps) {
-    if (!Out.empty()) {
-      if (TemplateRef Fused = fuseAdjacent(Out.back(), T)) {
-        Out.back() = std::move(Fused);
-        continue;
-      }
+    // Cascade: a fusion can enable another with the new predecessor
+    // (e.g. RP;RP;Unimodular collapses right to left), so re-try until
+    // the tail is stable - this is what makes reduced() idempotent.
+    TemplateRef Cur = T;
+    while (!Out.empty()) {
+      TemplateRef Fused = fuseAdjacent(Out.back(), Cur);
+      if (!Fused)
+        break;
+      Out.pop_back();
+      Cur = std::move(Fused);
     }
-    Out.push_back(T);
+    Out.push_back(std::move(Cur));
   }
   return TransformSequence(std::move(Out));
+}
+
+const char *irlt::rejectKindName(LegalityResult::RejectKind K) {
+  switch (K) {
+  case LegalityResult::RejectKind::None:
+    return "none";
+  case LegalityResult::RejectKind::BoundsPrecondition:
+    return "bounds-precondition";
+  case LegalityResult::RejectKind::DependencePrecondition:
+    return "dependence-precondition";
+  case LegalityResult::RejectKind::LexNegative:
+    return "lex-negative";
+  case LegalityResult::RejectKind::ApplyFailure:
+    return "apply-failure";
+  case LegalityResult::RejectKind::Overflow:
+    return "overflow";
+  }
+  return "?";
 }
 
 std::string TransformSequence::str() const {

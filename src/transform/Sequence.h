@@ -49,8 +49,15 @@ public:
   /// Fuses compatible adjacent steps:
   ///  - Unimodular(M1) ; Unimodular(M2)      -> Unimodular(M2 * M1)
   ///  - ReversePermute ; ReversePermute      -> one ReversePermute
+  ///  - ReversePermute ; Unimodular (either
+  ///    order; the RP is a signed permutation
+  ///    matrix)                              -> one Unimodular
   ///  - Parallelize    ; Parallelize         -> flag-wise OR
-  /// Repeats to a fixed point.
+  /// Repeats to a fixed point (each fusion re-tries against the new
+  /// predecessor), so reduced() is idempotent - which makes
+  /// reduced().str() usable as a canonical memoization key for
+  /// peephole-equivalent sequences (the search engine's dedup relies on
+  /// this; see src/search/).
   TransformSequence reduced() const;
 
   /// "<ReversePermute(...), Block(...)>".
@@ -96,6 +103,10 @@ struct LegalityResult {
     Reason = Why.str();
   }
 };
+
+/// Stable name of a RejectKind, e.g. "lex-negative" - used by the tools
+/// to report structured verdicts and by the fuzzer's buckets.
+const char *rejectKindName(LegalityResult::RejectKind K);
 
 /// The uniform legality test IsLegal(T, N): (a) map the dependence set
 /// through every stage and reject when the final set admits a

@@ -59,13 +59,52 @@ TEST(Tool, LegalityVerdictAndExitCode) {
   RunResult Legal = runTool(Path + " -s 'parallelize 2' --legality --deps");
   EXPECT_EQ(Legal.ExitCode, 0) << Legal.Output;
   EXPECT_NE(Legal.Output.find("legal: yes"), std::string::npos);
+  EXPECT_NE(Legal.Output.find("reject-kind: none"), std::string::npos);
   EXPECT_NE(Legal.Output.find("dependences: {(1, 0)}"), std::string::npos);
 
+  // Illegal sequences exit 2 (1 is reserved for tool/usage errors) and
+  // carry the structured reject kind.
   RunResult Illegal = runTool(Path + " -s 'parallelize 1' --legality");
-  EXPECT_EQ(Illegal.ExitCode, 1) << Illegal.Output;
+  EXPECT_EQ(Illegal.ExitCode, 2) << Illegal.Output;
   EXPECT_NE(Illegal.Output.find("legal: no"), std::string::npos);
+  EXPECT_NE(Illegal.Output.find("reject-kind: lex-negative"),
+            std::string::npos)
+      << Illegal.Output;
   EXPECT_NE(Illegal.Output.find("lexicographically negative"),
             std::string::npos);
+}
+
+TEST(Tool, FastLegalityReportsRejectKind) {
+  std::string Path = writeNest("t2b", "do i = 2, n\n  do j = 1, n\n"
+                                      "    a(i, j) = a(i - 1, j) + 1\n"
+                                      "  enddo\nenddo\n");
+  RunResult R = runTool(Path + " -s 'parallelize 1' --fast-legality");
+  EXPECT_EQ(R.ExitCode, 2) << R.Output;
+  EXPECT_NE(R.Output.find("reject-kind: lex-negative"), std::string::npos)
+      << R.Output;
+}
+
+TEST(Tool, UsageErrorsExitOne) {
+  RunResult R = runTool("/nonexistent/nest.loop");
+  EXPECT_EQ(R.ExitCode, 1) << R.Output;
+  RunResult Bad = runTool("--definitely-not-a-flag");
+  EXPECT_EQ(Bad.ExitCode, 1) << Bad.Output;
+}
+
+TEST(Tool, AutoSelectsLegalSequence) {
+  std::string Path = writeNest("t_auto", "arrays B, C\n"
+                                         "do i = 1, n\n  do j = 1, n\n"
+                                         "    do k = 1, n\n"
+                                         "      A(i, j) += B(i, k) * C(k, j)\n"
+                                         "    enddo\n  enddo\nenddo\n");
+  RunResult R = runTool(Path + " --auto par --legality");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("auto sequence:"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("Parallelize"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("legal: yes"), std::string::npos) << R.Output;
+
+  RunResult Conflict = runTool(Path + " --auto par -s 'parallelize 1'");
+  EXPECT_EQ(Conflict.ExitCode, 1) << Conflict.Output;
 }
 
 TEST(Tool, FastLegalityAgrees) {

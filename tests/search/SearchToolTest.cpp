@@ -1,0 +1,90 @@
+//===- tests/search/SearchToolTest.cpp - irlt-search end to end ------------===//
+//
+// Drives the irlt-search binary as a subprocess. The binary path comes
+// from the build system (IRLT_SEARCH_PATH).
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace {
+
+#ifndef IRLT_SEARCH_PATH
+#define IRLT_SEARCH_PATH "irlt-search"
+#endif
+
+struct RunResult {
+  int ExitCode;
+  std::string Output;
+};
+
+RunResult runTool(const std::string &Args) {
+  std::string Cmd = std::string(IRLT_SEARCH_PATH) + " " + Args + " 2>&1";
+  FILE *Pipe = popen(Cmd.c_str(), "r");
+  EXPECT_NE(Pipe, nullptr);
+  std::string Out;
+  std::array<char, 4096> Buf;
+  size_t Got;
+  while ((Got = fread(Buf.data(), 1, Buf.size(), Pipe)) > 0)
+    Out.append(Buf.data(), Got);
+  int Status = pclose(Pipe);
+  return RunResult{WEXITSTATUS(Status), Out};
+}
+
+std::string writeNest(const std::string &Tag, const std::string &Text) {
+  std::string Path = ::testing::TempDir() + "/irlt_search_" + Tag + ".loop";
+  std::ofstream Out(Path);
+  Out << Text;
+  return Path;
+}
+
+const char *MatmulSrc = "arrays B, C\n"
+                        "do i = 1, n\n"
+                        "  do j = 1, n\n"
+                        "    do k = 1, n\n"
+                        "      A(i, j) += B(i, k) * C(k, j)\n"
+                        "    enddo\n"
+                        "  enddo\n"
+                        "enddo\n";
+
+TEST(SearchTool, LocalityWinnerWithExplain) {
+  std::string Path = writeNest("mm", MatmulSrc);
+  RunResult R = runTool(Path + " --objective locality --explain");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("winner:"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("miss-ratio:"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("stats: enumerated="), std::string::npos)
+      << R.Output;
+}
+
+TEST(SearchTool, OutputIsByteIdenticalAcrossThreadCounts) {
+  std::string Path = writeNest("mm_det", MatmulSrc);
+  std::string Args = " --objective both --explain --tiles 8,16 --depth 2";
+  RunResult T1 = runTool(Path + Args + " --threads 1");
+  RunResult T8 = runTool(Path + Args + " --threads 8");
+  EXPECT_EQ(T1.ExitCode, 0) << T1.Output;
+  EXPECT_EQ(T1.Output, T8.Output);
+}
+
+TEST(SearchTool, ParObjectiveEmitsParallelNest) {
+  std::string Path = writeNest("par", MatmulSrc);
+  RunResult R = runTool(Path + " --objective par --depth 1 --emit");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("par-score:"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("pardo"), std::string::npos) << R.Output;
+}
+
+TEST(SearchTool, BadFlagsExitOne) {
+  std::string Path = writeNest("bad", MatmulSrc);
+  EXPECT_EQ(runTool(Path + " --objective speed").ExitCode, 1);
+  EXPECT_EQ(runTool(Path + " --beam 0").ExitCode, 1);
+  EXPECT_EQ(runTool(Path + " --tiles 8,x").ExitCode, 1);
+  EXPECT_EQ(runTool("/nonexistent.loop").ExitCode, 1);
+}
+
+} // namespace

@@ -1,6 +1,7 @@
 //===- tests/transform/SequenceTest.cpp ------------------------------------===//
 
 #include "dependence/DepAnalysis.h"
+#include "eval/Evaluator.h"
 #include "eval/Verify.h"
 #include "ir/Parser.h"
 #include "transform/Sequence.h"
@@ -82,6 +83,101 @@ TEST(Sequence, ReversePermuteFusionMatchesComposition) {
   ASSERT_TRUE(static_cast<bool>(OutS));
   ASSERT_TRUE(static_cast<bool>(OutR));
   EXPECT_EQ(OutS->str(), OutR->str());
+}
+
+TEST(Sequence, ReduceAbsorbsReversePermuteIntoUnimodular) {
+  // RP;U and U;RP both fold into one Unimodular whose matrix composes the
+  // RP's signed permutation matrix on the right/left respectively, so the
+  // canonical form does not depend on which representation a search path
+  // happened to build.
+  TemplateRef RP = makeReversePermute(3, {true, false, false}, {1, 2, 0});
+  TemplateRef U =
+      makeUnimodular(3, UnimodularMatrix::skew(3, 0, 1, 2));
+
+  TransformSequence RPThenU = TransformSequence::of({RP, U}).reduced();
+  ASSERT_EQ(RPThenU.size(), 1u);
+  EXPECT_EQ(RPThenU.steps()[0]->kind(), TransformTemplate::Kind::Unimodular);
+
+  TransformSequence UThenRP = TransformSequence::of({U, RP}).reduced();
+  ASSERT_EQ(UThenRP.size(), 1u);
+  EXPECT_EQ(UThenRP.steps()[0]->kind(), TransformTemplate::Kind::Unimodular);
+
+  // Semantics preserved: dependence mapping and generated code agree with
+  // the unreduced two-step sequences.
+  DepSet D;
+  D.insert(DepVector::distances({1, 0, 2}));
+  D.insert(DepVector({DepElem::distance(2), DepElem::pos(), DepElem::neg()}));
+  EXPECT_EQ(mapDependences(TransformSequence::of({RP, U}), D).str(),
+            mapDependences(RPThenU, D).str());
+  EXPECT_EQ(mapDependences(TransformSequence::of({U, RP}), D).str(),
+            mapDependences(UThenRP, D).str());
+
+  LoopNest N = parse("do i = 1, 6\n  do j = 1, 4\n    do k = 1, 5\n"
+                     "      a(i, j, k) = 1\n    enddo\n  enddo\nenddo\n");
+  ErrorOr<LoopNest> Full = applySequence(TransformSequence::of({RP, U}), N);
+  ErrorOr<LoopNest> Fused = applySequence(RPThenU, N);
+  ASSERT_TRUE(static_cast<bool>(Full)) << Full.message();
+  ASSERT_TRUE(static_cast<bool>(Fused)) << Fused.message();
+  // The two pipelines pick different generated variable names, so compare
+  // executions, not renderings: identical original-instance order.
+  EvalConfig C;
+  ArrayStore S1, S2;
+  EvalResult R1 = evaluate(*Full, C, S1);
+  EvalResult R2 = evaluate(*Fused, C, S2);
+  EXPECT_EQ(R1.Instances, R2.Instances);
+  EXPECT_TRUE(S1 == S2);
+}
+
+TEST(Sequence, ReduceCascadesAcrossMixedKinds) {
+  // RP;RP;U: the two RPs fuse first, then the result is absorbed into
+  // the Unimodular - requires the fixed-point re-try against the new
+  // predecessor, not just one adjacent pass.
+  TransformSequence S = TransformSequence::of(
+      {makeReversePermute(2, {false, true}, {1, 0}),
+       makeReversePermute(2, {true, false}, {1, 0}),
+       makeUnimodular(2, UnimodularMatrix::skew(2, 0, 1, 1))});
+  TransformSequence R = S.reduced();
+  ASSERT_EQ(R.size(), 1u);
+  EXPECT_EQ(R.steps()[0]->kind(), TransformTemplate::Kind::Unimodular);
+}
+
+TEST(Sequence, ReducedIsIdempotentAndCanonicalizes) {
+  // The search engine memoizes on reduced().str(); that key is only sound
+  // if reduce is idempotent and peephole-equivalent sequences collapse to
+  // the same rendering.
+  TemplateRef RP1 = makeReversePermute(3, {false, true, false}, {2, 0, 1});
+  TemplateRef RP2 = makeReversePermute(3, {true, false, false}, {0, 2, 1});
+  TemplateRef U = makeUnimodular(3, UnimodularMatrix::skew(3, 1, 2, 1));
+  TemplateRef B = makeBlock(3, 1, 2, {Expr::intConst(4), Expr::intConst(4)});
+
+  std::vector<TransformSequence> Seqs = {
+      TransformSequence::of({RP1, RP2, U, B}),
+      TransformSequence::of({RP1, RP2, U}),
+      TransformSequence::of({RP1, U}),
+      TransformSequence::of({U, RP2, B}),
+      TransformSequence(),
+  };
+  for (const TransformSequence &S : Seqs) {
+    TransformSequence Once = S.reduced();
+    EXPECT_EQ(Once.str(), Once.reduced().str()) << S.str();
+  }
+
+  // A fused RP pair and its single-step equivalent share one key.
+  TransformSequence Pair = TransformSequence::of({RP1, RP2});
+  TransformSequence Single = Pair.reduced();
+  ASSERT_EQ(Single.size(), 1u);
+  EXPECT_EQ(Pair.reduced().str(), Single.reduced().str());
+}
+
+TEST(Sequence, RejectKindNamesAreStable) {
+  using RK = LegalityResult::RejectKind;
+  EXPECT_STREQ(rejectKindName(RK::None), "none");
+  EXPECT_STREQ(rejectKindName(RK::BoundsPrecondition), "bounds-precondition");
+  EXPECT_STREQ(rejectKindName(RK::DependencePrecondition),
+               "dependence-precondition");
+  EXPECT_STREQ(rejectKindName(RK::LexNegative), "lex-negative");
+  EXPECT_STREQ(rejectKindName(RK::ApplyFailure), "apply-failure");
+  EXPECT_STREQ(rejectKindName(RK::Overflow), "overflow");
 }
 
 TEST(Sequence, ApplyReportsFailingStage) {

@@ -26,6 +26,10 @@
 ///     --max-instances N    per-evaluation instance budget (default 200000)
 ///     --time-budget-ms N   per-evaluation wall budget (default 0 = off,
 ///                          keeping runs fully deterministic)
+///     --search             search mode: run the beam search on each
+///                          generated nest and check that every reported
+///                          candidate passes full legality and execution
+///                          verification, thread-count-invariantly
 ///     --verbose            per-case category lines
 ///
 /// Exit status: 0 when no oracle failures, 1 otherwise, 2 on bad usage.
@@ -48,7 +52,7 @@ void usage(const char *Argv0) {
                "usage: %s [--cases N] [--seed S] [--shrink|--no-shrink]\n"
                "          [--repro-dir DIR] [--max-depth N] [--max-steps N]\n"
                "          [--max-instances N] [--time-budget-ms N]"
-               " [--verbose]\n",
+               " [--search] [--verbose]\n",
                Argv0);
 }
 
@@ -134,6 +138,8 @@ int main(int argc, char **argv) {
     } else if (A == "--time-budget-ms") {
       if (!nextU64("--time-budget-ms", Opts.TimeBudgetMillis))
         return 2;
+    } else if (A == "--search") {
+      Opts.SearchMode = true;
     } else if (A == "--verbose" || A == "-v") {
       Opts.Verbose = true;
     } else if (A == "--help" || A == "-h") {

@@ -23,6 +23,11 @@
 ///                           comma-separated bindings (n=32,b=4) and
 ///                           check equivalence
 ///     --reduce              reduce() the sequence before use
+///     --auto OBJ            pick the sequence with the search engine
+///                           (locality|par|both; see docs/SEARCH.md)
+///
+/// Exit status: 0 on success (legal when --legality is given), 2 when the
+/// sequence is illegal, 1 on tool/usage errors.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -32,6 +37,7 @@
 #include "driver/Script.h"
 #include "eval/Verify.h"
 #include "ir/Parser.h"
+#include "search/Search.h"
 #include "transform/TypeState.h"
 
 #include <cstdio>
@@ -46,9 +52,10 @@ namespace {
 void usage(const char *Argv0) {
   std::fprintf(
       stderr,
-      "usage: %s FILE [-s SCRIPT | -f SCRIPTFILE] [--deps] [--matrices]\n"
-      "          [--legality] [--fast-legality] [--emit loop|c]\n"
-      "          [--verify n=32,b=4] [--reduce]\n",
+      "usage: %s FILE [-s SCRIPT | -f SCRIPTFILE | --auto locality|par|both]\n"
+      "          [--deps] [--matrices] [--legality] [--fast-legality]\n"
+      "          [--emit loop|c] [--verify n=32,b=4] [--reduce]\n"
+      "exit status: 0 success/legal, 2 illegal sequence, 1 error\n",
       Argv0);
 }
 
@@ -103,7 +110,7 @@ bool parseBindings(const std::string &Spec,
 int main(int argc, char **argv) {
   if (argc < 2) {
     usage(argv[0]);
-    return 2;
+    return 1;
   }
   std::string NestPath = argv[1];
   std::string Script;
@@ -111,6 +118,7 @@ int main(int argc, char **argv) {
   bool WantFastLegality = false, WantReduce = false;
   std::string Emit;
   std::string VerifySpec;
+  std::string Auto;
 
   for (int I = 2; I < argc; ++I) {
     std::string A = argv[I];
@@ -124,15 +132,15 @@ int main(int argc, char **argv) {
     if (A == "-s" || A == "--script") {
       const char *V = nextArg("--script");
       if (!V)
-        return 2;
+        return 1;
       Script = V;
     } else if (A == "-f" || A == "--script-file") {
       const char *V = nextArg("--script-file");
       if (!V)
-        return 2;
+        return 1;
       if (!readFile(V, Script)) {
         std::fprintf(stderr, "error: cannot read script file '%s'\n", V);
-        return 2;
+        return 1;
       }
     } else if (A == "--deps") {
       WantDeps = true;
@@ -147,28 +155,38 @@ int main(int argc, char **argv) {
     } else if (A == "--emit") {
       const char *V = nextArg("--emit");
       if (!V)
-        return 2;
+        return 1;
       Emit = V;
       if (Emit != "loop" && Emit != "c") {
         std::fprintf(stderr, "error: --emit expects 'loop' or 'c'\n");
-        return 2;
+        return 1;
       }
     } else if (A == "--verify") {
       const char *V = nextArg("--verify");
       if (!V)
-        return 2;
+        return 1;
       VerifySpec = V;
+    } else if (A == "--auto") {
+      const char *V = nextArg("--auto");
+      if (!V)
+        return 1;
+      Auto = V;
+      if (Auto != "locality" && Auto != "par" && Auto != "both") {
+        std::fprintf(stderr,
+                     "error: --auto expects locality, par, or both\n");
+        return 1;
+      }
     } else {
       std::fprintf(stderr, "error: unknown option '%s'\n", A.c_str());
       usage(argv[0]);
-      return 2;
+      return 1;
     }
   }
 
   std::string Source;
   if (!readFile(NestPath, Source)) {
     std::fprintf(stderr, "error: cannot read '%s'\n", NestPath.c_str());
-    return 2;
+    return 1;
   }
   ErrorOr<LoopNest> NestOr = parseLoopNest(Source);
   if (!NestOr) {
@@ -188,7 +206,26 @@ int main(int argc, char **argv) {
     std::printf("dependences: %s\n", D.str().c_str());
 
   TransformSequence Seq;
-  if (!Script.empty()) {
+  if (!Auto.empty()) {
+    if (!Script.empty()) {
+      std::fprintf(stderr, "error: --auto and --script are exclusive\n");
+      return 1;
+    }
+    search::SearchOptions SO;
+    SO.Obj = Auto == "locality"  ? search::Objective::Locality
+             : Auto == "par"     ? search::Objective::Parallelism
+                                 : search::Objective::Both;
+    search::SearchResult SR = search::searchTransformations(Nest, D, SO);
+    if (!SR.Error.empty()) {
+      std::fprintf(stderr, "auto: %s\n", SR.Error.c_str());
+      return 1;
+    }
+    if (SR.Best)
+      Seq = SR.Best->Seq;
+    if (WantReduce)
+      Seq = Seq.reduced();
+    std::printf("auto sequence: %s\n", Seq.str().c_str());
+  } else if (!Script.empty()) {
     ErrorOr<TransformSequence> SeqOr =
         parseTransformScript(Script, Nest.numLoops());
     if (!SeqOr) {
@@ -205,12 +242,14 @@ int main(int argc, char **argv) {
     LegalityResult L = WantFastLegality ? isLegalFast(Seq, Nest, D)
                                         : isLegal(Seq, Nest, D);
     std::printf("legal: %s\n", L.Legal ? "yes" : "no");
+    std::printf("reject-kind: %s\n", rejectKindName(L.Kind));
     if (!L.Legal)
       std::printf("reason: %s\n", L.Reason.c_str());
     else
       std::printf("mapped dependences: %s\n", L.FinalDeps.str().c_str());
+    // Exit-code contract: 0 legal, 2 illegal, 1 tool/usage error.
     if (!L.Legal)
-      return 1;
+      return 2;
   }
 
   // Transformed (or original, with an empty script) nest output.
@@ -231,7 +270,7 @@ int main(int argc, char **argv) {
     if (!parseBindings(VerifySpec, C.Params)) {
       std::fprintf(stderr, "error: malformed --verify bindings '%s'\n",
                    VerifySpec.c_str());
-      return 2;
+      return 1;
     }
     // A pathological binding must terminate with a clean "budget
     // exhausted" verdict rather than hang the tool.

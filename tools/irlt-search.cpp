@@ -1,0 +1,271 @@
+//===- tools/irlt-search.cpp - Transformation search driver ---------------===//
+//
+// Part of the IRLT project: a reproduction of Sarkar & Thekkath,
+// "A General Framework for Iteration-Reordering Loop Transformations"
+// (PLDI 1992). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// irlt-search: parse a loop nest, run the cost-model-guided beam search
+/// (docs/SEARCH.md) over transformation sequences, and print the winner.
+///
+///   irlt-search FILE [options]
+///     --objective locality|par|both   what to optimize (default: both)
+///     --beam N        frontier width per depth level (default: 8)
+///     --depth N       max steps per sequence, excluding the trailing
+///                     Parallelize (default: 2)
+///     --tiles 8,16    Block tile-size candidate set
+///     --threads N     worker threads; the result is byte-identical for
+///                     any N (default: 1)
+///     --params n=32   cost-model parameter bindings (default: all free
+///                     symbols bound to 24)
+///     --topk N        candidates reported by --explain (default: 5)
+///     --explain       print the top-k candidates with costs and the
+///                     deterministic search statistics
+///     --emit          print the transformed nest under the winner
+///
+/// Exit status: 0 on success (including "no candidate beat nothing"),
+/// 1 on errors.
+///
+//===----------------------------------------------------------------------===//
+
+#include "dependence/DepAnalysis.h"
+#include "ir/Parser.h"
+#include "search/Search.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+using namespace irlt;
+
+namespace {
+
+void usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s FILE [--objective locality|par|both] [--beam N]\n"
+               "          [--depth N] [--tiles 8,16] [--threads N]\n"
+               "          [--params n=32,m=16] [--topk N] [--explain] "
+               "[--emit]\n",
+               Argv0);
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+bool parseUnsigned(const std::string &S, unsigned &Out) {
+  if (S.empty())
+    return false;
+  unsigned long V = 0;
+  for (char C : S) {
+    if (C < '0' || C > '9')
+      return false;
+    V = V * 10 + static_cast<unsigned long>(C - '0');
+    if (V > 1'000'000)
+      return false;
+  }
+  Out = static_cast<unsigned>(V);
+  return true;
+}
+
+bool parseIntList(const std::string &S, std::vector<int64_t> &Out) {
+  Out.clear();
+  std::istringstream SS(S);
+  std::string Item;
+  while (std::getline(SS, Item, ',')) {
+    if (Item.empty())
+      return false;
+    int64_t V = 0;
+    for (char C : Item) {
+      if (C < '0' || C > '9')
+        return false;
+      if (V > (INT64_MAX - (C - '0')) / 10)
+        return false;
+      V = V * 10 + (C - '0');
+    }
+    if (V <= 0)
+      return false;
+    Out.push_back(V);
+  }
+  return !Out.empty();
+}
+
+bool parseBindings(const std::string &Spec,
+                   std::map<std::string, int64_t> &Out) {
+  std::istringstream SS(Spec);
+  std::string Item;
+  while (std::getline(SS, Item, ',')) {
+    size_t Eq = Item.find('=');
+    if (Eq == std::string::npos || Eq == 0 || Eq + 1 == Item.size())
+      return false;
+    std::string Val = Item.substr(Eq + 1);
+    int64_t V = 0;
+    for (char C : Val) {
+      if (C < '0' || C > '9')
+        return false;
+      if (V > (INT64_MAX - (C - '0')) / 10)
+        return false;
+      V = V * 10 + (C - '0');
+    }
+    Out[Item.substr(0, Eq)] = V;
+  }
+  return true;
+}
+
+void printCandidate(const char *Tag, const search::ScoredSequence &C) {
+  std::printf("%s: %s\n", Tag, C.Seq.str().c_str());
+  std::printf("  cost: %.6f\n", C.Cost);
+  if (C.MissRatio >= 0)
+    std::printf("  miss-ratio: %.6f\n", C.MissRatio);
+  std::printf("  par-score: %ld\n", C.ParScore);
+  if (!C.ParallelLoops.empty()) {
+    std::string Loops;
+    for (unsigned P : C.ParallelLoops)
+      Loops += (Loops.empty() ? "" : ",") + std::to_string(P);
+    std::printf("  parallel-loops: %s\n", Loops.c_str());
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2) {
+    usage(argv[0]);
+    return 1;
+  }
+  std::string NestPath = argv[1];
+  search::SearchOptions Opts;
+  bool Explain = false, Emit = false;
+
+  for (int I = 2; I < argc; ++I) {
+    std::string A = argv[I];
+    auto nextArg = [&](const char *What) -> const char * {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs an argument\n", What);
+        return nullptr;
+      }
+      return argv[++I];
+    };
+    if (A == "--objective") {
+      const char *V = nextArg("--objective");
+      if (!V)
+        return 1;
+      std::string Obj = V;
+      if (Obj == "locality")
+        Opts.Obj = search::Objective::Locality;
+      else if (Obj == "par")
+        Opts.Obj = search::Objective::Parallelism;
+      else if (Obj == "both")
+        Opts.Obj = search::Objective::Both;
+      else {
+        std::fprintf(stderr,
+                     "error: --objective expects locality, par, or both\n");
+        return 1;
+      }
+    } else if (A == "--beam") {
+      const char *V = nextArg("--beam");
+      if (!V || !parseUnsigned(V, Opts.Beam) || Opts.Beam == 0) {
+        std::fprintf(stderr, "error: --beam expects a positive integer\n");
+        return 1;
+      }
+    } else if (A == "--depth") {
+      const char *V = nextArg("--depth");
+      if (!V || !parseUnsigned(V, Opts.Depth)) {
+        std::fprintf(stderr, "error: --depth expects an integer\n");
+        return 1;
+      }
+    } else if (A == "--tiles") {
+      const char *V = nextArg("--tiles");
+      if (!V || !parseIntList(V, Opts.Candidates.TileSizes)) {
+        std::fprintf(stderr,
+                     "error: --tiles expects a comma-separated list of "
+                     "positive integers\n");
+        return 1;
+      }
+    } else if (A == "--threads") {
+      const char *V = nextArg("--threads");
+      if (!V || !parseUnsigned(V, Opts.Threads) || Opts.Threads == 0) {
+        std::fprintf(stderr, "error: --threads expects a positive integer\n");
+        return 1;
+      }
+    } else if (A == "--params") {
+      const char *V = nextArg("--params");
+      if (!V || !parseBindings(V, Opts.CostParams)) {
+        std::fprintf(stderr, "error: malformed --params bindings\n");
+        return 1;
+      }
+    } else if (A == "--topk") {
+      const char *V = nextArg("--topk");
+      if (!V || !parseUnsigned(V, Opts.TopK) || Opts.TopK == 0) {
+        std::fprintf(stderr, "error: --topk expects a positive integer\n");
+        return 1;
+      }
+    } else if (A == "--explain") {
+      Explain = true;
+    } else if (A == "--emit") {
+      Emit = true;
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", A.c_str());
+      usage(argv[0]);
+      return 1;
+    }
+  }
+
+  std::string Source;
+  if (!readFile(NestPath, Source)) {
+    std::fprintf(stderr, "error: cannot read '%s'\n", NestPath.c_str());
+    return 1;
+  }
+  ErrorOr<LoopNest> NestOr = parseLoopNest(Source);
+  if (!NestOr) {
+    std::fprintf(stderr, "%s: %s\n", NestPath.c_str(),
+                 NestOr.message().c_str());
+    return 1;
+  }
+  LoopNest Nest = NestOr.take();
+  DepSet D = analyzeDependences(Nest);
+
+  search::SearchResult R = search::searchTransformations(Nest, D, Opts);
+  if (!R.Error.empty()) {
+    std::fprintf(stderr, "error: %s\n", R.Error.c_str());
+    return 1;
+  }
+
+  if (!R.Best) {
+    std::printf("winner: none\n");
+    return 0;
+  }
+  printCandidate("winner", *R.Best);
+
+  if (Explain) {
+    std::printf("top-%zu:\n", R.Top.size());
+    for (size_t I = 0; I < R.Top.size(); ++I)
+      printCandidate(("  #" + std::to_string(I + 1)).c_str(), R.Top[I]);
+    std::printf("stats: enumerated=%llu pruned=%llu deduped=%llu "
+                "leaves=%llu legal=%llu\n",
+                static_cast<unsigned long long>(R.Stats.Enumerated),
+                static_cast<unsigned long long>(R.Stats.Pruned),
+                static_cast<unsigned long long>(R.Stats.Deduped),
+                static_cast<unsigned long long>(R.Stats.Leaves),
+                static_cast<unsigned long long>(R.Stats.Legal));
+  }
+
+  if (Emit) {
+    ErrorOr<LoopNest> Out = applySequence(R.Best->Seq, Nest);
+    if (!Out) {
+      std::fprintf(stderr, "apply: %s\n", Out.message().c_str());
+      return 1;
+    }
+    std::printf("%s", Out->str().c_str());
+  }
+  return 0;
+}
