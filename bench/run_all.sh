@@ -22,14 +22,16 @@ fi
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
-STATUS=0
+# Fail fast: a partial aggregate would silently skew any perf-trajectory
+# comparison, so the first failing binary aborts the run and OUT is left
+# untouched.
 for BIN in "$BENCH_DIR"/bench_*; do
   [ -x "$BIN" ] || continue
   NAME="$(basename "$BIN")"
   echo "running $NAME..." >&2
   if ! "$BIN" --json ${IRLT_BENCH_ARGS:-} >>"$TMP"; then
-    echo "warning: $NAME failed; its records are omitted" >&2
-    STATUS=1
+    echo "error: $NAME failed; aborting without writing $OUT" >&2
+    exit 1
   fi
 done
 
@@ -46,4 +48,3 @@ done
 } >"$OUT"
 
 echo "wrote $OUT" >&2
-exit "$STATUS"

@@ -105,14 +105,24 @@ public:
 
 private:
   // Variable layout in FM systems:
-  //   [0, N)        source iteration I
-  //   [N, 2N)       target iteration J
+  //   [0, N)        source iteration I (index values)
+  //   [N, 2N)       target iteration J (index values)
   //   [2N, 2N+M)    invariant symbolic atoms (n, block sizes, ...)
-  //   [2N+M, 3N+M)  difference variables d_k = J_k - I_k
+  //   [2N+M, 3N+M)  difference variables d_k
+  //   [3N+M, 4N+M)  source trip counters cI_k (strided loops only)
+  //   [4N+M, 5N+M)  target trip counters cJ_k (strided loops only)
+  //
+  // d_k is measured in the units transformations act on (the normalized
+  // "hat" space of Section 4): for a unit-step loop d_k = J_k - I_k, and
+  // for a constant-step loop with an analyzable affine start bound
+  // d_k = cJ_k - cI_k where x_k = l_k + s_k * c_k, c_k >= 0. Loops whose
+  // step or start bound cannot be analyzed leave d_k unconstrained.
   unsigned varI(unsigned K) const { return K; }
   unsigned varJ(unsigned K) const { return N + K; }
   unsigned varD(unsigned K) const { return 2 * N + NumSyms + K; }
-  unsigned totalVars() const { return 3 * N + NumSyms; }
+  unsigned varCI(unsigned K) const { return 3 * N + NumSyms + K; }
+  unsigned varCJ(unsigned K) const { return 4 * N + NumSyms + K; }
+  unsigned totalVars() const { return 5 * N + NumSyms; }
 
   /// Registers invariant atoms of \p L into the symbol table; returns
   /// false if \p L has an atom containing an index variable (nonlinear).
@@ -152,6 +162,19 @@ private:
     std::vector<LinExpr> Uppers;
   };
   std::vector<LoopBounds> Bounds;
+
+  // Per-loop execution-order model. Unit loops use the index value
+  // directly; strided loops (any constant step != 1, including -1) are
+  // modelled through a trip counter so that d_k agrees with both the
+  // execution order and the normalized space transformations act on.
+  struct StrideInfo {
+    enum class Kind { Unit, Strided, Opaque };
+    Kind K = Kind::Opaque;
+    int64_t Step = 1;          // valid unless Opaque
+    LinExpr Start;             // single affine start bound (Strided only)
+    std::vector<LinExpr> Ends; // end pieces: s>0: x <= E; s<0: x >= E
+  };
+  std::vector<StrideInfo> Strides;
 };
 
 bool Analyzer::registerAtoms(const LinExpr &L) {
@@ -221,6 +244,42 @@ void Analyzer::addBoundConstraints(FMSystem &Sys, bool TargetSide) const {
         Cf = -Cf;
       Coef[V] = addChecked(Coef[V], 1);
       Sys.addLE(std::move(Coef), C);
+    }
+
+    // Strided loops: tie the index value to its trip counter,
+    //   x_k == start + s * c_k,  c_k >= 0,
+    // and bound the value by the end pieces. Without these the index of
+    // a strided loop (and its counter) would float free.
+    const StrideInfo &SI = Strides[K];
+    if (SI.K != StrideInfo::Kind::Strided)
+      continue;
+    unsigned CV = TargetSide ? varCJ(K) : varCI(K);
+    {
+      std::vector<int64_t> Coef(totalVars(), 0);
+      int64_t C = 0;
+      if (emitLin(SI.Start, TargetSide, Coef, C)) {
+        for (int64_t &Cf : Coef)
+          Cf = -Cf;
+        Coef[V] = addChecked(Coef[V], 1);
+        Coef[CV] = addChecked(Coef[CV], -SI.Step);
+        Sys.addEQ(std::move(Coef), C); // x - s*c - start == 0
+        std::vector<int64_t> CPos(totalVars(), 0);
+        CPos[CV] = 1;
+        Sys.addGE(std::move(CPos), 0); // c >= 0
+      }
+    }
+    for (const LinExpr &E : SI.Ends) {
+      std::vector<int64_t> Coef(totalVars(), 0);
+      int64_t C = 0;
+      if (!emitLin(E, TargetSide, Coef, C))
+        continue;
+      for (int64_t &Cf : Coef)
+        Cf = -Cf;
+      Coef[V] = addChecked(Coef[V], 1);
+      if (SI.Step > 0)
+        Sys.addLE(std::move(Coef), C); // x <= end piece
+      else
+        Sys.addGE(std::move(Coef), C); // x >= end piece
     }
   }
 }
@@ -366,14 +425,29 @@ void Analyzer::analyzePair(const RefOcc &A, const RefOcc &B, DepSet &Out) {
   }
 
   // Loop-bound constraints for both sides, difference-variable defs.
+  // Unit loops: d_k = J_k - I_k (index values). Strided loops: d_k =
+  // cJ_k - cI_k (trip counters), which is both the execution-order
+  // distance and the distance in the normalized space transformations
+  // act on. Opaque loops leave d_k unconstrained (conservative).
   addBoundConstraints(Sys, /*TargetSide=*/false);
   addBoundConstraints(Sys, /*TargetSide=*/true);
   for (unsigned K = 0; K < N; ++K) {
     std::vector<int64_t> Coef(totalVars(), 0);
     Coef[varD(K)] = 1;
-    Coef[varJ(K)] = -1;
-    Coef[varI(K)] = 1;
-    Sys.addEQ(Coef, 0); // d_k - J_k + I_k == 0
+    switch (Strides[K].K) {
+    case StrideInfo::Kind::Unit:
+      Coef[varJ(K)] = -1;
+      Coef[varI(K)] = 1;
+      Sys.addEQ(Coef, 0); // d_k - J_k + I_k == 0
+      break;
+    case StrideInfo::Kind::Strided:
+      Coef[varCJ(K)] = -1;
+      Coef[varCI(K)] = 1;
+      Sys.addEQ(Coef, 0); // d_k - cJ_k + cI_k == 0
+      break;
+    case StrideInfo::Kind::Opaque:
+      break; // d_k free
+    }
   }
 
   std::vector<DirState> Prefix;
@@ -381,17 +455,18 @@ void Analyzer::analyzePair(const RefOcc &A, const RefOcc &B, DepSet &Out) {
 }
 
 DepSet Analyzer::run() {
-  // Pre-compute analyzable loop bounds.
+  // Pre-compute analyzable loop bounds and stride models.
   Bounds.resize(N);
+  Strides.resize(N);
   for (unsigned K = 0; K < N; ++K) {
     const Loop &L = Nest.Loops[K];
-    auto gatherTerms = [&](const ExprRef &E, bool IsLower,
+    auto gatherTerms = [&](const ExprRef &E, Expr::Kind Splittable,
                            std::vector<LinExpr> &Out) {
-      // max-of lower bounds and min-of upper bounds decompose into
-      // conjunctions of simple affine constraints.
+      // max-of lower bounds and min-of upper bounds (mirrored for
+      // negative steps) decompose into conjunctions of simple affine
+      // constraints.
       std::vector<ExprRef> Pieces;
-      if ((IsLower && E->kind() == Expr::Kind::Max) ||
-          (!IsLower && E->kind() == Expr::Kind::Min)) {
+      if (E->kind() == Splittable) {
         const auto *M = cast<MinMaxExpr>(E.get());
         Pieces.assign(M->operands().begin(), M->operands().end());
       } else {
@@ -403,13 +478,30 @@ DepSet Analyzer::run() {
           Out.push_back(std::move(LE));
       }
     };
-    // Only unit-step loops contribute bound constraints; other steps are
-    // treated as unconstrained ranges (conservative).
     std::optional<int64_t> StepC = L.Step->constValue();
     if (StepC && *StepC == 1) {
-      gatherTerms(L.Lower, /*IsLower=*/true, Bounds[K].Lowers);
-      gatherTerms(L.Upper, /*IsLower=*/false, Bounds[K].Uppers);
+      // Unit step: index value == trip count up to the start offset;
+      // d_k stays in index-value units.
+      Strides[K].K = StrideInfo::Kind::Unit;
+      Strides[K].Step = 1;
+      gatherTerms(L.Lower, Expr::Kind::Max, Bounds[K].Lowers);
+      gatherTerms(L.Upper, Expr::Kind::Min, Bounds[K].Uppers);
+    } else if (StepC && *StepC != 0 && L.Lower->kind() != Expr::Kind::Max &&
+               L.Lower->kind() != Expr::Kind::Min) {
+      // Constant non-unit step with a single (non-composite) start
+      // bound: model through a trip counter if the start is affine.
+      LinExpr Start = LinExpr::fromExpr(L.Lower);
+      if (registerAtoms(Start)) {
+        StrideInfo &SI = Strides[K];
+        SI.K = StrideInfo::Kind::Strided;
+        SI.Step = *StepC;
+        SI.Start = std::move(Start);
+        gatherTerms(L.Upper, *StepC > 0 ? Expr::Kind::Min : Expr::Kind::Max,
+                    SI.Ends);
+      }
     }
+    // Everything else (non-constant or zero step, composite/nonlinear
+    // start): Opaque, no constraints, d_k unconstrained.
   }
 
   // Collect reference occurrences.

@@ -104,17 +104,28 @@ VerifyResult irlt::verifyTransformed(const LoopNest &Original,
   // the two executions must not be unordered under a pardo loop.
   std::vector<std::pair<uint64_t, uint64_t>> Pairs =
       dependentInstancePairs(RunO);
+  auto tupleStr = [](const std::vector<int64_t> &T) {
+    std::string S = "(";
+    for (size_t I = 0; I < T.size(); ++I)
+      S += (I ? ", " : "") + std::to_string(T[I]);
+    return S + ")";
+  };
   for (const auto &[A, B] : Pairs) {
     uint64_t TA = PosT.at(RunO.Instances[A]);
     uint64_t TB = PosT.at(RunO.Instances[B]);
     if (TA >= TB) {
+      VerifyCounterexample CE;
+      CE.SrcIter = RunO.Instances[A];
+      CE.DstIter = RunO.Instances[B];
+      CE.SrcPosT = TA;
+      CE.DstPosT = TB;
       R.Problem = formatStr(
-          "dependent instances reordered: original #%llu before #%llu, "
+          "dependent instances reordered: original iteration %s before %s, "
           "transformed positions %llu and %llu",
-          static_cast<unsigned long long>(A),
-          static_cast<unsigned long long>(B),
+          tupleStr(CE.SrcIter).c_str(), tupleStr(CE.DstIter).c_str(),
           static_cast<unsigned long long>(TA),
           static_cast<unsigned long long>(TB));
+      R.Counterexample = std::move(CE);
       return R;
     }
     // Unordered-parallel check: the first differing transformed loop
@@ -125,9 +136,17 @@ VerifyResult irlt::verifyTransformed(const LoopNest &Original,
       if (LA[K] == LB[K])
         continue;
       if (Transformed.Loops[K].Kind == LoopKind::ParDo) {
+        VerifyCounterexample CE;
+        CE.SrcIter = RunO.Instances[A];
+        CE.DstIter = RunO.Instances[B];
+        CE.SrcPosT = TA;
+        CE.DstPosT = TB;
         R.Problem = formatStr(
-            "dependent instances are unordered under pardo loop %u ('%s')",
+            "dependent instances %s and %s are unordered under pardo loop "
+            "%u ('%s')",
+            tupleStr(CE.SrcIter).c_str(), tupleStr(CE.DstIter).c_str(),
             K + 1, Transformed.Loops[K].IndexVar.c_str());
+        R.Counterexample = std::move(CE);
         return R;
       }
       break;

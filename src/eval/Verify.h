@@ -29,9 +29,23 @@
 #include "eval/Evaluator.h"
 #include "ir/LoopNest.h"
 
+#include <optional>
 #include <string>
 
 namespace irlt {
+
+/// A concrete violating iteration pair backing a failed dependence-order
+/// (or pardo-unordered) check: two dependent execution instances named by
+/// their original index tuples (BodyIndexVars order), with their
+/// positions in the transformed execution order. This is the raw
+/// material of a rejection witness - it can be replayed through the
+/// Evaluator independently of the verifier that found it.
+struct VerifyCounterexample {
+  std::vector<int64_t> SrcIter; ///< executes first in the original nest
+  std::vector<int64_t> DstIter; ///< executes second in the original nest
+  uint64_t SrcPosT = 0; ///< SrcIter's position in the transformed order
+  uint64_t DstPosT = 0; ///< DstIter's position in the transformed order
+};
 
 /// Outcome of a verification run.
 struct VerifyResult {
@@ -42,6 +56,9 @@ struct VerifyResult {
   /// nests finished, so neither equivalence nor inequivalence was
   /// established. Ok is false but Problem names the exhausted budget.
   bool BudgetExceeded = false;
+  /// Set when the failure is a dependence-order violation with a
+  /// concrete pair of instances to show for it.
+  std::optional<VerifyCounterexample> Counterexample;
 };
 
 /// Runs both nests under \p Config (trace and access recording forced on)

@@ -35,6 +35,8 @@ const char *irlt::fuzz::categoryName(Category C) {
     return "source-skipped";
   case Category::BudgetExceeded:
     return "budget-exceeded";
+  case Category::FastPathUnsound:
+    return "FAST-PATH-UNSOUND";
   case Category::OracleFailure:
     return "ORACLE-FAILURE";
   }
@@ -129,7 +131,7 @@ CaseOutcome irlt::fuzz::runCase(const FuzzCase &C,
     return outcome(Category::OverflowRejected, L.Reason);
   LegalityResult LF = isLegalFast(Seq, Nest, D);
   if (LF.Legal && !L.Legal)
-    return outcome(Category::OracleFailure,
+    return outcome(Category::FastPathUnsound,
                    "fast path accepted what the full test rejects: " +
                        L.Reason);
   if (!L.Legal) {
@@ -171,6 +173,22 @@ CaseOutcome irlt::fuzz::runCase(const FuzzCase &C,
   if (!OutR) {
     if (mentionsOverflow(OutR.message()))
       return outcome(Category::OverflowRejected, OutR.message());
+    // Fusion changes the syntactic route through the Table 3/4
+    // preconditions: a fused Unimodular generates its bounds in a single
+    // FM pass without the per-stage simplification the chain benefits
+    // from, so a later stage's (syntactic) precondition may cleanly
+    // reject the reduced form where the chain applied. That makes the
+    // metamorphic check vacuous - but only when the legality test
+    // confirms a precondition-kind rejection; a lex-negative divergence
+    // or an unexplained apply failure is still an oracle failure.
+    LegalityResult LR = isLegal(Red, Nest, D);
+    if (!LR.Legal &&
+        (LR.Kind == LegalityResult::RejectKind::BoundsPrecondition ||
+         LR.Kind == LegalityResult::RejectKind::DependencePrecondition ||
+         LR.Kind == LegalityResult::RejectKind::ApplyFailure ||
+         LR.Kind == LegalityResult::RejectKind::Overflow))
+      return outcome(Category::RejectedPrecondition,
+                     "reduced form cleanly rejected: " + OutR.message());
     return outcome(Category::OracleFailure,
                    "reduced sequence failed to apply: " + OutR.message());
   }
@@ -278,7 +296,8 @@ CaseOutcome irlt::fuzz::runSearchCase(const FuzzCase &C,
     ErrorOr<LoopNest> Out = applySequence(S.Seq, Nest);
     if (!Out)
       return outcome(Category::OracleFailure,
-                     "search candidate failed to apply: " + Out.message());
+                     "search candidate <" + S.Key +
+                         "> failed to apply: " + Out.message());
     for (const auto &Binding : Opts.Bindings) {
       EvalConfig EC;
       EC.Params = Binding;
@@ -293,8 +312,8 @@ CaseOutcome irlt::fuzz::runSearchCase(const FuzzCase &C,
         return outcome(Category::BudgetExceeded, V.Problem);
       if (!V.Ok)
         return outcome(Category::OracleFailure,
-                       "search candidate is not equivalence-preserving: " +
-                           V.Problem);
+                       "search candidate <" + S.Key +
+                           "> is not equivalence-preserving: " + V.Problem);
     }
   }
   return outcome(Category::Legal);

@@ -56,6 +56,10 @@ enum class Category {
   SourceSkipped,        ///< generated source nest unusable (conservative
                         ///< direction summaries); case skipped
   BudgetExceeded,       ///< evaluation budget ran out; no verdict
+  FastPathUnsound,      ///< isLegalFast accepted what full isLegal
+                        ///< rejects - a fast-path soundness bug, dump a
+                        ///< reproducer (counted separately so soundness
+                        ///< regressions are visible at a glance)
   OracleFailure,        ///< an invariant broke - a bug, dump a reproducer
 };
 

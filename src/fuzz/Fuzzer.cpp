@@ -23,51 +23,66 @@ namespace {
 /// failure is still reported, just without files.
 bool dumpReproducer(const FuzzOptions &Opts, const FuzzCase &C,
                     const std::string &Detail, FailureRecord &Rec) {
-  std::error_code EC;
-  std::filesystem::create_directories(Opts.ReproDir, EC);
-  if (EC)
+  std::string Stem = "case-" + std::to_string(C.Seed);
+  std::string NestPath = Opts.ReproDir + "/" + Stem + ".nest";
+  std::string ScriptPath = Opts.ReproDir + "/" + Stem + ".script";
+  std::vector<std::string> Replay;
+  if (Opts.SearchMode)
+    Replay.push_back("irlt-search " + NestPath +
+                     " --objective both --depth 1 --beam 4 --topk 3 "
+                     "--explain");
+  else {
+    Replay.push_back("irlt-opt " + NestPath + " -f " + ScriptPath +
+                     " --legality --verify n=6,m=4,b=2");
+    Replay.push_back("irlt-opt " + NestPath + " -f " + ScriptPath +
+                     " --fast-legality");
+  }
+  std::string Note = "seed: " + std::to_string(C.Seed) +
+                     "\ncorrupted-lines: " +
+                     std::to_string(C.CorruptedLines) + "\ndetail: " + Detail;
+  if (writeReproducer(Opts.ReproDir, Stem, C.Nest.render(),
+                      joinScript(C.Script), Note, Replay)
+          .empty())
     return false;
-  std::string Base =
-      Opts.ReproDir + "/case-" + std::to_string(C.Seed);
-  std::string NestPath = Base + ".nest";
-  std::string ScriptPath = Base + ".script";
-  std::string NotePath = Base + ".txt";
-  {
-    std::ofstream Out(NestPath);
-    if (!Out)
-      return false;
-    Out << C.Nest.render();
-  }
-  {
-    std::ofstream Out(ScriptPath);
-    if (!Out)
-      return false;
-    Out << joinScript(C.Script);
-  }
-  {
-    std::ofstream Out(NotePath);
-    if (!Out)
-      return false;
-    Out << "irlt-fuzz reproducer\n"
-        << "seed: " << C.Seed << "\n"
-        << "corrupted-lines: " << C.CorruptedLines << "\n"
-        << "detail: " << Detail << "\n\n"
-        << "replay:\n";
-    if (Opts.SearchMode)
-      Out << "  irlt-search " << NestPath
-          << " --objective both --depth 1 --beam 4 --topk 3 --explain\n";
-    else
-      Out << "  irlt-opt " << NestPath << " -f " << ScriptPath
-          << " --legality --verify n=6,m=4,b=2\n"
-          << "  irlt-opt " << NestPath << " -f " << ScriptPath
-          << " --fast-legality\n";
-  }
   Rec.NestPath = NestPath;
   Rec.ScriptPath = ScriptPath;
   return true;
 }
 
 } // namespace
+
+std::string irlt::fuzz::writeReproducer(
+    const std::string &Dir, const std::string &Stem,
+    const std::string &NestSource, const std::string &ScriptSource,
+    const std::string &Detail, const std::vector<std::string> &ReplayLines) {
+  std::error_code EC;
+  std::filesystem::create_directories(Dir, EC);
+  if (EC)
+    return "";
+  std::string Base = Dir + "/" + Stem;
+  std::string NestPath = Base + ".nest";
+  {
+    std::ofstream Out(NestPath);
+    if (!Out)
+      return "";
+    Out << NestSource;
+  }
+  {
+    std::ofstream Out(Base + ".script");
+    if (!Out)
+      return "";
+    Out << ScriptSource;
+  }
+  {
+    std::ofstream Out(Base + ".txt");
+    if (!Out)
+      return "";
+    Out << "irlt reproducer\n" << Detail << "\n\nreplay:\n";
+    for (const std::string &Line : ReplayLines)
+      Out << "  " << Line << "\n";
+  }
+  return NestPath;
+}
 
 FuzzCase irlt::fuzz::generateCase(const FuzzOptions &Opts, uint64_t Index) {
   FuzzCase C;
@@ -110,7 +125,8 @@ FuzzStats irlt::fuzz::runFuzzer(const FuzzOptions &Opts) {
                   categoryName(O.Cat), O.Detail.empty() ? "" : " - ",
                   O.Detail.c_str());
 
-    if (O.Cat != Category::OracleFailure)
+    if (O.Cat != Category::OracleFailure &&
+        O.Cat != Category::FastPathUnsound)
       continue;
 
     FailureRecord Rec;
@@ -122,10 +138,10 @@ FuzzStats irlt::fuzz::runFuzzer(const FuzzOptions &Opts) {
     // The shrinker minimizes against the script oracle; search-mode
     // failures are dumped as-is (the script plays no part in them).
     if (Opts.Shrink && !Opts.SearchMode) {
-      Min = shrinkCase(C, DO);
+      Min = shrinkCase(C, DO, O.Cat);
       // The shrunk case's own detail is the one worth reporting.
       CaseOutcome MO = runCase(Min, DO);
-      if (MO.Cat == Category::OracleFailure)
+      if (MO.Cat == O.Cat)
         Rec.Detail = MO.Detail;
       else
         Min = C; // cap hit mid-pass; fall back to the original

@@ -63,7 +63,7 @@ struct FailureRecord {
 };
 
 struct FuzzStats {
-  uint64_t Count[8] = {}; ///< indexed by Category
+  uint64_t Count[9] = {}; ///< indexed by Category
   std::vector<FailureRecord> Failures;
 
   uint64_t total() const {
@@ -80,6 +80,19 @@ FuzzStats runFuzzer(const FuzzOptions &Opts);
 /// Generates case \p Index of a run seeded \p RunSeed (exposed for tests
 /// and for --replay-case).
 FuzzCase generateCase(const FuzzOptions &Opts, uint64_t Index);
+
+/// Writes a replayable reproducer trio into \p Dir: <stem>.nest (loop
+/// nest source), <stem>.script (transformation script, may be empty),
+/// and <stem>.txt (a note carrying \p Detail plus \p ReplayLines, one
+/// command per line). Shared by the fuzzer and the witness-validation
+/// layer so every disproof dump replays the same way. \returns the nest
+/// path, or an empty string when the directory or files cannot be
+/// created (reporting continues without files).
+std::string writeReproducer(const std::string &Dir, const std::string &Stem,
+                            const std::string &NestSource,
+                            const std::string &ScriptSource,
+                            const std::string &Detail,
+                            const std::vector<std::string> &ReplayLines);
 
 } // namespace fuzz
 } // namespace irlt

@@ -13,8 +13,8 @@ using namespace irlt::fuzz;
 
 class Shrinker {
 public:
-  Shrinker(const DifferentialOptions &Opts, unsigned MaxRuns)
-      : Opts(Opts), MaxRuns(MaxRuns) {}
+  Shrinker(const DifferentialOptions &Opts, Category Target, unsigned MaxRuns)
+      : Opts(Opts), Target(Target), MaxRuns(MaxRuns) {}
 
   FuzzCase shrink(FuzzCase C) {
     bool Progress = true;
@@ -34,7 +34,7 @@ private:
     if (Runs >= MaxRuns)
       return false;
     ++Runs;
-    return runCase(C, Opts).Cat == Category::OracleFailure;
+    return runCase(C, Opts).Cat == Target;
   }
 
   bool dropScriptLines(FuzzCase &C) {
@@ -136,6 +136,7 @@ private:
   }
 
   const DifferentialOptions &Opts;
+  const Category Target;
   const unsigned MaxRuns;
   unsigned Runs = 0;
 };
@@ -144,6 +145,6 @@ private:
 
 FuzzCase irlt::fuzz::shrinkCase(const FuzzCase &C,
                                 const DifferentialOptions &Opts,
-                                unsigned MaxRuns) {
-  return Shrinker(Opts, MaxRuns).shrink(C);
+                                Category Target, unsigned MaxRuns) {
+  return Shrinker(Opts, Target, MaxRuns).shrink(C);
 }

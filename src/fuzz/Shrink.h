@@ -29,10 +29,13 @@
 namespace irlt {
 namespace fuzz {
 
-/// Shrinks \p C, which must currently produce Category::OracleFailure
-/// under \p Opts. Returns the smallest failing case found within
-/// \p MaxRuns oracle evaluations.
+/// Shrinks \p C, which must currently produce \p Target (a failure
+/// category: OracleFailure or FastPathUnsound) under \p Opts. A
+/// reduction is accepted only when it reproduces the *same* category, so
+/// shrinking cannot morph one bug into a different one. Returns the
+/// smallest failing case found within \p MaxRuns oracle evaluations.
 FuzzCase shrinkCase(const FuzzCase &C, const DifferentialOptions &Opts,
+                    Category Target = Category::OracleFailure,
                     unsigned MaxRuns = 200);
 
 } // namespace fuzz

@@ -96,8 +96,9 @@ private:
 
 using TemplateRef = std::shared_ptr<const TransformTemplate>;
 
-/// Picks a loop-variable name not already bound in \p Nest: tries \p
-/// Preferred, then appends underscores.
+/// Picks a loop-variable name not already live anywhere in \p Nest
+/// (loop variables, init-statement targets, body/bound/array names):
+/// tries \p Preferred, then appends underscores.
 std::string freshVarName(const LoopNest &Nest, const std::string &Preferred);
 
 } // namespace irlt

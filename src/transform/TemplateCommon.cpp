@@ -6,14 +6,43 @@
 
 #include "transform/Template.h"
 
+#include <set>
+
 using namespace irlt;
 
 TransformTemplate::~TransformTemplate() = default;
 
 std::string irlt::freshVarName(const LoopNest &Nest,
                                const std::string &Preferred) {
+  // A fresh name must not collide with *any* name live in the nest, not
+  // just the loop variables: initialization statements of an already-
+  // transformed nest target recovered index variables that no loop binds
+  // any more, and reusing one of those names for a new loop variable
+  // would make the init clobber the live counter mid-iteration.
+  std::set<std::string> Taken;
+  for (const Loop &L : Nest.Loops) {
+    Taken.insert(L.IndexVar);
+    L.Lower->collectVars(Taken);
+    L.Upper->collectVars(Taken);
+    L.Step->collectVars(Taken);
+  }
+  for (const InitStmt &I : Nest.Inits) {
+    Taken.insert(I.Var);
+    I.Value->collectVars(Taken);
+  }
+  for (const std::string &V : Nest.BodyIndexVars)
+    Taken.insert(V);
+  for (const std::string &A : Nest.ArrayNames)
+    Taken.insert(A);
+  for (const AssignStmt &S : Nest.Body) {
+    Taken.insert(S.LHS.Array);
+    for (const ExprRef &Sub : S.LHS.Subscripts)
+      Sub->collectVars(Taken);
+    S.RHS->collectVars(Taken);
+  }
+
   std::string Name = Preferred;
-  while (Nest.bindsVar(Name))
+  while (Taken.count(Name))
     Name += "_";
   return Name;
 }

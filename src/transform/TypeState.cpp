@@ -224,20 +224,72 @@ ErrorOr<NestTypeState> mapUnimodular(const UnimodularTemplate &T,
   std::vector<Mask> Masks;
   constexpr size_t MaskCap = 512; // blow-up guard; fall back when exceeded
   bool Overflow = false;
+  // Resolution closure: apply() normalizes every loop whose step is not
+  // the constant 1 to a 0-based counter xh_i with x_i = l_i + s_i*xh_i,
+  // and *resolves* references to x_i in later bounds through that
+  // substitution. A reference to x_i therefore pulls in l_i's own
+  // (recursively resolved) references and symbols. Precompute, per loop,
+  // the variable set and symbol flag a reference to it expands to.
+  std::vector<std::vector<bool>> RRefs(N, std::vector<bool>(N, false));
+  std::vector<bool> RSym(N, false);
+  for (unsigned I = 0; I < N; ++I) {
+    RRefs[I][I] = true;
+    bool NormI = !S.Loops[I].StepConst || *S.Loops[I].StepConst != 1;
+    if (!NormI)
+      continue;
+    RSym[I] = !S.Loops[I].LB.isConst();
+    for (unsigned H = 0; H < I; ++H)
+      if (S.Loops[I].LB.wrt(H) == BoundType::Linear) {
+        for (unsigned G = 0; G <= H; ++G)
+          RRefs[I][G] = RRefs[I][G] || RRefs[H][G];
+        RSym[I] = RSym[I] || RSym[H];
+      }
+  }
+
   for (unsigned K = 0; K < N && !Overflow; ++K) {
-    for (const ExprTypes *E : {&S.Loops[K].LB, &S.Loops[K].UB}) {
+    const LoopTypeInfo &In = S.Loops[K];
+    // Non-unit-step loops are normalized by apply() to a 0-based counter
+    // xh_k with x_k = l_k + s_k*xh_k, so the rows entering FM are
+    //   xh_k >= 0                      (constant lower row)
+    //   s_k * xh_k <= u_k - l_k        (end row: u's AND l's references,
+    //                                   coefficient s_k)
+    // StepConst == -1 is normalized too, but with a unit coefficient.
+    bool Normalized = !In.StepConst || *In.StepConst != 1;
+    bool StepDivides =
+        In.StepConst && *In.StepConst != 1 && *In.StepConst != -1;
+    for (const ExprTypes *E : {&In.LB, &In.UB}) {
+      bool IsLBRow = E == &In.LB;
       Mask M;
       M.Vars.assign(N, false);
-      M.HasSym = !E->isConst();
-      // x-space involvement: own variable + linear references.
+      M.HasSym = false;
+      // x-space involvement: own variable + resolved linear references.
       std::vector<bool> XVars(N, false);
       XVars[K] = true;
       bool AnyLinearRef = false;
-      for (unsigned I = 0; I < K; ++I)
-        if (E->wrt(I) == BoundType::Linear) {
-          XVars[I] = true;
-          AnyLinearRef = true;
-        }
+      auto foldRefs = [&](const ExprTypes &Src) {
+        for (unsigned I = 0; I < K; ++I)
+          if (Src.wrt(I) == BoundType::Linear) {
+            for (unsigned G = 0; G <= I; ++G)
+              if (RRefs[I][G])
+                XVars[G] = true;
+            M.HasSym = M.HasSym || RSym[I];
+            AnyLinearRef = true;
+          }
+      };
+      if (Normalized && IsLBRow) {
+        // Lower row of a normalized loop: xh_k >= 0, nothing else.
+      } else if (Normalized) {
+        // End row of a normalized loop: references from both original
+        // bounds, and the step coefficient divides on elimination.
+        M.HasSym = !In.UB.isConst() || !In.LB.isConst();
+        foldRefs(In.UB);
+        foldRefs(In.LB);
+        if (StepDivides)
+          AnyLinearRef = true; // forces NonUnit below
+      } else {
+        M.HasSym = !E->isConst();
+        foldRefs(*E);
+      }
       // y-space: x_r = sum Minv[r][c] y_c. Coefficient magnitudes are
       // exact only when the row involves just its own variable (then the
       // y-coefficients are the Minv entries); a linear reference has an

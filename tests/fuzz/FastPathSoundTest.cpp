@@ -1,0 +1,57 @@
+//===- tests/fuzz/FastPathSoundTest.cpp - Fast path stays conservative ----===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs the deterministic fuzzing loop in-process and asserts the two
+/// soundness invariants behind ROADMAP's former "Known soundness gap"
+/// hold with zero exceptions: the type-state fast path never accepts a
+/// sequence the full legality test rejects (FastPathUnsound == 0), and
+/// no accepted sequence breaks an execution-equivalence oracle
+/// (Failures empty). The smoke budget mirrors the Fuzz.Smoke ctest
+/// entry; the nightly CI job runs the full ROADMAP reproducer budgets.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzzer.h"
+
+#include <gtest/gtest.h>
+
+using namespace irlt::fuzz;
+
+namespace {
+
+TEST(FastPathSound, SmokeBudgetHasZeroUnsoundAcceptances) {
+  FuzzOptions Opts;
+  Opts.Seed = 1;
+  Opts.Cases = 200;
+  Opts.ReproDir = ::testing::TempDir() + "/irlt-fuzz-fastpath-repro";
+
+  FuzzStats Stats = runFuzzer(Opts);
+  EXPECT_EQ(Stats.total(), Opts.Cases);
+  EXPECT_EQ(Stats.Count[static_cast<unsigned>(Category::FastPathUnsound)], 0u)
+      << "the fast legality path accepted a sequence the full test rejects";
+  EXPECT_EQ(Stats.Count[static_cast<unsigned>(Category::OracleFailure)], 0u);
+  EXPECT_TRUE(Stats.Failures.empty())
+      << Stats.Failures.front().Detail << " (case seed "
+      << Stats.Failures.front().CaseSeed << ")";
+}
+
+TEST(FastPathSound, SearchModeSmokeBudgetIsClean) {
+  FuzzOptions Opts;
+  Opts.Seed = 1;
+  Opts.Cases = 25;
+  Opts.SearchMode = true;
+  Opts.ReproDir = ::testing::TempDir() + "/irlt-fuzz-fastpath-search-repro";
+
+  FuzzStats Stats = runFuzzer(Opts);
+  EXPECT_EQ(Stats.Count[static_cast<unsigned>(Category::FastPathUnsound)], 0u);
+  EXPECT_EQ(Stats.Count[static_cast<unsigned>(Category::OracleFailure)], 0u);
+  EXPECT_TRUE(Stats.Failures.empty())
+      << Stats.Failures.front().Detail << " (case seed "
+      << Stats.Failures.front().CaseSeed << ")";
+}
+
+} // namespace

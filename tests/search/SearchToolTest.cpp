@@ -79,6 +79,29 @@ TEST(SearchTool, ParObjectiveEmitsParallelNest) {
   EXPECT_NE(R.Output.find("pardo"), std::string::npos) << R.Output;
 }
 
+TEST(SearchTool, ValidateConfirmsWinnerAndExitsZero) {
+  // Guarded mode (docs/LEGALITY.md): the winner must be cross-checked by
+  // concrete execution and confirmed; the identity fallback would still
+  // exit 0, but on matmul the search's winner is expected to hold up.
+  std::string Path = writeNest("mm_val", MatmulSrc);
+  RunResult R = runTool(Path + " --objective both --depth 1 --validate");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("validate #1: confirmed"), std::string::npos)
+      << R.Output;
+  EXPECT_NE(R.Output.find("validated winner: <"), std::string::npos)
+      << R.Output;
+}
+
+TEST(SearchTool, ValidateBudgetFlagParses) {
+  std::string Path = writeNest("mm_budget", MatmulSrc);
+  RunResult R = runTool(Path + " --depth 1 --validate=100000");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("validated winner:"), std::string::npos)
+      << R.Output;
+  EXPECT_EQ(runTool(Path + " --validate=0").ExitCode, 1);
+  EXPECT_EQ(runTool(Path + " --validate=abc").ExitCode, 1);
+}
+
 TEST(SearchTool, BadFlagsExitOne) {
   std::string Path = writeNest("bad", MatmulSrc);
   EXPECT_EQ(runTool(Path + " --objective speed").ExitCode, 1);

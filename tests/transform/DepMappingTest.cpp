@@ -6,6 +6,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "dependence/DepAnalysis.h"
+#include "ir/Parser.h"
 #include "transform/Templates.h"
 
 #include <gtest/gtest.h>
@@ -204,6 +206,64 @@ TEST(Table2, MappingPreservesSetSemantics) {
       Union.insert(W);
   }
   EXPECT_EQ(Whole.str(), Union.str());
+}
+
+//===--- Strided-loop dependence convention ---------------------------------=
+//
+// Regression pins for the former "Known soundness gap" (ROADMAP, fixed in
+// ISSUE 3): dependence entries of a constant-step != 1 loop are expressed
+// in *trip-counter* units (x = l + s*c, entry = cJ - cI), matching the
+// normalized space the Unimodular bounds rules operate in. Getting this
+// wrong is what let permuting sequences reorder dependent instances on
+// strided nests. The exact sets below come from the fuzzer's shrunk
+// reproducers (case seeds 16900907164382347021 and 16273675876593014471).
+
+DepSet depsOf(const std::string &Src) {
+  ErrorOr<LoopNest> Nest = parseLoopNest(Src);
+  EXPECT_TRUE(static_cast<bool>(Nest)) << Nest.message();
+  return analyzeDependences(*Nest);
+}
+
+TEST(StridedDeps, TripCounterUnitsUnderLoopVariableLowerBound) {
+  // do j = i+1, n, 2: an i-distance of 2 shifts j's start by 2, so the
+  // same j value is one trip *earlier* - the hat-unit entry is -1, and
+  // the strided bound constraints make it exact (not a direction).
+  EXPECT_EQ(depsOf("do i = 1, n\n"
+                   "  do j = i + 1, n, 2\n"
+                   "    do k = 1, n\n"
+                   "      a(i, j, k) = a(i, j, k) + a(i - 2, j, k)\n"
+                   "    enddo\n"
+                   "  enddo\n"
+                   "enddo\n")
+                .str(),
+            "{(2, -1, 0)}");
+}
+
+TEST(StridedDeps, TripCounterUnitsForStridedStartAtOuterIndex) {
+  // do k = j, n, 2 with a j-2 carried dependence: same k value, start
+  // shifted by -2, so the k trip counter differs by -1 in hat units.
+  EXPECT_EQ(depsOf("do i = 1, n\n"
+                   "  do j = 1, n\n"
+                   "    do k = j, n, 2\n"
+                   "      a(i, j, k) = a(i, j, k) + a(i, j - 2, k)\n"
+                   "    enddo\n"
+                   "  enddo\n"
+                   "enddo\n")
+                .str(),
+            "{(0, 2, -1)}");
+}
+
+TEST(StridedDeps, UnitStepKeepsIndexValueUnits) {
+  // Control: with step 1 the same nest's entries stay index-value deltas.
+  EXPECT_EQ(depsOf("do i = 1, n\n"
+                   "  do j = 1, n\n"
+                   "    do k = j, n\n"
+                   "      a(i, j, k) = a(i, j, k) + a(i, j - 2, k)\n"
+                   "    enddo\n"
+                   "  enddo\n"
+                   "enddo\n")
+                .str(),
+            "{(0, 2, 0)}");
 }
 
 } // namespace

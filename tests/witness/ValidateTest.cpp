@@ -1,0 +1,181 @@
+//===- tests/witness/ValidateTest.cpp - Guarded validation ladder ---------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The --validate layer (witness/Validate.h): candidate verdicts
+/// (Confirmed / Disproved / Inconclusive), disproof reproducer dumps,
+/// and the graceful-degradation ladder. The injected-unsound-candidate
+/// tests are the ISSUE acceptance criterion: a candidate the legality
+/// test would bless but concrete execution disproves must fall through
+/// to the next-best candidate, and to the identity when nothing is
+/// left - without a crash.
+///
+//===----------------------------------------------------------------------===//
+
+#include "witness/Validate.h"
+
+#include "dependence/DepAnalysis.h"
+#include "ir/Parser.h"
+#include "transform/Templates.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+using namespace irlt;
+using namespace irlt::witness;
+
+namespace {
+
+LoopNest parse(const std::string &Src) {
+  ErrorOr<LoopNest> Nest = parseLoopNest(Src);
+  EXPECT_TRUE(static_cast<bool>(Nest)) << Nest.message();
+  return Nest.take();
+}
+
+// Dependences {(0, 1), (1, 0)}: interchange is sound, reversing either
+// loop is the canonical unsound-but-applicable candidate.
+LoopNest stencil() {
+  return parse("do i = 1, n\n"
+               "  do j = 1, n\n"
+               "    a(i, j) = a(i - 1, j) + a(i, j - 1)\n"
+               "  enddo\n"
+               "enddo\n");
+}
+
+TransformSequence soundCandidate() {
+  return TransformSequence::of({makeInterchange(2, 0, 1)});
+}
+
+TransformSequence unsoundCandidate() {
+  return TransformSequence::of(
+      {makeReversePermute(2, {true, false}, {0, 1})});
+}
+
+ValidateOptions quietOptions() {
+  ValidateOptions O = ValidateOptions::defaults();
+  O.ReproDir.clear(); // tests that want dumps opt in explicitly
+  return O;
+}
+
+TEST(Validate, SoundCandidateIsConfirmed) {
+  LoopNest Nest = stencil();
+  CandidateOutcome O =
+      validateCandidate(Nest, soundCandidate(), quietOptions());
+  EXPECT_EQ(O.Status, ValidateStatus::Confirmed) << O.Detail;
+  EXPECT_NE(O.Detail.find("2 binding(s)"), std::string::npos) << O.Detail;
+  EXPECT_TRUE(O.ReproPath.empty());
+}
+
+TEST(Validate, UnsoundCandidateIsDisprovedWithReproducer) {
+  LoopNest Nest = stencil();
+  ValidateOptions Opts = ValidateOptions::defaults();
+  Opts.ReproDir = ::testing::TempDir() + "/irlt-validate-repro-test";
+
+  CandidateOutcome O = validateCandidate(Nest, unsoundCandidate(), Opts);
+  ASSERT_EQ(O.Status, ValidateStatus::Disproved) << O.Detail;
+  EXPECT_NE(O.Detail.find("binding"), std::string::npos) << O.Detail;
+  EXPECT_FALSE(O.Why.Message.empty());
+
+  // The disproof is dumped as a replayable trio; the nest file must
+  // round-trip through the parser.
+  ASSERT_FALSE(O.ReproPath.empty());
+  std::ifstream In(O.ReproPath);
+  ASSERT_TRUE(In.good()) << "missing reproducer " << O.ReproPath;
+  std::string Src((std::istreambuf_iterator<char>(In)),
+                  std::istreambuf_iterator<char>());
+  ErrorOr<LoopNest> Dumped = parseLoopNest(Src);
+  EXPECT_TRUE(static_cast<bool>(Dumped)) << Dumped.message();
+
+  std::string Base = O.ReproPath.substr(0, O.ReproPath.rfind('.'));
+  EXPECT_TRUE(std::ifstream(Base + ".script").good());
+  EXPECT_TRUE(std::ifstream(Base + ".txt").good());
+}
+
+TEST(Validate, TinyBudgetIsInconclusiveNotDisproved) {
+  LoopNest Nest = stencil();
+  ValidateOptions Opts = quietOptions();
+  Opts.MaxInstances = 1; // no binding can finish
+  CandidateOutcome O = validateCandidate(Nest, soundCandidate(), Opts);
+  EXPECT_EQ(O.Status, ValidateStatus::Inconclusive) << O.Detail;
+  EXPECT_NE(O.Detail.find("budget"), std::string::npos) << O.Detail;
+}
+
+TEST(Validate, NoBindingsIsInconclusive) {
+  LoopNest Nest = stencil();
+  ValidateOptions Opts = quietOptions();
+  Opts.Bindings.clear();
+  CandidateOutcome O = validateCandidate(Nest, soundCandidate(), Opts);
+  EXPECT_EQ(O.Status, ValidateStatus::Inconclusive) << O.Detail;
+}
+
+//===--- The degradation ladder ---------------------------------------------=
+
+TEST(Validate, LadderFallsThroughUnsoundCandidateToNextBest) {
+  // The ISSUE acceptance scenario: an unsound candidate injected ahead
+  // of a sound one must be disproved and skipped, not chosen.
+  LoopNest Nest = stencil();
+  LadderResult R = validateLadder(
+      Nest, {unsoundCandidate(), soundCandidate()}, quietOptions());
+  EXPECT_EQ(R.Chosen, 1);
+  EXPECT_FALSE(R.fellBackToIdentity());
+  ASSERT_EQ(R.Outcomes.size(), 2u);
+  EXPECT_EQ(R.Outcomes[0].Status, ValidateStatus::Disproved)
+      << R.Outcomes[0].Detail;
+  EXPECT_EQ(R.Outcomes[1].Status, ValidateStatus::Confirmed)
+      << R.Outcomes[1].Detail;
+}
+
+TEST(Validate, LadderFallsBackToIdentityWhenAllDisproved) {
+  LoopNest Nest = stencil();
+  TransformSequence OtherUnsound =
+      TransformSequence::of({makeParallelize(2, {true, false})});
+  LadderResult R = validateLadder(
+      Nest, {unsoundCandidate(), OtherUnsound}, quietOptions());
+  EXPECT_EQ(R.Chosen, -1);
+  EXPECT_TRUE(R.fellBackToIdentity());
+  ASSERT_EQ(R.Outcomes.size(), 2u);
+  EXPECT_EQ(R.Outcomes[0].Status, ValidateStatus::Disproved);
+  EXPECT_EQ(R.Outcomes[1].Status, ValidateStatus::Disproved);
+}
+
+TEST(Validate, LadderStopsAtFirstConfirmedCandidate) {
+  LoopNest Nest = stencil();
+  LadderResult R = validateLadder(
+      Nest, {soundCandidate(), unsoundCandidate()}, quietOptions());
+  EXPECT_EQ(R.Chosen, 0);
+  // The walk stops at the confirmation: the unsound candidate is never
+  // examined.
+  EXPECT_EQ(R.Outcomes.size(), 1u);
+}
+
+TEST(Validate, LadderPrefersInconclusiveOverIdentity) {
+  // A candidate that cannot be disproved within budget outranks giving
+  // up entirely; it was, after all, accepted by the legality test.
+  LoopNest Nest = stencil();
+  ValidateOptions Opts = quietOptions();
+  Opts.MaxInstances = 1;
+  LadderResult R = validateLadder(Nest, {soundCandidate()}, Opts);
+  EXPECT_EQ(R.Chosen, 0);
+  ASSERT_EQ(R.Outcomes.size(), 1u);
+  EXPECT_EQ(R.Outcomes[0].Status, ValidateStatus::Inconclusive);
+}
+
+TEST(Validate, EmptyLadderFallsBackToIdentity) {
+  LoopNest Nest = stencil();
+  LadderResult R = validateLadder(Nest, {}, quietOptions());
+  EXPECT_TRUE(R.fellBackToIdentity());
+  EXPECT_TRUE(R.Outcomes.empty());
+}
+
+TEST(Validate, StatusNamesAreStable) {
+  EXPECT_STREQ(validateStatusName(ValidateStatus::Confirmed), "confirmed");
+  EXPECT_STREQ(validateStatusName(ValidateStatus::Disproved), "disproved");
+  EXPECT_STREQ(validateStatusName(ValidateStatus::Inconclusive),
+               "inconclusive");
+}
+
+} // namespace

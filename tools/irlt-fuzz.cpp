@@ -161,7 +161,8 @@ int main(int argc, char **argv) {
       Category::Legal,          Category::Illegal,
       Category::RejectedPrecondition, Category::OverflowRejected,
       Category::ParseRejected,  Category::SourceSkipped,
-      Category::BudgetExceeded, Category::OracleFailure,
+      Category::BudgetExceeded, Category::FastPathUnsound,
+      Category::OracleFailure,
   };
   for (Category C : Order)
     std::printf("  %-26s %llu\n", categoryName(C),
@@ -169,7 +170,7 @@ int main(int argc, char **argv) {
                     Stats.Count[static_cast<unsigned>(C)]));
 
   if (!Stats.Failures.empty()) {
-    std::printf("%zu oracle failure(s); reproducers in %s\n",
+    std::printf("%zu failure(s); reproducers in %s\n",
                 Stats.Failures.size(), Opts.ReproDir.c_str());
     return 1;
   }

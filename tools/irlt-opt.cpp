@@ -25,9 +25,19 @@
 ///     --reduce              reduce() the sequence before use
 ///     --auto OBJ            pick the sequence with the search engine
 ///                           (locality|par|both; see docs/SEARCH.md)
+///     --witness             with --legality: print the machine-checkable
+///                           certificate for the verdict (per-stage rule
+///                           trace, or a concrete violating iteration
+///                           pair) and self-check it (docs/LEGALITY.md)
+///     --validate[=N]        with --auto: cross-check the winning
+///                           candidates by bounded concrete execution
+///                           (N = instance budget) and degrade gracefully
+///                           to the next-best candidate, ultimately to
+///                           the identity sequence
 ///
 /// Exit status: 0 on success (legal when --legality is given), 2 when the
-/// sequence is illegal, 1 on tool/usage errors.
+/// sequence is illegal, 1 on tool/usage errors. The --validate identity
+/// fallback is success, not an error.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -39,6 +49,7 @@
 #include "ir/Parser.h"
 #include "search/Search.h"
 #include "transform/TypeState.h"
+#include "witness/Validate.h"
 
 #include <cstdio>
 #include <cstring>
@@ -55,6 +66,7 @@ void usage(const char *Argv0) {
       "usage: %s FILE [-s SCRIPT | -f SCRIPTFILE | --auto locality|par|both]\n"
       "          [--deps] [--matrices] [--legality] [--fast-legality]\n"
       "          [--emit loop|c] [--verify n=32,b=4] [--reduce]\n"
+      "          [--witness] [--validate[=N]]\n"
       "exit status: 0 success/legal, 2 illegal sequence, 1 error\n",
       Argv0);
 }
@@ -115,7 +127,9 @@ int main(int argc, char **argv) {
   std::string NestPath = argv[1];
   std::string Script;
   bool WantDeps = false, WantMatrices = false, WantLegality = false;
-  bool WantFastLegality = false, WantReduce = false;
+  bool WantFastLegality = false, WantReduce = false, WantWitness = false;
+  bool Validate = false;
+  uint64_t ValidateBudget = 200'000;
   std::string Emit;
   std::string VerifySpec;
   std::string Auto;
@@ -152,6 +166,19 @@ int main(int argc, char **argv) {
       WantFastLegality = true;
     } else if (A == "--reduce") {
       WantReduce = true;
+    } else if (A == "--witness") {
+      WantWitness = true;
+    } else if (A == "--validate" || A.rfind("--validate=", 0) == 0) {
+      Validate = true;
+      if (A.size() > 10 && A[10] == '=') {
+        std::map<std::string, int64_t> One;
+        if (!parseBindings("v=" + A.substr(11), One) || One["v"] <= 0) {
+          std::fprintf(stderr, "error: --validate= expects a positive "
+                               "instance budget\n");
+          return 1;
+        }
+        ValidateBudget = static_cast<uint64_t>(One["v"]);
+      }
     } else if (A == "--emit") {
       const char *V = nextArg("--emit");
       if (!V)
@@ -225,6 +252,36 @@ int main(int argc, char **argv) {
     if (WantReduce)
       Seq = Seq.reduced();
     std::printf("auto sequence: %s\n", Seq.str().c_str());
+
+    // Guarded mode: cross-check the candidates by concrete execution
+    // and degrade best-first -> next-best -> identity (never an error).
+    if (Validate && SR.Best) {
+      witness::ValidateOptions VO = witness::ValidateOptions::defaults();
+      VO.MaxInstances = ValidateBudget;
+      std::vector<TransformSequence> Cands;
+      for (const search::ScoredSequence &S : SR.Top)
+        Cands.push_back(S.Seq);
+      if (Cands.empty())
+        Cands.push_back(SR.Best->Seq);
+      witness::LadderResult LR = witness::validateLadder(Nest, Cands, VO);
+      for (size_t K = 0; K < LR.Outcomes.size(); ++K) {
+        const witness::CandidateOutcome &O = LR.Outcomes[K];
+        std::printf("validate #%zu: %s - %s\n", K + 1,
+                    witness::validateStatusName(O.Status), O.Detail.c_str());
+        if (!O.ReproPath.empty())
+          std::printf("  reproducer: %s\n", O.ReproPath.c_str());
+      }
+      if (LR.fellBackToIdentity()) {
+        Seq = TransformSequence();
+        std::printf("validated sequence: identity (every candidate was "
+                    "disproved)\n");
+      } else {
+        Seq = Cands[static_cast<size_t>(LR.Chosen)];
+        if (WantReduce)
+          Seq = Seq.reduced();
+        std::printf("validated sequence: %s\n", Seq.str().c_str());
+      }
+    }
   } else if (!Script.empty()) {
     ErrorOr<TransformSequence> SeqOr =
         parseTransformScript(Script, Nest.numLoops());
@@ -238,7 +295,7 @@ int main(int argc, char **argv) {
     std::printf("sequence: %s\n", Seq.str().c_str());
   }
 
-  if (WantLegality || WantFastLegality) {
+  if (WantLegality || WantFastLegality || WantWitness) {
     LegalityResult L = WantFastLegality ? isLegalFast(Seq, Nest, D)
                                         : isLegal(Seq, Nest, D);
     std::printf("legal: %s\n", L.Legal ? "yes" : "no");
@@ -247,6 +304,17 @@ int main(int argc, char **argv) {
       std::printf("reason: %s\n", L.Reason.c_str());
     else
       std::printf("mapped dependences: %s\n", L.FinalDeps.str().c_str());
+    if (WantWitness) {
+      // The certificate is produced by the full (not fast-path) test and
+      // machine-checked on the spot; a check failure is a tool bug worth
+      // a hard error.
+      witness::Certificate C = witness::certify(Seq, Nest, D);
+      std::printf("%s", C.str().c_str());
+      std::string E = witness::checkCertificate(C, Seq, Nest, D);
+      std::printf("witness-check: %s\n", E.empty() ? "ok" : E.c_str());
+      if (!E.empty())
+        return 1;
+    }
     // Exit-code contract: 0 legal, 2 illegal, 1 tool/usage error.
     if (!L.Legal)
       return 2;

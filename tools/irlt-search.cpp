@@ -24,15 +24,23 @@
 ///     --explain       print the top-k candidates with costs and the
 ///                     deterministic search statistics
 ///     --emit          print the transformed nest under the winner
+///     --validate[=N]  guarded mode (docs/LEGALITY.md): cross-check the
+///                     winning candidates by bounded concrete execution
+///                     (N = per-evaluation instance budget) and degrade
+///                     gracefully - a disproved candidate falls through
+///                     to the next-best one, ultimately to the identity
+///                     sequence; disproofs are dumped as replayable
+///                     reproducers
 ///
-/// Exit status: 0 on success (including "no candidate beat nothing"),
-/// 1 on errors.
+/// Exit status: 0 on success (including "no candidate beat nothing" and
+/// the --validate identity fallback), 1 on errors.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "dependence/DepAnalysis.h"
 #include "ir/Parser.h"
 #include "search/Search.h"
+#include "witness/Validate.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -48,7 +56,8 @@ void usage(const char *Argv0) {
                "usage: %s FILE [--objective locality|par|both] [--beam N]\n"
                "          [--depth N] [--tiles 8,16] [--threads N]\n"
                "          [--params n=32,m=16] [--topk N] [--explain] "
-               "[--emit]\n",
+               "[--emit]\n"
+               "          [--validate[=N]]\n",
                Argv0);
 }
 
@@ -144,7 +153,8 @@ int main(int argc, char **argv) {
   }
   std::string NestPath = argv[1];
   search::SearchOptions Opts;
-  bool Explain = false, Emit = false;
+  bool Explain = false, Emit = false, Validate = false;
+  uint64_t ValidateBudget = 200'000;
 
   for (int I = 2; I < argc; ++I) {
     std::string A = argv[I];
@@ -213,6 +223,18 @@ int main(int argc, char **argv) {
       Explain = true;
     } else if (A == "--emit") {
       Emit = true;
+    } else if (A == "--validate" || A.rfind("--validate=", 0) == 0) {
+      Validate = true;
+      if (A.size() > 10 && A[10] == '=') {
+        unsigned B = 0;
+        if (!parseUnsigned(A.substr(11), B) || B == 0) {
+          std::fprintf(stderr,
+                       "error: --validate= expects a positive instance "
+                       "budget\n");
+          return 1;
+        }
+        ValidateBudget = B;
+      }
     } else {
       std::fprintf(stderr, "error: unknown option '%s'\n", A.c_str());
       usage(argv[0]);
@@ -259,8 +281,35 @@ int main(int argc, char **argv) {
                 static_cast<unsigned long long>(R.Stats.Legal));
   }
 
+  TransformSequence Final = R.Best->Seq;
+  if (Validate) {
+    witness::ValidateOptions VO = witness::ValidateOptions::defaults();
+    VO.MaxInstances = ValidateBudget;
+    std::vector<TransformSequence> Cands;
+    for (const search::ScoredSequence &S : R.Top)
+      Cands.push_back(S.Seq);
+    if (Cands.empty())
+      Cands.push_back(R.Best->Seq);
+    witness::LadderResult LR = witness::validateLadder(Nest, Cands, VO);
+    for (size_t I = 0; I < LR.Outcomes.size(); ++I) {
+      const witness::CandidateOutcome &O = LR.Outcomes[I];
+      std::printf("validate #%zu: %s - %s\n", I + 1,
+                  witness::validateStatusName(O.Status), O.Detail.c_str());
+      if (!O.ReproPath.empty())
+        std::printf("  reproducer: %s\n", O.ReproPath.c_str());
+    }
+    if (LR.fellBackToIdentity()) {
+      Final = TransformSequence();
+      std::printf("validated winner: identity (every candidate was "
+                  "disproved)\n");
+    } else {
+      Final = Cands[static_cast<size_t>(LR.Chosen)];
+      std::printf("validated winner: %s\n", Final.str().c_str());
+    }
+  }
+
   if (Emit) {
-    ErrorOr<LoopNest> Out = applySequence(R.Best->Seq, Nest);
+    ErrorOr<LoopNest> Out = applySequence(Final, Nest);
     if (!Out) {
       std::fprintf(stderr, "apply: %s\n", Out.message().c_str());
       return 1;
