@@ -5,13 +5,17 @@
 #
 #   bench/run_all.sh [BUILD_DIR] [OUT_FILE]
 #
-# Defaults: BUILD_DIR=build, OUT_FILE=BENCH_search.json. Extra
-# benchmark flags can be passed via IRLT_BENCH_ARGS (e.g.
+# Defaults: BUILD_DIR=build, OUT_FILE=BENCH_search.json. The batch
+# engine scenarios (bench_batch) are additionally split into their own
+# BATCH_OUT (default BENCH_batch.json, next to OUT_FILE) so the batch
+# throughput trajectory can be tracked on its own. Extra benchmark
+# flags can be passed via IRLT_BENCH_ARGS (e.g.
 # IRLT_BENCH_ARGS=--benchmark_min_time=0.01 for a quick pass).
 set -u
 
 BUILD_DIR="${1:-build}"
 OUT="${2:-BENCH_search.json}"
+BATCH_OUT="${3:-$(dirname "$OUT")/BENCH_batch.json}"
 BENCH_DIR="$BUILD_DIR/bench"
 
 if ! ls "$BENCH_DIR"/bench_* >/dev/null 2>&1; then
@@ -20,7 +24,8 @@ if ! ls "$BENCH_DIR"/bench_* >/dev/null 2>&1; then
 fi
 
 TMP="$(mktemp)"
-trap 'rm -f "$TMP"' EXIT
+BATCH_TMP="$(mktemp)"
+trap 'rm -f "$TMP" "$BATCH_TMP"' EXIT
 
 # Fail fast: a partial aggregate would silently skew any perf-trajectory
 # comparison, so the first failing binary aborts the run and OUT is left
@@ -29,22 +34,30 @@ for BIN in "$BENCH_DIR"/bench_*; do
   [ -x "$BIN" ] || continue
   NAME="$(basename "$BIN")"
   echo "running $NAME..." >&2
-  if ! "$BIN" --json ${IRLT_BENCH_ARGS:-} >>"$TMP"; then
+  DEST="$TMP"
+  [ "$NAME" = bench_batch ] && DEST="$BATCH_TMP"
+  if ! "$BIN" --json ${IRLT_BENCH_ARGS:-} >>"$DEST"; then
     echo "error: $NAME failed; aborting without writing $OUT" >&2
     exit 1
   fi
 done
 
-# Wrap the JSON lines into a single document.
-{
-  printf '{\n  "suite": "irlt-bench",\n  "results": [\n'
-  FIRST=1
-  while IFS= read -r LINE; do
-    [ -n "$LINE" ] || continue
-    if [ "$FIRST" -eq 1 ]; then FIRST=0; else printf ',\n'; fi
-    printf '    %s' "$LINE"
-  done <"$TMP"
-  printf '\n  ]\n}\n'
-} >"$OUT"
+# Wraps JSON lines from $2 into a single document named $1 at $3.
+wrap() {
+  {
+    printf '{\n  "suite": "%s",\n  "results": [\n' "$1"
+    FIRST=1
+    while IFS= read -r LINE; do
+      [ -n "$LINE" ] || continue
+      if [ "$FIRST" -eq 1 ]; then FIRST=0; else printf ',\n'; fi
+      printf '    %s' "$LINE"
+    done <"$2"
+    printf '\n  ]\n}\n'
+  } >"$3"
+  echo "wrote $3" >&2
+}
 
-echo "wrote $OUT" >&2
+wrap irlt-bench "$TMP" "$OUT"
+if [ -s "$BATCH_TMP" ]; then
+  wrap irlt-bench-batch "$BATCH_TMP" "$BATCH_OUT"
+fi

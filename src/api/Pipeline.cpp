@@ -1,0 +1,279 @@
+//===- api/Pipeline.cpp - The unified irlt::api facade -------------------===//
+//
+// Part of the IRLT project: a reproduction of Sarkar & Thekkath,
+// "A General Framework for Iteration-Reordering Loop Transformations"
+// (PLDI 1992). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/Pipeline.h"
+
+#include "bounds/BoundsMatrices.h"
+#include "codegen/CEmitter.h"
+#include "ir/NestHash.h"
+#include "support/MathUtils.h"
+#include "transform/TypeState.h"
+#include "witness/Witness.h"
+
+#include <atomic>
+
+using namespace irlt;
+using namespace irlt::api;
+
+namespace {
+
+/// One shared-mutex-free cache: a plain map under a mutex. The guarded
+/// section is only the lookup/insert - analysis and legality runs happen
+/// outside the lock, and on a miss race the first insert wins (both
+/// computations produced identical values, so which copy survives is
+/// unobservable).
+template <typename V> class KeyedCache {
+public:
+  std::shared_ptr<const V> lookup(const std::string &Key) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = Map.find(Key);
+    return It == Map.end() ? nullptr : It->second;
+  }
+
+  /// Inserts \p Val unless \p Key is already present; returns the entry
+  /// that ends up in the cache.
+  std::shared_ptr<const V> insert(const std::string &Key,
+                                  std::shared_ptr<const V> Val) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto [It, Inserted] = Map.emplace(Key, std::move(Val));
+    return It->second;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Map.size();
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Map.clear();
+  }
+
+private:
+  mutable std::mutex Mu;
+  std::unordered_map<std::string, std::shared_ptr<const V>> Map;
+};
+
+/// A cached dependence analysis. Overflowed records whether coefficient
+/// arithmetic saturated during the run: such a DepSet is untrustworthy,
+/// and storing the flag next to the value keeps cache hits and misses
+/// indistinguishable (a hit on a saturated entry reports overflow exactly
+/// like the original computation did).
+struct DepEntry {
+  DepSet Deps;
+  bool Overflowed = false;
+};
+
+} // namespace
+
+struct Pipeline::Impl {
+  PipelineOptions Opts;
+
+  KeyedCache<DepEntry> DepCache;
+  KeyedCache<LegalityResult> LegalityCache;
+
+  std::atomic<uint64_t> DepHits{0}, DepMisses{0};
+  std::atomic<uint64_t> LegalityHits{0}, LegalityMisses{0};
+};
+
+Pipeline::Pipeline(PipelineOptions Opts) : M(std::make_unique<Impl>()) {
+  M->Opts = Opts;
+}
+
+Pipeline::~Pipeline() = default;
+
+ErrorOr<LoopNest> Pipeline::loadNest(const std::string &Source) const {
+  OverflowGuard Guard;
+  ErrorOr<LoopNest> N = parseLoopNest(Source);
+  if (Guard.triggered())
+    return Failure(Diag::error(
+        "constant folding overflows the int64 range while parsing the nest"));
+  return N;
+}
+
+ErrorOr<TransformSequence> Pipeline::parseScript(const std::string &Script,
+                                                 unsigned NumLoops) const {
+  OverflowGuard Guard;
+  ErrorOr<TransformSequence> Seq = parseTransformScript(Script, NumLoops);
+  if (Guard.triggered())
+    return Failure(Diag::error(
+        "coefficient arithmetic overflows the int64 range in the script"));
+  return Seq;
+}
+
+std::shared_ptr<const DepSet> Pipeline::dependences(const LoopNest &Nest,
+                                                    bool *Overflowed) {
+  // Analysis runs under an OverflowGuard (support/MathUtils.h): generated
+  // and adversarial nests can push Fourier-Motzkin coefficients out of
+  // int64, and the facade degrades that to a reported flag instead of an
+  // assertion. The flag lives in the cache entry so a hit on a saturated
+  // analysis reports overflow exactly like the miss that computed it.
+  auto computeEntry = [&] {
+    OverflowGuard Guard;
+    DepEntry E{analyzeDependences(Nest, M->Opts.DepOptions), false};
+    E.Overflowed = Guard.triggered();
+    return E;
+  };
+  auto finish = [&](std::shared_ptr<const DepEntry> E) {
+    if (Overflowed)
+      *Overflowed = E->Overflowed;
+    return std::shared_ptr<const DepSet>(E, &E->Deps);
+  };
+  if (!M->Opts.EnableCache)
+    return finish(std::make_shared<const DepEntry>(computeEntry()));
+  bool KeyOverflow = false;
+  std::string Key;
+  {
+    OverflowGuard Guard;
+    Key = canonicalNestKey(Nest);
+    KeyOverflow = Guard.triggered();
+  }
+  // A saturated fingerprint could collide with a different nest's, so
+  // such a nest is simply not cacheable.
+  if (KeyOverflow)
+    return finish(std::make_shared<const DepEntry>(computeEntry()));
+  if (std::shared_ptr<const DepEntry> Hit = M->DepCache.lookup(Key)) {
+    M->DepHits.fetch_add(1, std::memory_order_relaxed);
+    return finish(Hit);
+  }
+  M->DepMisses.fetch_add(1, std::memory_order_relaxed);
+  return finish(M->DepCache.insert(
+      Key, std::make_shared<const DepEntry>(computeEntry())));
+}
+
+/// The shared "analysis saturated" verdict: a DepSet computed through
+/// saturating arithmetic cannot support a trustworthy legality test.
+static LegalityResult depOverflowVerdict() {
+  LegalityResult R;
+  R.reject(LegalityResult::RejectKind::Overflow,
+           Diag::error("dependence analysis overflows the int64 "
+                       "coefficient range"));
+  return R;
+}
+
+LegalityResult Pipeline::checkLegality(const TransformSequence &Seq,
+                                       const LoopNest &Nest) {
+  bool DepOverflow = false;
+  std::shared_ptr<const DepSet> D = dependences(Nest, &DepOverflow);
+  if (DepOverflow)
+    return depOverflowVerdict();
+  if (!M->Opts.EnableCache)
+    return isLegal(Seq, Nest, *D);
+  // Keyed on the sequence exactly as written, NOT on reduced(): the
+  // verdict is not reduction-invariant. Figure 1's skew+interchange is
+  // rejected stage by stage but legal once merged into one Unimodular,
+  // so a reduced() key would let one spelling poison the other. Spellings
+  // that normalize to the same stages (interchange 1 2 / permute 2 1 3)
+  // still share an entry via str(). '\x01' cannot occur in either part.
+  bool KeyOverflow = false;
+  std::string Key;
+  {
+    OverflowGuard Guard;
+    Key = canonicalNestKey(Nest) + '\x01' + Seq.str();
+    KeyOverflow = Guard.triggered();
+  }
+  if (KeyOverflow) // not cacheable; see dependences()
+    return isLegal(Seq, Nest, *D);
+  if (std::shared_ptr<const LegalityResult> Hit =
+          M->LegalityCache.lookup(Key)) {
+    M->LegalityHits.fetch_add(1, std::memory_order_relaxed);
+    return *Hit;
+  }
+  M->LegalityMisses.fetch_add(1, std::memory_order_relaxed);
+  auto Computed =
+      std::make_shared<const LegalityResult>(isLegal(Seq, Nest, *D));
+  return *M->LegalityCache.insert(Key, std::move(Computed));
+}
+
+LegalityResult Pipeline::checkLegalityFast(const TransformSequence &Seq,
+                                           const LoopNest &Nest) {
+  bool DepOverflow = false;
+  std::shared_ptr<const DepSet> D = dependences(Nest, &DepOverflow);
+  if (DepOverflow)
+    return depOverflowVerdict();
+  return isLegalFast(Seq, Nest, *D);
+}
+
+ErrorOr<LoopNest> Pipeline::apply(const TransformSequence &Seq,
+                                  const LoopNest &Nest) const {
+  return applySequence(Seq, Nest);
+}
+
+ErrorOr<LoopNest> Pipeline::applyScript(const LoopNest &Nest,
+                                        const std::string &Script) {
+  ErrorOr<TransformSequence> Seq = parseScript(Script, Nest.numLoops());
+  if (!Seq)
+    return Failure(Seq.takeDiags());
+  return apply(*Seq, Nest);
+}
+
+std::string Pipeline::emit(const LoopNest &Nest, EmitKind Kind) const {
+  return Kind == EmitKind::C ? emitC(Nest) : Nest.str();
+}
+
+std::string Pipeline::boundsMatrices(const LoopNest &Nest) const {
+  return BoundsMatrices::fromNest(Nest).str();
+}
+
+search::SearchResult Pipeline::searchAuto(const LoopNest &Nest,
+                                          const search::SearchOptions &Opts) {
+  bool DepOverflow = false;
+  std::shared_ptr<const DepSet> D = dependences(Nest, &DepOverflow);
+  if (DepOverflow) {
+    search::SearchResult R;
+    R.Error = "dependence analysis overflows the int64 coefficient range";
+    return R;
+  }
+  return search::searchTransformations(Nest, *D, Opts);
+}
+
+witness::LadderResult
+Pipeline::validate(const LoopNest &Nest,
+                   const std::vector<TransformSequence> &Candidates,
+                   const witness::ValidateOptions &Opts) const {
+  return witness::validateLadder(Nest, Candidates, Opts);
+}
+
+witness::Certificate Pipeline::certify(const TransformSequence &Seq,
+                                       const LoopNest &Nest) {
+  std::shared_ptr<const DepSet> D = dependences(Nest);
+  return witness::certify(Seq, Nest, *D);
+}
+
+std::string Pipeline::checkCertificate(const witness::Certificate &C,
+                                       const TransformSequence &Seq,
+                                       const LoopNest &Nest) {
+  std::shared_ptr<const DepSet> D = dependences(Nest);
+  return witness::checkCertificate(C, Seq, Nest, *D);
+}
+
+VerifyResult Pipeline::verify(const LoopNest &Original,
+                              const LoopNest &Transformed,
+                              const EvalConfig &Config) const {
+  return verifyTransformed(Original, Transformed, Config);
+}
+
+CacheStats Pipeline::cacheStats() const {
+  CacheStats S;
+  S.DepHits = M->DepHits.load(std::memory_order_relaxed);
+  S.DepMisses = M->DepMisses.load(std::memory_order_relaxed);
+  S.LegalityHits = M->LegalityHits.load(std::memory_order_relaxed);
+  S.LegalityMisses = M->LegalityMisses.load(std::memory_order_relaxed);
+  S.DepEntries = M->DepCache.size();
+  S.LegalityEntries = M->LegalityCache.size();
+  return S;
+}
+
+void Pipeline::clearCaches() {
+  M->DepCache.clear();
+  M->LegalityCache.clear();
+}
+
+fuzz::FuzzStats api::runFuzzer(const fuzz::FuzzOptions &Opts) {
+  return fuzz::runFuzzer(Opts);
+}

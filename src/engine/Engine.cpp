@@ -1,0 +1,499 @@
+//===- engine/Engine.cpp - High-throughput batch pipeline engine ---------===//
+//
+// Part of the IRLT project: a reproduction of Sarkar & Thekkath,
+// "A General Framework for Iteration-Reordering Loop Transformations"
+// (PLDI 1992). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Engine.h"
+
+#include "support/Json.h"
+#include "support/MathUtils.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+using namespace irlt;
+using namespace irlt::engine;
+
+const char *engine::stageName(Stage S) {
+  switch (S) {
+  case Stage::Parse:
+    return "parse";
+  case Stage::Deps:
+    return "deps";
+  case Stage::Plan:
+    return "plan";
+  case Stage::Legality:
+    return "legality";
+  case Stage::Apply:
+    return "apply";
+  case Stage::Validate:
+    return "validate";
+  case Stage::Total:
+    return "total";
+  }
+  return "?";
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t nsSince(Clock::time_point T0) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - T0)
+          .count());
+}
+
+/// Per-worker latency samples; merged after the run.
+struct WorkerData {
+  std::vector<uint64_t> Samples[NumStages];
+  uint64_t BusyNs = 0;
+  uint64_t Errors = 0;
+  uint64_t Illegal = 0;
+};
+
+/// Times one stage and records the sample.
+template <typename F>
+auto timed(WorkerData &W, Stage S, F &&Fn) -> decltype(Fn()) {
+  Clock::time_point T0 = Clock::now();
+  if constexpr (std::is_void_v<decltype(Fn())>) {
+    Fn();
+    W.Samples[static_cast<unsigned>(S)].push_back(nsSince(T0));
+  } else {
+    auto R = Fn();
+    W.Samples[static_cast<unsigned>(S)].push_back(nsSince(T0));
+    return R;
+  }
+}
+
+void writeDiags(json::JsonWriter &W, const std::vector<Diag> &Diags) {
+  W.key("diags").beginArray();
+  for (const Diag &D : Diags) {
+    W.beginObject();
+    W.field("severity", D.Severity == DiagSeverity::Error     ? "error"
+                        : D.Severity == DiagSeverity::Warning ? "warning"
+                                                              : "note");
+    if (D.Line)
+      W.field("line", static_cast<uint64_t>(D.Line));
+    if (D.Stage)
+      W.field("stage", static_cast<uint64_t>(D.Stage));
+    if (!D.TemplateName.empty())
+      W.field("template", D.TemplateName);
+    W.field("message", D.Message);
+    W.endObject();
+  }
+  W.endArray();
+}
+
+/// Finishes a record as a failure: {"ok": false, "error": {...}}.
+std::string errorRecord(const std::string &Id, const std::string &Message,
+                        const std::vector<Diag> *Diags = nullptr) {
+  json::JsonWriter W;
+  json::beginToolRecord(W, "irlt-batch");
+  W.field("id", Id);
+  W.field("ok", false);
+  W.key("error").beginObject();
+  W.field("message", Message);
+  if (Diags)
+    writeDiags(W, *Diags);
+  W.endObject();
+  W.endObject();
+  return W.take();
+}
+
+void writeLegality(json::JsonWriter &W, const LegalityResult &L) {
+  W.field("legal", L.Legal);
+  W.field("reject_kind", rejectKindName(L.Kind));
+  if (!L.Legal)
+    W.field("reason", L.Reason);
+  else
+    W.field("final_deps", L.FinalDeps.str());
+}
+
+void writeValidation(json::JsonWriter &W, const witness::LadderResult &LR) {
+  W.key("validate").beginObject();
+  W.field("chosen", static_cast<int64_t>(LR.Chosen));
+  W.field("fell_back_to_identity", LR.fellBackToIdentity());
+  W.key("outcomes").beginArray();
+  for (const witness::CandidateOutcome &O : LR.Outcomes) {
+    W.beginObject();
+    W.field("status", witness::validateStatusName(O.Status));
+    W.field("detail", O.Detail);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+}
+
+struct ReqOutcome {
+  std::string Record;
+  bool Error = false;
+  bool Illegal = false;
+};
+
+/// Serves one request line. Everything deterministic: the record depends
+/// only on the line's content (and the engine's forced-validation knob),
+/// never on timing, worker identity, or cache state.
+ReqOutcome processLine(api::Pipeline &P, const EngineOptions &EO,
+                       const std::string &Line, uint64_t LineNo,
+                       WorkerData &WD) {
+  ReqOutcome Out;
+  ErrorOr<BatchRequest> ReqOr = parseRequestLine(Line, LineNo);
+  if (!ReqOr) {
+    Out.Error = true;
+    Out.Record = errorRecord(std::to_string(LineNo), ReqOr.message(),
+                             &ReqOr.diags());
+    return Out;
+  }
+  BatchRequest Req = ReqOr.take();
+  if (EO.ForcedValidateBudget && !Req.ValidateBudget)
+    Req.ValidateBudget = EO.ForcedValidateBudget;
+
+  ErrorOr<LoopNest> NestOr =
+      timed(WD, Stage::Parse, [&] { return P.loadNest(Req.NestSource); });
+  if (!NestOr) {
+    Out.Error = true;
+    Out.Record =
+        errorRecord(Req.Id, "nest: " + NestOr.message(), &NestOr.diags());
+    return Out;
+  }
+  LoopNest Nest = NestOr.take();
+
+  bool DepOverflow = false;
+  std::shared_ptr<const DepSet> D = timed(
+      WD, Stage::Deps, [&] { return P.dependences(Nest, &DepOverflow); });
+  if (DepOverflow) {
+    Out.Error = true;
+    Out.Record = errorRecord(
+        Req.Id,
+        "deps: dependence analysis overflows the int64 coefficient range");
+    return Out;
+  }
+
+  json::JsonWriter W;
+  json::beginToolRecord(W, "irlt-batch");
+  W.field("id", Req.Id);
+  W.field("ok", true);
+  W.field("mode", !Req.Auto.empty() ? "auto" : "script");
+  W.field("deps", D->str());
+
+  TransformSequence Seq;
+  bool SeqLegal = true; // script mode: result of the legality test
+
+  if (!Req.Auto.empty()) {
+    search::SearchOptions SO;
+    SO.Obj = Req.Auto == "locality" ? search::Objective::Locality
+             : Req.Auto == "par"    ? search::Objective::Parallelism
+                                    : search::Objective::Both;
+    SO.Beam = Req.Beam;
+    SO.Depth = Req.Depth;
+    SO.TopK = Req.TopK;
+    // One thread per request: the engine parallelizes across requests.
+    SO.Threads = 1;
+    search::SearchResult SR =
+        timed(WD, Stage::Plan, [&] { return P.searchAuto(Nest, SO); });
+    if (!SR.Error.empty()) {
+      Out.Error = true;
+      Out.Record = errorRecord(Req.Id, "auto: " + SR.Error);
+      return Out;
+    }
+    W.field("objective", Req.Auto);
+    if (SR.Best) {
+      Seq = SR.Best->Seq;
+      W.key("winner").beginObject();
+      W.field("cost", SR.Best->Cost);
+      W.field("miss_ratio", SR.Best->MissRatio);
+      W.field("par_score", static_cast<int64_t>(SR.Best->ParScore));
+      W.key("parallel_loops").beginArray();
+      for (unsigned L : SR.Best->ParallelLoops)
+        W.value(static_cast<uint64_t>(L));
+      W.endArray();
+      W.endObject();
+    } else {
+      W.nullField("winner");
+    }
+    W.key("search_stats").beginObject();
+    W.field("enumerated", SR.Stats.Enumerated);
+    W.field("pruned", SR.Stats.Pruned);
+    W.field("deduped", SR.Stats.Deduped);
+    W.field("leaves", SR.Stats.Leaves);
+    W.field("legal", SR.Stats.Legal);
+    W.endObject();
+
+    if (Req.ValidateBudget && SR.Best) {
+      witness::ValidateOptions VO = witness::ValidateOptions::defaults();
+      VO.MaxInstances = Req.ValidateBudget;
+      VO.ReproDir.clear(); // no filesystem writes from engine workers
+      std::vector<TransformSequence> Cands;
+      for (const search::ScoredSequence &S : SR.Top)
+        Cands.push_back(S.Seq);
+      if (Cands.empty())
+        Cands.push_back(SR.Best->Seq);
+      witness::LadderResult LR = timed(
+          WD, Stage::Validate, [&] { return P.validate(Nest, Cands, VO); });
+      writeValidation(W, LR);
+      Seq = LR.fellBackToIdentity() ? TransformSequence()
+                                    : Cands[static_cast<size_t>(LR.Chosen)];
+    }
+    if (Req.Reduce) {
+      OverflowGuard Guard;
+      TransformSequence Red = Seq.reduced();
+      if (Guard.triggered()) {
+        Out.Error = true;
+        Out.Record = errorRecord(
+            Req.Id, "reduce: sequence reduction overflows the int64 range");
+        return Out;
+      }
+      Seq = std::move(Red);
+    }
+    W.field("sequence", Seq.str());
+    // The winner is legal by construction; re-deriving the verdict here
+    // exercises (and fills) the shared legality cache and reports the
+    // final mapped dependence set.
+    LegalityResult L = timed(WD, Stage::Legality,
+                             [&] { return P.checkLegality(Seq, Nest); });
+    writeLegality(W, L);
+    SeqLegal = L.Legal;
+  } else {
+    ErrorOr<TransformSequence> SeqOr = timed(WD, Stage::Plan, [&] {
+      return P.parseScript(Req.Script, Nest.numLoops());
+    });
+    if (!SeqOr) {
+      Out.Error = true;
+      Out.Record =
+          errorRecord(Req.Id, "script: " + SeqOr.message(), &SeqOr.diags());
+      return Out;
+    }
+    Seq = SeqOr.take();
+    if (Req.Reduce) {
+      OverflowGuard Guard;
+      TransformSequence Red = Seq.reduced();
+      if (Guard.triggered()) {
+        Out.Error = true;
+        Out.Record = errorRecord(
+            Req.Id, "reduce: sequence reduction overflows the int64 range");
+        return Out;
+      }
+      Seq = std::move(Red);
+    }
+    W.field("sequence", Seq.str());
+
+    if (Req.Legality) {
+      LegalityResult L = timed(WD, Stage::Legality,
+                               [&] { return P.checkLegality(Seq, Nest); });
+      writeLegality(W, L);
+      SeqLegal = L.Legal;
+      if (!L.Legal)
+        Out.Illegal = true;
+    }
+
+    if (Req.ValidateBudget && SeqLegal) {
+      witness::ValidateOptions VO = witness::ValidateOptions::defaults();
+      VO.MaxInstances = Req.ValidateBudget;
+      VO.ReproDir.clear();
+      std::vector<TransformSequence> Cands{Seq};
+      witness::LadderResult LR = timed(
+          WD, Stage::Validate, [&] { return P.validate(Nest, Cands, VO); });
+      writeValidation(W, LR);
+      if (LR.fellBackToIdentity())
+        Seq = TransformSequence();
+    }
+  }
+
+  if (!Req.Emit.empty() && SeqLegal) {
+    ErrorOr<LoopNest> Applied =
+        timed(WD, Stage::Apply, [&] { return P.apply(Seq, Nest); });
+    if (!Applied) {
+      Out.Error = true;
+      Out.Record = errorRecord(Req.Id, "apply: " + Applied.message(),
+                               &Applied.diags());
+      return Out;
+    }
+    W.field("output", P.emit(*Applied, Req.Emit == "c" ? api::EmitKind::C
+                                                       : api::EmitKind::Loop));
+  }
+
+  W.endObject();
+  Out.Record = W.take();
+  return Out;
+}
+
+StageMetrics summarize(std::vector<uint64_t> &&Samples) {
+  StageMetrics M;
+  M.Count = Samples.size();
+  if (Samples.empty())
+    return M;
+  for (uint64_t S : Samples)
+    M.TotalNs += S;
+  std::sort(Samples.begin(), Samples.end());
+  M.P50Ns = Samples[(Samples.size() - 1) / 2];
+  M.P95Ns = Samples[(Samples.size() - 1) * 95 / 100];
+  return M;
+}
+
+} // namespace
+
+std::vector<std::string> engine::splitLines(const std::string &Text) {
+  std::vector<std::string> Lines;
+  size_t Pos = 0;
+  while (Pos <= Text.size()) {
+    size_t Nl = Text.find('\n', Pos);
+    if (Nl == std::string::npos) {
+      if (Pos < Text.size())
+        Lines.push_back(Text.substr(Pos));
+      break;
+    }
+    Lines.push_back(Text.substr(Pos, Nl - Pos));
+    Pos = Nl + 1;
+  }
+  return Lines;
+}
+
+BatchEngine::BatchEngine(EngineOptions O)
+    : Opts(O), P(api::PipelineOptions{O.EnableCache, {}}) {}
+
+EngineMetrics
+BatchEngine::run(const std::vector<std::string> &Lines,
+                 const std::function<void(const std::string &)> &Sink) {
+  // Non-blank lines are the work items; 1-based line numbers seed the
+  // default request ids.
+  std::vector<std::pair<uint64_t, const std::string *>> Work;
+  for (size_t I = 0; I < Lines.size(); ++I) {
+    bool Blank = Lines[I].find_first_not_of(" \t\r") == std::string::npos;
+    if (!Blank)
+      Work.emplace_back(I + 1, &Lines[I]);
+  }
+  size_t N = Work.size();
+  unsigned Jobs = std::max(1u, Opts.Jobs);
+
+  std::vector<std::string> Results(N);
+  std::vector<char> Done(N, 0);
+  std::atomic<size_t> Next{0};
+  std::mutex Mu;
+  std::condition_variable Cv;
+  std::vector<WorkerData> Workers(Jobs);
+
+  api::CacheStats Before = P.cacheStats();
+  Clock::time_point Start = Clock::now();
+
+  std::vector<std::thread> Threads;
+  Threads.reserve(Jobs);
+  for (unsigned J = 0; J < Jobs; ++J) {
+    Threads.emplace_back([&, J] {
+      WorkerData &WD = Workers[J];
+      for (;;) {
+        size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+        if (I >= N)
+          break;
+        Clock::time_point T0 = Clock::now();
+        ReqOutcome O = timed(WD, Stage::Total, [&] {
+          return processLine(P, Opts, *Work[I].second, Work[I].first, WD);
+        });
+        WD.BusyNs += nsSince(T0);
+        WD.Errors += O.Error;
+        WD.Illegal += O.Illegal;
+        {
+          std::lock_guard<std::mutex> Lock(Mu);
+          Results[I] = std::move(O.Record);
+          Done[I] = 1;
+        }
+        Cv.notify_one();
+      }
+    });
+  }
+
+  // Completed-prefix flusher: emit records in input order as they land.
+  {
+    std::unique_lock<std::mutex> Lock(Mu);
+    for (size_t I = 0; I < N; ++I) {
+      Cv.wait(Lock, [&] { return Done[I] != 0; });
+      std::string R = std::move(Results[I]);
+      Lock.unlock();
+      Sink(R);
+      Lock.lock();
+    }
+  }
+  for (std::thread &T : Threads)
+    T.join();
+
+  EngineMetrics M;
+  M.Requests = N;
+  M.Jobs = Jobs;
+  M.WallNs = nsSince(Start);
+  api::CacheStats After = P.cacheStats();
+  M.Cache.DepHits = After.DepHits - Before.DepHits;
+  M.Cache.DepMisses = After.DepMisses - Before.DepMisses;
+  M.Cache.LegalityHits = After.LegalityHits - Before.LegalityHits;
+  M.Cache.LegalityMisses = After.LegalityMisses - Before.LegalityMisses;
+  M.Cache.DepEntries = After.DepEntries;
+  M.Cache.LegalityEntries = After.LegalityEntries;
+  for (unsigned S = 0; S < NumStages; ++S) {
+    std::vector<uint64_t> All;
+    for (WorkerData &WD : Workers)
+      All.insert(All.end(), WD.Samples[S].begin(), WD.Samples[S].end());
+    M.Stages[S] = summarize(std::move(All));
+  }
+  for (const WorkerData &WD : Workers) {
+    M.BusyNs += WD.BusyNs;
+    M.Errors += WD.Errors;
+    M.Illegal += WD.Illegal;
+  }
+  return M;
+}
+
+std::string BatchEngine::runToString(const std::vector<std::string> &Lines,
+                                     EngineMetrics *MetricsOut) {
+  std::string Out;
+  EngineMetrics M = run(Lines, [&](const std::string &R) {
+    Out += R;
+    Out += '\n';
+  });
+  if (MetricsOut)
+    *MetricsOut = M;
+  return Out;
+}
+
+std::string EngineMetrics::toJson() const {
+  json::JsonWriter W;
+  json::beginToolRecord(W, "irlt-batch");
+  W.field("record", "metrics");
+  W.field("requests", Requests);
+  W.field("errors", Errors);
+  W.field("illegal", Illegal);
+  W.field("jobs", static_cast<uint64_t>(Jobs));
+  W.field("wall_ms", static_cast<double>(WallNs) / 1e6);
+  W.field("worker_utilization", workerUtilization());
+  W.key("dep_cache").beginObject();
+  W.field("hits", Cache.DepHits);
+  W.field("misses", Cache.DepMisses);
+  W.field("entries", Cache.DepEntries);
+  W.field("hit_rate", Cache.depHitRate());
+  W.endObject();
+  W.key("legality_cache").beginObject();
+  W.field("hits", Cache.LegalityHits);
+  W.field("misses", Cache.LegalityMisses);
+  W.field("entries", Cache.LegalityEntries);
+  W.field("hit_rate", Cache.legalityHitRate());
+  W.endObject();
+  W.key("stages").beginArray();
+  for (unsigned S = 0; S < NumStages; ++S) {
+    const StageMetrics &SM = Stages[S];
+    W.beginObject();
+    W.field("name", stageName(static_cast<Stage>(S)));
+    W.field("count", SM.Count);
+    W.field("total_ms", static_cast<double>(SM.TotalNs) / 1e6);
+    W.field("p50_us", static_cast<double>(SM.P50Ns) / 1e3);
+    W.field("p95_us", static_cast<double>(SM.P95Ns) / 1e3);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  return W.take();
+}

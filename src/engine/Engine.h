@@ -1,0 +1,136 @@
+//===- engine/Engine.h - High-throughput batch pipeline engine -----------===//
+//
+// Part of the IRLT project: a reproduction of Sarkar & Thekkath,
+// "A General Framework for Iteration-Reordering Loop Transformations"
+// (PLDI 1992). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The batch pipeline engine behind irlt-batch (docs/API.md): accepts a
+/// stream of ndjson requests (engine/Wire.h), executes them on a worker
+/// pool that shares one api::Pipeline - and therefore shares the
+/// dependence-analysis and legality memoization caches - and emits one
+/// versioned JSON result record per request.
+///
+/// Determinism contract: the result stream is *byte-identical for any
+/// worker count*. Workers claim requests by atomic index and fill
+/// preallocated result slots; the caller's sink receives completed
+/// records strictly in input order (a completed-prefix flusher, so
+/// emission streams while later requests are still in flight). Every
+/// per-request computation is deterministic (search runs with one
+/// thread per request - the engine's parallelism is *across* requests -
+/// and validation runs with reproducer dumping and wall budgets off),
+/// and nothing time- or thread-dependent is written into result records.
+///
+/// Metrics (requests served, cache hit rates, p50/p95 per-stage latency,
+/// worker utilization) are collected per worker and merged after the
+/// run; they live outside the result stream precisely because latencies
+/// are not deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRLT_ENGINE_ENGINE_H
+#define IRLT_ENGINE_ENGINE_H
+
+#include "api/Pipeline.h"
+#include "engine/Wire.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace irlt {
+namespace engine {
+
+/// Engine configuration.
+struct EngineOptions {
+  /// Worker threads (>= 1). The result stream is identical for any value.
+  unsigned Jobs = 1;
+  /// Shared memoization caches (api::PipelineOptions::EnableCache).
+  bool EnableCache = true;
+  /// Force validation of every request with this instance budget
+  /// (irlt-batch --validate[=N]); per-request "validate" fields win.
+  uint64_t ForcedValidateBudget = 0;
+};
+
+/// Names of the measured pipeline stages, in reporting order.
+enum class Stage : unsigned {
+  Parse,    ///< loop-language parsing
+  Deps,     ///< dependence analysis (cache included)
+  Plan,     ///< script parsing or beam search
+  Legality, ///< the uniform legality test (cache included)
+  Apply,    ///< bounds pipeline + rendering
+  Validate, ///< bounded concrete-execution validation
+  Total,    ///< whole request
+};
+inline constexpr unsigned NumStages = 7;
+const char *stageName(Stage S);
+
+/// Merged percentile summary of one stage.
+struct StageMetrics {
+  uint64_t Count = 0;
+  uint64_t TotalNs = 0;
+  uint64_t P50Ns = 0;
+  uint64_t P95Ns = 0;
+};
+
+/// The post-run metrics block.
+struct EngineMetrics {
+  uint64_t Requests = 0;
+  /// Records with "ok": false (malformed request, parse failure, ...).
+  uint64_t Errors = 0;
+  /// Script-mode requests whose sequence the legality test rejected
+  /// (served successfully; counted for observability).
+  uint64_t Illegal = 0;
+  unsigned Jobs = 1;
+  uint64_t WallNs = 0;
+  /// Sum of per-worker busy time; utilization = Busy / (Jobs * Wall).
+  uint64_t BusyNs = 0;
+  api::CacheStats Cache;
+  StageMetrics Stages[NumStages];
+
+  double workerUtilization() const {
+    return WallNs && Jobs ? static_cast<double>(BusyNs) /
+                                (static_cast<double>(WallNs) * Jobs)
+                          : 0.0;
+  }
+
+  /// The metrics block as one JSON record (same schema prologue as the
+  /// result records, "record": "metrics").
+  std::string toJson() const;
+};
+
+/// The engine. Reusable: each run() processes one corpus; the caches
+/// persist across runs of the same engine instance.
+class BatchEngine {
+public:
+  explicit BatchEngine(EngineOptions Opts = {});
+
+  /// Processes \p Lines (one ndjson request per line; blank lines are
+  /// ignored) and calls \p Sink once per request, in input order, with
+  /// the result record (no trailing newline). Blocks until done.
+  EngineMetrics run(const std::vector<std::string> &Lines,
+                    const std::function<void(const std::string &)> &Sink);
+
+  /// Convenience for tests and benchmarks: concatenates all records
+  /// (newline-terminated) into one string.
+  std::string runToString(const std::vector<std::string> &Lines,
+                          EngineMetrics *MetricsOut = nullptr);
+
+  /// The shared pipeline (exposes cache stats and manual cache control).
+  api::Pipeline &pipeline() { return P; }
+
+private:
+  EngineOptions Opts;
+  api::Pipeline P;
+};
+
+/// Splits a whole ndjson document into lines (no trailing-newline
+/// requirement); shared by the tool and tests.
+std::vector<std::string> splitLines(const std::string &Text);
+
+} // namespace engine
+} // namespace irlt
+
+#endif // IRLT_ENGINE_ENGINE_H

@@ -1,0 +1,73 @@
+//===- engine/Wire.cpp - ndjson wire format of the batch engine ----------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Wire.h"
+
+#include "support/Json.h"
+
+using namespace irlt;
+using namespace irlt::engine;
+
+ErrorOr<BatchRequest> engine::parseRequestLine(const std::string &Line,
+                                               uint64_t LineNo) {
+  ErrorOr<json::JsonValue> Doc = json::JsonValue::parse(Line);
+  if (!Doc)
+    return Failure(Diag::error("request line " + std::to_string(LineNo) +
+                               ": " + Doc.message()));
+  if (!Doc->isObject())
+    return Failure(Diag::error("request line " + std::to_string(LineNo) +
+                               ": expected a JSON object"));
+
+  BatchRequest R;
+  R.Id = Doc->stringOr("id", std::to_string(LineNo));
+
+  const json::JsonValue *Nest = Doc->find("nest");
+  if (!Nest || !Nest->isString())
+    return Failure(Diag::error("request line " + std::to_string(LineNo) +
+                               ": missing required string field 'nest'"));
+  R.NestSource = Nest->asString();
+
+  R.Script = Doc->stringOr("script");
+  R.Auto = Doc->stringOr("auto");
+  if (!R.Auto.empty() && !R.Script.empty())
+    return Failure(Diag::error("request line " + std::to_string(LineNo) +
+                               ": 'script' and 'auto' are exclusive"));
+  if (!R.Auto.empty() && R.Auto != "locality" && R.Auto != "par" &&
+      R.Auto != "both")
+    return Failure(Diag::error(
+        "request line " + std::to_string(LineNo) +
+        ": 'auto' must be locality, par, or both, got '" + R.Auto + "'"));
+
+  R.Legality = Doc->boolOr("legality", true);
+  R.Reduce = Doc->boolOr("reduce", false);
+  R.Emit = Doc->stringOr("emit");
+  if (!R.Emit.empty() && R.Emit != "loop" && R.Emit != "c")
+    return Failure(Diag::error("request line " + std::to_string(LineNo) +
+                               ": 'emit' must be loop or c, got '" + R.Emit +
+                               "'"));
+
+  int64_t Validate = Doc->intOr("validate", 0);
+  if (Validate < 0)
+    return Failure(Diag::error("request line " + std::to_string(LineNo) +
+                               ": 'validate' must be a non-negative "
+                               "instance budget"));
+  R.ValidateBudget = static_cast<uint64_t>(Validate);
+
+  for (const auto &[Key, Default, Slot] :
+       {std::tuple<const char *, unsigned, unsigned *>{"beam", 8U, &R.Beam},
+        {"depth", 2U, &R.Depth},
+        {"topk", 5U, &R.TopK}}) {
+    int64_t V = Doc->intOr(Key, static_cast<int64_t>(Default));
+    // "depth" may legitimately be 0 (identity-only search).
+    bool ZeroOk = std::string(Key) == "depth";
+    if (V < (ZeroOk ? 0 : 1) || V > 1'000'000)
+      return Failure(Diag::error("request line " + std::to_string(LineNo) +
+                                 ": '" + Key + "' out of range"));
+    *Slot = static_cast<unsigned>(V);
+  }
+
+  return R;
+}

@@ -1,0 +1,74 @@
+//===- engine/Wire.h - ndjson wire format of the batch engine ------------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The request side of the batch engine's ndjson wire format
+/// (docs/API.md): one JSON object per line, each describing one
+/// independent pipeline request. Two modes, mirroring irlt-opt:
+///
+///   {"id": "r1", "nest": "do i = 1, n\n ...", "script": "interchange 1 2"}
+///   {"id": "r2", "nest": "...", "auto": "locality"}
+///
+/// Optional fields: "legality" (bool, default true - run the uniform
+/// legality test in script mode), "reduce" (bool, default false),
+/// "emit" ("loop" or "c": include the transformed nest in the result),
+/// "validate" (int instance budget: cross-check by bounded concrete
+/// execution), and for auto mode "beam", "depth", "topk".
+///
+/// The result side is one versioned JSON record per request (the same
+/// "schema_version"/"tool" prologue every tool emits, support/Json.h),
+/// produced by the engine in deterministic input order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRLT_ENGINE_WIRE_H
+#define IRLT_ENGINE_WIRE_H
+
+#include "support/ErrorOr.h"
+
+#include <cstdint>
+#include <string>
+
+namespace irlt {
+namespace engine {
+
+/// One parsed request line.
+struct BatchRequest {
+  /// Echoed into the result record; defaults to the 1-based input line
+  /// number.
+  std::string Id;
+  /// Loop-language source of the nest (required).
+  std::string NestSource;
+  /// Script mode: transformation script text (may be empty for an
+  /// identity request).
+  std::string Script;
+  /// Auto mode: "locality", "par", or "both"; exclusive with Script.
+  std::string Auto;
+  /// Script mode: run the uniform legality test (default on).
+  bool Legality = true;
+  /// reduce() the sequence before use.
+  bool Reduce = false;
+  /// "", "loop", or "c": include transformed code in the result.
+  std::string Emit;
+  /// > 0: validate candidates by bounded concrete execution with this
+  /// instance budget.
+  uint64_t ValidateBudget = 0;
+  /// Auto-mode search knobs.
+  unsigned Beam = 8;
+  unsigned Depth = 2;
+  unsigned TopK = 5;
+};
+
+/// Parses one ndjson request line. \p LineNo is 1-based and seeds the
+/// default Id. Fails with a structured diagnostic on malformed JSON,
+/// missing/mistyped fields, or contradictory modes.
+ErrorOr<BatchRequest> parseRequestLine(const std::string &Line,
+                                       uint64_t LineNo);
+
+} // namespace engine
+} // namespace irlt
+
+#endif // IRLT_ENGINE_WIRE_H

@@ -8,6 +8,7 @@
 
 #include "fuzz/ScriptGen.h"
 #include "fuzz/Shrink.h"
+#include "support/Json.h"
 
 #include <cstdio>
 #include <filesystem>
@@ -80,6 +81,27 @@ std::string irlt::fuzz::writeReproducer(
     Out << "irlt reproducer\n" << Detail << "\n\nreplay:\n";
     for (const std::string &Line : ReplayLines)
       Out << "  " << Line << "\n";
+  }
+  {
+    // Machine-readable twin of the .txt reproducer, in the shared
+    // versioned record schema (docs/API.md): one self-contained object a
+    // triage script can load without re-parsing the prose layout.
+    std::ofstream Out(Base + ".json");
+    if (!Out)
+      return "";
+    json::JsonWriter W;
+    json::beginToolRecord(W, "irlt-fuzz");
+    W.field("record", "reproducer");
+    W.field("stem", Stem);
+    W.field("detail", Detail);
+    W.field("nest", NestSource);
+    W.field("script", ScriptSource);
+    W.key("replay").beginArray();
+    for (const std::string &Line : ReplayLines)
+      W.value(Line);
+    W.endArray();
+    W.endObject();
+    Out << W.take() << "\n";
   }
   return NestPath;
 }

@@ -83,8 +83,10 @@ FuzzCase generateCase(const FuzzOptions &Opts, uint64_t Index);
 
 /// Writes a replayable reproducer trio into \p Dir: <stem>.nest (loop
 /// nest source), <stem>.script (transformation script, may be empty),
-/// and <stem>.txt (a note carrying \p Detail plus \p ReplayLines, one
-/// command per line). Shared by the fuzzer and the witness-validation
+/// <stem>.txt (a note carrying \p Detail plus \p ReplayLines, one
+/// command per line), and <stem>.json (the same content as one
+/// schema-versioned record, see docs/API.md). Shared by the fuzzer and
+/// the witness-validation
 /// layer so every disproof dump replays the same way. \returns the nest
 /// path, or an empty string when the directory or files cannot be
 /// created (reporting continues without files).

@@ -1,0 +1,206 @@
+//===- ir/NestHash.cpp - Canonical structural nest fingerprints ----------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/NestHash.h"
+
+#include "ir/LinExpr.h"
+#include "support/Casting.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+using namespace irlt;
+
+namespace {
+
+using RenameMap = std::map<std::string, std::string>;
+
+std::string canonExpr(const ExprRef &E, const RenameMap &Rename);
+
+/// Canonical rendering of an opaque (non-linear) node. Commutative
+/// operators sort their canonicalized operands; everything else keeps
+/// structural order.
+std::string canonOpaque(const Expr &E, const RenameMap &Rename) {
+  switch (E.kind()) {
+  case Expr::Kind::IntConst:
+    return std::to_string(cast<IntConstExpr>(&E)->value());
+  case Expr::Kind::Var: {
+    const std::string &Name = cast<VarExpr>(&E)->name();
+    auto It = Rename.find(Name);
+    return It == Rename.end() ? Name : It->second;
+  }
+  case Expr::Kind::Mul: {
+    // A non-constant product (a constant factor would have been folded
+    // into the linear form). Multiplication commutes, so sort.
+    const auto *B = cast<BinaryExpr>(&E);
+    std::string L = canonExpr(B->lhs(), Rename);
+    std::string R = canonExpr(B->rhs(), Rename);
+    if (R < L)
+      std::swap(L, R);
+    return "(* " + L + " " + R + ")";
+  }
+  case Expr::Kind::Add:
+  case Expr::Kind::Sub: {
+    // Only reachable inside opaque subtrees (the linearizer opens +/- at
+    // the top level); go back through the linear form for normalization.
+    const auto *B = cast<BinaryExpr>(&E);
+    const char *Op = E.kind() == Expr::Kind::Add ? "(+ " : "(- ";
+    return Op + canonExpr(B->lhs(), Rename) + " " +
+           canonExpr(B->rhs(), Rename) + ")";
+  }
+  case Expr::Kind::Div:
+  case Expr::Kind::Mod: {
+    const auto *B = cast<BinaryExpr>(&E);
+    const char *Op = E.kind() == Expr::Kind::Div ? "(div " : "(mod ";
+    return Op + canonExpr(B->lhs(), Rename) + " " +
+           canonExpr(B->rhs(), Rename) + ")";
+  }
+  case Expr::Kind::Min:
+  case Expr::Kind::Max: {
+    const auto *M = cast<MinMaxExpr>(&E);
+    std::vector<std::string> Ops;
+    Ops.reserve(M->operands().size());
+    for (const ExprRef &O : M->operands())
+      Ops.push_back(canonExpr(O, Rename));
+    // min/max are commutative and associative; sorted operands make
+    // min(n, m) and min(m, n) agree.
+    std::sort(Ops.begin(), Ops.end());
+    std::string Out = M->isMin() ? "(min" : "(max";
+    for (const std::string &O : Ops)
+      Out += " " + O;
+    return Out + ")";
+  }
+  case Expr::Kind::Call: {
+    const auto *C = cast<CallExpr>(&E);
+    std::string Out = "(call " + C->callee();
+    for (const ExprRef &A : C->args()) {
+      Out += ' ';
+      Out += canonExpr(A, Rename);
+    }
+    return Out + ")";
+  }
+  }
+  return "?";
+}
+
+/// Canonicalizes \p E through the linear form: constant first, then the
+/// linear terms sorted by their canonical atom rendering. This merges
+/// like terms, folds constants, and erases source-order differences
+/// (`i + 1` vs `1 + i`, `2*i` vs `i + i`).
+std::string canonExpr(const ExprRef &E, const RenameMap &Rename) {
+  LinExpr L = LinExpr::fromExpr(E);
+  std::vector<std::pair<std::string, int64_t>> Terms;
+  Terms.reserve(L.terms().size());
+  for (const auto &[Key, T] : L.terms()) {
+    (void)Key; // keyed by the *un-renamed* rendering; re-key canonically
+    if (T.Coef == 0)
+      continue;
+    Terms.emplace_back(canonOpaque(*T.Atom, Rename), T.Coef);
+  }
+  std::sort(Terms.begin(), Terms.end());
+  std::string Out = "lin(" + std::to_string(L.constant());
+  int64_t PendingCoef = 0;
+  std::string PendingAtom;
+  bool HavePending = false;
+  auto flush = [&] {
+    if (!HavePending || PendingCoef == 0)
+      return;
+    Out += ' ';
+    Out += std::to_string(PendingCoef);
+    Out += '*';
+    Out += PendingAtom;
+  };
+  for (const auto &[Atom, Coef] : Terms) {
+    if (HavePending && Atom == PendingAtom) {
+      // Two source atoms that canonicalize identically (e.g. a*b and
+      // b*a appearing as separate terms) merge here.
+      PendingCoef += Coef;
+      continue;
+    }
+    flush();
+    PendingAtom = Atom;
+    PendingCoef = Coef;
+    HavePending = true;
+  }
+  flush();
+  return Out + ")";
+}
+
+} // namespace
+
+std::string irlt::canonicalExprKey(const ExprRef &E, const RenameMap &Rename) {
+  return canonExpr(E, Rename);
+}
+
+std::string irlt::canonicalNestKey(const LoopNest &Nest) {
+  // Positional renaming: loop index variables become @0, @1, ...
+  // (outermost first); body index variables not bound by any loop (the
+  // original variables of a transformed nest, recovered by Inits) become
+  // $0, $1, ... Free parameters keep their names.
+  RenameMap Rename;
+  for (unsigned K = 0; K < Nest.numLoops(); ++K)
+    Rename[Nest.Loops[K].IndexVar] = '@' + std::to_string(K);
+  for (size_t K = 0; K < Nest.BodyIndexVars.size(); ++K) {
+    const std::string &V = Nest.BodyIndexVars[K];
+    if (!Rename.count(V))
+      Rename[V] = '$' + std::to_string(K);
+  }
+
+  std::string Out = "nest/v1;";
+  Out += "loops=" + std::to_string(Nest.numLoops()) + ";";
+  for (unsigned K = 0; K < Nest.numLoops(); ++K) {
+    const Loop &L = Nest.Loops[K];
+    Out += L.Kind == LoopKind::ParDo ? "pardo " : "do ";
+    Out += '@';
+    Out += std::to_string(K);
+    Out += " lb=" + canonExpr(L.Lower, Rename);
+    Out += " ub=" + canonExpr(L.Upper, Rename);
+    Out += " st=" + canonExpr(L.Step, Rename);
+    Out += ";";
+  }
+  // The body-index-variable tuple identifies execution instances; record
+  // which loop position (or $-slot) each element maps to.
+  Out += "bodyvars=";
+  for (size_t K = 0; K < Nest.BodyIndexVars.size(); ++K) {
+    auto It = Rename.find(Nest.BodyIndexVars[K]);
+    Out += (K ? "," : "") +
+           (It == Rename.end() ? Nest.BodyIndexVars[K] : It->second);
+  }
+  Out += ";";
+  for (const InitStmt &I : Nest.Inits) {
+    auto It = Rename.find(I.Var);
+    Out += "init " + (It == Rename.end() ? I.Var : It->second) + "=" +
+           canonExpr(I.Value, Rename) + ";";
+  }
+  for (const AssignStmt &S : Nest.Body) {
+    Out += S.LHS.Array + "(";
+    for (size_t K = 0; K < S.LHS.Subscripts.size(); ++K) {
+      if (K)
+        Out += ',';
+      Out += canonExpr(S.LHS.Subscripts[K], Rename);
+    }
+    Out += ")=" + canonExpr(S.RHS, Rename) + ";";
+  }
+  // Array-name registry: membership decides what counts as an array read.
+  Out += "arrays=";
+  bool FirstArr = true;
+  for (const std::string &A : Nest.ArrayNames) {
+    Out += (FirstArr ? "" : ",") + A;
+    FirstArr = false;
+  }
+  return Out;
+}
+
+uint64_t irlt::structuralNestHash(const LoopNest &Nest) {
+  std::string Key = canonicalNestKey(Nest);
+  uint64_t H = 1469598103934665603ULL; // FNV offset basis
+  for (char C : Key) {
+    H ^= static_cast<unsigned char>(C);
+    H *= 1099511628211ULL; // FNV prime
+  }
+  return H;
+}

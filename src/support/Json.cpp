@@ -1,0 +1,453 @@
+//===- support/Json.cpp - Shared JSON emitter and parser -----------------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace irlt;
+using namespace irlt::json;
+
+std::string json::escape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Hex[8];
+        std::snprintf(Hex, sizeof(Hex), "\\u%04x",
+                      static_cast<unsigned>(static_cast<unsigned char>(C)));
+        Out += Hex;
+      } else {
+        Out.push_back(C);
+      }
+    }
+  }
+  return Out;
+}
+
+void JsonWriter::separate() {
+  if (Stack.empty())
+    return;
+  if (Stack.back() == 'v') {
+    // A key was just written; the value follows with no comma.
+    Stack.back() = 'o';
+    return;
+  }
+  assert(Stack.back() == 'a' && "value inside an object needs a key first");
+  if (!First.back())
+    Buf += ',';
+  First.back() = false;
+}
+
+JsonWriter &JsonWriter::beginObject() {
+  separate();
+  Buf += '{';
+  Stack.push_back('o');
+  First.push_back(true);
+  return *this;
+}
+
+JsonWriter &JsonWriter::endObject() {
+  assert(!Stack.empty() && Stack.back() == 'o' && "unbalanced endObject");
+  Buf += '}';
+  Stack.pop_back();
+  First.pop_back();
+  return *this;
+}
+
+JsonWriter &JsonWriter::beginArray() {
+  separate();
+  Buf += '[';
+  Stack.push_back('a');
+  First.push_back(true);
+  return *this;
+}
+
+JsonWriter &JsonWriter::endArray() {
+  assert(!Stack.empty() && Stack.back() == 'a' && "unbalanced endArray");
+  Buf += ']';
+  Stack.pop_back();
+  First.pop_back();
+  return *this;
+}
+
+JsonWriter &JsonWriter::key(std::string_view K) {
+  assert(!Stack.empty() && Stack.back() == 'o' && "key outside an object");
+  if (!First.back())
+    Buf += ',';
+  First.back() = false;
+  Buf += '"';
+  Buf += escape(K);
+  Buf += "\":";
+  Stack.back() = 'v';
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(std::string_view V) {
+  separate();
+  Buf += '"';
+  Buf += escape(V);
+  Buf += '"';
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(int64_t V) {
+  separate();
+  Buf += std::to_string(V);
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(uint64_t V) {
+  separate();
+  Buf += std::to_string(V);
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(double V) {
+  separate();
+  if (!std::isfinite(V)) {
+    // JSON has no Inf/NaN; null is the least-surprising encoding.
+    Buf += "null";
+    return *this;
+  }
+  char Tmp[64];
+  std::snprintf(Tmp, sizeof(Tmp), "%.17g", V);
+  Buf += Tmp;
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(bool V) {
+  separate();
+  Buf += V ? "true" : "false";
+  return *this;
+}
+
+JsonWriter &JsonWriter::null() {
+  separate();
+  Buf += "null";
+  return *this;
+}
+
+JsonWriter &json::beginToolRecord(JsonWriter &W, std::string_view Tool) {
+  W.beginObject();
+  W.field("schema_version", static_cast<int64_t>(SchemaVersion));
+  W.field("tool", Tool);
+  return W;
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+namespace irlt {
+namespace json {
+
+class Parser {
+public:
+  explicit Parser(std::string_view Text) : Text(Text) {}
+
+  ErrorOr<JsonValue> run() {
+    JsonValue V;
+    if (!parseValue(V))
+      return Failure(Err);
+    skipWs();
+    if (Pos != Text.size())
+      return Failure(at("trailing characters after JSON document"));
+    return V;
+  }
+
+private:
+  std::string at(const std::string &Msg) {
+    return "json: " + Msg + " at offset " + std::to_string(Pos);
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool fail(const std::string &Msg) {
+    if (Err.empty())
+      Err = at(Msg);
+    return false;
+  }
+
+  bool consume(char C, const char *What) {
+    skipWs();
+    if (Pos >= Text.size() || Text[Pos] != C)
+      return fail(std::string("expected ") + What);
+    ++Pos;
+    return true;
+  }
+
+  bool parseValue(JsonValue &Out) {
+    skipWs();
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    switch (Text[Pos]) {
+    case '{':
+      return parseObject(Out);
+    case '[':
+      return parseArray(Out);
+    case '"':
+      Out.TheKind = JsonValue::Kind::String;
+      return parseString(Out.Str);
+    case 't':
+      return parseLiteral("true", [&] {
+        Out.TheKind = JsonValue::Kind::Bool;
+        Out.Bool = true;
+      });
+    case 'f':
+      return parseLiteral("false", [&] {
+        Out.TheKind = JsonValue::Kind::Bool;
+        Out.Bool = false;
+      });
+    case 'n':
+      return parseLiteral("null", [&] { Out.TheKind = JsonValue::Kind::Null; });
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  template <typename F> bool parseLiteral(const char *Lit, F Apply) {
+    size_t N = std::string_view(Lit).size();
+    if (Text.substr(Pos, N) != Lit)
+      return fail(std::string("invalid literal, expected '") + Lit + "'");
+    Pos += N;
+    Apply();
+    return true;
+  }
+
+  bool parseObject(JsonValue &Out) {
+    Out.TheKind = JsonValue::Kind::Object;
+    ++Pos; // '{'
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == '}') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      if (Pos >= Text.size() || Text[Pos] != '"')
+        return fail("expected object key string");
+      std::string Key;
+      if (!parseString(Key))
+        return false;
+      if (!consume(':', "':'"))
+        return false;
+      JsonValue V;
+      if (!parseValue(V))
+        return false;
+      Out.Members.emplace_back(std::move(Key), std::move(V));
+      skipWs();
+      if (Pos < Text.size() && Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      return consume('}', "'}' or ','");
+    }
+  }
+
+  bool parseArray(JsonValue &Out) {
+    Out.TheKind = JsonValue::Kind::Array;
+    ++Pos; // '['
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == ']') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      JsonValue V;
+      if (!parseValue(V))
+        return false;
+      Out.Elems.push_back(std::move(V));
+      skipWs();
+      if (Pos < Text.size() && Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      return consume(']', "']' or ','");
+    }
+  }
+
+  bool parseString(std::string &Out) {
+    ++Pos; // opening quote
+    Out.clear();
+    while (Pos < Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (C != '\\') {
+        Out.push_back(C);
+        continue;
+      }
+      if (Pos >= Text.size())
+        return fail("unterminated escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+        Out.push_back('"');
+        break;
+      case '\\':
+        Out.push_back('\\');
+        break;
+      case '/':
+        Out.push_back('/');
+        break;
+      case 'b':
+        Out.push_back('\b');
+        break;
+      case 'f':
+        Out.push_back('\f');
+        break;
+      case 'n':
+        Out.push_back('\n');
+        break;
+      case 'r':
+        Out.push_back('\r');
+        break;
+      case 't':
+        Out.push_back('\t');
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return fail("truncated \\u escape");
+        unsigned Code = 0;
+        for (int I = 0; I < 4; ++I) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= static_cast<unsigned>(H - 'A' + 10);
+          else
+            return fail("invalid \\u escape digit");
+        }
+        // UTF-8 encode the BMP code point (surrogate pairs are passed
+        // through as two 3-byte sequences; the wire format never needs
+        // astral characters).
+        if (Code < 0x80) {
+          Out.push_back(static_cast<char>(Code));
+        } else if (Code < 0x800) {
+          Out.push_back(static_cast<char>(0xC0 | (Code >> 6)));
+          Out.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+        } else {
+          Out.push_back(static_cast<char>(0xE0 | (Code >> 12)));
+          Out.push_back(static_cast<char>(0x80 | ((Code >> 6) & 0x3F)));
+          Out.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+        }
+        break;
+      }
+      default:
+        return fail("unknown escape character");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parseNumber(JsonValue &Out) {
+    size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    bool Digits = false;
+    while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9') {
+      ++Pos;
+      Digits = true;
+    }
+    bool IsInt = true;
+    if (Pos < Text.size() && Text[Pos] == '.') {
+      IsInt = false;
+      ++Pos;
+      while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+        ++Pos;
+    }
+    if (Pos < Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      IsInt = false;
+      ++Pos;
+      if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+        ++Pos;
+    }
+    if (!Digits)
+      return fail("invalid number");
+    std::string Lit(Text.substr(Start, Pos - Start));
+    if (IsInt) {
+      errno = 0;
+      char *End = nullptr;
+      long long V = std::strtoll(Lit.c_str(), &End, 10);
+      if (errno == 0 && End && *End == '\0') {
+        Out.TheKind = JsonValue::Kind::Int;
+        Out.Int = V;
+        return true;
+      }
+      // Fall through to double on int64 overflow.
+    }
+    Out.TheKind = JsonValue::Kind::Double;
+    Out.Num = std::strtod(Lit.c_str(), nullptr);
+    return true;
+  }
+
+  std::string_view Text;
+  size_t Pos = 0;
+  std::string Err;
+};
+
+} // namespace json
+} // namespace irlt
+
+const JsonValue *JsonValue::find(std::string_view Key) const {
+  if (TheKind != Kind::Object)
+    return nullptr;
+  for (const auto &[K, V] : Members)
+    if (K == Key)
+      return &V;
+  return nullptr;
+}
+
+std::string JsonValue::stringOr(std::string_view Key,
+                                std::string Default) const {
+  const JsonValue *V = find(Key);
+  return V && V->isString() ? V->asString() : Default;
+}
+
+int64_t JsonValue::intOr(std::string_view Key, int64_t Default) const {
+  const JsonValue *V = find(Key);
+  return V && V->isNumber() ? V->asInt() : Default;
+}
+
+bool JsonValue::boolOr(std::string_view Key, bool Default) const {
+  const JsonValue *V = find(Key);
+  return V && V->isBool() ? V->asBool() : Default;
+}
+
+ErrorOr<JsonValue> JsonValue::parse(std::string_view Text) {
+  return Parser(Text).run();
+}

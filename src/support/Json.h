@@ -1,0 +1,154 @@
+//===- support/Json.h - Shared JSON emitter and parser -------------------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one JSON surface of the project. Every machine-readable record the
+/// tools emit - irlt-opt --json, irlt-search --json, irlt-batch result
+/// lines, the batch engine's metrics block, and the fuzzer's reproducer
+/// records - goes through JsonWriter, and every record starts with the
+/// same versioned prologue ("schema_version", "tool"), so downstream
+/// consumers can dispatch on one shape instead of three ad-hoc ones.
+///
+/// JsonValue is the matching reader, used by the batch engine's ndjson
+/// wire format (docs/API.md). It is a deliberately small recursive-
+/// descent parser: full JSON syntax, UTF-8 passed through verbatim,
+/// numbers kept as int64 when they are exact integers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRLT_SUPPORT_JSON_H
+#define IRLT_SUPPORT_JSON_H
+
+#include "support/ErrorOr.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace irlt {
+namespace json {
+
+/// Version of the unified tool-output schema. Bump when a field changes
+/// meaning; adding fields is compatible and does not bump it.
+inline constexpr int SchemaVersion = 1;
+
+/// Escapes \p S for inclusion in a JSON string literal (no quotes added).
+std::string escape(std::string_view S);
+
+/// A streaming JSON writer with correct comma/nesting bookkeeping. All
+/// methods return *this for chaining; misuse (value without a key inside
+/// an object, unbalanced end) trips an assertion.
+class JsonWriter {
+public:
+  JsonWriter &beginObject();
+  JsonWriter &endObject();
+  JsonWriter &beginArray();
+  JsonWriter &endArray();
+
+  /// Emits an object key; must be directly inside an object.
+  JsonWriter &key(std::string_view K);
+
+  JsonWriter &value(std::string_view V);
+  JsonWriter &value(const char *V) { return value(std::string_view(V)); }
+  JsonWriter &value(const std::string &V) {
+    return value(std::string_view(V));
+  }
+  JsonWriter &value(int64_t V);
+  JsonWriter &value(uint64_t V);
+  JsonWriter &value(int V) { return value(static_cast<int64_t>(V)); }
+  JsonWriter &value(unsigned V) { return value(static_cast<uint64_t>(V)); }
+  JsonWriter &value(double V);
+  JsonWriter &value(bool V);
+  JsonWriter &null();
+
+  /// key(K).value(V) in one call.
+  template <typename T> JsonWriter &field(std::string_view K, T &&V) {
+    key(K);
+    return value(std::forward<T>(V));
+  }
+  JsonWriter &nullField(std::string_view K) {
+    key(K);
+    return null();
+  }
+
+  /// The accumulated text. Valid once every begin* has been balanced.
+  const std::string &str() const { return Buf; }
+  std::string take() { return std::move(Buf); }
+
+private:
+  void separate();
+
+  std::string Buf;
+  /// Nesting stack: 'o' = object (expecting key), 'v' = object (expecting
+  /// value), 'a' = array.
+  std::vector<char> Stack;
+  std::vector<bool> First;
+};
+
+/// Starts the standard record prologue shared by every tool:
+/// {"schema_version": 1, "tool": "<tool>", ...  (object left open).
+JsonWriter &beginToolRecord(JsonWriter &W, std::string_view Tool);
+
+/// A parsed JSON document node.
+class JsonValue {
+public:
+  enum class Kind { Null, Bool, Int, Double, String, Array, Object };
+
+  JsonValue() = default;
+
+  Kind kind() const { return TheKind; }
+  bool isNull() const { return TheKind == Kind::Null; }
+  bool isBool() const { return TheKind == Kind::Bool; }
+  bool isNumber() const {
+    return TheKind == Kind::Int || TheKind == Kind::Double;
+  }
+  bool isString() const { return TheKind == Kind::String; }
+  bool isArray() const { return TheKind == Kind::Array; }
+  bool isObject() const { return TheKind == Kind::Object; }
+
+  bool asBool() const { return Bool; }
+  int64_t asInt() const {
+    return TheKind == Kind::Int ? Int : static_cast<int64_t>(Num);
+  }
+  double asDouble() const {
+    return TheKind == Kind::Int ? static_cast<double>(Int) : Num;
+  }
+  const std::string &asString() const { return Str; }
+  const std::vector<JsonValue> &elements() const { return Elems; }
+  const std::vector<std::pair<std::string, JsonValue>> &members() const {
+    return Members;
+  }
+
+  /// Object lookup; nullptr when absent or this is not an object.
+  const JsonValue *find(std::string_view Key) const;
+
+  /// Convenience typed lookups with defaults, for flat wire records.
+  std::string stringOr(std::string_view Key, std::string Default = "") const;
+  int64_t intOr(std::string_view Key, int64_t Default) const;
+  bool boolOr(std::string_view Key, bool Default) const;
+
+  /// Parses one JSON document; trailing garbage is an error.
+  static ErrorOr<JsonValue> parse(std::string_view Text);
+
+private:
+  friend class Parser;
+
+  Kind TheKind = Kind::Null;
+  bool Bool = false;
+  int64_t Int = 0;
+  double Num = 0.0;
+  std::string Str;
+  std::vector<JsonValue> Elems;
+  std::vector<std::pair<std::string, JsonValue>> Members;
+};
+
+} // namespace json
+} // namespace irlt
+
+#endif // IRLT_SUPPORT_JSON_H

@@ -1,0 +1,221 @@
+//===- tests/api/PipelineTest.cpp - irlt::api facade tests ----------------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace irlt;
+using namespace irlt::api;
+
+namespace {
+
+const char *Matmul = "arrays B, C\n"
+                     "do i = 1, n\n"
+                     "  do j = 1, n\n"
+                     "    do k = 1, n\n"
+                     "      A(i, j) += B(i, k) * C(k, j)\n"
+                     "    enddo\n"
+                     "  enddo\n"
+                     "enddo\n";
+
+const char *Stencil =
+    "do i = 2, n - 1\n"
+    "  do j = 2, n - 1\n"
+    "    a(i, j) = (a(i, j) + a(i - 1, j) + a(i, j - 1) + a(i + 1, j) + "
+    "a(i, j + 1)) / 5\n"
+    "  enddo\n"
+    "enddo\n";
+
+LoopNest load(Pipeline &P, const char *Src) {
+  ErrorOr<LoopNest> N = P.loadNest(Src);
+  EXPECT_TRUE(static_cast<bool>(N)) << N.message();
+  return N.take();
+}
+
+} // namespace
+
+TEST(Pipeline, LoadParseApplyEmit) {
+  Pipeline P;
+  LoopNest Nest = load(P, Matmul);
+  ErrorOr<TransformSequence> Seq = P.parseScript("interchange 1 3", 3);
+  ASSERT_TRUE(static_cast<bool>(Seq)) << Seq.message();
+  ErrorOr<LoopNest> Out = P.apply(*Seq, Nest);
+  ASSERT_TRUE(static_cast<bool>(Out)) << Out.message();
+  EXPECT_EQ(Out->numLoops(), 3u);
+  EXPECT_NE(P.emit(*Out, EmitKind::Loop).find("do"), std::string::npos);
+  EXPECT_NE(P.emit(*Out, EmitKind::C).find("kernel"), std::string::npos);
+  // applyScript is the one-shot composition of the two.
+  ErrorOr<LoopNest> Out2 = P.applyScript(Nest, "interchange 1 3");
+  ASSERT_TRUE(static_cast<bool>(Out2)) << Out2.message();
+  EXPECT_EQ(Out->str(), Out2->str());
+}
+
+TEST(Pipeline, StructuredFailuresCarryDiags) {
+  Pipeline P;
+  ErrorOr<LoopNest> Bad = P.loadNest("do i = \n");
+  EXPECT_FALSE(static_cast<bool>(Bad));
+  EXPECT_FALSE(Bad.message().empty());
+  ErrorOr<TransformSequence> BadSeq = P.parseScript("frobnicate 1 2", 2);
+  EXPECT_FALSE(static_cast<bool>(BadSeq));
+  EXPECT_FALSE(BadSeq.diags().empty());
+}
+
+TEST(Pipeline, DependenceCacheHitsOnRepeatAndRename) {
+  Pipeline P;
+  LoopNest Nest = load(P, Stencil);
+  std::shared_ptr<const DepSet> D1 = P.dependences(Nest);
+  CacheStats S1 = P.cacheStats();
+  EXPECT_EQ(S1.DepMisses, 1u);
+  EXPECT_EQ(S1.DepHits, 0u);
+
+  std::shared_ptr<const DepSet> D2 = P.dependences(Nest);
+  EXPECT_EQ(D1.get(), D2.get()) << "repeat lookup must share the entry";
+
+  // An alpha-renamed copy of the same nest is the same cache entry.
+  LoopNest Renamed = load(
+      P, "do p = 2, n - 1\n"
+         "  do q = 2, n - 1\n"
+         "    a(p, q) = (a(p, q) + a(p - 1, q) + a(p, q - 1) + a(p + 1, q) + "
+         "a(p, q + 1)) / 5\n"
+         "  enddo\n"
+         "enddo\n");
+  std::shared_ptr<const DepSet> D3 = P.dependences(Renamed);
+  EXPECT_EQ(D1.get(), D3.get());
+  CacheStats S3 = P.cacheStats();
+  EXPECT_EQ(S3.DepMisses, 1u);
+  EXPECT_EQ(S3.DepHits, 2u);
+  EXPECT_EQ(S3.DepEntries, 1u);
+  EXPECT_GT(S3.depHitRate(), 0.5);
+}
+
+TEST(Pipeline, LegalityCacheKeysOnReducedSequence) {
+  Pipeline P;
+  LoopNest Nest = load(P, Matmul);
+  ErrorOr<TransformSequence> A = P.parseScript("interchange 1 2", 3);
+  ASSERT_TRUE(static_cast<bool>(A));
+  LegalityResult L1 = P.checkLegality(*A, Nest);
+  EXPECT_TRUE(L1.Legal);
+  EXPECT_EQ(P.cacheStats().LegalityMisses, 1u);
+
+  // A different spelling with the same reduced() form hits the entry.
+  ErrorOr<TransformSequence> B = P.parseScript("permute 2 1 3", 3);
+  ASSERT_TRUE(static_cast<bool>(B));
+  ASSERT_EQ(A->reduced().str(), B->reduced().str());
+  LegalityResult L2 = P.checkLegality(*B, Nest);
+  EXPECT_EQ(P.cacheStats().LegalityHits, 1u);
+  EXPECT_EQ(L1.Legal, L2.Legal);
+  EXPECT_EQ(L1.FinalDeps.str(), L2.FinalDeps.str());
+
+  // A genuinely different sequence is a different entry.
+  ErrorOr<TransformSequence> C = P.parseScript("interchange 1 3", 3);
+  ASSERT_TRUE(static_cast<bool>(C));
+  P.checkLegality(*C, Nest);
+  EXPECT_EQ(P.cacheStats().LegalityMisses, 2u);
+}
+
+TEST(Pipeline, CachedAndUncachedVerdictsAgree) {
+  PipelineOptions Off;
+  Off.EnableCache = false;
+  Pipeline Cached, Uncached(Off);
+  LoopNest Nest = load(Cached, Stencil);
+  ErrorOr<TransformSequence> Seq =
+      Cached.parseScript("skew 1 2 1\ninterchange 1 2", 2);
+  ASSERT_TRUE(static_cast<bool>(Seq));
+  TransformSequence R = Seq->reduced();
+  for (const TransformSequence &S : {*Seq, R}) {
+    LegalityResult LC = Cached.checkLegality(S, Nest);
+    LegalityResult LU = Uncached.checkLegality(S, Nest);
+    EXPECT_EQ(LC.Legal, LU.Legal);
+    EXPECT_EQ(LC.Kind, LU.Kind);
+    EXPECT_EQ(LC.Reason, LU.Reason);
+    EXPECT_EQ(LC.FinalDeps.str(), LU.FinalDeps.str());
+  }
+  EXPECT_EQ(Uncached.cacheStats().DepMisses, 0u);
+  EXPECT_EQ(Uncached.cacheStats().LegalityMisses, 0u);
+}
+
+TEST(Pipeline, ClearCachesDropsEntries) {
+  Pipeline P;
+  LoopNest Nest = load(P, Stencil);
+  P.dependences(Nest);
+  P.checkLegality(TransformSequence(), Nest);
+  EXPECT_GT(P.cacheStats().DepEntries, 0u);
+  P.clearCaches();
+  EXPECT_EQ(P.cacheStats().DepEntries, 0u);
+  EXPECT_EQ(P.cacheStats().LegalityEntries, 0u);
+}
+
+TEST(Pipeline, SearchAutoFindsLegalSequence) {
+  Pipeline P;
+  LoopNest Nest = load(P, Matmul);
+  search::SearchOptions SO;
+  SO.Beam = 4;
+  SO.Depth = 1;
+  search::SearchResult R = P.searchAuto(Nest, SO);
+  EXPECT_TRUE(R.Error.empty()) << R.Error;
+  ASSERT_TRUE(R.Best.has_value());
+  LegalityResult L = P.checkLegality(R.Best->Seq, Nest);
+  EXPECT_TRUE(L.Legal) << L.Reason;
+}
+
+TEST(Pipeline, ValidateLadderConfirmsLegalCandidate) {
+  Pipeline P;
+  LoopNest Nest = load(P, Matmul);
+  ErrorOr<TransformSequence> Seq = P.parseScript("interchange 1 2", 3);
+  ASSERT_TRUE(static_cast<bool>(Seq));
+  witness::ValidateOptions VO = witness::ValidateOptions::defaults();
+  VO.MaxInstances = 10'000;
+  VO.ReproDir.clear();
+  witness::LadderResult LR = P.validate(Nest, {*Seq}, VO);
+  EXPECT_EQ(LR.Chosen, 0);
+  ASSERT_EQ(LR.Outcomes.size(), 1u);
+  EXPECT_EQ(LR.Outcomes[0].Status, witness::ValidateStatus::Confirmed)
+      << LR.Outcomes[0].Detail;
+}
+
+TEST(Pipeline, CertifyAndCheckRoundTrip) {
+  Pipeline P;
+  LoopNest Nest = load(P, Matmul);
+  ErrorOr<TransformSequence> Seq = P.parseScript("interchange 1 2", 3);
+  ASSERT_TRUE(static_cast<bool>(Seq));
+  witness::Certificate C = P.certify(*Seq, Nest);
+  EXPECT_EQ(P.checkCertificate(C, *Seq, Nest), "");
+}
+
+TEST(Pipeline, ConcurrentLookupsAreSafeAndConsistent) {
+  Pipeline P;
+  LoopNest Nest = load(P, Stencil);
+  ErrorOr<TransformSequence> Seq =
+      P.parseScript("skew 1 2 1\ninterchange 1 2", 2);
+  ASSERT_TRUE(static_cast<bool>(Seq));
+  TransformSequence R = Seq->reduced();
+  LegalityResult Expected = P.checkLegality(R, Nest);
+
+  std::vector<std::thread> Threads;
+  std::vector<int> Bad(8, 0);
+  for (int T = 0; T < 8; ++T) {
+    Threads.emplace_back([&, T] {
+      for (int I = 0; I < 50; ++I) {
+        LegalityResult L = P.checkLegality(R, Nest);
+        if (L.Legal != Expected.Legal ||
+            L.FinalDeps.str() != Expected.FinalDeps.str())
+          Bad[T]++;
+        if (!P.dependences(Nest))
+          Bad[T]++;
+      }
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  for (int B : Bad)
+    EXPECT_EQ(B, 0);
+  CacheStats S = P.cacheStats();
+  EXPECT_EQ(S.DepEntries, 1u);
+  EXPECT_EQ(S.LegalityEntries, 1u);
+}

@@ -1,0 +1,167 @@
+//===- tests/driver/BatchToolTest.cpp - irlt-batch end to end -------------===//
+//
+// Drives the irlt-batch binary as a subprocess: ndjson corpus in, one
+// versioned JSON record per request out, byte-identical across --jobs
+// values. The binary path comes from the build system (IRLT_BATCH_PATH).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace irlt;
+
+namespace {
+
+#ifndef IRLT_BATCH_PATH
+#define IRLT_BATCH_PATH "irlt-batch"
+#endif
+
+struct RunResult {
+  int ExitCode;
+  std::string Output;
+};
+
+RunResult runBatch(const std::string &Args, bool MergeStderr = false) {
+  std::string Cmd = std::string(IRLT_BATCH_PATH) + " " + Args +
+                    (MergeStderr ? " 2>&1" : " 2>/dev/null");
+  FILE *Pipe = popen(Cmd.c_str(), "r");
+  EXPECT_NE(Pipe, nullptr);
+  std::string Out;
+  std::array<char, 4096> Buf;
+  size_t Got;
+  while ((Got = fread(Buf.data(), 1, Buf.size(), Pipe)) > 0)
+    Out.append(Buf.data(), Got);
+  int Status = pclose(Pipe);
+  return RunResult{WEXITSTATUS(Status), Out};
+}
+
+std::string writeCorpus(const std::string &Tag, const std::string &Text) {
+  std::string Path = ::testing::TempDir() + "/irlt_batch_" + Tag + ".ndjson";
+  std::ofstream Out(Path);
+  Out << Text;
+  return Path;
+}
+
+std::vector<std::string> lines(const std::string &Text) {
+  std::vector<std::string> Out;
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t Nl = Text.find('\n', Pos);
+    if (Nl == std::string::npos)
+      Nl = Text.size();
+    Out.push_back(Text.substr(Pos, Nl - Pos));
+    Pos = Nl + 1;
+  }
+  return Out;
+}
+
+const char *Corpus =
+    R"({"id": "a", "nest": "do i = 1, n\n  do j = 1, n\n    a(i, j) = a(i, j) + 1\n  enddo\nenddo\n", "script": "interchange 1 2", "emit": "loop"})"
+    "\n"
+    R"({"id": "b", "nest": "do i = 2, n\n  do j = 1, n\n    a(i, j) = a(i - 1, j) + 1\n  enddo\nenddo\n", "script": "parallelize 2"})"
+    "\n"
+    R"({"id": "c", "nest": "do i = 1, n\n  a(i) = a(i) + 1\nenddo\n", "auto": "par", "beam": 2, "depth": 1})"
+    "\n";
+
+} // namespace
+
+TEST(BatchTool, ServesCorpusWithSchemaValidRecords) {
+  std::string Path = writeCorpus("ok", Corpus);
+  RunResult R = runBatch(Path + " --jobs 2");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  std::vector<std::string> Records = lines(R.Output);
+  ASSERT_EQ(Records.size(), 3u) << R.Output;
+  const char *Ids[] = {"a", "b", "c"};
+  for (size_t I = 0; I < Records.size(); ++I) {
+    ErrorOr<json::JsonValue> V = json::JsonValue::parse(Records[I]);
+    ASSERT_TRUE(static_cast<bool>(V)) << Records[I];
+    EXPECT_EQ(V->intOr("schema_version", 0), json::SchemaVersion);
+    EXPECT_EQ(V->stringOr("tool"), "irlt-batch");
+    EXPECT_EQ(V->stringOr("id"), Ids[I]);
+    EXPECT_TRUE(V->boolOr("ok", false)) << Records[I];
+  }
+}
+
+TEST(BatchTool, OutputIsByteIdenticalAcrossJobCounts) {
+  std::string Path = writeCorpus("det", Corpus);
+  RunResult One = runBatch(Path + " --jobs 1");
+  RunResult Four = runBatch(Path + " --jobs 4");
+  RunResult Eight = runBatch(Path + " --jobs 8");
+  EXPECT_EQ(One.ExitCode, 0);
+  EXPECT_EQ(One.Output, Four.Output);
+  EXPECT_EQ(One.Output, Eight.Output);
+}
+
+TEST(BatchTool, IllegalSequenceExitsTwo) {
+  std::string Path = writeCorpus(
+      "illegal",
+      R"({"id": "x", "nest": "do i = 2, n\n  do j = 1, n\n    a(i, j) = a(i - 1, j) + 1\n  enddo\nenddo\n", "script": "parallelize 1"})"
+      "\n");
+  RunResult R = runBatch(Path);
+  EXPECT_EQ(R.ExitCode, 2) << R.Output;
+  ErrorOr<json::JsonValue> V = json::JsonValue::parse(lines(R.Output)[0]);
+  ASSERT_TRUE(static_cast<bool>(V));
+  EXPECT_TRUE(V->boolOr("ok", false));
+  EXPECT_FALSE(V->boolOr("legal", true));
+  EXPECT_EQ(V->stringOr("reject_kind"), "lex-negative");
+}
+
+TEST(BatchTool, MalformedRequestExitsTwoWithErrorRecord) {
+  std::string Path = writeCorpus("bad", "{\"script\": \"reverse 1\"}\n");
+  RunResult R = runBatch(Path);
+  EXPECT_EQ(R.ExitCode, 2) << R.Output;
+  ErrorOr<json::JsonValue> V = json::JsonValue::parse(lines(R.Output)[0]);
+  ASSERT_TRUE(static_cast<bool>(V));
+  EXPECT_FALSE(V->boolOr("ok", true));
+  ASSERT_NE(V->find("error"), nullptr);
+}
+
+TEST(BatchTool, StatsGoToStderrAsMetricsRecord) {
+  std::string Path = writeCorpus("stats", Corpus);
+  RunResult Clean = runBatch(Path + " --jobs 2 --stats");
+  // stdout carries only result records even with --stats on.
+  for (const std::string &L : lines(Clean.Output))
+    EXPECT_EQ(json::JsonValue::parse(L)->stringOr("record"), "");
+  RunResult Merged = runBatch(Path + " --jobs 2 --stats",
+                              /*MergeStderr=*/true);
+  bool SawMetrics = false;
+  for (const std::string &L : lines(Merged.Output)) {
+    ErrorOr<json::JsonValue> V = json::JsonValue::parse(L);
+    if (static_cast<bool>(V) && V->stringOr("record") == "metrics") {
+      SawMetrics = true;
+      EXPECT_EQ(V->intOr("requests", 0), 3);
+      EXPECT_EQ(V->intOr("jobs", 0), 2);
+    }
+  }
+  EXPECT_TRUE(SawMetrics) << Merged.Output;
+}
+
+TEST(BatchTool, ReadsFromStdin) {
+  std::string Path = writeCorpus("stdin", Corpus);
+  std::string Cmd = std::string(IRLT_BATCH_PATH) + " < " + Path +
+                    " 2>/dev/null";
+  FILE *Pipe = popen(Cmd.c_str(), "r");
+  ASSERT_NE(Pipe, nullptr);
+  std::string Out;
+  std::array<char, 4096> Buf;
+  size_t Got;
+  while ((Got = fread(Buf.data(), 1, Buf.size(), Pipe)) > 0)
+    Out.append(Buf.data(), Got);
+  int Status = pclose(Pipe);
+  EXPECT_EQ(WEXITSTATUS(Status), 0);
+  EXPECT_EQ(lines(Out).size(), 3u);
+}
+
+TEST(BatchTool, UsageErrorsExitOne) {
+  EXPECT_EQ(runBatch("--jobs 0", true).ExitCode, 1);
+  EXPECT_EQ(runBatch("--frobnicate", true).ExitCode, 1);
+  EXPECT_EQ(runBatch("/nonexistent/corpus.ndjson", true).ExitCode, 1);
+}

@@ -1,0 +1,155 @@
+//===- tests/support/JsonTest.cpp - Shared JSON emitter/parser tests ------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+using namespace irlt;
+using namespace irlt::json;
+
+TEST(JsonWriter, FlatObject) {
+  JsonWriter W;
+  W.beginObject();
+  W.field("a", static_cast<int64_t>(1));
+  W.field("b", "two");
+  W.field("c", true);
+  W.nullField("d");
+  W.endObject();
+  EXPECT_EQ(W.take(), R"({"a":1,"b":"two","c":true,"d":null})");
+}
+
+TEST(JsonWriter, NestedStructures) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("xs").beginArray();
+  W.value(static_cast<int64_t>(1));
+  W.value(static_cast<int64_t>(2));
+  W.beginObject();
+  W.field("k", "v");
+  W.endObject();
+  W.endArray();
+  W.key("o").beginObject();
+  W.endObject();
+  W.endObject();
+  EXPECT_EQ(W.take(), R"({"xs":[1,2,{"k":"v"}],"o":{}})");
+}
+
+TEST(JsonWriter, StringEscaping) {
+  JsonWriter W;
+  W.beginObject();
+  W.field("s", "a\"b\\c\nd\te\x01"
+               "f");
+  W.endObject();
+  EXPECT_EQ(W.take(), "{\"s\":\"a\\\"b\\\\c\\nd\\te\\u0001f\"}");
+}
+
+TEST(JsonWriter, Doubles) {
+  JsonWriter W;
+  W.beginObject();
+  W.field("half", 0.5);
+  W.field("whole", 3.0);
+  W.endObject();
+  std::string Out = W.take();
+  EXPECT_NE(Out.find("\"half\":0.5"), std::string::npos) << Out;
+}
+
+TEST(JsonWriter, ToolRecordPrologue) {
+  JsonWriter W;
+  beginToolRecord(W, "irlt-test");
+  W.field("ok", true);
+  W.endObject();
+  EXPECT_EQ(W.take(),
+            R"({"schema_version":1,"tool":"irlt-test","ok":true})");
+}
+
+TEST(JsonValue, ParsesScalars) {
+  ErrorOr<JsonValue> V = JsonValue::parse("42");
+  ASSERT_TRUE(static_cast<bool>(V));
+  EXPECT_EQ(V->asInt(), 42);
+
+  V = JsonValue::parse("-7");
+  ASSERT_TRUE(static_cast<bool>(V));
+  EXPECT_EQ(V->asInt(), -7);
+
+  V = JsonValue::parse("1.5");
+  ASSERT_TRUE(static_cast<bool>(V));
+  EXPECT_DOUBLE_EQ(V->asDouble(), 1.5);
+
+  V = JsonValue::parse("true");
+  ASSERT_TRUE(static_cast<bool>(V));
+  EXPECT_TRUE(V->asBool());
+
+  V = JsonValue::parse("null");
+  ASSERT_TRUE(static_cast<bool>(V));
+  EXPECT_TRUE(V->isNull());
+
+  V = JsonValue::parse(R"("hi")");
+  ASSERT_TRUE(static_cast<bool>(V));
+  EXPECT_EQ(V->asString(), "hi");
+}
+
+TEST(JsonValue, ParsesStringEscapes) {
+  ErrorOr<JsonValue> V = JsonValue::parse(R"("a\"b\\c\ndAe")");
+  ASSERT_TRUE(static_cast<bool>(V)) << V.message();
+  EXPECT_EQ(V->asString(), "a\"b\\c\ndAe");
+}
+
+TEST(JsonValue, ParsesObjectAndArray) {
+  ErrorOr<JsonValue> V =
+      JsonValue::parse(R"({"a": [1, 2, 3], "b": {"c": "d"}, "e": null})");
+  ASSERT_TRUE(static_cast<bool>(V)) << V.message();
+  ASSERT_TRUE(V->isObject());
+  const JsonValue *A = V->find("a");
+  ASSERT_NE(A, nullptr);
+  ASSERT_EQ(A->elements().size(), 3u);
+  EXPECT_EQ(A->elements()[1].asInt(), 2);
+  const JsonValue *B = V->find("b");
+  ASSERT_NE(B, nullptr);
+  EXPECT_EQ(B->stringOr("c"), "d");
+  EXPECT_EQ(V->find("missing"), nullptr);
+}
+
+TEST(JsonValue, AccessorDefaults) {
+  ErrorOr<JsonValue> V =
+      JsonValue::parse(R"({"s": "x", "i": 3, "b": true})");
+  ASSERT_TRUE(static_cast<bool>(V));
+  EXPECT_EQ(V->stringOr("s", "d"), "x");
+  EXPECT_EQ(V->stringOr("nope", "d"), "d");
+  EXPECT_EQ(V->intOr("i", 9), 3);
+  EXPECT_EQ(V->intOr("nope", 9), 9);
+  EXPECT_TRUE(V->boolOr("b", false));
+  EXPECT_FALSE(V->boolOr("nope", false));
+}
+
+TEST(JsonValue, RejectsMalformedInput) {
+  EXPECT_FALSE(static_cast<bool>(JsonValue::parse("")));
+  EXPECT_FALSE(static_cast<bool>(JsonValue::parse("{")));
+  EXPECT_FALSE(static_cast<bool>(JsonValue::parse("{\"a\" 1}")));
+  EXPECT_FALSE(static_cast<bool>(JsonValue::parse("[1, 2,]")));
+  EXPECT_FALSE(static_cast<bool>(JsonValue::parse("\"unterminated")));
+  // Trailing garbage after a complete value is an error, not ignored.
+  EXPECT_FALSE(static_cast<bool>(JsonValue::parse("{} x")));
+}
+
+TEST(JsonValue, RoundTripsWriterOutput) {
+  JsonWriter W;
+  beginToolRecord(W, "irlt-opt");
+  W.field("ok", true);
+  W.field("text", "line1\nline2 \"quoted\"");
+  W.key("list").beginArray();
+  W.value(static_cast<int64_t>(-1));
+  W.value("s");
+  W.endArray();
+  W.endObject();
+  ErrorOr<JsonValue> V = JsonValue::parse(W.take());
+  ASSERT_TRUE(static_cast<bool>(V)) << V.message();
+  EXPECT_EQ(V->intOr("schema_version", 0), SchemaVersion);
+  EXPECT_EQ(V->stringOr("tool"), "irlt-opt");
+  EXPECT_EQ(V->stringOr("text"), "line1\nline2 \"quoted\"");
+  ASSERT_NE(V->find("list"), nullptr);
+  EXPECT_EQ(V->find("list")->elements().size(), 2u);
+}

@@ -31,12 +31,17 @@
 ///                          candidate passes full legality and execution
 ///                          verification, thread-count-invariantly
 ///     --verbose            per-case category lines
+///     --json               emit one versioned JSON record (the shared
+///                          schema of docs/API.md) instead of text
 ///
 /// Exit status: 0 when no oracle failures, 1 otherwise, 2 on bad usage.
 ///
+/// A thin client of the irlt::api facade (api/Pipeline.h, docs/API.md).
+///
 //===----------------------------------------------------------------------===//
 
-#include "fuzz/Fuzzer.h"
+#include "api/Pipeline.h"
+#include "support/Json.h"
 
 #include <cstdio>
 #include <cstring>
@@ -52,7 +57,7 @@ void usage(const char *Argv0) {
                "usage: %s [--cases N] [--seed S] [--shrink|--no-shrink]\n"
                "          [--repro-dir DIR] [--max-depth N] [--max-steps N]\n"
                "          [--max-instances N] [--time-budget-ms N]"
-               " [--search] [--verbose]\n",
+               " [--search] [--verbose] [--json]\n",
                Argv0);
 }
 
@@ -77,6 +82,7 @@ bool parseU64(const char *S, uint64_t &Out) {
 
 int main(int argc, char **argv) {
   FuzzOptions Opts;
+  bool JsonMode = false;
 
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
@@ -142,6 +148,8 @@ int main(int argc, char **argv) {
       Opts.SearchMode = true;
     } else if (A == "--verbose" || A == "-v") {
       Opts.Verbose = true;
+    } else if (A == "--json") {
+      JsonMode = true;
     } else if (A == "--help" || A == "-h") {
       usage(argv[0]);
       return 0;
@@ -152,11 +160,8 @@ int main(int argc, char **argv) {
     }
   }
 
-  FuzzStats Stats = runFuzzer(Opts);
+  FuzzStats Stats = api::runFuzzer(Opts);
 
-  std::printf("irlt-fuzz: %llu cases, seed %llu\n",
-              static_cast<unsigned long long>(Stats.total()),
-              static_cast<unsigned long long>(Opts.Seed));
   static const Category Order[] = {
       Category::Legal,          Category::Illegal,
       Category::RejectedPrecondition, Category::OverflowRejected,
@@ -164,6 +169,28 @@ int main(int argc, char **argv) {
       Category::BudgetExceeded, Category::FastPathUnsound,
       Category::OracleFailure,
   };
+
+  if (JsonMode) {
+    json::JsonWriter W;
+    json::beginToolRecord(W, "irlt-fuzz");
+    W.field("ok", Stats.Failures.empty());
+    W.field("cases", Stats.total());
+    W.field("seed", Opts.Seed);
+    W.key("categories").beginObject();
+    for (Category C : Order)
+      W.field(categoryName(C), Stats.Count[static_cast<unsigned>(C)]);
+    W.endObject();
+    W.field("failures", static_cast<uint64_t>(Stats.Failures.size()));
+    if (!Stats.Failures.empty())
+      W.field("repro_dir", Opts.ReproDir);
+    W.endObject();
+    std::printf("%s\n", W.take().c_str());
+    return Stats.Failures.empty() ? 0 : 1;
+  }
+
+  std::printf("irlt-fuzz: %llu cases, seed %llu\n",
+              static_cast<unsigned long long>(Stats.total()),
+              static_cast<unsigned long long>(Opts.Seed));
   for (Category C : Order)
     std::printf("  %-26s %llu\n", categoryName(C),
                 static_cast<unsigned long long>(

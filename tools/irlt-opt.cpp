@@ -9,7 +9,8 @@
 /// \file
 /// irlt-opt: parse a loop nest, optionally apply a transformation script,
 /// and report dependences, legality, transformed code, LB/UB/STEP
-/// matrices, or emitted C.
+/// matrices, or emitted C. A thin client of the irlt::api facade
+/// (api/Pipeline.h, docs/API.md).
 ///
 ///   irlt-opt FILE [options]
 ///     -s, --script TEXT     transformation script (see driver/Script.h)
@@ -34,25 +35,19 @@
 ///                           (N = instance budget) and degrade gracefully
 ///                           to the next-best candidate, ultimately to
 ///                           the identity sequence
+///     --json                emit one versioned JSON record (the shared
+///                           schema of docs/API.md) instead of text
 ///
 /// Exit status: 0 on success (legal when --legality is given), 2 when the
 /// sequence is illegal, 1 on tool/usage errors. The --validate identity
-/// fallback is success, not an error.
+/// fallback is success, not an error. --json preserves the contract.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "bounds/BoundsMatrices.h"
-#include "codegen/CEmitter.h"
-#include "dependence/DepAnalysis.h"
-#include "driver/Script.h"
-#include "eval/Verify.h"
-#include "ir/Parser.h"
-#include "search/Search.h"
-#include "transform/TypeState.h"
-#include "witness/Validate.h"
+#include "api/Pipeline.h"
+#include "support/Json.h"
 
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -66,7 +61,7 @@ void usage(const char *Argv0) {
       "usage: %s FILE [-s SCRIPT | -f SCRIPTFILE | --auto locality|par|both]\n"
       "          [--deps] [--matrices] [--legality] [--fast-legality]\n"
       "          [--emit loop|c] [--verify n=32,b=4] [--reduce]\n"
-      "          [--witness] [--validate[=N]]\n"
+      "          [--witness] [--validate[=N]] [--json]\n"
       "exit status: 0 success/legal, 2 illegal sequence, 1 error\n",
       Argv0);
 }
@@ -117,6 +112,21 @@ bool parseBindings(const std::string &Spec,
   return true;
 }
 
+/// JSON-mode failure record; text mode already wrote to stderr.
+int fail(bool JsonMode, const std::string &Message) {
+  if (JsonMode) {
+    json::JsonWriter W;
+    json::beginToolRecord(W, "irlt-opt");
+    W.field("ok", false);
+    W.key("error").beginObject();
+    W.field("message", Message);
+    W.endObject();
+    W.endObject();
+    std::printf("%s\n", W.take().c_str());
+  }
+  return 1;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -128,7 +138,7 @@ int main(int argc, char **argv) {
   std::string Script;
   bool WantDeps = false, WantMatrices = false, WantLegality = false;
   bool WantFastLegality = false, WantReduce = false, WantWitness = false;
-  bool Validate = false;
+  bool Validate = false, JsonMode = false;
   uint64_t ValidateBudget = 200'000;
   std::string Emit;
   std::string VerifySpec;
@@ -168,6 +178,8 @@ int main(int argc, char **argv) {
       WantReduce = true;
     } else if (A == "--witness") {
       WantWitness = true;
+    } else if (A == "--json") {
+      JsonMode = true;
     } else if (A == "--validate" || A.rfind("--validate=", 0) == 0) {
       Validate = true;
       if (A.size() > 10 && A[10] == '=') {
@@ -210,27 +222,41 @@ int main(int argc, char **argv) {
     }
   }
 
+  api::Pipeline P;
+
   std::string Source;
   if (!readFile(NestPath, Source)) {
     std::fprintf(stderr, "error: cannot read '%s'\n", NestPath.c_str());
-    return 1;
+    return fail(JsonMode, "cannot read '" + NestPath + "'");
   }
-  ErrorOr<LoopNest> NestOr = parseLoopNest(Source);
+  ErrorOr<LoopNest> NestOr = P.loadNest(Source);
   if (!NestOr) {
     std::fprintf(stderr, "%s: %s\n", NestPath.c_str(),
                  NestOr.message().c_str());
-    return 1;
+    return fail(JsonMode, NestPath + ": " + NestOr.message());
   }
   LoopNest Nest = NestOr.take();
 
+  // JSON mode buffers one record and prints it once every stage ran;
+  // text mode prints as it goes, exactly as before.
+  json::JsonWriter W;
+  json::beginToolRecord(W, "irlt-opt");
+  W.field("ok", true);
+  W.field("mode", !Auto.empty() ? "auto" : "script");
+
   if (WantMatrices) {
-    BoundsMatrices M = BoundsMatrices::fromNest(Nest);
-    std::printf("%s", M.str().c_str());
+    std::string M = P.boundsMatrices(Nest);
+    if (JsonMode)
+      W.field("matrices", M);
+    else
+      std::printf("%s", M.c_str());
   }
 
-  DepSet D = analyzeDependences(Nest);
-  if (WantDeps)
-    std::printf("dependences: %s\n", D.str().c_str());
+  std::shared_ptr<const DepSet> D = P.dependences(Nest);
+  if (JsonMode)
+    W.field("deps", D->str());
+  else if (WantDeps)
+    std::printf("dependences: %s\n", D->str().c_str());
 
   TransformSequence Seq;
   if (!Auto.empty()) {
@@ -242,16 +268,17 @@ int main(int argc, char **argv) {
     SO.Obj = Auto == "locality"  ? search::Objective::Locality
              : Auto == "par"     ? search::Objective::Parallelism
                                  : search::Objective::Both;
-    search::SearchResult SR = search::searchTransformations(Nest, D, SO);
+    search::SearchResult SR = P.searchAuto(Nest, SO);
     if (!SR.Error.empty()) {
       std::fprintf(stderr, "auto: %s\n", SR.Error.c_str());
-      return 1;
+      return fail(JsonMode, "auto: " + SR.Error);
     }
     if (SR.Best)
       Seq = SR.Best->Seq;
     if (WantReduce)
       Seq = Seq.reduced();
-    std::printf("auto sequence: %s\n", Seq.str().c_str());
+    if (!JsonMode)
+      std::printf("auto sequence: %s\n", Seq.str().c_str());
 
     // Guarded mode: cross-check the candidates by concrete execution
     // and degrade best-first -> next-best -> identity (never an error).
@@ -263,91 +290,167 @@ int main(int argc, char **argv) {
         Cands.push_back(S.Seq);
       if (Cands.empty())
         Cands.push_back(SR.Best->Seq);
-      witness::LadderResult LR = witness::validateLadder(Nest, Cands, VO);
-      for (size_t K = 0; K < LR.Outcomes.size(); ++K) {
-        const witness::CandidateOutcome &O = LR.Outcomes[K];
-        std::printf("validate #%zu: %s - %s\n", K + 1,
-                    witness::validateStatusName(O.Status), O.Detail.c_str());
-        if (!O.ReproPath.empty())
-          std::printf("  reproducer: %s\n", O.ReproPath.c_str());
+      witness::LadderResult LR = P.validate(Nest, Cands, VO);
+      if (JsonMode) {
+        W.key("validate").beginObject();
+        W.field("chosen", static_cast<int64_t>(LR.Chosen));
+        W.field("fell_back_to_identity", LR.fellBackToIdentity());
+        W.key("outcomes").beginArray();
+        for (const witness::CandidateOutcome &O : LR.Outcomes) {
+          W.beginObject();
+          W.field("status", witness::validateStatusName(O.Status));
+          W.field("detail", O.Detail);
+          if (!O.ReproPath.empty())
+            W.field("reproducer", O.ReproPath);
+          W.endObject();
+        }
+        W.endArray();
+        W.endObject();
+      } else {
+        for (size_t K = 0; K < LR.Outcomes.size(); ++K) {
+          const witness::CandidateOutcome &O = LR.Outcomes[K];
+          std::printf("validate #%zu: %s - %s\n", K + 1,
+                      witness::validateStatusName(O.Status),
+                      O.Detail.c_str());
+          if (!O.ReproPath.empty())
+            std::printf("  reproducer: %s\n", O.ReproPath.c_str());
+        }
       }
       if (LR.fellBackToIdentity()) {
         Seq = TransformSequence();
-        std::printf("validated sequence: identity (every candidate was "
-                    "disproved)\n");
+        if (!JsonMode)
+          std::printf("validated sequence: identity (every candidate was "
+                      "disproved)\n");
       } else {
         Seq = Cands[static_cast<size_t>(LR.Chosen)];
         if (WantReduce)
           Seq = Seq.reduced();
-        std::printf("validated sequence: %s\n", Seq.str().c_str());
+        if (!JsonMode)
+          std::printf("validated sequence: %s\n", Seq.str().c_str());
       }
     }
   } else if (!Script.empty()) {
-    ErrorOr<TransformSequence> SeqOr =
-        parseTransformScript(Script, Nest.numLoops());
+    ErrorOr<TransformSequence> SeqOr = P.parseScript(Script, Nest.numLoops());
     if (!SeqOr) {
       std::fprintf(stderr, "script: %s\n", SeqOr.message().c_str());
-      return 1;
+      return fail(JsonMode, "script: " + SeqOr.message());
     }
     Seq = SeqOr.take();
     if (WantReduce)
       Seq = Seq.reduced();
-    std::printf("sequence: %s\n", Seq.str().c_str());
+    if (!JsonMode)
+      std::printf("sequence: %s\n", Seq.str().c_str());
   }
+  if (JsonMode)
+    W.field("sequence", Seq.str());
 
+  bool Illegal = false;
   if (WantLegality || WantFastLegality || WantWitness) {
-    LegalityResult L = WantFastLegality ? isLegalFast(Seq, Nest, D)
-                                        : isLegal(Seq, Nest, D);
-    std::printf("legal: %s\n", L.Legal ? "yes" : "no");
-    std::printf("reject-kind: %s\n", rejectKindName(L.Kind));
-    if (!L.Legal)
-      std::printf("reason: %s\n", L.Reason.c_str());
-    else
-      std::printf("mapped dependences: %s\n", L.FinalDeps.str().c_str());
+    LegalityResult L = WantFastLegality ? P.checkLegalityFast(Seq, Nest)
+                                        : P.checkLegality(Seq, Nest);
+    if (JsonMode) {
+      W.field("legal", L.Legal);
+      W.field("reject_kind", rejectKindName(L.Kind));
+      if (!L.Legal)
+        W.field("reason", L.Reason);
+      else
+        W.field("final_deps", L.FinalDeps.str());
+    } else {
+      std::printf("legal: %s\n", L.Legal ? "yes" : "no");
+      std::printf("reject-kind: %s\n", rejectKindName(L.Kind));
+      if (!L.Legal)
+        std::printf("reason: %s\n", L.Reason.c_str());
+      else
+        std::printf("mapped dependences: %s\n", L.FinalDeps.str().c_str());
+    }
     if (WantWitness) {
       // The certificate is produced by the full (not fast-path) test and
       // machine-checked on the spot; a check failure is a tool bug worth
       // a hard error.
-      witness::Certificate C = witness::certify(Seq, Nest, D);
-      std::printf("%s", C.str().c_str());
-      std::string E = witness::checkCertificate(C, Seq, Nest, D);
-      std::printf("witness-check: %s\n", E.empty() ? "ok" : E.c_str());
-      if (!E.empty())
+      witness::Certificate C = P.certify(Seq, Nest);
+      std::string E = P.checkCertificate(C, Seq, Nest);
+      if (JsonMode) {
+        W.key("witness").beginObject();
+        W.field("certificate", C.str());
+        W.field("check", E.empty() ? "ok" : E);
+        W.endObject();
+      } else {
+        std::printf("%s", C.str().c_str());
+        std::printf("witness-check: %s\n", E.empty() ? "ok" : E.c_str());
+      }
+      if (!E.empty()) {
+        if (JsonMode) {
+          W.endObject();
+          std::printf("%s\n", W.take().c_str());
+        }
         return 1;
+      }
     }
     // Exit-code contract: 0 legal, 2 illegal, 1 tool/usage error.
-    if (!L.Legal)
-      return 2;
+    Illegal = !L.Legal;
+  }
+
+  if (Illegal) {
+    if (JsonMode) {
+      W.endObject();
+      std::printf("%s\n", W.take().c_str());
+    }
+    return 2;
   }
 
   // Transformed (or original, with an empty script) nest output.
-  ErrorOr<LoopNest> Out = applySequence(Seq, Nest);
+  ErrorOr<LoopNest> Out = P.apply(Seq, Nest);
   if (!Out) {
     std::fprintf(stderr, "apply: %s\n", Out.message().c_str());
-    return 1;
+    return fail(JsonMode, "apply: " + Out.message());
   }
 
-  if (Emit == "c")
-    std::printf("%s", emitC(*Out).c_str());
-  else if (Emit == "loop" || (!WantDeps && !WantMatrices && !WantLegality &&
-                              !WantFastLegality && VerifySpec.empty()))
-    std::printf("%s", Out->str().c_str());
+  if (Emit == "c") {
+    std::string C = P.emit(*Out, api::EmitKind::C);
+    if (JsonMode)
+      W.field("output", C);
+    else
+      std::printf("%s", C.c_str());
+  } else if (Emit == "loop" || (!WantDeps && !WantMatrices && !WantLegality &&
+                                !WantFastLegality && VerifySpec.empty())) {
+    std::string S = P.emit(*Out, api::EmitKind::Loop);
+    if (JsonMode)
+      W.field("output", S);
+    else
+      std::printf("%s", S.c_str());
+  }
 
+  int Exit = 0;
   if (!VerifySpec.empty()) {
     EvalConfig C;
     if (!parseBindings(VerifySpec, C.Params)) {
       std::fprintf(stderr, "error: malformed --verify bindings '%s'\n",
                    VerifySpec.c_str());
-      return 1;
+      return fail(JsonMode, "malformed --verify bindings '" + VerifySpec +
+                                "'");
     }
     // A pathological binding must terminate with a clean "budget
     // exhausted" verdict rather than hang the tool.
     C.WallBudgetMillis = 30'000;
-    VerifyResult V = verifyTransformed(Nest, *Out, C);
-    std::printf("verify(%s): %s\n", VerifySpec.c_str(),
-                V.Ok ? "equivalent" : V.Problem.c_str());
+    VerifyResult V = P.verify(Nest, *Out, C);
+    if (JsonMode) {
+      W.key("verify").beginObject();
+      W.field("bindings", VerifySpec);
+      W.field("equivalent", V.Ok);
+      if (!V.Ok)
+        W.field("problem", V.Problem);
+      W.endObject();
+    } else {
+      std::printf("verify(%s): %s\n", VerifySpec.c_str(),
+                  V.Ok ? "equivalent" : V.Problem.c_str());
+    }
     if (!V.Ok)
-      return 1;
+      Exit = 1;
   }
-  return 0;
+
+  if (JsonMode) {
+    W.endObject();
+    std::printf("%s\n", W.take().c_str());
+  }
+  return Exit;
 }

@@ -9,6 +9,7 @@
 /// \file
 /// irlt-search: parse a loop nest, run the cost-model-guided beam search
 /// (docs/SEARCH.md) over transformation sequences, and print the winner.
+/// A thin client of the irlt::api facade (api/Pipeline.h, docs/API.md).
 ///
 ///   irlt-search FILE [options]
 ///     --objective locality|par|both   what to optimize (default: both)
@@ -31,16 +32,16 @@
 ///                     to the next-best one, ultimately to the identity
 ///                     sequence; disproofs are dumped as replayable
 ///                     reproducers
+///     --json          emit one versioned JSON record (the shared schema
+///                     of docs/API.md) instead of text
 ///
 /// Exit status: 0 on success (including "no candidate beat nothing" and
 /// the --validate identity fallback), 1 on errors.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "dependence/DepAnalysis.h"
-#include "ir/Parser.h"
-#include "search/Search.h"
-#include "witness/Validate.h"
+#include "api/Pipeline.h"
+#include "support/Json.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -57,7 +58,7 @@ void usage(const char *Argv0) {
                "          [--depth N] [--tiles 8,16] [--threads N]\n"
                "          [--params n=32,m=16] [--topk N] [--explain] "
                "[--emit]\n"
-               "          [--validate[=N]]\n",
+               "          [--validate[=N]] [--json]\n",
                Argv0);
 }
 
@@ -138,10 +139,40 @@ void printCandidate(const char *Tag, const search::ScoredSequence &C) {
   std::printf("  par-score: %ld\n", C.ParScore);
   if (!C.ParallelLoops.empty()) {
     std::string Loops;
-    for (unsigned P : C.ParallelLoops)
-      Loops += (Loops.empty() ? "" : ",") + std::to_string(P);
+    for (unsigned P : C.ParallelLoops) {
+      if (!Loops.empty())
+        Loops += ',';
+      Loops += std::to_string(P);
+    }
     std::printf("  parallel-loops: %s\n", Loops.c_str());
   }
+}
+
+void writeCandidate(json::JsonWriter &W, const search::ScoredSequence &C) {
+  W.beginObject();
+  W.field("sequence", C.Seq.str());
+  W.field("cost", C.Cost);
+  W.field("miss_ratio", C.MissRatio);
+  W.field("par_score", static_cast<int64_t>(C.ParScore));
+  W.key("parallel_loops").beginArray();
+  for (unsigned P : C.ParallelLoops)
+    W.value(static_cast<uint64_t>(P));
+  W.endArray();
+  W.endObject();
+}
+
+int fail(bool JsonMode, const std::string &Message) {
+  if (JsonMode) {
+    json::JsonWriter W;
+    json::beginToolRecord(W, "irlt-search");
+    W.field("ok", false);
+    W.key("error").beginObject();
+    W.field("message", Message);
+    W.endObject();
+    W.endObject();
+    std::printf("%s\n", W.take().c_str());
+  }
+  return 1;
 }
 
 } // namespace
@@ -153,7 +184,7 @@ int main(int argc, char **argv) {
   }
   std::string NestPath = argv[1];
   search::SearchOptions Opts;
-  bool Explain = false, Emit = false, Validate = false;
+  bool Explain = false, Emit = false, Validate = false, JsonMode = false;
   uint64_t ValidateBudget = 200'000;
 
   for (int I = 2; I < argc; ++I) {
@@ -223,6 +254,8 @@ int main(int argc, char **argv) {
       Explain = true;
     } else if (A == "--emit") {
       Emit = true;
+    } else if (A == "--json") {
+      JsonMode = true;
     } else if (A == "--validate" || A.rfind("--validate=", 0) == 0) {
       Validate = true;
       if (A.size() > 10 && A[10] == '=') {
@@ -242,43 +275,69 @@ int main(int argc, char **argv) {
     }
   }
 
+  api::Pipeline P;
+
   std::string Source;
   if (!readFile(NestPath, Source)) {
     std::fprintf(stderr, "error: cannot read '%s'\n", NestPath.c_str());
-    return 1;
+    return fail(JsonMode, "cannot read '" + NestPath + "'");
   }
-  ErrorOr<LoopNest> NestOr = parseLoopNest(Source);
+  ErrorOr<LoopNest> NestOr = P.loadNest(Source);
   if (!NestOr) {
     std::fprintf(stderr, "%s: %s\n", NestPath.c_str(),
                  NestOr.message().c_str());
-    return 1;
+    return fail(JsonMode, NestPath + ": " + NestOr.message());
   }
   LoopNest Nest = NestOr.take();
-  DepSet D = analyzeDependences(Nest);
 
-  search::SearchResult R = search::searchTransformations(Nest, D, Opts);
+  search::SearchResult R = P.searchAuto(Nest, Opts);
   if (!R.Error.empty()) {
     std::fprintf(stderr, "error: %s\n", R.Error.c_str());
-    return 1;
+    return fail(JsonMode, R.Error);
   }
+
+  json::JsonWriter W;
+  json::beginToolRecord(W, "irlt-search");
+  W.field("ok", true);
 
   if (!R.Best) {
-    std::printf("winner: none\n");
+    if (JsonMode) {
+      W.nullField("winner");
+      W.endObject();
+      std::printf("%s\n", W.take().c_str());
+    } else {
+      std::printf("winner: none\n");
+    }
     return 0;
   }
-  printCandidate("winner", *R.Best);
-
-  if (Explain) {
-    std::printf("top-%zu:\n", R.Top.size());
-    for (size_t I = 0; I < R.Top.size(); ++I)
-      printCandidate(("  #" + std::to_string(I + 1)).c_str(), R.Top[I]);
-    std::printf("stats: enumerated=%llu pruned=%llu deduped=%llu "
-                "leaves=%llu legal=%llu\n",
-                static_cast<unsigned long long>(R.Stats.Enumerated),
-                static_cast<unsigned long long>(R.Stats.Pruned),
-                static_cast<unsigned long long>(R.Stats.Deduped),
-                static_cast<unsigned long long>(R.Stats.Leaves),
-                static_cast<unsigned long long>(R.Stats.Legal));
+  if (JsonMode) {
+    W.key("winner");
+    writeCandidate(W, *R.Best);
+    W.key("top").beginArray();
+    for (const search::ScoredSequence &C : R.Top)
+      writeCandidate(W, C);
+    W.endArray();
+    W.key("search_stats").beginObject();
+    W.field("enumerated", R.Stats.Enumerated);
+    W.field("pruned", R.Stats.Pruned);
+    W.field("deduped", R.Stats.Deduped);
+    W.field("leaves", R.Stats.Leaves);
+    W.field("legal", R.Stats.Legal);
+    W.endObject();
+  } else {
+    printCandidate("winner", *R.Best);
+    if (Explain) {
+      std::printf("top-%zu:\n", R.Top.size());
+      for (size_t I = 0; I < R.Top.size(); ++I)
+        printCandidate(("  #" + std::to_string(I + 1)).c_str(), R.Top[I]);
+      std::printf("stats: enumerated=%llu pruned=%llu deduped=%llu "
+                  "leaves=%llu legal=%llu\n",
+                  static_cast<unsigned long long>(R.Stats.Enumerated),
+                  static_cast<unsigned long long>(R.Stats.Pruned),
+                  static_cast<unsigned long long>(R.Stats.Deduped),
+                  static_cast<unsigned long long>(R.Stats.Leaves),
+                  static_cast<unsigned long long>(R.Stats.Legal));
+    }
   }
 
   TransformSequence Final = R.Best->Seq;
@@ -290,31 +349,59 @@ int main(int argc, char **argv) {
       Cands.push_back(S.Seq);
     if (Cands.empty())
       Cands.push_back(R.Best->Seq);
-    witness::LadderResult LR = witness::validateLadder(Nest, Cands, VO);
-    for (size_t I = 0; I < LR.Outcomes.size(); ++I) {
-      const witness::CandidateOutcome &O = LR.Outcomes[I];
-      std::printf("validate #%zu: %s - %s\n", I + 1,
-                  witness::validateStatusName(O.Status), O.Detail.c_str());
-      if (!O.ReproPath.empty())
-        std::printf("  reproducer: %s\n", O.ReproPath.c_str());
+    witness::LadderResult LR = P.validate(Nest, Cands, VO);
+    if (JsonMode) {
+      W.key("validate").beginObject();
+      W.field("chosen", static_cast<int64_t>(LR.Chosen));
+      W.field("fell_back_to_identity", LR.fellBackToIdentity());
+      W.key("outcomes").beginArray();
+      for (const witness::CandidateOutcome &O : LR.Outcomes) {
+        W.beginObject();
+        W.field("status", witness::validateStatusName(O.Status));
+        W.field("detail", O.Detail);
+        if (!O.ReproPath.empty())
+          W.field("reproducer", O.ReproPath);
+        W.endObject();
+      }
+      W.endArray();
+      W.endObject();
+    } else {
+      for (size_t I = 0; I < LR.Outcomes.size(); ++I) {
+        const witness::CandidateOutcome &O = LR.Outcomes[I];
+        std::printf("validate #%zu: %s - %s\n", I + 1,
+                    witness::validateStatusName(O.Status), O.Detail.c_str());
+        if (!O.ReproPath.empty())
+          std::printf("  reproducer: %s\n", O.ReproPath.c_str());
+      }
     }
     if (LR.fellBackToIdentity()) {
       Final = TransformSequence();
-      std::printf("validated winner: identity (every candidate was "
-                  "disproved)\n");
+      if (!JsonMode)
+        std::printf("validated winner: identity (every candidate was "
+                    "disproved)\n");
     } else {
       Final = Cands[static_cast<size_t>(LR.Chosen)];
-      std::printf("validated winner: %s\n", Final.str().c_str());
+      if (!JsonMode)
+        std::printf("validated winner: %s\n", Final.str().c_str());
     }
   }
+  if (JsonMode)
+    W.field("sequence", Final.str());
 
   if (Emit) {
-    ErrorOr<LoopNest> Out = applySequence(Final, Nest);
+    ErrorOr<LoopNest> Out = P.apply(Final, Nest);
     if (!Out) {
       std::fprintf(stderr, "apply: %s\n", Out.message().c_str());
-      return 1;
+      return fail(JsonMode, "apply: " + Out.message());
     }
-    std::printf("%s", Out->str().c_str());
+    if (JsonMode)
+      W.field("output", P.emit(*Out, api::EmitKind::Loop));
+    else
+      std::printf("%s", Out->str().c_str());
+  }
+  if (JsonMode) {
+    W.endObject();
+    std::printf("%s\n", W.take().c_str());
   }
   return 0;
 }
