@@ -1,0 +1,113 @@
+//===- bench/bench_analyze.cpp - Static analyzer throughput ---------------===//
+//
+// Experiment A1: the static diagnostic engine (src/analysis/,
+// docs/ANALYSIS.md) sweeping a mixed corpus of legal, illegal, and
+// lint-heavy (nest, script) pairs. Records analyzed nests/s plus the
+// error/warning finding mix, so BENCH_analyze.json tracks analyzer
+// throughput across commits; the engine must stay cheap enough to run
+// on every request of a batch workload.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchNests.h"
+
+#include "analysis/Analysis.h"
+#include "driver/Script.h"
+
+#include "BenchMain.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace irlt;
+
+namespace {
+
+struct Case {
+  LoopNest Nest;
+  DepSet Deps;
+  TransformSequence Seq;
+};
+
+std::vector<Case> corpus() {
+  struct Spec {
+    LoopNest Nest;
+    const char *Script;
+  };
+  const Spec Specs[] = {
+      // Legal scripts: the common fast path.
+      {bench::matmulNest(), "block 1 3 8 8 8"},
+      {bench::stencilNest(), "unimodular 1 1 / 1 0"},
+      {bench::matmulNest(), "interchange 1 2\nparallelize 2"},
+      {bench::deepNest(4), "stripmine 2 16\ninterchange 1 2"},
+      // Error-class findings: precondition and lex-negative rejections.
+      {bench::triangularNest(), "interchange 1 2"},
+      {bench::triangularNest(), "coalesce 1 2"},
+      {bench::stencilNest(), "reverse 1"},
+      // Lint-heavy: reducible pairs, identity stages, fix-it synthesis.
+      {bench::matmulNest(),
+       "interchange 1 2\ninterchange 1 2\nparallelize 3"},
+      {bench::deepNest(4), "reverse 1\nreverse 1\nreverse 2\nreverse 2"},
+  };
+  std::vector<Case> Out;
+  for (const Spec &S : Specs) {
+    Case C{S.Nest, analyzeDependences(S.Nest), TransformSequence()};
+    ErrorOr<TransformSequence> Seq =
+        parseTransformScript(S.Script, S.Nest.numLoops());
+    assert(Seq && "benchmark script failed to parse");
+    C.Seq = Seq.take();
+    Out.push_back(std::move(C));
+  }
+  return Out;
+}
+
+void BM_AnalyzeCorpus(benchmark::State &State) {
+  std::vector<Case> Cases = corpus();
+  bool Lint = State.range(0) != 0;
+  analysis::AnalysisOptions AO;
+  AO.Lint = Lint;
+  uint64_t Analyzed = 0, Errors = 0, Warnings = 0;
+  for (auto _ : State) {
+    for (const Case &C : Cases) {
+      analysis::AnalysisReport R =
+          analysis::analyzeSequence(C.Seq, C.Nest, C.Deps, AO);
+      benchmark::DoNotOptimize(R);
+      ++Analyzed;
+      Errors += R.errorCount();
+      Warnings += R.warningCount();
+    }
+  }
+  State.counters["lint"] = Lint ? 1 : 0;
+  State.counters["nests_per_sec"] = benchmark::Counter(
+      static_cast<double>(Analyzed), benchmark::Counter::kIsRate);
+  State.counters["error_findings"] = static_cast<double>(Errors);
+  State.counters["warning_findings"] = static_cast<double>(Warnings);
+}
+BENCHMARK(BM_AnalyzeCorpus)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+/// Analyzer cost as sequences grow: a chain of K reducible interchange
+/// pairs exercises the pairwise W200 scan and the fix-it fixed point.
+void BM_AnalyzeChainLength(benchmark::State &State) {
+  LoopNest Nest = bench::matmulNest();
+  DepSet D = analyzeDependences(Nest);
+  std::string Script;
+  for (int64_t K = 0; K < State.range(0); ++K)
+    Script += "interchange 1 2\ninterchange 1 2\n";
+  ErrorOr<TransformSequence> Seq =
+      parseTransformScript(Script, Nest.numLoops());
+  assert(Seq && "benchmark chain failed to parse");
+  uint64_t Analyzed = 0;
+  for (auto _ : State) {
+    analysis::AnalysisReport R = analysis::analyzeSequence(*Seq, Nest, D);
+    benchmark::DoNotOptimize(R);
+    ++Analyzed;
+  }
+  State.counters["stages"] = static_cast<double>(2 * State.range(0));
+  State.counters["nests_per_sec"] = benchmark::Counter(
+      static_cast<double>(Analyzed), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_AnalyzeChainLength)->Arg(1)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+IRLT_BENCHMARK_MAIN();

@@ -7,15 +7,17 @@
 #
 # Defaults: BUILD_DIR=build, OUT_FILE=BENCH_search.json. The batch
 # engine scenarios (bench_batch) are additionally split into their own
-# BATCH_OUT (default BENCH_batch.json, next to OUT_FILE) so the batch
-# throughput trajectory can be tracked on its own. Extra benchmark
-# flags can be passed via IRLT_BENCH_ARGS (e.g.
-# IRLT_BENCH_ARGS=--benchmark_min_time=0.01 for a quick pass).
+# BATCH_OUT (default BENCH_batch.json, next to OUT_FILE), and the
+# static analyzer scenarios (bench_analyze) into ANALYZE_OUT (default
+# BENCH_analyze.json), so each throughput trajectory can be tracked on
+# its own. Extra benchmark flags can be passed via IRLT_BENCH_ARGS
+# (e.g. IRLT_BENCH_ARGS=--benchmark_min_time=0.01 for a quick pass).
 set -u
 
 BUILD_DIR="${1:-build}"
 OUT="${2:-BENCH_search.json}"
 BATCH_OUT="${3:-$(dirname "$OUT")/BENCH_batch.json}"
+ANALYZE_OUT="${4:-$(dirname "$OUT")/BENCH_analyze.json}"
 BENCH_DIR="$BUILD_DIR/bench"
 
 if ! ls "$BENCH_DIR"/bench_* >/dev/null 2>&1; then
@@ -25,7 +27,8 @@ fi
 
 TMP="$(mktemp)"
 BATCH_TMP="$(mktemp)"
-trap 'rm -f "$TMP" "$BATCH_TMP"' EXIT
+ANALYZE_TMP="$(mktemp)"
+trap 'rm -f "$TMP" "$BATCH_TMP" "$ANALYZE_TMP"' EXIT
 
 # Fail fast: a partial aggregate would silently skew any perf-trajectory
 # comparison, so the first failing binary aborts the run and OUT is left
@@ -36,6 +39,7 @@ for BIN in "$BENCH_DIR"/bench_*; do
   echo "running $NAME..." >&2
   DEST="$TMP"
   [ "$NAME" = bench_batch ] && DEST="$BATCH_TMP"
+  [ "$NAME" = bench_analyze ] && DEST="$ANALYZE_TMP"
   if ! "$BIN" --json ${IRLT_BENCH_ARGS:-} >>"$DEST"; then
     echo "error: $NAME failed; aborting without writing $OUT" >&2
     exit 1
@@ -60,4 +64,7 @@ wrap() {
 wrap irlt-bench "$TMP" "$OUT"
 if [ -s "$BATCH_TMP" ]; then
   wrap irlt-bench-batch "$BATCH_TMP" "$BATCH_OUT"
+fi
+if [ -s "$ANALYZE_TMP" ]; then
+  wrap irlt-bench-analyze "$ANALYZE_TMP" "$ANALYZE_OUT"
 fi

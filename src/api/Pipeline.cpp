@@ -199,6 +199,25 @@ LegalityResult Pipeline::checkLegalityFast(const TransformSequence &Seq,
   return isLegalFast(Seq, Nest, *D);
 }
 
+analysis::AnalysisReport Pipeline::analyze(const TransformSequence &Seq,
+                                           const LoopNest &Nest,
+                                           const analysis::AnalysisOptions &Opts) {
+  bool DepOverflow = false;
+  std::shared_ptr<const DepSet> D = dependences(Nest, &DepOverflow);
+  if (DepOverflow) {
+    // Mirror checkLegality's Overflow verdict so the two surfaces agree.
+    analysis::AnalysisReport R;
+    analysis::Finding F;
+    F.RuleId = "E104";
+    F.Severity = analysis::FindingSeverity::Error;
+    F.Citation = analysis::findRule("E104")->Citation;
+    F.Message = "dependence analysis overflows the int64 coefficient range";
+    R.Findings.push_back(std::move(F));
+    return R;
+  }
+  return analysis::analyzeSequence(Seq, Nest, *D, Opts);
+}
+
 ErrorOr<LoopNest> Pipeline::apply(const TransformSequence &Seq,
                                   const LoopNest &Nest) const {
   return applySequence(Seq, Nest);

@@ -41,6 +41,7 @@
 #ifndef IRLT_API_PIPELINE_H
 #define IRLT_API_PIPELINE_H
 
+#include "analysis/Analysis.h"
 #include "dependence/DepAnalysis.h"
 #include "driver/Script.h"
 #include "eval/Verify.h"
@@ -131,6 +132,15 @@ public:
   /// worth, and the differential fuzzer wants it un-memoized).
   LegalityResult checkLegalityFast(const TransformSequence &Seq,
                                    const LoopNest &Nest);
+
+  /// The static diagnostic engine (docs/ANALYSIS.md): rule-registry
+  /// analysis of \p Seq against \p Nest, with full rejection provenance
+  /// and lint warnings. Dependence analysis comes from (and fills) the
+  /// dependence cache; a saturated analysis yields one E104 finding,
+  /// matching checkLegality's RejectKind::Overflow verdict.
+  analysis::AnalysisReport analyze(const TransformSequence &Seq,
+                                   const LoopNest &Nest,
+                                   const analysis::AnalysisOptions &Opts = {});
 
   //===--- Transformation ---------------------------------------------------
   /// The uniform code generator: applies \p Seq to \p Nest.

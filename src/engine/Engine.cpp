@@ -8,6 +8,7 @@
 
 #include "engine/Engine.h"
 
+#include "analysis/Analysis.h"
 #include "support/Json.h"
 #include "support/MathUtils.h"
 
@@ -225,6 +226,7 @@ ReqOutcome processLine(api::Pipeline &P, const EngineOptions &EO,
     W.field("deduped", SR.Stats.Deduped);
     W.field("leaves", SR.Stats.Leaves);
     W.field("legal", SR.Stats.Legal);
+    W.field("analyzer_pruned", SR.Stats.AnalyzerPruned);
     W.endObject();
 
     if (Req.ValidateBudget && SR.Best) {
@@ -254,6 +256,13 @@ ReqOutcome processLine(api::Pipeline &P, const EngineOptions &EO,
       Seq = std::move(Red);
     }
     W.field("sequence", Seq.str());
+    if (Req.Analyze) {
+      analysis::AnalysisReport AR = P.analyze(Seq, Nest);
+      W.key("analysis");
+      analysis::writeReport(W, AR);
+      if (AR.hasErrors())
+        Out.Illegal = true;
+    }
     // The winner is legal by construction; re-deriving the verdict here
     // exercises (and fills) the shared legality cache and reports the
     // final mapped dependence set.
@@ -284,6 +293,13 @@ ReqOutcome processLine(api::Pipeline &P, const EngineOptions &EO,
       Seq = std::move(Red);
     }
     W.field("sequence", Seq.str());
+    if (Req.Analyze) {
+      analysis::AnalysisReport AR = P.analyze(Seq, Nest);
+      W.key("analysis");
+      analysis::writeReport(W, AR);
+      if (AR.hasErrors())
+        Out.Illegal = true;
+    }
 
     if (Req.Legality) {
       LegalityResult L = timed(WD, Stage::Legality,

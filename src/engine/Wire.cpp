@@ -42,6 +42,7 @@ ErrorOr<BatchRequest> engine::parseRequestLine(const std::string &Line,
         ": 'auto' must be locality, par, or both, got '" + R.Auto + "'"));
 
   R.Legality = Doc->boolOr("legality", true);
+  R.Analyze = Doc->boolOr("analyze", false);
   R.Reduce = Doc->boolOr("reduce", false);
   R.Emit = Doc->stringOr("emit");
   if (!R.Emit.empty() && R.Emit != "loop" && R.Emit != "c")

@@ -13,10 +13,12 @@
 ///   {"id": "r2", "nest": "...", "auto": "locality"}
 ///
 /// Optional fields: "legality" (bool, default true - run the uniform
-/// legality test in script mode), "reduce" (bool, default false),
-/// "emit" ("loop" or "c": include the transformed nest in the result),
-/// "validate" (int instance budget: cross-check by bounded concrete
-/// execution), and for auto mode "beam", "depth", "topk".
+/// legality test in script mode), "analyze" (bool, default false - run
+/// the static diagnostic engine and include its findings in the
+/// result), "reduce" (bool, default false), "emit" ("loop" or "c":
+/// include the transformed nest in the result), "validate" (int
+/// instance budget: cross-check by bounded concrete execution), and
+/// for auto mode "beam", "depth", "topk".
 ///
 /// The result side is one versioned JSON record per request (the same
 /// "schema_version"/"tool" prologue every tool emits, support/Json.h),
@@ -49,6 +51,9 @@ struct BatchRequest {
   std::string Auto;
   /// Script mode: run the uniform legality test (default on).
   bool Legality = true;
+  /// Run the static diagnostic engine (src/analysis/) over the request's
+  /// sequence and attach the report to the result record.
+  bool Analyze = false;
   /// reduce() the sequence before use.
   bool Reduce = false;
   /// "", "loop", or "c": include transformed code in the result.

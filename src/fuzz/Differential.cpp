@@ -6,6 +6,7 @@
 
 #include "fuzz/Differential.h"
 
+#include "analysis/Analysis.h"
 #include "dependence/DepAnalysis.h"
 #include "driver/Script.h"
 #include "eval/Verify.h"
@@ -15,6 +16,8 @@
 #include "support/MathUtils.h"
 #include "transform/Sequence.h"
 #include "transform/TypeState.h"
+
+#include <optional>
 
 using namespace irlt;
 using namespace irlt::fuzz;
@@ -127,6 +130,29 @@ CaseOutcome irlt::fuzz::runCase(const FuzzCase &C,
   // comparison (the fast path does none of that arithmetic and may
   // legitimately still accept).
   LegalityResult L = isLegal(Seq, Nest, D);
+
+  // 4b. Analyzer oracle: the static diagnostic engine replays the same
+  // walk without executing anything (docs/ANALYSIS.md), so its
+  // error-class verdict must agree with the full test on every case -
+  // an error-clean report on an illegal sequence or an error finding on
+  // a legal one are both soundness bugs in the analyzer.
+  analysis::AnalysisReport AR = analysis::analyzeSequence(Seq, Nest, D);
+  if (L.Legal && AR.hasErrors()) {
+    std::string First;
+    for (const analysis::Finding &F : AR.Findings)
+      if (F.Severity == analysis::FindingSeverity::Error) {
+        First = std::string(F.RuleId) + ": " + F.Message;
+        break;
+      }
+    return outcome(Category::OracleFailure,
+                   "analyzer: error-class finding on a legal sequence: " +
+                       First);
+  }
+  if (!L.Legal && !AR.hasErrors())
+    return outcome(
+        Category::OracleFailure,
+        "analyzer: error-clean report for an illegal sequence: " + L.Reason);
+
   if (!L.Legal && L.Kind == LegalityResult::RejectKind::Overflow)
     return outcome(Category::OverflowRejected, L.Reason);
   LegalityResult LF = isLegalFast(Seq, Nest, D);
@@ -193,6 +219,30 @@ CaseOutcome irlt::fuzz::runCase(const FuzzCase &C,
                    "reduced sequence failed to apply: " + OutR.message());
   }
 
+  // The analyzer's fix-it rewrite (identity stages stripped, reducible
+  // pairs fused) must stay semantically equivalent too. Like the reduced
+  // form above, a fused stage may be cleanly rejected by a syntactic
+  // Table 3/4 precondition - that makes the check vacuous - but the fix
+  // never changes the composite iteration mapping, so a lex-negative
+  // rejection or an unexplained apply failure is an oracle failure.
+  std::optional<LoopNest> OutF;
+  if (AR.Fixed) {
+    ErrorOr<LoopNest> OutFOr = applySequence(*AR.Fixed, Nest);
+    if (!OutFOr) {
+      if (mentionsOverflow(OutFOr.message()))
+        return outcome(Category::OverflowRejected, OutFOr.message());
+      LegalityResult LFX = isLegal(*AR.Fixed, Nest, D);
+      if (LFX.Legal ||
+          LFX.Kind == LegalityResult::RejectKind::LexNegative ||
+          LFX.Kind == LegalityResult::RejectKind::None)
+        return outcome(Category::OracleFailure,
+                       "analyzer: fix-it sequence failed to apply: " +
+                           OutFOr.message());
+    } else {
+      OutF = OutFOr.take();
+    }
+  }
+
   // 6. Ground truth + metamorphic check under every binding set.
   for (const auto &Binding : Opts.Bindings) {
     EvalConfig EC;
@@ -221,6 +271,18 @@ CaseOutcome irlt::fuzz::runCase(const FuzzCase &C,
     if (!VR.Ok)
       return outcome(Category::OracleFailure,
                      "reduced sequence diverged: " + VR.Problem);
+
+    if (OutF) {
+      VerifyResult VF = verifyTransformed(Nest, *OutF, EC);
+      if (G.triggered())
+        return outcome(Category::OverflowRejected,
+                       "evaluation arithmetic overflowed (fix-it)");
+      if (VF.BudgetExceeded)
+        return outcome(Category::BudgetExceeded, VF.Problem);
+      if (!VF.Ok)
+        return outcome(Category::OracleFailure,
+                       "analyzer: fix-it sequence diverged: " + VF.Problem);
+    }
   }
 
   return outcome(Category::Legal);
@@ -278,7 +340,8 @@ CaseOutcome irlt::fuzz::runSearchCase(const FuzzCase &C,
       R.Stats.Enumerated != R2.Stats.Enumerated ||
       R.Stats.Pruned != R2.Stats.Pruned ||
       R.Stats.Deduped != R2.Stats.Deduped ||
-      R.Stats.Leaves != R2.Stats.Leaves || R.Stats.Legal != R2.Stats.Legal)
+      R.Stats.Leaves != R2.Stats.Leaves || R.Stats.Legal != R2.Stats.Legal ||
+      R.Stats.AnalyzerPruned != R2.Stats.AnalyzerPruned)
     return outcome(Category::OracleFailure,
                    "search result differs between 1 and 2 threads");
 

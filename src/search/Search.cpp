@@ -6,6 +6,7 @@
 
 #include "search/Search.h"
 
+#include "analysis/Analysis.h"
 #include "support/MathUtils.h"
 #include "transform/Templates.h"
 #include "transform/TypeState.h"
@@ -102,6 +103,9 @@ struct LeafEval {
   /// The state stays in the beam (its cost is meaningful).
   bool StateAlive = false;
   double StateCost = 0.0;
+  /// The analyzer pre-filter rejected the finished candidate before it
+  /// could be submitted to the full legality test.
+  bool AnalyzerPruned = false;
   /// A finished candidate was submitted to the full legality test.
   bool Submitted = false;
   /// ... and confirmed legal.
@@ -157,6 +161,24 @@ LeafEval finishState(const BeamState &St, const LoopNest &Nest, const DepSet &D,
   // worth expanding.
   if (Opts.Obj == Objective::Parallelism && ParallelLoops.empty())
     return E;
+
+  // Analyzer pre-filter (docs/ANALYSIS.md): the fast pruning already
+  // validated this prefix's per-stage preconditions, so the only verdict
+  // the full test can add is the final lexicographic check (rule E100).
+  // Running it directly on the final mapped set skips the whole isLegal
+  // walk for candidates that are certain to be rejected. Overflow falls
+  // through to isLegal, which classifies it properly.
+  {
+    OverflowGuard Guard;
+    DepSet Final = ParallelLoops.empty()
+                       ? St.Deps
+                       : makeParallelize(St.OutN, Flags)
+                             ->mapDependences(St.Deps);
+    if (!Guard.triggered() && analysis::finalDepsRejectable(Final)) {
+      E.AnalyzerPruned = true;
+      return E;
+    }
+  }
 
   TransformSequence LeafSeq = St.Seq;
   if (!ParallelLoops.empty())
@@ -225,6 +247,8 @@ SearchResult irlt::search::searchTransformations(const LoopNest &Nest,
       Evals[I] = finishState(States[I], Nest, D, Opts, CM.get());
     });
     for (LeafEval &E : Evals) {
+      if (E.AnalyzerPruned)
+        ++S.AnalyzerPruned;
       if (!E.Submitted)
         continue;
       ++S.Leaves;

@@ -108,6 +108,9 @@ struct SearchStats {
   uint64_t Deduped = 0;    ///< states merged by canonical key
   uint64_t Leaves = 0;     ///< finished candidates submitted to isLegal
   uint64_t Legal = 0;      ///< leaves the full legality test confirmed
+  /// Finished candidates the analyzer pre-filter (rule E100 on the final
+  /// mapped dependence set) rejected without submitting to isLegal.
+  uint64_t AnalyzerPruned = 0;
 };
 
 /// The search outcome.

@@ -65,6 +65,15 @@ struct Diag {
     return *this;
   }
 
+  /// Two diagnostics are equal when every field matches; renderDiags
+  /// uses this to suppress exact duplicates.
+  friend bool operator==(const Diag &A, const Diag &B) {
+    return A.Severity == B.Severity && A.Line == B.Line &&
+           A.Stage == B.Stage && A.TemplateName == B.TemplateName &&
+           A.Message == B.Message;
+  }
+  friend bool operator!=(const Diag &A, const Diag &B) { return !(A == B); }
+
   /// Renders location prefixes only when set: "line 3 (block): msg",
   /// "stage 2 (Block): msg", or the bare message.
   std::string str() const {
@@ -83,12 +92,20 @@ struct Diag {
 };
 
 /// Renders a diagnostic list one per line (no trailing newline).
+/// Identical records - every field equal - render once, at their first
+/// occurrence; layered failure paths (e.g. a stage check re-reported by
+/// its caller) would otherwise show the same line twice.
 inline std::string renderDiags(const std::vector<Diag> &Diags) {
   std::string Out;
-  for (const Diag &D : Diags) {
+  for (size_t I = 0; I < Diags.size(); ++I) {
+    bool Seen = false;
+    for (size_t J = 0; J < I && !Seen; ++J)
+      Seen = Diags[J] == Diags[I];
+    if (Seen)
+      continue;
     if (!Out.empty())
       Out += '\n';
-    Out += D.str();
+    Out += Diags[I].str();
   }
   return Out;
 }

@@ -89,8 +89,18 @@ int64_t UnimodularMatrix::determinant() const {
     for (unsigned I = K + 1; I < N; ++I)
       for (unsigned J = K + 1; J < N; ++J) {
         int64_t V = addChecked(mulChecked(At(I, J), At(K, K)),
-                               -mulChecked(At(I, K), At(K, J)));
-        assert(V % Prev == 0 && "Bareiss division not exact");
+                               negChecked(mulChecked(At(I, K), At(K, J))));
+        // Saturated intermediates (mulChecked/addChecked degrade to the
+        // int64 boundary under an active OverflowGuard) break the
+        // exact-division invariant; record and bail out - the caller
+        // discards the result at its triggered() boundary. Prev == -1 is
+        // split out because INT64_MIN % -1 traps in hardware.
+        bool Inexact = Prev == -1 ? V == INT64_MIN : V % Prev != 0;
+        if (Inexact) {
+          [[maybe_unused]] bool Handled = OverflowGuard::record();
+          assert(Handled && "Bareiss division not exact");
+          return 0;
+        }
         At(I, J) = V / Prev;
       }
     Prev = At(K, K);
@@ -113,7 +123,12 @@ UnimodularMatrix UnimodularMatrix::operator*(const UnimodularMatrix &O) const {
 
 UnimodularMatrix UnimodularMatrix::inverse() const {
   int64_t Det = determinant();
-  assert((Det == 1 || Det == -1) && "inverse of non-unimodular matrix");
+  // Under an active OverflowGuard a huge-entry determinant saturates and
+  // comes back degraded; the result here is then garbage the caller
+  // discards at its triggered() boundary.
+  assert((Det == 1 || Det == -1 ||
+          (OverflowGuard::active() && OverflowGuard::active()->triggered())) &&
+         "inverse of non-unimodular matrix");
   UnimodularMatrix Inv(N);
   // Adjugate: Inv[j][i] = cofactor(i, j) / det. N is small (loop nest
   // depth), so O(n^4) minors are fine.

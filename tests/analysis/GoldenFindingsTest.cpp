@@ -1,0 +1,142 @@
+//===- tests/analysis/GoldenFindingsTest.cpp - Golden analyzer output -----===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pins the analyzer's exact JSON report - rule id, stage, template,
+/// lattice element, dependence vector, bounds expression - for one
+/// hand-written illegal script per Table 1 kernel template (plus the
+/// StripMine extension and an overflow chain), and for the five strided
+/// nests behind the former soundness gap (ISSUE 3's regression corpus).
+///
+/// Data lives in tests/data/analysis/: <case>.nest, <case>.script, and
+/// <case>.golden holding the byte-exact writeReport() rendering. Set
+/// IRLT_UPDATE_GOLDEN=1 to regenerate the goldens after an intentional
+/// rule or message change; the diff is then reviewed like any other.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analysis.h"
+#include "dependence/DepAnalysis.h"
+#include "driver/Script.h"
+#include "ir/Parser.h"
+#include "support/Json.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+using namespace irlt;
+
+namespace {
+
+std::string dataPath(const std::string &Name) {
+  return std::string(IRLT_ANALYSIS_DATA_DIR) + "/" + Name;
+}
+
+std::string readFileOrEmpty(const std::string &Path) {
+  std::ifstream In(Path);
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+/// Runs the analyzer on one corpus case and compares the byte-exact
+/// writeReport() JSON against <case>.golden.
+void checkGolden(const std::string &Case) {
+  std::string NestSrc = readFileOrEmpty(dataPath(Case + ".nest"));
+  ASSERT_FALSE(NestSrc.empty()) << "missing " << Case << ".nest";
+  ErrorOr<LoopNest> NestOr = parseLoopNest(NestSrc);
+  ASSERT_TRUE(static_cast<bool>(NestOr)) << NestOr.message();
+  LoopNest Nest = NestOr.take();
+
+  std::string Script = readFileOrEmpty(dataPath(Case + ".script"));
+  ErrorOr<TransformSequence> SeqOr =
+      parseTransformScript(Script, Nest.numLoops());
+  ASSERT_TRUE(static_cast<bool>(SeqOr)) << SeqOr.message();
+
+  DepSet D = analyzeDependences(Nest);
+  analysis::AnalysisReport AR = analysis::analyzeSequence(*SeqOr, Nest, D);
+
+  json::JsonWriter W;
+  analysis::writeReport(W, AR);
+  std::string Actual = W.take() + "\n";
+
+  std::string GoldenPath = dataPath(Case + ".golden");
+  if (std::getenv("IRLT_UPDATE_GOLDEN")) {
+    std::ofstream Out(GoldenPath);
+    ASSERT_TRUE(Out.good()) << "cannot write " << GoldenPath;
+    Out << Actual;
+    return;
+  }
+  std::string Expected = readFileOrEmpty(GoldenPath);
+  ASSERT_FALSE(Expected.empty())
+      << "missing golden file " << GoldenPath
+      << " (run with IRLT_UPDATE_GOLDEN=1 to generate)";
+  EXPECT_EQ(Actual, Expected) << "analyzer output drifted for " << Case;
+}
+
+// One illegal script per Table 1 kernel template, each pinning the rule
+// id, stage index, and inferred lattice element of the explanation.
+
+TEST(GoldenFindings, UnimodularOnParallelLoop) {
+  checkGolden("unimodular_parallel"); // E101, stage 2, invar
+}
+
+TEST(GoldenFindings, ReversePermuteTriangular) {
+  checkGolden("reversepermute_triangular"); // E101, stage 1, linear
+}
+
+TEST(GoldenFindings, ParallelizeCarriedDependence) {
+  checkGolden("parallelize_carried"); // E100, whole-sequence, invar
+}
+
+TEST(GoldenFindings, BlockStridedVaryingStart) {
+  checkGolden("block_strided_start"); // E102, stage 1, linear
+}
+
+TEST(GoldenFindings, CoalesceTriangular) {
+  checkGolden("coalesce_triangular"); // E101, stage 1, linear
+}
+
+TEST(GoldenFindings, InterleaveNegativeInnerDistance) {
+  checkGolden("interleave_negative_inner"); // E100, linear
+}
+
+TEST(GoldenFindings, StripMineAnchorDependence) {
+  checkGolden("stripmine_anchor"); // E103, stage 1, linear
+}
+
+TEST(GoldenFindings, OverflowSkewChain) {
+  checkGolden("overflow_skew_chain"); // E104 + W200/W204 + fix-it
+}
+
+// The five pinned strided-soundness regression nests: the analyzer's
+// verdict on each must stay byte-stable (and agree with isLegal, which
+// the fuzz oracle enforces globally).
+
+TEST(GoldenFindings, Strided1BlockUnimodularChain) {
+  checkGolden("strided1_block_unimodular");
+}
+
+TEST(GoldenFindings, Strided2LowerBoundPermute) {
+  checkGolden("strided2_lower_bound_permute");
+}
+
+TEST(GoldenFindings, Strided3StripMineReversal) {
+  checkGolden("strided3_stripmine_reversal");
+}
+
+TEST(GoldenFindings, Strided4FastPathSkewChain) {
+  checkGolden("strided4_fast_path_skew");
+}
+
+TEST(GoldenFindings, Strided5SearchNestIdentity) {
+  checkGolden("strided5_search_nest");
+}
+
+} // namespace

@@ -1,0 +1,66 @@
+//===- tests/support/DiagTest.cpp - Diag rendering & dedup tests ---------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diag.h"
+
+#include <gtest/gtest.h>
+
+using namespace irlt;
+
+namespace {
+
+TEST(Diag, EqualityComparesEveryField) {
+  Diag A = Diag::error("boom");
+  Diag B = Diag::error("boom");
+  EXPECT_EQ(A, B);
+
+  EXPECT_NE(A, Diag::error("bang"));
+  EXPECT_NE(A, Diag::note("boom"));
+  EXPECT_NE(A, Diag::error("boom").atLine(3));
+  EXPECT_NE(A, Diag::error("boom").atStage(2));
+  EXPECT_NE(A, Diag::error("boom").inTemplate("Block"));
+
+  Diag C = Diag::error("boom").atStage(2).inTemplate("Block");
+  Diag D = Diag::error("boom").atStage(2).inTemplate("Block");
+  EXPECT_EQ(C, D);
+}
+
+TEST(Diag, RenderDiagsSuppressesExactDuplicates) {
+  std::vector<Diag> Diags{
+      Diag::error("bounds precondition violated").atStage(1),
+      Diag::error("bounds precondition violated").atStage(1),
+      Diag::error("bounds precondition violated").atStage(1),
+  };
+  EXPECT_EQ(renderDiags(Diags), "stage 1: bounds precondition violated");
+}
+
+TEST(Diag, RenderDiagsPreservesFirstOccurrenceOrder) {
+  std::vector<Diag> Diags{
+      Diag::error("first").atLine(1),
+      Diag::error("second").atLine(2),
+      Diag::error("first").atLine(1),  // duplicate of [0]
+      Diag::error("third").atLine(3),
+      Diag::error("second").atLine(2), // duplicate of [1]
+  };
+  EXPECT_EQ(renderDiags(Diags),
+            "line 1: first\nline 2: second\nline 3: third");
+}
+
+TEST(Diag, RenderDiagsKeepsNearDuplicatesThatDifferInAField) {
+  // Same message at different stages is two distinct findings; the
+  // dedup must not collapse them.
+  std::vector<Diag> Diags{
+      Diag::error("overflow").atStage(1),
+      Diag::error("overflow").atStage(2),
+      Diag::note("overflow").atStage(1),
+  };
+  EXPECT_EQ(renderDiags(Diags),
+            "stage 1: overflow\nstage 2: overflow\nstage 1: overflow");
+}
+
+TEST(Diag, RenderDiagsEmptyList) { EXPECT_EQ(renderDiags({}), ""); }
+
+} // namespace

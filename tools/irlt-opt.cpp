@@ -23,6 +23,10 @@
 ///     --verify BINDINGS     execute original and transformed nests with
 ///                           comma-separated bindings (n=32,b=4) and
 ///                           check equivalence
+///     --analyze             run the static diagnostic engine over the
+///                           sequence (docs/ANALYSIS.md): error findings
+///                           explain the exact legality rejection,
+///                           warnings lint legal-but-wasteful scripts
 ///     --reduce              reduce() the sequence before use
 ///     --auto OBJ            pick the sequence with the search engine
 ///                           (locality|par|both; see docs/SEARCH.md)
@@ -60,7 +64,7 @@ void usage(const char *Argv0) {
       stderr,
       "usage: %s FILE [-s SCRIPT | -f SCRIPTFILE | --auto locality|par|both]\n"
       "          [--deps] [--matrices] [--legality] [--fast-legality]\n"
-      "          [--emit loop|c] [--verify n=32,b=4] [--reduce]\n"
+      "          [--analyze] [--emit loop|c] [--verify n=32,b=4] [--reduce]\n"
       "          [--witness] [--validate[=N]] [--json]\n"
       "exit status: 0 success/legal, 2 illegal sequence, 1 error\n",
       Argv0);
@@ -137,6 +141,7 @@ int main(int argc, char **argv) {
   std::string NestPath = argv[1];
   std::string Script;
   bool WantDeps = false, WantMatrices = false, WantLegality = false;
+  bool WantAnalyze = false;
   bool WantFastLegality = false, WantReduce = false, WantWitness = false;
   bool Validate = false, JsonMode = false;
   uint64_t ValidateBudget = 200'000;
@@ -174,6 +179,8 @@ int main(int argc, char **argv) {
       WantLegality = true;
     } else if (A == "--fast-legality") {
       WantFastLegality = true;
+    } else if (A == "--analyze") {
+      WantAnalyze = true;
     } else if (A == "--reduce") {
       WantReduce = true;
     } else if (A == "--witness") {
@@ -345,6 +352,24 @@ int main(int argc, char **argv) {
     W.field("sequence", Seq.str());
 
   bool Illegal = false;
+  if (WantAnalyze) {
+    analysis::AnalysisReport AR = P.analyze(Seq, Nest);
+    if (JsonMode) {
+      W.key("analysis");
+      analysis::writeReport(W, AR);
+    } else {
+      std::printf("analysis: %u error(s), %u warning(s)\n", AR.errorCount(),
+                  AR.warningCount());
+      for (const analysis::Finding &F : AR.Findings)
+        std::printf("%s: %s\n", analysis::severityName(F.Severity),
+                    F.toDiag().str().c_str());
+      if (AR.Fixed)
+        std::printf("fixit: %s\n", AR.Fixed->str().c_str());
+    }
+    // Error-class findings predict (and explain) an illegal sequence;
+    // keep the 0-legal/2-illegal exit contract.
+    Illegal = Illegal || AR.hasErrors();
+  }
   if (WantLegality || WantFastLegality || WantWitness) {
     LegalityResult L = WantFastLegality ? P.checkLegalityFast(Seq, Nest)
                                         : P.checkLegality(Seq, Nest);
@@ -387,7 +412,7 @@ int main(int argc, char **argv) {
       }
     }
     // Exit-code contract: 0 legal, 2 illegal, 1 tool/usage error.
-    Illegal = !L.Legal;
+    Illegal = Illegal || !L.Legal;
   }
 
   if (Illegal) {

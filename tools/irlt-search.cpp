@@ -323,6 +323,7 @@ int main(int argc, char **argv) {
     W.field("deduped", R.Stats.Deduped);
     W.field("leaves", R.Stats.Leaves);
     W.field("legal", R.Stats.Legal);
+    W.field("analyzer_pruned", R.Stats.AnalyzerPruned);
     W.endObject();
   } else {
     printCandidate("winner", *R.Best);
@@ -331,12 +332,13 @@ int main(int argc, char **argv) {
       for (size_t I = 0; I < R.Top.size(); ++I)
         printCandidate(("  #" + std::to_string(I + 1)).c_str(), R.Top[I]);
       std::printf("stats: enumerated=%llu pruned=%llu deduped=%llu "
-                  "leaves=%llu legal=%llu\n",
+                  "leaves=%llu legal=%llu analyzer_pruned=%llu\n",
                   static_cast<unsigned long long>(R.Stats.Enumerated),
                   static_cast<unsigned long long>(R.Stats.Pruned),
                   static_cast<unsigned long long>(R.Stats.Deduped),
                   static_cast<unsigned long long>(R.Stats.Leaves),
-                  static_cast<unsigned long long>(R.Stats.Legal));
+                  static_cast<unsigned long long>(R.Stats.Legal),
+                  static_cast<unsigned long long>(R.Stats.AnalyzerPruned));
     }
   }
 
