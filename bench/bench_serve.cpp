@@ -1,0 +1,184 @@
+//===- bench/bench_serve.cpp - Serve-layer throughput ---------------------===//
+//
+// Experiment S1: the irlt-serve service layer (docs/SERVE.md) under its
+// three cache temperatures. The daemon's determinism contract says the
+// response stream is byte-identical whether the memoization caches are
+// cold (fresh start), warm (long-lived process), or restored (rewarmed
+// from the crash-safe journal); what differs is throughput, and that
+// difference is the whole point of running a daemon instead of invoking
+// irlt-batch per corpus. BENCH_serve.json tracks all three so the
+// restart penalty (restored vs warm) and the daemon dividend (warm vs
+// cold) have a perf trajectory. A fourth scenario prices the wire
+// framing itself (encode + FrameReader parse), which must stay in the
+// noise next to request processing.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchNests.h"
+
+#include "engine/Engine.h"
+#include "ir/NestHash.h"
+#include "serve/Frame.h"
+#include "serve/Journal.h"
+#include "support/Json.h"
+
+#include "BenchMain.h"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+using namespace irlt;
+
+namespace {
+
+/// One corpus item: the request line plus the journal source fields the
+/// serve workers would have collected for it (script empty in auto
+/// mode, matching CacheJournal semantics).
+struct CorpusItem {
+  std::string Line;
+  std::string NestSource;
+  std::string Script;
+};
+
+CorpusItem item(const std::string &Id, const LoopNest &Nest,
+                const std::string &Fields, const std::string &Script) {
+  CorpusItem C;
+  C.NestSource = Nest.str();
+  C.Script = Script;
+  C.Line = "{\"id\": \"" + Id + "\", \"nest\": \"" + json::escape(C.NestSource) +
+           "\", " + Fields + "}";
+  return C;
+}
+
+/// The replayed corpus: the bench nests under scripts and the planner,
+/// repeated so the caches see the repeated-nest profile a long-lived
+/// service actually has.
+std::vector<CorpusItem> corpus(unsigned Repeats) {
+  std::vector<CorpusItem> Items;
+  for (unsigned R = 0; R < Repeats; ++R) {
+    std::string Tag = std::to_string(R);
+    Items.push_back(item("stencil-" + Tag, bench::stencilNest(),
+                         "\"script\": \"skew 1 2 1\\ninterchange 1 2\", "
+                         "\"reduce\": true",
+                         "skew 1 2 1\ninterchange 1 2"));
+    Items.push_back(item("matmul-block-" + Tag, bench::matmulNest(),
+                         "\"script\": \"block 1 3 8 8 8\"",
+                         "block 1 3 8 8 8"));
+    Items.push_back(item("matmul-auto-" + Tag, bench::matmulNest(),
+                         "\"auto\": \"locality\", \"beam\": 2, \"depth\": 1",
+                         ""));
+    Items.push_back(item("triangular-" + Tag, bench::triangularNest(),
+                         "\"script\": \"interchange 1 2\"",
+                         "interchange 1 2"));
+  }
+  return Items;
+}
+
+std::vector<std::string> lines(const std::vector<CorpusItem> &Items) {
+  std::vector<std::string> Lines;
+  Lines.reserve(Items.size());
+  for (const CorpusItem &C : Items)
+    Lines.push_back(C.Line);
+  return Lines;
+}
+
+/// Builds the journal a drained daemon would have dumped after serving
+/// \p Items, and writes it to a temp path. Returns the path.
+std::string dumpJournal(const std::vector<CorpusItem> &Items) {
+  serve::CacheJournal J(/*Capacity=*/0);
+  api::Pipeline P;
+  for (const CorpusItem &C : Items) {
+    ErrorOr<LoopNest> Nest = P.loadNest(C.NestSource);
+    if (Nest)
+      J.record(canonicalNestKey(*Nest), C.NestSource, C.Script);
+  }
+  std::string Path =
+      (std::filesystem::temp_directory_path() / "irlt_bench_serve.journal")
+          .string();
+  ErrorOr<uint64_t> N = J.dump(Path);
+  if (!N)
+    std::fprintf(stderr, "bench_serve: journal dump failed: %s\n",
+                 N.message().c_str());
+  return Path;
+}
+
+/// Arg(0): 0 = cold (fresh engine), 1 = warm (engine pre-warmed by one
+/// full corpus pass), 2 = restored (fresh engine rewarmed from the
+/// journal dump before serving).
+void BM_ServeCacheTemperature(benchmark::State &State) {
+  const std::vector<CorpusItem> Items = corpus(/*Repeats=*/20);
+  const std::vector<std::string> Lines = lines(Items);
+  const int Mode = static_cast<int>(State.range(0));
+  const std::string JournalPath = Mode == 2 ? dumpJournal(Items) : "";
+
+  engine::EngineOptions O;
+  O.Jobs = 4;
+  engine::EngineMetrics M;
+  serve::JournalLoadResult Load;
+  uint64_t RewarmNs = 0;
+  for (auto _ : State) {
+    engine::BatchEngine E(O);
+    if (Mode == 1)
+      E.runToString(Lines); // warm pass, deliberately inside the timer:
+                            // kept out of req/s via M.WallNs below
+    if (Mode == 2) {
+      auto T0 = std::chrono::steady_clock::now();
+      Load = serve::CacheJournal(0).loadAndReplay(JournalPath, E.pipeline());
+      RewarmNs = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - T0)
+              .count());
+    }
+    std::string Out = E.runToString(Lines, &M);
+    benchmark::DoNotOptimize(Out);
+  }
+  double WallSec = static_cast<double>(M.WallNs) * 1e-9;
+  State.counters["mode"] = Mode;
+  State.counters["requests"] = static_cast<double>(M.Requests);
+  State.counters["requests_per_sec"] =
+      WallSec > 0 ? static_cast<double>(M.Requests) / WallSec : 0;
+  State.counters["dep_cache_hit_rate"] = M.Cache.depHitRate();
+  State.counters["legality_cache_hit_rate"] = M.Cache.legalityHitRate();
+  State.counters["journal_replayed"] = static_cast<double>(Load.Replayed);
+  State.counters["rewarm_ms"] = static_cast<double>(RewarmNs) * 1e-6;
+  if (Mode == 2)
+    std::filesystem::remove(JournalPath);
+}
+BENCHMARK(BM_ServeCacheTemperature)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+/// The framing layer alone: encode every corpus line into a frame, then
+/// parse the concatenated stream back with FrameReader. Reported as
+/// frames/s and MB/s; the serve protocol's fixed overhead.
+void BM_FrameCodec(benchmark::State &State) {
+  const std::vector<std::string> Lines = lines(corpus(/*Repeats=*/50));
+  std::string Wire;
+  for (const std::string &L : Lines)
+    Wire += serve::encodeFrame(L);
+  uint64_t Frames = 0;
+  for (auto _ : State) {
+    serve::FrameReader R;
+    R.feed(Wire);
+    std::string Payload;
+    while (R.next(Payload) == serve::FrameReader::Status::Frame) {
+      benchmark::DoNotOptimize(Payload);
+      ++Frames;
+    }
+  }
+  State.SetBytesProcessed(static_cast<int64_t>(
+      static_cast<uint64_t>(State.iterations()) * Wire.size()));
+  State.counters["frames_per_iter"] =
+      State.iterations() ? static_cast<double>(Frames) /
+                               static_cast<double>(State.iterations())
+                         : 0;
+}
+BENCHMARK(BM_FrameCodec)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+IRLT_BENCHMARK_MAIN();

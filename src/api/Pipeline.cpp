@@ -11,6 +11,7 @@
 #include "bounds/BoundsMatrices.h"
 #include "codegen/CEmitter.h"
 #include "ir/NestHash.h"
+#include "support/Lru.h"
 #include "support/MathUtils.h"
 #include "transform/TypeState.h"
 #include "witness/Witness.h"
@@ -22,17 +23,21 @@ using namespace irlt::api;
 
 namespace {
 
-/// One shared-mutex-free cache: a plain map under a mutex. The guarded
-/// section is only the lookup/insert - analysis and legality runs happen
-/// outside the lock, and on a miss race the first insert wins (both
-/// computations produced identical values, so which copy survives is
-/// unobservable).
+/// One cache: a bounded LRU map under a mutex. The guarded section is
+/// only the lookup/insert - analysis and legality runs happen outside
+/// the lock, and on a miss race the first insert wins (both computations
+/// produced identical values, so which copy survives is unobservable).
+/// With a capacity set, insertion past the bound evicts the
+/// least-recently-used entry; callers still holding a shared_ptr to an
+/// evicted entry keep a valid reference, and the next lookup of that key
+/// recomputes a byte-identical value.
 template <typename V> class KeyedCache {
 public:
+  explicit KeyedCache(size_t Capacity) : Map(Capacity) {}
+
   std::shared_ptr<const V> lookup(const std::string &Key) {
     std::lock_guard<std::mutex> Lock(Mu);
-    auto It = Map.find(Key);
-    return It == Map.end() ? nullptr : It->second;
+    return Map.lookup(Key);
   }
 
   /// Inserts \p Val unless \p Key is already present; returns the entry
@@ -40,13 +45,22 @@ public:
   std::shared_ptr<const V> insert(const std::string &Key,
                                   std::shared_ptr<const V> Val) {
     std::lock_guard<std::mutex> Lock(Mu);
-    auto [It, Inserted] = Map.emplace(Key, std::move(Val));
-    return It->second;
+    return Map.insert(Key, std::move(Val));
   }
 
   size_t size() const {
     std::lock_guard<std::mutex> Lock(Mu);
     return Map.size();
+  }
+
+  uint64_t inserts() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Map.inserts();
+  }
+
+  uint64_t evictions() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Map.evictions();
   }
 
   void clear() {
@@ -56,7 +70,7 @@ public:
 
 private:
   mutable std::mutex Mu;
-  std::unordered_map<std::string, std::shared_ptr<const V>> Map;
+  LruMap<V> Map;
 };
 
 /// A cached dependence analysis. Overflowed records whether coefficient
@@ -79,11 +93,13 @@ struct Pipeline::Impl {
 
   std::atomic<uint64_t> DepHits{0}, DepMisses{0};
   std::atomic<uint64_t> LegalityHits{0}, LegalityMisses{0};
+
+  explicit Impl(const PipelineOptions &O)
+      : Opts(O), DepCache(O.CacheCapacity), LegalityCache(O.CacheCapacity) {}
 };
 
-Pipeline::Pipeline(PipelineOptions Opts) : M(std::make_unique<Impl>()) {
-  M->Opts = Opts;
-}
+Pipeline::Pipeline(PipelineOptions Opts)
+    : M(std::make_unique<Impl>(Opts)) {}
 
 Pipeline::~Pipeline() = default;
 
@@ -283,6 +299,12 @@ CacheStats Pipeline::cacheStats() const {
   S.DepMisses = M->DepMisses.load(std::memory_order_relaxed);
   S.LegalityHits = M->LegalityHits.load(std::memory_order_relaxed);
   S.LegalityMisses = M->LegalityMisses.load(std::memory_order_relaxed);
+  S.DepLookups = S.DepHits + S.DepMisses;
+  S.LegalityLookups = S.LegalityHits + S.LegalityMisses;
+  S.DepInserts = M->DepCache.inserts();
+  S.DepEvictions = M->DepCache.evictions();
+  S.LegalityInserts = M->LegalityCache.inserts();
+  S.LegalityEvictions = M->LegalityCache.evictions();
   S.DepEntries = M->DepCache.size();
   S.LegalityEntries = M->LegalityCache.size();
   return S;

@@ -67,14 +67,29 @@ struct PipelineOptions {
   bool EnableCache = true;
   /// Dependence-analysis options used for cached analysis runs.
   DepAnalysisOptions DepOptions;
+  /// Per-cache entry bound; 0 = unbounded. When set, each cache evicts
+  /// least-recently-used entries past the bound. Eviction is
+  /// deterministic in the access sequence, and an evicted entry simply
+  /// recomputes on its next use to a byte-identical value - capacity is
+  /// a memory knob, never a correctness one.
+  size_t CacheCapacity = 0;
 };
 
-/// A point-in-time snapshot of the cache counters.
+/// A point-in-time snapshot of the cache counters. The reconciliation
+/// invariants (pinned by the eviction tests):
+///   Hits + Misses == Lookups      (per cache)
+///   Inserts - Evictions == Entries
 struct CacheStats {
   uint64_t DepHits = 0;
   uint64_t DepMisses = 0;
   uint64_t LegalityHits = 0;
   uint64_t LegalityMisses = 0;
+  uint64_t DepLookups = 0;
+  uint64_t LegalityLookups = 0;
+  uint64_t DepInserts = 0;
+  uint64_t DepEvictions = 0;
+  uint64_t LegalityInserts = 0;
+  uint64_t LegalityEvictions = 0;
   uint64_t DepEntries = 0;
   uint64_t LegalityEntries = 0;
 

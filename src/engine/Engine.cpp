@@ -9,6 +9,7 @@
 #include "engine/Engine.h"
 
 #include "analysis/Analysis.h"
+#include "ir/NestHash.h"
 #include "support/Json.h"
 #include "support/MathUtils.h"
 
@@ -17,6 +18,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 
 using namespace irlt;
@@ -52,24 +54,16 @@ uint64_t nsSince(Clock::time_point T0) {
           .count());
 }
 
-/// Per-worker latency samples; merged after the run.
-struct WorkerData {
-  std::vector<uint64_t> Samples[NumStages];
-  uint64_t BusyNs = 0;
-  uint64_t Errors = 0;
-  uint64_t Illegal = 0;
-};
-
 /// Times one stage and records the sample.
 template <typename F>
-auto timed(WorkerData &W, Stage S, F &&Fn) -> decltype(Fn()) {
+auto timed(StageSampler &S, Stage St, F &&Fn) -> decltype(Fn()) {
   Clock::time_point T0 = Clock::now();
   if constexpr (std::is_void_v<decltype(Fn())>) {
     Fn();
-    W.Samples[static_cast<unsigned>(S)].push_back(nsSince(T0));
+    S.SamplesNs[static_cast<unsigned>(St)].push_back(nsSince(T0));
   } else {
     auto R = Fn();
-    W.Samples[static_cast<unsigned>(S)].push_back(nsSince(T0));
+    S.SamplesNs[static_cast<unsigned>(St)].push_back(nsSince(T0));
     return R;
   }
 }
@@ -91,22 +85,6 @@ void writeDiags(json::JsonWriter &W, const std::vector<Diag> &Diags) {
     W.endObject();
   }
   W.endArray();
-}
-
-/// Finishes a record as a failure: {"ok": false, "error": {...}}.
-std::string errorRecord(const std::string &Id, const std::string &Message,
-                        const std::vector<Diag> *Diags = nullptr) {
-  json::JsonWriter W;
-  json::beginToolRecord(W, "irlt-batch");
-  W.field("id", Id);
-  W.field("ok", false);
-  W.key("error").beginObject();
-  W.field("message", Message);
-  if (Diags)
-    writeDiags(W, *Diags);
-  W.endObject();
-  W.endObject();
-  return W.take();
 }
 
 void writeLegality(json::JsonWriter &W, const LegalityResult &L) {
@@ -133,53 +111,123 @@ void writeValidation(json::JsonWriter &W, const witness::LadderResult &LR) {
   W.endObject();
 }
 
-struct ReqOutcome {
-  std::string Record;
-  bool Error = false;
-  bool Illegal = false;
-};
+/// Fails \p Out with a structured error record and returns it.
+RequestOutcome fail(RequestOutcome &&Out, const EngineOptions &EO,
+                    const std::string &Id, const char *Kind,
+                    const std::string &Message,
+                    const std::vector<Diag> *Diags = nullptr) {
+  Out.Error = true;
+  Out.ErrorKind = Kind;
+  Out.Record = makeErrorRecord(EO.ToolName, Id, Kind, Message, Diags);
+  return std::move(Out);
+}
 
-/// Serves one request line. Everything deterministic: the record depends
-/// only on the line's content (and the engine's forced-validation knob),
-/// never on timing, worker identity, or cache state.
-ReqOutcome processLine(api::Pipeline &P, const EngineOptions &EO,
-                       const std::string &Line, uint64_t LineNo,
-                       WorkerData &WD) {
-  ReqOutcome Out;
-  ErrorOr<BatchRequest> ReqOr = parseRequestLine(Line, LineNo);
-  if (!ReqOr) {
+} // namespace
+
+std::string engine::makeErrorRecord(const std::string &Tool,
+                                    const std::string &Id,
+                                    const std::string &Kind,
+                                    const std::string &Message,
+                                    const std::vector<Diag> *Diags) {
+  json::JsonWriter W;
+  json::beginToolRecord(W, Tool);
+  W.field("id", Id);
+  W.field("ok", false);
+  W.key("error").beginObject();
+  W.field("kind", Kind);
+  W.field("message", Message);
+  if (Diags)
+    writeDiags(W, *Diags);
+  W.endObject();
+  W.endObject();
+  return W.take();
+}
+
+RequestOutcome engine::processRequest(api::Pipeline &P,
+                                      const EngineOptions &EO,
+                                      const std::string &Line, uint64_t LineNo,
+                                      StageSampler &Sampler,
+                                      const DeadlineToken *DL) {
+  RequestOutcome Out;
+  std::string LineId = std::to_string(LineNo);
+
+  // Ingestion hardening: refuse pathological lines *before* the JSON
+  // parser sees them, as structured per-record diagnostics. The line
+  // content is never echoed (an oversized or NUL-ridden line would make
+  // the error record itself pathological).
+  if (Line.size() > EO.MaxLineBytes)
+    return fail(std::move(Out), EO, LineId, errkind::OversizedLine,
+                "request line " + LineId + " is " +
+                    std::to_string(Line.size()) +
+                    " bytes, over the per-line limit of " +
+                    std::to_string(EO.MaxLineBytes));
+  if (Line.find('\0') != std::string::npos)
+    return fail(std::move(Out), EO, LineId, errkind::EmbeddedNul,
+                "request line " + LineId + " contains an embedded NUL byte");
+
+  // A deadline can expire before the request is even looked at (queue
+  // wait under load); every later check sits on a stage boundary.
+  auto deadlineExpired = [&](const char *BeforeStage,
+                             const std::string &Id) -> bool {
+    if (!DL || !DL->expired())
+      return false;
     Out.Error = true;
-    Out.Record = errorRecord(std::to_string(LineNo), ReqOr.message(),
-                             &ReqOr.diags());
+    Out.ErrorKind = errkind::Deadline;
+    Out.Record = makeErrorRecord(
+        EO.ToolName, Id, errkind::Deadline,
+        std::string("deadline exceeded before stage '") + BeforeStage + "'");
+    return true;
+  };
+  if (deadlineExpired("parse", LineId))
     return Out;
-  }
+
+  ErrorOr<BatchRequest> ReqOr = parseRequestLine(Line, LineNo);
+  if (!ReqOr)
+    return fail(std::move(Out), EO, LineId, errkind::Request, ReqOr.message(),
+                &ReqOr.diags());
   BatchRequest Req = ReqOr.take();
   if (EO.ForcedValidateBudget && !Req.ValidateBudget)
     Req.ValidateBudget = EO.ForcedValidateBudget;
 
+  // Deterministic fault injection: a worker exception for targeted ids,
+  // which the worker loop degrades to a structured "internal" record.
+  if (EO.Faults.WorkerThrow &&
+      Req.Id.find(WorkerThrowIdMarker) != std::string::npos)
+    throw std::runtime_error("injected worker exception (worker-throw) for "
+                             "request id '" +
+                             Req.Id + "'");
+
   ErrorOr<LoopNest> NestOr =
-      timed(WD, Stage::Parse, [&] { return P.loadNest(Req.NestSource); });
-  if (!NestOr) {
-    Out.Error = true;
-    Out.Record =
-        errorRecord(Req.Id, "nest: " + NestOr.message(), &NestOr.diags());
-    return Out;
-  }
+      timed(Sampler, Stage::Parse, [&] { return P.loadNest(Req.NestSource); });
+  if (!NestOr)
+    return fail(std::move(Out), EO, Req.Id, errkind::Nest,
+                "nest: " + NestOr.message(), &NestOr.diags());
   LoopNest Nest = NestOr.take();
 
-  bool DepOverflow = false;
-  std::shared_ptr<const DepSet> D = timed(
-      WD, Stage::Deps, [&] { return P.dependences(Nest, &DepOverflow); });
-  if (DepOverflow) {
-    Out.Error = true;
-    Out.Record = errorRecord(
-        Req.Id,
-        "deps: dependence analysis overflows the int64 coefficient range");
-    return Out;
+  if (EO.CollectNestKeys) {
+    OverflowGuard Guard;
+    std::string Key = canonicalNestKey(Nest);
+    // A saturated fingerprint is not a usable cache key (see
+    // api::Pipeline); such a request is simply not journaled.
+    if (!Guard.triggered()) {
+      Out.NestKey = std::move(Key);
+      Out.NestSource = Req.NestSource;
+      Out.Script = Req.Script;
+    }
   }
 
+  if (deadlineExpired("deps", Req.Id))
+    return Out;
+  bool DepOverflow = false;
+  std::shared_ptr<const DepSet> D = timed(
+      Sampler, Stage::Deps, [&] { return P.dependences(Nest, &DepOverflow); });
+  if (DepOverflow)
+    return fail(
+        std::move(Out), EO, Req.Id, errkind::DepsOverflow,
+        "deps: dependence analysis overflows the int64 coefficient range");
+
   json::JsonWriter W;
-  json::beginToolRecord(W, "irlt-batch");
+  json::beginToolRecord(W, EO.ToolName);
   W.field("id", Req.Id);
   W.field("ok", true);
   W.field("mode", !Req.Auto.empty() ? "auto" : "script");
@@ -189,6 +237,8 @@ ReqOutcome processLine(api::Pipeline &P, const EngineOptions &EO,
   bool SeqLegal = true; // script mode: result of the legality test
 
   if (!Req.Auto.empty()) {
+    if (deadlineExpired("plan", Req.Id))
+      return Out;
     search::SearchOptions SO;
     SO.Obj = Req.Auto == "locality" ? search::Objective::Locality
              : Req.Auto == "par"    ? search::Objective::Parallelism
@@ -199,12 +249,10 @@ ReqOutcome processLine(api::Pipeline &P, const EngineOptions &EO,
     // One thread per request: the engine parallelizes across requests.
     SO.Threads = 1;
     search::SearchResult SR =
-        timed(WD, Stage::Plan, [&] { return P.searchAuto(Nest, SO); });
-    if (!SR.Error.empty()) {
-      Out.Error = true;
-      Out.Record = errorRecord(Req.Id, "auto: " + SR.Error);
-      return Out;
-    }
+        timed(Sampler, Stage::Plan, [&] { return P.searchAuto(Nest, SO); });
+    if (!SR.Error.empty())
+      return fail(std::move(Out), EO, Req.Id, errkind::Search,
+                  "auto: " + SR.Error);
     W.field("objective", Req.Auto);
     if (SR.Best) {
       Seq = SR.Best->Seq;
@@ -230,6 +278,8 @@ ReqOutcome processLine(api::Pipeline &P, const EngineOptions &EO,
     W.endObject();
 
     if (Req.ValidateBudget && SR.Best) {
+      if (deadlineExpired("validate", Req.Id))
+        return Out;
       witness::ValidateOptions VO = witness::ValidateOptions::defaults();
       VO.MaxInstances = Req.ValidateBudget;
       VO.ReproDir.clear(); // no filesystem writes from engine workers
@@ -238,8 +288,9 @@ ReqOutcome processLine(api::Pipeline &P, const EngineOptions &EO,
         Cands.push_back(S.Seq);
       if (Cands.empty())
         Cands.push_back(SR.Best->Seq);
-      witness::LadderResult LR = timed(
-          WD, Stage::Validate, [&] { return P.validate(Nest, Cands, VO); });
+      witness::LadderResult LR =
+          timed(Sampler, Stage::Validate,
+                [&] { return P.validate(Nest, Cands, VO); });
       writeValidation(W, LR);
       Seq = LR.fellBackToIdentity() ? TransformSequence()
                                     : Cands[static_cast<size_t>(LR.Chosen)];
@@ -247,12 +298,9 @@ ReqOutcome processLine(api::Pipeline &P, const EngineOptions &EO,
     if (Req.Reduce) {
       OverflowGuard Guard;
       TransformSequence Red = Seq.reduced();
-      if (Guard.triggered()) {
-        Out.Error = true;
-        Out.Record = errorRecord(
-            Req.Id, "reduce: sequence reduction overflows the int64 range");
-        return Out;
-      }
+      if (Guard.triggered())
+        return fail(std::move(Out), EO, Req.Id, errkind::ReduceOverflow,
+                    "reduce: sequence reduction overflows the int64 range");
       Seq = std::move(Red);
     }
     W.field("sequence", Seq.str());
@@ -263,33 +311,31 @@ ReqOutcome processLine(api::Pipeline &P, const EngineOptions &EO,
       if (AR.hasErrors())
         Out.Illegal = true;
     }
+    if (deadlineExpired("legality", Req.Id))
+      return Out;
     // The winner is legal by construction; re-deriving the verdict here
     // exercises (and fills) the shared legality cache and reports the
     // final mapped dependence set.
-    LegalityResult L = timed(WD, Stage::Legality,
+    LegalityResult L = timed(Sampler, Stage::Legality,
                              [&] { return P.checkLegality(Seq, Nest); });
     writeLegality(W, L);
     SeqLegal = L.Legal;
   } else {
-    ErrorOr<TransformSequence> SeqOr = timed(WD, Stage::Plan, [&] {
+    if (deadlineExpired("plan", Req.Id))
+      return Out;
+    ErrorOr<TransformSequence> SeqOr = timed(Sampler, Stage::Plan, [&] {
       return P.parseScript(Req.Script, Nest.numLoops());
     });
-    if (!SeqOr) {
-      Out.Error = true;
-      Out.Record =
-          errorRecord(Req.Id, "script: " + SeqOr.message(), &SeqOr.diags());
-      return Out;
-    }
+    if (!SeqOr)
+      return fail(std::move(Out), EO, Req.Id, errkind::Script,
+                  "script: " + SeqOr.message(), &SeqOr.diags());
     Seq = SeqOr.take();
     if (Req.Reduce) {
       OverflowGuard Guard;
       TransformSequence Red = Seq.reduced();
-      if (Guard.triggered()) {
-        Out.Error = true;
-        Out.Record = errorRecord(
-            Req.Id, "reduce: sequence reduction overflows the int64 range");
-        return Out;
-      }
+      if (Guard.triggered())
+        return fail(std::move(Out), EO, Req.Id, errkind::ReduceOverflow,
+                    "reduce: sequence reduction overflows the int64 range");
       Seq = std::move(Red);
     }
     W.field("sequence", Seq.str());
@@ -302,7 +348,9 @@ ReqOutcome processLine(api::Pipeline &P, const EngineOptions &EO,
     }
 
     if (Req.Legality) {
-      LegalityResult L = timed(WD, Stage::Legality,
+      if (deadlineExpired("legality", Req.Id))
+        return Out;
+      LegalityResult L = timed(Sampler, Stage::Legality,
                                [&] { return P.checkLegality(Seq, Nest); });
       writeLegality(W, L);
       SeqLegal = L.Legal;
@@ -311,12 +359,15 @@ ReqOutcome processLine(api::Pipeline &P, const EngineOptions &EO,
     }
 
     if (Req.ValidateBudget && SeqLegal) {
+      if (deadlineExpired("validate", Req.Id))
+        return Out;
       witness::ValidateOptions VO = witness::ValidateOptions::defaults();
       VO.MaxInstances = Req.ValidateBudget;
       VO.ReproDir.clear();
       std::vector<TransformSequence> Cands{Seq};
-      witness::LadderResult LR = timed(
-          WD, Stage::Validate, [&] { return P.validate(Nest, Cands, VO); });
+      witness::LadderResult LR =
+          timed(Sampler, Stage::Validate,
+                [&] { return P.validate(Nest, Cands, VO); });
       writeValidation(W, LR);
       if (LR.fellBackToIdentity())
         Seq = TransformSequence();
@@ -324,14 +375,13 @@ ReqOutcome processLine(api::Pipeline &P, const EngineOptions &EO,
   }
 
   if (!Req.Emit.empty() && SeqLegal) {
-    ErrorOr<LoopNest> Applied =
-        timed(WD, Stage::Apply, [&] { return P.apply(Seq, Nest); });
-    if (!Applied) {
-      Out.Error = true;
-      Out.Record = errorRecord(Req.Id, "apply: " + Applied.message(),
-                               &Applied.diags());
+    if (deadlineExpired("apply", Req.Id))
       return Out;
-    }
+    ErrorOr<LoopNest> Applied =
+        timed(Sampler, Stage::Apply, [&] { return P.apply(Seq, Nest); });
+    if (!Applied)
+      return fail(std::move(Out), EO, Req.Id, errkind::Apply,
+                  "apply: " + Applied.message(), &Applied.diags());
     W.field("output", P.emit(*Applied, Req.Emit == "c" ? api::EmitKind::C
                                                        : api::EmitKind::Loop));
   }
@@ -341,7 +391,7 @@ ReqOutcome processLine(api::Pipeline &P, const EngineOptions &EO,
   return Out;
 }
 
-StageMetrics summarize(std::vector<uint64_t> &&Samples) {
+StageMetrics engine::summarizeStage(std::vector<uint64_t> &&Samples) {
   StageMetrics M;
   M.Count = Samples.size();
   if (Samples.empty())
@@ -353,8 +403,6 @@ StageMetrics summarize(std::vector<uint64_t> &&Samples) {
   M.P95Ns = Samples[(Samples.size() - 1) * 95 / 100];
   return M;
 }
-
-} // namespace
 
 std::vector<std::string> engine::splitLines(const std::string &Text) {
   std::vector<std::string> Lines;
@@ -369,11 +417,17 @@ std::vector<std::string> engine::splitLines(const std::string &Text) {
     Lines.push_back(Text.substr(Pos, Nl - Pos));
     Pos = Nl + 1;
   }
+  // CRLF corpora parse like LF ones (the '\r' would otherwise poison the
+  // trailing field of every request line).
+  for (std::string &L : Lines)
+    if (!L.empty() && L.back() == '\r')
+      L.pop_back();
   return Lines;
 }
 
 BatchEngine::BatchEngine(EngineOptions O)
-    : Opts(O), P(api::PipelineOptions{O.EnableCache, {}}) {}
+    : Opts(O),
+      P(api::PipelineOptions{O.EnableCache, {}, O.CacheCapacity}) {}
 
 EngineMetrics
 BatchEngine::run(const std::vector<std::string> &Lines,
@@ -389,12 +443,24 @@ BatchEngine::run(const std::vector<std::string> &Lines,
   size_t N = Work.size();
   unsigned Jobs = std::max(1u, Opts.Jobs);
 
+  /// Per-worker tallies, merged after the run.
+  struct WorkerData {
+    StageSampler Sampler;
+    uint64_t BusyNs = 0;
+    uint64_t Errors = 0;
+    uint64_t Illegal = 0;
+  };
+
   std::vector<std::string> Results(N);
   std::vector<char> Done(N, 0);
   std::atomic<size_t> Next{0};
   std::mutex Mu;
   std::condition_variable Cv;
   std::vector<WorkerData> Workers(Jobs);
+
+  auto stopped = [&] {
+    return Opts.StopFlag && Opts.StopFlag->load(std::memory_order_relaxed);
+  };
 
   api::CacheStats Before = P.cacheStats();
   Clock::time_point Start = Clock::now();
@@ -408,9 +474,31 @@ BatchEngine::run(const std::vector<std::string> &Lines,
         size_t I = Next.fetch_add(1, std::memory_order_relaxed);
         if (I >= N)
           break;
+        RequestOutcome O;
+        if (stopped()) {
+          // Interrupted: skip unstarted requests (an empty slot tells
+          // the flusher where the clean prefix ends). In-flight requests
+          // on other workers still finish - no torn records.
+          std::lock_guard<std::mutex> Lock(Mu);
+          Done[I] = 1;
+          Cv.notify_one();
+          continue;
+        }
         Clock::time_point T0 = Clock::now();
-        ReqOutcome O = timed(WD, Stage::Total, [&] {
-          return processLine(P, Opts, *Work[I].second, Work[I].first, WD);
+        O = timed(WD.Sampler, Stage::Total, [&]() -> RequestOutcome {
+          try {
+            return processRequest(P, Opts, *Work[I].second, Work[I].first,
+                                  WD.Sampler);
+          } catch (const std::exception &E) {
+            RequestOutcome Bad;
+            Bad.Error = true;
+            Bad.ErrorKind = errkind::Internal;
+            Bad.Record = makeErrorRecord(
+                Opts.ToolName, std::to_string(Work[I].first),
+                errkind::Internal,
+                std::string("internal: worker exception: ") + E.what());
+            return Bad;
+          }
         });
         WD.BusyNs += nsSince(T0);
         WD.Errors += O.Error;
@@ -426,13 +514,19 @@ BatchEngine::run(const std::vector<std::string> &Lines,
   }
 
   // Completed-prefix flusher: emit records in input order as they land.
+  // On interruption the first skipped slot ends the stream - the sink
+  // always sees a clean prefix, never a gap.
+  uint64_t Served = 0;
   {
     std::unique_lock<std::mutex> Lock(Mu);
     for (size_t I = 0; I < N; ++I) {
       Cv.wait(Lock, [&] { return Done[I] != 0; });
+      if (Results[I].empty())
+        break;
       std::string R = std::move(Results[I]);
       Lock.unlock();
       Sink(R);
+      ++Served;
       Lock.lock();
     }
   }
@@ -441,6 +535,8 @@ BatchEngine::run(const std::vector<std::string> &Lines,
 
   EngineMetrics M;
   M.Requests = N;
+  M.Served = Served;
+  M.Interrupted = stopped() && Served < N;
   M.Jobs = Jobs;
   M.WallNs = nsSince(Start);
   api::CacheStats After = P.cacheStats();
@@ -448,13 +544,21 @@ BatchEngine::run(const std::vector<std::string> &Lines,
   M.Cache.DepMisses = After.DepMisses - Before.DepMisses;
   M.Cache.LegalityHits = After.LegalityHits - Before.LegalityHits;
   M.Cache.LegalityMisses = After.LegalityMisses - Before.LegalityMisses;
+  M.Cache.DepLookups = M.Cache.DepHits + M.Cache.DepMisses;
+  M.Cache.LegalityLookups = M.Cache.LegalityHits + M.Cache.LegalityMisses;
+  M.Cache.DepInserts = After.DepInserts - Before.DepInserts;
+  M.Cache.DepEvictions = After.DepEvictions - Before.DepEvictions;
+  M.Cache.LegalityInserts = After.LegalityInserts - Before.LegalityInserts;
+  M.Cache.LegalityEvictions =
+      After.LegalityEvictions - Before.LegalityEvictions;
   M.Cache.DepEntries = After.DepEntries;
   M.Cache.LegalityEntries = After.LegalityEntries;
   for (unsigned S = 0; S < NumStages; ++S) {
     std::vector<uint64_t> All;
     for (WorkerData &WD : Workers)
-      All.insert(All.end(), WD.Samples[S].begin(), WD.Samples[S].end());
-    M.Stages[S] = summarize(std::move(All));
+      All.insert(All.end(), WD.Sampler.SamplesNs[S].begin(),
+                 WD.Sampler.SamplesNs[S].end());
+    M.Stages[S] = summarizeStage(std::move(All));
   }
   for (const WorkerData &WD : Workers) {
     M.BusyNs += WD.BusyNs;
@@ -481,20 +585,28 @@ std::string EngineMetrics::toJson() const {
   json::beginToolRecord(W, "irlt-batch");
   W.field("record", "metrics");
   W.field("requests", Requests);
+  W.field("served", Served);
   W.field("errors", Errors);
   W.field("illegal", Illegal);
+  W.field("interrupted", Interrupted);
   W.field("jobs", static_cast<uint64_t>(Jobs));
   W.field("wall_ms", static_cast<double>(WallNs) / 1e6);
   W.field("worker_utilization", workerUtilization());
   W.key("dep_cache").beginObject();
   W.field("hits", Cache.DepHits);
   W.field("misses", Cache.DepMisses);
+  W.field("lookups", Cache.DepLookups);
+  W.field("inserts", Cache.DepInserts);
+  W.field("evictions", Cache.DepEvictions);
   W.field("entries", Cache.DepEntries);
   W.field("hit_rate", Cache.depHitRate());
   W.endObject();
   W.key("legality_cache").beginObject();
   W.field("hits", Cache.LegalityHits);
   W.field("misses", Cache.LegalityMisses);
+  W.field("lookups", Cache.LegalityLookups);
+  W.field("inserts", Cache.LegalityInserts);
+  W.field("evictions", Cache.LegalityEvictions);
   W.field("entries", Cache.LegalityEntries);
   W.field("hit_rate", Cache.legalityHitRate());
   W.endObject();

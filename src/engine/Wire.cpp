@@ -57,6 +57,12 @@ ErrorOr<BatchRequest> engine::parseRequestLine(const std::string &Line,
                                "instance budget"));
   R.ValidateBudget = static_cast<uint64_t>(Validate);
 
+  int64_t Deadline = Doc->intOr("deadline_ms", 0);
+  if (Deadline < 0)
+    return Failure(Diag::error("request line " + std::to_string(LineNo) +
+                               ": 'deadline_ms' must be non-negative"));
+  R.DeadlineMillis = static_cast<uint64_t>(Deadline);
+
   for (const auto &[Key, Default, Slot] :
        {std::tuple<const char *, unsigned, unsigned *>{"beam", 8U, &R.Beam},
         {"depth", 2U, &R.Depth},

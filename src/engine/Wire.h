@@ -17,8 +17,9 @@
 /// the static diagnostic engine and include its findings in the
 /// result), "reduce" (bool, default false), "emit" ("loop" or "c":
 /// include the transformed nest in the result), "validate" (int
-/// instance budget: cross-check by bounded concrete execution), and
-/// for auto mode "beam", "depth", "topk".
+/// instance budget: cross-check by bounded concrete execution),
+/// "deadline_ms" (per-request deadline, serve mode only), and for auto
+/// mode "beam", "depth", "topk".
 ///
 /// The result side is one versioned JSON record per request (the same
 /// "schema_version"/"tool" prologue every tool emits, support/Json.h),
@@ -61,6 +62,10 @@ struct BatchRequest {
   /// > 0: validate candidates by bounded concrete execution with this
   /// instance budget.
   uint64_t ValidateBudget = 0;
+  /// Per-request deadline in milliseconds (0 = none). Honored by
+  /// irlt-serve (docs/SERVE.md); irlt-batch deliberately ignores it so
+  /// batch replay stays byte-identical and timing-independent.
+  uint64_t DeadlineMillis = 0;
   /// Auto-mode search knobs.
   unsigned Beam = 8;
   unsigned Depth = 2;

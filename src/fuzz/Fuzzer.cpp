@@ -136,6 +136,12 @@ FuzzStats irlt::fuzz::runFuzzer(const FuzzOptions &Opts) {
 
   FuzzStats Stats;
   for (uint64_t Index = 0; Index < Opts.Cases; ++Index) {
+    // Cooperative interruption: checked between cases only, so every
+    // counted case ran to completion and any reproducer dump is whole.
+    if (Opts.StopFlag && Opts.StopFlag->load(std::memory_order_relaxed)) {
+      Stats.Interrupted = true;
+      break;
+    }
     FuzzCase C = generateCase(Opts, Index);
     CaseOutcome O = Opts.SearchMode ? runSearchCase(C, DO) : runCase(C, DO);
     ++Stats.Count[static_cast<unsigned>(O.Cat)];

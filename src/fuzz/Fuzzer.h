@@ -25,6 +25,7 @@
 
 #include "fuzz/Differential.h"
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -52,6 +53,11 @@ struct FuzzOptions {
   /// every reported candidate (full legality + execution verify +
   /// thread-count invariance) instead of fuzzing scripts.
   bool SearchMode = false;
+  /// Cooperative interruption (the tool's SIGINT/SIGTERM handler sets
+  /// this): the loop finishes the in-flight case - including any shrink
+  /// and reproducer dump in progress - then stops, and the stats carry
+  /// Interrupted. Null = never interrupted.
+  const std::atomic<bool> *StopFlag = nullptr;
 };
 
 struct FailureRecord {
@@ -65,6 +71,9 @@ struct FailureRecord {
 struct FuzzStats {
   uint64_t Count[9] = {}; ///< indexed by Category
   std::vector<FailureRecord> Failures;
+  /// The stop flag fired: the counts cover a clean prefix of the run's
+  /// cases (every started case finished; none was torn).
+  bool Interrupted = false;
 
   uint64_t total() const {
     uint64_t N = 0;

@@ -1,0 +1,72 @@
+//===- serve/Frame.cpp - Length-prefixed wire framing for irlt-serve -----===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Frame.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace irlt;
+using namespace irlt::serve;
+
+std::string serve::encodeFrame(std::string_view Payload) {
+  std::string Out;
+  Out.reserve(FrameHeaderBytes + Payload.size());
+  Out.append(FrameMagic, sizeof(FrameMagic));
+  uint32_t Len = static_cast<uint32_t>(Payload.size());
+  // Little-endian length, written byte by byte for platform independence.
+  for (int I = 0; I < 4; ++I)
+    Out.push_back(static_cast<char>((Len >> (8 * I)) & 0xff));
+  Out.append(Payload.data(), Payload.size());
+  return Out;
+}
+
+const char *FrameReader::errorName(Error E) {
+  switch (E) {
+  case Error::None:
+    return "none";
+  case Error::BadMagic:
+    return "bad_magic";
+  case Error::Oversized:
+    return "oversized_frame";
+  }
+  return "?";
+}
+
+void FrameReader::feed(const char *Data, size_t Len) {
+  if (Err != Error::None)
+    return;
+  // Bounded buffering: a complete header plus one maximal payload is all
+  // a well-formed stream can require before next() drains it; anything
+  // beyond that is accepted too (multiple small frames per feed), but an
+  // oversized *declared* length errors out in next() before its payload
+  // is ever awaited, so a length-prefix lie cannot balloon memory.
+  Buf.append(Data, Len);
+}
+
+FrameReader::Status FrameReader::next(std::string &PayloadOut) {
+  if (Err != Error::None)
+    return Status::Error;
+  if (Buf.size() < FrameHeaderBytes)
+    return Status::NeedMore;
+  if (std::memcmp(Buf.data(), FrameMagic, sizeof(FrameMagic)) != 0) {
+    Err = Error::BadMagic;
+    return Status::Error;
+  }
+  uint32_t Len = 0;
+  for (int I = 0; I < 4; ++I)
+    Len |= static_cast<uint32_t>(static_cast<unsigned char>(Buf[4 + I]))
+           << (8 * I);
+  if (Len > MaxPayload) {
+    Err = Error::Oversized;
+    return Status::Error;
+  }
+  if (Buf.size() < FrameHeaderBytes + Len)
+    return Status::NeedMore;
+  PayloadOut.assign(Buf, FrameHeaderBytes, Len);
+  Buf.erase(0, FrameHeaderBytes + Len);
+  return Status::Frame;
+}

@@ -1,0 +1,108 @@
+//===- serve/Frame.h - Length-prefixed wire framing for irlt-serve -------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The framed wire protocol of irlt-serve (docs/SERVE.md). One frame is
+///
+///   offset 0   4-byte magic "IRL1"
+///   offset 4   u32 little-endian payload length (bounded by the
+///              receiver's MaxPayloadBytes)
+///   offset 8   payload: one JSON object, the same ndjson record bodies
+///              the batch engine speaks (engine/Wire.h, schema_version 1)
+///
+/// The parser is a pure incremental state machine - no sockets, no
+/// timing - so the exact same code path handles a maximally fragmented
+/// stream (one byte per feed), a byte-exact round-trip of the emitter's
+/// output, and adversarial input. Error taxonomy:
+///
+///   BadMagic        the stream is not positioned at a frame; since the
+///                   byte stream cannot be resynchronized, the
+///                   connection must be closed after reporting
+///   Oversized       the declared length exceeds the receiver's bound;
+///                   detected *before* buffering the payload, so a
+///                   length-prefix lie cannot balloon memory
+///   (short read)    end-of-stream mid-frame is the transport's signal;
+///                   midFrame() lets the caller classify it
+///
+/// Parse-reject symmetry (pinned by irlt-fuzz --wire): encodeFrame's
+/// output always parses back to the identical payload, and every stream
+/// the parser rejects is rejected deterministically at the same byte on
+/// every run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRLT_SERVE_FRAME_H
+#define IRLT_SERVE_FRAME_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace irlt {
+namespace serve {
+
+/// The 4 magic bytes every frame starts with.
+inline constexpr char FrameMagic[4] = {'I', 'R', 'L', '1'};
+inline constexpr size_t FrameHeaderBytes = 8;
+
+/// Default per-frame payload bound (4 MiB).
+inline constexpr size_t DefaultMaxPayloadBytes = 4u << 20;
+
+/// Renders one frame (header + payload).
+std::string encodeFrame(std::string_view Payload);
+
+/// Incremental frame parser. feed() bytes as they arrive, then next()
+/// until it stops returning Frame. Bounded memory: at most header +
+/// MaxPayloadBytes are ever buffered.
+class FrameReader {
+public:
+  explicit FrameReader(size_t MaxPayloadBytes = DefaultMaxPayloadBytes)
+      : MaxPayload(MaxPayloadBytes) {}
+
+  enum class Status {
+    NeedMore, ///< no complete frame buffered yet
+    Frame,    ///< one frame extracted into the out-param
+    Error,    ///< unrecoverable stream error; see error()
+  };
+
+  enum class Error {
+    None,
+    BadMagic,  ///< bytes at the frame position are not a frame header
+    Oversized, ///< declared payload length exceeds the receiver's bound
+  };
+
+  /// Appends raw transport bytes. No-op after an error (the stream is
+  /// dead; the caller reports and closes).
+  void feed(const char *Data, size_t Len);
+  void feed(std::string_view Data) { feed(Data.data(), Data.size()); }
+
+  /// Extracts the next complete frame's payload.
+  Status next(std::string &PayloadOut);
+
+  Error error() const { return Err; }
+  /// A human-readable rendering of error() for structured rejects.
+  static const char *errorName(Error E);
+
+  /// True when the stream ended (caller saw EOF) in the middle of a
+  /// frame - the "short read / truncated frame" classification.
+  bool midFrame() const { return Err == Error::None && !Buf.empty(); }
+
+  /// Bytes currently buffered (bounded by header + max payload).
+  size_t bufferedBytes() const { return Buf.size(); }
+
+  size_t maxPayloadBytes() const { return MaxPayload; }
+
+private:
+  size_t MaxPayload;
+  std::string Buf;
+  Error Err = Error::None;
+};
+
+} // namespace serve
+} // namespace irlt
+
+#endif // IRLT_SERVE_FRAME_H

@@ -1,0 +1,203 @@
+//===- serve/Journal.cpp - Crash-safe cache-warmth persistence -----------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Journal.h"
+
+#include "engine/Engine.h"
+#include "ir/NestHash.h"
+#include "support/Json.h"
+#include "support/MathUtils.h"
+
+#include <cstdio>
+#include <fstream>
+#include <unistd.h>
+
+using namespace irlt;
+using namespace irlt::serve;
+
+// Map key: canonicalNestKey '\x01' script. '\x01' cannot occur in a
+// fingerprint (it renders printable structure), so the split is
+// unambiguous and distinct scripts against one nest journal separately.
+static std::string mapKey(const std::string &NestKey,
+                          const std::string &Script) {
+  return NestKey + '\x01' + Script;
+}
+
+void CacheJournal::record(const std::string &NestKey,
+                          const std::string &NestSource,
+                          const std::string &Script) {
+  if (NestKey.empty())
+    return;
+  JournalEntry E;
+  E.NestSource = NestSource;
+  E.Script = Script;
+  std::lock_guard<std::mutex> Lock(Mu);
+  Map.insert(mapKey(NestKey, Script),
+             std::make_shared<const JournalEntry>(std::move(E)));
+}
+
+size_t CacheJournal::size() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Map.size();
+}
+
+ErrorOr<uint64_t> CacheJournal::dump(const std::string &Path,
+                                     const FaultConfig &Faults) const {
+  // Snapshot under the lock, write outside it (file I/O must not stall
+  // the serve workers' record() calls).
+  struct Row {
+    std::string NestKey;
+    std::string NestSource;
+    std::string Script;
+  };
+  std::vector<Row> Rows;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Rows.reserve(Map.size());
+    Map.forEachLruToMru([&](const std::string &Key, const JournalEntry &E) {
+      Rows.push_back({Key.substr(0, Key.find('\x01')), E.NestSource, E.Script});
+    });
+  }
+
+  // Temp file in the same directory, so rename() is atomic (same fs).
+  std::string Tmp = Path + ".tmp";
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out)
+      return Failure(
+          Diag::error("cache dump: cannot open '" + Tmp + "' for writing"));
+
+    json::JsonWriter Header;
+    json::beginToolRecord(Header, "irlt-serve");
+    Header.field("record", "cache_dump");
+    Header.field("entries", static_cast<uint64_t>(Rows.size()));
+    Header.endObject();
+    Out << Header.str() << '\n';
+
+    uint64_t Written = 0;
+    for (const Row &R : Rows) {
+      // The deterministic SIGKILL-mid-dump stand-in: half the entries
+      // land in the temp file, then the process dies before the rename.
+      // Recovery must see the previous complete dump (or none), and a
+      // load pointed directly at this temp file must keep its prefix.
+      if (Faults.DumpPartial && Written == Rows.size() / 2 + 1) {
+        Out.flush();
+        _exit(137);
+      }
+      json::JsonWriter W;
+      W.beginObject();
+      W.field("record", "entry");
+      W.field("key", R.NestKey);
+      W.field("nest", R.NestSource);
+      W.field("script", R.Script);
+      W.endObject();
+      Out << W.str() << '\n';
+      ++Written;
+    }
+
+    json::JsonWriter End;
+    End.beginObject();
+    End.field("record", "cache_dump_end");
+    End.field("entries", Written);
+    End.endObject();
+    Out << End.str() << '\n';
+    Out.flush();
+    if (!Out)
+      return Failure(Diag::error("cache dump: write to '" + Tmp + "' failed"));
+  }
+
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::remove(Tmp.c_str());
+    return Failure(Diag::error("cache dump: rename '" + Tmp + "' -> '" + Path +
+                               "' failed"));
+  }
+  return static_cast<uint64_t>(Rows.size());
+}
+
+JournalLoadResult CacheJournal::loadAndReplay(const std::string &Path,
+                                              api::Pipeline &P,
+                                              const FaultConfig &Faults) {
+  JournalLoadResult R;
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return R;
+  R.FileFound = true;
+  std::string Text((std::istreambuf_iterator<char>(In)),
+                   std::istreambuf_iterator<char>());
+
+  bool SawEnd = false;
+  for (std::string &Line : engine::splitLines(Text)) {
+    if (Line.empty())
+      continue;
+    bool IsEntry = Line.find("\"entry\"") != std::string::npos;
+    // Deterministic corruption fault: mangle every entry line's leading
+    // byte so it fails to parse, driving the discard path end to end.
+    if (Faults.CacheCorrupt && IsEntry)
+      Line[0] = '#';
+
+    ErrorOr<json::JsonValue> Doc = json::JsonValue::parse(Line);
+    if (!Doc || !Doc->isObject()) {
+      ++R.Discarded;
+      continue;
+    }
+    std::string Kind = Doc->stringOr("record");
+    if (Kind == "cache_dump") // header
+      continue;
+    if (Kind == "cache_dump_end") {
+      SawEnd = true;
+      continue;
+    }
+    if (Kind != "entry") {
+      ++R.Discarded;
+      continue;
+    }
+
+    std::string Key = Doc->stringOr("key");
+    std::string NestSource = Doc->stringOr("nest");
+    std::string Script = Doc->stringOr("script");
+    if (Key.empty() || NestSource.empty()) {
+      ++R.Discarded;
+      continue;
+    }
+    ++R.Loaded;
+
+    // Replay: recompute everything from the recorded sources. The
+    // journaled key is cross-checked against the freshly computed
+    // fingerprint - a stale or tampered entry warms nothing.
+    ErrorOr<LoopNest> NestOr = P.loadNest(NestSource);
+    if (!NestOr) {
+      ++R.Discarded;
+      continue;
+    }
+    LoopNest Nest = NestOr.take();
+    {
+      OverflowGuard Guard;
+      std::string Fresh = canonicalNestKey(Nest);
+      if (Guard.triggered() || Fresh != Key) {
+        ++R.Discarded;
+        continue;
+      }
+    }
+    bool DepOverflow = false;
+    P.dependences(Nest, &DepOverflow);
+    if (DepOverflow) {
+      ++R.Discarded;
+      continue;
+    }
+    if (!Script.empty()) {
+      ErrorOr<TransformSequence> SeqOr = P.parseScript(Script, Nest.numLoops());
+      if (!SeqOr) {
+        ++R.Discarded;
+        continue;
+      }
+      P.checkLegality(*SeqOr, Nest); // warms the legality cache
+    }
+    ++R.Replayed;
+    record(Key, NestSource, Script);
+  }
+  R.Truncated = !SawEnd;
+  return R;
+}

@@ -1,0 +1,110 @@
+//===- serve/Journal.h - Crash-safe cache-warmth persistence -------------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cache persistence for irlt-serve (docs/SERVE.md). The daemon's value
+/// is its warm fingerprint-keyed memoization caches (BENCH_batch: 239 ->
+/// 419 req/s at 98%/95% hit rates); this journal carries that warmth
+/// across restarts *without ever trusting serialized analysis results*:
+/// it records the cache-warming **sources** - canonicalNestKey, the nest
+/// source text, and the script text - and a restart replays them through
+/// the Pipeline, recomputing dependence sets and legality verdicts from
+/// scratch. Recompute-on-load makes the persistence layer sound by
+/// construction (a corrupt or stale entry can at worst waste replay
+/// time, never poison a verdict) and keeps the serve determinism
+/// contract trivial: responses are byte-identical with a cold, warm, or
+/// restored cache.
+///
+/// Crash safety: dump() writes a temp file in the target directory and
+/// atomically rename()s it over the destination, so a SIGKILL mid-dump
+/// leaves the previous complete dump (or no file) - never a torn one.
+/// load() is nevertheless fully tolerant of torn/corrupt files (a
+/// partial temp file could be mistaken for a dump by an operator, and
+/// disks corrupt): every line is independently validated and bad lines
+/// are counted and skipped, so the daemon always starts.
+///
+/// File format (ndjson, schema_version 1):
+///
+///   {"schema_version":1,"tool":"irlt-serve","record":"cache_dump", ...}
+///   {"record":"entry","key":K,"nest":N,"script":S}      (LRU -> MRU)
+///   {"record":"cache_dump_end","entries":N}
+///
+//======---------------------------------------------------------------------//
+
+#ifndef IRLT_SERVE_JOURNAL_H
+#define IRLT_SERVE_JOURNAL_H
+
+#include "api/Pipeline.h"
+#include "support/FaultInject.h"
+#include "support/Lru.h"
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace irlt {
+namespace serve {
+
+/// One journaled cache-warming source.
+struct JournalEntry {
+  std::string NestSource;
+  /// Empty for auto-mode requests (replay then only warms the
+  /// dependence cache - the proven lever).
+  std::string Script;
+};
+
+/// What load() did; surfaced in /statz and the startup log record.
+struct JournalLoadResult {
+  bool FileFound = false;
+  uint64_t Loaded = 0;    ///< entries accepted from the file
+  uint64_t Replayed = 0;  ///< entries that replayed cleanly
+  uint64_t Discarded = 0; ///< malformed lines / failed replays skipped
+  /// The file ended without its cache_dump_end trailer (torn write by a
+  /// non-atomic writer, or a partial temp file): valid prefix kept.
+  bool Truncated = false;
+};
+
+/// Thread-safe bounded journal of cache-warming sources. The serve
+/// workers record() every successfully parsed request; dump()/load()
+/// persist across restarts.
+class CacheJournal {
+public:
+  /// \p Capacity bounds resident entries (LRU eviction); 0 = unbounded.
+  explicit CacheJournal(size_t Capacity) : Map(Capacity) {}
+
+  /// Records one cache-warming source, keyed by canonicalNestKey plus
+  /// the script rendering (so distinct scripts against one nest each
+  /// persist). No-op on an empty key.
+  void record(const std::string &NestKey, const std::string &NestSource,
+              const std::string &Script);
+
+  size_t size() const;
+
+  /// Atomically writes the journal to \p Path (temp file + rename).
+  /// Under FaultConfig::DumpPartial, writes roughly half the entries to
+  /// the temp file and _exit()s - the deterministic stand-in for a
+  /// SIGKILL mid-dump, which the crash-recovery integration test uses.
+  /// Returns the number of entries dumped, or a diagnostic on I/O error.
+  ErrorOr<uint64_t> dump(const std::string &Path,
+                         const FaultConfig &Faults = {}) const;
+
+  /// Loads \p Path (tolerantly; see file comment), replays every valid
+  /// entry through \p P to rewarm its caches, and records the entries
+  /// into this journal so the next dump carries them forward. Under
+  /// FaultConfig::CacheCorrupt every entry line is deterministically
+  /// corrupted first (exercising the discard path end to end).
+  JournalLoadResult loadAndReplay(const std::string &Path, api::Pipeline &P,
+                                  const FaultConfig &Faults = {});
+
+private:
+  mutable std::mutex Mu;
+  LruMap<JournalEntry> Map;
+};
+
+} // namespace serve
+} // namespace irlt
+
+#endif // IRLT_SERVE_JOURNAL_H

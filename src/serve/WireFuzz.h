@@ -1,0 +1,68 @@
+//===- serve/WireFuzz.h - Deterministic framing-parser fuzzing -----------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The irlt-fuzz --wire mode (docs/SERVE.md): property-based fuzzing of
+/// the serve framing parser (serve/Frame.h), fully deterministic from a
+/// (seed, case index) pair like every other irlt-fuzz mode. Each case
+/// builds a stream of valid frames, optionally mutates it (truncation,
+/// corrupted magic, lying length prefixes, garbage injection, oversized
+/// declarations), and checks the parser's contract:
+///
+///   round-trip     an unmutated stream parses back to exactly the
+///                  encoded payloads, under *any* chunking of the bytes
+///   chunk-
+///   independence   feeding the same bytes 1-at-a-time, all-at-once, or
+///                  in random chunks yields identical frames and errors
+///   reject-
+///   determinism    a mutated stream is accepted or rejected identically
+///                  on every run, errors never carry payload bytes, and
+///                  the parser never buffers beyond header + max payload
+///   termination    next() always reaches NeedMore, Error, or end of
+///                  input - no hang, no unbounded growth
+///
+/// A violation is returned as a failure report (case seed + phase), so
+/// the fuzz driver can dump a reproducer exactly like nest-fuzz cases.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRLT_SERVE_WIREFUZZ_H
+#define IRLT_SERVE_WIREFUZZ_H
+
+#include <cstdint>
+#include <string>
+
+namespace irlt {
+namespace serve {
+
+struct WireFuzzOptions {
+  uint64_t Seed = 1;
+  uint64_t Cases = 1000;
+  /// Parser payload bound for the run (small, so the oversized path is
+  /// reachable with cheap cases).
+  size_t MaxPayloadBytes = 1u << 16;
+};
+
+struct WireFuzzStats {
+  uint64_t Cases = 0;
+  uint64_t CleanStreams = 0;   ///< unmutated, must round-trip
+  uint64_t MutatedStreams = 0; ///< mutated, must reject deterministically
+  uint64_t FramesParsed = 0;
+  uint64_t Rejects = 0; ///< parser errors observed (expected, counted)
+  uint64_t Failures = 0;
+  /// First failure's case seed and description (empty when none).
+  uint64_t FirstFailureSeed = 0;
+  std::string FirstFailure;
+};
+
+/// Runs the wire fuzzer. Deterministic: identical options produce
+/// identical stats on every run and platform.
+WireFuzzStats runWireFuzz(const WireFuzzOptions &Opts);
+
+} // namespace serve
+} // namespace irlt
+
+#endif // IRLT_SERVE_WIREFUZZ_H

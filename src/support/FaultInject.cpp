@@ -1,0 +1,66 @@
+//===- support/FaultInject.cpp - Deterministic fault-injection switches --===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInject.h"
+
+#include <cstdlib>
+
+using namespace irlt;
+
+ErrorOr<FaultConfig> irlt::parseFaultSpec(const std::string &Spec) {
+  FaultConfig F;
+  size_t Pos = 0;
+  while (Pos <= Spec.size()) {
+    size_t Comma = Spec.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = Spec.size();
+    std::string Name = Spec.substr(Pos, Comma - Pos);
+    Pos = Comma + 1;
+    if (Name.empty()) {
+      if (Comma == Spec.size())
+        break;
+      continue; // tolerate "a,,b"
+    }
+    if (Name == "short-read")
+      F.ShortRead = true;
+    else if (Name == "truncated-frame")
+      F.TruncatedFrame = true;
+    else if (Name == "oversized-record")
+      F.OversizedRecord = true;
+    else if (Name == "lying-length")
+      F.LyingLength = true;
+    else if (Name == "garbage-frame")
+      F.GarbageFrame = true;
+    else if (Name == "slow-client")
+      F.SlowClient = true;
+    else if (Name == "cache-corrupt")
+      F.CacheCorrupt = true;
+    else if (Name == "dump-partial")
+      F.DumpPartial = true;
+    else if (Name == "worker-throw")
+      F.WorkerThrow = true;
+    else
+      return Failure(Diag::error(
+          "unknown fault '" + Name +
+          "' (valid: short-read, truncated-frame, oversized-record, "
+          "lying-length, garbage-frame, slow-client, cache-corrupt, "
+          "dump-partial, worker-throw)"));
+  }
+  return F;
+}
+
+FaultConfig irlt::faultsFromEnv(std::string *Err) {
+  const char *Env = std::getenv("IRLT_FAULT");
+  if (!Env || !*Env)
+    return FaultConfig();
+  ErrorOr<FaultConfig> F = parseFaultSpec(Env);
+  if (!F) {
+    if (Err)
+      *Err = F.message();
+    return FaultConfig();
+  }
+  return *F;
+}

@@ -219,3 +219,69 @@ TEST(Pipeline, ConcurrentLookupsAreSafeAndConsistent) {
   EXPECT_EQ(S.DepEntries, 1u);
   EXPECT_EQ(S.LegalityEntries, 1u);
 }
+
+TEST(Pipeline, CacheCapacityEvictsDeterministicallyAndRecomputesIdentically) {
+  PipelineOptions Bounded;
+  Bounded.CacheCapacity = 1;
+  Pipeline Tiny(Bounded), Unbounded;
+  LoopNest A = load(Tiny, Matmul);
+  LoopNest B = load(Tiny, Stencil);
+  LoopNest AU = load(Unbounded, Matmul);
+  LoopNest BU = load(Unbounded, Stencil);
+
+  // Alternating two nests through a capacity-1 cache churns constantly;
+  // every recompute must match the unbounded pipeline's entry exactly.
+  std::string RefA = Unbounded.dependences(AU)->str();
+  std::string RefB = Unbounded.dependences(BU)->str();
+  for (int I = 0; I < 4; ++I) {
+    EXPECT_EQ(Tiny.dependences(A)->str(), RefA);
+    EXPECT_EQ(Tiny.dependences(B)->str(), RefB);
+  }
+
+  CacheStats S = Tiny.cacheStats();
+  EXPECT_GT(S.DepEvictions, 0u) << "capacity 1 under two keys must evict";
+  EXPECT_LE(S.DepEntries, 1u);
+  EXPECT_EQ(S.DepHits + S.DepMisses, S.DepLookups);
+  EXPECT_EQ(S.DepInserts - S.DepEvictions, S.DepEntries);
+
+  // Same churn on the legality cache: two sequences against one nest.
+  ErrorOr<TransformSequence> S1 = Tiny.parseScript("interchange 1 2", 3);
+  ErrorOr<TransformSequence> S2 = Tiny.parseScript("interchange 1 3", 3);
+  ASSERT_TRUE(static_cast<bool>(S1) && static_cast<bool>(S2));
+  LegalityResult R1 = Unbounded.checkLegality(*S1, AU);
+  LegalityResult R2 = Unbounded.checkLegality(*S2, AU);
+  for (int I = 0; I < 4; ++I) {
+    LegalityResult T1 = Tiny.checkLegality(*S1, A);
+    LegalityResult T2 = Tiny.checkLegality(*S2, A);
+    EXPECT_EQ(T1.Legal, R1.Legal);
+    EXPECT_EQ(T1.FinalDeps.str(), R1.FinalDeps.str());
+    EXPECT_EQ(T2.Legal, R2.Legal);
+    EXPECT_EQ(T2.FinalDeps.str(), R2.FinalDeps.str());
+  }
+  S = Tiny.cacheStats();
+  EXPECT_GT(S.LegalityEvictions, 0u);
+  EXPECT_LE(S.LegalityEntries, 1u);
+  EXPECT_EQ(S.LegalityHits + S.LegalityMisses, S.LegalityLookups);
+  EXPECT_EQ(S.LegalityInserts - S.LegalityEvictions, S.LegalityEntries);
+}
+
+TEST(Pipeline, CacheCountersAreStableAcrossIdenticalRuns) {
+  // Eviction determinism: the same access sequence yields the same
+  // counters, not merely the same values (recency is never timing-based).
+  auto runOnce = [] {
+    PipelineOptions O;
+    O.CacheCapacity = 2;
+    Pipeline P(O);
+    LoopNest A = load(P, Matmul);
+    LoopNest B = load(P, Stencil);
+    for (int I = 0; I < 6; ++I)
+      P.dependences(I % 3 == 0 ? B : A);
+    return P.cacheStats();
+  };
+  CacheStats X = runOnce(), Y = runOnce();
+  EXPECT_EQ(X.DepHits, Y.DepHits);
+  EXPECT_EQ(X.DepMisses, Y.DepMisses);
+  EXPECT_EQ(X.DepInserts, Y.DepInserts);
+  EXPECT_EQ(X.DepEvictions, Y.DepEvictions);
+  EXPECT_EQ(X.DepEntries, Y.DepEntries);
+}

@@ -165,3 +165,105 @@ TEST(BatchTool, UsageErrorsExitOne) {
   EXPECT_EQ(runBatch("--frobnicate", true).ExitCode, 1);
   EXPECT_EQ(runBatch("/nonexistent/corpus.ndjson", true).ExitCode, 1);
 }
+
+TEST(BatchTool, CacheCapDoesNotChangeTheStream) {
+  // Repeat the corpus so the caches actually churn under --cache-cap 1.
+  std::string Text;
+  for (int I = 0; I < 3; ++I)
+    Text += Corpus;
+  std::string Path = writeCorpus("cachecap", Text);
+  RunResult Unbounded = runBatch(Path);
+  RunResult Capped = runBatch(Path + " --cache-cap 1");
+  RunResult Off = runBatch(Path + " --no-cache");
+  EXPECT_EQ(Unbounded.ExitCode, 0);
+  EXPECT_EQ(Capped.Output, Unbounded.Output)
+      << "eviction must never change a result record";
+  EXPECT_EQ(Off.Output, Unbounded.Output);
+}
+
+TEST(BatchTool, MaxLineBytesRejectsWithoutEcho) {
+  std::string Marker = "SECRET_PAYLOAD_DO_NOT_ECHO";
+  std::string Path = writeCorpus(
+      "maxline", "{\"id\": \"big\", \"nest\": \"" + Marker +
+                     std::string(300, 'x') + "\"}\n");
+  RunResult R = runBatch(Path + " --max-line-bytes 128", true);
+  EXPECT_EQ(R.ExitCode, 2) << R.Output;
+  EXPECT_EQ(R.Output.find(Marker), std::string::npos);
+  ErrorOr<json::JsonValue> V = json::JsonValue::parse(lines(R.Output)[0]);
+  ASSERT_TRUE(static_cast<bool>(V)) << R.Output;
+  ASSERT_NE(V->find("error"), nullptr);
+  EXPECT_EQ(V->find("error")->stringOr("kind"), "oversized_line");
+}
+
+TEST(BatchTool, WorkerThrowFaultViaFlagAndEnv) {
+  std::string Path = writeCorpus(
+      "boom",
+      R"({"id": "boom-1", "nest": "do i = 1, n\n  a(i) = 0\nenddo\n", "script": "reverse 1"})"
+      "\n");
+  for (const std::string &Cmd :
+       {std::string(IRLT_BATCH_PATH) + " " + Path + " --fault worker-throw",
+        "IRLT_FAULT=worker-throw " + std::string(IRLT_BATCH_PATH) + " " +
+            Path}) {
+    FILE *Pipe = popen((Cmd + " 2>/dev/null").c_str(), "r");
+    ASSERT_NE(Pipe, nullptr);
+    std::string Out;
+    std::array<char, 4096> Buf;
+    size_t Got;
+    while ((Got = fread(Buf.data(), 1, Buf.size(), Pipe)) > 0)
+      Out.append(Buf.data(), Got);
+    int Status = pclose(Pipe);
+    EXPECT_EQ(WEXITSTATUS(Status), 2) << Cmd << "\n" << Out;
+    ErrorOr<json::JsonValue> V = json::JsonValue::parse(lines(Out)[0]);
+    ASSERT_TRUE(static_cast<bool>(V)) << Out;
+    ASSERT_NE(V->find("error"), nullptr);
+    EXPECT_EQ(V->find("error")->stringOr("kind"), "internal");
+  }
+}
+
+TEST(BatchTool, BadFaultSpecExitsOne) {
+  EXPECT_EQ(runBatch("--fault no-such-kind /dev/null", true).ExitCode, 1);
+}
+
+TEST(BatchTool, SigintFinishesInFlightAndExitsThree) {
+  // A corpus big enough to still be in flight 200ms in; SIGINT must
+  // yield a clean record prefix, one "interrupted" marker, and exit 3.
+  std::string Text;
+  for (int I = 0; I < 200; ++I)
+    Text += R"({"id": "s)" + std::to_string(I) +
+            R"(", "nest": "arrays B, C\ndo i = 1, n\n  do j = 1, n\n    do k = 1, n\n      A(i, j) += B(i, k) * C(k, j)\n    enddo\n  enddo\nenddo\n", "auto": "locality", "beam": 4, "depth": 2})"
+            "\n";
+  std::string Path = writeCorpus("sigint", Text);
+  std::string Cmd = std::string("sh -c '") + IRLT_BATCH_PATH + " " + Path +
+                    " --jobs 1 --no-cache 2>/dev/null & P=$!; sleep 0.3; "
+                    "kill -INT $P; wait $P; echo EXIT=$?'";
+  FILE *Pipe = popen(Cmd.c_str(), "r");
+  ASSERT_NE(Pipe, nullptr);
+  std::string Out;
+  std::array<char, 4096> Buf;
+  size_t Got;
+  while ((Got = fread(Buf.data(), 1, Buf.size(), Pipe)) > 0)
+    Out.append(Buf.data(), Got);
+  pclose(Pipe);
+
+  std::vector<std::string> L = lines(Out);
+  ASSERT_GE(L.size(), 2u) << Out;
+  EXPECT_EQ(L.back(), "EXIT=3") << Out;
+  // Every emitted line before the exit marker is a whole, valid record;
+  // the last one is the interruption marker with a consistent count.
+  uint64_t ResultLines = 0;
+  bool SawMarker = false;
+  for (size_t I = 0; I + 1 < L.size(); ++I) {
+    ErrorOr<json::JsonValue> V = json::JsonValue::parse(L[I]);
+    ASSERT_TRUE(static_cast<bool>(V)) << "torn record: " << L[I];
+    if (V->stringOr("record") == "interrupted") {
+      SawMarker = true;
+      EXPECT_EQ(static_cast<uint64_t>(V->intOr("served", -1)), ResultLines);
+      EXPECT_EQ(V->intOr("requests", 0), 200);
+      EXPECT_EQ(I + 2, L.size()) << "marker must be the final record";
+    } else {
+      ++ResultLines;
+    }
+  }
+  EXPECT_TRUE(SawMarker) << Out;
+  EXPECT_LT(ResultLines, 200u) << "the run should not have completed";
+}

@@ -242,3 +242,147 @@ TEST(Engine, SplitLinesHandlesMissingTrailingNewline) {
   EXPECT_TRUE(splitLines("").empty());
   EXPECT_EQ(splitLines("x\n").size(), 1u);
 }
+
+TEST(Engine, OversizedLineDegradesWithoutEchoingContent) {
+  EngineOptions O;
+  O.MaxLineBytes = 256; // above the valid request below, under the big one
+  BatchEngine E(O);
+  // The oversized line carries a marker that must never appear in any
+  // output record (a hostile line must not be reflected back).
+  std::string Marker = "SECRET_PAYLOAD_DO_NOT_ECHO";
+  std::vector<std::string> Lines;
+  Lines.push_back(requestLine("\"id\": \"big\", \"nest\": \"" + Marker +
+                              std::string(400, 'x') + "\""));
+  Lines.push_back(requestLine(
+      std::string("\"id\": \"after\", \"nest\": \"") + MatmulEscaped +
+      "\", \"script\": \"interchange 1 2\""));
+  EngineMetrics M;
+  std::string Out = E.runToString(Lines, &M);
+  EXPECT_EQ(Out.find(Marker), std::string::npos);
+
+  std::vector<std::string> Recs;
+  for (std::string &L : splitLines(Out))
+    Recs.push_back(std::move(L));
+  ASSERT_EQ(Recs.size(), 2u);
+  ErrorOr<json::JsonValue> V = json::JsonValue::parse(Recs[0]);
+  ASSERT_TRUE(static_cast<bool>(V)) << Recs[0];
+  EXPECT_FALSE(V->boolOr("ok", true));
+  ASSERT_NE(V->find("error"), nullptr);
+  EXPECT_EQ(V->find("error")->stringOr("kind"), "oversized_line");
+  ErrorOr<json::JsonValue> W = json::JsonValue::parse(Recs[1]);
+  ASSERT_TRUE(static_cast<bool>(W)) << Recs[1];
+  EXPECT_TRUE(W->boolOr("ok", false)) << "the rest of the batch continues";
+  EXPECT_EQ(M.Errors, 1u);
+}
+
+TEST(Engine, EmbeddedNulDegradesToStructuredRecord) {
+  BatchEngine E;
+  std::string Line = requestLine("\"id\": \"nul\", \"script\": \"x\"");
+  Line.insert(Line.size() / 2, 1, '\0');
+  std::string Out = E.runToString({Line});
+  ErrorOr<json::JsonValue> V = json::JsonValue::parse(splitLines(Out)[0]);
+  ASSERT_TRUE(static_cast<bool>(V)) << Out;
+  EXPECT_FALSE(V->boolOr("ok", true));
+  ASSERT_NE(V->find("error"), nullptr);
+  EXPECT_EQ(V->find("error")->stringOr("kind"), "embedded_nul");
+}
+
+TEST(Engine, CrlfCorpusServesIdenticallyToLf) {
+  std::vector<std::string> Base = smokeCorpus();
+  std::string Lf, CrLf;
+  for (const std::string &L : Base) {
+    Lf += L + "\n";
+    CrLf += L + "\r\n";
+  }
+  BatchEngine E1, E2;
+  EXPECT_EQ(E1.runToString(splitLines(Lf)),
+            E2.runToString(splitLines(CrLf)));
+}
+
+TEST(Engine, TruncatedFinalLineDegradesToRequestError) {
+  // An ndjson file cut off mid-record (torn write, partial download):
+  // the prefix serves normally, the torn tail is one structured error.
+  std::string Whole =
+      requestLine(std::string("\"id\": \"whole\", \"nest\": \"") +
+                  MatmulEscaped + "\", \"script\": \"interchange 1 2\"");
+  std::string Torn = Whole.substr(0, Whole.size() / 2);
+  BatchEngine E;
+  std::string Out = E.runToString({Whole, Torn});
+  std::vector<std::string> Recs = splitLines(Out);
+  ASSERT_EQ(Recs.size(), 2u);
+  EXPECT_TRUE(json::JsonValue::parse(Recs[0])->boolOr("ok", false));
+  ErrorOr<json::JsonValue> V = json::JsonValue::parse(Recs[1]);
+  ASSERT_TRUE(static_cast<bool>(V)) << Recs[1];
+  EXPECT_FALSE(V->boolOr("ok", true));
+  ASSERT_NE(V->find("error"), nullptr);
+  EXPECT_EQ(V->find("error")->stringOr("kind"), "request");
+}
+
+TEST(Engine, CacheCapacityNeverChangesTheResultStream) {
+  std::vector<std::string> Lines;
+  for (int I = 0; I < 3; ++I) {
+    std::vector<std::string> C = smokeCorpus();
+    Lines.insert(Lines.end(), C.begin(), C.end());
+  }
+  EngineOptions Unbounded;
+  EngineOptions Tiny;
+  Tiny.CacheCapacity = 1;
+  EngineOptions Off;
+  Off.EnableCache = false;
+  BatchEngine EU(Unbounded), ET(Tiny), EO(Off);
+  EngineMetrics MU, MT;
+  std::string Ref = EU.runToString(Lines, &MU);
+  EXPECT_EQ(ET.runToString(Lines, &MT), Ref);
+  EXPECT_EQ(EO.runToString(Lines), Ref);
+
+  // The bounded run really churned, and its counters reconcile.
+  EXPECT_GT(MT.Cache.DepEvictions, 0u);
+  EXPECT_EQ(MT.Cache.DepHits + MT.Cache.DepMisses, MT.Cache.DepLookups);
+  EXPECT_EQ(MT.Cache.DepInserts - MT.Cache.DepEvictions,
+            MT.Cache.DepEntries);
+  EXPECT_EQ(MT.Cache.LegalityHits + MT.Cache.LegalityMisses,
+            MT.Cache.LegalityLookups);
+  EXPECT_EQ(MT.Cache.LegalityInserts - MT.Cache.LegalityEvictions,
+            MT.Cache.LegalityEntries);
+  EXPECT_LE(MT.Cache.DepEntries, 1u);
+  // The unbounded run must have had real hits for this comparison to
+  // mean anything.
+  EXPECT_GT(MU.Cache.DepHits, 0u);
+}
+
+TEST(Engine, StopFlagYieldsCleanPrefixAndInterruptedMetrics) {
+  std::atomic<bool> Stop{true}; // set before the run: everything skipped
+  EngineOptions O;
+  O.StopFlag = &Stop;
+  BatchEngine E(O);
+  std::vector<std::string> Sunk;
+  EngineMetrics M = E.run(smokeCorpus(), [&](const std::string &R) {
+    Sunk.push_back(R);
+  });
+  EXPECT_TRUE(M.Interrupted);
+  EXPECT_EQ(M.Served, Sunk.size());
+  EXPECT_EQ(M.Served, 0u);
+  EXPECT_EQ(M.Requests, 5u) << "the corpus size is still reported";
+}
+
+TEST(Engine, WorkerThrowFaultDegradesToInternalRecord) {
+  EngineOptions O;
+  O.Faults.WorkerThrow = true;
+  BatchEngine E(O);
+  std::vector<std::string> Lines;
+  Lines.push_back(requestLine(
+      std::string("\"id\": \"boom-1\", \"nest\": \"") + MatmulEscaped +
+      "\", \"script\": \"interchange 1 2\""));
+  Lines.push_back(requestLine(
+      std::string("\"id\": \"calm\", \"nest\": \"") + MatmulEscaped +
+      "\", \"script\": \"interchange 1 2\""));
+  std::string Out = E.runToString(Lines);
+  std::vector<std::string> Recs = splitLines(Out);
+  ASSERT_EQ(Recs.size(), 2u);
+  ErrorOr<json::JsonValue> V = json::JsonValue::parse(Recs[0]);
+  ASSERT_TRUE(static_cast<bool>(V)) << Recs[0];
+  ASSERT_NE(V->find("error"), nullptr);
+  EXPECT_EQ(V->find("error")->stringOr("kind"), "internal");
+  EXPECT_TRUE(json::JsonValue::parse(Recs[1])->boolOr("ok", false))
+      << "the fault targets marker ids only";
+}

@@ -1,0 +1,136 @@
+//===- tests/serve/FrameTest.cpp - Wire framing parser tests --------------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Frame.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace irlt::serve;
+
+namespace {
+
+/// Little-endian length at offset 4, as encodeFrame writes it.
+std::string header(uint32_t Len) {
+  std::string H(FrameMagic, 4);
+  for (int I = 0; I < 4; ++I)
+    H.push_back(static_cast<char>((Len >> (8 * I)) & 0xff));
+  return H;
+}
+
+} // namespace
+
+TEST(Frame, RoundTripSingleFrame) {
+  std::string Wire = encodeFrame(R"({"op":"healthz"})");
+  FrameReader R;
+  R.feed(Wire);
+  std::string Payload;
+  ASSERT_EQ(R.next(Payload), FrameReader::Status::Frame);
+  EXPECT_EQ(Payload, R"({"op":"healthz"})");
+  EXPECT_EQ(R.next(Payload), FrameReader::Status::NeedMore);
+  EXPECT_FALSE(R.midFrame());
+  EXPECT_EQ(R.bufferedBytes(), 0u);
+}
+
+TEST(Frame, RoundTripEmptyAndBinaryPayloads) {
+  std::string Binary("\x00\x01\xfeIRL1\n\r", 8); // NULs and embedded magic
+  for (const std::string &P : {std::string(), Binary}) {
+    FrameReader R;
+    R.feed(encodeFrame(P));
+    std::string Out;
+    ASSERT_EQ(R.next(Out), FrameReader::Status::Frame);
+    EXPECT_EQ(Out, P);
+  }
+}
+
+TEST(Frame, OneBytePerFeedMatchesAllAtOnce) {
+  std::string Wire = encodeFrame("abc") + encodeFrame("") + encodeFrame("xyz");
+  FrameReader R;
+  std::vector<std::string> Got;
+  for (char C : Wire) {
+    R.feed(&C, 1);
+    std::string P;
+    while (R.next(P) == FrameReader::Status::Frame)
+      Got.push_back(P);
+  }
+  ASSERT_EQ(Got.size(), 3u);
+  EXPECT_EQ(Got[0], "abc");
+  EXPECT_EQ(Got[1], "");
+  EXPECT_EQ(Got[2], "xyz");
+}
+
+TEST(Frame, BadMagicIsTerminal) {
+  FrameReader R;
+  R.feed(std::string("NOPE\x03\x00\x00\x00"
+                     "abc",
+                     11));
+  std::string P;
+  ASSERT_EQ(R.next(P), FrameReader::Status::Error);
+  EXPECT_EQ(R.error(), FrameReader::Error::BadMagic);
+  EXPECT_STREQ(FrameReader::errorName(R.error()), "bad_magic");
+  // The stream is dead: further feeds are no-ops and next() keeps
+  // reporting the same error.
+  R.feed(encodeFrame("ok"));
+  EXPECT_EQ(R.next(P), FrameReader::Status::Error);
+  EXPECT_FALSE(R.midFrame());
+}
+
+TEST(Frame, OversizedDeclaredLengthRejectedBeforeBuffering) {
+  FrameReader R(/*MaxPayloadBytes=*/16);
+  // Header declaring 17 bytes; never send the payload. The lie must be
+  // caught from the length field alone.
+  R.feed(header(17));
+  std::string P;
+  ASSERT_EQ(R.next(P), FrameReader::Status::Error);
+  EXPECT_EQ(R.error(), FrameReader::Error::Oversized);
+  EXPECT_LE(R.bufferedBytes(), FrameHeaderBytes + 16);
+}
+
+TEST(Frame, PayloadAtExactBoundAccepted) {
+  FrameReader R(/*MaxPayloadBytes=*/16);
+  std::string P16(16, 'x');
+  R.feed(encodeFrame(P16));
+  std::string P;
+  ASSERT_EQ(R.next(P), FrameReader::Status::Frame);
+  EXPECT_EQ(P, P16);
+}
+
+TEST(Frame, MidFrameClassifiesShortRead) {
+  FrameReader R;
+  std::string Wire = encodeFrame("hello world");
+  R.feed(Wire.data(), Wire.size() - 3); // stop 3 bytes short
+  std::string P;
+  EXPECT_EQ(R.next(P), FrameReader::Status::NeedMore);
+  EXPECT_TRUE(R.midFrame()) << "EOF here is a truncated frame";
+  // A bare partial header is also mid-frame.
+  FrameReader R2;
+  R2.feed("IR");
+  EXPECT_EQ(R2.next(P), FrameReader::Status::NeedMore);
+  EXPECT_TRUE(R2.midFrame());
+}
+
+TEST(Frame, BufferedBytesStayBounded) {
+  FrameReader R(/*MaxPayloadBytes=*/32);
+  // Keep feeding valid frames; the parser must drain as it goes.
+  for (int I = 0; I < 100; ++I) {
+    R.feed(encodeFrame(std::string(32, 'a' + (I % 26))));
+    std::string P;
+    while (R.next(P) == FrameReader::Status::Frame)
+      ;
+    EXPECT_LE(R.bufferedBytes(), FrameHeaderBytes + 32);
+  }
+}
+
+TEST(Frame, LittleEndianLengthEncoding) {
+  std::string Wire = encodeFrame(std::string(0x0102, 'z'));
+  ASSERT_GE(Wire.size(), FrameHeaderBytes);
+  EXPECT_EQ(static_cast<unsigned char>(Wire[4]), 0x02);
+  EXPECT_EQ(static_cast<unsigned char>(Wire[5]), 0x01);
+  EXPECT_EQ(static_cast<unsigned char>(Wire[6]), 0x00);
+  EXPECT_EQ(static_cast<unsigned char>(Wire[7]), 0x00);
+}

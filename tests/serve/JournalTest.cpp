@@ -1,0 +1,203 @@
+//===- tests/serve/JournalTest.cpp - Cache journal persistence tests ------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Journal.h"
+
+#include "api/Pipeline.h"
+#include "ir/NestHash.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace irlt;
+using namespace irlt::serve;
+
+namespace {
+
+const char *Matmul = "arrays B, C\n"
+                     "do i = 1, n\n"
+                     "  do j = 1, n\n"
+                     "    do k = 1, n\n"
+                     "      A(i, j) += B(i, k) * C(k, j)\n"
+                     "    enddo\n"
+                     "  enddo\n"
+                     "enddo\n";
+
+std::string keyOf(const std::string &Source) {
+  api::Pipeline P;
+  auto N = P.loadNest(Source);
+  EXPECT_TRUE(static_cast<bool>(N)) << N.message();
+  return canonicalNestKey(*N);
+}
+
+std::string tmpPath(const std::string &Name) {
+  return std::string(::testing::TempDir()) + "/" + Name;
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+} // namespace
+
+TEST(Journal, RecordDumpLoadReplayRoundTrip) {
+  std::string Key = keyOf(Matmul);
+  CacheJournal J(0);
+  J.record(Key, Matmul, "");
+  J.record(Key, Matmul, "interchange 1 2");
+  J.record("", Matmul, ""); // empty key: dropped
+  EXPECT_EQ(J.size(), 2u);
+
+  std::string Path = tmpPath("journal_roundtrip.ndjson");
+  auto Dumped = J.dump(Path);
+  ASSERT_TRUE(static_cast<bool>(Dumped)) << Dumped.message();
+  EXPECT_EQ(*Dumped, 2u);
+  EXPECT_FALSE(std::filesystem::exists(Path + ".tmp"))
+      << "temp file must be renamed away";
+
+  api::Pipeline P;
+  CacheJournal J2(0);
+  JournalLoadResult R = J2.loadAndReplay(Path, P);
+  EXPECT_TRUE(R.FileFound);
+  EXPECT_EQ(R.Loaded, 2u);
+  EXPECT_EQ(R.Replayed, 2u);
+  EXPECT_EQ(R.Discarded, 0u);
+  EXPECT_FALSE(R.Truncated);
+  EXPECT_EQ(J2.size(), 2u) << "replayed entries carry to the next dump";
+
+  // Replay rewarmed the pipeline's caches from sources alone.
+  api::CacheStats S = P.cacheStats();
+  EXPECT_GE(S.DepInserts, 1u);
+  EXPECT_GE(S.LegalityInserts, 1u);
+
+  // A dump of the replayed journal reproduces the file byte-identically
+  // (same entries, same LRU -> MRU order).
+  std::string Path2 = tmpPath("journal_roundtrip2.ndjson");
+  auto Dumped2 = J2.dump(Path2);
+  ASSERT_TRUE(static_cast<bool>(Dumped2)) << Dumped2.message();
+  EXPECT_EQ(slurp(Path), slurp(Path2));
+}
+
+TEST(Journal, MissingFileIsACleanColdStart) {
+  api::Pipeline P;
+  CacheJournal J(0);
+  JournalLoadResult R = J.loadAndReplay(tmpPath("journal_nope.ndjson"), P);
+  EXPECT_FALSE(R.FileFound);
+  EXPECT_EQ(R.Loaded, 0u);
+  EXPECT_EQ(R.Replayed, 0u);
+  EXPECT_FALSE(R.Truncated);
+}
+
+TEST(Journal, TruncatedFileKeepsTheValidPrefix) {
+  std::string Key = keyOf(Matmul);
+  CacheJournal J(0);
+  J.record(Key, Matmul, "");
+  J.record(Key, Matmul, "interchange 1 2");
+  std::string Path = tmpPath("journal_trunc.ndjson");
+  ASSERT_TRUE(static_cast<bool>(J.dump(Path)));
+
+  // Tear the file: drop the trailer and cut into the final entry line,
+  // the shape a torn non-atomic write (or mistaken temp file) would have.
+  std::string Whole = slurp(Path);
+  size_t LastNl = Whole.rfind('\n', Whole.size() - 2);
+  ASSERT_NE(LastNl, std::string::npos);
+  std::string Torn = Whole.substr(0, LastNl - 10);
+  {
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    Out << Torn;
+  }
+
+  api::Pipeline P;
+  CacheJournal J2(0);
+  JournalLoadResult R = J2.loadAndReplay(Path, P);
+  EXPECT_TRUE(R.FileFound);
+  EXPECT_TRUE(R.Truncated) << "no cache_dump_end trailer";
+  EXPECT_EQ(R.Replayed, 1u) << "the intact first entry survives";
+  EXPECT_GE(R.Discarded, 1u) << "the torn line is skipped, not fatal";
+}
+
+TEST(Journal, CacheCorruptFaultDiscardsEveryEntry) {
+  std::string Key = keyOf(Matmul);
+  CacheJournal J(0);
+  J.record(Key, Matmul, "");
+  J.record(Key, Matmul, "interchange 1 2");
+  std::string Path = tmpPath("journal_corrupt.ndjson");
+  ASSERT_TRUE(static_cast<bool>(J.dump(Path)));
+
+  FaultConfig F;
+  F.CacheCorrupt = true;
+  api::Pipeline P;
+  CacheJournal J2(0);
+  JournalLoadResult R = J2.loadAndReplay(Path, P, F);
+  EXPECT_TRUE(R.FileFound);
+  EXPECT_EQ(R.Replayed, 0u);
+  EXPECT_EQ(R.Discarded, 2u) << "every corrupted entry line is skipped";
+  EXPECT_EQ(J2.size(), 0u);
+}
+
+TEST(Journal, StaleKeyFailsTheFingerprintCrossCheck) {
+  // An entry whose recorded key does not match the nest source's freshly
+  // computed fingerprint is discarded: replay never trusts stored keys.
+  CacheJournal J(0);
+  J.record("not-the-real-fingerprint", Matmul, "");
+  std::string Path = tmpPath("journal_stalekey.ndjson");
+  ASSERT_TRUE(static_cast<bool>(J.dump(Path)));
+
+  api::Pipeline P;
+  CacheJournal J2(0);
+  JournalLoadResult R = J2.loadAndReplay(Path, P);
+  EXPECT_TRUE(R.FileFound);
+  EXPECT_EQ(R.Loaded, 1u);
+  EXPECT_EQ(R.Replayed, 0u);
+  EXPECT_EQ(R.Discarded, 1u);
+}
+
+TEST(Journal, CapacityBoundsResidentEntriesLruFirst) {
+  std::string Key = keyOf(Matmul);
+  CacheJournal J(2);
+  J.record(Key, Matmul, "interchange 1 2");
+  J.record(Key, Matmul, "reverse 3");
+  J.record(Key, Matmul, "block 1 3 8 8 8"); // evicts the first
+  EXPECT_EQ(J.size(), 2u);
+
+  std::string Path = tmpPath("journal_cap.ndjson");
+  auto Dumped = J.dump(Path);
+  ASSERT_TRUE(static_cast<bool>(Dumped));
+  EXPECT_EQ(*Dumped, 2u);
+  std::string Body = slurp(Path);
+  EXPECT_EQ(Body.find("interchange 1 2"), std::string::npos)
+      << "the evicted entry is gone from the dump";
+  EXPECT_NE(Body.find("reverse 3"), std::string::npos);
+  EXPECT_NE(Body.find("block 1 3 8 8 8"), std::string::npos);
+}
+
+TEST(Journal, DumpOverwritesAtomically) {
+  // Pre-existing garbage at the destination is replaced wholesale by the
+  // rename; a reload sees only the new dump.
+  std::string Path = tmpPath("journal_overwrite.ndjson");
+  {
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    Out << "garbage that is not a dump\n";
+  }
+  std::string Key = keyOf(Matmul);
+  CacheJournal J(0);
+  J.record(Key, Matmul, "");
+  ASSERT_TRUE(static_cast<bool>(J.dump(Path)));
+
+  api::Pipeline P;
+  CacheJournal J2(0);
+  JournalLoadResult R = J2.loadAndReplay(Path, P);
+  EXPECT_EQ(R.Replayed, 1u);
+  EXPECT_EQ(R.Discarded, 0u);
+  EXPECT_FALSE(R.Truncated);
+}

@@ -1,0 +1,56 @@
+//===- tests/support/FaultInjectTest.cpp - Fault-spec parsing tests -------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInject.h"
+
+#include <gtest/gtest.h>
+
+using namespace irlt;
+
+TEST(FaultInject, EmptySpecMeansNoFaults) {
+  auto C = parseFaultSpec("");
+  ASSERT_TRUE(static_cast<bool>(C));
+  EXPECT_FALSE(C->any());
+}
+
+TEST(FaultInject, SingleKind) {
+  auto C = parseFaultSpec("worker-throw");
+  ASSERT_TRUE(static_cast<bool>(C));
+  EXPECT_TRUE(C->WorkerThrow);
+  EXPECT_FALSE(C->ShortRead);
+  EXPECT_TRUE(C->any());
+}
+
+TEST(FaultInject, CommaSeparatedKindsCompose) {
+  auto C = parseFaultSpec("short-read,cache-corrupt,dump-partial");
+  ASSERT_TRUE(static_cast<bool>(C));
+  EXPECT_TRUE(C->ShortRead);
+  EXPECT_TRUE(C->CacheCorrupt);
+  EXPECT_TRUE(C->DumpPartial);
+  EXPECT_FALSE(C->WorkerThrow);
+}
+
+TEST(FaultInject, AllKindsParse) {
+  auto C = parseFaultSpec("short-read,truncated-frame,oversized-record,"
+                          "lying-length,garbage-frame,slow-client,"
+                          "cache-corrupt,dump-partial,worker-throw");
+  ASSERT_TRUE(static_cast<bool>(C));
+  EXPECT_TRUE(C->ShortRead && C->TruncatedFrame && C->OversizedRecord &&
+              C->LyingLength && C->GarbageFrame && C->SlowClient &&
+              C->CacheCorrupt && C->DumpPartial && C->WorkerThrow);
+}
+
+TEST(FaultInject, UnknownKindIsAnErrorNamingTheOffender) {
+  auto C = parseFaultSpec("worker-throw,no-such-fault");
+  ASSERT_FALSE(static_cast<bool>(C));
+  EXPECT_NE(C.message().find("no-such-fault"), std::string::npos);
+}
+
+TEST(FaultInject, WorkerThrowMarkerIsStable) {
+  // Integration tests and docs/SERVE.md both bake in the "boom" marker;
+  // renaming it silently would break recorded corpora.
+  EXPECT_STREQ(WorkerThrowIdMarker, "boom");
+}

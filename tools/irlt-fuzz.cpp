@@ -30,19 +30,32 @@
 ///                          generated nest and check that every reported
 ///                          candidate passes full legality and execution
 ///                          verification, thread-count-invariantly
+///     --wire               wire mode: fuzz the irlt-serve framing
+///                          parser (serve/Frame.h) instead - round-trip
+///                          under arbitrary chunking, deterministic
+///                          rejection of truncated/lying/garbage frames,
+///                          bounded buffering (docs/SERVE.md)
 ///     --verbose            per-case category lines
 ///     --json               emit one versioned JSON record (the shared
 ///                          schema of docs/API.md) instead of text
 ///
-/// Exit status: 0 when no oracle failures, 1 otherwise, 2 on bad usage.
+/// SIGINT/SIGTERM interrupt cooperatively: the in-flight case finishes
+/// (reproducer dumps are never torn), the stats cover the completed
+/// prefix, and the exit status is 3.
+///
+/// Exit status: 0 when no oracle failures, 1 otherwise, 3 when
+/// interrupted, 2 on bad usage.
 ///
 /// A thin client of the irlt::api facade (api/Pipeline.h, docs/API.md).
 ///
 //===----------------------------------------------------------------------===//
 
 #include "api/Pipeline.h"
+#include "serve/WireFuzz.h"
 #include "support/Json.h"
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -52,12 +65,18 @@ using namespace irlt::fuzz;
 
 namespace {
 
+/// Set by the SIGINT/SIGTERM handler; the fuzz loop polls it between
+/// cases, so reproducer dumps are never torn.
+std::atomic<bool> GStop{false};
+
+void onSignal(int) { GStop.store(true); }
+
 void usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [--cases N] [--seed S] [--shrink|--no-shrink]\n"
                "          [--repro-dir DIR] [--max-depth N] [--max-steps N]\n"
                "          [--max-instances N] [--time-budget-ms N]"
-               " [--search] [--verbose] [--json]\n",
+               " [--search] [--wire] [--verbose] [--json]\n",
                Argv0);
 }
 
@@ -83,6 +102,7 @@ bool parseU64(const char *S, uint64_t &Out) {
 int main(int argc, char **argv) {
   FuzzOptions Opts;
   bool JsonMode = false;
+  bool WireMode = false;
 
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
@@ -146,6 +166,8 @@ int main(int argc, char **argv) {
         return 2;
     } else if (A == "--search") {
       Opts.SearchMode = true;
+    } else if (A == "--wire") {
+      WireMode = true;
     } else if (A == "--verbose" || A == "-v") {
       Opts.Verbose = true;
     } else if (A == "--json") {
@@ -158,6 +180,53 @@ int main(int argc, char **argv) {
       usage(argv[0]);
       return 2;
     }
+  }
+
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+  Opts.StopFlag = &GStop;
+
+  if (WireMode) {
+    serve::WireFuzzOptions WO;
+    WO.Seed = Opts.Seed;
+    WO.Cases = Opts.Cases;
+    serve::WireFuzzStats WS = serve::runWireFuzz(WO);
+    if (JsonMode) {
+      json::JsonWriter W;
+      json::beginToolRecord(W, "irlt-fuzz");
+      W.field("mode", "wire");
+      W.field("ok", WS.Failures == 0);
+      W.field("cases", WS.Cases);
+      W.field("seed", WO.Seed);
+      W.field("clean_streams", WS.CleanStreams);
+      W.field("mutated_streams", WS.MutatedStreams);
+      W.field("frames_parsed", WS.FramesParsed);
+      W.field("rejects", WS.Rejects);
+      W.field("failures", WS.Failures);
+      if (WS.Failures)
+        W.field("first_failure", WS.FirstFailure);
+      W.endObject();
+      std::printf("%s\n", W.take().c_str());
+    } else {
+      std::printf("irlt-fuzz --wire: %llu cases, seed %llu\n"
+                  "  clean streams    %llu\n"
+                  "  mutated streams  %llu\n"
+                  "  frames parsed    %llu\n"
+                  "  rejects          %llu\n"
+                  "  failures         %llu\n",
+                  static_cast<unsigned long long>(WS.Cases),
+                  static_cast<unsigned long long>(WO.Seed),
+                  static_cast<unsigned long long>(WS.CleanStreams),
+                  static_cast<unsigned long long>(WS.MutatedStreams),
+                  static_cast<unsigned long long>(WS.FramesParsed),
+                  static_cast<unsigned long long>(WS.Rejects),
+                  static_cast<unsigned long long>(WS.Failures));
+      if (WS.Failures)
+        std::printf("FAILURE (case seed %llu): %s\n",
+                    static_cast<unsigned long long>(WS.FirstFailureSeed),
+                    WS.FirstFailure.c_str());
+    }
+    return WS.Failures ? 1 : 0;
   }
 
   FuzzStats Stats = api::runFuzzer(Opts);
@@ -176,6 +245,7 @@ int main(int argc, char **argv) {
     W.field("ok", Stats.Failures.empty());
     W.field("cases", Stats.total());
     W.field("seed", Opts.Seed);
+    W.field("interrupted", Stats.Interrupted);
     W.key("categories").beginObject();
     for (Category C : Order)
       W.field(categoryName(C), Stats.Count[static_cast<unsigned>(C)]);
@@ -185,6 +255,8 @@ int main(int argc, char **argv) {
       W.field("repro_dir", Opts.ReproDir);
     W.endObject();
     std::printf("%s\n", W.take().c_str());
+    if (Stats.Interrupted)
+      return 3;
     return Stats.Failures.empty() ? 0 : 1;
   }
 
@@ -196,10 +268,15 @@ int main(int argc, char **argv) {
                 static_cast<unsigned long long>(
                     Stats.Count[static_cast<unsigned>(C)]));
 
+  if (Stats.Interrupted)
+    std::printf("interrupted after %llu case(s); counts cover the completed "
+                "prefix\n",
+                static_cast<unsigned long long>(Stats.total()));
+
   if (!Stats.Failures.empty()) {
     std::printf("%zu failure(s); reproducers in %s\n",
                 Stats.Failures.size(), Opts.ReproDir.c_str());
-    return 1;
+    return Stats.Interrupted ? 3 : 1;
   }
-  return 0;
+  return Stats.Interrupted ? 3 : 0;
 }

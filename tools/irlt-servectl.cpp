@@ -1,0 +1,307 @@
+//===- tools/irlt-servectl.cpp - Client driver for irlt-serve -------------===//
+//
+// Part of the IRLT project: a reproduction of Sarkar & Thekkath,
+// "A General Framework for Iteration-Reordering Loop Transformations"
+// (PLDI 1992). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// irlt-servectl: the client side of the irlt-serve wire protocol
+/// (docs/SERVE.md), for scripts, tests, and the CI smoke lane.
+///
+///   irlt-servectl (--socket PATH | --port N) [--timeout-ms N] CMD ...
+///     ping [--retry N]   send {"op":"healthz"}; with --retry, retry the
+///                        connect every 50 ms up to N times (startup
+///                        races in scripts)
+///     stats              send {"op":"statz"} and print the record
+///     persist            send {"op":"persist"} and print the record
+///     send FILE          send every request line of the ndjson FILE as
+///                        one frame (pipelined), then print the response
+///                        records to stdout in order - the same stream
+///                        irlt-batch FILE would print
+///     fault KIND         send one deliberately broken interaction and
+///                        report how the server handled it; KIND is one
+///                        of truncated-frame, lying-length,
+///                        garbage-frame, oversized-frame, slow-client
+///
+/// Exit status: 0 success (for fault: the server answered with a
+/// structured reject or closed cleanly - no hang), 2 error responses or
+/// a misbehaving server (hang/timeout), 1 tool/usage errors.
+///
+//===----------------------------------------------------------------------===//
+
+#include "engine/Engine.h"
+#include "serve/Client.h"
+#include "support/Json.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+using namespace irlt;
+using namespace irlt::serve;
+
+namespace {
+
+void usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s (--socket PATH | --port N) [--timeout-ms N] CMD ...\n"
+      "  ping [--retry N] | stats | persist | send FILE | fault KIND\n"
+      "fault kinds: truncated-frame lying-length garbage-frame "
+      "oversized-frame slow-client\n"
+      "exit status: 0 success, 2 error responses / server misbehavior, "
+      "1 tool error\n",
+      Argv0);
+}
+
+bool parseU64(const std::string &S, uint64_t &Out) {
+  if (S.empty())
+    return false;
+  uint64_t V = 0;
+  for (char C : S) {
+    if (C < '0' || C > '9')
+      return false;
+    uint64_t D = static_cast<uint64_t>(C - '0');
+    if (V > (UINT64_MAX - D) / 10)
+      return false;
+    V = V * 10 + D;
+  }
+  Out = V;
+  return true;
+}
+
+struct Target {
+  std::string SocketPath;
+  int Port = -1;
+  uint64_t TimeoutMs = 5000;
+
+  ErrorOr<ClientConn> connect() const {
+    return SocketPath.empty() ? connectTcp(Port) : connectUnix(SocketPath);
+  }
+};
+
+/// True when \p Record parses and carries "ok": true.
+bool recordOk(const std::string &Record) {
+  ErrorOr<json::JsonValue> Doc = json::JsonValue::parse(Record);
+  return Doc && Doc->isObject() && Doc->boolOr("ok", false);
+}
+
+int runOp(const Target &T, const std::string &Op, uint64_t Retries) {
+  ErrorOr<ClientConn> C = Failure(Diag::error("unconnected"));
+  for (uint64_t Attempt = 0;; ++Attempt) {
+    C = T.connect();
+    if (C || Attempt >= Retries)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  if (!C) {
+    std::fprintf(stderr, "error: %s\n", C.message().c_str());
+    return 2;
+  }
+  if (!C->sendFrame("{\"op\":\"" + Op + "\"}")) {
+    std::fprintf(stderr, "error: send failed\n");
+    return 2;
+  }
+  ErrorOr<std::string> Resp = C->recvFrame(T.TimeoutMs);
+  if (!Resp) {
+    std::fprintf(stderr, "error: %s\n", Resp.message().c_str());
+    return 2;
+  }
+  std::fprintf(stdout, "%s\n", Resp->c_str());
+  return recordOk(*Resp) ? 0 : 2;
+}
+
+int runSend(const Target &T, const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot read '%s'\n", Path.c_str());
+    return 1;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  std::vector<std::string> Lines = engine::splitLines(SS.str());
+
+  ErrorOr<ClientConn> C = T.connect();
+  if (!C) {
+    std::fprintf(stderr, "error: %s\n", C.message().c_str());
+    return 2;
+  }
+  uint64_t Sent = 0;
+  for (const std::string &Line : Lines) {
+    if (Line.empty())
+      continue;
+    if (!C->sendFrame(Line)) {
+      std::fprintf(stderr, "error: send failed after %llu requests\n",
+                   static_cast<unsigned long long>(Sent));
+      return 2;
+    }
+    ++Sent;
+  }
+  C->finishWrites();
+
+  bool AnyError = false;
+  for (uint64_t I = 0; I < Sent; ++I) {
+    ErrorOr<std::string> Resp = C->recvFrame(T.TimeoutMs);
+    if (!Resp) {
+      std::fprintf(stderr, "error: response %llu/%llu: %s\n",
+                   static_cast<unsigned long long>(I + 1),
+                   static_cast<unsigned long long>(Sent),
+                   Resp.message().c_str());
+      return 2;
+    }
+    std::fprintf(stdout, "%s\n", Resp->c_str());
+    if (!recordOk(*Resp))
+      AnyError = true;
+  }
+  return AnyError ? 2 : 0;
+}
+
+int runFault(const Target &T, const std::string &Kind) {
+  ErrorOr<ClientConn> C = T.connect();
+  if (!C) {
+    std::fprintf(stderr, "error: %s\n", C.message().c_str());
+    return 2;
+  }
+
+  if (Kind == "slow-client") {
+    // A valid request trickled one byte at a time: the server must
+    // tolerate slow *requests* (its timeout guards writes) and answer.
+    if (!C->sendFrame("{\"op\":\"healthz\"}", /*StallMillis=*/2)) {
+      std::fprintf(stderr, "error: send failed\n");
+      return 2;
+    }
+    ErrorOr<std::string> Resp = C->recvFrame(T.TimeoutMs);
+    if (!Resp) {
+      std::fprintf(stderr, "error: %s\n", Resp.message().c_str());
+      return 2;
+    }
+    std::fprintf(stdout, "%s\n", Resp->c_str());
+    return recordOk(*Resp) ? 0 : 2;
+  }
+
+  if (Kind == "truncated-frame") {
+    // Declare 64 payload bytes, send 5, half-close.
+    std::string Frame = encodeFrame(std::string(64, 'x'));
+    C->sendRaw(Frame.substr(0, FrameHeaderBytes + 5));
+    C->finishWrites();
+  } else if (Kind == "lying-length") {
+    // A bare header declaring a payload that never arrives.
+    std::string Frame = encodeFrame(std::string(100, 'y'));
+    C->sendRaw(Frame.substr(0, FrameHeaderBytes));
+    C->finishWrites();
+  } else if (Kind == "garbage-frame") {
+    C->sendRaw("this is not a frame at all\n");
+    C->finishWrites();
+  } else if (Kind == "oversized-frame") {
+    // Header declaring a 4 GiB-1 payload; the server must reject it
+    // from the length field alone, before any payload is buffered.
+    std::string Hdr(FrameMagic, sizeof(FrameMagic));
+    for (int I = 0; I < 4; ++I)
+      Hdr.push_back(static_cast<char>(0xff));
+    C->sendRaw(Hdr);
+    C->finishWrites();
+  } else {
+    std::fprintf(stderr, "error: unknown fault kind '%s'\n", Kind.c_str());
+    return 1;
+  }
+
+  // The server behaved if it answers with a structured reject (printed)
+  // or closes the connection; only a hang (timeout) is a failure.
+  ErrorOr<std::string> Resp = C->recvFrame(T.TimeoutMs);
+  if (Resp) {
+    std::fprintf(stdout, "%s\n", Resp->c_str());
+    return 0;
+  }
+  if (Resp.message().find("timed out") != std::string::npos) {
+    std::fprintf(stderr, "error: server did not respond to fault '%s'\n",
+                 Kind.c_str());
+    return 2;
+  }
+  std::fprintf(stdout, "connection closed (%s)\n", Resp.message().c_str());
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  Target T;
+  int I = 1;
+  for (; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "--socket") {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "error: --socket needs an argument\n");
+        return 1;
+      }
+      T.SocketPath = argv[++I];
+    } else if (A == "--port") {
+      uint64_t N = 0;
+      if (I + 1 >= argc || !parseU64(argv[++I], N) || N > 65535) {
+        std::fprintf(stderr, "error: --port expects 0..65535\n");
+        return 1;
+      }
+      T.Port = static_cast<int>(N);
+    } else if (A == "--timeout-ms") {
+      uint64_t N = 0;
+      if (I + 1 >= argc || !parseU64(argv[++I], N)) {
+        std::fprintf(stderr, "error: --timeout-ms expects an integer\n");
+        return 1;
+      }
+      T.TimeoutMs = N;
+    } else if (A == "--help" || A == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      break; // the subcommand
+    }
+  }
+  if (T.SocketPath.empty() && T.Port < 0) {
+    std::fprintf(stderr, "error: need --socket PATH or --port N\n");
+    usage(argv[0]);
+    return 1;
+  }
+  if (I >= argc) {
+    std::fprintf(stderr, "error: missing command\n");
+    usage(argv[0]);
+    return 1;
+  }
+
+  std::string Cmd = argv[I++];
+  if (Cmd == "ping") {
+    uint64_t Retries = 0;
+    if (I < argc && std::string(argv[I]) == "--retry") {
+      if (I + 1 >= argc || !parseU64(argv[I + 1], Retries)) {
+        std::fprintf(stderr, "error: --retry expects an integer\n");
+        return 1;
+      }
+      I += 2;
+    }
+    return runOp(T, "healthz", Retries);
+  }
+  if (Cmd == "stats")
+    return runOp(T, "statz", 0);
+  if (Cmd == "persist")
+    return runOp(T, "persist", 0);
+  if (Cmd == "send") {
+    if (I >= argc) {
+      std::fprintf(stderr, "error: send needs a FILE\n");
+      return 1;
+    }
+    return runSend(T, argv[I]);
+  }
+  if (Cmd == "fault") {
+    if (I >= argc) {
+      std::fprintf(stderr, "error: fault needs a KIND\n");
+      return 1;
+    }
+    return runFault(T, argv[I]);
+  }
+  std::fprintf(stderr, "error: unknown command '%s'\n", Cmd.c_str());
+  usage(argv[0]);
+  return 1;
+}
