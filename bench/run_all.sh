@@ -10,8 +10,9 @@
 # BATCH_OUT (default BENCH_batch.json, next to OUT_FILE), and the
 # static analyzer scenarios (bench_analyze) into ANALYZE_OUT (default
 # BENCH_analyze.json), and the serve-layer scenarios (bench_serve) into
-# SERVE_OUT (default BENCH_serve.json), so each throughput trajectory
-# can be tracked on its own. Extra benchmark flags can be passed via IRLT_BENCH_ARGS
+# SERVE_OUT (default BENCH_serve.json), and the native compile-and-run
+# scenarios (bench_native) into NATIVE_OUT (default BENCH_native.json),
+# so each throughput trajectory can be tracked on its own. Extra benchmark flags can be passed via IRLT_BENCH_ARGS
 # (e.g. IRLT_BENCH_ARGS=--benchmark_min_time=0.01 for a quick pass).
 set -u
 
@@ -20,6 +21,7 @@ OUT="${2:-BENCH_search.json}"
 BATCH_OUT="${3:-$(dirname "$OUT")/BENCH_batch.json}"
 ANALYZE_OUT="${4:-$(dirname "$OUT")/BENCH_analyze.json}"
 SERVE_OUT="${5:-$(dirname "$OUT")/BENCH_serve.json}"
+NATIVE_OUT="${6:-$(dirname "$OUT")/BENCH_native.json}"
 BENCH_DIR="$BUILD_DIR/bench"
 
 if ! ls "$BENCH_DIR"/bench_* >/dev/null 2>&1; then
@@ -31,7 +33,8 @@ TMP="$(mktemp)"
 BATCH_TMP="$(mktemp)"
 ANALYZE_TMP="$(mktemp)"
 SERVE_TMP="$(mktemp)"
-trap 'rm -f "$TMP" "$BATCH_TMP" "$ANALYZE_TMP" "$SERVE_TMP"' EXIT
+NATIVE_TMP="$(mktemp)"
+trap 'rm -f "$TMP" "$BATCH_TMP" "$ANALYZE_TMP" "$SERVE_TMP" "$NATIVE_TMP"' EXIT
 
 # Fail fast: a partial aggregate would silently skew any perf-trajectory
 # comparison, so the first failing binary aborts the run and OUT is left
@@ -44,6 +47,7 @@ for BIN in "$BENCH_DIR"/bench_*; do
   [ "$NAME" = bench_batch ] && DEST="$BATCH_TMP"
   [ "$NAME" = bench_analyze ] && DEST="$ANALYZE_TMP"
   [ "$NAME" = bench_serve ] && DEST="$SERVE_TMP"
+  [ "$NAME" = bench_native ] && DEST="$NATIVE_TMP"
   if ! "$BIN" --json ${IRLT_BENCH_ARGS:-} >>"$DEST"; then
     echo "error: $NAME failed; aborting without writing $OUT" >&2
     exit 1
@@ -74,4 +78,7 @@ if [ -s "$ANALYZE_TMP" ]; then
 fi
 if [ -s "$SERVE_TMP" ]; then
   wrap irlt-bench-serve "$SERVE_TMP" "$SERVE_OUT"
+fi
+if [ -s "$NATIVE_TMP" ]; then
+  wrap irlt-bench-native "$NATIVE_TMP" "$NATIVE_OUT"
 fi

@@ -1,0 +1,157 @@
+//===- cgen/NativeCheck.cpp - One-call native differential check ----------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cgen/NativeCheck.h"
+
+#include "codegen/CEmitter.h"
+#include "support/Printing.h"
+
+using namespace irlt;
+using namespace irlt::cgen;
+
+namespace {
+
+std::string hex64(uint64_t V) {
+  return formatStr("0x%016llx", static_cast<unsigned long long>(V));
+}
+
+bool allParamsBound(const LoopNest &Nest,
+                    const std::map<std::string, int64_t> &B,
+                    std::string &Missing) {
+  for (const std::string &P : freeParameters(Nest))
+    if (!B.count(P)) {
+      Missing = P;
+      return false;
+    }
+  return true;
+}
+
+} // namespace
+
+const char *irlt::cgen::nativeCheckStatusName(NativeCheckStatus S) {
+  switch (S) {
+  case NativeCheckStatus::Match:
+    return "match";
+  case NativeCheckStatus::Mismatch:
+    return "mismatch";
+  case NativeCheckStatus::InterpDiverged:
+    return "interp-diverged";
+  case NativeCheckStatus::Unavailable:
+    return "unavailable";
+  case NativeCheckStatus::Skipped:
+    return "skipped";
+  case NativeCheckStatus::Failed:
+    return "failed";
+  }
+  return "unknown";
+}
+
+NativeCheckResult
+irlt::cgen::checkNative(const LoopNest &Original, const LoopNest *Transformed,
+                        const NativeCheckOptions &Options) {
+  NativeCheckResult R;
+
+  std::string Reason = checkEmittable(Original);
+  if (Reason.empty() && Transformed)
+    Reason = checkEmittable(*Transformed);
+  if (!Reason.empty()) {
+    R.Status = NativeCheckStatus::Skipped;
+    R.Detail = "not emittable: " + Reason;
+    return R;
+  }
+  std::string Missing;
+  if (!allParamsBound(Original, Options.Bindings, Missing) ||
+      (Transformed && !allParamsBound(*Transformed, Options.Bindings,
+                                      Missing))) {
+    R.Status = NativeCheckStatus::Skipped;
+    R.Detail = "unbound scalar parameter: " + Missing;
+    return R;
+  }
+
+  ErrorOr<std::vector<ArrayShape>> Shapes =
+      arrayShapes(Original, Options.Bindings, Options.InterpMaxInstances);
+  if (!Shapes) {
+    R.Status = NativeCheckStatus::Skipped;
+    R.Detail = "no shapes: " + Shapes.message();
+    return R;
+  }
+  for (const ArrayShape &S : *Shapes)
+    if (S.cells() > Options.MaxCells) {
+      R.Status = NativeCheckStatus::Skipped;
+      R.Detail = "array " + S.Name + " above the cell cap";
+      return R;
+    }
+
+  ProgramOptions PO;
+  PO.Seed = Options.Seed;
+  PO.Bindings = Options.Bindings;
+  PO.TimingReps = Options.TimingReps;
+  PO.UseOpenMP = Options.UseOpenMP;
+  PO.MaxCells = Options.MaxCells;
+
+  // Interpreted reference first: it carries the overflow guard, so any
+  // case whose arithmetic would overflow (where native wrapping and
+  // interpreted saturation could diverge for reasons unrelated to the
+  // transformation) is skipped before native execution.
+  if (Options.CrossCheckInterpreter) {
+    R.Interp = interpretChecksums(Original, Transformed, *Shapes, PO,
+                                  Options.InterpMaxInstances);
+    if (!R.Interp.Ok) {
+      R.Status = NativeCheckStatus::Skipped;
+      R.Detail = "interpreter reference unavailable: " + R.Interp.Detail;
+      return R;
+    }
+  }
+
+  ErrorOr<std::string> Program =
+      emitProgram(Original, Transformed, *Shapes, PO);
+  if (!Program) {
+    R.Status = NativeCheckStatus::Skipped;
+    R.Detail = "emission failed: " + Program.message();
+    return R;
+  }
+
+  R.Native = runNative(*Program, Options.Runner);
+  switch (R.Native.Status) {
+  case NativeStatus::NoCompiler:
+    R.Status = NativeCheckStatus::Unavailable;
+    R.Detail = "no host C compiler";
+    return R;
+  case NativeStatus::CompileError:
+  case NativeStatus::RunTimeout:
+  case NativeStatus::RunError:
+  case NativeStatus::BadOutput:
+    R.Status = NativeCheckStatus::Failed;
+    R.Detail = std::string("native run failed: ") +
+               nativeStatusName(R.Native.Status);
+    return R;
+  case NativeStatus::Mismatch:
+    R.Status = NativeCheckStatus::Mismatch;
+    R.Detail = "native mismatch: original " + hex64(R.Native.ChecksumOriginal) +
+               " vs transformed " + hex64(R.Native.ChecksumTransformed) +
+               (R.Native.OobOriginal != R.Native.OobTransformed
+                    ? " (out-of-shape access counts differ)"
+                    : "");
+    return R;
+  case NativeStatus::Ok:
+    break;
+  }
+
+  if (Options.CrossCheckInterpreter &&
+      (R.Interp.Original != R.Native.ChecksumOriginal ||
+       R.Interp.Transformed != R.Native.ChecksumTransformed)) {
+    R.Status = NativeCheckStatus::InterpDiverged;
+    R.Detail = "interpreter/native divergence: interpreted " +
+               hex64(R.Interp.Original) + "/" + hex64(R.Interp.Transformed) +
+               " vs native " + hex64(R.Native.ChecksumOriginal) + "/" +
+               hex64(R.Native.ChecksumTransformed);
+    return R;
+  }
+
+  R.Status = NativeCheckStatus::Match;
+  R.Detail = "native match: checksum " + hex64(R.Native.ChecksumOriginal);
+  return R;
+}

@@ -186,8 +186,10 @@ RequestOutcome engine::processRequest(api::Pipeline &P,
     return fail(std::move(Out), EO, LineId, errkind::Request, ReqOr.message(),
                 &ReqOr.diags());
   BatchRequest Req = ReqOr.take();
-  if (EO.ForcedValidateBudget && !Req.ValidateBudget)
+  if (EO.ForcedValidateBudget && !Req.ValidateBudget && !Req.ValidateNative)
     Req.ValidateBudget = EO.ForcedValidateBudget;
+  if (EO.ForcedValidateNative && !Req.ValidateBudget && !Req.ValidateNative)
+    Req.ValidateNative = true;
 
   // Deterministic fault injection: a worker exception for targeted ids,
   // which the worker loop degrades to a structured "internal" record.
@@ -277,11 +279,14 @@ RequestOutcome engine::processRequest(api::Pipeline &P,
     W.field("analyzer_pruned", SR.Stats.AnalyzerPruned);
     W.endObject();
 
-    if (Req.ValidateBudget && SR.Best) {
+    if ((Req.ValidateBudget || Req.ValidateNative) && SR.Best) {
       if (deadlineExpired("validate", Req.Id))
         return Out;
-      witness::ValidateOptions VO = witness::ValidateOptions::defaults();
-      VO.MaxInstances = Req.ValidateBudget;
+      witness::ValidateOptions VO = Req.ValidateNative
+                                        ? witness::ValidateOptions::nativeDefaults()
+                                        : witness::ValidateOptions::defaults();
+      if (Req.ValidateBudget)
+        VO.MaxInstances = Req.ValidateBudget;
       VO.ReproDir.clear(); // no filesystem writes from engine workers
       std::vector<TransformSequence> Cands;
       for (const search::ScoredSequence &S : SR.Top)
@@ -358,11 +363,14 @@ RequestOutcome engine::processRequest(api::Pipeline &P,
         Out.Illegal = true;
     }
 
-    if (Req.ValidateBudget && SeqLegal) {
+    if ((Req.ValidateBudget || Req.ValidateNative) && SeqLegal) {
       if (deadlineExpired("validate", Req.Id))
         return Out;
-      witness::ValidateOptions VO = witness::ValidateOptions::defaults();
-      VO.MaxInstances = Req.ValidateBudget;
+      witness::ValidateOptions VO = Req.ValidateNative
+                                        ? witness::ValidateOptions::nativeDefaults()
+                                        : witness::ValidateOptions::defaults();
+      if (Req.ValidateBudget)
+        VO.MaxInstances = Req.ValidateBudget;
       VO.ReproDir.clear();
       std::vector<TransformSequence> Cands{Seq};
       witness::LadderResult LR =

@@ -68,6 +68,10 @@ struct EngineOptions {
   /// Force validation of every request with this instance budget
   /// (irlt-batch --validate[=N]); per-request "validate" fields win.
   uint64_t ForcedValidateBudget = 0;
+  /// Force native (compile-and-run, docs/CODEGEN.md) validation of
+  /// every request (irlt-batch --validate=native); per-request
+  /// "validate" fields win.
+  bool ForcedValidateNative = false;
   /// Request lines longer than this produce a structured
   /// "oversized_line" error record instead of being parsed (the line
   /// content is never echoed back). Default 1 MiB.

@@ -50,12 +50,23 @@ ErrorOr<BatchRequest> engine::parseRequestLine(const std::string &Line,
                                ": 'emit' must be loop or c, got '" + R.Emit +
                                "'"));
 
-  int64_t Validate = Doc->intOr("validate", 0);
-  if (Validate < 0)
-    return Failure(Diag::error("request line " + std::to_string(LineNo) +
-                               ": 'validate' must be a non-negative "
-                               "instance budget"));
-  R.ValidateBudget = static_cast<uint64_t>(Validate);
+  if (const json::JsonValue *V = Doc->find("validate");
+      V && V->isString()) {
+    // "validate": "native" - the compile-and-run tier (docs/CODEGEN.md).
+    if (V->asString() != "native")
+      return Failure(Diag::error("request line " + std::to_string(LineNo) +
+                                 ": 'validate' must be an instance budget "
+                                 "or \"native\", got '" + V->asString() +
+                                 "'"));
+    R.ValidateNative = true;
+  } else {
+    int64_t Validate = Doc->intOr("validate", 0);
+    if (Validate < 0)
+      return Failure(Diag::error("request line " + std::to_string(LineNo) +
+                                 ": 'validate' must be a non-negative "
+                                 "instance budget"));
+    R.ValidateBudget = static_cast<uint64_t>(Validate);
+  }
 
   int64_t Deadline = Doc->intOr("deadline_ms", 0);
   if (Deadline < 0)

@@ -17,7 +17,8 @@
 /// the static diagnostic engine and include its findings in the
 /// result), "reduce" (bool, default false), "emit" ("loop" or "c":
 /// include the transformed nest in the result), "validate" (int
-/// instance budget: cross-check by bounded concrete execution),
+/// instance budget: cross-check by bounded concrete execution; or the
+/// string "native" for the compile-and-run tier, docs/CODEGEN.md),
 /// "deadline_ms" (per-request deadline, serve mode only), and for auto
 /// mode "beam", "depth", "topk".
 ///
@@ -62,6 +63,12 @@ struct BatchRequest {
   /// > 0: validate candidates by bounded concrete execution with this
   /// instance budget.
   uint64_t ValidateBudget = 0;
+  /// "validate": "native" - the compile-and-run tier on top of the
+  /// interpreted ladder (docs/CODEGEN.md). Native validation Detail
+  /// strings are deterministic, preserving the byte-identical-output
+  /// contract; without a host C compiler the interpreted verdict is
+  /// annotated as native-skipped.
+  bool ValidateNative = false;
   /// Per-request deadline in milliseconds (0 = none). Honored by
   /// irlt-serve (docs/SERVE.md); irlt-batch deliberately ignores it so
   /// batch replay stays byte-identical and timing-independent.

@@ -7,6 +7,7 @@
 #include "fuzz/Differential.h"
 
 #include "analysis/Analysis.h"
+#include "cgen/NativeCheck.h"
 #include "dependence/DepAnalysis.h"
 #include "driver/Script.h"
 #include "eval/Verify.h"
@@ -380,4 +381,75 @@ CaseOutcome irlt::fuzz::runSearchCase(const FuzzCase &C,
     }
   }
   return outcome(Category::Legal);
+}
+
+CaseOutcome irlt::fuzz::runNativeCase(const FuzzCase &C,
+                                      const DifferentialOptions &Opts,
+                                      const std::string &Compiler) {
+  CaseOutcome O = runCase(C, Opts);
+  if (O.Cat != Category::Legal)
+    return O;
+
+  // Re-derive the transformed nest; runCase just proved every step of
+  // this pipeline succeeds for the case.
+  ErrorOr<LoopNest> NestOr = parseLoopNest(C.Nest.render());
+  if (!NestOr)
+    return O;
+  ErrorOr<TransformSequence> SeqOr =
+      parseTransformScript(joinScript(C.Script), NestOr->numLoops());
+  if (!SeqOr)
+    return O;
+  ErrorOr<LoopNest> Out = [&]() -> ErrorOr<LoopNest> {
+    OverflowGuard G;
+    ErrorOr<LoopNest> R = applySequence(*SeqOr, *NestOr);
+    if (G.triggered())
+      return Failure("overflow");
+    return R;
+  }();
+  if (!Out)
+    return O;
+
+  cgen::NativeCheckOptions NC;
+  NC.Bindings = Opts.Bindings.front();
+  // Serial and small: fuzz throughput wants compile time, not threads,
+  // and generated nests are tiny at the fuzz bindings anyway.
+  NC.UseOpenMP = false;
+  NC.MaxCells = 1u << 20;
+  NC.InterpMaxInstances = Opts.MaxInstances;
+  NC.CrossCheckInterpreter = true;
+  NC.Runner.Compiler = Compiler;
+  NC.Runner.OpenMP = false;
+  cgen::NativeCheckResult N = cgen::checkNative(*NestOr, &*Out, NC);
+
+  switch (N.Status) {
+  case cgen::NativeCheckStatus::Match:
+    O.Native = CaseOutcome::NativeTier::Checked;
+    return O;
+  case cgen::NativeCheckStatus::Skipped:
+  case cgen::NativeCheckStatus::Unavailable:
+    O.Native = CaseOutcome::NativeTier::Skipped;
+    return O;
+  case cgen::NativeCheckStatus::Mismatch:
+    // The legality test, the interpreter, and the analyzer all accepted
+    // this case; compiled execution disagreeing with itself means the
+    // emitted code is wrong.
+    return CaseOutcome{Category::OracleFailure,
+                       "native differential harness disagrees on a case "
+                       "every interpreted oracle accepts: " +
+                           N.Detail,
+                       "native", CaseOutcome::NativeTier::Checked};
+  case cgen::NativeCheckStatus::InterpDiverged:
+    return CaseOutcome{Category::OracleFailure,
+                       "interpreter and native execution disagree on the "
+                       "final memory image: " +
+                           N.Detail,
+                       "both", CaseOutcome::NativeTier::Checked};
+  case cgen::NativeCheckStatus::Failed:
+    // Emitted code must always compile and run; an infrastructure
+    // failure on a Legal case is a codegen bug, not noise.
+    return CaseOutcome{Category::OracleFailure,
+                       "native pipeline failed on emitted code: " + N.Detail,
+                       "native", CaseOutcome::NativeTier::Checked};
+  }
+  return O;
 }

@@ -93,10 +93,29 @@ struct CaseOutcome {
   /// Explanation: the rejection reason, or for OracleFailure the broken
   /// invariant with enough context to debug from the reproducer.
   std::string Detail;
+  /// Which oracle tier produced an OracleFailure verdict: "interpreter"
+  /// (the classic oracles), "native" (compiled execution disagreed with
+  /// itself or failed on emitted code), or "both" (interpreter and
+  /// native execution disagree with each other). Recorded in the
+  /// reproducer dump so replays target the right backend.
+  std::string Tier = "interpreter";
+  /// Whether the native cross-check ran on this case (--native mode).
+  enum class NativeTier { NotRun, Checked, Skipped } Native =
+      NativeTier::NotRun;
 };
 
 /// Runs one case through the oracle.
 CaseOutcome runCase(const FuzzCase &C, const DifferentialOptions &Opts);
+
+/// Runs one case through the classic oracle and, when it lands Legal,
+/// additionally compiles and runs the emitted differential harness
+/// (docs/CODEGEN.md) with \p Compiler, requiring the native checksums to
+/// match each other *and* the interpreter's on identically seeded
+/// images. Unemittable or over-budget cases stay Legal with
+/// Native == Skipped; any disagreement is an OracleFailure whose Tier
+/// says which backend broke.
+CaseOutcome runNativeCase(const FuzzCase &C, const DifferentialOptions &Opts,
+                          const std::string &Compiler);
 
 /// Runs one *search-mode* case: the generated nest (the script is
 /// ignored) is handed to the transformation search engine, and every

@@ -6,6 +6,7 @@
 
 #include "fuzz/Fuzzer.h"
 
+#include "cgen/NativeRunner.h"
 #include "fuzz/ScriptGen.h"
 #include "fuzz/Shrink.h"
 #include "support/Json.h"
@@ -37,12 +38,15 @@ bool dumpReproducer(const FuzzOptions &Opts, const FuzzCase &C,
                      " --legality --verify n=6,m=4,b=2");
     Replay.push_back("irlt-opt " + NestPath + " -f " + ScriptPath +
                      " --fast-legality");
+    if (Rec.Tier != "interpreter")
+      Replay.push_back("irlt-cgen " + NestPath + " -f " + ScriptPath +
+                       " --run --no-openmp --bind n=6,m=4,b=2");
   }
   std::string Note = "seed: " + std::to_string(C.Seed) +
                      "\ncorrupted-lines: " +
                      std::to_string(C.CorruptedLines) + "\ndetail: " + Detail;
   if (writeReproducer(Opts.ReproDir, Stem, C.Nest.render(),
-                      joinScript(C.Script), Note, Replay)
+                      joinScript(C.Script), Note, Replay, Rec.Tier)
           .empty())
     return false;
   Rec.NestPath = NestPath;
@@ -55,7 +59,8 @@ bool dumpReproducer(const FuzzOptions &Opts, const FuzzCase &C,
 std::string irlt::fuzz::writeReproducer(
     const std::string &Dir, const std::string &Stem,
     const std::string &NestSource, const std::string &ScriptSource,
-    const std::string &Detail, const std::vector<std::string> &ReplayLines) {
+    const std::string &Detail, const std::vector<std::string> &ReplayLines,
+    const std::string &Tier) {
   std::error_code EC;
   std::filesystem::create_directories(Dir, EC);
   if (EC)
@@ -78,7 +83,8 @@ std::string irlt::fuzz::writeReproducer(
     std::ofstream Out(Base + ".txt");
     if (!Out)
       return "";
-    Out << "irlt reproducer\n" << Detail << "\n\nreplay:\n";
+    Out << "irlt reproducer\noracle-tier: " << Tier << "\n"
+        << Detail << "\n\nreplay:\n";
     for (const std::string &Line : ReplayLines)
       Out << "  " << Line << "\n";
   }
@@ -93,6 +99,7 @@ std::string irlt::fuzz::writeReproducer(
     json::beginToolRecord(W, "irlt-fuzz");
     W.field("record", "reproducer");
     W.field("stem", Stem);
+    W.field("oracle_tier", Tier);
     W.field("detail", Detail);
     W.field("nest", NestSource);
     W.field("script", ScriptSource);
@@ -135,6 +142,17 @@ FuzzStats irlt::fuzz::runFuzzer(const FuzzOptions &Opts) {
   DO.WallBudgetMillis = Opts.TimeBudgetMillis;
 
   FuzzStats Stats;
+  // Probe the host compiler once per run; --native degrades to the
+  // interpreter-only oracle (reported, never silently green) without one.
+  std::string NativeCC;
+  bool NativeMode = Opts.NativeMode && !Opts.SearchMode;
+  if (NativeMode) {
+    NativeCC = cgen::probeCompiler();
+    if (NativeCC.empty()) {
+      Stats.NativeUnavailable = true;
+      NativeMode = false;
+    }
+  }
   for (uint64_t Index = 0; Index < Opts.Cases; ++Index) {
     // Cooperative interruption: checked between cases only, so every
     // counted case ran to completion and any reproducer dump is whole.
@@ -143,8 +161,14 @@ FuzzStats irlt::fuzz::runFuzzer(const FuzzOptions &Opts) {
       break;
     }
     FuzzCase C = generateCase(Opts, Index);
-    CaseOutcome O = Opts.SearchMode ? runSearchCase(C, DO) : runCase(C, DO);
+    CaseOutcome O = Opts.SearchMode ? runSearchCase(C, DO)
+                    : NativeMode    ? runNativeCase(C, DO, NativeCC)
+                                    : runCase(C, DO);
     ++Stats.Count[static_cast<unsigned>(O.Cat)];
+    if (O.Native == CaseOutcome::NativeTier::Checked)
+      ++Stats.NativeChecked;
+    else if (O.Native == CaseOutcome::NativeTier::Skipped)
+      ++Stats.NativeSkipped;
 
     if (Opts.Verbose)
       std::printf("case %llu (seed %llu): %s%s%s\n",
@@ -161,11 +185,15 @@ FuzzStats irlt::fuzz::runFuzzer(const FuzzOptions &Opts) {
     Rec.CaseIndex = Index;
     Rec.CaseSeed = C.Seed;
     Rec.Detail = O.Detail;
+    Rec.Tier = O.Tier;
 
     FuzzCase Min = C;
     // The shrinker minimizes against the script oracle; search-mode
-    // failures are dumped as-is (the script plays no part in them).
-    if (Opts.Shrink && !Opts.SearchMode) {
+    // failures are dumped as-is (the script plays no part in them), and
+    // so are native-tier failures (re-running the compiler per shrink
+    // step would swamp the run, and the interpreted oracle the shrinker
+    // replays cannot even see the disagreement).
+    if (Opts.Shrink && !Opts.SearchMode && Rec.Tier == "interpreter") {
       Min = shrinkCase(C, DO, O.Cat);
       // The shrunk case's own detail is the one worth reporting.
       CaseOutcome MO = runCase(Min, DO);

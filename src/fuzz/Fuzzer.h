@@ -53,6 +53,12 @@ struct FuzzOptions {
   /// every reported candidate (full legality + execution verify +
   /// thread-count invariance) instead of fuzzing scripts.
   bool SearchMode = false;
+  /// Native mode (--native, docs/CODEGEN.md): Legal cases are
+  /// additionally compiled and executed, and the native checksums must
+  /// match the interpreter's on identically seeded arrays. When no host
+  /// C compiler exists the run degrades to interpreter-only and the
+  /// stats carry NativeUnavailable (reported, never silently green).
+  bool NativeMode = false;
   /// Cooperative interruption (the tool's SIGINT/SIGTERM handler sets
   /// this): the loop finishes the in-flight case - including any shrink
   /// and reproducer dump in progress - then stops, and the stats carry
@@ -66,6 +72,9 @@ struct FailureRecord {
   std::string Detail;
   std::string NestPath;   ///< empty when the dump failed
   std::string ScriptPath;
+  /// Oracle tier that produced the disagreement: "interpreter",
+  /// "native", or "both" (mirrored in the reproducer dump).
+  std::string Tier = "interpreter";
 };
 
 struct FuzzStats {
@@ -74,6 +83,12 @@ struct FuzzStats {
   /// The stop flag fired: the counts cover a clean prefix of the run's
   /// cases (every started case finished; none was torn).
   bool Interrupted = false;
+  /// --native bookkeeping: cases that went through the compiled
+  /// differential check, cases that could not (unemittable, cell cap),
+  /// and whether the whole run fell back for lack of a host compiler.
+  uint64_t NativeChecked = 0;
+  uint64_t NativeSkipped = 0;
+  bool NativeUnavailable = false;
 
   uint64_t total() const {
     uint64_t N = 0;
@@ -96,14 +111,17 @@ FuzzCase generateCase(const FuzzOptions &Opts, uint64_t Index);
 /// command per line), and <stem>.json (the same content as one
 /// schema-versioned record, see docs/API.md). Shared by the fuzzer and
 /// the witness-validation
-/// layer so every disproof dump replays the same way. \returns the nest
-/// path, or an empty string when the directory or files cannot be
-/// created (reporting continues without files).
+/// layer so every disproof dump replays the same way. \p Tier records
+/// which oracle produced the disagreement - "interpreter", "native", or
+/// "both" (docs/CODEGEN.md) - so replays target the right backend.
+/// \returns the nest path, or an empty string when the directory or
+/// files cannot be created (reporting continues without files).
 std::string writeReproducer(const std::string &Dir, const std::string &Stem,
                             const std::string &NestSource,
                             const std::string &ScriptSource,
                             const std::string &Detail,
-                            const std::vector<std::string> &ReplayLines);
+                            const std::vector<std::string> &ReplayLines,
+                            const std::string &Tier = "interpreter");
 
 } // namespace fuzz
 } // namespace irlt

@@ -6,6 +6,7 @@
 
 #include "witness/Validate.h"
 
+#include "cgen/NativeCheck.h"
 #include "eval/Verify.h"
 #include "fuzz/Fuzzer.h"
 
@@ -17,6 +18,17 @@ using namespace irlt::witness;
 ValidateOptions ValidateOptions::defaults() {
   ValidateOptions O;
   O.Bindings = WitnessOptions::defaults().Bindings;
+  return O;
+}
+
+ValidateOptions ValidateOptions::nativeDefaults() {
+  ValidateOptions O = defaults();
+  O.Native = true;
+  O.MaxInstances = 1'000'000;
+  // n=160 at depth 3 is ~4.1M instances: beyond the raised interpreted
+  // budget, cheap for a compiled binary.
+  O.NativeBindings = {{{"n", 72}, {"m", 48}, {"b", 8}},
+                      {{"n", 160}, {"m", 120}, {"b", 16}}};
   return O;
 }
 
@@ -47,7 +59,8 @@ std::string bindingStr(const std::map<std::string, int64_t> &B) {
 std::string dumpDisproof(const LoopNest &Nest, const TransformSequence &Seq,
                          const CandidateOutcome &Outcome,
                          const std::string &Binding,
-                         const ValidateOptions &Opts) {
+                         const ValidateOptions &Opts,
+                         const std::string &Tier = "interpreter") {
   if (Opts.ReproDir.empty())
     return "";
   ErrorOr<std::string> Script = scriptForSequence(Seq);
@@ -59,15 +72,19 @@ std::string dumpDisproof(const LoopNest &Nest, const TransformSequence &Seq,
   std::string NestPath = Opts.ReproDir + "/" + Stem + ".nest";
   std::string ScriptPath = Opts.ReproDir + "/" + Stem + ".script";
   std::vector<std::string> Replay;
-  if (Script)
+  if (Script) {
     Replay.push_back("irlt-opt " + NestPath + " -f " + ScriptPath +
                      " --legality --verify " + Binding);
+    if (Tier != "interpreter")
+      Replay.push_back("irlt-cgen " + NestPath + " -f " + ScriptPath +
+                       " --run --bind " + Binding);
+  }
   std::string Note = "sequence: " + Seq.str() + "\ndetail: " + Outcome.Detail;
   if (!Script)
     Note += "\n(sequence not expressible as a script: " + Script.message() +
             ")";
   return fuzz::writeReproducer(Opts.ReproDir, Stem, NestSrc, ScriptSrc, Note,
-                               Replay);
+                               Replay, Tier);
 }
 
 } // namespace
@@ -112,13 +129,63 @@ CandidateOutcome irlt::witness::validateCandidate(
     return R;
   }
 
+  // Native tier (docs/CODEGEN.md): compile-and-run the differential
+  // harness under bindings whose iteration spaces exceed the interpreted
+  // budget. A native mismatch disproves; a missing compiler or an
+  // unemittable nest only annotates the interpreted verdict.
+  unsigned NativePassed = 0;
+  std::string NativeNote;
+  if (Opts.Native) {
+    for (const auto &Binding : Opts.NativeBindings) {
+      cgen::NativeCheckOptions NC;
+      NC.Bindings = Binding;
+      NC.MaxCells = Opts.NativeMaxCells;
+      NC.Runner.RunTimeoutMs = Opts.NativeTimeoutMs;
+      cgen::NativeCheckResult N = cgen::checkNative(Nest, &*Out, NC);
+      if (N.Status == cgen::NativeCheckStatus::Match) {
+        ++NativePassed;
+        continue;
+      }
+      if (N.Status == cgen::NativeCheckStatus::Mismatch) {
+        R.Status = ValidateStatus::Disproved;
+        R.Detail = "native binding " + bindingStr(Binding) + ": " + N.Detail;
+        R.Why = Diag::error(N.Detail).inTemplate("validate-native");
+        R.ReproPath =
+            dumpDisproof(Nest, Seq, R, bindingStr(Binding), Opts, "native");
+        return R;
+      }
+      if (N.Status == cgen::NativeCheckStatus::Unavailable) {
+        NativeNote = "; native tier skipped: no host C compiler";
+        break;
+      }
+      // Skipped (unemittable / cell cap) or Failed (infrastructure):
+      // the interpreted verdict stands, annotated.
+      NativeNote = "; native tier skipped: " + N.Detail;
+      break;
+    }
+    if (NativeNote.empty() && NativePassed > 0)
+      NativeNote = "; native-confirmed under " +
+                   std::to_string(NativePassed) + " binding(s)";
+  }
+
   if (Passed > 0 && !SawBudget) {
     R.Status = ValidateStatus::Confirmed;
-    R.Detail = "equivalent under " + std::to_string(Passed) + " binding(s)";
+    R.Detail =
+        "equivalent under " + std::to_string(Passed) + " binding(s)" +
+        NativeNote;
+  } else if (SawBudget && NativePassed == Opts.NativeBindings.size() &&
+             NativePassed > 0) {
+    // The interpreter ran out of budget but the native tier finished
+    // every binding: that is exactly the case the backend exists for.
+    R.Status = ValidateStatus::Confirmed;
+    R.Detail = "interpreted budget exhausted, but native execution "
+               "confirmed " +
+               std::to_string(NativePassed) + " binding(s)";
   } else {
     R.Status = ValidateStatus::Inconclusive;
-    R.Detail = SawBudget ? "evaluation budget exhausted before a verdict"
-                         : "no parameter bindings to validate under";
+    R.Detail = (SawBudget ? "evaluation budget exhausted before a verdict"
+                          : "no parameter bindings to validate under") +
+               NativeNote;
   }
   return R;
 }

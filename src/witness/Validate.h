@@ -51,7 +51,25 @@ struct ValidateOptions {
   /// Where disproof reproducers go; empty disables dumping.
   std::string ReproDir = "irlt-validate-repro";
 
+  /// The native tier (`--validate=native`, docs/CODEGEN.md): after the
+  /// interpreted bindings confirm, compile and run the emitted
+  /// differential harness under NativeBindings - iteration spaces far
+  /// beyond what the interpreter budget can cover. When no host C
+  /// compiler exists the interpreted verdict stands, annotated as
+  /// native-skipped (never silently dropped).
+  bool Native = false;
+  std::vector<std::map<std::string, int64_t>> NativeBindings;
+  uint64_t NativeMaxCells = 1ull << 23;
+  uint64_t NativeTimeoutMs = 60000;
+
   static ValidateOptions defaults();
+
+  /// defaults() plus the native tier: the interpreted instance budget is
+  /// raised 200k -> 1M (the native backend absorbs the large spaces, so
+  /// the interpreter can afford deeper coverage; see the budget-split
+  /// table in docs/LEGALITY.md), and the native bindings are sized so
+  /// the larger one exceeds the interpreted budget.
+  static ValidateOptions nativeDefaults();
 };
 
 enum class ValidateStatus { Confirmed, Disproved, Inconclusive };

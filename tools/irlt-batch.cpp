@@ -25,7 +25,9 @@
 ///                         "oversized_line" error record
 ///     --validate[=N]      force bounded concrete-execution validation of
 ///                         every request (N = instance budget, default
-///                         200000)
+///                         200000); --validate=native adds the
+///                         compile-and-run tier (docs/CODEGEN.md) with
+///                         the raised interpreter budget
 ///     --fault SPEC        deterministic fault injection (docs/SERVE.md;
 ///                         also via the IRLT_FAULT environment variable)
 ///     --stats             print the engine metrics record (cache hit
@@ -67,7 +69,7 @@ void onSignal(int) { GStop.store(true); }
 void usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [FILE] [--jobs N] [--no-cache] [--cache-cap N]"
-               " [--max-line-bytes N] [--validate[=N]] [--fault SPEC]"
+               " [--max-line-bytes N] [--validate[=N|native]] [--fault SPEC]"
                " [--stats]\n"
                "reads ndjson requests (FILE or stdin), writes one JSON "
                "record per request\n"
@@ -160,13 +162,19 @@ int main(int argc, char **argv) {
     } else if (A == "--validate" || A.rfind("--validate=", 0) == 0) {
       Opts.ForcedValidateBudget = 200'000;
       if (A.size() > 10 && A[10] == '=') {
-        uint64_t B = 0;
-        if (!parseU64(A.substr(11), B) || !B) {
-          std::fprintf(stderr, "error: --validate= expects a positive "
-                               "instance budget\n");
-          return 1;
+        std::string Arg = A.substr(11);
+        if (Arg == "native") {
+          Opts.ForcedValidateBudget = 0;
+          Opts.ForcedValidateNative = true;
+        } else {
+          uint64_t B = 0;
+          if (!parseU64(Arg, B) || !B) {
+            std::fprintf(stderr, "error: --validate= expects a positive "
+                                 "instance budget or 'native'\n");
+            return 1;
+          }
+          Opts.ForcedValidateBudget = B;
         }
-        Opts.ForcedValidateBudget = B;
       }
     } else if (A == "--stats") {
       Stats = true;

@@ -35,6 +35,13 @@
 ///                          under arbitrary chunking, deterministic
 ///                          rejection of truncated/lying/garbage frames,
 ///                          bounded buffering (docs/SERVE.md)
+///     --native             native mode (docs/CODEGEN.md): every Legal
+///                          case is additionally compiled with the host
+///                          C compiler and executed, and the native
+///                          checksums must match the interpreter's on
+///                          identically seeded arrays; without a host
+///                          compiler the run degrades to the classic
+///                          oracle with a clearly marked SKIPPED line
 ///     --verbose            per-case category lines
 ///     --json               emit one versioned JSON record (the shared
 ///                          schema of docs/API.md) instead of text
@@ -76,7 +83,7 @@ void usage(const char *Argv0) {
                "usage: %s [--cases N] [--seed S] [--shrink|--no-shrink]\n"
                "          [--repro-dir DIR] [--max-depth N] [--max-steps N]\n"
                "          [--max-instances N] [--time-budget-ms N]"
-               " [--search] [--wire] [--verbose] [--json]\n",
+               " [--search] [--wire] [--native] [--verbose] [--json]\n",
                Argv0);
 }
 
@@ -168,6 +175,8 @@ int main(int argc, char **argv) {
       Opts.SearchMode = true;
     } else if (A == "--wire") {
       WireMode = true;
+    } else if (A == "--native") {
+      Opts.NativeMode = true;
     } else if (A == "--verbose" || A == "-v") {
       Opts.Verbose = true;
     } else if (A == "--json") {
@@ -246,6 +255,11 @@ int main(int argc, char **argv) {
     W.field("cases", Stats.total());
     W.field("seed", Opts.Seed);
     W.field("interrupted", Stats.Interrupted);
+    if (Opts.NativeMode) {
+      W.field("native_unavailable", Stats.NativeUnavailable);
+      W.field("native_checked", Stats.NativeChecked);
+      W.field("native_skipped", Stats.NativeSkipped);
+    }
     W.key("categories").beginObject();
     for (Category C : Order)
       W.field(categoryName(C), Stats.Count[static_cast<unsigned>(C)]);
@@ -267,6 +281,17 @@ int main(int argc, char **argv) {
     std::printf("  %-26s %llu\n", categoryName(C),
                 static_cast<unsigned long long>(
                     Stats.Count[static_cast<unsigned>(C)]));
+
+  if (Opts.NativeMode) {
+    if (Stats.NativeUnavailable)
+      std::printf("native oracle SKIPPED: no host C compiler (set IRLT_CC "
+                  "or install cc/gcc/clang); interpreted oracle only\n");
+    else
+      std::printf("native oracle: %llu case(s) compiled+run, %llu "
+                  "skipped (unemittable or over budget)\n",
+                  static_cast<unsigned long long>(Stats.NativeChecked),
+                  static_cast<unsigned long long>(Stats.NativeSkipped));
+  }
 
   if (Stats.Interrupted)
     std::printf("interrupted after %llu case(s); counts cover the completed "

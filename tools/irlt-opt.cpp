@@ -20,6 +20,10 @@
 ///     --legality            run the uniform legality test and explain
 ///     --fast-legality       same, via the type-state fast path
 ///     --emit {loop|c}       print transformed code (default: loop)
+///     --emit-c              print the full differential C harness
+///                           (original + transformed kernels, seeded
+///                           arrays, checksum main; docs/CODEGEN.md) -
+///                           bindings from --verify, default n=16,m=12,b=4
 ///     --verify BINDINGS     execute original and transformed nests with
 ///                           comma-separated bindings (n=32,b=4) and
 ///                           check equivalence
@@ -39,6 +43,12 @@
 ///                           (N = instance budget) and degrade gracefully
 ///                           to the next-best candidate, ultimately to
 ///                           the identity sequence
+///     --validate=native[:N] same ladder plus the compile-and-run tier:
+///                           winners are natively executed under bindings
+///                           whose iteration spaces exceed any interpreted
+///                           budget (docs/CODEGEN.md); without a host C
+///                           compiler the interpreted verdict stands,
+///                           annotated as native-skipped
 ///     --json                emit one versioned JSON record (the shared
 ///                           schema of docs/API.md) instead of text
 ///
@@ -49,6 +59,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "api/Pipeline.h"
+#include "cgen/Cgen.h"
 #include "support/Json.h"
 
 #include <cstdio>
@@ -64,8 +75,8 @@ void usage(const char *Argv0) {
       stderr,
       "usage: %s FILE [-s SCRIPT | -f SCRIPTFILE | --auto locality|par|both]\n"
       "          [--deps] [--matrices] [--legality] [--fast-legality]\n"
-      "          [--analyze] [--emit loop|c] [--verify n=32,b=4] [--reduce]\n"
-      "          [--witness] [--validate[=N]] [--json]\n"
+      "          [--analyze] [--emit loop|c] [--emit-c] [--verify n=32,b=4]\n"
+      "          [--reduce] [--witness] [--validate[=N|native[:N]]] [--json]\n"
       "exit status: 0 success/legal, 2 illegal sequence, 1 error\n",
       Argv0);
 }
@@ -143,7 +154,8 @@ int main(int argc, char **argv) {
   bool WantDeps = false, WantMatrices = false, WantLegality = false;
   bool WantAnalyze = false;
   bool WantFastLegality = false, WantReduce = false, WantWitness = false;
-  bool Validate = false, JsonMode = false;
+  bool Validate = false, ValidateNative = false, JsonMode = false;
+  bool EmitProgram = false;
   uint64_t ValidateBudget = 200'000;
   std::string Emit;
   std::string VerifySpec;
@@ -190,14 +202,28 @@ int main(int argc, char **argv) {
     } else if (A == "--validate" || A.rfind("--validate=", 0) == 0) {
       Validate = true;
       if (A.size() > 10 && A[10] == '=') {
-        std::map<std::string, int64_t> One;
-        if (!parseBindings("v=" + A.substr(11), One) || One["v"] <= 0) {
-          std::fprintf(stderr, "error: --validate= expects a positive "
-                               "instance budget\n");
-          return 1;
+        std::string V = A.substr(11);
+        // --validate=native[:N]: the compile-and-run tier on top of the
+        // interpreted ladder (docs/CODEGEN.md); N overrides the raised
+        // interpreted budget of the native preset.
+        if (V == "native" || V.rfind("native:", 0) == 0) {
+          ValidateNative = true;
+          ValidateBudget = 0; // take the preset default unless N is given
+          V = V.rfind("native:", 0) == 0 ? V.substr(7) : "";
         }
-        ValidateBudget = static_cast<uint64_t>(One["v"]);
+        if (!V.empty()) {
+          std::map<std::string, int64_t> One;
+          if (!parseBindings("v=" + V, One) || One["v"] <= 0) {
+            std::fprintf(stderr,
+                         "error: --validate= expects a positive instance "
+                         "budget or 'native[:N]'\n");
+            return 1;
+          }
+          ValidateBudget = static_cast<uint64_t>(One["v"]);
+        }
       }
+    } else if (A == "--emit-c") {
+      EmitProgram = true;
     } else if (A == "--emit") {
       const char *V = nextArg("--emit");
       if (!V)
@@ -290,8 +316,11 @@ int main(int argc, char **argv) {
     // Guarded mode: cross-check the candidates by concrete execution
     // and degrade best-first -> next-best -> identity (never an error).
     if (Validate && SR.Best) {
-      witness::ValidateOptions VO = witness::ValidateOptions::defaults();
-      VO.MaxInstances = ValidateBudget;
+      witness::ValidateOptions VO =
+          ValidateNative ? witness::ValidateOptions::nativeDefaults()
+                         : witness::ValidateOptions::defaults();
+      if (ValidateBudget)
+        VO.MaxInstances = ValidateBudget;
       std::vector<TransformSequence> Cands;
       for (const search::ScoredSequence &S : SR.Top)
         Cands.push_back(S.Seq);
@@ -430,7 +459,29 @@ int main(int argc, char **argv) {
     return fail(JsonMode, "apply: " + Out.message());
   }
 
-  if (Emit == "c") {
+  if (EmitProgram) {
+    // The full differential harness (docs/CODEGEN.md): original +
+    // transformed kernels, seeded arrays, checksum main. Bindings come
+    // from --verify when given, else the corpus defaults.
+    std::map<std::string, int64_t> Bindings{{"n", 16}, {"m", 12}, {"b", 4}};
+    if (!VerifySpec.empty() && !parseBindings(VerifySpec, Bindings))
+      return fail(JsonMode, "malformed --verify bindings '" + VerifySpec +
+                                "'");
+    ErrorOr<std::vector<cgen::ArrayShape>> Shapes =
+        cgen::arrayShapes(Nest, Bindings, 1u << 22);
+    if (!Shapes)
+      return fail(JsonMode, "shape inference failed: " + Shapes.message());
+    cgen::ProgramOptions PO;
+    PO.Bindings = Bindings;
+    ErrorOr<std::string> Program =
+        cgen::emitProgram(Nest, &*Out, *Shapes, PO);
+    if (!Program)
+      return fail(JsonMode, "emission failed: " + Program.message());
+    if (JsonMode)
+      W.field("output", *Program);
+    else
+      std::printf("%s", Program->c_str());
+  } else if (Emit == "c") {
     std::string C = P.emit(*Out, api::EmitKind::C);
     if (JsonMode)
       W.field("output", C);

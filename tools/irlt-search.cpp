@@ -32,6 +32,12 @@
 ///                     to the next-best one, ultimately to the identity
 ///                     sequence; disproofs are dumped as replayable
 ///                     reproducers
+///     --validate=native[:N]
+///                     the same ladder plus the compile-and-run tier
+///                     (docs/CODEGEN.md): winners are natively executed
+///                     under bindings beyond any interpreted budget;
+///                     without a host C compiler the interpreted verdict
+///                     stands, annotated as native-skipped
 ///     --json          emit one versioned JSON record (the shared schema
 ///                     of docs/API.md) instead of text
 ///
@@ -58,7 +64,7 @@ void usage(const char *Argv0) {
                "          [--depth N] [--tiles 8,16] [--threads N]\n"
                "          [--params n=32,m=16] [--topk N] [--explain] "
                "[--emit]\n"
-               "          [--validate[=N]] [--json]\n",
+               "          [--validate[=N|native[:N]]] [--json]\n",
                Argv0);
 }
 
@@ -185,6 +191,7 @@ int main(int argc, char **argv) {
   std::string NestPath = argv[1];
   search::SearchOptions Opts;
   bool Explain = false, Emit = false, Validate = false, JsonMode = false;
+  bool ValidateNative = false;
   uint64_t ValidateBudget = 200'000;
 
   for (int I = 2; I < argc; ++I) {
@@ -259,14 +266,23 @@ int main(int argc, char **argv) {
     } else if (A == "--validate" || A.rfind("--validate=", 0) == 0) {
       Validate = true;
       if (A.size() > 10 && A[10] == '=') {
-        unsigned B = 0;
-        if (!parseUnsigned(A.substr(11), B) || B == 0) {
-          std::fprintf(stderr,
-                       "error: --validate= expects a positive instance "
-                       "budget\n");
-          return 1;
+        std::string V = A.substr(11);
+        // --validate=native[:N]: compile-and-run tier (docs/CODEGEN.md).
+        if (V == "native" || V.rfind("native:", 0) == 0) {
+          ValidateNative = true;
+          ValidateBudget = 0; // preset default unless N overrides
+          V = V.rfind("native:", 0) == 0 ? V.substr(7) : "";
         }
-        ValidateBudget = B;
+        if (!V.empty()) {
+          unsigned B = 0;
+          if (!parseUnsigned(V, B) || B == 0) {
+            std::fprintf(stderr,
+                         "error: --validate= expects a positive instance "
+                         "budget or 'native[:N]'\n");
+            return 1;
+          }
+          ValidateBudget = B;
+        }
       }
     } else {
       std::fprintf(stderr, "error: unknown option '%s'\n", A.c_str());
@@ -344,8 +360,11 @@ int main(int argc, char **argv) {
 
   TransformSequence Final = R.Best->Seq;
   if (Validate) {
-    witness::ValidateOptions VO = witness::ValidateOptions::defaults();
-    VO.MaxInstances = ValidateBudget;
+    witness::ValidateOptions VO =
+        ValidateNative ? witness::ValidateOptions::nativeDefaults()
+                       : witness::ValidateOptions::defaults();
+    if (ValidateBudget)
+      VO.MaxInstances = ValidateBudget;
     std::vector<TransformSequence> Cands;
     for (const search::ScoredSequence &S : R.Top)
       Cands.push_back(S.Seq);
