@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Kill-a-worker-under-load smoke for the sharded front (docs/FRONT.md).
+#
+#   front_kill_smoke.sh [WORKDIR_PREFIX]
+#
+# Drives irlt-front --shards 3 with the worker-kill fault armed: a
+# marker request crashes its shard's worker mid-corpus while a dozen
+# requests are pipelined behind it. Asserts, in order:
+#   1. zero hangs - every request gets a framed response (the client
+#      timeout would fail the run otherwise);
+#   2. structured rejects only - every non-ok record carries a
+#      retryable error.kind (shard_down / overloaded / draining);
+#   3. a client retry loop (irlt-servectl send --retry-overloaded)
+#      converges to output byte-identical to a fault-free run;
+#   4. a clean aggregated drain (front exit 0, restarts >= 1,
+#      write_failures == 0).
+set -eu
+
+PREFIX="${1:-/tmp/irlt-front-smoke}"
+mkdir -p "$PREFIX"
+CORPUS="$PREFIX/corpus.ndjson"
+SOCK_BASE="$PREFIX/base.sock"
+SOCK_KILL="$PREFIX/kill.sock"
+FRONT=./build/tools/irlt-front
+SERVECTL=./build/tools/irlt-servectl
+
+# One nest shared by every request: identical fingerprints route to one
+# shard, so the kill marker is guaranteed to strand the requests behind
+# it on the same worker.
+python3 - "$CORPUS" <<'EOF'
+import json, sys
+nest = ("arrays B, C\ndo i = 1, n\n  do j = 1, n\n    do k = 1, n\n"
+        "      A(i, j) += B(i, k) * C(k, j)\n    enddo\n  enddo\nenddo\n")
+lines = [{"id": "a", "nest": nest, "script": "block 1 3 8 8 8"}]
+lines.append({"id": "kill-mid", "nest": nest, "script": "interchange 1 2"})
+for i in range(12):
+    lines.append({"id": f"q{i}", "nest": nest, "script": "reverse 3"})
+with open(sys.argv[1], "w") as f:
+    for l in lines:
+        f.write(json.dumps(l) + "\n")
+EOF
+
+# Fault-free baseline through the front.
+"$FRONT" --socket "$SOCK_BASE" --shards 3 > "$PREFIX/base_front.ndjson" &
+BASE_PID=$!
+"$SERVECTL" --socket "$SOCK_BASE" --timeout-ms 60000 ping --retry 300
+"$SERVECTL" --socket "$SOCK_BASE" --timeout-ms 60000 \
+  send "$CORPUS" > "$PREFIX/baseline.ndjson"
+kill -TERM "$BASE_PID" && wait "$BASE_PID"   # clean drain: exit 0
+
+# The same corpus with the kill fault armed.
+"$FRONT" --socket "$SOCK_KILL" --shards 3 --fault worker-kill \
+  --backoff-ms 50 > "$PREFIX/kill_front.ndjson" &
+KILL_PID=$!
+"$SERVECTL" --socket "$SOCK_KILL" --timeout-ms 60000 ping --retry 300
+
+# Pass 1, no retries: must terminate (no hangs) with one response per
+# request, and every failure must be a structured retryable reject.
+"$SERVECTL" --socket "$SOCK_KILL" --timeout-ms 60000 \
+  send "$CORPUS" > "$PREFIX/noretry.ndjson" || true
+python3 - "$PREFIX/noretry.ndjson" "$CORPUS" <<'EOF'
+import json, sys
+resps = [json.loads(l) for l in open(sys.argv[1])]
+want = sum(1 for _ in open(sys.argv[2]))
+assert len(resps) == want, f"{len(resps)} responses for {want} requests"
+retryable = {"shard_down", "overloaded", "draining"}
+for r in resps:
+    if not r.get("ok"):
+        kind = r.get("error", {}).get("kind")
+        assert kind in retryable, f"non-retryable reject: {r}"
+EOF
+
+# Pass 2, with retries: the marker keeps killing its worker, but every
+# stranded request converges after the warm respawn. Byte-identical to
+# the fault-free baseline, exit 0.
+"$SERVECTL" --socket "$SOCK_KILL" --timeout-ms 60000 \
+  send "$CORPUS" --retry-overloaded > "$PREFIX/retried.ndjson"
+cmp "$PREFIX/baseline.ndjson" "$PREFIX/retried.ndjson"
+
+kill -TERM "$KILL_PID" && wait "$KILL_PID"   # clean drain: exit 0
+python3 - "$PREFIX/kill_front.ndjson" <<'EOF'
+import json, sys
+drained = [json.loads(l) for l in open(sys.argv[1])
+           if '"record":"drained"' in l or '"record": "drained"' in l]
+assert drained, "no aggregated drained record"
+d = drained[-1]
+assert d["restarts"] >= 1, d
+assert d["write_failures"] == 0, d
+EOF
+echo "front kill-worker smoke: ok"

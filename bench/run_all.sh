@@ -22,6 +22,7 @@ BATCH_OUT="${3:-$(dirname "$OUT")/BENCH_batch.json}"
 ANALYZE_OUT="${4:-$(dirname "$OUT")/BENCH_analyze.json}"
 SERVE_OUT="${5:-$(dirname "$OUT")/BENCH_serve.json}"
 NATIVE_OUT="${6:-$(dirname "$OUT")/BENCH_native.json}"
+FRONT_OUT="${7:-$(dirname "$OUT")/BENCH_front.json}"
 BENCH_DIR="$BUILD_DIR/bench"
 
 if ! ls "$BENCH_DIR"/bench_* >/dev/null 2>&1; then
@@ -34,7 +35,8 @@ BATCH_TMP="$(mktemp)"
 ANALYZE_TMP="$(mktemp)"
 SERVE_TMP="$(mktemp)"
 NATIVE_TMP="$(mktemp)"
-trap 'rm -f "$TMP" "$BATCH_TMP" "$ANALYZE_TMP" "$SERVE_TMP" "$NATIVE_TMP"' EXIT
+FRONT_TMP="$(mktemp)"
+trap 'rm -f "$TMP" "$BATCH_TMP" "$ANALYZE_TMP" "$SERVE_TMP" "$NATIVE_TMP" "$FRONT_TMP"' EXIT
 
 # Fail fast: a partial aggregate would silently skew any perf-trajectory
 # comparison, so the first failing binary aborts the run and OUT is left
@@ -48,6 +50,7 @@ for BIN in "$BENCH_DIR"/bench_*; do
   [ "$NAME" = bench_analyze ] && DEST="$ANALYZE_TMP"
   [ "$NAME" = bench_serve ] && DEST="$SERVE_TMP"
   [ "$NAME" = bench_native ] && DEST="$NATIVE_TMP"
+  [ "$NAME" = bench_front ] && DEST="$FRONT_TMP"
   if ! "$BIN" --json ${IRLT_BENCH_ARGS:-} >>"$DEST"; then
     echo "error: $NAME failed; aborting without writing $OUT" >&2
     exit 1
@@ -81,4 +84,7 @@ if [ -s "$SERVE_TMP" ]; then
 fi
 if [ -s "$NATIVE_TMP" ]; then
   wrap irlt-bench-native "$NATIVE_TMP" "$NATIVE_OUT"
+fi
+if [ -s "$FRONT_TMP" ]; then
+  wrap irlt-bench-front "$FRONT_TMP" "$FRONT_OUT"
 fi

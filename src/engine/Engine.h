@@ -124,6 +124,7 @@ inline constexpr const char *Deadline = "deadline";
 inline constexpr const char *Overloaded = "overloaded";  ///< serve shed
 inline constexpr const char *BadFrame = "bad_frame";     ///< serve framing
 inline constexpr const char *Draining = "draining";      ///< serve shutdown
+inline constexpr const char *ShardDown = "shard_down";   ///< front: worker died
 inline constexpr const char *Internal = "internal";      ///< worker exception
 } // namespace errkind
 

@@ -12,6 +12,7 @@
 #include <thread>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -19,6 +20,15 @@
 
 using namespace irlt;
 using namespace irlt::serve;
+
+/// Client sockets must not leak into worker processes the front forks:
+/// an inherited fd would hold a dead shard's connection open and mask
+/// the EOF its response reader relies on for crash detection.
+static void setCloexecFd(int Fd) {
+  int Flags = fcntl(Fd, F_GETFD);
+  if (Flags >= 0)
+    fcntl(Fd, F_SETFD, Flags | FD_CLOEXEC);
+}
 
 ClientConn &ClientConn::operator=(ClientConn &&O) noexcept {
   if (this != &O) {
@@ -106,6 +116,13 @@ ErrorOr<std::string> ClientConn::recvFrame(uint64_t RecvTimeoutMillis) {
   }
 }
 
+ErrorOr<std::string> ClientConn::call(std::string_view Payload,
+                                      uint64_t RecvTimeoutMillis) {
+  if (!sendFrame(Payload))
+    return Failure(Diag::error("client: send failed"));
+  return recvFrame(RecvTimeoutMillis);
+}
+
 ErrorOr<ClientConn> serve::connectUnix(const std::string &Path) {
   sockaddr_un Addr{};
   Addr.sun_family = AF_UNIX;
@@ -115,6 +132,7 @@ ErrorOr<ClientConn> serve::connectUnix(const std::string &Path) {
   int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (Fd < 0)
     return Failure(Diag::error("client: socket(AF_UNIX) failed"));
+  setCloexecFd(Fd);
   if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
     int E = errno;
     ::close(Fd);
@@ -128,6 +146,7 @@ ErrorOr<ClientConn> serve::connectTcp(int Port) {
   int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (Fd < 0)
     return Failure(Diag::error("client: socket(AF_INET) failed"));
+  setCloexecFd(Fd);
   sockaddr_in Addr{};
   Addr.sin_family = AF_INET;
   Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);

@@ -57,6 +57,21 @@ public:
   /// error, or (RecvTimeoutMillis > 0) a receive timeout.
   ErrorOr<std::string> recvFrame(uint64_t RecvTimeoutMillis = 0);
 
+  /// sendFrame + recvFrame in one shot - the health-probe and inline-op
+  /// fan-out shape irlt-front reuses on its long-lived per-shard
+  /// connections. Requires no frames outstanding on this connection.
+  ErrorOr<std::string> call(std::string_view Payload,
+                            uint64_t RecvTimeoutMillis = 0);
+
+  /// Detaches and returns the fd (the caller owns it; this connection
+  /// becomes invalid). The front hands the fd to a dedicated response-
+  /// reader thread while request writes keep targeting the raw fd.
+  int release() {
+    int F = Fd;
+    Fd = -1;
+    return F;
+  }
+
 private:
   int Fd = -1;
   FrameReader Reader;

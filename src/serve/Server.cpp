@@ -10,6 +10,7 @@
 #include "support/Json.h"
 
 #include <cerrno>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
@@ -78,10 +79,16 @@ struct Conn {
 };
 using ConnPtr = std::shared_ptr<Conn>;
 
-/// One admitted request.
+/// One admitted request. LineNo is the request's *logical* line number:
+/// Seq + 1 for a directly connected client, or the line_no a "fwd"
+/// envelope carried (irlt-front multiplexes many client connections onto
+/// one worker connection, so the worker-side sequence number would
+/// otherwise leak into default ids and parse-error messages and break
+/// the byte-identity contract).
 struct Job {
   ConnPtr C;
   uint64_t Seq = 0;
+  uint64_t LineNo = 0;
   std::string Payload;
   std::string Id;
   engine::DeadlineToken Deadline;
@@ -324,13 +331,31 @@ std::string Server::Impl::persistRecord(const std::string &Id) {
 void Server::Impl::dispatch(const ConnPtr &C, uint64_t Seq,
                             std::string Payload) {
   uint64_t LineNo = Seq + 1;
-  std::string Id = std::to_string(LineNo);
   uint64_t DeadlineMs = Opts.DefaultDeadlineMillis;
 
   // One shallow pre-parse for routing fields; a request that fails to
   // parse here is still admitted, so the engine renders the exact
   // structured "request" error irlt-batch would.
   ErrorOr<json::JsonValue> Doc = json::JsonValue::parse(Payload);
+
+  // The forwarding envelope: irlt-front wraps each routed request as
+  // {"op":"fwd","line_no":N,"req":"<original payload>"} so the worker
+  // processes the *original* bytes under the *front-side* line number -
+  // default ids and parse-error messages come out byte-identical to a
+  // direct single-process run. Unwrapped in a loop so a client payload
+  // that is itself an envelope behaves the same whether it arrives
+  // directly or re-wrapped by the front (the innermost line_no wins,
+  // exactly as in the direct case). Each level strips envelope bytes,
+  // so the frame bound terminates the loop.
+  while (Doc && Doc->isObject() && Doc->stringOr("op") == "fwd") {
+    int64_t Ln = Doc->intOr("line_no", 0);
+    if (Ln > 0)
+      LineNo = static_cast<uint64_t>(Ln);
+    Payload = Doc->stringOr("req");
+    Doc = json::JsonValue::parse(Payload);
+  }
+
+  std::string Id = std::to_string(LineNo);
   if (Doc && Doc->isObject()) {
     Id = Doc->stringOr("id", Id);
     std::string Op = Doc->stringOr("op");
@@ -366,6 +391,7 @@ void Server::Impl::dispatch(const ConnPtr &C, uint64_t Seq,
   Job J;
   J.C = C;
   J.Seq = Seq;
+  J.LineNo = LineNo;
   J.Payload = std::move(Payload);
   J.Id = Id;
   // Deadlines are measured from arrival: queue wait burns budget, so an
@@ -468,6 +494,14 @@ void Server::Impl::workerLoop() {
       Queue.pop_front();
     }
 
+    // The worker-hang fault: wedge this worker thread *before* any
+    // response exists for the marked request, so the front's pending-age
+    // watchdog (not a healthz probe - the reader thread still answers
+    // those) is what has to detect it and SIGKILL the process.
+    if (Opts.Faults.WorkerHang &&
+        J.Id.find(WorkerHangIdMarker) != std::string::npos)
+      std::this_thread::sleep_for(std::chrono::hours(1));
+
     std::string Record;
     bool IsError = false;
     bool IsDeadline = false;
@@ -480,7 +514,7 @@ void Server::Impl::workerLoop() {
     } else {
       try {
         engine::RequestOutcome O = engine::processRequest(
-            P, EO, J.Payload, J.Seq + 1, Sampler,
+            P, EO, J.Payload, J.LineNo, Sampler,
             J.Deadline.armed() ? &J.Deadline : nullptr);
         Record = std::move(O.Record);
         IsError = O.Error;
@@ -500,6 +534,20 @@ void Server::Impl::workerLoop() {
       ++Stats.Deadline;
     ++Stats.Served;
     deliver(J.C, J.Seq, Record);
+
+    // The worker-kill fault: crash the whole process right *after* the
+    // marked request's response went out (so that response is already
+    // byte-identical to a fault-free run) but with every other in-flight
+    // request on this process stranded - exactly the recovery surface
+    // the front must cover with "shard_down" rejects and a restart. The
+    // journal is dumped first so the restart is warm, standing in for
+    // the periodic persist a production deployment would run.
+    if (Opts.Faults.WorkerKill &&
+        J.Id.find(WorkerKillIdMarker) != std::string::npos) {
+      if (!Opts.PersistPath.empty())
+        (void)Journal.dump(Opts.PersistPath, FaultConfig());
+      _exit(137);
+    }
   }
 }
 

@@ -41,6 +41,13 @@
 /// connection's requests): {"op":"healthz"}, {"op":"statz"},
 /// {"op":"persist"}.
 ///
+/// Forwarding envelope: {"op":"fwd","line_no":N,"req":"<payload>"}
+/// processes <payload> exactly as if it had arrived as the N-th request
+/// line of its connection. irlt-front (docs/FRONT.md) multiplexes many
+/// client connections onto one worker connection per shard and uses the
+/// envelope to keep default ids and parse-error messages - both derived
+/// from the line number - byte-identical to a direct single-process run.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef IRLT_SERVE_SERVER_H
@@ -89,7 +96,10 @@ struct ServeOptions {
   size_t JournalCapacity = 0;
   /// Deterministic fault injection (support/FaultInject.h). The server
   /// honors ShortRead (1-byte socket reads), WorkerThrow (via the
-  /// engine), DumpPartial and CacheCorrupt (via the journal).
+  /// engine), DumpPartial and CacheCorrupt (via the journal), and the
+  /// front-recovery faults WorkerKill (journal dump + _exit(137) after
+  /// delivering a response whose id contains "kill") and WorkerHang
+  /// (worker thread sleeps before processing an id containing "hang").
   FaultConfig Faults;
 };
 

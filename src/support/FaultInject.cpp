@@ -10,6 +10,54 @@
 
 using namespace irlt;
 
+namespace {
+
+/// The one table the parser, the renderer, and faultKindNames() share:
+/// adding a kind here is the whole registration.
+struct KindEntry {
+  const char *Name;
+  bool FaultConfig::*Member;
+};
+
+const KindEntry Kinds[] = {
+    {"short-read", &FaultConfig::ShortRead},
+    {"truncated-frame", &FaultConfig::TruncatedFrame},
+    {"oversized-record", &FaultConfig::OversizedRecord},
+    {"lying-length", &FaultConfig::LyingLength},
+    {"garbage-frame", &FaultConfig::GarbageFrame},
+    {"slow-client", &FaultConfig::SlowClient},
+    {"cache-corrupt", &FaultConfig::CacheCorrupt},
+    {"dump-partial", &FaultConfig::DumpPartial},
+    {"worker-throw", &FaultConfig::WorkerThrow},
+    {"worker-kill", &FaultConfig::WorkerKill},
+    {"worker-hang", &FaultConfig::WorkerHang},
+    {"worker-slow-start", &FaultConfig::WorkerSlowStart},
+};
+
+} // namespace
+
+const std::vector<std::string> &irlt::faultKindNames() {
+  static const std::vector<std::string> Names = [] {
+    std::vector<std::string> V;
+    for (const KindEntry &K : Kinds)
+      V.emplace_back(K.Name);
+    return V;
+  }();
+  return Names;
+}
+
+std::string irlt::renderFaultSpec(const FaultConfig &F) {
+  std::string Spec;
+  for (const KindEntry &K : Kinds) {
+    if (!(F.*K.Member))
+      continue;
+    if (!Spec.empty())
+      Spec += ',';
+    Spec += K.Name;
+  }
+  return Spec;
+}
+
 ErrorOr<FaultConfig> irlt::parseFaultSpec(const std::string &Spec) {
   FaultConfig F;
   size_t Pos = 0;
@@ -24,30 +72,24 @@ ErrorOr<FaultConfig> irlt::parseFaultSpec(const std::string &Spec) {
         break;
       continue; // tolerate "a,,b"
     }
-    if (Name == "short-read")
-      F.ShortRead = true;
-    else if (Name == "truncated-frame")
-      F.TruncatedFrame = true;
-    else if (Name == "oversized-record")
-      F.OversizedRecord = true;
-    else if (Name == "lying-length")
-      F.LyingLength = true;
-    else if (Name == "garbage-frame")
-      F.GarbageFrame = true;
-    else if (Name == "slow-client")
-      F.SlowClient = true;
-    else if (Name == "cache-corrupt")
-      F.CacheCorrupt = true;
-    else if (Name == "dump-partial")
-      F.DumpPartial = true;
-    else if (Name == "worker-throw")
-      F.WorkerThrow = true;
-    else
-      return Failure(Diag::error(
-          "unknown fault '" + Name +
-          "' (valid: short-read, truncated-frame, oversized-record, "
-          "lying-length, garbage-frame, slow-client, cache-corrupt, "
-          "dump-partial, worker-throw)"));
+    bool Known = false;
+    for (const KindEntry &K : Kinds) {
+      if (Name == K.Name) {
+        F.*K.Member = true;
+        Known = true;
+        break;
+      }
+    }
+    if (!Known) {
+      std::string Valid;
+      for (const std::string &N : faultKindNames()) {
+        if (!Valid.empty())
+          Valid += ", ";
+        Valid += N;
+      }
+      return Failure(Diag::error("unknown fault '" + Name +
+                                 "' (valid: " + Valid + ")"));
+    }
   }
   return F;
 }

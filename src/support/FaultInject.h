@@ -6,10 +6,11 @@
 ///
 /// \file
 /// The deterministic fault-injection harness shared by the serve
-/// subsystem, the batch engine, and the client driver (docs/SERVE.md).
-/// A FaultConfig is parsed from a comma-separated spec - the IRLT_FAULT
-/// environment variable or an explicit --fault flag - and threaded to
-/// the layer that owns each failure mode:
+/// subsystem, the sharded front, the batch engine, and the client driver
+/// (docs/SERVE.md, docs/FRONT.md). A FaultConfig is parsed from a
+/// comma-separated spec - the IRLT_FAULT environment variable or an
+/// explicit --fault flag - and threaded to the layer that owns each
+/// failure mode:
 ///
 ///   short-read       server reads one byte per recv, exercising frame
 ///                    reassembly on maximally fragmented input
@@ -26,6 +27,18 @@
 ///   worker-throw     the engine throws from a worker for requests whose
 ///                    id contains "boom", exercising the structured
 ///                    internal-error path
+///   worker-kill      the serve worker dumps its journal and _exit(137)s
+///                    right after *delivering* the response for requests
+///                    whose id contains "kill" - a deterministic crash
+///                    that takes every other in-flight request on that
+///                    shard down with it (the front answers them with
+///                    retryable "shard_down" records and restarts the
+///                    worker warm from its journal)
+///   worker-hang      the serve worker sleeps forever *before* processing
+///                    requests whose id contains "hang" - a wedged worker
+///                    the front's pending-age watchdog must SIGKILL
+///   worker-slow-start irlt-serve sleeps ~1 s before binding its socket,
+///                    exercising the front's bounded startup probing
 ///
 /// Every fault is deterministic: no timers, no randomness - the same
 /// traffic under the same spec fails the same way on every run, which is
@@ -39,6 +52,7 @@
 #include "support/ErrorOr.h"
 
 #include <string>
+#include <vector>
 
 namespace irlt {
 
@@ -53,11 +67,14 @@ struct FaultConfig {
   bool CacheCorrupt = false;
   bool DumpPartial = false;
   bool WorkerThrow = false;
+  bool WorkerKill = false;
+  bool WorkerHang = false;
+  bool WorkerSlowStart = false;
 
   bool any() const {
     return ShortRead || TruncatedFrame || OversizedRecord || LyingLength ||
            GarbageFrame || SlowClient || CacheCorrupt || DumpPartial ||
-           WorkerThrow;
+           WorkerThrow || WorkerKill || WorkerHang || WorkerSlowStart;
   }
 };
 
@@ -71,8 +88,22 @@ ErrorOr<FaultConfig> parseFaultSpec(const std::string &Spec);
 /// decides whether that is fatal).
 FaultConfig faultsFromEnv(std::string *Err = nullptr);
 
+/// Every valid fault-kind name, in the canonical (documented) order.
+/// Backs the tools' `--fault list` mode and keeps the parse error
+/// message, the renderer, and the docs in sync from one table.
+const std::vector<std::string> &faultKindNames();
+
+/// Serializes \p F back into a parseFaultSpec-compatible comma-separated
+/// spec; the empty string when no faults are armed. irlt-front uses this
+/// to forward its own --fault spec to the worker processes it spawns.
+std::string renderFaultSpec(const FaultConfig &F);
+
 /// The substring of a request id that triggers worker-throw.
 inline constexpr const char *WorkerThrowIdMarker = "boom";
+/// The substring of a request id that triggers worker-kill.
+inline constexpr const char *WorkerKillIdMarker = "kill";
+/// The substring of a request id that triggers worker-hang.
+inline constexpr const char *WorkerHangIdMarker = "hang";
 
 } // namespace irlt
 

@@ -181,6 +181,44 @@ TEST(Journal, CapacityBoundsResidentEntriesLruFirst) {
   EXPECT_NE(Body.find("block 1 3 8 8 8"), std::string::npos);
 }
 
+TEST(Journal, CapacityBoundedReloadKeepsMruTail) {
+  // A restart with --journal-cap smaller than the dumped journal must
+  // keep the most-recently-used tail (the entries most likely to warm
+  // live traffic), not the stale head - and still replay everything
+  // through the pipeline on the way.
+  std::string Key = keyOf(Matmul);
+  CacheJournal J(0);
+  J.record(Key, Matmul, "interchange 1 2");
+  J.record(Key, Matmul, "reverse 3");
+  J.record(Key, Matmul, "block 1 3 8 8 8");
+  J.record(Key, Matmul, "stripmine 1 4");
+  std::string Path = tmpPath("journal_capreload.ndjson");
+  ASSERT_TRUE(static_cast<bool>(J.dump(Path)));
+
+  api::Pipeline P;
+  CacheJournal J2(2);
+  JournalLoadResult R = J2.loadAndReplay(Path, P);
+  EXPECT_TRUE(R.FileFound);
+  EXPECT_EQ(R.Loaded, 4u);
+  EXPECT_EQ(R.Replayed, 4u) << "capacity bounds residency, not replay";
+  EXPECT_EQ(R.Discarded, 0u);
+  EXPECT_EQ(J2.size(), 2u);
+
+  // The dump reads LRU -> MRU, so insertion order during reload matches
+  // recording order and eviction discards the oldest first.
+  std::string Path2 = tmpPath("journal_capreload2.ndjson");
+  ASSERT_TRUE(static_cast<bool>(J2.dump(Path2)));
+  std::string Body = slurp(Path2);
+  EXPECT_EQ(Body.find("interchange 1 2"), std::string::npos);
+  EXPECT_EQ(Body.find("reverse 3"), std::string::npos);
+  EXPECT_NE(Body.find("block 1 3 8 8 8"), std::string::npos);
+  EXPECT_NE(Body.find("stripmine 1 4"), std::string::npos);
+
+  // The pipeline was still warmed by all four replays.
+  api::CacheStats S = P.cacheStats();
+  EXPECT_GE(S.LegalityInserts, 4u);
+}
+
 TEST(Journal, DumpOverwritesAtomically) {
   // Pre-existing garbage at the destination is replaced wholesale by the
   // rename; a reload sees only the new dump.

@@ -259,6 +259,42 @@ TEST(Server, RestoredCacheReplaysByteIdentical) {
   EXPECT_GT(S.persistedEntries(), 0u);
 }
 
+TEST(Server, JournalCapSmallerThanDumpRestoresMruTailByteIdentical) {
+  // Restarting with --journal-cap below the dumped entry count keeps the
+  // MRU tail resident and must not change a response byte: the journal
+  // only carries cache warmth, never results.
+  std::vector<std::string> Reqs = corpus();
+  std::string Persist = std::string(::testing::TempDir()) + "irlt_cap.journal";
+  std::remove(Persist.c_str());
+
+  ServeOptions A;
+  A.SocketPath = sockPath("cap_a");
+  A.PersistPath = Persist;
+  std::vector<std::string> Baseline = serveOnce(A, Reqs);
+
+  ServeOptions B;
+  B.SocketPath = sockPath("cap_b");
+  B.PersistPath = Persist;
+  B.JournalCapacity = 1;
+  Server S(B);
+  auto St = S.start();
+  ASSERT_TRUE(static_cast<bool>(St)) << St.message();
+  EXPECT_TRUE(S.journalLoad().FileFound);
+  EXPECT_GE(S.journalLoad().Replayed, 2u)
+      << "residency is capped, replay is not";
+  EXPECT_EQ(S.journalLoad().Discarded, 0u);
+  {
+    auto C = connectUnix(B.SocketPath);
+    ASSERT_TRUE(static_cast<bool>(C)) << C.message();
+    EXPECT_EQ(roundTrip(*C, Reqs), Baseline)
+        << "capacity-bounded restore diverged";
+  }
+  S.requestDrain();
+  EXPECT_TRUE(S.run());
+  EXPECT_EQ(S.persistedEntries(), 1u)
+      << "the next dump carries exactly the capped MRU tail";
+}
+
 TEST(Server, CacheCountersReconcileUnderEviction) {
   ServeOptions O;
   O.SocketPath = sockPath("reconcile");

@@ -36,11 +36,54 @@ TEST(FaultInject, CommaSeparatedKindsCompose) {
 TEST(FaultInject, AllKindsParse) {
   auto C = parseFaultSpec("short-read,truncated-frame,oversized-record,"
                           "lying-length,garbage-frame,slow-client,"
-                          "cache-corrupt,dump-partial,worker-throw");
+                          "cache-corrupt,dump-partial,worker-throw,"
+                          "worker-kill,worker-hang,worker-slow-start");
   ASSERT_TRUE(static_cast<bool>(C));
   EXPECT_TRUE(C->ShortRead && C->TruncatedFrame && C->OversizedRecord &&
               C->LyingLength && C->GarbageFrame && C->SlowClient &&
               C->CacheCorrupt && C->DumpPartial && C->WorkerThrow);
+  EXPECT_TRUE(C->WorkerKill && C->WorkerHang && C->WorkerSlowStart);
+}
+
+TEST(FaultInject, WorkerProcessKindsParseIndividually) {
+  auto C = parseFaultSpec("worker-kill,worker-hang");
+  ASSERT_TRUE(static_cast<bool>(C));
+  EXPECT_TRUE(C->WorkerKill);
+  EXPECT_TRUE(C->WorkerHang);
+  EXPECT_FALSE(C->WorkerSlowStart);
+  EXPECT_FALSE(C->WorkerThrow);
+  EXPECT_TRUE(C->any());
+}
+
+TEST(FaultInject, KindNameTableCoversEveryKind) {
+  // One entry per FaultConfig flag: the table backs --fault list and the
+  // parse error message, so a kind missing here is undiscoverable.
+  const std::vector<std::string> &Names = faultKindNames();
+  EXPECT_EQ(Names.size(), 12u);
+  // Every listed name must parse, alone, to a config that is armed.
+  for (const std::string &N : Names) {
+    auto C = parseFaultSpec(N);
+    ASSERT_TRUE(static_cast<bool>(C)) << N;
+    EXPECT_TRUE(C->any()) << N << " parses but arms nothing";
+  }
+}
+
+TEST(FaultInject, RenderedSpecRoundTrips) {
+  // irlt-front forwards its FaultConfig to worker command lines through
+  // renderFaultSpec; a kind dropped by the renderer would silently
+  // disarm faults across the process boundary.
+  for (const std::string &N : faultKindNames()) {
+    auto C = parseFaultSpec(N);
+    ASSERT_TRUE(static_cast<bool>(C)) << N;
+    EXPECT_EQ(renderFaultSpec(*C), N) << "single kind must render itself";
+  }
+  auto Multi = parseFaultSpec("worker-kill,short-read,dump-partial");
+  ASSERT_TRUE(static_cast<bool>(Multi));
+  auto Back = parseFaultSpec(renderFaultSpec(*Multi));
+  ASSERT_TRUE(static_cast<bool>(Back)) << renderFaultSpec(*Multi);
+  EXPECT_TRUE(Back->WorkerKill && Back->ShortRead && Back->DumpPartial);
+  EXPECT_FALSE(Back->WorkerHang || Back->WorkerThrow || Back->GarbageFrame);
+  EXPECT_EQ(renderFaultSpec(FaultConfig{}), "");
 }
 
 TEST(FaultInject, UnknownKindIsAnErrorNamingTheOffender) {
@@ -53,4 +96,10 @@ TEST(FaultInject, WorkerThrowMarkerIsStable) {
   // Integration tests and docs/SERVE.md both bake in the "boom" marker;
   // renaming it silently would break recorded corpora.
   EXPECT_STREQ(WorkerThrowIdMarker, "boom");
+}
+
+TEST(FaultInject, WorkerProcessMarkersAreStable) {
+  // The front integration tests and docs/FRONT.md bake these in.
+  EXPECT_STREQ(WorkerKillIdMarker, "kill");
+  EXPECT_STREQ(WorkerHangIdMarker, "hang");
 }

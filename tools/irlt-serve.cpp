@@ -30,8 +30,13 @@
 ///     --write-timeout-ms N  response-write timeout (default 5000); a
 ///                        stalled client loses its connection, never a
 ///                        worker
+///     --max-frame-bytes N  per-frame payload bound (default 4 MiB);
+///                        irlt-front raises it on its workers so the
+///                        forwarding envelope never shrinks the
+///                        client-visible frame budget
 ///     --fault SPEC       deterministic fault injection (also via the
-///                        IRLT_FAULT environment variable)
+///                        IRLT_FAULT environment variable); SPEC "list"
+///                        prints the supported kinds and exits 0
 ///
 /// SIGTERM/SIGINT drain gracefully: stop accepting, finish every
 /// admitted request, flush every response, persist the journal, exit 0.
@@ -46,8 +51,12 @@
 #include "serve/Server.h"
 #include "support/Json.h"
 
+#include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
 
 using namespace irlt;
 using namespace irlt::serve;
@@ -67,12 +76,20 @@ void usage(const char *Argv0) {
       "usage: %s (--socket PATH | --port N) [--jobs N] [--no-cache]\n"
       "       [--cache-cap N] [--queue-cap N] [--max-conns N]\n"
       "       [--deadline-ms N] [--persist PATH] [--journal-cap N]\n"
-      "       [--write-timeout-ms N] [--fault SPEC]\n"
+      "       [--write-timeout-ms N] [--max-frame-bytes N] [--fault SPEC]\n"
+      "       (--fault list prints the supported fault kinds)\n"
       "long-lived framed-protocol daemon over the batch engine "
       "(docs/SERVE.md)\n"
       "exit status: 0 clean drain, 2 response-write failures, 1 tool "
       "error\n",
       Argv0);
+}
+
+/// `--fault list` / IRLT_FAULT=list: the supported kinds, one per line.
+int printFaultKinds() {
+  for (const std::string &N : faultKindNames())
+    std::fprintf(stdout, "%s\n", N.c_str());
+  return 0;
 }
 
 bool parseU64(const std::string &S, uint64_t &Out) {
@@ -97,6 +114,9 @@ int main(int argc, char **argv) {
   ServeOptions Opts;
   bool JournalCapSet = false;
 
+  const char *FaultEnv = std::getenv("IRLT_FAULT");
+  if (FaultEnv && std::strcmp(FaultEnv, "list") == 0)
+    return printFaultKinds();
   std::string FaultErr;
   Opts.Faults = faultsFromEnv(&FaultErr);
   if (!FaultErr.empty()) {
@@ -175,10 +195,16 @@ int main(int argc, char **argv) {
       if (!needU64(I, A, N))
         return 1;
       Opts.WriteTimeoutMillis = N;
+    } else if (A == "--max-frame-bytes") {
+      if (!needU64(I, A, N) || !N)
+        return 1;
+      Opts.MaxFrameBytes = static_cast<size_t>(N);
     } else if (A == "--fault") {
       const char *V = needArg(I, A);
       if (!V)
         return 1;
+      if (std::strcmp(V, "list") == 0)
+        return printFaultKinds();
       ErrorOr<FaultConfig> FC = parseFaultSpec(V);
       if (!FC) {
         std::fprintf(stderr, "error: --fault: %s\n", FC.message().c_str());
@@ -196,6 +222,11 @@ int main(int argc, char **argv) {
   }
   if (!JournalCapSet)
     Opts.JournalCapacity = Opts.CacheCapacity;
+
+  // The worker-slow-start fault: delay the bind, so a supervisor's
+  // bounded startup probing (irlt-front) is what the tests exercise.
+  if (Opts.Faults.WorkerSlowStart)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1000));
 
   Server S(Opts);
   ErrorOr<bool> Started = S.start();

@@ -16,10 +16,19 @@
 ///                        races in scripts)
 ///     stats              send {"op":"statz"} and print the record
 ///     persist            send {"op":"persist"} and print the record
-///     send FILE          send every request line of the ndjson FILE as
+///     send FILE [--retry-overloaded[=N]]
+///                        send every request line of the ndjson FILE as
 ///                        one frame (pipelined), then print the response
 ///                        records to stdout in order - the same stream
-///                        irlt-batch FILE would print
+///                        irlt-batch FILE would print. With
+///                        --retry-overloaded, responses rejected with a
+///                        retryable kind ("overloaded", "shard_down",
+///                        "draining") are retried up to N times (default
+///                        8) with capped, deterministically jittered
+///                        backoff; the printed stream keeps request
+///                        order, so an explicit-id corpus retried
+///                        against irlt-front converges to the exact
+///                        bytes of an uncontended run
 ///     fault KIND         send one deliberately broken interaction and
 ///                        report how the server handled it; KIND is one
 ///                        of truncated-frame, lying-length,
@@ -51,7 +60,8 @@ void usage(const char *Argv0) {
   std::fprintf(
       stderr,
       "usage: %s (--socket PATH | --port N) [--timeout-ms N] CMD ...\n"
-      "  ping [--retry N] | stats | persist | send FILE | fault KIND\n"
+      "  ping [--retry N] | stats | persist\n"
+      "  send FILE [--retry-overloaded[=N]] | fault KIND\n"
       "fault kinds: truncated-frame lying-length garbage-frame "
       "oversized-frame slow-client\n"
       "exit status: 0 success, 2 error responses / server misbehavior, "
@@ -91,6 +101,37 @@ bool recordOk(const std::string &Record) {
   return Doc && Doc->isObject() && Doc->boolOr("ok", false);
 }
 
+/// True when \p Record is a structured reject whose error kind marks a
+/// transient server-side condition ("overloaded" shed, "shard_down"
+/// worker crash, "draining" shutdown) rather than a verdict on the
+/// request itself. Only these are safe to retry: the request was never
+/// processed, so resending it cannot double-apply anything.
+bool recordRetryable(const std::string &Record) {
+  ErrorOr<json::JsonValue> Doc = json::JsonValue::parse(Record);
+  if (!Doc || !Doc->isObject() || Doc->boolOr("ok", false))
+    return false;
+  const json::JsonValue *Err = Doc->find("error");
+  if (!Err || !Err->isObject())
+    return false;
+  std::string Kind = Err->stringOr("kind", "");
+  return Kind == engine::errkind::Overloaded ||
+         Kind == engine::errkind::ShardDown ||
+         Kind == engine::errkind::Draining;
+}
+
+/// Backoff before retry \p Attempt (1-based) of request line \p Index:
+/// capped exponential plus a deterministic per-(line, attempt) jitter so
+/// concurrent clients de-correlate without the tool losing replayable
+/// behavior (no wall-clock or PRNG state).
+uint64_t retryBackoffMillis(uint64_t Index, uint64_t Attempt) {
+  uint64_t Shift = Attempt > 6 ? 6 : Attempt - 1;
+  uint64_t Base = 25ull << Shift;
+  if (Base > 1000)
+    Base = 1000;
+  uint64_t Jitter = (Index * 2654435761ull + Attempt * 40503ull) % 25;
+  return Base + Jitter;
+}
+
 int runOp(const Target &T, const std::string &Op, uint64_t Retries) {
   ErrorOr<ClientConn> C = Failure(Diag::error("unconnected"));
   for (uint64_t Attempt = 0;; ++Attempt) {
@@ -116,7 +157,45 @@ int runOp(const Target &T, const std::string &Op, uint64_t Retries) {
   return recordOk(*Resp) ? 0 : 2;
 }
 
-int runSend(const Target &T, const std::string &Path) {
+/// Re-send one request line on a fresh connection, up to \p MaxRetries
+/// attempts, while the response stays a retryable reject. Returns the
+/// final response (the last reject when retries are exhausted), or
+/// failure when the server becomes unreachable and stays so.
+ErrorOr<std::string> retryLine(const Target &T, const std::string &Line,
+                               uint64_t Index, uint64_t MaxRetries,
+                               std::string Current) {
+  for (uint64_t Attempt = 1; Attempt <= MaxRetries; ++Attempt) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(retryBackoffMillis(Index, Attempt)));
+    // A fresh connection per attempt: the transient kinds all describe
+    // states (shed window, dead shard, drain) that a later connection
+    // may not hit, and the original pipelined connection has already
+    // half-closed its write side.
+    ErrorOr<ClientConn> C = T.connect();
+    if (!C) {
+      if (Attempt == MaxRetries)
+        return Failure(Diag::error("retry connect: " + C.message()));
+      continue; // server restarting; back off and try again
+    }
+    if (!C->sendFrame(Line)) {
+      if (Attempt == MaxRetries)
+        return Failure(Diag::error("retry send failed"));
+      continue;
+    }
+    ErrorOr<std::string> Resp = C->recvFrame(T.TimeoutMs);
+    if (!Resp) {
+      if (Attempt == MaxRetries)
+        return Failure(Diag::error("retry recv: " + Resp.message()));
+      continue;
+    }
+    Current = *Resp;
+    if (!recordRetryable(Current))
+      break; // a definitive answer (ok or a non-transient error)
+  }
+  return Current;
+}
+
+int runSend(const Target &T, const std::string &Path, uint64_t MaxRetries) {
   std::ifstream In(Path, std::ios::binary);
   if (!In) {
     std::fprintf(stderr, "error: cannot read '%s'\n", Path.c_str());
@@ -131,31 +210,56 @@ int runSend(const Target &T, const std::string &Path) {
     std::fprintf(stderr, "error: %s\n", C.message().c_str());
     return 2;
   }
-  uint64_t Sent = 0;
+  std::vector<const std::string *> Reqs;
   for (const std::string &Line : Lines) {
     if (Line.empty())
       continue;
     if (!C->sendFrame(Line)) {
       std::fprintf(stderr, "error: send failed after %llu requests\n",
-                   static_cast<unsigned long long>(Sent));
+                   static_cast<unsigned long long>(Reqs.size()));
       return 2;
     }
-    ++Sent;
+    Reqs.push_back(&Line);
   }
   C->finishWrites();
 
-  bool AnyError = false;
-  for (uint64_t I = 0; I < Sent; ++I) {
+  // Buffer the pipelined responses so retried lines can be patched in
+  // place: the printed stream keeps request order regardless of how
+  // many attempts any one line needed.
+  std::vector<std::string> Resps;
+  Resps.reserve(Reqs.size());
+  for (uint64_t I = 0; I < Reqs.size(); ++I) {
     ErrorOr<std::string> Resp = C->recvFrame(T.TimeoutMs);
     if (!Resp) {
       std::fprintf(stderr, "error: response %llu/%llu: %s\n",
                    static_cast<unsigned long long>(I + 1),
-                   static_cast<unsigned long long>(Sent),
+                   static_cast<unsigned long long>(Reqs.size()),
                    Resp.message().c_str());
       return 2;
     }
-    std::fprintf(stdout, "%s\n", Resp->c_str());
-    if (!recordOk(*Resp))
+    Resps.push_back(std::move(*Resp));
+  }
+
+  if (MaxRetries > 0) {
+    for (uint64_t I = 0; I < Resps.size(); ++I) {
+      if (!recordRetryable(Resps[I]))
+        continue;
+      ErrorOr<std::string> Final =
+          retryLine(T, *Reqs[I], I, MaxRetries, Resps[I]);
+      if (!Final) {
+        std::fprintf(stderr, "error: line %llu: %s\n",
+                     static_cast<unsigned long long>(I + 1),
+                     Final.message().c_str());
+        return 2;
+      }
+      Resps[I] = std::move(*Final);
+    }
+  }
+
+  bool AnyError = false;
+  for (const std::string &R : Resps) {
+    std::fprintf(stdout, "%s\n", R.c_str());
+    if (!recordOk(R))
       AnyError = true;
   }
   return AnyError ? 2 : 0;
@@ -288,11 +392,30 @@ int main(int argc, char **argv) {
   if (Cmd == "persist")
     return runOp(T, "persist", 0);
   if (Cmd == "send") {
-    if (I >= argc) {
+    std::string File;
+    uint64_t MaxRetries = 0;
+    for (; I < argc; ++I) {
+      std::string A = argv[I];
+      if (A == "--retry-overloaded") {
+        MaxRetries = 8;
+      } else if (A.rfind("--retry-overloaded=", 0) == 0) {
+        if (!parseU64(A.substr(19), MaxRetries)) {
+          std::fprintf(stderr,
+                       "error: --retry-overloaded expects an integer\n");
+          return 1;
+        }
+      } else if (File.empty()) {
+        File = A;
+      } else {
+        std::fprintf(stderr, "error: unexpected argument '%s'\n", A.c_str());
+        return 1;
+      }
+    }
+    if (File.empty()) {
       std::fprintf(stderr, "error: send needs a FILE\n");
       return 1;
     }
-    return runSend(T, argv[I]);
+    return runSend(T, File, MaxRetries);
   }
   if (Cmd == "fault") {
     if (I >= argc) {
