@@ -11,6 +11,7 @@
 
 #include "BenchNests.h"
 
+#include "legality/IncrementalEngine.h"
 #include "transform/AutoPar.h"
 
 #include "BenchMain.h"
@@ -47,18 +48,29 @@ void BM_LegalityVsDepCount(benchmark::State &State) {
 }
 BENCHMARK(BM_LegalityVsDepCount)->Arg(2)->Arg(16)->Arg(128)->Arg(1024);
 
+/// The repeated interchange+reverse chain (self-inverse overall) both
+/// sequence-length series run on.
+TransformSequence repeatedPairSeq(int64_t Pairs) {
+  TransformSequence Seq;
+  for (int64_t I = 0; I < Pairs; ++I) {
+    Seq.append(makeReversePermute(2, {false, true}, {1, 0}));
+    Seq.append(makeReversePermute(2, {true, false}, {1, 0}));
+  }
+  return Seq;
+}
+
+/// isLegal() is a shim over the prefix-memoized engine
+/// (legality/IncrementalEngine.h): after the first iteration every
+/// prefix of the chain is cached, so steady-state cost is one final
+/// lexicographic test, independent of sequence length. Compare against
+/// BM_LegalityVsSequenceLengthLegacy below for the uncached walk.
 void BM_LegalityVsSequenceLength(benchmark::State &State) {
   LoopNest N = bench::parseOrDie("do i = 2, n - 1\n  do j = 2, n - 1\n"
                                  "    a(i, j) = b(j)\n  enddo\nenddo\n");
   DepSet D;
   D.insert(DepVector::distances({1, -1}));
   D.insert(DepVector({DepElem::pos(), DepElem::zero()}));
-  // Repeated interchange+reverse pairs (self-inverse overall).
-  TransformSequence Seq;
-  for (int64_t I = 0; I < State.range(0); ++I) {
-    Seq.append(makeReversePermute(2, {false, true}, {1, 0}));
-    Seq.append(makeReversePermute(2, {true, false}, {1, 0}));
-  }
+  TransformSequence Seq = repeatedPairSeq(State.range(0));
   for (auto _ : State) {
     LegalityResult R = isLegal(Seq, N, D);
     benchmark::DoNotOptimize(R);
@@ -66,6 +78,26 @@ void BM_LegalityVsSequenceLength(benchmark::State &State) {
   State.counters["seq_len"] = static_cast<double>(Seq.size());
 }
 BENCHMARK(BM_LegalityVsSequenceLength)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+/// The legacy whole-sequence walk on the same chain - every stage
+/// recomputed on every call (IncrementalEngine::reference). This is the
+/// "legacy" series in BENCH_search.json; the ratio to the incremental
+/// series above is the prefix cache's payoff.
+void BM_LegalityVsSequenceLengthLegacy(benchmark::State &State) {
+  LoopNest N = bench::parseOrDie("do i = 2, n - 1\n  do j = 2, n - 1\n"
+                                 "    a(i, j) = b(j)\n  enddo\nenddo\n");
+  DepSet D;
+  D.insert(DepVector::distances({1, -1}));
+  D.insert(DepVector({DepElem::pos(), DepElem::zero()}));
+  TransformSequence Seq = repeatedPairSeq(State.range(0));
+  for (auto _ : State) {
+    LegalityResult R = legality::IncrementalEngine::reference(
+        Seq, N, D, legality::Mode::Full);
+    benchmark::DoNotOptimize(R);
+  }
+  State.counters["seq_len"] = static_cast<double>(Seq.size());
+}
+BENCHMARK(BM_LegalityVsSequenceLengthLegacy)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
 
 void BM_LegalityReducedVsUnreduced(benchmark::State &State) {
   // The paper's efficiency note: reduce() shortens chains before testing.

@@ -14,6 +14,12 @@
 # scenarios (bench_native) into NATIVE_OUT (default BENCH_native.json),
 # so each throughput trajectory can be tracked on its own. Extra benchmark flags can be passed via IRLT_BENCH_ARGS
 # (e.g. IRLT_BENCH_ARGS=--benchmark_min_time=0.01 for a quick pass).
+#
+# OUT carries both legality-vs-sequence-length series from
+# bench_fig2_legality: BM_LegalityVsSequenceLength (the prefix-memoized
+# engine behind isLegal) and BM_LegalityVsSequenceLengthLegacy (the
+# uncached whole-sequence walk) - their ratio tracks the incremental
+# engine's payoff across commits.
 set -u
 
 BUILD_DIR="${1:-build}"

@@ -178,8 +178,17 @@ LegalityResult Pipeline::checkLegality(const TransformSequence &Seq,
   std::shared_ptr<const DepSet> D = dependences(Nest, &DepOverflow);
   if (DepOverflow)
     return depOverflowVerdict();
+  // Misses walk the process-global prefix-memoized engine directly (the
+  // same engine the isLegal() shim wraps): only stages the engine has
+  // not seen are recomputed, and the whole-sequence cache here stays as
+  // the cheaper single-lookup front for exact repeats (and the CacheStats
+  // surface the wire records report).
+  auto Walk = [&]() {
+    return legality::IncrementalEngine::global().check(Seq, Nest, *D,
+                                                       legality::Mode::Full);
+  };
   if (!M->Opts.EnableCache)
-    return isLegal(Seq, Nest, *D);
+    return Walk();
   // Keyed on the sequence exactly as written, NOT on reduced(): the
   // verdict is not reduction-invariant. Figure 1's skew+interchange is
   // rejected stage by stage but legal once merged into one Unimodular,
@@ -194,15 +203,14 @@ LegalityResult Pipeline::checkLegality(const TransformSequence &Seq,
     KeyOverflow = Guard.triggered();
   }
   if (KeyOverflow) // not cacheable; see dependences()
-    return isLegal(Seq, Nest, *D);
+    return Walk();
   if (std::shared_ptr<const LegalityResult> Hit =
           M->LegalityCache.lookup(Key)) {
     M->LegalityHits.fetch_add(1, std::memory_order_relaxed);
     return *Hit;
   }
   M->LegalityMisses.fetch_add(1, std::memory_order_relaxed);
-  auto Computed =
-      std::make_shared<const LegalityResult>(isLegal(Seq, Nest, *D));
+  auto Computed = std::make_shared<const LegalityResult>(Walk());
   return *M->LegalityCache.insert(Key, std::move(Computed));
 }
 
@@ -212,7 +220,19 @@ LegalityResult Pipeline::checkLegalityFast(const TransformSequence &Seq,
   std::shared_ptr<const DepSet> D = dependences(Nest, &DepOverflow);
   if (DepOverflow)
     return depOverflowVerdict();
-  return isLegalFast(Seq, Nest, *D);
+  return legality::IncrementalEngine::global().check(Seq, Nest, *D,
+                                                     legality::Mode::Fast);
+}
+
+legality::SequenceBuilder Pipeline::openSequence(const LoopNest &Nest,
+                                                 legality::Mode Md) {
+  bool DepOverflow = false;
+  std::shared_ptr<const DepSet> D = dependences(Nest, &DepOverflow);
+  if (DepOverflow)
+    // Same degradation as checkLegality: the builder starts failed with
+    // the shared saturated-analysis verdict, and extend() refuses stages.
+    return legality::SequenceBuilder::failed(depOverflowVerdict());
+  return legality::IncrementalEngine::global().open(Nest, *D, Md);
 }
 
 analysis::AnalysisReport Pipeline::analyze(const TransformSequence &Seq,

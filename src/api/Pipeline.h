@@ -47,6 +47,7 @@
 #include "eval/Verify.h"
 #include "fuzz/Fuzzer.h"
 #include "ir/Parser.h"
+#include "legality/IncrementalEngine.h"
 #include "search/Search.h"
 #include "transform/Sequence.h"
 #include "witness/Validate.h"
@@ -138,15 +139,34 @@ public:
   /// The uniform legality test, memoized on (nest fingerprint, sequence
   /// rendering). Dependence analysis is taken from (and fills) the
   /// dependence cache; an overflowed analysis yields a
-  /// RejectKind::Overflow verdict.
+  /// RejectKind::Overflow verdict. Below this whole-sequence cache sits
+  /// the process-wide prefix-memoized engine
+  /// (legality/IncrementalEngine.h): a miss here re-walks only the
+  /// stages the engine has not seen, so even cold whole-sequence keys
+  /// pay one stage, not the chain.
   LegalityResult checkLegality(const TransformSequence &Seq,
                                const LoopNest &Nest);
 
   /// Same verdict surface via the Section 4.3 type-state fast path
-  /// (uncached: the fast path exists to be cheaper than a hash lookup is
-  /// worth, and the differential fuzzer wants it un-memoized).
+  /// (no whole-sequence cache layer: the differential fuzzer wants a
+  /// distinct code path from checkLegality; prefix memoization still
+  /// applies underneath, under Mode::Fast keys).
   LegalityResult checkLegalityFast(const TransformSequence &Seq,
                                    const LoopNest &Nest);
+
+  /// Opens an incremental legality builder rooted at \p Nest:
+  /// extend(stage) consumes one stage and reports the verdict plus
+  /// witness provenance (stage index, template, RejectKind), paying only
+  /// that stage's mapping cost; finish() runs the final lexicographic
+  /// test. THE entry point for callers that grow sequences one stage at
+  /// a time (search frontiers, interactive drivers) - whole-sequence
+  /// checkLegality is a convenience over the same engine. Dependence
+  /// analysis comes from (and fills) the dependence cache; if it
+  /// saturated, the returned builder starts failed with the same
+  /// Overflow verdict checkLegality would report.
+  legality::SequenceBuilder openSequence(const LoopNest &Nest,
+                                         legality::Mode M =
+                                             legality::Mode::Full);
 
   /// The static diagnostic engine (docs/ANALYSIS.md): rule-registry
   /// analysis of \p Seq against \p Nest, with full rejection provenance

@@ -129,7 +129,11 @@ CaseOutcome irlt::fuzz::runCase(const FuzzCase &C,
   // full test rejects. An overflow rejection carries no verdict - the
   // full test's own arithmetic saturated - so it is excluded from the
   // comparison (the fast path does none of that arithmetic and may
-  // legitimately still accept).
+  // legitimately still accept). These are deliberate calls to the raw
+  // isLegal()/isLegalFast() entry points rather than api::Pipeline: the
+  // oracle diffs the two engine modes against each other, and both now
+  // route through the prefix-memoized engine, so the fuzzer doubles as
+  // its cache-soundness stressor.
   LegalityResult L = isLegal(Seq, Nest, D);
 
   // 4b. Analyzer oracle: the static diagnostic engine replays the same

@@ -14,7 +14,9 @@
 #include <algorithm>
 #include <atomic>
 #include <functional>
+#include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <thread>
 
@@ -37,6 +39,19 @@ struct BeamState {
   /// Leaf cost of this prefix; ranks the beam.
   double Cost = 0.0;
 };
+
+/// Worker count actually worth spawning: a CPU-bound deterministic
+/// workload cannot gain from oversubscription, and the measured
+/// BM_SearchMatmulDepth2Threads inversion on a 1-CPU host was exactly
+/// 4 threads time-slicing one core plus allocator contention. Requests
+/// beyond the hardware are clamped; the determinism contract makes this
+/// unobservable in the results.
+unsigned effectiveThreads(unsigned Requested) {
+  unsigned HW = std::thread::hardware_concurrency();
+  if (HW == 0) // unknown: trust the caller
+    return Requested;
+  return std::min(Requested, HW);
+}
 
 /// Deterministic work distribution: workers pull indices from an atomic
 /// counter but only ever write to their own index's slot, so the merged
@@ -187,7 +202,10 @@ LeafEval finishState(const BeamState &St, const LoopNest &Nest, const DepSet &D,
   E.Submitted = true;
   // Leaves are re-confirmed with the *full* uniform legality test: the
   // fast path pruned on types only, and the lexicographic test never ran
-  // on intermediate stages.
+  // on intermediate stages. isLegal() is the prefix-memoized engine
+  // (legality/IncrementalEngine.h), so leaves sharing a prefix - the
+  // common case in a beam, including across worker threads - pay only
+  // the trailing Parallelize stage plus the final lexicographic test.
   LegalityResult L = isLegal(LeafSeq, Nest, D);
   if (!L.Legal)
     return E;
@@ -237,13 +255,14 @@ SearchResult irlt::search::searchTransformations(const LoopNest &Nest,
 
   SearchStats &S = R.Stats;
   std::vector<ScoredSequence> All;
+  const unsigned Threads = effectiveThreads(Opts.Threads);
 
   // Evaluates every state's leaf in parallel (per-index slots), then
   // merges stats and candidates in index order; returns the per-state
   // evaluations so the caller can filter/rank the beam.
   auto finishAll = [&](const std::vector<BeamState> &States) {
     std::vector<LeafEval> Evals(States.size());
-    parallelFor(States.size(), Opts.Threads, [&](size_t I) {
+    parallelFor(States.size(), Threads, [&](size_t I) {
       Evals[I] = finishState(States[I], Nest, D, Opts, CM.get());
     });
     for (LeafEval &E : Evals) {
@@ -282,58 +301,73 @@ SearchResult irlt::search::searchTransformations(const LoopNest &Nest,
     Visited.insert(Frontier[0].Key);
 
   for (unsigned Level = 1; Level <= Opts.Depth && !Frontier.empty(); ++Level) {
-    // Expansion: each frontier state enumerates its step candidates and
-    // prunes with the fast path - type-state propagation (stage bounds
-    // preconditions on types alone) plus the anchor-dependence side
-    // condition on the *current* mapped set. The lexicographic test is
-    // deliberately absent here: intermediate stages need not be legal.
-    std::vector<std::vector<BeamState>> Slots(Frontier.size());
-    std::vector<uint64_t> Enumerated(Frontier.size(), 0);
-    std::vector<uint64_t> Pruned(Frontier.size(), 0);
-    parallelFor(Frontier.size(), Opts.Threads, [&](size_t I) {
+    // Expansion: each frontier state's step candidates are pruned with
+    // the fast path - type-state propagation (stage bounds preconditions
+    // on types alone) plus the anchor-dependence side condition on the
+    // *current* mapped set. The lexicographic test is deliberately
+    // absent here: intermediate stages need not be legal.
+    //
+    // The work unit is one (frontier state, candidate) pair, not one
+    // frontier state: a frontier of beam-width states expands to
+    // hundreds of prefix extensions whose costs vary wildly (a pruned
+    // type check is microseconds, a surviving reduce() is not), and
+    // whole-state units left workers idle behind the one state with the
+    // expensive extensions. The atomic-counter loop in parallelFor
+    // steals pairs instead, and the per-pair slot keeps the merge order
+    // - state-major, then candidate order - byte-identical to the
+    // serial walk. Candidate lists depend only on the loop count, so
+    // one list per distinct width is enumerated up front and shared
+    // read-only by all workers.
+    std::map<unsigned, std::vector<TemplateRef>> CandsByN;
+    for (const BeamState &St : Frontier)
+      if (!CandsByN.count(St.OutN))
+        CandsByN.emplace(St.OutN, stepCandidates(St.OutN, Opts.Candidates));
+    std::vector<size_t> Offset(Frontier.size() + 1, 0);
+    for (size_t I = 0; I < Frontier.size(); ++I)
+      Offset[I + 1] = Offset[I] + CandsByN.at(Frontier[I].OutN).size();
+
+    // One slot per pair: engaged iff the extension survived the pruning.
+    std::vector<std::optional<BeamState>> PairSlots(Offset.back());
+    parallelFor(Offset.back(), Threads, [&](size_t P) {
+      size_t I = static_cast<size_t>(
+          std::upper_bound(Offset.begin(), Offset.end(), P) - Offset.begin() -
+          1);
       const BeamState &St = Frontier[I];
-      std::vector<TemplateRef> Cands = stepCandidates(St.OutN, Opts.Candidates);
-      Enumerated[I] = Cands.size();
-      for (TemplateRef &T : Cands) {
-        OverflowGuard Guard;
-        std::optional<ErrorOr<NestTypeState>> MT = mapTypes(*T, St.Types);
-        if (Guard.triggered() || !MT || !*MT) {
-          ++Pruned[I];
-          continue;
-        }
-        std::string AnchorErr = checkAnchorDependence(*T, St.Types, St.Deps);
-        if (Guard.triggered() || !AnchorErr.empty()) {
-          ++Pruned[I];
-          continue;
-        }
-        DepSet Mapped = T->mapDependences(St.Deps);
-        if (Guard.triggered()) {
-          ++Pruned[I];
-          continue;
-        }
-        BeamState NS;
-        NS.Seq = St.Seq;
-        NS.Seq.append(T);
-        NS.Key = NS.Seq.reduced().str();
-        if (Guard.triggered()) { // reduce() multiplies matrices
-          ++Pruned[I];
-          continue;
-        }
-        NS.Types = MT->take();
-        NS.Deps = std::move(Mapped);
-        NS.OutN = T->outputSize();
-        Slots[I].push_back(std::move(NS));
-      }
+      const TemplateRef &T = CandsByN.at(St.OutN)[P - Offset[I]];
+      OverflowGuard Guard;
+      std::optional<ErrorOr<NestTypeState>> MT = mapTypes(*T, St.Types);
+      if (Guard.triggered() || !MT || !*MT)
+        return;
+      std::string AnchorErr = checkAnchorDependence(*T, St.Types, St.Deps);
+      if (Guard.triggered() || !AnchorErr.empty())
+        return;
+      DepSet Mapped = T->mapDependences(St.Deps);
+      if (Guard.triggered())
+        return;
+      BeamState NS;
+      NS.Seq = St.Seq;
+      NS.Seq.append(T);
+      NS.Key = NS.Seq.reduced().str();
+      if (Guard.triggered()) // reduce() multiplies matrices
+        return;
+      NS.Types = MT->take();
+      NS.Deps = std::move(Mapped);
+      NS.OutN = T->outputSize();
+      PairSlots[P] = std::move(NS);
     });
 
-    // Deterministic merge in frontier order; peephole-equivalent states
-    // (same canonical key, at this or any earlier level) collapse to the
-    // first occurrence.
+    // Deterministic merge in (frontier, candidate) order; peephole-
+    // equivalent states (same canonical key, at this or any earlier
+    // level) collapse to the first occurrence.
     std::vector<BeamState> Fresh;
     for (size_t I = 0; I < Frontier.size(); ++I) {
-      S.Enumerated += Enumerated[I];
-      S.Pruned += Pruned[I];
-      for (BeamState &NS : Slots[I]) {
+      S.Enumerated += Offset[I + 1] - Offset[I];
+      for (size_t P = Offset[I]; P < Offset[I + 1]; ++P) {
+        if (!PairSlots[P]) {
+          ++S.Pruned;
+          continue;
+        }
+        BeamState &NS = *PairSlots[P];
         if (!Visited.insert(NS.Key).second) {
           ++S.Deduped;
           continue;

@@ -34,6 +34,16 @@
 /// happen in deterministic index order, and ties are broken by the
 /// canonical sequence key.
 ///
+/// Threading model: the expansion work unit is one (frontier state,
+/// candidate template) pair - a per-prefix extension - pulled from an
+/// atomic counter, so workers steal fine-grained units instead of
+/// queueing behind whole states. Requested thread counts are clamped to
+/// the hardware concurrency (oversubscribing a deterministic CPU-bound
+/// search only adds scheduling overhead), which the contract above makes
+/// unobservable. Leaf confirmations run through the process-wide
+/// prefix-memoized legality engine (legality/IncrementalEngine.h), so
+/// concurrent workers share each other's surviving prefixes.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef IRLT_SEARCH_SEARCH_H
@@ -72,7 +82,8 @@ struct SearchOptions {
   unsigned Beam = 8;
   /// Maximum number of (non-Parallelize) steps in a candidate sequence.
   unsigned Depth = 2;
-  /// Worker threads; results are identical for any value >= 1.
+  /// Worker threads; results are identical for any value >= 1. Values
+  /// beyond std::thread::hardware_concurrency() are clamped.
   unsigned Threads = 1;
   /// How many ranked candidates to report.
   unsigned TopK = 5;

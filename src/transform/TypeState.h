@@ -140,7 +140,8 @@ std::string checkAnchorDependence(const TransformTemplate &T,
 /// type rule) plus the anchor-dependence condition, then the
 /// lexicographic test on the final mapped dependence set. Equivalent in
 /// verdict to isLegal() on the supported corpus; the test suite asserts
-/// agreement.
+/// agreement. A shim over the prefix-memoized engine
+/// (legality/IncrementalEngine.h), cached under Mode::Fast keys.
 LegalityResult isLegalFast(const TransformSequence &T, const LoopNest &Nest,
                            const DepSet &D);
 

@@ -120,6 +120,9 @@ Certificate irlt::witness::certify(const TransformSequence &Seq,
                                    const LoopNest &Nest, const DepSet &D,
                                    const WitnessOptions &Opts) {
   Certificate C;
+  // The shimmed isLegal() (prefix-memoized engine) by design: the
+  // certificate's verdict fields must be byte-identical to whatever
+  // every other caller of the uniform test observes, warm or cold.
   LegalityResult L = isLegal(Seq, Nest, D);
   C.Accepted = L.Legal;
   C.Kind = L.Kind;
