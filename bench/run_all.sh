@@ -29,6 +29,7 @@ ANALYZE_OUT="${4:-$(dirname "$OUT")/BENCH_analyze.json}"
 SERVE_OUT="${5:-$(dirname "$OUT")/BENCH_serve.json}"
 NATIVE_OUT="${6:-$(dirname "$OUT")/BENCH_native.json}"
 FRONT_OUT="${7:-$(dirname "$OUT")/BENCH_front.json}"
+DEPS_OUT="${8:-$(dirname "$OUT")/BENCH_deps.json}"
 BENCH_DIR="$BUILD_DIR/bench"
 
 if ! ls "$BENCH_DIR"/bench_* >/dev/null 2>&1; then
@@ -42,7 +43,8 @@ ANALYZE_TMP="$(mktemp)"
 SERVE_TMP="$(mktemp)"
 NATIVE_TMP="$(mktemp)"
 FRONT_TMP="$(mktemp)"
-trap 'rm -f "$TMP" "$BATCH_TMP" "$ANALYZE_TMP" "$SERVE_TMP" "$NATIVE_TMP" "$FRONT_TMP"' EXIT
+DEPS_TMP="$(mktemp)"
+trap 'rm -f "$TMP" "$BATCH_TMP" "$ANALYZE_TMP" "$SERVE_TMP" "$NATIVE_TMP" "$FRONT_TMP" "$DEPS_TMP"' EXIT
 
 # Fail fast: a partial aggregate would silently skew any perf-trajectory
 # comparison, so the first failing binary aborts the run and OUT is left
@@ -57,6 +59,7 @@ for BIN in "$BENCH_DIR"/bench_*; do
   [ "$NAME" = bench_serve ] && DEST="$SERVE_TMP"
   [ "$NAME" = bench_native ] && DEST="$NATIVE_TMP"
   [ "$NAME" = bench_front ] && DEST="$FRONT_TMP"
+  [ "$NAME" = bench_deps ] && DEST="$DEPS_TMP"
   if ! "$BIN" --json ${IRLT_BENCH_ARGS:-} >>"$DEST"; then
     echo "error: $NAME failed; aborting without writing $OUT" >&2
     exit 1
@@ -93,4 +96,7 @@ if [ -s "$NATIVE_TMP" ]; then
 fi
 if [ -s "$FRONT_TMP" ]; then
   wrap irlt-bench-front "$FRONT_TMP" "$FRONT_OUT"
+fi
+if [ -s "$DEPS_TMP" ]; then
+  wrap irlt-bench-deps "$DEPS_TMP" "$DEPS_OUT"
 fi

@@ -6,6 +6,8 @@
 
 #include "analysis/Analysis.h"
 
+#include "deps/CrossCheck.h"
+#include "deps/DepOracle.h"
 #include "support/Casting.h"
 #include "support/MathUtils.h"
 #include "transform/Templates.h"
@@ -52,9 +54,17 @@ const std::vector<RuleInfo> &irlt::analysis::ruleRegistry() {
       {"W204", FindingSeverity::Warning,
        "saturation-risk coefficient magnitude in bounds",
        "support/MathUtils.h"},
+      {"W205", FindingSeverity::Warning,
+       "dependence analysis is conservative vs the exact backend",
+       "deps/CrossCheck.h; docs/DEPENDENCE.md"},
+      {"W206", FindingSeverity::Warning,
+       "dependence analysis under-reports vs the exact backend",
+       "deps/CrossCheck.h; docs/DEPENDENCE.md"},
   };
   return Registry;
 }
+
+unsigned irlt::analysis::ruleRegistryVersion() { return 2; }
 
 const RuleInfo *irlt::analysis::findRule(std::string_view Id) {
   for (const RuleInfo &R : ruleRegistry())
@@ -565,6 +575,37 @@ AnalysisReport irlt::analysis::analyzeSequence(const TransformSequence &T,
         }
         Report.Findings.push_back(std::move(F));
         break;
+      }
+    }
+  }
+
+  // Opt-in dependence-oracle cross-check (docs/DEPENDENCE.md): diff the
+  // production analyzer against the first-principles fm-exact backend on
+  // the *source* nest. Under-reporting (W206) means every verdict above
+  // was computed from a possibly-incomplete dependence set - still a
+  // warning, not an error, because the error class must stay equivalent
+  // to isLegal() (the fuzzer's analyzer oracle relies on that), and
+  // isLegal() shares the production set. Whole-sequence findings: Stage 0.
+  if (Opts.Lint && Opts.CrossCheckDeps) {
+    deps::DepResult Fast = deps::pipelineOracle().analyze(Nest);
+    deps::DepResult Exact = deps::fmExactOracle().analyze(Nest);
+    deps::CrossCheckResult CC = deps::crossCheckDeps(Fast, Exact);
+    for (const DepVector &V : CC.Uncovered) {
+      Finding F = makeFinding("W206");
+      F.Message = "exact backend reports dependence vector " + V.str() +
+                  " that no production vector covers (soundness "
+                  "divergence; replay: irlt-opt <nest> --deps-diff)";
+      F.DepVector = V.str();
+      Report.Findings.push_back(std::move(F));
+    }
+    if (CC.Stat == deps::CrossCheckResult::Status::PrecisionGap) {
+      for (const DepVector &V : CC.Extra) {
+        Finding F = makeFinding("W205");
+        F.Message = "production dependence vector " + V.str() +
+                    " lies beyond the exact backend's set (conservative "
+                    "over-approximation; may forbid legal transforms)";
+        F.DepVector = V.str();
+        Report.Findings.push_back(std::move(F));
       }
     }
   }

@@ -66,6 +66,13 @@ struct RuleInfo {
 /// All rules, error class first, in id order.
 const std::vector<RuleInfo> &ruleRegistry();
 
+/// Monotonic registry version, bumped whenever a rule is added, removed,
+/// or changes meaning. Carried in every irlt-analyze --json record header
+/// so downstream triage can tell which rule set produced a report.
+/// History: 1 = E100-E106/W200-W204; 2 = + W205/W206 (dependence-oracle
+/// cross-check, docs/DEPENDENCE.md).
+unsigned ruleRegistryVersion();
+
 /// Registry lookup; nullptr for an unknown id.
 const RuleInfo *findRule(std::string_view Id);
 
@@ -97,6 +104,15 @@ struct Finding {
 struct AnalysisOptions {
   /// Run the warning-class lint rules (errors always run).
   bool Lint = true;
+  /// Cross-check the source nest's dependence set against the
+  /// first-principles fm-exact backend (deps/DepOracle.h) and report
+  /// W205 (pipeline strictly conservative) / W206 (pipeline
+  /// under-reports: a soundness divergence) findings with the offending
+  /// vectors. Off by default: the exact backend enumerates the full
+  /// sign tree per reference pair, which is far more work than the
+  /// production analyzer, and the rules are diagnostics, not part of
+  /// the legality contract.
+  bool CrossCheckDeps = false;
 };
 
 struct AnalysisReport {

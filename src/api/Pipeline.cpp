@@ -10,6 +10,7 @@
 
 #include "bounds/BoundsMatrices.h"
 #include "codegen/CEmitter.h"
+#include "deps/DepOracle.h"
 #include "ir/NestHash.h"
 #include "support/Lru.h"
 #include "support/MathUtils.h"
@@ -88,6 +89,12 @@ struct DepEntry {
 struct Pipeline::Impl {
   PipelineOptions Opts;
 
+  /// The dependence backend every facade call analyzes through - the
+  /// production pipeline oracle configured with Opts.DepOptions
+  /// (deps/DepOracle.h). Alternative backends (fm-exact) are reached via
+  /// the registry by the differential tooling, not by the facade.
+  std::unique_ptr<deps::DepOracle> Oracle;
+
   KeyedCache<DepEntry> DepCache;
   KeyedCache<LegalityResult> LegalityCache;
 
@@ -95,7 +102,8 @@ struct Pipeline::Impl {
   std::atomic<uint64_t> LegalityHits{0}, LegalityMisses{0};
 
   explicit Impl(const PipelineOptions &O)
-      : Opts(O), DepCache(O.CacheCapacity), LegalityCache(O.CacheCapacity) {}
+      : Opts(O), Oracle(deps::makePipelineOracle(O.DepOptions)),
+        DepCache(O.CacheCapacity), LegalityCache(O.CacheCapacity) {}
 };
 
 Pipeline::Pipeline(PipelineOptions Opts)
@@ -124,16 +132,15 @@ ErrorOr<TransformSequence> Pipeline::parseScript(const std::string &Script,
 
 std::shared_ptr<const DepSet> Pipeline::dependences(const LoopNest &Nest,
                                                     bool *Overflowed) {
-  // Analysis runs under an OverflowGuard (support/MathUtils.h): generated
-  // and adversarial nests can push Fourier-Motzkin coefficients out of
-  // int64, and the facade degrades that to a reported flag instead of an
-  // assertion. The flag lives in the cache entry so a hit on a saturated
-  // analysis reports overflow exactly like the miss that computed it.
+  // The oracle runs its analysis under an OverflowGuard
+  // (support/MathUtils.h): generated and adversarial nests can push
+  // Fourier-Motzkin coefficients out of int64, and the facade degrades
+  // that to a reported flag instead of an assertion. The flag lives in
+  // the cache entry so a hit on a saturated analysis reports overflow
+  // exactly like the miss that computed it.
   auto computeEntry = [&] {
-    OverflowGuard Guard;
-    DepEntry E{analyzeDependences(Nest, M->Opts.DepOptions), false};
-    E.Overflowed = Guard.triggered();
-    return E;
+    deps::DepResult R = M->Oracle->analyze(Nest);
+    return DepEntry{std::move(R.Deps), R.Overflowed};
   };
   auto finish = [&](std::shared_ptr<const DepEntry> E) {
     if (Overflowed)

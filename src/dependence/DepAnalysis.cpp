@@ -90,6 +90,7 @@ namespace {
 struct RefOcc {
   const irlt::ArrayRef *Ref;
   bool IsWrite;
+  unsigned Index; ///< occurrence position (writes first, then reads)
 };
 
 /// Per-level direction states during hierarchical refinement.
@@ -98,8 +99,9 @@ enum class DirState { Eq, Gt, Lt };
 /// Shared analysis context for one loop nest.
 class Analyzer {
 public:
-  Analyzer(const LoopNest &Nest, const DepAnalysisOptions &Opts)
-      : Nest(Nest), Opts(Opts), N(Nest.numLoops()) {}
+  Analyzer(const LoopNest &Nest, const DepAnalysisOptions &Opts,
+           std::vector<DepPairInfo> *Prov = nullptr)
+      : Nest(Nest), Opts(Opts), Prov(Prov), N(Nest.numLoops()) {}
 
   DepSet run();
 
@@ -137,8 +139,13 @@ private:
   /// Adds the loop-bound constraints for one side (source or target).
   void addBoundConstraints(FMSystem &Sys, bool TargetSide) const;
 
-  /// Analyzes one ordered reference pair; inserts resulting vectors.
+  /// Analyzes one ordered reference pair; inserts resulting vectors and
+  /// records provenance when enabled.
   void analyzePair(const RefOcc &A, const RefOcc &B, DepSet &Out);
+
+  /// The pair analysis proper: fills \p Out with this pair's vectors and
+  /// reports which test decided.
+  DepDecision analyzePairImpl(const RefOcc &A, const RefOcc &B, DepSet &Out);
 
   /// Emits the fully-conservative vector family (0,..,0,+,*,..,*).
   void emitConservative(DepSet &Out) const;
@@ -149,6 +156,7 @@ private:
 
   const LoopNest &Nest;
   const DepAnalysisOptions &Opts;
+  std::vector<DepPairInfo> *Prov;
   unsigned N;
 
   std::map<std::string, unsigned> SymIndex; // atom key -> sym slot
@@ -360,10 +368,36 @@ void Analyzer::refine(FMSystem &Sys, std::vector<DirState> &Prefix,
 }
 
 void Analyzer::analyzePair(const RefOcc &A, const RefOcc &B, DepSet &Out) {
+  // Analyze into a local set so the pair's own contribution is visible
+  // for provenance; DepSet insertion is canonical (sorted, deduplicated),
+  // so merging per-pair sets yields the same set as direct insertion.
+  DepSet Local;
+  DepDecision Decided = analyzePairImpl(A, B, Local);
+  if (Prov) {
+    DepPairInfo I;
+    I.Array = A.Ref->Array;
+    I.SrcOcc = A.Index;
+    I.DstOcc = B.Index;
+    I.SrcIsWrite = A.IsWrite;
+    I.DstIsWrite = B.IsWrite;
+    I.Decided = Decided;
+    I.NumVectors = static_cast<unsigned>(Local.size());
+    I.Independent = Local.empty();
+    bool AllDist = !Local.empty();
+    for (const DepVector &V : Local.vectors())
+      AllDist = AllDist && V.allDistances();
+    I.Exact = AllDist;
+    Prov->push_back(std::move(I));
+  }
+  Out.insertAll(Local.vectors());
+}
+
+DepDecision Analyzer::analyzePairImpl(const RefOcc &A, const RefOcc &B,
+                                      DepSet &Out) {
   assert(A.Ref->Array == B.Ref->Array);
   if (A.Ref->Subscripts.size() != B.Ref->Subscripts.size()) {
     emitConservative(Out); // ill-typed access: be safe
-    return;
+    return DepDecision::IllTyped;
   }
 
   // Linearize all subscripts; bail to the conservative family when a
@@ -384,7 +418,7 @@ void Analyzer::analyzePair(const RefOcc &A, const RefOcc &B, DepSet &Out) {
   }
   if (!AnyAnalyzable) {
     emitConservative(Out);
-    return;
+    return DepDecision::NonLinear;
   }
 
   FMSystem Sys(totalVars());
@@ -414,12 +448,12 @@ void Analyzer::analyzePair(const RefOcc &A, const RefOcc &B, DepSet &Out) {
       if (AllZero) {
         // ZIV: constant subscripts on both sides.
         if (!deptest::zivEqual(0, Rhs))
-          return; // provably independent in this dimension
+          return DepDecision::ZIV; // provably independent in this dimension
         continue;  // trivially satisfied; no constraint
       }
       // GCD filter over all integer variables in the equation.
       if (!deptest::gcdFeasible(Coef, Rhs))
-        return;
+        return DepDecision::GCD;
     }
     Sys.addEQ(Coef, Rhs);
   }
@@ -452,6 +486,7 @@ void Analyzer::analyzePair(const RefOcc &A, const RefOcc &B, DepSet &Out) {
 
   std::vector<DirState> Prefix;
   refine(Sys, Prefix, /*SeenGt=*/false, Out);
+  return DepDecision::FM;
 }
 
 DepSet Analyzer::run() {
@@ -511,9 +546,9 @@ DepSet Analyzer::run() {
   std::vector<RefOcc> Occs;
   Occs.reserve(Writes.size() + Reads.size());
   for (const irlt::ArrayRef &W : Writes)
-    Occs.push_back(RefOcc{&W, true});
+    Occs.push_back(RefOcc{&W, true, static_cast<unsigned>(Occs.size())});
   for (const irlt::ArrayRef &R : Reads)
-    Occs.push_back(RefOcc{&R, false});
+    Occs.push_back(RefOcc{&R, false, static_cast<unsigned>(Occs.size())});
 
   DepSet Out;
   for (const RefOcc &A : Occs)
@@ -533,4 +568,27 @@ DepSet irlt::analyzeDependences(const LoopNest &Nest,
                                 const DepAnalysisOptions &Opts) {
   Analyzer A(Nest, Opts);
   return A.run();
+}
+
+DepSet irlt::analyzeDependences(const LoopNest &Nest,
+                                const DepAnalysisOptions &Opts,
+                                std::vector<DepPairInfo> &PairInfo) {
+  Analyzer A(Nest, Opts, &PairInfo);
+  return A.run();
+}
+
+const char *irlt::depDecisionName(DepDecision D) {
+  switch (D) {
+  case DepDecision::IllTyped:
+    return "ill-typed";
+  case DepDecision::NonLinear:
+    return "nonlinear";
+  case DepDecision::ZIV:
+    return "ziv";
+  case DepDecision::GCD:
+    return "gcd";
+  case DepDecision::FM:
+    return "fm";
+  }
+  return "?";
 }

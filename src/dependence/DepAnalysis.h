@@ -27,6 +27,7 @@
 #include "ir/LoopNest.h"
 
 #include <optional>
+#include <string>
 #include <vector>
 
 namespace irlt {
@@ -39,9 +40,41 @@ struct DepAnalysisOptions {
   bool UseFastTests = true;
 };
 
+/// Which test decided one ordered reference pair (deps::DepOracle
+/// provenance, docs/DEPENDENCE.md).
+enum class DepDecision {
+  IllTyped,   ///< subscript arity mismatch: conservative family emitted
+  NonLinear,  ///< no analyzable dimension: conservative family emitted
+  ZIV,        ///< constant-subscript disproof (independent)
+  GCD,        ///< integer-infeasible subscript equation (independent)
+  FM          ///< hierarchical Fourier-Motzkin refinement ran
+};
+
+/// Per-ordered-reference-pair provenance of a dependence analysis run.
+struct DepPairInfo {
+  std::string Array;        ///< the common array
+  unsigned SrcOcc = 0;      ///< source occurrence index (writes, then reads)
+  unsigned DstOcc = 0;      ///< target occurrence index
+  bool SrcIsWrite = false;
+  bool DstIsWrite = false;
+  DepDecision Decided = DepDecision::FM;
+  bool Independent = false; ///< the pair was proven dependence-free
+  bool Exact = false;       ///< every emitted vector is a pure distance
+  unsigned NumVectors = 0;  ///< vectors this pair contributed (pre-dedup)
+};
+
 /// Computes the dependence-vector set D of \p Nest (Definition 3.1).
 DepSet analyzeDependences(const LoopNest &Nest,
                           const DepAnalysisOptions &Opts = {});
+
+/// Same analysis, additionally recording per-pair provenance into
+/// \p PairInfo (appended in pair-visit order). The returned set is
+/// byte-identical to the overload above.
+DepSet analyzeDependences(const LoopNest &Nest, const DepAnalysisOptions &Opts,
+                          std::vector<DepPairInfo> &PairInfo);
+
+/// Human-readable name of a DepDecision ("ziv", "gcd", "fm", ...).
+const char *depDecisionName(DepDecision D);
 
 /// The classic stand-alone tests, exposed for unit testing and reuse.
 /// All of them reason about one subscript-pair equation

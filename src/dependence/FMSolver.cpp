@@ -17,7 +17,7 @@ void FMSystem::addLE(std::vector<int64_t> Coef, int64_t Rhs) {
   assert(Coef.size() == NumVars && "coefficient arity mismatch");
   Row R{std::move(Coef), Rhs};
   bool Contradiction = false;
-  if (normalizeRow(R, Contradiction))
+  if (normalizeRow(R, Contradiction, IntegerVars))
     Rows.push_back(std::move(R));
   if (Contradiction)
     HardInfeasible = true;
@@ -40,7 +40,7 @@ void FMSystem::fixVar(unsigned Var, int64_t Value) {
   addEQ(Coef, Value);
 }
 
-bool FMSystem::normalizeRow(Row &R, bool &Contradiction) {
+bool FMSystem::normalizeRow(Row &R, bool &Contradiction, bool IntegerVars) {
   int64_t G = 0;
   for (int64_t C : R.Coef)
     G = gcd(G, C);
@@ -53,13 +53,17 @@ bool FMSystem::normalizeRow(Row &R, bool &Contradiction) {
   if (G > 1) {
     for (int64_t &C : R.Coef)
       C /= G;
-    // Integer tightening on the rational relaxation is sound (floor keeps
-    // all rational solutions of the scaled row? No - flooring the rhs can
-    // cut rational solutions). Keep the exact rational row: divide rhs
-    // only when it stays exact.
-    if (R.Rhs % G == 0)
+    if (IntegerVars) {
+      // Integral variables: sum (Coef/g)*x is an integer, so the bound
+      // floors exactly. This keeps every integer solution and cuts the
+      // purely-rational slack (an equality whose rhs g does not divide
+      // becomes a contradictory <=/>= pair, i.e. the GCD test).
+      R.Rhs = floorDiv(R.Rhs, G);
+    } else if (R.Rhs % G == 0) {
+      // Rational variables: divide the rhs only when it stays exact
+      // (flooring would cut rational solutions).
       R.Rhs /= G;
-    else {
+    } else {
       // Re-scale coefficients back; keep the row unreduced.
       for (int64_t &C : R.Coef)
         C *= G;
@@ -68,8 +72,8 @@ bool FMSystem::normalizeRow(Row &R, bool &Contradiction) {
   return true;
 }
 
-FMSystem::ElimResult FMSystem::eliminate(std::vector<Row> &Rows,
-                                         unsigned Var) {
+FMSystem::ElimResult FMSystem::eliminate(std::vector<Row> &Rows, unsigned Var,
+                                         bool IntegerVars) {
   // Bail out before the pairing step can square the row count into
   // pathological territory; callers treat Overflow as "unknown".
   constexpr size_t RowCap = 2000;
@@ -107,7 +111,7 @@ FMSystem::ElimResult FMSystem::eliminate(std::vector<Row> &Rows,
         return ElimResult::Overflow;
       }
       bool Contradiction = false;
-      if (normalizeRow(N, Contradiction))
+      if (normalizeRow(N, Contradiction, IntegerVars))
         Rows.push_back(std::move(N));
       if (Contradiction)
         return ElimResult::Contradiction;
@@ -132,7 +136,7 @@ bool FMSystem::feasible() const {
     return false;
   std::vector<Row> Work = Rows;
   for (unsigned V = 0; V < NumVars; ++V) {
-    switch (eliminate(Work, V)) {
+    switch (eliminate(Work, V, IntegerVars)) {
     case ElimResult::Contradiction:
       return false;
     case ElimResult::Overflow:
@@ -152,7 +156,7 @@ VarRange FMSystem::rangeOf(unsigned Var) const {
   for (unsigned V = 0; V < NumVars; ++V) {
     if (V == Var)
       continue;
-    switch (eliminate(Work, V)) {
+    switch (eliminate(Work, V, IntegerVars)) {
     case ElimResult::Contradiction:
       return Out;
     case ElimResult::Overflow:

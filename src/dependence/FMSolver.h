@@ -36,9 +36,20 @@ struct VarRange {
 /// equalities) over \p NumVars rational variables. Coefficients are kept
 /// as integers (every client has integer coefficients); right-hand sides
 /// too.
+///
+/// With \p IntegerVars the variables are declared integral and row
+/// normalization tightens: after dividing a row by the gcd g of its
+/// coefficients, the right-hand side becomes floor(Rhs/g) - exact over
+/// integer points, strictly tighter than the rational relaxation when g
+/// does not divide Rhs. In particular an integrally unsatisfiable
+/// equality (g does not divide its rhs) normalizes to a contradictory
+/// inequality pair, so the classic GCD test is subsumed structurally.
+/// The elimination itself remains Fourier-Motzkin, so feasibility is
+/// still a (tighter) relaxation of integer feasibility.
 class FMSystem {
 public:
-  explicit FMSystem(unsigned NumVars) : NumVars(NumVars) {}
+  explicit FMSystem(unsigned NumVars, bool IntegerVars = false)
+      : NumVars(NumVars), IntegerVars(IntegerVars) {}
 
   unsigned numVars() const { return NumVars; }
 
@@ -70,20 +81,23 @@ private:
     int64_t Rhs;
   };
 
-  /// Divides by the gcd of all coefficients and the rhs-compatible factor,
-  /// then returns false if the row is a tautology (all-zero, 0 <= Rhs with
-  /// Rhs >= 0) and flags contradictions.
-  static bool normalizeRow(Row &R, bool &Contradiction);
+  /// Divides by the gcd of all coefficients and the rhs-compatible factor
+  /// (flooring the rhs instead under \p IntegerVars), then returns false
+  /// if the row is a tautology (all-zero, 0 <= Rhs with Rhs >= 0) and
+  /// flags contradictions.
+  static bool normalizeRow(Row &R, bool &Contradiction, bool IntegerVars);
 
   enum class ElimResult { Ok, Contradiction, Overflow };
 
   /// Eliminates variable \p Var from \p Rows (classic FM pairing).
   /// Overflow reports that the quadratic pairing exceeded the row cap -
   /// callers must fall back conservatively (assume feasible/unbounded).
-  static ElimResult eliminate(std::vector<Row> &Rows, unsigned Var);
+  static ElimResult eliminate(std::vector<Row> &Rows, unsigned Var,
+                              bool IntegerVars);
 
   std::vector<Row> Rows; // all rows mean  sum Coef*x <= Rhs
   unsigned NumVars;
+  bool IntegerVars;
   bool HardInfeasible = false; // a contradiction was added directly
 };
 

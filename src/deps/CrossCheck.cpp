@@ -1,0 +1,74 @@
+//===- deps/CrossCheck.cpp - Differential oracle comparison --------------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "deps/CrossCheck.h"
+
+using namespace irlt;
+using namespace irlt::deps;
+
+bool deps::coveredBy(const DepVector &V, const DepSet &Set) {
+  for (const DepVector &S : Set.vectors())
+    if (S.covers(V))
+      return true;
+  // A summary vector may be covered piecewise even when no single member
+  // covers it whole (e.g. (0+, x) against {(0, x), (+, x)}).
+  std::vector<DepVector> Pieces = V.expandSummaries();
+  if (Pieces.size() <= 1)
+    return false;
+  for (const DepVector &P : Pieces) {
+    bool Hit = false;
+    for (const DepVector &S : Set.vectors())
+      if (S.covers(P)) {
+        Hit = true;
+        break;
+      }
+    if (!Hit)
+      return false;
+  }
+  return true;
+}
+
+CrossCheckResult deps::crossCheckDeps(const DepResult &Fast,
+                                      const DepResult &Exact) {
+  CrossCheckResult R;
+  if (Fast.Overflowed || Exact.Overflowed) {
+    R.Stat = CrossCheckResult::Status::Skipped;
+    return R;
+  }
+  for (const DepVector &E : Exact.Deps.vectors())
+    if (!coveredBy(E, Fast.Deps))
+      R.Uncovered.push_back(E);
+  for (const DepVector &F : Fast.Deps.vectors())
+    if (!coveredBy(F, Exact.Deps))
+      R.Extra.push_back(F);
+  if (!R.Uncovered.empty())
+    R.Stat = CrossCheckResult::Status::Soundness;
+  else if (!R.Extra.empty())
+    R.Stat = CrossCheckResult::Status::PrecisionGap;
+  return R;
+}
+
+std::string CrossCheckResult::str() const {
+  switch (Stat) {
+  case Status::Skipped:
+    return "skipped: oracle arithmetic overflowed";
+  case Status::Agree:
+    return "agree";
+  case Status::Soundness: {
+    std::string S = "soundness: exact vectors uncovered by the pipeline:";
+    for (const DepVector &V : Uncovered)
+      S += " " + V.str();
+    return S;
+  }
+  case Status::PrecisionGap: {
+    std::string S = "precision: pipeline vectors beyond the exact set:";
+    for (const DepVector &V : Extra)
+      S += " " + V.str();
+    return S;
+  }
+  }
+  return "?";
+}

@@ -1,0 +1,66 @@
+//===- deps/CrossCheck.h - Differential oracle comparison ----------------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compares a fast-pipeline dependence result against the exact-FM
+/// backend's on the same nest (docs/DEPENDENCE.md):
+///
+///   - a vector the exact oracle reports that no pipeline vector covers
+///     is a SOUNDNESS divergence: the production analyzer under-reports
+///     and every downstream legality verdict is suspect;
+///   - a pipeline vector the exact set does not cover is a PRECISION gap:
+///     the production analyzer is conservative there (extra dependences
+///     can only forbid legal transformations, never admit illegal ones).
+///
+/// Runs where either oracle saturated its arithmetic are skipped: a
+/// saturated set carries no verdict by the framework-wide overflow
+/// contract. Used by irlt-fuzz --deps and the W205/W206 analyzer rules.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRLT_DEPS_CROSSCHECK_H
+#define IRLT_DEPS_CROSSCHECK_H
+
+#include "deps/DepOracle.h"
+
+#include <string>
+#include <vector>
+
+namespace irlt {
+namespace deps {
+
+/// Outcome of one differential comparison.
+struct CrossCheckResult {
+  enum class Status {
+    Agree,        ///< tuple sets coincide under entrywise cover
+    PrecisionGap, ///< pipeline is strictly conservative (sound)
+    Soundness,    ///< pipeline under-reports vs exact: a bug
+    Skipped       ///< an oracle overflowed; no verdict
+  };
+  Status Stat = Status::Agree;
+
+  /// Exact vectors no pipeline vector covers (soundness witnesses).
+  std::vector<DepVector> Uncovered;
+  /// Pipeline vectors the exact set does not cover (precision witnesses).
+  std::vector<DepVector> Extra;
+
+  bool sound() const { return Stat != Status::Soundness; }
+
+  /// One-line report, e.g. "soundness: exact (1, 0) uncovered".
+  std::string str() const;
+};
+
+/// True if some vector of \p Set covers \p V, trying \p V's summary
+/// expansion when no single vector does.
+bool coveredBy(const DepVector &V, const DepSet &Set);
+
+/// Classifies \p Fast (the pipeline backend) against \p Exact.
+CrossCheckResult crossCheckDeps(const DepResult &Fast, const DepResult &Exact);
+
+} // namespace deps
+} // namespace irlt
+
+#endif // IRLT_DEPS_CROSSCHECK_H

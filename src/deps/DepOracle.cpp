@@ -1,0 +1,62 @@
+//===- deps/DepOracle.cpp - Oracle registry and the pipeline backend -----===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "deps/DepOracle.h"
+
+#include "deps/FMExactOracle.h"
+#include "support/MathUtils.h"
+
+using namespace irlt;
+using namespace irlt::deps;
+
+DepOracle::~DepOracle() = default;
+
+namespace {
+
+/// The production analyzer behind the interface. Byte-identical to a
+/// direct analyzeDependences call by construction: it only adds the
+/// OverflowGuard wrapper every call site already used.
+class PipelineOracle : public DepOracle {
+public:
+  explicit PipelineOracle(DepAnalysisOptions Opts) : Opts(Opts) {}
+
+  std::string name() const override { return "pipeline"; }
+
+  DepResult analyze(const LoopNest &Nest) const override {
+    DepResult R;
+    OverflowGuard Guard;
+    R.Deps = analyzeDependences(Nest, Opts, R.Pairs);
+    R.Overflowed = Guard.triggered();
+    return R;
+  }
+
+private:
+  DepAnalysisOptions Opts;
+};
+
+} // namespace
+
+const DepOracle &deps::pipelineOracle() {
+  static PipelineOracle O{DepAnalysisOptions{}};
+  return O;
+}
+
+const DepOracle *deps::oracleByName(const std::string &Name) {
+  if (Name == "pipeline")
+    return &pipelineOracle();
+  if (Name == "fm-exact")
+    return &fmExactOracle();
+  return nullptr;
+}
+
+std::vector<std::string> deps::oracleNames() {
+  return {"pipeline", "fm-exact"};
+}
+
+std::unique_ptr<DepOracle>
+deps::makePipelineOracle(const DepAnalysisOptions &Opts) {
+  return std::make_unique<PipelineOracle>(Opts);
+}

@@ -1,0 +1,84 @@
+//===- deps/DepOracle.h - Multi-backend dependence oracle interface ------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract dependence oracle (docs/DEPENDENCE.md): analyze a perfect
+/// loop nest into a dependence-vector set plus per-reference-pair
+/// provenance (which test decided, exact/approximate, how many vectors).
+/// Two registered backends:
+///
+///   - "pipeline": the production ZIV/GCD + hierarchical-FM analyzer in
+///     src/dependence/ (the default everywhere);
+///   - "fm-exact": an independently written first-principles oracle that
+///     builds the full iteration-pair constraint system per subscript
+///     pair and runs integer-tightened Fourier-Motzkin directly, with no
+///     ZIV/SIV/GCD shortcuts (deps/FMExactOracle.cpp).
+///
+/// Both share the d-space specification of DepAnalysis.cpp (trip-counter
+/// stride model, conservative fallback families), so a vector the exact
+/// oracle reports that the pipeline does not cover is a soundness bug -
+/// the property irlt-fuzz --deps checks differentially (deps/CrossCheck.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRLT_DEPS_DEPORACLE_H
+#define IRLT_DEPS_DEPORACLE_H
+
+#include "dependence/DepAnalysis.h"
+#include "dependence/DepVector.h"
+#include "ir/LoopNest.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace irlt {
+namespace deps {
+
+/// One oracle run: the dependence set, per-pair provenance in pair-visit
+/// order, and whether coefficient arithmetic saturated (in which case the
+/// set must not be trusted for legality decisions - the same contract as
+/// api::Pipeline's dependence cache).
+struct DepResult {
+  DepSet Deps;
+  std::vector<DepPairInfo> Pairs;
+  bool Overflowed = false;
+};
+
+/// Abstract dependence-analysis backend.
+class DepOracle {
+public:
+  virtual ~DepOracle();
+
+  /// Registry name ("pipeline", "fm-exact").
+  virtual std::string name() const = 0;
+
+  /// Analyzes \p Nest under an OverflowGuard; saturation is reported via
+  /// DepResult::Overflowed, never an assertion. Thread-safe: oracles are
+  /// stateless between calls.
+  virtual DepResult analyze(const LoopNest &Nest) const = 0;
+};
+
+/// The production pipeline backend with default analysis options.
+const DepOracle &pipelineOracle();
+
+/// The first-principles integer-tightened FM backend.
+const DepOracle &fmExactOracle();
+
+/// Registry lookup; nullptr for unknown names.
+const DepOracle *oracleByName(const std::string &Name);
+
+/// All registered backend names, in registry order.
+std::vector<std::string> oracleNames();
+
+/// A pipeline backend with non-default dependence-analysis options (the
+/// api::Pipeline facade owns one configured from PipelineOptions).
+std::unique_ptr<DepOracle> makePipelineOracle(const DepAnalysisOptions &Opts);
+
+} // namespace deps
+} // namespace irlt
+
+#endif // IRLT_DEPS_DEPORACLE_H

@@ -1,0 +1,428 @@
+//===- deps/FMExactOracle.cpp - First-principles FM dependence oracle ----===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+//
+// Written independently of src/dependence/DepAnalysis.cpp on purpose: the
+// two backends share only the FMSolver primitives, the LinExpr
+// linearizer, and the d-space *specification* (variable meaning, loop
+// models, fallback policy). Everything here - symbol registration,
+// constraint assembly, direction-class enumeration - is a from-scratch
+// second implementation, so a disagreement between the backends points at
+// a real bug rather than a shared one.
+//
+//===----------------------------------------------------------------------===//
+
+#include "deps/FMExactOracle.h"
+
+#include "dependence/FMSolver.h"
+#include "ir/LinExpr.h"
+#include "support/MathUtils.h"
+
+#include <cassert>
+#include <map>
+
+using namespace irlt;
+using namespace irlt::deps;
+
+namespace {
+
+/// How one loop couples its index value to execution order (the shared
+/// d-space spec): Value loops advance by 1 so d_k is a difference of
+/// index values; Counter loops advance by a constant non-unit stride from
+/// an affine start, so d_k is a difference of trip counters; Free loops
+/// are unanalyzable and leave d_k unconstrained.
+struct LoopModel {
+  enum class Shape { Value, Counter, Free };
+  Shape S = Shape::Free;
+  int64_t Step = 1;
+  // Value loops: conjunctive bound pieces (x >= each Lower, x <= each
+  // Upper). Counter loops: Start (x == Start + Step*c, c >= 0) and End
+  // pieces (x <= E for Step > 0, x >= E otherwise).
+  std::vector<LinExpr> Lowers, Uppers;
+  LinExpr Start;
+  std::vector<LinExpr> Ends;
+};
+
+/// One side of a reference pair.
+struct Access {
+  const irlt::ArrayRef *Ref;
+  bool IsWrite;
+};
+
+class ExactAnalyzer {
+public:
+  explicit ExactAnalyzer(const LoopNest &Nest)
+      : Nest(Nest), N(Nest.numLoops()) {}
+
+  DepResult run();
+
+private:
+  // Variable space (identical meaning to the pipeline analyzer's):
+  //   src iteration  [0, N)
+  //   dst iteration  [N, 2N)
+  //   parameters     [2N, 2N+P)
+  //   differences    [2N+P, 3N+P)
+  //   src counters   [3N+P, 4N+P)
+  //   dst counters   [4N+P, 5N+P)
+  unsigned srcVar(unsigned K) const { return K; }
+  unsigned dstVar(unsigned K) const { return N + K; }
+  unsigned parVar(unsigned P) const { return 2 * N + P; }
+  unsigned difVar(unsigned K) const { return 2 * N + NumParams + K; }
+  unsigned srcCnt(unsigned K) const { return 3 * N + NumParams + K; }
+  unsigned dstCnt(unsigned K) const { return 4 * N + NumParams + K; }
+  unsigned numFMVars() const { return 5 * N + NumParams; }
+
+  /// True if every atom of \p L is invariant in the nest (a plain
+  /// non-index variable, or an opaque subtree mentioning no index
+  /// variable). Registers each such atom as a parameter.
+  bool registerInvariants(const LinExpr &L);
+
+  /// Adds \p L's coefficients into \p Row (iteration variables mapped to
+  /// the chosen side, parameters to their slots) scaled by \p Scale, and
+  /// the constant into \p Const. Pre: registerInvariants(L) held.
+  void accumulate(const LinExpr &L, bool DstSide, int64_t Scale,
+                  std::vector<int64_t> &Row, int64_t &Const) const;
+
+  /// Installs the bound / counter-coupling / difference-definition rows
+  /// for iteration side \p DstSide into \p Sys.
+  void installIterationConstraints(FMSystem &Sys, bool DstSide) const;
+
+  /// The (0,..,0,+,*,..,*) fallback family.
+  void emitFallbackFamily(DepSet &Out) const;
+
+  /// Decides one ordered pair; returns its provenance record.
+  DepPairInfo decidePair(const Access &Src, unsigned SrcIdx,
+                         const Access &Dst, unsigned DstIdx, DepSet &Out);
+
+  /// Depth-first direction-class enumeration over the integral system.
+  void enumerate(const FMSystem &Sys, std::vector<int8_t> &Signs,
+                 bool SeenPos, DepSet &Out) const;
+
+  const LoopNest &Nest;
+  unsigned N;
+  unsigned NumParams = 0;
+  std::map<std::string, unsigned> ParamSlot; // atom key -> parameter slot
+  std::vector<LoopModel> Models;
+};
+
+bool ExactAnalyzer::registerInvariants(const LinExpr &L) {
+  for (const auto &[Key, Term] : L.terms()) {
+    if (const auto *V = dyn_cast<VarExpr>(Term.Atom.get())) {
+      if (Nest.bindsVar(V->name()))
+        continue; // index variable: positional, not a parameter
+    } else {
+      std::set<std::string> Vars;
+      Term.Atom->collectVars(Vars);
+      for (const std::string &Name : Vars)
+        if (Nest.bindsVar(Name))
+          return false; // index variable buried in an opaque atom
+    }
+    if (!ParamSlot.count(Key))
+      ParamSlot.emplace(Key, NumParams++);
+  }
+  return true;
+}
+
+void ExactAnalyzer::accumulate(const LinExpr &L, bool DstSide, int64_t Scale,
+                               std::vector<int64_t> &Row,
+                               int64_t &Const) const {
+  Const = addChecked(Const, mulChecked(Scale, L.constant()));
+  for (const auto &[Key, Term] : L.terms()) {
+    int64_t C = mulChecked(Scale, Term.Coef);
+    if (const auto *V = dyn_cast<VarExpr>(Term.Atom.get())) {
+      int Pos = Nest.loopIndexOf(V->name());
+      if (Pos >= 0) {
+        unsigned Slot = DstSide ? dstVar(static_cast<unsigned>(Pos))
+                                : srcVar(static_cast<unsigned>(Pos));
+        Row[Slot] = addChecked(Row[Slot], C);
+        continue;
+      }
+    }
+    auto It = ParamSlot.find(Key);
+    assert(It != ParamSlot.end() && "accumulate on unregistered atom");
+    Row[parVar(It->second)] = addChecked(Row[parVar(It->second)], C);
+  }
+}
+
+void ExactAnalyzer::installIterationConstraints(FMSystem &Sys,
+                                                bool DstSide) const {
+  for (unsigned K = 0; K < N; ++K) {
+    const LoopModel &M = Models[K];
+    unsigned X = DstSide ? dstVar(K) : srcVar(K);
+    switch (M.S) {
+    case LoopModel::Shape::Value: {
+      for (const LinExpr &LB : M.Lowers) {
+        // x - LB >= 0.
+        std::vector<int64_t> Row(numFMVars(), 0);
+        int64_t C = 0;
+        Row[X] = 1;
+        accumulate(LB, DstSide, -1, Row, C);
+        Sys.addGE(std::move(Row), negChecked(C));
+      }
+      for (const LinExpr &UB : M.Uppers) {
+        // UB - x >= 0.
+        std::vector<int64_t> Row(numFMVars(), 0);
+        int64_t C = 0;
+        Row[X] = -1;
+        accumulate(UB, DstSide, 1, Row, C);
+        Sys.addGE(std::move(Row), negChecked(C));
+      }
+      break;
+    }
+    case LoopModel::Shape::Counter: {
+      unsigned Cnt = DstSide ? dstCnt(K) : srcCnt(K);
+      // x == Start + Step*c  and  c >= 0.
+      std::vector<int64_t> Eq(numFMVars(), 0);
+      int64_t C = 0;
+      Eq[X] = 1;
+      Eq[Cnt] = negChecked(M.Step);
+      accumulate(M.Start, DstSide, -1, Eq, C);
+      Sys.addEQ(Eq, negChecked(C));
+      std::vector<int64_t> CRow(numFMVars(), 0);
+      CRow[Cnt] = 1;
+      Sys.addGE(std::move(CRow), 0);
+      for (const LinExpr &E : M.Ends) {
+        std::vector<int64_t> Row(numFMVars(), 0);
+        int64_t EC = 0;
+        if (M.Step > 0) { // E - x >= 0
+          Row[X] = -1;
+          accumulate(E, DstSide, 1, Row, EC);
+        } else { // x - E >= 0
+          Row[X] = 1;
+          accumulate(E, DstSide, -1, Row, EC);
+        }
+        Sys.addGE(std::move(Row), negChecked(EC));
+      }
+      break;
+    }
+    case LoopModel::Shape::Free:
+      break;
+    }
+  }
+}
+
+void ExactAnalyzer::emitFallbackFamily(DepSet &Out) const {
+  for (unsigned Carrier = 0; Carrier < N; ++Carrier) {
+    std::vector<DepElem> Elems(N, DepElem::any());
+    for (unsigned K = 0; K < Carrier; ++K)
+      Elems[K] = DepElem::zero();
+    Elems[Carrier] = DepElem::pos();
+    Out.insert(DepVector(std::move(Elems)));
+  }
+}
+
+void ExactAnalyzer::enumerate(const FMSystem &Sys, std::vector<int8_t> &Signs,
+                              bool SeenPos, DepSet &Out) const {
+  unsigned Level = static_cast<unsigned>(Signs.size());
+  if (Level == N) {
+    if (!SeenPos)
+      return; // the all-zero class carries no dependence
+    std::vector<DepElem> Elems;
+    Elems.reserve(N);
+    for (unsigned K = 0; K < N; ++K) {
+      if (Signs[K] == 0) {
+        Elems.push_back(DepElem::zero());
+        continue;
+      }
+      DepElem E = Signs[K] > 0 ? DepElem::pos() : DepElem::neg();
+      VarRange R = Sys.rangeOf(difVar(K));
+      if (R.Feasible && R.Lo && R.Hi && *R.Lo == *R.Hi && R.Lo->isInteger())
+        E = DepElem::distance(R.Lo->num());
+      Elems.push_back(E);
+    }
+    Out.insert(DepVector(std::move(Elems)));
+    return;
+  }
+
+  // Extend the class with each legal sign of d_Level; the first non-zero
+  // sign must be positive (the source order satisfies the dependence).
+  const int8_t Candidates[3] = {0, 1, -1};
+  for (int8_t S : Candidates) {
+    if (S < 0 && !SeenPos)
+      continue;
+    FMSystem Narrow = Sys;
+    std::vector<int64_t> Row(numFMVars(), 0);
+    Row[difVar(Level)] = 1;
+    if (S == 0)
+      Narrow.addEQ(Row, 0);
+    else if (S > 0)
+      Narrow.addGE(std::move(Row), 1);
+    else
+      Narrow.addLE(std::move(Row), -1);
+    if (!Narrow.feasible())
+      continue;
+    Signs.push_back(S);
+    enumerate(Narrow, Signs, SeenPos || S > 0, Out);
+    Signs.pop_back();
+  }
+}
+
+DepPairInfo ExactAnalyzer::decidePair(const Access &Src, unsigned SrcIdx,
+                                      const Access &Dst, unsigned DstIdx,
+                                      DepSet &Out) {
+  DepPairInfo Info;
+  Info.Array = Src.Ref->Array;
+  Info.SrcOcc = SrcIdx;
+  Info.DstOcc = DstIdx;
+  Info.SrcIsWrite = Src.IsWrite;
+  Info.DstIsWrite = Dst.IsWrite;
+
+  DepSet Local;
+  if (Src.Ref->Subscripts.size() != Dst.Ref->Subscripts.size()) {
+    emitFallbackFamily(Local);
+    Info.Decided = DepDecision::IllTyped;
+  } else {
+    // Linearize every dimension; a dimension participates only when both
+    // sides are affine over index variables and registered invariants.
+    struct DimPair {
+      LinExpr S, D;
+    };
+    std::vector<DimPair> Usable;
+    for (size_t I = 0; I < Src.Ref->Subscripts.size(); ++I) {
+      DimPair P{LinExpr::fromExpr(Src.Ref->Subscripts[I]),
+                LinExpr::fromExpr(Dst.Ref->Subscripts[I])};
+      if (registerInvariants(P.S) && registerInvariants(P.D))
+        Usable.push_back(std::move(P));
+    }
+    if (Usable.empty()) {
+      emitFallbackFamily(Local);
+      Info.Decided = DepDecision::NonLinear;
+    } else {
+      FMSystem Sys(numFMVars(), /*IntegerVars=*/true);
+      // Subscript equations: f_src(I) - f_dst(J) == 0, with no prefilter
+      // of any kind - integral row normalization subsumes ZIV and GCD.
+      for (const DimPair &P : Usable) {
+        std::vector<int64_t> Row(numFMVars(), 0);
+        int64_t C = 0;
+        accumulate(P.S, /*DstSide=*/false, 1, Row, C);
+        accumulate(P.D, /*DstSide=*/true, -1, Row, C);
+        Sys.addEQ(Row, negChecked(C));
+      }
+      installIterationConstraints(Sys, /*DstSide=*/false);
+      installIterationConstraints(Sys, /*DstSide=*/true);
+      // Difference definitions per the shared spec.
+      for (unsigned K = 0; K < N; ++K) {
+        std::vector<int64_t> Row(numFMVars(), 0);
+        Row[difVar(K)] = 1;
+        switch (Models[K].S) {
+        case LoopModel::Shape::Value:
+          Row[dstVar(K)] = -1;
+          Row[srcVar(K)] = 1;
+          Sys.addEQ(Row, 0);
+          break;
+        case LoopModel::Shape::Counter:
+          Row[dstCnt(K)] = -1;
+          Row[srcCnt(K)] = 1;
+          Sys.addEQ(Row, 0);
+          break;
+        case LoopModel::Shape::Free:
+          break; // d_K unconstrained
+        }
+      }
+      std::vector<int8_t> Signs;
+      enumerate(Sys, Signs, /*SeenPos=*/false, Local);
+      Info.Decided = DepDecision::FM;
+    }
+  }
+
+  Info.NumVectors = static_cast<unsigned>(Local.size());
+  Info.Independent = Local.empty();
+  bool AllDist = !Local.empty();
+  for (const DepVector &V : Local.vectors())
+    AllDist = AllDist && V.allDistances();
+  Info.Exact = AllDist;
+  Out.insertAll(Local.vectors());
+  return Info;
+}
+
+DepResult ExactAnalyzer::run() {
+  DepResult Result;
+  OverflowGuard Guard;
+
+  // Loop models per the shared d-space spec. Bound pieces that fail the
+  // invariance check are dropped (the variable is then under-constrained
+  // on that side, which is conservative).
+  Models.resize(N);
+  for (unsigned K = 0; K < N; ++K) {
+    const Loop &L = Nest.Loops[K];
+    LoopModel &M = Models[K];
+    auto splitPieces = [&](const ExprRef &E, Expr::Kind SplitKind,
+                           std::vector<LinExpr> &Dest) {
+      std::vector<ExprRef> Parts;
+      if (E->kind() == SplitKind)
+        Parts = cast<MinMaxExpr>(E.get())->operands();
+      else
+        Parts.push_back(E);
+      for (const ExprRef &P : Parts) {
+        LinExpr LE = LinExpr::fromExpr(P);
+        if (registerInvariants(LE))
+          Dest.push_back(std::move(LE));
+      }
+    };
+    std::optional<int64_t> Step = L.Step->constValue();
+    if (Step && *Step == 1) {
+      M.S = LoopModel::Shape::Value;
+      M.Step = 1;
+      splitPieces(L.Lower, Expr::Kind::Max, M.Lowers);
+      splitPieces(L.Upper, Expr::Kind::Min, M.Uppers);
+    } else if (Step && *Step != 0 && L.Lower->kind() != Expr::Kind::Max &&
+               L.Lower->kind() != Expr::Kind::Min) {
+      LinExpr Start = LinExpr::fromExpr(L.Lower);
+      if (registerInvariants(Start)) {
+        M.S = LoopModel::Shape::Counter;
+        M.Step = *Step;
+        M.Start = std::move(Start);
+        splitPieces(L.Upper, *Step > 0 ? Expr::Kind::Min : Expr::Kind::Max,
+                    M.Ends);
+      }
+    }
+  }
+
+  // Pre-register subscript invariants so the parameter table (and with it
+  // the FM variable space) is fixed before any pair is decided.
+  std::vector<irlt::ArrayRef> Writes, Reads;
+  Nest.collectWrites(Writes);
+  Nest.collectReads(Reads);
+  std::vector<Access> Accesses;
+  Accesses.reserve(Writes.size() + Reads.size());
+  for (const irlt::ArrayRef &W : Writes)
+    Accesses.push_back(Access{&W, true});
+  for (const irlt::ArrayRef &R : Reads)
+    Accesses.push_back(Access{&R, false});
+  for (const Access &A : Accesses)
+    for (const ExprRef &S : A.Ref->Subscripts)
+      (void)registerInvariants(LinExpr::fromExpr(S));
+
+  for (unsigned I = 0; I < Accesses.size(); ++I)
+    for (unsigned J = 0; J < Accesses.size(); ++J) {
+      const Access &A = Accesses[I], &B = Accesses[J];
+      if (!A.IsWrite && !B.IsWrite)
+        continue;
+      if (A.Ref->Array != B.Ref->Array)
+        continue;
+      Result.Pairs.push_back(decidePair(A, I, B, J, Result.Deps));
+    }
+
+  Result.Overflowed = Guard.triggered();
+  return Result;
+}
+
+/// The registered backend.
+class FMExactBackend : public DepOracle {
+public:
+  std::string name() const override { return "fm-exact"; }
+
+  DepResult analyze(const LoopNest &Nest) const override {
+    ExactAnalyzer A(Nest);
+    return A.run();
+  }
+};
+
+} // namespace
+
+const DepOracle &deps::fmExactOracle() {
+  static FMExactBackend O;
+  return O;
+}

@@ -1,0 +1,41 @@
+//===- deps/FMExactOracle.h - First-principles FM dependence oracle ------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The second, independently written dependence backend (docs/
+/// DEPENDENCE.md): for every ordered reference pair it assembles the full
+/// iteration-pair constraint system - subscript equations, bound
+/// constraints for both iterations, trip-counter couplings for strided
+/// loops, difference-variable definitions - and decides each direction
+/// class by running Fourier-Motzkin elimination directly on it, with the
+/// variables declared integral (FMSystem's integer-tightening mode). No
+/// ZIV, SIV, GCD, or Banerjee shortcut is consulted: constant-subscript
+/// disproofs and integer-divisibility disproofs fall out of row
+/// normalization instead.
+///
+/// The oracle follows the shared d-space specification of
+/// DepAnalysis.cpp (unit / trip-counter / opaque loop models and the
+/// conservative fallback families), so its result set is always covered
+/// by the pipeline backend's unless the pipeline has a soundness bug -
+/// the invariant irlt-fuzz --deps checks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRLT_DEPS_FMEXACTORACLE_H
+#define IRLT_DEPS_FMEXACTORACLE_H
+
+#include "deps/DepOracle.h"
+
+namespace irlt {
+namespace deps {
+
+/// The registered "fm-exact" backend instance.
+const DepOracle &fmExactOracle();
+
+} // namespace deps
+} // namespace irlt
+
+#endif // IRLT_DEPS_FMEXACTORACLE_H

@@ -1,0 +1,461 @@
+//===- deps/ScopIO.cpp - OpenScop-style affine nest import/export --------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "deps/ScopIO.h"
+
+#include "ir/LinExpr.h"
+#include "ir/Parser.h"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+using namespace irlt;
+using namespace irlt::deps;
+
+namespace {
+
+/// One DOMAIN row: [e/i flag | iterator coefs | parameter coefs | const],
+/// meaning  flag==1: sum >= 0.
+struct ScopRow {
+  std::vector<int64_t> IterCoef;
+  std::vector<int64_t> ParamCoef;
+  int64_t Const = 0;
+};
+
+//===----------------------------------------------------------------------===
+// Export
+//===----------------------------------------------------------------------===
+
+/// Splits a bound into conjunctive affine pieces (Max for lower bounds,
+/// Min for upper bounds). Fails when a piece is not affine over outer
+/// iterators (< \p LoopIdx) and plain invariant variables.
+ErrorOr<std::vector<LinExpr>> boundPieces(const LoopNest &Nest,
+                                          const ExprRef &Bound,
+                                          Expr::Kind SplitKind,
+                                          unsigned LoopIdx) {
+  std::vector<ExprRef> Parts;
+  if (Bound->kind() == SplitKind)
+    Parts = cast<MinMaxExpr>(Bound.get())->operands();
+  else
+    Parts.push_back(Bound);
+  std::vector<LinExpr> Out;
+  for (const ExprRef &P : Parts) {
+    LinExpr L = LinExpr::fromExpr(P);
+    for (const auto &[Key, Term] : L.terms()) {
+      const auto *V = dyn_cast<VarExpr>(Term.Atom.get());
+      if (!V)
+        return Failure("bound of loop " + std::to_string(LoopIdx + 1) +
+                       " is not affine: non-variable term " + Key);
+      int Pos = Nest.loopIndexOf(V->name());
+      if (Pos >= static_cast<int>(LoopIdx))
+        return Failure("bound of loop " + std::to_string(LoopIdx + 1) +
+                       " references non-outer iterator " + V->name());
+    }
+    Out.push_back(std::move(L));
+  }
+  return Out;
+}
+
+void writeSection(std::ostringstream &OS, const std::string &Tag,
+                  const std::vector<std::string> &Lines) {
+  OS << "<" << Tag << ">\n";
+  for (const std::string &L : Lines)
+    OS << L << "\n";
+  OS << "</" << Tag << ">\n\n";
+}
+
+std::string joinSpace(const std::vector<std::string> &Parts) {
+  std::string S;
+  for (size_t I = 0; I < Parts.size(); ++I)
+    S += (I ? " " : "") + Parts[I];
+  return S;
+}
+
+//===----------------------------------------------------------------------===
+// Import
+//===----------------------------------------------------------------------===
+
+struct SectionedText {
+  std::map<std::string, std::vector<std::string>> Sections;
+  std::vector<ScopRow> Domain;
+  unsigned NumIters = 0, NumParams = 0;
+};
+
+bool parseInt64(const std::string &Tok, int64_t &V) {
+  if (Tok.empty())
+    return false;
+  size_t Pos = 0;
+  try {
+    V = std::stoll(Tok, &Pos);
+  } catch (...) {
+    return false;
+  }
+  return Pos == Tok.size();
+}
+
+std::vector<std::string> splitWS(const std::string &Line) {
+  std::vector<std::string> Out;
+  std::istringstream IS(Line);
+  std::string Tok;
+  while (IS >> Tok)
+    Out.push_back(Tok);
+  return Out;
+}
+
+ErrorOr<SectionedText> parseSections(const std::string &Text) {
+  SectionedText S;
+  std::vector<std::string> Lines;
+  {
+    std::istringstream IS(Text);
+    std::string L;
+    while (std::getline(IS, L))
+      Lines.push_back(L);
+  }
+  bool SawOpen = false;
+  std::string InTag;
+  size_t I = 0;
+  auto trimmed = [](const std::string &L) {
+    size_t B = L.find_first_not_of(" \t\r");
+    if (B == std::string::npos)
+      return std::string();
+    size_t E = L.find_last_not_of(" \t\r");
+    return L.substr(B, E - B + 1);
+  };
+  while (I < Lines.size()) {
+    std::string L = trimmed(Lines[I]);
+    ++I;
+    if (!InTag.empty()) {
+      if (L == "</" + InTag + ">") {
+        InTag.clear();
+        continue;
+      }
+      if (L.empty())
+        continue;
+      S.Sections[InTag].push_back(L);
+      continue;
+    }
+    if (L.empty() || L[0] == '#')
+      continue;
+    if (L == "<OpenScop>") {
+      SawOpen = true;
+      continue;
+    }
+    if (L == "</OpenScop>")
+      continue;
+    if (L.size() > 2 && L.front() == '<' && L.back() == '>' && L[1] != '/') {
+      InTag = L.substr(1, L.size() - 2);
+      S.Sections[InTag]; // record presence even when empty
+      continue;
+    }
+    if (L == "DOMAIN") {
+      // Header "R C", then R rows of C integers each.
+      while (I < Lines.size() &&
+             (trimmed(Lines[I]).empty() || trimmed(Lines[I])[0] == '#'))
+        ++I;
+      if (I >= Lines.size())
+        return Failure("scop: DOMAIN missing its size header");
+      std::vector<std::string> Hdr = splitWS(trimmed(Lines[I]));
+      ++I;
+      int64_t R = 0, C = 0;
+      if (Hdr.size() != 2 || !parseInt64(Hdr[0], R) || !parseInt64(Hdr[1], C) ||
+          R < 0 || C < 3)
+        return Failure("scop: malformed DOMAIN size header");
+      for (int64_t Row = 0; Row < R; ++Row) {
+        while (I < Lines.size() &&
+               (trimmed(Lines[I]).empty() || trimmed(Lines[I])[0] == '#'))
+          ++I;
+        if (I >= Lines.size())
+          return Failure("scop: DOMAIN ends after " + std::to_string(Row) +
+                         " of " + std::to_string(R) + " rows");
+        std::vector<std::string> Toks = splitWS(trimmed(Lines[I]));
+        ++I;
+        if (Toks.size() != static_cast<size_t>(C))
+          return Failure("scop: DOMAIN row " + std::to_string(Row + 1) +
+                         " has " + std::to_string(Toks.size()) +
+                         " columns, expected " + std::to_string(C));
+        std::vector<int64_t> Vals(Toks.size());
+        for (size_t T = 0; T < Toks.size(); ++T)
+          if (!parseInt64(Toks[T], Vals[T]))
+            return Failure("scop: non-integer DOMAIN entry '" + Toks[T] + "'");
+        if (Vals[0] != 1)
+          return Failure("scop: only inequality rows (flag 1) are supported");
+        ScopRow SR;
+        SR.Const = Vals.back();
+        SR.IterCoef.assign(Vals.begin() + 1, Vals.end() - 1);
+        S.Domain.push_back(std::move(SR)); // split iter/param columns later
+      }
+      continue;
+    }
+    return Failure("scop: unexpected line '" + L + "'");
+  }
+  if (!SawOpen)
+    return Failure("scop: missing <OpenScop> header");
+  if (!InTag.empty())
+    return Failure("scop: unterminated section <" + InTag + ">");
+  return S;
+}
+
+} // namespace
+
+ErrorOr<std::string> deps::exportScop(const LoopNest &Nest) {
+  if (!Nest.Inits.empty())
+    return Failure("scop export is defined for source nests only "
+                   "(this nest carries initialization statements)");
+  unsigned N = Nest.numLoops();
+  if (N == 0)
+    return Failure("scop export needs at least one loop");
+
+  // Collect the per-loop affine pieces and the step constants.
+  std::vector<std::vector<LinExpr>> Lowers(N), Uppers(N);
+  std::vector<int64_t> Steps(N);
+  for (unsigned K = 0; K < N; ++K) {
+    const Loop &L = Nest.Loops[K];
+    std::optional<int64_t> Step = L.Step->constValue();
+    if (!Step || *Step <= 0)
+      return Failure("scop export requires a positive constant step on loop " +
+                     std::to_string(K + 1));
+    Steps[K] = *Step;
+    ErrorOr<std::vector<LinExpr>> Lo =
+        boundPieces(Nest, L.Lower, Expr::Kind::Max, K);
+    if (!Lo)
+      return Failure(Lo.takeDiags());
+    ErrorOr<std::vector<LinExpr>> Up =
+        boundPieces(Nest, L.Upper, Expr::Kind::Min, K);
+    if (!Up)
+      return Failure(Up.takeDiags());
+    Lowers[K] = Lo.take();
+    Uppers[K] = Up.take();
+  }
+
+  // Parameter table: plain invariant variables, sorted (std::map order).
+  std::map<std::string, unsigned> Params;
+  for (unsigned K = 0; K < N; ++K)
+    for (const std::vector<LinExpr> *Side : {&Lowers[K], &Uppers[K]})
+      for (const LinExpr &P : *Side)
+        for (const auto &[Key, Term] : P.terms())
+          if (!Nest.bindsVar(Key))
+            Params.emplace(Key, 0);
+  {
+    unsigned Slot = 0;
+    for (auto &[Name, Idx] : Params)
+      Idx = Slot++;
+  }
+  unsigned NumParams = static_cast<unsigned>(Params.size());
+
+  // DOMAIN rows, iterator-major: loop k's lower pieces then upper pieces.
+  auto pieceRow = [&](unsigned K, const LinExpr &Piece, bool IsLower) {
+    std::vector<int64_t> Row(N + NumParams, 0);
+    int64_t Sign = IsLower ? -1 : 1; //  lower: x - P >= 0; upper: P - x >= 0
+    Row[K] = -Sign;
+    int64_t Const = Sign * Piece.constant();
+    for (const auto &[Key, Term] : Piece.terms()) {
+      int Pos = Nest.loopIndexOf(Key);
+      unsigned Slot = Pos >= 0 ? static_cast<unsigned>(Pos)
+                               : N + Params.at(Key);
+      Row[Slot] += Sign * Term.Coef;
+    }
+    std::string Line = "1";
+    for (int64_t C : Row) {
+      Line += ' ';
+      Line += std::to_string(C);
+    }
+    Line += ' ';
+    Line += std::to_string(Const);
+    return Line;
+  };
+  std::vector<std::string> RowLines;
+  for (unsigned K = 0; K < N; ++K) {
+    for (const LinExpr &P : Lowers[K])
+      RowLines.push_back(pieceRow(K, P, /*IsLower=*/true));
+    for (const LinExpr &P : Uppers[K])
+      RowLines.push_back(pieceRow(K, P, /*IsLower=*/false));
+  }
+
+  std::ostringstream OS;
+  OS << "<OpenScop>\n";
+  OS << "# IRLT affine nest (OpenScop-style dialect; docs/DEPENDENCE.md)\n\n";
+
+  std::vector<std::string> ArrayLine, IterLine, ParamLine;
+  ArrayLine.push_back(joinSpace(std::vector<std::string>(
+      Nest.ArrayNames.begin(), Nest.ArrayNames.end())));
+  std::vector<std::string> Iters;
+  for (const Loop &L : Nest.Loops)
+    Iters.push_back(L.IndexVar);
+  IterLine.push_back(joinSpace(Iters));
+  std::vector<std::string> ParamNames;
+  for (const auto &[Name, Idx] : Params)
+    ParamNames.push_back(Name);
+  writeSection(OS, "arrays", ArrayLine);
+  writeSection(OS, "iterators", IterLine);
+  writeSection(OS, "parameters",
+               ParamNames.empty()
+                   ? std::vector<std::string>{}
+                   : std::vector<std::string>{joinSpace(ParamNames)});
+
+  OS << "DOMAIN\n";
+  OS << RowLines.size() << " " << (2 + N + NumParams) << "\n";
+  OS << "# e/i | " << joinSpace(Iters) << " | " << joinSpace(ParamNames)
+     << " | 1\n";
+  for (const std::string &R : RowLines)
+    OS << R << "\n";
+  OS << "\n";
+
+  std::vector<std::string> StrideToks, KindToks;
+  for (unsigned K = 0; K < N; ++K) {
+    StrideToks.push_back(std::to_string(Steps[K]));
+    KindToks.push_back(Nest.Loops[K].Kind == LoopKind::ParDo ? "pardo" : "do");
+  }
+  writeSection(OS, "strides", {joinSpace(StrideToks)});
+  writeSection(OS, "kinds", {joinSpace(KindToks)});
+
+  std::vector<std::string> BodyLines;
+  for (const AssignStmt &St : Nest.Body)
+    BodyLines.push_back(St.str());
+  writeSection(OS, "body", BodyLines);
+
+  OS << "</OpenScop>\n";
+  return OS.str();
+}
+
+ErrorOr<LoopNest> deps::importScop(const std::string &Text) {
+  ErrorOr<SectionedText> SOr = parseSections(Text);
+  if (!SOr)
+    return Failure(SOr.takeDiags());
+  SectionedText S = SOr.take();
+
+  auto section = [&](const std::string &Tag) -> std::vector<std::string> * {
+    auto It = S.Sections.find(Tag);
+    return It == S.Sections.end() ? nullptr : &It->second;
+  };
+  auto oneLineToks =
+      [&](const std::string &Tag) -> ErrorOr<std::vector<std::string>> {
+    std::vector<std::string> *Sec = section(Tag);
+    if (!Sec)
+      return Failure("scop: missing <" + Tag + "> section");
+    if (Sec->empty())
+      return std::vector<std::string>{};
+    if (Sec->size() != 1)
+      return Failure("scop: <" + Tag + "> must be a single line");
+    return splitWS((*Sec)[0]);
+  };
+
+  ErrorOr<std::vector<std::string>> ItersOr = oneLineToks("iterators");
+  if (!ItersOr)
+    return Failure(ItersOr.takeDiags());
+  std::vector<std::string> Iters = ItersOr.take();
+  unsigned N = static_cast<unsigned>(Iters.size());
+  if (N == 0)
+    return Failure("scop: no iterators");
+
+  ErrorOr<std::vector<std::string>> ParamsOr = oneLineToks("parameters");
+  if (!ParamsOr)
+    return Failure(ParamsOr.takeDiags());
+  std::vector<std::string> Param = ParamsOr.take();
+
+  ErrorOr<std::vector<std::string>> ArraysOr = oneLineToks("arrays");
+  if (!ArraysOr)
+    return Failure(ArraysOr.takeDiags());
+  std::vector<std::string> Arrays = ArraysOr.take();
+
+  ErrorOr<std::vector<std::string>> StridesOr = oneLineToks("strides");
+  if (!StridesOr)
+    return Failure(StridesOr.takeDiags());
+  ErrorOr<std::vector<std::string>> KindsOr = oneLineToks("kinds");
+  if (!KindsOr)
+    return Failure(KindsOr.takeDiags());
+  std::vector<std::string> StrideToks = StridesOr.take();
+  std::vector<std::string> KindToks = KindsOr.take();
+  if (StrideToks.size() != N || KindToks.size() != N)
+    return Failure("scop: <strides>/<kinds> arity does not match iterators");
+  std::vector<int64_t> Steps(N);
+  for (unsigned K = 0; K < N; ++K) {
+    if (!parseInt64(StrideToks[K], Steps[K]) || Steps[K] <= 0)
+      return Failure("scop: stride of iterator " + Iters[K] +
+                     " must be a positive integer");
+    if (KindToks[K] != "do" && KindToks[K] != "pardo")
+      return Failure("scop: loop kind must be do or pardo, got " + KindToks[K]);
+  }
+
+  std::vector<std::string> *Body = section("body");
+  if (!Body || Body->empty())
+    return Failure("scop: missing or empty <body> section");
+
+  // Attribute each DOMAIN row to its deepest iterator and rebuild the
+  // bound expression it encodes.
+  unsigned Cols = N + static_cast<unsigned>(Param.size());
+  std::vector<std::vector<ExprRef>> LowerPieces(N), UpperPieces(N);
+  for (size_t R = 0; R < S.Domain.size(); ++R) {
+    const ScopRow &Row = S.Domain[R];
+    if (Row.IterCoef.size() != Cols)
+      return Failure("scop: DOMAIN width does not match iterators+parameters");
+    int Deepest = -1;
+    for (unsigned K = 0; K < N; ++K)
+      if (Row.IterCoef[K] != 0)
+        Deepest = static_cast<int>(K);
+    if (Deepest < 0)
+      return Failure("scop: DOMAIN row " + std::to_string(R + 1) +
+                     " constrains no iterator");
+    int64_t C = Row.IterCoef[Deepest];
+    if (C != 1 && C != -1)
+      return Failure("scop: DOMAIN row " + std::to_string(R + 1) +
+                     " has non-unit coefficient on its deepest iterator");
+    // C == 1: x >= -(rest) - const.  C == -1: x <= rest + const.
+    LinExpr Bound;
+    int64_t Sign = C == 1 ? -1 : 1;
+    Bound.addConst(Sign * Row.Const);
+    for (unsigned K = 0; K < Cols; ++K) {
+      if (static_cast<int>(K) == Deepest || Row.IterCoef[K] == 0)
+        continue;
+      const std::string &Name = K < N ? Iters[K] : Param[K - N];
+      Bound.addVar(Name, Sign * Row.IterCoef[K]);
+    }
+    (C == 1 ? LowerPieces : UpperPieces)[Deepest].push_back(Bound.toExpr());
+  }
+  for (unsigned K = 0; K < N; ++K) {
+    if (LowerPieces[K].empty())
+      return Failure("scop: iterator " + Iters[K] + " has no lower bound row");
+    if (UpperPieces[K].empty())
+      return Failure("scop: iterator " + Iters[K] + " has no upper bound row");
+  }
+
+  // Rebuild loop-language source and reuse the standard parser so the
+  // imported nest passes exactly the validation hand-written source does.
+  std::ostringstream Src;
+  if (!Arrays.empty())
+    Src << "arrays " << [&] {
+      std::string L;
+      for (size_t I = 0; I < Arrays.size(); ++I)
+        L += (I ? ", " : "") + Arrays[I];
+      return L;
+    }() << "\n";
+  auto combined = [](std::vector<ExprRef> Pieces, bool IsMax) {
+    if (Pieces.size() == 1)
+      return Pieces[0];
+    return IsMax ? Expr::maxE(std::move(Pieces)) : Expr::minE(std::move(Pieces));
+  };
+  std::string Indent;
+  for (unsigned K = 0; K < N; ++K) {
+    Src << Indent << (KindToks[K] == "pardo" ? "pardo " : "do ") << Iters[K]
+        << " = " << combined(LowerPieces[K], /*IsMax=*/true)->str() << ", "
+        << combined(UpperPieces[K], /*IsMax=*/false)->str();
+    if (Steps[K] != 1)
+      Src << ", " << Steps[K];
+    Src << "\n";
+    Indent += "  ";
+  }
+  for (const std::string &Line : *Body)
+    Src << Indent << Line << "\n";
+  for (unsigned K = 0; K < N; ++K) {
+    Indent.resize(Indent.size() - 2);
+    Src << Indent << "enddo\n";
+  }
+
+  ErrorOr<LoopNest> NestOr = parseLoopNest(Src.str());
+  if (!NestOr)
+    return Failure(NestOr.takeDiags());
+  return NestOr.take();
+}

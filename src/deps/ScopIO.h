@@ -1,0 +1,53 @@
+//===- deps/ScopIO.h - OpenScop-style affine nest import/export ----------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A textual OpenScop-style exchange format for affine source nests
+/// (docs/DEPENDENCE.md), so external polyhedral corpora can be fed to the
+/// dependence oracles and the rest of the pipeline via
+/// `irlt-opt --import-scop` / `--export-scop`.
+///
+/// The dialect keeps OpenScop's shape - a DOMAIN constraint matrix over
+/// [e/i flag | iterators | parameters | 1] with every row meaning
+/// `sum >= 0`, plus tagged extension sections - and adds the extensions
+/// this framework needs for byte-exact round-trips: `<arrays>`,
+/// `<iterators>`, `<parameters>`, `<strides>` (constant positive steps),
+/// `<kinds>` (do/pardo), and `<body>` (verbatim loop-language statement
+/// text, like OpenScop's body extension).
+///
+/// Export is defined for *source* nests (no initialization statements)
+/// whose bounds are affine in outer iterators and plain invariant
+/// parameters (max-of lower bounds / min-of upper bounds allowed) and
+/// whose steps are positive integer constants; anything else fails with a
+/// diagnostic. Import rebuilds loop-language source from the sections and
+/// reuses the standard parser, so an imported nest satisfies every
+/// invariant a hand-written one does, and export(import(text)) is a
+/// fixpoint (pinned by the tests/deps round-trip goldens).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IRLT_DEPS_SCOPIO_H
+#define IRLT_DEPS_SCOPIO_H
+
+#include "ir/LoopNest.h"
+#include "support/ErrorOr.h"
+
+#include <string>
+
+namespace irlt {
+namespace deps {
+
+/// Renders \p Nest in the scop dialect; fails (with a reason) when the
+/// nest is outside the exportable affine subset.
+ErrorOr<std::string> exportScop(const LoopNest &Nest);
+
+/// Parses scop text back into a validated, sealed source nest.
+ErrorOr<LoopNest> importScop(const std::string &Text);
+
+} // namespace deps
+} // namespace irlt
+
+#endif // IRLT_DEPS_SCOPIO_H

@@ -9,6 +9,8 @@
 #include "analysis/Analysis.h"
 #include "cgen/NativeCheck.h"
 #include "dependence/DepAnalysis.h"
+#include "deps/CrossCheck.h"
+#include "deps/DepOracle.h"
 #include "driver/Script.h"
 #include "eval/Verify.h"
 #include "fuzz/ScriptGen.h"
@@ -79,17 +81,15 @@ CaseOutcome irlt::fuzz::runCase(const FuzzCase &C,
                    "generated nest failed to parse: " + NestOr.message());
   LoopNest Nest = NestOr.take();
 
-  // 2. Dependence analysis, guarded: huge bounds can overflow the
+  // 2. Dependence analysis through the production oracle backend
+  // (deps/DepOracle.h), which runs guarded: huge bounds can overflow the
   // distance arithmetic, in which case the summaries are saturated and
   // nothing downstream may be trusted.
-  DepSet D;
-  {
-    OverflowGuard G;
-    D = analyzeDependences(Nest);
-    if (G.triggered())
-      return outcome(Category::OverflowRejected,
-                     "dependence analysis overflowed");
-  }
+  deps::DepResult DR = deps::pipelineOracle().analyze(Nest);
+  if (DR.Overflowed)
+    return outcome(Category::OverflowRejected,
+                   "dependence analysis overflowed");
+  DepSet D = std::move(DR.Deps);
   // Direction summaries are conservative; a generated source nest they
   // cannot prove valid is skipped, not failed.
   if (!D.allLexNonNegative())
@@ -301,14 +301,11 @@ CaseOutcome irlt::fuzz::runSearchCase(const FuzzCase &C,
                    "generated nest failed to parse: " + NestOr.message());
   LoopNest Nest = NestOr.take();
 
-  DepSet D;
-  {
-    OverflowGuard G;
-    D = analyzeDependences(Nest);
-    if (G.triggered())
-      return outcome(Category::OverflowRejected,
-                     "dependence analysis overflowed");
-  }
+  deps::DepResult DR = deps::pipelineOracle().analyze(Nest);
+  if (DR.Overflowed)
+    return outcome(Category::OverflowRejected,
+                   "dependence analysis overflowed");
+  DepSet D = std::move(DR.Deps);
   if (!D.allLexNonNegative())
     return outcome(Category::SourceSkipped,
                    "conservative summaries reject the source nest");
@@ -383,6 +380,38 @@ CaseOutcome irlt::fuzz::runSearchCase(const FuzzCase &C,
                        "search candidate <" + S.Key +
                            "> is not equivalence-preserving: " + V.Problem);
     }
+  }
+  return outcome(Category::Legal);
+}
+
+CaseOutcome irlt::fuzz::runDepsCase(const FuzzCase &C) {
+  ErrorOr<LoopNest> NestOr = parseLoopNest(C.Nest.render());
+  if (!NestOr)
+    return outcome(Category::OracleFailure,
+                   "generated nest failed to parse: " + NestOr.message());
+  LoopNest Nest = NestOr.take();
+
+  deps::DepResult Fast = deps::pipelineOracle().analyze(Nest);
+  deps::DepResult Exact = deps::fmExactOracle().analyze(Nest);
+  deps::CrossCheckResult CC = deps::crossCheckDeps(Fast, Exact);
+  switch (CC.Stat) {
+  case deps::CrossCheckResult::Status::Skipped:
+    return outcome(Category::OverflowRejected,
+                   "a dependence backend saturated its arithmetic");
+  case deps::CrossCheckResult::Status::Soundness:
+    // The production analyzer under-reports: every legality verdict
+    // computed from its set is suspect. Dump with full context.
+    return outcome(Category::FastPathUnsound,
+                   "dependence " + CC.str() +
+                       "; pipeline = " + Fast.Deps.str() +
+                       ", fm-exact = " + Exact.Deps.str());
+  case deps::CrossCheckResult::Status::PrecisionGap: {
+    CaseOutcome O = outcome(Category::Legal, "dependence " + CC.str());
+    O.DepsExtraVectors = static_cast<unsigned>(CC.Extra.size());
+    return O;
+  }
+  case deps::CrossCheckResult::Status::Agree:
+    break;
   }
   return outcome(Category::Legal);
 }

@@ -24,6 +24,11 @@
 ///     reports for a generated nest must pass the full uniform legality
 ///     test and concrete-execution verification, and the whole result
 ///     must be invariant under the worker thread count.
+///  6. *Dependence oracles* (--deps mode): the production dependence
+///     analyzer is diffed against the first-principles fm-exact backend
+///     (deps/DepOracle.h). An exact vector the pipeline does not cover
+///     is a soundness bug (dumped as a reproducer); pipeline vectors
+///     beyond the exact set are counted as precision gaps.
 ///
 /// Arithmetic overflow anywhere in the pipeline (huge generated
 /// coefficients) must surface as a clean rejection - OverflowGuard
@@ -102,6 +107,10 @@ struct CaseOutcome {
   /// Whether the native cross-check ran on this case (--native mode).
   enum class NativeTier { NotRun, Checked, Skipped } Native =
       NativeTier::NotRun;
+  /// --deps mode: pipeline vectors the exact backend does not cover on
+  /// this case (a Legal outcome with a nonzero count is a precision gap,
+  /// not a bug; the run aggregates these).
+  unsigned DepsExtraVectors = 0;
 };
 
 /// Runs one case through the oracle.
@@ -123,6 +132,15 @@ CaseOutcome runNativeCase(const FuzzCase &C, const DifferentialOptions &Opts,
 /// verifyTransformed under each binding set; the winner, top-k keys and
 /// stats must also be identical for 1 and 2 worker threads.
 CaseOutcome runSearchCase(const FuzzCase &C, const DifferentialOptions &Opts);
+
+/// Runs one *deps-mode* case: the generated nest (the script is ignored)
+/// is analyzed by the production pipeline backend and the
+/// first-principles fm-exact backend, and the results are cross-checked
+/// (deps/CrossCheck.h). Exact vectors the pipeline misses land in
+/// FastPathUnsound (a dependence-analysis soundness bug); extra pipeline
+/// vectors land in DepsExtraVectors on a Legal outcome; overflow on
+/// either side is OverflowRejected.
+CaseOutcome runDepsCase(const FuzzCase &C);
 
 } // namespace fuzz
 } // namespace irlt

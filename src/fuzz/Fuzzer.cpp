@@ -29,7 +29,9 @@ bool dumpReproducer(const FuzzOptions &Opts, const FuzzCase &C,
   std::string NestPath = Opts.ReproDir + "/" + Stem + ".nest";
   std::string ScriptPath = Opts.ReproDir + "/" + Stem + ".script";
   std::vector<std::string> Replay;
-  if (Opts.SearchMode)
+  if (Opts.DepsMode)
+    Replay.push_back("irlt-opt " + NestPath + " --deps-diff");
+  else if (Opts.SearchMode)
     Replay.push_back("irlt-search " + NestPath +
                      " --objective both --depth 1 --beam 4 --topk 3 "
                      "--explain");
@@ -145,7 +147,7 @@ FuzzStats irlt::fuzz::runFuzzer(const FuzzOptions &Opts) {
   // Probe the host compiler once per run; --native degrades to the
   // interpreter-only oracle (reported, never silently green) without one.
   std::string NativeCC;
-  bool NativeMode = Opts.NativeMode && !Opts.SearchMode;
+  bool NativeMode = Opts.NativeMode && !Opts.SearchMode && !Opts.DepsMode;
   if (NativeMode) {
     NativeCC = cgen::probeCompiler();
     if (NativeCC.empty()) {
@@ -161,10 +163,15 @@ FuzzStats irlt::fuzz::runFuzzer(const FuzzOptions &Opts) {
       break;
     }
     FuzzCase C = generateCase(Opts, Index);
-    CaseOutcome O = Opts.SearchMode ? runSearchCase(C, DO)
-                    : NativeMode    ? runNativeCase(C, DO, NativeCC)
-                                    : runCase(C, DO);
+    CaseOutcome O = Opts.DepsMode     ? runDepsCase(C)
+                    : Opts.SearchMode ? runSearchCase(C, DO)
+                    : NativeMode      ? runNativeCase(C, DO, NativeCC)
+                                      : runCase(C, DO);
     ++Stats.Count[static_cast<unsigned>(O.Cat)];
+    if (O.DepsExtraVectors) {
+      ++Stats.DepsPrecisionGaps;
+      Stats.DepsExtraVectors += O.DepsExtraVectors;
+    }
     if (O.Native == CaseOutcome::NativeTier::Checked)
       ++Stats.NativeChecked;
     else if (O.Native == CaseOutcome::NativeTier::Skipped)
@@ -188,12 +195,13 @@ FuzzStats irlt::fuzz::runFuzzer(const FuzzOptions &Opts) {
     Rec.Tier = O.Tier;
 
     FuzzCase Min = C;
-    // The shrinker minimizes against the script oracle; search-mode
-    // failures are dumped as-is (the script plays no part in them), and
-    // so are native-tier failures (re-running the compiler per shrink
-    // step would swamp the run, and the interpreted oracle the shrinker
-    // replays cannot even see the disagreement).
-    if (Opts.Shrink && !Opts.SearchMode && Rec.Tier == "interpreter") {
+    // The shrinker minimizes against the script oracle; search- and
+    // deps-mode failures are dumped as-is (the script plays no part in
+    // them), and so are native-tier failures (re-running the compiler
+    // per shrink step would swamp the run, and the interpreted oracle
+    // the shrinker replays cannot even see the disagreement).
+    if (Opts.Shrink && !Opts.SearchMode && !Opts.DepsMode &&
+        Rec.Tier == "interpreter") {
       Min = shrinkCase(C, DO, O.Cat);
       // The shrunk case's own detail is the one worth reporting.
       CaseOutcome MO = runCase(Min, DO);

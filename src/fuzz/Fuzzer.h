@@ -53,6 +53,12 @@ struct FuzzOptions {
   /// every reported candidate (full legality + execution verify +
   /// thread-count invariance) instead of fuzzing scripts.
   bool SearchMode = false;
+  /// Deps mode (--deps, docs/DEPENDENCE.md): diff the production
+  /// dependence analyzer against the first-principles fm-exact backend
+  /// on each generated nest instead of fuzzing scripts. Pipeline
+  /// under-reporting is a dumped soundness failure; over-reporting is
+  /// aggregated as precision statistics.
+  bool DepsMode = false;
   /// Native mode (--native, docs/CODEGEN.md): Legal cases are
   /// additionally compiled and executed, and the native checksums must
   /// match the interpreter's on identically seeded arrays. When no host
@@ -89,6 +95,13 @@ struct FuzzStats {
   uint64_t NativeChecked = 0;
   uint64_t NativeSkipped = 0;
   bool NativeUnavailable = false;
+  /// --deps bookkeeping: cases where the pipeline was strictly more
+  /// conservative than the exact backend, and the total number of
+  /// pipeline vectors the exact set did not cover across those cases.
+  /// (Agreeing cases are Legal minus the gap count; soundness
+  /// divergences land in FastPathUnsound and Failures.)
+  uint64_t DepsPrecisionGaps = 0;
+  uint64_t DepsExtraVectors = 0;
 
   uint64_t total() const {
     uint64_t N = 0;

@@ -180,6 +180,63 @@ TEST(Analyze, ToDiagsPrefixesRuleIds) {
   EXPECT_EQ(Diags[0].Message.rfind("[E101] ", 0), 0u) << Diags[0].Message;
 }
 
+TEST(Analyze, RegistryVersionCoversCrossCheckRules) {
+  // Version 2 added W205/W206; the version must move with the registry so
+  // --json consumers can trust rule semantics.
+  EXPECT_EQ(ruleRegistryVersion(), 2u);
+  EXPECT_NE(findRule("W205"), nullptr);
+  EXPECT_NE(findRule("W206"), nullptr);
+  EXPECT_EQ(findRule("W205")->Severity, FindingSeverity::Warning);
+  EXPECT_EQ(findRule("W206")->Severity, FindingSeverity::Warning);
+}
+
+TEST(Analyze, CrossCheckDepsReportsPrecisionGapAsW205) {
+  // Strided-outer triangular nest where the production analyzer keeps a
+  // (0, 2) vector the exact backend disproves (the inner range is too
+  // narrow): W205 with the vector as provenance, and only when the
+  // cross-check option is on (it is costly and off by default).
+  LoopNest N = nest("do i = 0, 5, 2\n"
+                    "  do j = 3, i\n"
+                    "    a(i, j) = a(i, j) + a(i - 1, j + 1) + a(i, j - 2)\n"
+                    "  enddo\n"
+                    "enddo\n");
+  DepSet D = analyzeDependences(N);
+  TransformSequence Seq;
+
+  AnalysisReport Off = analyzeSequence(Seq, N, D);
+  for (const Finding &F : Off.Findings) {
+    EXPECT_NE(F.RuleId, "W205") << F.Message;
+    EXPECT_NE(F.RuleId, "W206") << F.Message;
+  }
+
+  AnalysisOptions AO;
+  AO.CrossCheckDeps = true;
+  AnalysisReport On = analyzeSequence(Seq, N, D, AO);
+  bool SawW205 = false;
+  for (const Finding &F : On.Findings) {
+    EXPECT_NE(F.RuleId, "W206") << F.Message;
+    if (F.RuleId == "W205") {
+      SawW205 = true;
+      EXPECT_EQ(F.DepVector, "(0, 2)");
+      EXPECT_EQ(F.Severity, FindingSeverity::Warning);
+    }
+  }
+  EXPECT_TRUE(SawW205);
+  EXPECT_EQ(On.errorCount(), 0u);
+}
+
+TEST(Analyze, CrossCheckDepsCleanOnAgreeingNest) {
+  LoopNest N = nest(RectDep);
+  DepSet D = analyzeDependences(N);
+  AnalysisOptions AO;
+  AO.CrossCheckDeps = true;
+  AnalysisReport R = analyzeSequence(TransformSequence(), N, D, AO);
+  for (const Finding &F : R.Findings) {
+    EXPECT_NE(F.RuleId, "W205") << F.Message;
+    EXPECT_NE(F.RuleId, "W206") << F.Message;
+  }
+}
+
 TEST(PreFilter, FinalDepsRejectableMatchesLexTest) {
   LoopNest N = nest(RectDep);
   DepSet D = analyzeDependences(N);

@@ -1,0 +1,97 @@
+//===- tests/deps/CrossCheckTest.cpp - Differential comparison tests -----===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "deps/CrossCheck.h"
+
+#include <gtest/gtest.h>
+
+using namespace irlt;
+using namespace irlt::deps;
+
+namespace {
+
+DepResult result(std::vector<DepVector> Vs, bool Overflowed = false) {
+  DepResult R;
+  R.Deps = DepSet(std::move(Vs));
+  R.Overflowed = Overflowed;
+  return R;
+}
+
+TEST(CrossCheck, AgreeOnIdenticalSets) {
+  DepResult Fast = result({DepVector::distances({1, 0})});
+  DepResult Exact = result({DepVector::distances({1, 0})});
+  CrossCheckResult CC = crossCheckDeps(Fast, Exact);
+  EXPECT_EQ(CC.Stat, CrossCheckResult::Status::Agree);
+  EXPECT_TRUE(CC.sound());
+  EXPECT_EQ(CC.str(), "agree");
+}
+
+TEST(CrossCheck, AgreeUnderEntrywiseCover) {
+  // Fast (0+, 1) covers exact (0, 1) and (1, 1) piecewise-free; exact
+  // union covers the fast summary only via expansion - still Agree.
+  DepResult Fast =
+      result({DepVector({DepElem::zeroPos(), DepElem::distance(1)})});
+  DepResult Exact = result({DepVector::distances({0, 1}),
+                            DepVector({DepElem::pos(), DepElem::distance(1)})});
+  CrossCheckResult CC = crossCheckDeps(Fast, Exact);
+  EXPECT_EQ(CC.Stat, CrossCheckResult::Status::Agree) << CC.str();
+}
+
+TEST(CrossCheck, PrecisionGapWhenFastOverReports) {
+  DepResult Fast = result({DepVector::distances({1, 0}),
+                           DepVector({DepElem::zero(), DepElem::pos()})});
+  DepResult Exact = result({DepVector::distances({1, 0})});
+  CrossCheckResult CC = crossCheckDeps(Fast, Exact);
+  EXPECT_EQ(CC.Stat, CrossCheckResult::Status::PrecisionGap);
+  EXPECT_TRUE(CC.sound());
+  ASSERT_EQ(CC.Extra.size(), 1u);
+  EXPECT_EQ(CC.Extra[0].str(), "(0, +)");
+  EXPECT_TRUE(CC.Uncovered.empty());
+}
+
+TEST(CrossCheck, SoundnessWhenFastUnderReports) {
+  DepResult Fast = result({DepVector::distances({0, 1})});
+  DepResult Exact = result({DepVector::distances({0, 1}),
+                            DepVector::distances({1, -1})});
+  CrossCheckResult CC = crossCheckDeps(Fast, Exact);
+  EXPECT_EQ(CC.Stat, CrossCheckResult::Status::Soundness);
+  EXPECT_FALSE(CC.sound());
+  ASSERT_EQ(CC.Uncovered.size(), 1u);
+  EXPECT_EQ(CC.Uncovered[0].str(), "(1, -1)");
+}
+
+TEST(CrossCheck, SkippedWhenEitherOracleOverflowed) {
+  DepResult Clean = result({DepVector::distances({1})});
+  DepResult Hot = result({}, /*Overflowed=*/true);
+  EXPECT_EQ(crossCheckDeps(Hot, Clean).Stat,
+            CrossCheckResult::Status::Skipped);
+  EXPECT_EQ(crossCheckDeps(Clean, Hot).Stat,
+            CrossCheckResult::Status::Skipped);
+  EXPECT_TRUE(crossCheckDeps(Hot, Clean).sound());
+}
+
+TEST(CrossCheck, CoveredBySingleVector) {
+  DepSet Set({DepVector({DepElem::any(), DepElem::zeroPos()})});
+  EXPECT_TRUE(coveredBy(DepVector::distances({-3, 2}), Set));
+  EXPECT_FALSE(coveredBy(DepVector::distances({0, -1}), Set));
+}
+
+TEST(CrossCheck, CoveredByPiecewiseExpansion) {
+  // (0+) has no single cover in {(0), (+)} but is covered piecewise.
+  DepSet Set({DepVector({DepElem::zero()}), DepVector({DepElem::pos()})});
+  EXPECT_TRUE(coveredBy(DepVector({DepElem::zeroPos()}), Set));
+  EXPECT_FALSE(coveredBy(DepVector({DepElem::any()}), Set));
+}
+
+TEST(CrossCheck, ReportsRenderWitnesses) {
+  DepResult Fast = result({});
+  DepResult Exact = result({DepVector::distances({2})});
+  CrossCheckResult CC = crossCheckDeps(Fast, Exact);
+  EXPECT_NE(CC.str().find("soundness"), std::string::npos);
+  EXPECT_NE(CC.str().find("(2)"), std::string::npos);
+}
+
+} // namespace

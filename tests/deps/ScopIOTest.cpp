@@ -1,0 +1,145 @@
+//===- tests/deps/ScopIOTest.cpp - OpenScop round-trip goldens -----------===//
+//
+// Part of the IRLT project (PLDI'92 iteration-reordering framework repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Byte-exact goldens for the scop dialect over the 12-nest corpus (one
+/// nest per Table 1 template plus the five strided-soundness nests):
+/// export matches <case>.golden.scop byte-for-byte, import(export) is
+/// accepted, and export(import(export)) reaches a fixpoint. Regenerate
+/// the goldens with IRLT_UPDATE_GOLDEN=1 after sanctioned format changes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "deps/ScopIO.h"
+
+#include "deps/DepOracle.h"
+#include "ir/Parser.h"
+
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+
+using namespace irlt;
+using namespace irlt::deps;
+
+namespace {
+
+std::string readFileOrEmpty(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return "";
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+std::string dataPath(const std::string &Name) {
+  return std::string(IRLT_DEPS_DATA_DIR) + "/" + Name;
+}
+
+bool updateGolden() { return std::getenv("IRLT_UPDATE_GOLDEN") != nullptr; }
+
+LoopNest parse(const std::string &Src) {
+  auto N = parseLoopNest(Src);
+  EXPECT_TRUE(N) << N.message();
+  return N.take();
+}
+
+void checkCase(const std::string &Name) {
+  SCOPED_TRACE(Name);
+  std::string Src = readFileOrEmpty(dataPath(Name + ".nest"));
+  ASSERT_FALSE(Src.empty());
+  LoopNest Nest = parse(Src);
+
+  auto Scop = exportScop(Nest);
+  ASSERT_TRUE(Scop) << Scop.message();
+  std::string Text = Scop.take();
+
+  std::string GoldenPath = dataPath(Name + ".golden.scop");
+  if (updateGolden()) {
+    std::ofstream Out(GoldenPath, std::ios::binary);
+    ASSERT_TRUE(Out.good());
+    Out << Text;
+  } else {
+    EXPECT_EQ(Text, readFileOrEmpty(GoldenPath))
+        << "golden mismatch; regenerate with IRLT_UPDATE_GOLDEN=1";
+  }
+
+  // Import accepts what export produced...
+  auto Back = importScop(Text);
+  ASSERT_TRUE(Back) << Back.message();
+  LoopNest Again = Back.take();
+
+  // ...reaches a byte fixpoint on re-export...
+  auto Scop2 = exportScop(Again);
+  ASSERT_TRUE(Scop2) << Scop2.message();
+  EXPECT_EQ(Scop2.take(), Text);
+
+  // ...and preserves dependence semantics through the round trip.
+  EXPECT_EQ(pipelineOracle().analyze(Again).Deps.str(),
+            pipelineOracle().analyze(Nest).Deps.str());
+}
+
+TEST(ScopIO, GoldenBlockMatmul) { checkCase("block_matmul"); }
+TEST(ScopIO, GoldenCoalesceRect) { checkCase("coalesce_rect"); }
+TEST(ScopIO, GoldenInterleaveRect) { checkCase("interleave_rect"); }
+TEST(ScopIO, GoldenParallelizeInner) { checkCase("parallelize_inner"); }
+TEST(ScopIO, GoldenReversePermuteRect) { checkCase("reverse_permute_rect"); }
+TEST(ScopIO, GoldenStripmineRect) { checkCase("stripmine_rect"); }
+TEST(ScopIO, GoldenUnimodularStencil) { checkCase("unimodular_stencil"); }
+TEST(ScopIO, GoldenStrided1BlockUnimodular) {
+  checkCase("strided1_block_unimodular");
+}
+TEST(ScopIO, GoldenStrided2LowerBoundPermute) {
+  checkCase("strided2_lower_bound_permute");
+}
+TEST(ScopIO, GoldenStrided3StripmineReversal) {
+  checkCase("strided3_stripmine_reversal");
+}
+TEST(ScopIO, GoldenStrided4FastPathSkew) {
+  checkCase("strided4_fast_path_skew");
+}
+TEST(ScopIO, GoldenStrided5SearchNest) { checkCase("strided5_search_nest"); }
+
+TEST(ScopIO, ExportRejectsNonAffineBound) {
+  LoopNest Nest = parse("do i = 1, n * n\n"
+                        "  a(i) = a(i - 1)\n"
+                        "enddo\n");
+  auto Scop = exportScop(Nest);
+  EXPECT_FALSE(Scop);
+}
+
+TEST(ScopIO, ExportRejectsNonConstantStep) {
+  LoopNest Nest = parse("do i = 1, 100, n\n"
+                        "  a(i) = a(i - 1)\n"
+                        "enddo\n");
+  auto Scop = exportScop(Nest);
+  EXPECT_FALSE(Scop);
+}
+
+TEST(ScopIO, ImportRejectsMalformedText) {
+  EXPECT_FALSE(importScop(""));
+  EXPECT_FALSE(importScop("do i = 1, 10\n  a(i) = a(i - 1)\nenddo\n"));
+  // A truncated document: header but no sections.
+  EXPECT_FALSE(importScop("<OpenScop>\n</OpenScop>\n"));
+}
+
+TEST(ScopIO, ImportRejectsTamperedMatrix) {
+  LoopNest Nest = parse("do i = 1, 10\n"
+                        "  a(i) = a(i - 1)\n"
+                        "enddo\n");
+  auto Scop = exportScop(Nest);
+  ASSERT_TRUE(Scop) << Scop.message();
+  std::string Text = Scop.take();
+  // Flip the e/i flag of the first constraint row: inequality rows are
+  // mandatory in this dialect.
+  size_t Pos = Text.find("\n1 ");
+  ASSERT_NE(Pos, std::string::npos);
+  Text[Pos + 1] = '0';
+  EXPECT_FALSE(importScop(Text));
+}
+
+} // namespace

@@ -18,9 +18,17 @@
 ///     -s, --script FILE   explicit script for a single nest argument
 ///     --no-lint           error-class rules only (skip warnings)
 ///     --fixit             print the fixed sequence when one applies
+///     --cross-check-deps  diff the production dependence analyzer
+///                         against the first-principles fm-exact backend
+///                         on each nest and report W205/W206 findings
+///                         (docs/DEPENDENCE.md); off by default - the
+///                         exact backend is much slower
 ///     --rules             print the rule registry and exit
 ///     --json              one versioned ndjson record per input (the
-///                         shared schema of docs/API.md)
+///                         shared schema of docs/API.md); the header
+///                         carries the rule registry version
+///                         (rules_version) so triage can tell which
+///                         rule set produced the report
 ///
 /// Exit status: 0 when every input analyzed clean of error-class
 /// findings (warnings do not fail), 2 when any error-class finding or
@@ -46,7 +54,7 @@ namespace {
 void usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s PATH... [-s SCRIPTFILE] [--no-lint] [--fixit]\n"
-               "          [--rules] [--json]\n"
+               "          [--cross-check-deps] [--rules] [--json]\n"
                "PATH is a .nest file or a directory of *.nest files; a "
                "sibling <stem>.script\nis analyzed with its nest when "
                "present.\n"
@@ -116,6 +124,7 @@ int main(int argc, char **argv) {
   std::vector<std::string> Paths;
   std::string ScriptOverride;
   bool Lint = true, Fixit = false, JsonMode = false;
+  bool CrossCheckDeps = false;
 
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
@@ -129,6 +138,8 @@ int main(int argc, char **argv) {
       Lint = false;
     } else if (A == "--fixit") {
       Fixit = true;
+    } else if (A == "--cross-check-deps") {
+      CrossCheckDeps = true;
     } else if (A == "--json") {
       JsonMode = true;
     } else if (A == "--rules") {
@@ -165,6 +176,7 @@ int main(int argc, char **argv) {
   api::Pipeline P;
   analysis::AnalysisOptions AO;
   AO.Lint = Lint;
+  AO.CrossCheckDeps = CrossCheckDeps;
 
   unsigned TotalErrors = 0, TotalWarnings = 0;
   for (const Input &In : Inputs) {
@@ -191,6 +203,8 @@ int main(int argc, char **argv) {
     json::JsonWriter W;
     if (JsonMode) {
       json::beginToolRecord(W, "irlt-analyze");
+      W.field("rules_version",
+              static_cast<uint64_t>(analysis::ruleRegistryVersion()));
       W.field("nest", In.NestPath);
       if (!In.ScriptPath.empty())
         W.field("script", In.ScriptPath);

@@ -30,6 +30,13 @@
 ///                          generated nest and check that every reported
 ///                          candidate passes full legality and execution
 ///                          verification, thread-count-invariantly
+///     --deps               dependence-oracle mode (docs/DEPENDENCE.md):
+///                          diff the production dependence analyzer
+///                          against the first-principles fm-exact
+///                          backend on each generated nest; pipeline
+///                          under-reporting is a dumped soundness
+///                          failure, over-reporting is aggregated as
+///                          precision statistics
 ///     --wire               wire mode: fuzz the irlt-serve framing
 ///                          parser (serve/Frame.h) instead - round-trip
 ///                          under arbitrary chunking, deterministic
@@ -83,7 +90,8 @@ void usage(const char *Argv0) {
                "usage: %s [--cases N] [--seed S] [--shrink|--no-shrink]\n"
                "          [--repro-dir DIR] [--max-depth N] [--max-steps N]\n"
                "          [--max-instances N] [--time-budget-ms N]"
-               " [--search] [--wire] [--native] [--verbose] [--json]\n",
+               " [--search] [--deps] [--wire] [--native] [--verbose]"
+               " [--json]\n",
                Argv0);
 }
 
@@ -173,6 +181,8 @@ int main(int argc, char **argv) {
         return 2;
     } else if (A == "--search") {
       Opts.SearchMode = true;
+    } else if (A == "--deps") {
+      Opts.DepsMode = true;
     } else if (A == "--wire") {
       WireMode = true;
     } else if (A == "--native") {
@@ -260,6 +270,10 @@ int main(int argc, char **argv) {
       W.field("native_checked", Stats.NativeChecked);
       W.field("native_skipped", Stats.NativeSkipped);
     }
+    if (Opts.DepsMode) {
+      W.field("deps_precision_gaps", Stats.DepsPrecisionGaps);
+      W.field("deps_extra_vectors", Stats.DepsExtraVectors);
+    }
     W.key("categories").beginObject();
     for (Category C : Order)
       W.field(categoryName(C), Stats.Count[static_cast<unsigned>(C)]);
@@ -281,6 +295,14 @@ int main(int argc, char **argv) {
     std::printf("  %-26s %llu\n", categoryName(C),
                 static_cast<unsigned long long>(
                     Stats.Count[static_cast<unsigned>(C)]));
+
+  if (Opts.DepsMode)
+    std::printf("dependence oracle: %llu case(s) with a precision gap "
+                "(%llu pipeline vector(s) beyond the exact set); "
+                "under-reporting would appear above as %s\n",
+                static_cast<unsigned long long>(Stats.DepsPrecisionGaps),
+                static_cast<unsigned long long>(Stats.DepsExtraVectors),
+                categoryName(Category::FastPathUnsound));
 
   if (Opts.NativeMode) {
     if (Stats.NativeUnavailable)

@@ -49,17 +49,31 @@
 ///                           budget (docs/CODEGEN.md); without a host C
 ///                           compiler the interpreted verdict stands,
 ///                           annotated as native-skipped
+///     --deps-diff           run the production dependence analyzer and
+///                           the first-principles fm-exact backend side
+///                           by side and cross-check them
+///                           (docs/DEPENDENCE.md); a soundness
+///                           divergence (pipeline under-reporting) exits 2
+///     --export-scop         print the nest in the OpenScop-style
+///                           exchange dialect (docs/DEPENDENCE.md) and
+///                           stop
+///     --import-scop         treat FILE as scop text: import it into a
+///                           loop nest first (all other flags then apply
+///                           to the imported nest)
 ///     --json                emit one versioned JSON record (the shared
 ///                           schema of docs/API.md) instead of text
 ///
 /// Exit status: 0 on success (legal when --legality is given), 2 when the
-/// sequence is illegal, 1 on tool/usage errors. The --validate identity
-/// fallback is success, not an error. --json preserves the contract.
+/// sequence is illegal (or --deps-diff finds a soundness divergence), 1 on
+/// tool/usage errors. The --validate identity fallback is success, not an
+/// error. --json preserves the contract.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "api/Pipeline.h"
 #include "cgen/Cgen.h"
+#include "deps/CrossCheck.h"
+#include "deps/ScopIO.h"
 #include "support/Json.h"
 
 #include <cstdio>
@@ -76,7 +90,8 @@ void usage(const char *Argv0) {
       "usage: %s FILE [-s SCRIPT | -f SCRIPTFILE | --auto locality|par|both]\n"
       "          [--deps] [--matrices] [--legality] [--fast-legality]\n"
       "          [--analyze] [--emit loop|c] [--emit-c] [--verify n=32,b=4]\n"
-      "          [--reduce] [--witness] [--validate[=N|native[:N]]] [--json]\n"
+      "          [--reduce] [--witness] [--validate[=N|native[:N]]]\n"
+      "          [--deps-diff] [--export-scop] [--import-scop] [--json]\n"
       "exit status: 0 success/legal, 2 illegal sequence, 1 error\n",
       Argv0);
 }
@@ -156,6 +171,7 @@ int main(int argc, char **argv) {
   bool WantFastLegality = false, WantReduce = false, WantWitness = false;
   bool Validate = false, ValidateNative = false, JsonMode = false;
   bool EmitProgram = false;
+  bool DepsDiff = false, ExportScop = false, ImportScop = false;
   uint64_t ValidateBudget = 200'000;
   std::string Emit;
   std::string VerifySpec;
@@ -185,6 +201,12 @@ int main(int argc, char **argv) {
       }
     } else if (A == "--deps") {
       WantDeps = true;
+    } else if (A == "--deps-diff") {
+      DepsDiff = true;
+    } else if (A == "--export-scop") {
+      ExportScop = true;
+    } else if (A == "--import-scop") {
+      ImportScop = true;
     } else if (A == "--matrices") {
       WantMatrices = true;
     } else if (A == "--legality") {
@@ -262,13 +284,59 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "error: cannot read '%s'\n", NestPath.c_str());
     return fail(JsonMode, "cannot read '" + NestPath + "'");
   }
-  ErrorOr<LoopNest> NestOr = P.loadNest(Source);
+  // --import-scop: FILE carries the exchange dialect; everything
+  // downstream sees the reconstructed loop nest.
+  ErrorOr<LoopNest> NestOr =
+      ImportScop ? deps::importScop(Source) : P.loadNest(Source);
   if (!NestOr) {
     std::fprintf(stderr, "%s: %s\n", NestPath.c_str(),
                  NestOr.message().c_str());
     return fail(JsonMode, NestPath + ": " + NestOr.message());
   }
   LoopNest Nest = NestOr.take();
+
+  if (ExportScop) {
+    ErrorOr<std::string> Scop = deps::exportScop(Nest);
+    if (!Scop) {
+      std::fprintf(stderr, "export-scop: %s\n", Scop.message().c_str());
+      return fail(JsonMode, "export-scop: " + Scop.message());
+    }
+    if (JsonMode) {
+      json::JsonWriter WS;
+      json::beginToolRecord(WS, "irlt-opt");
+      WS.field("ok", true);
+      WS.field("mode", "export-scop");
+      WS.field("scop", *Scop);
+      WS.endObject();
+      std::printf("%s\n", WS.take().c_str());
+    } else {
+      std::printf("%s", Scop->c_str());
+    }
+    return 0;
+  }
+
+  if (DepsDiff) {
+    deps::DepResult Fast = deps::pipelineOracle().analyze(Nest);
+    deps::DepResult Exact = deps::fmExactOracle().analyze(Nest);
+    deps::CrossCheckResult CC = deps::crossCheckDeps(Fast, Exact);
+    if (JsonMode) {
+      json::JsonWriter WS;
+      json::beginToolRecord(WS, "irlt-opt");
+      WS.field("ok", CC.sound());
+      WS.field("mode", "deps-diff");
+      WS.field("pipeline", Fast.Deps.str());
+      WS.field("fm_exact", Exact.Deps.str());
+      WS.field("verdict", CC.str());
+      WS.field("sound", CC.sound());
+      WS.endObject();
+      std::printf("%s\n", WS.take().c_str());
+    } else {
+      std::printf("pipeline:  %s\nfm-exact:  %s\nverdict:   %s\n",
+                  Fast.Deps.str().c_str(), Exact.Deps.str().c_str(),
+                  CC.str().c_str());
+    }
+    return CC.sound() ? 0 : 2;
+  }
 
   // JSON mode buffers one record and prints it once every stage ran;
   // text mode prints as it goes, exactly as before.
